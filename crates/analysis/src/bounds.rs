@@ -1,0 +1,134 @@
+//! Certified lower bounds on `OPT_total(R)` (paper §III.C).
+//!
+//! * **Proposition 1**: `OPT_total(R) ≥ vol(R) = Σ_r s(r)·|I(r)|` —
+//!   no packing can beat perfect utilization.
+//! * **Proposition 2**: `OPT_total(R) ≥ span(R)` — at least one bin
+//!   is open whenever an item is active.
+//! * **Profile bound** (sharper, still certified): at each instant
+//!   `OPT(R, t) ≥ max(⌈L(t)⌉, big(t), [L(t) > 0])` where `L(t)` is
+//!   the total active size and `big(t)` the number of active items
+//!   larger than `1/2`; integrating this step function lower-bounds
+//!   `∫ OPT(R, t) dt` and dominates both propositions.
+
+use dbp_core::Instance;
+use dbp_numeric::Rational;
+use dbp_simcore::StepIntegrator;
+
+/// `max(vol(R), span(R))` — the paper's own combination of
+/// Propositions 1 and 2 (used in the Theorem 1 chain).
+pub fn opt_lower_bound(instance: &Instance) -> Rational {
+    instance.vol().max(instance.span())
+}
+
+/// The integrated per-instant lower bound described at module level.
+///
+/// Returns the integral `∫ lb(t) dt` with
+/// `lb(t) = max(⌈Σ_{active} s⌉, #{active s > 1/2}, [any active])`.
+/// Always `≥ max(vol, span)`.
+pub fn profile_lower_bound(instance: &Instance) -> Rational {
+    lower_profile(instance).integral()
+}
+
+/// The full step-function profile of the per-instant lower bound.
+pub fn lower_profile(instance: &Instance) -> StepIntegrator {
+    let times = instance.event_times();
+    let mut profile = StepIntegrator::new();
+    for w in times.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        // The active set is constant on [lo, hi).
+        let mut load = Rational::ZERO;
+        let mut big = 0i128;
+        let mut any = false;
+        for item in instance.items() {
+            if item.active_at(lo) {
+                any = true;
+                load += item.size;
+                if item.size > Rational::HALF {
+                    big += 1;
+                }
+            }
+        }
+        let lb = load.ceil().max(big).max(i128::from(any));
+        profile.push_segment(lo, hi, Rational::from_int(lb));
+    }
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_numeric::rat;
+
+    fn inst(specs: &[(i128, i128, i128, i128)]) -> Instance {
+        Instance::new(
+            specs
+                .iter()
+                .map(|&(n, d, a, dep)| (rat(n, d), rat(a, 1), rat(dep, 1)))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_instance_has_zero_bounds() {
+        let i = Instance::new(vec![]).unwrap();
+        assert_eq!(opt_lower_bound(&i), rat(0, 1));
+        assert_eq!(profile_lower_bound(&i), rat(0, 1));
+    }
+
+    #[test]
+    fn span_dominates_for_sparse_items() {
+        // One tiny item active for 10: vol = 1/10·10 = 1, span = 10.
+        let i = inst(&[(1, 10, 0, 10)]);
+        assert_eq!(i.vol(), rat(1, 1));
+        assert_eq!(i.span(), rat(10, 1));
+        assert_eq!(opt_lower_bound(&i), rat(10, 1));
+        assert_eq!(profile_lower_bound(&i), rat(10, 1));
+    }
+
+    #[test]
+    fn vol_dominates_for_dense_items() {
+        // Four size-1 items on [0,1): vol = 4, span = 1.
+        let i = inst(&[(1, 1, 0, 1), (1, 1, 0, 1), (1, 1, 0, 1), (1, 1, 0, 1)]);
+        assert_eq!(opt_lower_bound(&i), rat(4, 1));
+        assert_eq!(profile_lower_bound(&i), rat(4, 1));
+    }
+
+    #[test]
+    fn profile_bound_beats_both_propositions() {
+        // Phase A [0,1): four size-1 items (needs 4 bins).
+        // Phase B [1,9): one item of size 1/10 (needs 1 bin).
+        // vol = 4 + 0.8 = 4.8; span = 9;
+        // profile = 4·1 + 1·8 = 12 > max(vol, span).
+        let i = inst(&[
+            (1, 1, 0, 1),
+            (1, 1, 0, 1),
+            (1, 1, 0, 1),
+            (1, 1, 0, 1),
+            (1, 10, 1, 9),
+        ]);
+        assert_eq!(opt_lower_bound(&i), rat(9, 1));
+        assert_eq!(profile_lower_bound(&i), rat(12, 1));
+    }
+
+    #[test]
+    fn big_item_count_matters() {
+        // Two items of 3/5 on [0,1): load = 1.2, ceil = 2, big = 2.
+        // Three items of 3/5 on [2,3): ceil(1.8) = 2 but big = 3.
+        let i = inst(&[
+            (3, 5, 0, 1),
+            (3, 5, 0, 1),
+            (3, 5, 2, 3),
+            (3, 5, 2, 3),
+            (3, 5, 2, 3),
+        ]);
+        assert_eq!(profile_lower_bound(&i), rat(2 + 3, 1));
+    }
+
+    #[test]
+    fn profile_respects_gaps() {
+        let i = inst(&[(1, 2, 0, 1), (1, 2, 5, 6)]);
+        assert_eq!(profile_lower_bound(&i), rat(2, 1));
+        assert_eq!(lower_profile(&i).positive_measure(), rat(2, 1));
+    }
+}

@@ -1,0 +1,571 @@
+//! Executable certificates for the paper's propositions and lemmas.
+//!
+//! Each check turns a statement from §IV–§VII into an exact-arithmetic
+//! assertion over a concrete instance + packing, returning structured
+//! pass/fail evidence. The property-test suite runs these over
+//! thousands of randomized instances; `exp_certify` (dbp-bench)
+//! aggregates them into the E10 report.
+//!
+//! Two tiers:
+//!
+//! * **Structural** checks (Propositions 3–7, supplier existence,
+//!   `Σ|W_k| = span`, Lemmas 1–4) hold for *any* packing, because the
+//!   decomposition is defined purely from usage periods and arrivals.
+//! * **First-Fit** checks (amortized level ≥ `1/(µ+3)`, the Theorem 1
+//!   chain) additionally use the Any-Fit/First-Fit non-fit guarantee
+//!   `s(R_k) + s(p_k) > 1` and are only claimed for First Fit.
+
+use crate::decomposition::{demand_over, level_at, Decomposition};
+use crate::optimal::{opt_total, OptConfig};
+use crate::solver::ExactBinPacking;
+use dbp_core::{FirstFit, Instance, PackingOutcome};
+use dbp_numeric::{Interval, IntervalSet, Rational};
+use std::fmt;
+
+/// Outcome of one certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckResult {
+    /// Stable identifier, e.g. `"prop5"`.
+    pub name: &'static str,
+    /// Human description of the statement checked.
+    pub statement: &'static str,
+    /// Whether the statement held (`None` = not applicable, e.g.
+    /// exact OPT out of reach).
+    pub passed: Option<bool>,
+    /// First few violations, rendered for humans.
+    pub violations: Vec<String>,
+}
+
+impl CheckResult {
+    fn pass(name: &'static str, statement: &'static str) -> CheckResult {
+        CheckResult {
+            name,
+            statement,
+            passed: Some(true),
+            violations: Vec::new(),
+        }
+    }
+
+    fn skipped(name: &'static str, statement: &'static str) -> CheckResult {
+        CheckResult {
+            name,
+            statement,
+            passed: None,
+            violations: Vec::new(),
+        }
+    }
+
+    fn record(&mut self, violation: String) {
+        self.passed = Some(false);
+        if self.violations.len() < 5 {
+            self.violations.push(violation);
+        }
+    }
+}
+
+impl fmt::Display for CheckResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let status = match self.passed {
+            Some(true) => "PASS",
+            Some(false) => "FAIL",
+            None => "SKIP",
+        };
+        write!(f, "[{status}] {}: {}", self.name, self.statement)?;
+        for v in &self.violations {
+            write!(f, "\n       ! {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A full certification report for one instance + packing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertReport {
+    /// Algorithm that produced the packing.
+    pub algorithm: String,
+    /// Instance `µ`.
+    pub mu: Rational,
+    /// All certificates.
+    pub checks: Vec<CheckResult>,
+}
+
+impl CertReport {
+    /// `true` iff no check failed (skips allowed).
+    pub fn all_passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed != Some(false))
+    }
+
+    /// The failed checks.
+    pub fn failures(&self) -> Vec<&CheckResult> {
+        self.checks
+            .iter()
+            .filter(|c| c.passed == Some(false))
+            .collect()
+    }
+}
+
+impl fmt::Display for CertReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "certification of {} (µ = {}):", self.algorithm, self.mu)?;
+        for c in &self.checks {
+            writeln!(f, "  {c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs First Fit on the instance and certifies everything, including
+/// the First-Fit-specific checks.
+pub fn certify_first_fit(instance: &Instance) -> CertReport {
+    let outcome = dbp_core::run_packing(instance, &mut FirstFit::new())
+        .expect("First Fit never fails on a valid instance");
+    certify_packing(instance, &outcome, true)
+}
+
+/// Certifies a packing. With `first_fit_specific = false`, only the
+/// structural (algorithm-independent) checks are performed.
+pub fn certify_packing(
+    instance: &Instance,
+    outcome: &PackingOutcome,
+    first_fit_specific: bool,
+) -> CertReport {
+    let mu = instance.mu().unwrap_or(Rational::ONE);
+    let mut checks = Vec::new();
+    if instance.is_empty() {
+        return CertReport {
+            algorithm: outcome.algorithm().to_string(),
+            mu,
+            checks,
+        };
+    }
+    let d = Decomposition::compute(instance, outcome);
+
+    checks.push(check_usage_partition(instance, outcome, &d));
+    checks.push(check_supplier_exists(&d));
+    checks.push(check_prop3(&d));
+    checks.push(check_prop4(instance, outcome, &d));
+    checks.push(check_prop5(&d));
+    checks.push(check_prop6(instance, outcome, &d));
+    checks.push(check_prop7(&d));
+    checks.push(check_lemma1(&d));
+    checks.push(check_lemma2(&d));
+    checks.push(check_h_demand(instance, outcome, &d));
+
+    if first_fit_specific {
+        checks.push(check_amortized_level(instance, outcome, &d));
+        checks.push(check_theorem1_vol_span(instance, outcome, &d));
+        checks.push(check_theorem1_opt(instance, outcome, &d));
+    }
+
+    CertReport {
+        algorithm: outcome.algorithm().to_string(),
+        mu,
+        checks,
+    }
+}
+
+/// §IV: `V_k ∪ W_k = U_k` disjointly, the `W_k` are pairwise
+/// disjoint, and `Σ|W_k| = span(R)`.
+fn check_usage_partition(
+    instance: &Instance,
+    _outcome: &PackingOutcome,
+    d: &Decomposition,
+) -> CheckResult {
+    let mut r = CheckResult::pass(
+        "usage-partition",
+        "V_k ∪ W_k = U_k; W_k pairwise disjoint; Σ|W_k| = span(R)",
+    );
+    for b in &d.bins {
+        if b.v.len() + b.w.len() != b.usage.len()
+            || (!b.v.is_empty() && b.v.lo() != b.usage.lo())
+            || (!b.w.is_empty() && b.w.hi() != b.usage.hi())
+        {
+            r.record(format!("bin {}: V={} W={} U={}", b.bin, b.v, b.w, b.usage));
+        }
+    }
+    let ws: Vec<Interval> = d.bins.iter().map(|b| b.w).collect();
+    if !IntervalSet::pairwise_disjoint(ws.iter()) {
+        r.record("W_k periods intersect".to_string());
+    }
+    if d.total_w() != instance.span() {
+        r.record(format!(
+            "Σ|W| = {} ≠ span = {}",
+            d.total_w(),
+            instance.span()
+        ));
+    }
+    r
+}
+
+/// §V: every l-subperiod has a supplier bin.
+fn check_supplier_exists(d: &Decomposition) -> CheckResult {
+    let mut r = CheckResult::pass(
+        "supplier-exists",
+        "every l-subperiod has an earlier-opened bin open at its left endpoint",
+    );
+    for &(bin_idx, sub_idx) in &d.orphan_l_subperiods {
+        r.record(format!(
+            "bin {} subperiod {} has no supplier",
+            d.bins[bin_idx].bin, sub_idx
+        ));
+    }
+    r
+}
+
+/// Proposition 3: `|x_{l,i}| ≤ µ` (i.e. `d_max` in unnormalized
+/// units).
+fn check_prop3(d: &Decomposition) -> CheckResult {
+    let mut r = CheckResult::pass("prop3", "every l-subperiod has length ≤ d_max");
+    for b in &d.bins {
+        for s in b.l_subperiods() {
+            if s.l.len() > d.d_max {
+                r.record(format!(
+                    "bin {} x_{}: |l| = {} > {}",
+                    b.bin,
+                    s.index,
+                    s.l.len(),
+                    d.d_max
+                ));
+            }
+        }
+    }
+    r
+}
+
+/// Proposition 4: at the left endpoint of each l-subperiod, a new
+/// small item is placed in its bin.
+fn check_prop4(instance: &Instance, outcome: &PackingOutcome, d: &Decomposition) -> CheckResult {
+    let mut r = CheckResult::pass(
+        "prop4",
+        "a new small item arrives into the bin at each l-subperiod's left endpoint",
+    );
+    for b in &d.bins {
+        for (pos, s) in b.l_subperiods().enumerate() {
+            let Some(&sel) = b.selected.get(pos) else {
+                r.record(format!("bin {}: missing selected item #{pos}", b.bin));
+                continue;
+            };
+            let item = instance.item(sel);
+            if item.arrival() != s.l.lo() {
+                r.record(format!(
+                    "bin {}: selected {} arrives at {} ≠ {}",
+                    b.bin,
+                    sel,
+                    item.arrival(),
+                    s.l.lo()
+                ));
+            }
+            if !item.is_small() {
+                r.record(format!("bin {}: selected {} is large", b.bin, sel));
+            }
+            if outcome.bin_of(sel) != Some(b.bin) {
+                r.record(format!("bin {}: selected {} packed elsewhere", b.bin, sel));
+            }
+        }
+    }
+    r
+}
+
+/// Proposition 5: consecutive l-subperiods satisfy
+/// `|x_{l,i}| + |x_{l,i+1}| > d_max`.
+fn check_prop5(d: &Decomposition) -> CheckResult {
+    let mut r = CheckResult::pass(
+        "prop5",
+        "consecutive l-subperiods have combined length > d_max",
+    );
+    for b in &d.bins {
+        let ls: Vec<&Interval> = b.l_subperiods().map(|s| &s.l).collect();
+        for w in ls.windows(2) {
+            if w[0].len() + w[1].len() <= d.d_max {
+                r.record(format!(
+                    "bin {}: |{}| + |{}| ≤ {}",
+                    b.bin, w[0], w[1], d.d_max
+                ));
+            }
+        }
+    }
+    r
+}
+
+/// Proposition 6: the bin level is ≥ 1/2 throughout h-subperiods.
+fn check_prop6(instance: &Instance, outcome: &PackingOutcome, d: &Decomposition) -> CheckResult {
+    let mut r = CheckResult::pass("prop6", "bin level ≥ 1/2 throughout h-subperiods");
+    for b in &d.bins {
+        for s in b.h_subperiods() {
+            // The level is piecewise constant, changing only at event
+            // times; check the left endpoint and every event inside.
+            let mut probes = vec![s.h.lo()];
+            for t in instance.event_times() {
+                if s.h.lo() < t && t < s.h.hi() {
+                    probes.push(t);
+                }
+            }
+            for t in probes {
+                let level = level_at(instance, outcome, b.bin, t);
+                if level < Rational::HALF {
+                    r.record(format!(
+                        "bin {} h-subperiod {}: level {} < 1/2 at t={}",
+                        b.bin, s.h, level, t
+                    ));
+                }
+            }
+        }
+    }
+    r
+}
+
+/// Proposition 7: if two consecutive l-subperiods form a pair, the
+/// intervening h-subperiod is empty.
+fn check_prop7(d: &Decomposition) -> CheckResult {
+    let mut r = CheckResult::pass(
+        "prop7",
+        "paired l-subperiods have no intervening h-subperiod",
+    );
+    for g in &d.groups {
+        if !g.is_consolidated() {
+            continue;
+        }
+        let bin = &d.bins[g.bin_idx];
+        for &m in &g.members[..g.members.len() - 1] {
+            if !bin.subperiods[m].h.is_empty() {
+                r.record(format!(
+                    "bin {}: paired x_{} has h = {}",
+                    g.bin, m, bin.subperiods[m].h
+                ));
+            }
+        }
+    }
+    r
+}
+
+/// Lemma 1 (reconstructed): a consolidated supplier period is shorter
+/// than `(2/(µ+1))·Σ|x_{l,k}|`; a single's equals it exactly.
+fn check_lemma1(d: &Decomposition) -> CheckResult {
+    let mut r = CheckResult::pass(
+        "lemma1",
+        "supplier period length ≤ (2/(µ+1))·Σ|x_l|, strict for consolidated runs",
+    );
+    let factor = Rational::TWO / (d.mu + Rational::ONE);
+    for g in &d.groups {
+        let bound = factor * g.members_len(d);
+        let len = g.supplier_period.len();
+        let ok = if g.is_consolidated() {
+            len < bound
+        } else {
+            len == bound
+        };
+        if !ok {
+            r.record(format!(
+                "group in bin {} (members {:?}): |u| = {} vs bound {}",
+                g.bin, g.members, len, bound
+            ));
+        }
+    }
+    r
+}
+
+/// Lemma 2: supplier periods sharing a supplier bin are pairwise
+/// disjoint.
+fn check_lemma2(d: &Decomposition) -> CheckResult {
+    let mut r = CheckResult::pass(
+        "lemma2",
+        "supplier periods of the same supplier bin do not intersect",
+    );
+    let mut by_supplier: std::collections::BTreeMap<dbp_core::BinId, Vec<Interval>> =
+        std::collections::BTreeMap::new();
+    for g in &d.groups {
+        by_supplier
+            .entry(g.supplier)
+            .or_default()
+            .push(g.supplier_period);
+    }
+    for (supplier, periods) in by_supplier {
+        if !IntervalSet::pairwise_disjoint(periods.iter()) {
+            r.record(format!(
+                "supplier {}: periods intersect: {:?}",
+                supplier, periods
+            ));
+        }
+    }
+    r
+}
+
+/// §VII.D: the items of a bin supply demand ≥ `|y|/2` over each of
+/// its h-subperiods (direct consequence of Proposition 6).
+fn check_h_demand(instance: &Instance, outcome: &PackingOutcome, d: &Decomposition) -> CheckResult {
+    let mut r = CheckResult::pass("h-demand", "own-bin demand over each h-subperiod ≥ |y|/2");
+    for b in &d.bins {
+        for s in b.h_subperiods() {
+            let dem = demand_over(instance, outcome, b.bin, &s.h);
+            if dem < s.h.len() * Rational::HALF {
+                r.record(format!(
+                    "bin {} h {}: demand {} < |y|/2 = {}",
+                    b.bin,
+                    s.h,
+                    dem,
+                    s.h.len() * Rational::HALF
+                ));
+            }
+        }
+    }
+    r
+}
+
+/// §VII.A–B (First Fit): per group, own-bin demand over the member
+/// l-subperiods plus supplier-bin demand over the supplier period is
+/// at least `(Σ|x_l| + |u|)/(µ+3)`.
+fn check_amortized_level(
+    instance: &Instance,
+    outcome: &PackingOutcome,
+    d: &Decomposition,
+) -> CheckResult {
+    let mut r = CheckResult::pass(
+        "amortized-level",
+        "d(x ∪ u(x)) ≥ (Σ|x_l| + |u|)/(µ+3) for every single/consolidated group",
+    );
+    let mu_plus_3 = d.mu + Rational::from_int(3);
+    for g in &d.groups {
+        let bin = &d.bins[g.bin_idx];
+        let mut d_own = Rational::ZERO;
+        for &m in &g.members {
+            d_own += demand_over(instance, outcome, g.bin, &bin.subperiods[m].l);
+        }
+        let d_sup = demand_over(instance, outcome, g.supplier, &g.supplier_period);
+        let lhs = d_own + d_sup;
+        let rhs = (g.members_len(d) + g.supplier_period.len()) / mu_plus_3;
+        if lhs < rhs {
+            r.record(format!(
+                "group in bin {} (members {:?}): d = {} < {}",
+                g.bin, g.members, lhs, rhs
+            ));
+        }
+    }
+    r
+}
+
+/// Theorem 1 workhorse inequality:
+/// `FF_total(R) ≤ (µ+3)·vol(R) + span(R)`.
+fn check_theorem1_vol_span(
+    instance: &Instance,
+    outcome: &PackingOutcome,
+    d: &Decomposition,
+) -> CheckResult {
+    let mut r = CheckResult::pass("theorem1-vol-span", "FF_total ≤ (µ+3)·vol + span");
+    let bound = (d.mu + Rational::from_int(3)) * instance.vol() + instance.span();
+    if outcome.total_usage() > bound {
+        r.record(format!(
+            "FF_total = {} > (µ+3)·vol + span = {}",
+            outcome.total_usage(),
+            bound
+        ));
+    }
+    r
+}
+
+/// Theorem 1 itself: `FF_total(R) ≤ (µ+4)·OPT_total(R)`, checked when
+/// the exact adversary is computable.
+fn check_theorem1_opt(
+    instance: &Instance,
+    outcome: &PackingOutcome,
+    d: &Decomposition,
+) -> CheckResult {
+    const STATEMENT: &str = "FF_total ≤ (µ+4)·OPT_total (exact adversary)";
+    if instance.max_concurrency() > 24 {
+        return CheckResult::skipped("theorem1-opt", STATEMENT);
+    }
+    let solver = ExactBinPacking::new();
+    let opt = opt_total(instance, &solver, OptConfig::default());
+    let Some(exact) = opt.exact() else {
+        return CheckResult::skipped("theorem1-opt", STATEMENT);
+    };
+    let mut r = CheckResult::pass("theorem1-opt", STATEMENT);
+    let bound = (d.mu + Rational::from_int(4)) * exact;
+    if outcome.total_usage() > bound {
+        r.record(format!(
+            "FF_total = {} > (µ+4)·OPT = {}",
+            outcome.total_usage(),
+            bound
+        ));
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_core::prelude::*;
+    use dbp_numeric::rat;
+
+    #[test]
+    fn friendly_instance_fully_certifies() {
+        let inst = Instance::builder()
+            .item(rat(1, 2), rat(0, 1), rat(2, 1))
+            .item(rat(1, 3), rat(1, 1), rat(3, 1))
+            .item(rat(2, 3), rat(1, 2), rat(5, 2))
+            .item(rat(1, 4), rat(2, 1), rat(4, 1))
+            .build()
+            .unwrap();
+        let report = certify_first_fit(&inst);
+        assert!(report.all_passed(), "{report}");
+        // The exact adversary is in reach here, so nothing is skipped.
+        assert!(report.checks.iter().all(|c| c.passed.is_some()), "{report}");
+    }
+
+    #[test]
+    fn section8_gadget_certifies() {
+        // The Next Fit gadget run under First Fit still satisfies all
+        // First Fit certificates.
+        let n = 6i128;
+        let mut b = Instance::builder();
+        for _ in 0..n {
+            b = b
+                .item(rat(1, 2), rat(0, 1), rat(1, 1))
+                .item(rat(1, n), rat(0, 1), rat(4, 1));
+        }
+        let inst = b.build().unwrap();
+        let report = certify_first_fit(&inst);
+        assert!(report.all_passed(), "{report}");
+    }
+
+    #[test]
+    fn structural_checks_hold_for_other_algorithms() {
+        let inst = Instance::builder()
+            .item(rat(2, 5), rat(0, 1), rat(3, 1))
+            .item(rat(3, 5), rat(1, 1), rat(2, 1))
+            .item(rat(2, 5), rat(1, 2), rat(7, 2))
+            .item(rat(1, 5), rat(2, 1), rat(4, 1))
+            .build()
+            .unwrap();
+        for mut algo in [
+            Box::new(BestFit::new()) as Box<dyn dbp_core::PackingAlgorithm>,
+            Box::new(WorstFit::new()),
+            Box::new(NextFit::new()),
+        ] {
+            let out = run_packing(&inst, algo.as_mut()).unwrap();
+            let report = certify_packing(&inst, &out, false);
+            assert!(report.all_passed(), "{report}");
+        }
+    }
+
+    #[test]
+    fn report_rendering_mentions_failures() {
+        let mut r = CheckResult::pass("demo", "demo statement");
+        r.record("boom".to_string());
+        let rendered = format!("{r}");
+        assert!(rendered.contains("FAIL"));
+        assert!(rendered.contains("boom"));
+        let ok = CheckResult::pass("demo", "demo statement");
+        assert!(format!("{ok}").contains("PASS"));
+        let skip = CheckResult::skipped("demo", "demo statement");
+        assert!(format!("{skip}").contains("SKIP"));
+    }
+
+    #[test]
+    fn empty_instance_report_is_empty() {
+        let inst = Instance::new(vec![]).unwrap();
+        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let report = certify_packing(&inst, &out, true);
+        assert!(report.checks.is_empty());
+        assert!(report.all_passed());
+    }
+}

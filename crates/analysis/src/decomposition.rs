@@ -1,0 +1,739 @@
+//! The §IV–§VII proof machinery, executable.
+//!
+//! Given a concrete packing (normally First Fit's), this module
+//! constructs every object the paper's competitive analysis
+//! manipulates, in exact arithmetic:
+//!
+//! 1. **Usage periods** (§IV): per-bin `U_k`, the latest earlier
+//!    closing time `E_k`, and the split `U_k = V_k ∪ W_k` with
+//!    `Σ|W_k| = span(R)`.
+//! 2. **Subperiods** (§V): per-bin selection of small items over
+//!    `V_k`, the induced periods `x_0, x_1, …`, and the l/h split at
+//!    length `d_max` (the paper's "µ" in normalized units).
+//! 3. **Supplier bins** (§V): for each l-subperiod, the last-opened
+//!    earlier bin open at its left endpoint.
+//! 4. **Pairs and consolidation** (§V, Definitions 1–2): maximal runs
+//!    of consecutive l-subperiods pairwise linked by
+//!    `same supplier ∧ |x_{l,i+1}| > µ·|x_{l,i}|`.
+//! 5. **Supplier periods** (§V–§VII): the window
+//!    `[t − |x|/(µ+1), t + |x|/(µ+1))` for singles, and the hull of
+//!    the Lemma 3/4 windows for consolidated runs (see DESIGN.md §3
+//!    for the constant reconstruction).
+//!
+//! The companion [`crate::certify`] module turns Propositions 3–7 and
+//! Lemmas 1–2 into assertions over this structure.
+
+use dbp_core::{BinId, Instance, ItemId, PackingOutcome};
+use dbp_numeric::{Interval, Rational};
+
+/// One period `x_i` of a bin's `V_k`, split into l- and h-parts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Subperiod {
+    /// Position `i` in the bin's period list (`0` is the pre-selection
+    /// period `x_0`, which is pure h-subperiod).
+    pub index: usize,
+    /// The full period `x_i`.
+    pub full: Interval,
+    /// The l-subperiod `x_{l,i}` (empty for `i = 0`).
+    pub l: Interval,
+    /// The h-subperiod `x_{h,i}` (empty unless `|x_i| > d_max`).
+    pub h: Interval,
+    /// Supplier bin of the l-subperiod (§V): the last-opened bin with
+    /// a smaller index open at `x_{l,i}^-`. `None` for `i = 0` or in
+    /// the (provably impossible for First Fit) case where no earlier
+    /// bin is open — certification flags the latter.
+    pub supplier: Option<BinId>,
+}
+
+/// Decomposition of one bin's usage period.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinDecomp {
+    /// The bin.
+    pub bin: BinId,
+    /// Usage period `U_k`.
+    pub usage: Interval,
+    /// `E_k`: the latest closing time among earlier-opened bins
+    /// (defined as `U_1^-` for the first bin).
+    pub e_k: Rational,
+    /// `V_k = [U_k^-, min(U_k^+, E_k))` (possibly empty).
+    pub v: Interval,
+    /// `W_k = U_k \ V_k` (possibly empty).
+    pub w: Interval,
+    /// The selected small items, in selection order (their arrivals
+    /// are the left endpoints of `x_1, x_2, …`).
+    pub selected: Vec<ItemId>,
+    /// The periods `x_0, x_1, …` partitioning `V_k`.
+    pub subperiods: Vec<Subperiod>,
+}
+
+impl BinDecomp {
+    /// All l-subperiods of this bin (indices ≥ 1), in order.
+    pub fn l_subperiods(&self) -> impl Iterator<Item = &Subperiod> + '_ {
+        self.subperiods.iter().filter(|s| !s.l.is_empty())
+    }
+
+    /// All non-empty h-subperiods of this bin.
+    pub fn h_subperiods(&self) -> impl Iterator<Item = &Subperiod> + '_ {
+        self.subperiods.iter().filter(|s| !s.h.is_empty())
+    }
+}
+
+/// A single l-subperiod or a consolidated run of them, with its
+/// supplier period.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LGroup {
+    /// The bin the l-subperiods were produced from.
+    pub bin: BinId,
+    /// Index of that bin in [`Decomposition::bins`].
+    pub bin_idx: usize,
+    /// Indices into that bin's `subperiods` (length 1 = single
+    /// l-subperiod, ≥ 2 = consolidated).
+    pub members: Vec<usize>,
+    /// The common supplier bin.
+    pub supplier: BinId,
+    /// The supplier period `u(x)`.
+    pub supplier_period: Interval,
+}
+
+impl LGroup {
+    /// `true` iff this is a consolidated run.
+    pub fn is_consolidated(&self) -> bool {
+        self.members.len() > 1
+    }
+
+    /// Total length of the member l-subperiods `Σ|x_{l,k}|`.
+    pub fn members_len(&self, decomp: &Decomposition) -> Rational {
+        self.members
+            .iter()
+            .map(|&m| decomp.bins[self.bin_idx].subperiods[m].l.len())
+            .sum()
+    }
+}
+
+/// Tunable constants of the decomposition — exposed so the
+/// reconstruction can be *ablated* (DESIGN.md §3): the shipped
+/// default divides supplier half-widths by `µ+1`, which is the unique
+/// choice making Lemma 2 hold for all `µ`; the naive `|x|/2` reading
+/// (divisor 2) demonstrably breaks disjointness for `µ > 1` (see the
+/// `naive_window_constant_breaks_lemma2` test).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowRule {
+    /// Half-width `|x|/(µ+1)` — the reconstructed paper constant.
+    MuPlusOne,
+    /// Half-width `|x|/2` — the naive OCR reading; breaks Lemma 2.
+    Half,
+}
+
+impl WindowRule {
+    /// The divisor applied to `|x|` for the supplier half-width.
+    fn divisor(self, mu: Rational) -> Rational {
+        match self {
+            WindowRule::MuPlusOne => mu + Rational::ONE,
+            WindowRule::Half => Rational::TWO,
+        }
+    }
+}
+
+/// The complete §IV–§VII decomposition of one packing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decomposition {
+    /// Minimum item duration (`1` in the paper's normalized units).
+    pub d_min: Rational,
+    /// Maximum item duration (`µ` in normalized units).
+    pub d_max: Rational,
+    /// `µ = d_max / d_min`.
+    pub mu: Rational,
+    /// Per-bin decompositions, in opening order.
+    pub bins: Vec<BinDecomp>,
+    /// All single/consolidated l-subperiod groups across bins.
+    pub groups: Vec<LGroup>,
+    /// l-subperiods whose supplier bin could not be identified
+    /// (impossible for Any-Fit packings per §V; kept for robustness —
+    /// certification asserts emptiness). Pairs of (bin idx, subperiod
+    /// idx).
+    pub orphan_l_subperiods: Vec<(usize, usize)>,
+}
+
+impl Decomposition {
+    /// Runs the full §IV–§VII pipeline with the reconstructed paper
+    /// constants ([`WindowRule::MuPlusOne`]).
+    ///
+    /// The outcome may come from any algorithm — the structure is
+    /// well-defined for all packings — but the paper's propositions
+    /// are only guaranteed for First Fit.
+    ///
+    /// # Panics
+    /// Panics if the instance is empty (no durations ⇒ no `µ`).
+    pub fn compute(instance: &Instance, outcome: &PackingOutcome) -> Decomposition {
+        Decomposition::compute_with(instance, outcome, WindowRule::MuPlusOne)
+    }
+
+    /// [`compute`](Self::compute) with an explicit supplier-window
+    /// rule (for ablating the reconstruction).
+    pub fn compute_with(
+        instance: &Instance,
+        outcome: &PackingOutcome,
+        rule: WindowRule,
+    ) -> Decomposition {
+        assert!(
+            !instance.is_empty(),
+            "decomposition needs a non-empty instance"
+        );
+        let d_min = instance.items().iter().map(|r| r.duration()).min().unwrap();
+        let d_max = instance.items().iter().map(|r| r.duration()).max().unwrap();
+        let mu = d_max / d_min;
+
+        // ---- §IV: usage periods, E_k, V/W split ----
+        let mut bins: Vec<BinDecomp> = Vec::with_capacity(outcome.bins().len());
+        let mut latest_close: Option<Rational> = None;
+        for record in outcome.bins() {
+            let usage = record.usage;
+            let e_k = latest_close.unwrap_or(usage.lo());
+            let v_hi = usage.hi().min(e_k).max(usage.lo());
+            let v = Interval::new(usage.lo(), v_hi);
+            let w = Interval::new(v_hi, usage.hi());
+            latest_close = Some(match latest_close {
+                Some(prev) => prev.max(usage.hi()),
+                None => usage.hi(),
+            });
+            bins.push(BinDecomp {
+                bin: record.id,
+                usage,
+                e_k,
+                v,
+                w,
+                selected: Vec::new(),
+                subperiods: Vec::new(),
+            });
+        }
+
+        // ---- §V: small-item selection and subperiods per bin ----
+        for (k, record) in outcome.bins().iter().enumerate() {
+            let v = bins[k].v;
+            if v.is_empty() {
+                continue;
+            }
+            // Small items placed in this bin during V_k, in placement
+            // order (arrival order with engine tie order).
+            let smalls: Vec<(ItemId, Rational)> = record
+                .items
+                .iter()
+                .map(|&id| instance.item(id))
+                .filter(|r| r.is_small() && v.contains_point(r.arrival()))
+                .map(|r| (r.id, r.arrival()))
+                .collect();
+            let (selected, boundaries) = select_items(&smalls, v, d_max);
+            bins[k].selected = selected;
+            bins[k].subperiods = split_periods(&boundaries, v, d_max);
+        }
+
+        // ---- §V: supplier bins ----
+        // For each l-subperiod's left endpoint t, the supplier is the
+        // highest-indexed earlier bin whose usage period contains t.
+        let usages: Vec<Interval> = bins.iter().map(|b| b.usage).collect();
+        let mut orphans = Vec::new();
+        for k in 0..bins.len() {
+            for s in 0..bins[k].subperiods.len() {
+                if bins[k].subperiods[s].l.is_empty() {
+                    continue;
+                }
+                let t = bins[k].subperiods[s].l.lo();
+                let supplier = (0..k)
+                    .rev()
+                    .find(|&g| usages[g].contains_point(t))
+                    .map(|g| bins[g].bin);
+                bins[k].subperiods[s].supplier = supplier;
+                if supplier.is_none() {
+                    orphans.push((k, s));
+                }
+            }
+        }
+
+        // ---- §V Definitions 1–2: pairs and consolidation ----
+        let divisor = rule.divisor(mu);
+        let mut groups = Vec::new();
+        for (k, bin) in bins.iter().enumerate() {
+            // Indices of l-subperiods in subperiod order.
+            let ls: Vec<usize> = bin
+                .subperiods
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !s.l.is_empty() && s.supplier.is_some())
+                .map(|(i, _)| i)
+                .collect();
+            if ls.is_empty() {
+                continue;
+            }
+            // Pair flags between consecutive l-subperiods.
+            let paired: Vec<bool> = ls
+                .windows(2)
+                .map(|w| {
+                    let a = &bin.subperiods[w[0]];
+                    let b = &bin.subperiods[w[1]];
+                    // Consecutive in the produced list means adjacent
+                    // period indices; non-adjacent l-subperiods (an
+                    // orphan between them) never pair.
+                    w[1] == w[0] + 1 && a.supplier == b.supplier && b.l.len() > mu * a.l.len()
+                })
+                .collect();
+            // Maximal runs.
+            let mut run_start = 0usize;
+            for i in 0..=paired.len() {
+                let linked = i < paired.len() && paired[i];
+                if !linked {
+                    let members: Vec<usize> = ls[run_start..=i].to_vec();
+                    let supplier = bin.subperiods[members[0]].supplier.unwrap();
+                    let supplier_period = supplier_period(&members, &bin.subperiods, divisor);
+                    groups.push(LGroup {
+                        bin: bin.bin,
+                        bin_idx: k,
+                        members,
+                        supplier,
+                        supplier_period,
+                    });
+                    run_start = i + 1;
+                }
+            }
+        }
+
+        Decomposition {
+            d_min,
+            d_max,
+            mu,
+            bins,
+            groups,
+            orphan_l_subperiods: orphans,
+        }
+    }
+
+    /// All h-subperiod intervals across bins (the set `Y` of §VII.D),
+    /// as (bin index, interval) pairs.
+    pub fn h_intervals(&self) -> Vec<(usize, Interval)> {
+        let mut out = Vec::new();
+        for (k, bin) in self.bins.iter().enumerate() {
+            for s in bin.h_subperiods() {
+                out.push((k, s.h));
+            }
+        }
+        out
+    }
+
+    /// `Σ_k |V_k|`.
+    pub fn total_v(&self) -> Rational {
+        self.bins.iter().map(|b| b.v.len()).sum()
+    }
+
+    /// `Σ_k |W_k|` (equals `span(R)` per §IV).
+    pub fn total_w(&self) -> Rational {
+        self.bins.iter().map(|b| b.w.len()).sum()
+    }
+}
+
+/// Time–space demand of the items of one bin over a window:
+/// `Σ_{r in bin} s(r) · |I(r) ∩ window|` (the `d(·)` of §VII).
+pub fn demand_over(
+    instance: &Instance,
+    outcome: &PackingOutcome,
+    bin: BinId,
+    window: &Interval,
+) -> Rational {
+    let record = outcome
+        .bins()
+        .iter()
+        .find(|b| b.id == bin)
+        .expect("demand_over: unknown bin");
+    record
+        .items
+        .iter()
+        .map(|&id| {
+            let item = instance.item(id);
+            item.size * item.interval.overlap_len(window)
+        })
+        .sum()
+}
+
+/// Instantaneous level of a bin at time `t`, reconstructed from the
+/// outcome (active members' sizes).
+pub fn level_at(
+    instance: &Instance,
+    outcome: &PackingOutcome,
+    bin: BinId,
+    t: Rational,
+) -> Rational {
+    let record = outcome
+        .bins()
+        .iter()
+        .find(|b| b.id == bin)
+        .expect("level_at: unknown bin");
+    record
+        .items
+        .iter()
+        .map(|&id| instance.item(id))
+        .filter(|r| r.active_at(t))
+        .map(|r| r.size)
+        .sum()
+}
+
+/// §V selection process over the small items placed in a bin during
+/// `V_k`. Returns the selected item ids and the arrival-time
+/// boundaries `t_1 < t_2 < …`.
+///
+/// `smalls` must be in placement order (arrival order, ties in
+/// placement order). Tie policy (DESIGN.md §3): only items arriving
+/// *strictly* after the current selectee are candidates, so selected
+/// arrivals are strictly increasing and all periods are non-empty.
+fn select_items(
+    smalls: &[(ItemId, Rational)],
+    v: Interval,
+    d_max: Rational,
+) -> (Vec<ItemId>, Vec<Rational>) {
+    let mut selected = Vec::new();
+    let mut boundaries = Vec::new();
+    if smalls.is_empty() {
+        return (selected, boundaries);
+    }
+    let mut cur = 0usize;
+    selected.push(smalls[0].0);
+    boundaries.push(smalls[0].1);
+    loop {
+        let t = smalls[cur].1;
+        // Termination (i): selectee within d_max of the end of V_k.
+        if v.hi() - t <= d_max {
+            break;
+        }
+        // Candidates strictly after t.
+        let later = &smalls[cur + 1..];
+        // Last small with arrival in (t, t + d_max]:
+        let within = later
+            .iter()
+            .rposition(|&(_, a)| a > t && a <= t + d_max)
+            .map(|off| cur + 1 + off);
+        let next = match within {
+            Some(j) => j,
+            None => {
+                // First small with arrival > t + d_max:
+                match later.iter().position(|&(_, a)| a > t + d_max) {
+                    Some(off) => cur + 1 + off,
+                    None => break, // Termination (ii): no later smalls.
+                }
+            }
+        };
+        cur = next;
+        selected.push(smalls[cur].0);
+        boundaries.push(smalls[cur].1);
+    }
+    (selected, boundaries)
+}
+
+/// Splits `V_k` at the selected arrival times and performs the l/h
+/// split at length `d_max`.
+fn split_periods(boundaries: &[Rational], v: Interval, d_max: Rational) -> Vec<Subperiod> {
+    let mut periods = Vec::with_capacity(boundaries.len() + 1);
+    // x_0 : [V^-, t_1) — pure h-subperiod (possibly empty).
+    let first_bound = boundaries.first().copied().unwrap_or(v.hi());
+    periods.push(Subperiod {
+        index: 0,
+        full: Interval::new(v.lo(), first_bound),
+        l: Interval::empty(),
+        h: Interval::new(v.lo(), first_bound),
+        supplier: None,
+    });
+    for (i, &t) in boundaries.iter().enumerate() {
+        let end = boundaries.get(i + 1).copied().unwrap_or(v.hi());
+        let full = Interval::new(t, end);
+        let (l, h) = if full.len() > d_max {
+            full.split_at(t + d_max)
+        } else {
+            (full, Interval::empty())
+        };
+        periods.push(Subperiod {
+            index: i + 1,
+            full,
+            l,
+            h,
+            supplier: None,
+        });
+    }
+    periods
+}
+
+/// Supplier period of a group (DESIGN.md §3 reconstruction).
+///
+/// * Single `x` with left endpoint `t`:
+///   `[t − |x|/(µ+1), t + |x|/(µ+1))`.
+/// * Consolidated `{x_i..x_j}`: the hull of the Lemma 3 windows
+///   `[t_k − |x_k|/(µ+1), t_k + |x_k|/(µ+1))` and the Lemma 4 windows
+///   `[t_{k+1} − w_k, t_k + w_k)`, `w_k = (|x_k|+|x_{k+1}|)/(µ+1)`.
+fn supplier_period(members: &[usize], subperiods: &[Subperiod], divisor: Rational) -> Interval {
+    let mut hull = Interval::empty();
+    for (pos, &m) in members.iter().enumerate() {
+        let x = subperiods[m].l;
+        let half = x.len() / divisor;
+        let w3 = Interval::new(x.lo() - half, x.lo() + half);
+        hull = hull.hull(&w3);
+        if let Some(&m_next) = members.get(pos + 1) {
+            let x_next = subperiods[m_next].l;
+            let w = (x.len() + x_next.len()) / divisor;
+            // The pair window is non-empty because |x_{k+1}| > µ|x_k|
+            // implies w > |x_k| = t_{k+1} − t_k (h-part empty, Prop 7).
+            let lo = x_next.lo() - w;
+            let hi = x.lo() + w;
+            if lo < hi {
+                hull = hull.hull(&Interval::new(lo, hi));
+            }
+        }
+    }
+    hull
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_core::prelude::*;
+    use dbp_numeric::rat;
+
+    /// Two long large anchors keep two bins open; a third bin opens
+    /// later, so its V period is non-trivial.
+    #[test]
+    fn vw_split_matches_definitions() {
+        let inst = Instance::builder()
+            .item(rat(3, 4), rat(0, 1), rat(10, 1)) // b0 anchor
+            .item(rat(3, 4), rat(0, 1), rat(6, 1)) // b1 anchor
+            .item(rat(3, 4), rat(2, 1), rat(12, 1)) // b2: opens at 2
+            .build()
+            .unwrap();
+        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        assert_eq!(out.bins_opened(), 3);
+        let d = Decomposition::compute(&inst, &out);
+        // b0: E_1 = U_1^- = 0 → V empty, W = [0,10).
+        assert!(d.bins[0].v.is_empty());
+        assert_eq!(d.bins[0].w, Interval::new(rat(0, 1), rat(10, 1)));
+        // b1: E_2 = 10 → V = [0, min(6,10)) = [0,6), W empty.
+        assert_eq!(d.bins[1].v, Interval::new(rat(0, 1), rat(6, 1)));
+        assert!(d.bins[1].w.is_empty());
+        // b2: E_3 = max(10, 6) = 10 → V = [2,10), W = [10,12).
+        assert_eq!(d.bins[2].e_k, rat(10, 1));
+        assert_eq!(d.bins[2].v, Interval::new(rat(2, 1), rat(10, 1)));
+        assert_eq!(d.bins[2].w, Interval::new(rat(10, 1), rat(12, 1)));
+        // Σ|W| = span = 12.
+        assert_eq!(d.total_w(), inst.span());
+    }
+
+    #[test]
+    fn all_large_items_make_pure_h_subperiods() {
+        let inst = Instance::builder()
+            .item(rat(3, 4), rat(0, 1), rat(8, 1))
+            .item(rat(3, 4), rat(1, 1), rat(5, 1))
+            .build()
+            .unwrap();
+        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let d = Decomposition::compute(&inst, &out);
+        // b1's V = [1,5); no small items → x_0 = V, all h.
+        let b1 = &d.bins[1];
+        assert_eq!(b1.subperiods.len(), 1);
+        assert_eq!(b1.subperiods[0].h, b1.v);
+        assert!(b1.selected.is_empty());
+        assert!(d.groups.is_empty());
+    }
+
+    #[test]
+    fn selection_picks_first_small_and_walks_forward() {
+        // d_min = 1 (several unit jobs), d_max = 8 ⇒ µ = 8.
+        // Anchor bin b0 stays open [0, 20); bin b1 receives smalls.
+        let inst = Instance::builder()
+            .item(rat(9, 10), rat(0, 1), rat(20, 1)) // b0 anchor (duration 20 → d_max 20)
+            .item(rat(2, 5), rat(0, 1), rat(2, 1)) // small, to b1 (dur 2)
+            .item(rat(2, 5), rat(1, 1), rat(3, 1)) // small, b1 (within d_max of prev)
+            .item(rat(2, 5), rat(16, 1), rat(18, 1)) // small, b1 much later
+            .build()
+            .unwrap();
+        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        // smalls 1,2 (levels .4/.8) then close; item 3 reuses... b1
+        // closes at t=3, so item3 opens b2 (b0 is too full: .9+.4>1).
+        assert_eq!(out.bins_opened(), 3);
+        let d = Decomposition::compute(&inst, &out);
+        // d_min = 2, d_max = 20, µ = 10.
+        assert_eq!(d.mu, rat(10, 1));
+        // b1: V = [0, 3) entirely (E = 20). The first small (item 1,
+        // t=0) is selected and termination (i) fires immediately:
+        // V⁺ − 0 = 3 ≤ d_max = 20, so item 2 is never selected.
+        let b1 = &d.bins[1];
+        assert_eq!(b1.selected, vec![ItemId(1)]);
+        assert_eq!(b1.subperiods.len(), 2); // x_0 (empty) and x_1
+        assert!(b1.subperiods[0].full.is_empty());
+        assert_eq!(b1.subperiods[1].full, Interval::new(rat(0, 1), rat(3, 1)));
+        // |x_1| = 3 ≤ d_max → pure l.
+        assert!(b1.subperiods[1].h.is_empty());
+        assert_eq!(b1.subperiods[1].l.len(), rat(3, 1));
+        // Supplier is b0 (the only earlier bin, open at t = 0).
+        assert_eq!(b1.subperiods[1].supplier, Some(BinId(0)));
+        assert!(d.orphan_l_subperiods.is_empty());
+    }
+
+    #[test]
+    fn single_l_subperiod_gets_supplier_window() {
+        // Durations 2..4 ⇒ µ = 2; one small opens its own bin while
+        // the anchor chain keeps earlier bins alive.
+        let inst = Instance::builder()
+            .item(rat(9, 10), rat(0, 1), rat(4, 1)) // b0 anchor A (dur 4)
+            .item(rat(9, 10), rat(3, 1), rat(7, 1)) // b1 anchor B overlaps A
+            .item(rat(9, 10), rat(6, 1), rat(10, 1)) // b2 anchor C
+            .item(rat(9, 10), rat(9, 1), rat(13, 1)) // b3 anchor D
+            .item(rat(2, 5), rat(1, 1), rat(3, 1)) // small s1 (dur 2): b0? 0.9+0.4>1 → own bin
+            .build()
+            .unwrap();
+        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let d = Decomposition::compute(&inst, &out);
+        // d_max = 4, d_min = 2, µ = 2.
+        assert_eq!(d.mu, rat(2, 1));
+        // s1 opens its own bin (b4 in arrival order? anchors B..D open
+        // later). Arrival order: A(0), s1(1), B(3), C(6), D(9).
+        // s1 at t=1: only b0 open at level .9 → opens b1.
+        let s1_bin = out.bin_of(ItemId(4)).unwrap();
+        assert_eq!(s1_bin, BinId(1));
+        // b1 usage [1,3): V = [1, min(3, E=4)) = [1,3). Small s1 at
+        // t=1 → x_0 empty, x_1 = [1,3) len 2 ≤ d_max → all l.
+        let b1 = &d.bins[1].subperiods;
+        assert_eq!(b1.len(), 2);
+        assert_eq!(b1[1].l, Interval::new(rat(1, 1), rat(3, 1)));
+        assert_eq!(b1[1].supplier, Some(BinId(0)));
+        // One single group with supplier period
+        // [1 − 2/3, 1 + 2/3) (µ+1 = 3, |x| = 2).
+        let g = d
+            .groups
+            .iter()
+            .find(|g| g.bin == BinId(1))
+            .expect("group for b1");
+        assert!(!g.is_consolidated());
+        assert_eq!(g.supplier_period, Interval::new(rat(1, 3), rat(5, 3)));
+    }
+
+    #[test]
+    fn demand_and_level_helpers() {
+        let inst = Instance::builder()
+            .item(rat(1, 2), rat(0, 1), rat(4, 1))
+            .item(rat(1, 4), rat(1, 1), rat(3, 1))
+            .build()
+            .unwrap();
+        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let w = Interval::new(rat(0, 1), rat(2, 1));
+        // demand = 1/2·2 + 1/4·1 = 5/4.
+        assert_eq!(demand_over(&inst, &out, BinId(0), &w), rat(5, 4));
+        assert_eq!(level_at(&inst, &out, BinId(0), rat(0, 1)), rat(1, 2));
+        assert_eq!(level_at(&inst, &out, BinId(0), rat(1, 1)), rat(3, 4));
+        assert_eq!(level_at(&inst, &out, BinId(0), rat(3, 1)), rat(1, 2));
+    }
+
+    use dbp_core::Scripted;
+
+    /// The consolidation scenario worked out in DESIGN.md §3:
+    /// µ = 2 (durations in [1, 2]); anchor bin A open on [0, 7.7)
+    /// via an overlapping 0.5-chain; victim bin B receives selected
+    /// smalls at t = 1, 1.2, 3.1 giving l-lengths 0.2, 1.9, 2.0 —
+    /// (x₁,x₂) pair (1.9 > 2·0.2), (x₂,x₃) don't (2.0 ≤ 2·1.9).
+    /// (s3 must arrive *after* t₁ + µ = 3, else the inclusive
+    /// selection window (t₁, t₁+µ] would jump straight to it.)
+    #[test]
+    fn pairing_consolidates_geometric_runs() {
+        let inst = Instance::builder()
+            // Anchor chain in bin A (label 0): overlaps keep it open.
+            .item(rat(1, 2), rat(0, 1), rat(2, 1)) // a1
+            .item(rat(1, 2), rat(19, 10), rat(39, 10)) // a2
+            .item(rat(1, 2), rat(19, 5), rat(29, 5)) // a3
+            .item(rat(1, 2), rat(57, 10), rat(77, 10)) // a4
+            // Victim smalls in bin B (label 1).
+            .item(rat(1, 20), rat(1, 1), rat(3, 1)) // s1 @ 1
+            .item(rat(1, 20), rat(6, 5), rat(16, 5)) // s2 @ 1.2
+            .item(rat(1, 20), rat(31, 10), rat(51, 10)) // s3 @ 3.1
+            // Duration-1 straggler in its own bin C (label 2) far
+            // from the action: sets d_min = 1 so µ = 2.
+            .item(rat(1, 4), rat(10, 1), rat(11, 1))
+            .build()
+            .unwrap();
+        let mut algo = Scripted::new(vec![0, 0, 0, 0, 1, 1, 1, 2]);
+        let out = run_packing(&inst, &mut algo).unwrap();
+        assert_eq!(out.bins_opened(), 3);
+        let d = Decomposition::compute(&inst, &out);
+        assert_eq!(d.mu, rat(2, 1));
+
+        let b = &d.bins[1]; // victim
+        assert_eq!(b.v, Interval::new(rat(1, 1), rat(51, 10)));
+        assert_eq!(
+            b.selected,
+            vec![ItemId(4), ItemId(5), ItemId(6)],
+            "selection order"
+        );
+        // x_0 empty; l-lengths 1/5, 19/10, 2.
+        assert_eq!(b.subperiods[1].l.len(), rat(1, 5));
+        assert_eq!(b.subperiods[2].l.len(), rat(19, 10));
+        assert_eq!(b.subperiods[3].l.len(), rat(2, 1));
+        assert!(b.subperiods[3].h.is_empty(), "len == d_max is not split");
+
+        // Groups: consolidated {x1, x2} and single {x3}, supplier A.
+        let groups: Vec<&LGroup> = d.groups.iter().filter(|g| g.bin == b.bin).collect();
+        assert_eq!(groups.len(), 2);
+        let cons = groups.iter().find(|g| g.is_consolidated()).unwrap();
+        let single = groups.iter().find(|g| !g.is_consolidated()).unwrap();
+        assert_eq!(cons.members, vec![1, 2]);
+        assert_eq!(single.members, vec![3]);
+        assert_eq!(cons.supplier, BinId(0));
+        assert_eq!(single.supplier, BinId(0));
+
+        // Supplier periods per the DESIGN.md reconstruction (µ+1 = 3):
+        // consolidated: hull of [1 ± 1/15), [6/5 ± 19/30) and the
+        // pair window [6/5 − 7/10, 1 + 7/10) → [1/2, 11/6);
+        // single: [31/10 − 2/3, 31/10 + 2/3).
+        assert_eq!(cons.supplier_period, Interval::new(rat(1, 2), rat(11, 6)));
+        assert_eq!(
+            single.supplier_period,
+            Interval::new(rat(73, 30), rat(113, 30))
+        );
+
+        // Lemma 1 (reconstructed): |u| < (2/(µ+1))·Σ|x_l|.
+        assert!(cons.supplier_period.len() < rat(2, 3) * cons.members_len(&d));
+        // Lemma 2: supplier periods of the same supplier bin disjoint.
+        assert!(!cons.supplier_period.overlaps(&single.supplier_period));
+    }
+
+    /// The Case-3 counterexample that pins the window constant
+    /// (DESIGN.md §3): with µ = 4, an l-subperiod of length 1 ending
+    /// where a length-4 l-subperiod begins (both supplied by the same
+    /// long-lived bin) produces supplier windows that
+    ///   * overlap under the naive `|x|/2` half-width —
+    ///     `[1/2, 3/2) ∩ [0, 4) ≠ ∅` — breaking Lemma 2, but
+    ///   * abut *exactly* under the reconstructed `|x|/(µ+1)` rule —
+    ///     `[4/5, 6/5)` then `[6/5, 14/5)` — the tight case.
+    #[test]
+    fn naive_window_constant_breaks_lemma2() {
+        let inst = Instance::builder()
+            // Supplier chain S (label 0): open [0, 7.5).
+            .item(rat(1, 2), rat(0, 1), rat(4, 1))
+            .item(rat(1, 2), rat(7, 2), rat(15, 2))
+            // b_g (label 1): one small, duration 1 (= d_min).
+            .item(rat(3, 10), rat(1, 1), rat(2, 1))
+            // b_k (label 2): one small, duration 4 (= d_max), arriving
+            // exactly as b_g closes.
+            .item(rat(3, 10), rat(2, 1), rat(6, 1))
+            .build()
+            .unwrap();
+        let mut script = dbp_core::Scripted::new(vec![0, 0, 1, 2]);
+        let out = run_packing(&inst, &mut script).unwrap();
+
+        let sound = Decomposition::compute_with(&inst, &out, WindowRule::MuPlusOne);
+        assert_eq!(sound.mu, rat(4, 1));
+        let windows: Vec<Interval> = sound.groups.iter().map(|g| g.supplier_period).collect();
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0], Interval::new(rat(4, 5), rat(6, 5)));
+        assert_eq!(windows[1], Interval::new(rat(6, 5), rat(14, 5)));
+        assert!(!windows[0].overlaps(&windows[1]), "tight but disjoint");
+
+        let naive = Decomposition::compute_with(&inst, &out, WindowRule::Half);
+        let windows: Vec<Interval> = naive.groups.iter().map(|g| g.supplier_period).collect();
+        assert_eq!(windows[0], Interval::new(rat(1, 2), rat(3, 2)));
+        assert_eq!(windows[1], Interval::new(rat(0, 1), rat(4, 1)));
+        assert!(
+            windows[0].overlaps(&windows[1]),
+            "the naive constant must break Lemma 2 here"
+        );
+    }
+}

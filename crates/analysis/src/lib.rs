@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # `dbp-analysis` — the offline adversary and the proof machinery
+//!
+//! Everything needed to *evaluate* an online packing against the
+//! paper's yardsticks:
+//!
+//! * [`solver`] — an exact branch-and-bound solver for classical bin
+//!   packing (`OPT(R, t)` is a bin packing instance at each time
+//!   point).
+//! * [`optimal`] — the offline adversary with repacking:
+//!   `OPT_total(R) = ∫ OPT(R, t) dt`, computed exactly via the
+//!   event-interval decomposition (the profile is piecewise
+//!   constant), with certified lower/upper brackets when exact
+//!   solving is out of reach.
+//! * [`bounds`] — Propositions 1 and 2 (`vol`, `span`) and the
+//!   sharper integrable lower bound `∫ max(⌈L(t)⌉, …) dt`.
+//! * [`ratio`] — competitive-ratio measurement of a packing outcome
+//!   against `OPT_total` or its certified bounds.
+//! * [`decomposition`] — the full §IV–§VII analysis pipeline: usage
+//!   periods `U_k = V_k ∪ W_k`, small-item selection, l/h-subperiods,
+//!   pairing and consolidation, supplier bins and supplier periods.
+//! * [`certify`] — executable statements of Propositions 3–7,
+//!   Lemmas 1–2 and the Theorem 1 inequality chain, checked on
+//!   concrete instances in exact arithmetic.
+
+pub mod bounds;
+pub mod certify;
+pub mod chain;
+pub mod decomposition;
+pub mod optimal;
+pub mod ratio;
+pub mod solver;
+
+pub use bounds::{opt_lower_bound, profile_lower_bound};
+pub use certify::{certify_first_fit, certify_packing, CertReport, CheckResult};
+pub use chain::{ChainStep, TheoremChain};
+pub use decomposition::{BinDecomp, Decomposition, LGroup, Subperiod, WindowRule};
+pub use optimal::{opt_profile, opt_total, OptProfile, OptTotal};
+pub use ratio::{measure_ratio, RatioReport};
+pub use solver::ExactBinPacking;

@@ -1,0 +1,243 @@
+//! The offline adversary: `OPT_total(R) = ∫ OPT(R, t) dt`.
+//!
+//! The paper's adversary may *repack everything at any time*
+//! (§III.C), so its cost is the integral of the instantaneous optimal
+//! bin count. Between two consecutive event times the active set —
+//! and hence `OPT(R, t)` — is constant, so the integral is a finite
+//! sum over the event-interval profile.
+//!
+//! Each interval's `OPT(R, t)` is an exact bin packing solve
+//! ([`crate::solver::ExactBinPacking`]). For large active sets the
+//! solve can be disabled via [`OptConfig::max_exact_items`]; the
+//! profile then falls back to the certified sandwich
+//! `max(⌈L⌉, big) ≤ OPT ≤ FFD`, and the result is returned as a
+//! bracket instead of an exact value.
+
+use crate::solver::{first_fit_decreasing, lower_bound_l2, ExactBinPacking};
+use dbp_core::Instance;
+use dbp_numeric::{Interval, Rational};
+
+/// Tuning knobs for the adversary computation.
+#[derive(Debug, Clone, Copy)]
+pub struct OptConfig {
+    /// Maximum active-set size for which an exact solve is attempted;
+    /// larger sets use the `L2`/FFD sandwich. The default (28) solves
+    /// typical event intervals in microseconds–milliseconds.
+    pub max_exact_items: usize,
+}
+
+impl Default for OptConfig {
+    fn default() -> OptConfig {
+        OptConfig {
+            max_exact_items: 28,
+        }
+    }
+}
+
+/// One segment of the `OPT(R, t)` profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptSegment {
+    /// The event interval (active set constant here).
+    pub window: Interval,
+    /// Lower bound on `OPT(R, t)` in this window.
+    pub lower: usize,
+    /// Upper bound on `OPT(R, t)` in this window.
+    pub upper: usize,
+}
+
+impl OptSegment {
+    /// `true` iff the bin count is known exactly.
+    pub fn is_exact(&self) -> bool {
+        self.lower == self.upper
+    }
+}
+
+/// The piecewise-constant profile of `OPT(R, t)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptProfile {
+    /// Segments in time order (only windows with active items).
+    pub segments: Vec<OptSegment>,
+}
+
+impl OptProfile {
+    /// Peak of the lower-bound profile — a lower bound on the
+    /// *standard* DBP objective (max concurrent bins).
+    pub fn peak_lower(&self) -> usize {
+        self.segments.iter().map(|s| s.lower).max().unwrap_or(0)
+    }
+
+    /// Peak of the upper-bound profile.
+    pub fn peak_upper(&self) -> usize {
+        self.segments.iter().map(|s| s.upper).max().unwrap_or(0)
+    }
+}
+
+/// `OPT_total(R)` as an exact value or a certified bracket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptTotal {
+    /// Certified lower bound on `∫ OPT(R, t) dt`.
+    pub lower: Rational,
+    /// Certified upper bound on `∫ OPT(R, t) dt`.
+    pub upper: Rational,
+}
+
+impl OptTotal {
+    /// `true` iff lower == upper (every segment solved exactly).
+    pub fn is_exact(&self) -> bool {
+        self.lower == self.upper
+    }
+
+    /// The exact value, if known.
+    pub fn exact(&self) -> Option<Rational> {
+        self.is_exact().then_some(self.lower)
+    }
+}
+
+/// Computes the `OPT(R, t)` profile over the packing period.
+pub fn opt_profile(instance: &Instance, solver: &ExactBinPacking, config: OptConfig) -> OptProfile {
+    let times = instance.event_times();
+    let mut segments = Vec::new();
+    let mut active_sizes: Vec<Rational> = Vec::new();
+    for w in times.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        active_sizes.clear();
+        active_sizes.extend(
+            instance
+                .items()
+                .iter()
+                .filter(|r| r.active_at(lo))
+                .map(|r| r.size),
+        );
+        if active_sizes.is_empty() {
+            continue; // adversary closes everything during gaps
+        }
+        let (lower, upper) = if active_sizes.len() <= config.max_exact_items {
+            let exact = solver.min_bins(&active_sizes);
+            (exact, exact)
+        } else {
+            let mut sorted = active_sizes.clone();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            (lower_bound_l2(&sorted), first_fit_decreasing(&sorted))
+        };
+        segments.push(OptSegment {
+            window: Interval::new(lo, hi),
+            lower,
+            upper,
+        });
+    }
+    OptProfile { segments }
+}
+
+/// Integrates the profile into `OPT_total(R)` (exact when every
+/// segment solved exactly).
+pub fn opt_total(instance: &Instance, solver: &ExactBinPacking, config: OptConfig) -> OptTotal {
+    let profile = opt_profile(instance, solver, config);
+    let mut lower = Rational::ZERO;
+    let mut upper = Rational::ZERO;
+    for seg in &profile.segments {
+        let len = seg.window.len();
+        lower += Rational::from_int(seg.lower as i128) * len;
+        upper += Rational::from_int(seg.upper as i128) * len;
+    }
+    OptTotal { lower, upper }
+}
+
+/// Convenience: exact `OPT_total` with default configuration;
+/// `None` when any segment was too large to solve exactly.
+pub fn opt_total_exact(instance: &Instance) -> Option<Rational> {
+    let solver = ExactBinPacking::new();
+    opt_total(instance, &solver, OptConfig::default()).exact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_numeric::rat;
+
+    fn inst(specs: &[(i128, i128, i128, i128)]) -> Instance {
+        Instance::new(
+            specs
+                .iter()
+                .map(|&(n, d, a, dep)| (rat(n, d), rat(a, 1), rat(dep, 1)))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_instance() {
+        let i = Instance::new(vec![]).unwrap();
+        let t = opt_total(&i, &ExactBinPacking::new(), OptConfig::default());
+        assert_eq!(t.exact(), Some(rat(0, 1)));
+    }
+
+    #[test]
+    fn single_item_profile() {
+        let i = inst(&[(1, 2, 0, 3)]);
+        let p = opt_profile(&i, &ExactBinPacking::new(), OptConfig::default());
+        assert_eq!(p.segments.len(), 1);
+        assert_eq!(p.segments[0].lower, 1);
+        assert!(p.segments[0].is_exact());
+        assert_eq!(opt_total_exact(&i), Some(rat(3, 1)));
+    }
+
+    #[test]
+    fn adversary_repacks_between_phases() {
+        // Phase 1 [0,1): two size-2/3 items → 2 bins.
+        // Phase 2 [1,3): one size-1/3 item → 1 bin.
+        // OPT_total = 2·1 + 1·2 = 4.
+        let i = inst(&[(2, 3, 0, 1), (2, 3, 0, 1), (1, 3, 1, 3)]);
+        assert_eq!(opt_total_exact(&i), Some(rat(4, 1)));
+    }
+
+    #[test]
+    fn gaps_cost_nothing() {
+        let i = inst(&[(1, 2, 0, 1), (1, 2, 10, 11)]);
+        assert_eq!(opt_total_exact(&i), Some(rat(2, 1)));
+        let p = opt_profile(&i, &ExactBinPacking::new(), OptConfig::default());
+        assert_eq!(p.segments.len(), 2); // the [1,10) gap is skipped
+        assert_eq!(p.peak_lower(), 1);
+        assert_eq!(p.peak_upper(), 1);
+    }
+
+    #[test]
+    fn section8_optimal_cost() {
+        // §VIII with n = 4, µ = 3: pairs (1/2, 1/4) at t=0; halves
+        // depart at 1, quarters at 3. Adversary: 2 bins for the four
+        // halves on [0,1) and 1 bin for the four quarters on [0,3):
+        // OPT(t) = 3 on [0,1), 1 on [1,3) → OPT_total = 3 + 2 = 5.
+        let n = 4;
+        let mu = 3;
+        let mut specs = Vec::new();
+        for _ in 0..n {
+            specs.push((1, 2, 0, 1));
+            specs.push((1, n as i128, 0, mu));
+        }
+        let i = inst(&specs);
+        assert_eq!(opt_total_exact(&i), Some(rat(5, 1)));
+    }
+
+    #[test]
+    fn bracket_mode_for_large_active_sets() {
+        // 6 concurrent items with exact solving capped at 4: the
+        // result must still be a valid bracket containing the true
+        // value (which the uncapped solve provides).
+        let specs: Vec<_> = (0..6).map(|_| (2, 5, 0, 2)).collect();
+        let i = inst(&specs);
+        let solver = ExactBinPacking::new();
+        let capped = opt_total(&i, &solver, OptConfig { max_exact_items: 4 });
+        let exact = opt_total(&i, &solver, OptConfig::default());
+        assert!(exact.is_exact());
+        assert!(capped.lower <= exact.lower);
+        assert!(capped.upper >= exact.upper);
+        // Six 2/5-items pack 2-per-bin → 3 bins on [0,2): total 6.
+        assert_eq!(exact.exact(), Some(rat(6, 1)));
+    }
+
+    #[test]
+    fn profile_peaks_track_standard_dbp() {
+        let i = inst(&[(1, 1, 0, 2), (1, 1, 1, 3), (1, 1, 2, 4)]);
+        let p = opt_profile(&i, &ExactBinPacking::new(), OptConfig::default());
+        assert_eq!(p.peak_lower(), 2);
+    }
+}

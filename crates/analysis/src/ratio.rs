@@ -1,0 +1,164 @@
+//! Competitive-ratio measurement of concrete packings.
+//!
+//! The competitive ratio of an algorithm is the supremum of
+//! `ALG_total(R) / OPT_total(R)` over instances (§III.C). On a
+//! concrete instance we can measure the achieved ratio against the
+//! exact adversary, or — when exact solving is out of reach — report
+//! certified pessimistic/optimistic ratios against the adversary
+//! bracket.
+
+use crate::optimal::{opt_total, OptConfig, OptTotal};
+use crate::solver::ExactBinPacking;
+use dbp_core::{Instance, PackingOutcome};
+use dbp_numeric::Rational;
+use serde::Serialize;
+
+/// The measured performance of one packing on one instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct RatioReport {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// The achieved objective `ALG_total(R)`.
+    pub cost: Rational,
+    /// Adversary cost (exact or bracket).
+    pub opt_lower: Rational,
+    /// Adversary upper bound.
+    pub opt_upper: Rational,
+    /// Instance duration ratio `µ` (`None` for empty instances).
+    pub mu: Option<Rational>,
+    /// `cost / opt_upper` — a certified LOWER bound on the achieved
+    /// ratio. `None` for zero-cost (empty) instances.
+    pub ratio_lower: Option<Rational>,
+    /// `cost / opt_lower` — a certified UPPER bound on the achieved
+    /// ratio (equals the exact ratio when the adversary is exact).
+    pub ratio_upper: Option<Rational>,
+}
+
+impl RatioReport {
+    /// The exact achieved ratio, when the adversary was exact.
+    pub fn exact_ratio(&self) -> Option<Rational> {
+        (self.opt_lower == self.opt_upper)
+            .then_some(self.ratio_upper)
+            .flatten()
+    }
+
+    /// The paper's Theorem 1 bound `µ + 4` for this instance.
+    pub fn theorem1_bound(&self) -> Option<Rational> {
+        self.mu.map(|mu| mu + Rational::from_int(4))
+    }
+
+    /// `true` iff the measured ratio is consistent with Theorem 1
+    /// (always expected for First Fit).
+    pub fn within_theorem1(&self) -> bool {
+        match (self.ratio_upper, self.theorem1_bound()) {
+            // Compare the certified ratio upper bound only when the
+            // adversary is exact; otherwise use the optimistic side
+            // (cost / opt_upper), which is a true lower bound on the
+            // achieved ratio and must *also* respect the theorem.
+            (Some(_), Some(bound)) => match self.exact_ratio() {
+                Some(r) => r <= bound,
+                None => self.ratio_lower.map(|r| r <= bound).unwrap_or(true),
+            },
+            _ => true,
+        }
+    }
+}
+
+/// Measures a packing outcome against the adversary with the given
+/// configuration.
+pub fn measure_ratio_with(
+    instance: &Instance,
+    outcome: &PackingOutcome,
+    solver: &ExactBinPacking,
+    config: OptConfig,
+) -> RatioReport {
+    let OptTotal { lower, upper } = opt_total(instance, solver, config);
+    let cost = outcome.total_usage();
+    let ratio_upper = (!lower.is_zero()).then(|| cost / lower);
+    let ratio_lower = (!upper.is_zero()).then(|| cost / upper);
+    RatioReport {
+        algorithm: outcome.algorithm().to_string(),
+        cost,
+        opt_lower: lower,
+        opt_upper: upper,
+        mu: instance.mu(),
+        ratio_lower,
+        ratio_upper,
+    }
+}
+
+/// Measures with a fresh solver and default configuration.
+pub fn measure_ratio(instance: &Instance, outcome: &PackingOutcome) -> RatioReport {
+    measure_ratio_with(
+        instance,
+        outcome,
+        &ExactBinPacking::new(),
+        OptConfig::default(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_core::prelude::*;
+    use dbp_numeric::rat;
+
+    #[test]
+    fn first_fit_on_friendly_instance_is_optimal() {
+        let inst = Instance::builder()
+            .item(rat(1, 2), rat(0, 1), rat(2, 1))
+            .item(rat(1, 2), rat(0, 1), rat(2, 1))
+            .build()
+            .unwrap();
+        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let rep = measure_ratio(&inst, &out);
+        assert_eq!(rep.exact_ratio(), Some(rat(1, 1)));
+        assert!(rep.within_theorem1());
+        assert_eq!(rep.cost, rat(2, 1));
+        assert_eq!(rep.opt_lower, rat(2, 1));
+    }
+
+    #[test]
+    fn next_fit_pays_on_the_pair_gadget() {
+        // §VIII, n = 4, µ = 3: NF cost = n·µ = 12; OPT_total = 5
+        // (see optimal.rs::section8_optimal_cost).
+        let n = 4i128;
+        let mu = 3i128;
+        let mut b = Instance::builder();
+        for _ in 0..n {
+            b = b
+                .item(rat(1, 2), rat(0, 1), rat(1, 1))
+                .item(rat(1, n), rat(0, 1), rat(mu, 1));
+        }
+        let inst = b.build().unwrap();
+        let out = run_packing(&inst, &mut NextFit::new()).unwrap();
+        let rep = measure_ratio(&inst, &out);
+        assert_eq!(rep.cost, rat(12, 1));
+        assert_eq!(rep.exact_ratio(), Some(rat(12, 5)));
+        assert_eq!(rep.mu, Some(rat(3, 1)));
+    }
+
+    #[test]
+    fn empty_instance_has_no_ratio() {
+        let inst = Instance::new(vec![]).unwrap();
+        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let rep = measure_ratio(&inst, &out);
+        assert_eq!(rep.ratio_upper, None);
+        assert!(rep.within_theorem1());
+    }
+
+    #[test]
+    fn bracket_ratios_sandwich_exact() {
+        let specs: Vec<_> = (0..6)
+            .map(|k| (rat(2, 5), rat(k, 1), rat(k + 3, 1)))
+            .collect();
+        let inst = Instance::new(specs).unwrap();
+        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let solver = ExactBinPacking::new();
+        let exact = measure_ratio_with(&inst, &out, &solver, OptConfig::default());
+        let capped = measure_ratio_with(&inst, &out, &solver, OptConfig { max_exact_items: 2 });
+        let e = exact.exact_ratio().unwrap();
+        assert!(capped.ratio_lower.unwrap() <= e);
+        assert!(capped.ratio_upper.unwrap() >= e);
+    }
+}

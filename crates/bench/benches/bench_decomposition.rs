@@ -1,0 +1,32 @@
+//! §IV–§VII decomposition and certification cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbp_analysis::{certify_first_fit, Decomposition};
+use dbp_core::prelude::*;
+use dbp_numeric::rat;
+use dbp_workloads::RandomWorkload;
+
+fn bench_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decomposition");
+    for n in [50usize, 200, 800] {
+        let inst = RandomWorkload::with_mu(n, rat(4, 1), 11).generate();
+        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("compute", n),
+            &(&inst, &out),
+            |b, (inst, out)| {
+                b.iter(|| Decomposition::compute(inst, out));
+            },
+        );
+    }
+    // Full certification (includes an exact adversary solve) on a
+    // small instance.
+    let inst = RandomWorkload::with_mu(40, rat(4, 1), 3).generate();
+    group.bench_function("certify_first_fit_40", |b| {
+        b.iter(|| certify_first_fit(&inst));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decomposition);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Engine-level microbenchmarks: event replay and snapshot cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbp_core::prelude::*;
+use dbp_numeric::rat;
+use dbp_workloads::random::{ArrivalDist, RandomWorkload};
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    // Bursty stream (many concurrent bins) vs sparse stream.
+    for (label, horizon_div) in [("dense", 16usize), ("sparse", 2)] {
+        let n = 2000usize;
+        let mut wl = RandomWorkload::with_mu(n, rat(4, 1), 5);
+        wl.arrivals = ArrivalDist::Uniform {
+            horizon: rat((n / horizon_div) as i128, 1),
+        };
+        let inst = wl.generate();
+        group.throughput(Throughput::Elements(2 * n as u64)); // arrivals + departures
+        group.bench_with_input(BenchmarkId::new(label, n), &inst, |b, inst| {
+            b.iter(|| {
+                run_packing(inst, &mut FirstFit::new())
+                    .unwrap()
+                    .bins_opened()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Vector packing engine + adversary costs vs dimension.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbp_multidim::{md_opt_total, run_md_packing, MdFirstFit, MdRandomWorkload};
+use dbp_numeric::rat;
+
+fn bench_multidim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multidim");
+    for dim in [1usize, 2, 4] {
+        let mut wl = MdRandomWorkload::cpu_mem(400, rat(4, 1), 17);
+        wl.dim = dim;
+        let inst = wl.generate();
+        group.bench_with_input(BenchmarkId::new("ff_pack", dim), &inst, |b, inst| {
+            b.iter(|| {
+                run_md_packing(inst, &mut MdFirstFit::new())
+                    .unwrap()
+                    .bins_opened()
+            });
+        });
+    }
+    let inst = MdRandomWorkload::cpu_mem(60, rat(3, 1), 3).generate();
+    group.bench_function("vector_adversary_60", |b| {
+        b.iter(|| md_opt_total(&inst, 12));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_multidim);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Exact-arithmetic primitive costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbp_numeric::{rat, Interval, IntervalSet, Rational};
+use std::hint::black_box;
+
+fn bench_numeric(c: &mut Criterion) {
+    let a = rat(355, 113);
+    let b = rat(-217, 961);
+    c.bench_function("rational_add", |bch| {
+        bch.iter(|| black_box(a) + black_box(b))
+    });
+    c.bench_function("rational_mul", |bch| {
+        bch.iter(|| black_box(a) * black_box(b))
+    });
+    c.bench_function("rational_cmp", |bch| {
+        bch.iter(|| black_box(a) < black_box(b))
+    });
+
+    // IntervalSet insertion patterns.
+    let sequential: Vec<Interval> = (0..512)
+        .map(|i| Interval::new(rat(2 * i, 1), rat(2 * i + 1, 1)))
+        .collect();
+    c.bench_function("intervalset_insert_sequential_512", |bch| {
+        bch.iter(|| {
+            let mut s = IntervalSet::new();
+            for iv in &sequential {
+                s.insert(*iv);
+            }
+            s.measure()
+        })
+    });
+    let overlapping: Vec<Interval> = (0..512)
+        .map(|i| Interval::new(rat(i, 2), rat(i, 2) + Rational::from_int(4)))
+        .collect();
+    c.bench_function("intervalset_insert_overlapping_512", |bch| {
+        bch.iter(|| {
+            let mut s = IntervalSet::new();
+            for iv in &overlapping {
+                s.insert(*iv);
+            }
+            s.measure()
+        })
+    });
+}
+
+criterion_group!(benches, bench_numeric);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Exact bin packing solver scaling with active-set size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbp_analysis::ExactBinPacking;
+use dbp_numeric::{rat, Rational};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_sizes(n: usize, seed: u64) -> Vec<Rational> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rat(rng.gen_range(1..=16), 16)).collect()
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("opt_solver");
+    for n in [8usize, 12, 16, 20, 24] {
+        let sizes = random_sizes(n, 7);
+        group.bench_with_input(BenchmarkId::new("min_bins", n), &sizes, |b, sizes| {
+            b.iter(|| {
+                // Fresh solver per iteration: measure the solve, not
+                // the memo hit.
+                ExactBinPacking::new().min_bins(sizes)
+            });
+        });
+    }
+    // Memoized path for contrast.
+    let sizes = random_sizes(20, 7);
+    let solver = ExactBinPacking::new();
+    solver.min_bins(&sizes);
+    group.bench_function("min_bins_memoized_20", |b| {
+        b.iter(|| solver.min_bins(&sizes));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! E14: the adaptive lower-bound game.
+fn main() {
+    let (_, table) = dbp_bench::e14_adaptive::run(&[2, 4, 8, 16], 12);
+    println!("{table}");
+}

@@ -1,0 +1,63 @@
+//! Runs every experiment (E1–E14) and figure (F1–F6) in sequence,
+//! printing each table — the one-command regeneration of
+//! EXPERIMENTS.md. Pass `--quick` for smaller sweeps.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (n, seeds) = if quick { (30, 6) } else { (60, 24) };
+
+    println!(
+        "{}",
+        dbp_bench::e1_theorem1::run(&[1, 2, 4, 8, 16], n, seeds).1
+    );
+    println!(
+        "{}",
+        dbp_bench::e2_nextfit::run(&[4, 8, 16, 64, 256], &[1, 2, 4, 8]).1
+    );
+    println!(
+        "{}",
+        dbp_bench::e3_universal::run(&[2, 4, 8], &[2, 4, 8, 12]).1
+    );
+    println!(
+        "{}",
+        dbp_bench::e4_anyfit::run(&[1, 2, 4, 8], &[2, 4, 8, 12]).1
+    );
+    println!(
+        "{}",
+        dbp_bench::e5_bestfit::run(&[2, 4, 8, 16], &[2, 4, 8, 12]).1
+    );
+    println!(
+        "{}",
+        dbp_bench::e6_beta::run(&[2, 3, 4, 8], &[1, 2, 4], n, seeds / 2).1
+    );
+    println!(
+        "{}",
+        dbp_bench::e7_hybrid::run(&[1, 2, 4, 8, 16, 32], 12, n, seeds / 3).1
+    );
+    println!("{}", dbp_bench::e8_gaming::run(&[20, 40, 80], 2024).1);
+    println!("{}", dbp_bench::e9_billing::run(2024).1);
+    println!(
+        "{}",
+        dbp_bench::e10_certify::run(&[1, 2, 4, 8, 16], 48, seeds).1
+    );
+    println!(
+        "{}",
+        dbp_bench::e11_multidim::run(&[1, 2, 4, 8], 40, seeds / 2).1
+    );
+    println!(
+        "{}",
+        dbp_bench::e12_clairvoyance::run(&[1, 2, 4, 8, 16], 12, 40, seeds / 2).1
+    );
+    println!(
+        "{}",
+        dbp_bench::e13_standard_dbp::run(&[1, 2, 4, 8], n, seeds / 2).1
+    );
+    println!("{}", dbp_bench::e14_adaptive::run(&[2, 4, 8, 16], 12).1);
+
+    println!("{}", dbp_bench::figures::fig1_span());
+    println!("{}", dbp_bench::figures::fig2_usage_periods());
+    println!("{}", dbp_bench::figures::fig3_selection());
+    println!("{}", dbp_bench::figures::fig4_supplier());
+    println!("{}", dbp_bench::figures::fig5_case3());
+    println!("{}", dbp_bench::figures::fig6_case4());
+}

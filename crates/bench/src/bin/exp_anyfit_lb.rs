@@ -1,0 +1,5 @@
+//! E4: Any-Fit µ+1 lower bound (gap-ladder).
+fn main() {
+    let (_, table) = dbp_bench::e4_anyfit::run(&[1, 2, 4, 8], &[2, 4, 8, 12, 14]);
+    println!("{table}");
+}

@@ -1,0 +1,5 @@
+//! E5: Best Fit vs First Fit separation (scatter gadget).
+fn main() {
+    let (_, table) = dbp_bench::e5_bestfit::run(&[2, 4, 8, 16], &[2, 4, 8, 12]);
+    println!("{table}");
+}

@@ -1,0 +1,5 @@
+//! E6: First Fit under bounded item sizes (≤ 1/β).
+fn main() {
+    let (_, table) = dbp_bench::e6_beta::run(&[2, 3, 4, 8], &[1, 2, 4, 8], 60, 16);
+    println!("{table}");
+}

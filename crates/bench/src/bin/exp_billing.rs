@@ -1,0 +1,5 @@
+//! E9: billing quantum sweep.
+fn main() {
+    let (_, table) = dbp_bench::e9_billing::run(2024);
+    println!("{table}");
+}

@@ -1,0 +1,5 @@
+//! E10: §IV–§VII machinery certification report.
+fn main() {
+    let (_, table) = dbp_bench::e10_certify::run(&[1, 2, 4, 8, 16], 48, 64);
+    println!("{table}");
+}

@@ -1,0 +1,5 @@
+//! E12: the value of knowing departures (ablation).
+fn main() {
+    let (_, table) = dbp_bench::e12_clairvoyance::run(&[1, 2, 4, 8, 16], 12, 40, 12);
+    println!("{table}");
+}

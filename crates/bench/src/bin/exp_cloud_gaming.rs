@@ -1,0 +1,5 @@
+//! E8: a day of cloud gaming under hourly billing.
+fn main() {
+    let (_, table) = dbp_bench::e8_gaming::run(&[20, 40, 80, 160], 2024);
+    println!("{table}");
+}

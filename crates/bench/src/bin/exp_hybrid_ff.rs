@@ -1,0 +1,5 @@
+//! E7: Hybrid First Fit vs First Fit.
+fn main() {
+    let (_, table) = dbp_bench::e7_hybrid::run(&[1, 2, 4, 8, 16, 32, 64], 12, 60, 8);
+    println!("{table}");
+}

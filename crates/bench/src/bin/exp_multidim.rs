@@ -1,0 +1,5 @@
+//! E11: multi-dimensional (CPU+memory) MinUsageTime DBP.
+fn main() {
+    let (_, table) = dbp_bench::e11_multidim::run(&[1, 2, 4, 8], 40, 12);
+    println!("{table}");
+}

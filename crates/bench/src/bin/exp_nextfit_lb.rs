@@ -1,0 +1,6 @@
+//! E2: §VIII Next Fit lower-bound construction.
+fn main() {
+    let (_, table) =
+        dbp_bench::e2_nextfit::run(&[4, 8, 16, 64, 256, 1024, 4096], &[1, 2, 4, 8, 16]);
+    println!("{table}");
+}

@@ -1,0 +1,5 @@
+//! E13: usage-time vs the standard DBP (peak bins) objective.
+fn main() {
+    let (_, table) = dbp_bench::e13_standard_dbp::run(&[1, 2, 4, 8], 60, 12);
+    println!("{table}");
+}

@@ -1,0 +1,5 @@
+//! E1: Theorem 1 — First Fit ratio vs the (µ+4) bound.
+fn main() {
+    let (_, table) = dbp_bench::e1_theorem1::run(&[1, 2, 4, 8, 16], 60, 24);
+    println!("{table}");
+}

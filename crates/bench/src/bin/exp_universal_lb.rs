@@ -1,0 +1,5 @@
+//! E3: universal µ lower bound (pair family).
+fn main() {
+    let (_, table) = dbp_bench::e3_universal::run(&[2, 4, 8], &[2, 4, 8, 12, 14]);
+    println!("{table}");
+}

@@ -1,0 +1,4 @@
+//! F5: Figure 5 — Case 3 cross-bin supplier windows.
+fn main() {
+    println!("{}", dbp_bench::figures::fig5_case3());
+}

@@ -1,0 +1,4 @@
+//! F6: Figure 6 — Case 4 consolidated follower.
+fn main() {
+    println!("{}", dbp_bench::figures::fig6_case4());
+}

@@ -1,0 +1,4 @@
+//! F3: Figure 3 — item selection and period split.
+fn main() {
+    println!("{}", dbp_bench::figures::fig3_selection());
+}

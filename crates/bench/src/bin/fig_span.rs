@@ -1,0 +1,4 @@
+//! F1: Figure 1 — span of an item list.
+fn main() {
+    println!("{}", dbp_bench::figures::fig1_span());
+}

@@ -1,0 +1,4 @@
+//! F4: Figure 4 — supplier bins and supplier periods.
+fn main() {
+    println!("{}", dbp_bench::figures::fig4_supplier());
+}

@@ -1,0 +1,4 @@
+//! F2: Figure 2 — usage periods U_k = V_k ∪ W_k.
+fn main() {
+    println!("{}", dbp_bench::figures::fig2_usage_periods());
+}

@@ -1,0 +1,106 @@
+//! E3 — the universal `µ` lower bound.
+//!
+//! The pair family `universal_mu_pairs` drives every non-classifying
+//! algorithm to ratio → `µ` (each pair exactly fills a bin; the tiny
+//! resident then holds the bin open for `µ`). The sweep shows the
+//! measured ratio climbing towards `µ` for First/Best/Worst/Next Fit
+//! alike — the paper's point that *no* online algorithm can beat `µ`
+//! — while size-classifying Hybrid First Fit side-steps this
+//! particular family (its guarantee is still `Ω(µ)`, via other
+//! instances).
+
+use crate::table::{dec, Table};
+use dbp_analysis::measure_ratio;
+use dbp_core::run_packing;
+use dbp_numeric::Rational;
+use dbp_workloads::adversarial::universal_mu_pairs;
+
+/// One (µ, k) row: per-algorithm measured ratios.
+#[derive(Debug, Clone)]
+pub struct UniversalRow {
+    /// Duration ratio.
+    pub mu: u32,
+    /// Pair count.
+    pub k: u32,
+    /// `(algorithm, measured ratio)` pairs.
+    pub ratios: Vec<(String, Rational)>,
+}
+
+/// Runs the sweep over phase counts `ks` for each µ.
+pub fn run(mus: &[u32], ks: &[u32]) -> (Vec<UniversalRow>, Table) {
+    let mut rows = Vec::new();
+    for &mu in mus {
+        for &k in ks {
+            let (inst, _pred) = universal_mu_pairs(k, mu, k.max(4));
+            let mut ratios = Vec::new();
+            for mut algo in crate::algorithm_lineup() {
+                let out = run_packing(&inst, algo.as_mut()).unwrap();
+                let rep = measure_ratio(&inst, &out);
+                let ratio = rep
+                    .exact_ratio()
+                    .or(rep.ratio_upper)
+                    .unwrap_or(Rational::ZERO);
+                ratios.push((out.algorithm().to_string(), ratio));
+            }
+            rows.push(UniversalRow { mu, k, ratios });
+        }
+    }
+
+    let algo_names: Vec<String> = rows
+        .first()
+        .map(|r| r.ratios.iter().map(|(n, _)| n.clone()).collect())
+        .unwrap_or_default();
+    let mut headers: Vec<&str> = vec!["µ", "k"];
+    for n in &algo_names {
+        headers.push(n);
+    }
+    let mut table = Table::new(
+        "E3: universal µ lower bound — measured ratio per algorithm on the pair family",
+        &headers,
+    );
+    for r in &rows {
+        let mut cells = vec![r.mu.to_string(), r.k.to_string()];
+        cells.extend(r.ratios.iter().map(|(_, x)| dec(*x)));
+        table.row(cells);
+    }
+    table.note("plain algorithms approach µ as k grows; HybridFirstFit defeats this family");
+    (rows, table)
+}
+
+/// The measured ratio of one algorithm in a row.
+pub fn ratio_of(row: &UniversalRow, algo: &str) -> Option<Rational> {
+    row.ratios.iter().find(|(n, _)| n == algo).map(|(_, r)| *r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_numeric::rat;
+
+    #[test]
+    fn plain_algorithms_approach_mu() {
+        let mu = 4u32;
+        let (rows, _) = run(&[mu], &[4, 8, 12]);
+        // Ratio grows with k for every plain algorithm.
+        for algo in ["FirstFit", "BestFit", "WorstFit", "NextFit"] {
+            let series: Vec<Rational> = rows.iter().map(|r| ratio_of(r, algo).unwrap()).collect();
+            for w in series.windows(2) {
+                assert!(w[1] > w[0], "{algo} ratio should grow with k");
+            }
+            let last = *series.last().unwrap();
+            assert!(last > rat(5, 2), "{algo} last ratio {last} too small");
+            assert!(last < rat(4, 1), "{algo} exceeds µ on its own gadget?");
+        }
+    }
+
+    #[test]
+    fn hybrid_first_fit_is_immune() {
+        let (rows, _) = run(&[6], &[10]);
+        let hff = ratio_of(&rows[0], "HybridFirstFit[1/2]").unwrap();
+        let ff = ratio_of(&rows[0], "FirstFit").unwrap();
+        assert!(
+            hff * rat(2, 1) < ff,
+            "HFF ({hff}) should be far below FF ({ff}) here"
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! E4 — the Any-Fit `µ+1` lower bound.
+//!
+//! The gap-ladder (`any_fit_ladder`) forces every Any-Fit algorithm
+//! to keep `n` bins open for `µ + 1 − δ` time while the adversary
+//! pays `n + µ − δ`: measured ratios climb with `n` towards `µ + 1`,
+//! strictly beyond the universal `µ` bound of E3 — Any-Fit's refusal
+//! to open fresh bins costs it an additive 1.
+
+use crate::table::{dec, Table};
+use dbp_analysis::measure_ratio;
+use dbp_core::{run_packing, BestFit, FirstFit, LastFit, PackingAlgorithm, WorstFit};
+
+use dbp_numeric::{rat, Rational};
+use dbp_workloads::adversarial::any_fit_ladder;
+
+/// One (µ, n) row.
+#[derive(Debug, Clone)]
+pub struct LadderRow {
+    /// Duration ratio.
+    pub mu: u32,
+    /// Ladder width (bins forced).
+    pub n: u32,
+    /// `(algorithm, ratio)` for each Any-Fit algorithm.
+    pub ratios: Vec<(String, Rational)>,
+    /// The `µ+1` limit.
+    pub limit: Rational,
+}
+
+/// Runs the ladder sweep.
+pub fn run(mus: &[u32], ns: &[u32]) -> (Vec<LadderRow>, Table) {
+    let mut rows = Vec::new();
+    for &mu in mus {
+        for &n in ns {
+            let (inst, _) = any_fit_ladder(n, mu);
+            let mut ratios = Vec::new();
+            let algos: Vec<Box<dyn PackingAlgorithm>> = vec![
+                Box::new(FirstFit::new()),
+                Box::new(BestFit::new()),
+                Box::new(WorstFit::new()),
+                Box::new(LastFit::new()),
+            ];
+            for mut algo in algos {
+                let out = run_packing(&inst, algo.as_mut()).unwrap();
+                let rep = measure_ratio(&inst, &out);
+                let ratio = rep
+                    .exact_ratio()
+                    .or(rep.ratio_upper)
+                    .unwrap_or(Rational::ZERO);
+                ratios.push((out.algorithm().to_string(), ratio));
+            }
+            rows.push(LadderRow {
+                mu,
+                n,
+                ratios,
+                limit: rat(mu as i128 + 1, 1),
+            });
+        }
+    }
+
+    let algo_names: Vec<String> = rows
+        .first()
+        .map(|r| r.ratios.iter().map(|(n, _)| n.clone()).collect())
+        .unwrap_or_default();
+    let mut headers: Vec<&str> = vec!["µ", "n"];
+    for h in &algo_names {
+        headers.push(h);
+    }
+    headers.push("µ+1");
+    let mut table = Table::new(
+        "E4: Any-Fit lower bound — gap-ladder ratios approach µ+1",
+        &headers,
+    );
+    for r in &rows {
+        let mut cells = vec![r.mu.to_string(), r.n.to_string()];
+        cells.extend(r.ratios.iter().map(|(_, x)| dec(*x)));
+        cells.push(r.limit.to_string());
+        table.row(cells);
+    }
+    table.note("every Any-Fit algorithm pays n(µ+1−δ) against OPT = n+µ−δ");
+    (rows, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_any_fit_algorithms_pay_the_same_and_approach_mu_plus_1() {
+        let (rows, _) = run(&[2], &[4, 8, 12]);
+        for row in &rows {
+            // Placements are forced: every Any-Fit algorithm lands the
+            // same ratio.
+            let first = row.ratios[0].1;
+            for (name, r) in &row.ratios {
+                assert_eq!(*r, first, "{name} deviates");
+            }
+            assert!(first < row.limit);
+            // Beyond the universal µ bound once n is large enough.
+            if row.n >= 8 {
+                assert!(
+                    first > rat(2, 1),
+                    "n={} ratio {} should exceed µ=2",
+                    row.n,
+                    first
+                );
+            }
+        }
+        // Monotone growth towards µ+1.
+        let series: Vec<Rational> = rows.iter().map(|r| r.ratios[0].1).collect();
+        for w in series.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+}

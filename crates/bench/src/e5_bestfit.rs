@@ -1,0 +1,118 @@
+//! E5 — Best Fit vs First Fit separation.
+//!
+//! On the scatter gadget (`best_fit_scatter`) Best Fit's
+//! fullest-bin rule strands every probe in a fresh bin that then
+//! stays open for `µ`, while First Fit consolidates all probes into
+//! the earliest bin — and is in fact exactly optimal. The measured
+//! BF/OPT ratio grows like `µ/2` while FF/OPT pins to 1, reproducing
+//! the paper's claim that Best Fit (unlike First Fit) has no
+//! `O(µ)+O(1)`-style guarantee. (The paper's stronger
+//! unbounded-at-fixed-µ statement uses the external construction of
+//! \[15\]/\[16\]; see the reproduction note on `best_fit_scatter`.)
+
+use crate::table::{dec, Table};
+use dbp_analysis::measure_ratio;
+use dbp_core::{run_packing, BestFit, FirstFit};
+use dbp_numeric::Rational;
+use dbp_workloads::adversarial::best_fit_scatter;
+
+/// One (µ, k) row.
+#[derive(Debug, Clone)]
+pub struct ScatterRow {
+    /// Duration ratio.
+    pub mu: u32,
+    /// Rounds (bins Best Fit is forced to scatter over).
+    pub k: u32,
+    /// Best Fit cost.
+    pub bf_cost: Rational,
+    /// First Fit cost.
+    pub ff_cost: Rational,
+    /// Exact adversary.
+    pub opt: Rational,
+    /// Best Fit ratio.
+    pub bf_ratio: Rational,
+    /// First Fit ratio.
+    pub ff_ratio: Rational,
+}
+
+/// Runs the sweep.
+pub fn run(mus: &[u32], ks: &[u32]) -> (Vec<ScatterRow>, Table) {
+    let mut rows = Vec::new();
+    for &mu in mus {
+        for &k in ks {
+            let (inst, pred) = best_fit_scatter(k, mu);
+            let bf = run_packing(&inst, &mut BestFit::new()).unwrap();
+            let ff = run_packing(&inst, &mut FirstFit::new()).unwrap();
+            let rep_bf = measure_ratio(&inst, &bf);
+            let rep_ff = measure_ratio(&inst, &ff);
+            assert_eq!(bf.total_usage(), pred.algorithm_cost, "BF prediction");
+            rows.push(ScatterRow {
+                mu,
+                k,
+                bf_cost: bf.total_usage(),
+                ff_cost: ff.total_usage(),
+                opt: rep_bf.opt_lower,
+                bf_ratio: rep_bf.exact_ratio().or(rep_bf.ratio_upper).unwrap(),
+                ff_ratio: rep_ff.exact_ratio().or(rep_ff.ratio_upper).unwrap(),
+            });
+        }
+    }
+
+    let mut table = Table::new(
+        "E5: Best Fit scatters, First Fit consolidates (scatter gadget)",
+        &[
+            "µ", "k", "BF cost", "FF cost", "OPT", "BF/OPT", "FF/OPT", "µ/2",
+        ],
+    );
+    for r in &rows {
+        table.row(vec![
+            r.mu.to_string(),
+            r.k.to_string(),
+            r.bf_cost.to_string(),
+            r.ff_cost.to_string(),
+            r.opt.to_string(),
+            dec(r.bf_ratio),
+            dec(r.ff_ratio),
+            dec(Rational::from_int(r.mu as i128) * Rational::HALF),
+        ]);
+    }
+    table.note("BF/OPT → µ/2 as k grows; FF is exactly optimal on this family");
+    (rows, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_numeric::rat;
+
+    #[test]
+    fn bf_ratio_grows_with_mu_while_ff_stays_optimal() {
+        let (rows, _) = run(&[4, 8], &[10]);
+        for r in &rows {
+            assert_eq!(
+                r.ff_ratio,
+                rat(1, 1),
+                "FF should be optimal, got {}",
+                r.ff_ratio
+            );
+            assert!(r.bf_ratio > rat(3, 2), "BF ratio {} too small", r.bf_ratio);
+        }
+        assert!(
+            rows[1].bf_ratio > rows[0].bf_ratio,
+            "BF ratio should grow with µ"
+        );
+    }
+
+    #[test]
+    fn bf_ratio_approaches_half_mu_in_k() {
+        let mu = 10u32;
+        let (rows, _) = run(&[mu], &[4, 8, 12]);
+        let series: Vec<Rational> = rows.iter().map(|r| r.bf_ratio).collect();
+        for w in series.windows(2) {
+            assert!(w[1] > w[0], "BF ratio should grow with k");
+        }
+        let last = *series.last().unwrap();
+        assert!(last > rat(3, 1), "ratio {last} should approach µ/2 = 5");
+        assert!(last < rat(5, 1));
+    }
+}

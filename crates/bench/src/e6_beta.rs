@@ -1,0 +1,106 @@
+//! E6 — the bounded-item-size regime (§I recap).
+//!
+//! The paper's earlier work showed that when every item size is at
+//! most `1/β` (`β > 1`), First Fit's ratio improves to a
+//! `(β/(β−1))·µ + O(1)` form — intuitively, small items let First
+//! Fit keep bins well-filled. This sweep caps random-workload sizes
+//! at `1/β` and reports the worst measured ratio per `(β, µ)` next to
+//! both the general `µ+4` bound and the β-curve slope `β/(β−1)·µ`.
+
+use crate::table::{dec, Table};
+use dbp_analysis::measure_ratio;
+use dbp_core::{run_packing, FirstFit};
+use dbp_numeric::{rat, Rational};
+use dbp_par::par_map;
+use dbp_workloads::RandomWorkload;
+
+/// One (β, µ) row.
+#[derive(Debug, Clone)]
+pub struct BetaRow {
+    /// Size cap denominator (`sizes ≤ 1/β`).
+    pub beta: u32,
+    /// Duration ratio.
+    pub mu: u32,
+    /// Instances with exact adversary.
+    pub instances: usize,
+    /// Worst measured FF ratio.
+    pub max_ratio: Rational,
+    /// The β-bound slope term `(β/(β−1))·µ` for orientation.
+    pub beta_slope: Rational,
+    /// The general bound `µ+4`.
+    pub general_bound: Rational,
+}
+
+/// Runs the (β × µ) sweep.
+pub fn run(betas: &[u32], mus: &[u32], n: usize, seeds: u64) -> (Vec<BetaRow>, Table) {
+    let mut rows = Vec::new();
+    for &beta in betas {
+        for &mu in mus {
+            let mu_r = rat(mu as i128, 1);
+            let seed_list: Vec<u64> = (0..seeds).collect();
+            let ratios = par_map(&seed_list, |&seed| {
+                let inst = RandomWorkload::with_sharp_mu(n, mu_r, seed)
+                    .capped_sizes(beta)
+                    .generate();
+                let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+                measure_ratio(&inst, &out).exact_ratio()
+            });
+            let mut max_ratio = Rational::ZERO;
+            let mut counted = 0;
+            for r in ratios.into_iter().flatten() {
+                counted += 1;
+                if r > max_ratio {
+                    max_ratio = r;
+                }
+            }
+            rows.push(BetaRow {
+                beta,
+                mu,
+                instances: counted,
+                max_ratio,
+                beta_slope: rat(beta as i128, beta as i128 - 1) * mu_r,
+                general_bound: mu_r + rat(4, 1),
+            });
+        }
+    }
+
+    let mut table = Table::new(
+        "E6: First Fit under size caps (sizes ≤ 1/β)",
+        &["β", "µ", "instances", "max FF/OPT", "(β/(β−1))µ", "µ+4"],
+    );
+    for r in &rows {
+        table.row(vec![
+            r.beta.to_string(),
+            r.mu.to_string(),
+            r.instances.to_string(),
+            dec(r.max_ratio),
+            dec(r.beta_slope),
+            r.general_bound.to_string(),
+        ]);
+    }
+    table.note("larger β (smaller items) → better packing → lower measured ratios");
+    (rows, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smaller_items_pack_better() {
+        let (rows, _) = run(&[2, 8], &[4], 40, 6);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.instances > 0);
+            assert!(r.max_ratio <= r.general_bound, "bound violated");
+            assert!(r.max_ratio >= Rational::ONE);
+        }
+        // β=8 (tiny items) should pack no worse than β=2 overall.
+        assert!(
+            rows[1].max_ratio <= rows[0].max_ratio + rat(1, 2),
+            "tiny items should not be much worse: {} vs {}",
+            rows[1].max_ratio,
+            rows[0].max_ratio
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! E8 — the cloud-gaming motivation (§I).
+//!
+//! A synthetic day of game sessions (diurnal arrivals, heavy-tailed
+//! play times, three GPU tiers) is dispatched by each algorithm under
+//! hourly billing. The table reports billed server-hours, raw usage,
+//! peak fleet and utilization per algorithm across offered loads —
+//! the provider's-eye view of why dispatch policy matters.
+
+use crate::table::{dec, Table};
+use dbp_cloudsim::{simulate, BillingModel, CostReport};
+use dbp_numeric::Rational;
+use dbp_workloads::GamingConfig;
+
+/// One (load, algorithm) cell.
+#[derive(Debug, Clone)]
+pub struct GamingRow {
+    /// Peak sessions per hour.
+    pub load: u32,
+    /// Number of sessions in the day.
+    pub sessions: usize,
+    /// Per-algorithm reports.
+    pub reports: Vec<CostReport>,
+}
+
+/// Runs the load sweep.
+pub fn run(loads: &[u32], seed: u64) -> (Vec<GamingRow>, Table) {
+    let mut rows = Vec::new();
+    for &load in loads {
+        let cfg = GamingConfig {
+            peak_sessions_per_hour: load,
+            seed,
+            ..Default::default()
+        };
+        let trace = cfg.generate();
+        let mut reports = Vec::new();
+        for mut algo in crate::algorithm_lineup() {
+            let report = simulate(&trace.instance, algo.as_mut(), BillingModel::hourly()).unwrap();
+            reports.push(report);
+        }
+        rows.push(GamingRow {
+            load,
+            sessions: trace.instance.len(),
+            reports,
+        });
+    }
+
+    let mut table = Table::new(
+        "E8: a day of cloud gaming — billed server-hours by dispatch algorithm",
+        &[
+            "peak/h",
+            "sessions",
+            "algorithm",
+            "servers",
+            "peak fleet",
+            "usage (h)",
+            "billed (h)",
+            "util",
+        ],
+    );
+    for row in &rows {
+        for rep in &row.reports {
+            table.row(vec![
+                row.load.to_string(),
+                row.sessions.to_string(),
+                rep.algorithm.clone(),
+                rep.servers_used.to_string(),
+                rep.peak_servers.to_string(),
+                dec(rep.usage_time / Rational::from_int(60)),
+                dec(rep.billed_time / Rational::from_int(60)),
+                rep.utilization.map(dec).unwrap_or_else(|| "-".into()),
+            ]);
+        }
+    }
+    table.note("times generated in minutes; billing quantum 60 min (classic EC2-style)");
+    (rows, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_fit_beats_next_fit_on_gaming_load() {
+        let (rows, table) = run(&[40], 7);
+        let row = &rows[0];
+        assert!(row.sessions > 100);
+        let cost = |name: &str| {
+            row.reports
+                .iter()
+                .find(|r| r.algorithm == name)
+                .unwrap()
+                .billed_time
+        };
+        let ff = cost("FirstFit");
+        let nf = cost("NextFit");
+        assert!(ff <= nf, "FF {ff} should not exceed NF {nf}");
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn cost_scales_with_load() {
+        let (rows, _) = run(&[20, 80], 3);
+        let billed = |row: &GamingRow| row.reports[0].billed_time;
+        assert!(billed(&rows[1]) > billed(&rows[0]));
+        assert!(rows[1].sessions > rows[0].sessions);
+    }
+
+    #[test]
+    fn all_reports_account_every_session() {
+        let (rows, _) = run(&[30], 11);
+        for rep in &rows[0].reports {
+            assert_eq!(rep.jobs, rows[0].sessions);
+            assert!(rep.billed_time >= rep.usage_time);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! F1–F6 — the paper's illustrative figures, regenerated as ASCII
+//! timelines from concrete instances.
+//!
+//! The figures in the paper are explanatory diagrams, not data plots;
+//! each function below builds an instance exhibiting the pictured
+//! structure and renders it with `dbp-viz`.
+
+use dbp_core::prelude::*;
+use dbp_core::PackingOutcome;
+use dbp_numeric::rat;
+
+const WIDTH: usize = 72;
+
+fn ff(inst: &Instance) -> PackingOutcome {
+    run_packing(inst, &mut FirstFit::new()).expect("valid instance")
+}
+
+/// Figure 1 — the span of an item list: three items, one temporal
+/// gap; the span row shows the union of their activity.
+pub fn fig1_span() -> String {
+    let inst = Instance::builder()
+        .item(rat(1, 2), rat(0, 1), rat(3, 1)) // r1
+        .item(rat(1, 3), rat(1, 1), rat(4, 1)) // r2 overlaps r1
+        .item(rat(1, 4), rat(6, 1), rat(9, 1)) // r3 after a gap
+        .build()
+        .unwrap();
+    format!(
+        "Figure 1: span of an item list (span = {} < packing period)\n\n{}",
+        inst.span(),
+        dbp_viz::timeline(&inst, WIDTH)
+    )
+}
+
+/// Figure 2 — usage periods `U_k` with the `V_k`/`W_k` split and
+/// `E_k` markers: four bins opened in sequence with overlapping
+/// lifetimes (the paper's example shape).
+pub fn fig2_usage_periods() -> String {
+    let inst = Instance::builder()
+        .item(rat(3, 4), rat(0, 1), rat(6, 1)) // b1, long anchor
+        .item(rat(3, 4), rat(1, 1), rat(4, 1)) // b2 inside b1's life
+        .item(rat(3, 4), rat(3, 1), rat(9, 1)) // b3 straddles E
+        .item(rat(3, 4), rat(7, 1), rat(11, 1)) // b4 opens near the end
+        .build()
+        .unwrap();
+    let out = ff(&inst);
+    format!(
+        "Figure 2: bin usage periods U_k split into V_k (overlapped) and W_k (exclusive)\n\n{}",
+        dbp_viz::usage(&inst, &out, WIDTH)
+    )
+}
+
+/// Figure 3 — small-item selection and period split inside one bin's
+/// `V_k`: two selected smalls more than `d_max` apart (bridged by
+/// large residents, which never participate in selection) split
+/// `x_1` into an l-part of length `d_max = 2` and a genuine h-part,
+/// during which the bin level is ≥ 1/2 (Proposition 6).
+pub fn fig3_selection() -> String {
+    let inst = selection_instance();
+    let mut script = dbp_core::Scripted::new(vec![0, 0, 0, 0, 1, 1, 1, 1, 1]);
+    let out =
+        run_packing(&inst, &mut script).expect("scripted packing is feasible");
+    format!(
+        "Figure 3: item selection and l/h period split over V_k\n\n{}",
+        dbp_viz::subperiods(&inst, &out, WIDTH)
+    )
+}
+
+/// Figure 4 — supplier bins and supplier periods, including a
+/// consolidated pair: the DESIGN.md §3 worked example, realized with
+/// a scripted packing (µ = 2; victim l-lengths 0.2 / 1.9 / 2.0, the
+/// first two of which pair and consolidate).
+pub fn fig4_supplier() -> String {
+    let inst = Instance::builder()
+        // Anchor chain keeps bin A (label 0) open on [0, 7.7).
+        .item(rat(1, 2), rat(0, 1), rat(2, 1))
+        .item(rat(1, 2), rat(19, 10), rat(39, 10))
+        .item(rat(1, 2), rat(19, 5), rat(29, 5))
+        .item(rat(1, 2), rat(57, 10), rat(77, 10))
+        // Victim smalls in bin B (label 1), pairing gap pattern.
+        .item(rat(1, 20), rat(1, 1), rat(3, 1))
+        .item(rat(1, 20), rat(6, 5), rat(16, 5))
+        .item(rat(1, 20), rat(31, 10), rat(51, 10))
+        // Duration-1 straggler in bin C (label 2): sets d_min = 1.
+        .item(rat(1, 4), rat(10, 1), rat(11, 1))
+        .build()
+        .unwrap();
+    let mut script = dbp_core::Scripted::new(vec![0, 0, 0, 0, 1, 1, 1, 2]);
+    let out = run_packing(&inst, &mut script).expect("scripted packing is feasible");
+    format!(
+        "Figure 4: supplier bins and supplier periods (single + consolidated)\n\n{}",
+        dbp_viz::subperiods(&inst, &out, WIDTH)
+    )
+}
+
+/// Figure 5 — Case 3 of the intersection analysis: a single
+/// l-subperiod in bin `b_g` (length 1 = d_min) followed by a single
+/// l-subperiod in a later bin `b_k` (length 2 = d_max), both supplied
+/// by the same long-lived chain; the §VI algebra keeps their supplier
+/// windows disjoint.
+pub fn fig5_case3() -> String {
+    let inst = cross_bin_instance();
+    let mut script = dbp_core::Scripted::new(vec![0, 0, 0, 0, 1, 2]);
+    let out = run_packing(&inst, &mut script).expect("scripted packing is feasible");
+    format!(
+        "Figure 5: Case 3 — l-subperiods from different bins sharing a supplier\n\n{}",
+        dbp_viz::subperiods(&inst, &out, WIDTH)
+    )
+}
+
+/// Figure 6 — Case 4: as Figure 5 but the follower is a
+/// *consolidated* run (µ = 2; follower l-lengths 0.2 and 1.9 pair
+/// since 1.9 > 2·0.2); its hull supplier window still avoids the
+/// earlier single's window on the shared supplier.
+pub fn fig6_case4() -> String {
+    let inst = Instance::builder()
+        // Supplier chain S (label 0), open [0, 7.7).
+        .item(rat(1, 2), rat(0, 1), rat(2, 1))
+        .item(rat(1, 2), rat(19, 10), rat(39, 10))
+        .item(rat(1, 2), rat(19, 5), rat(29, 5))
+        .item(rat(1, 2), rat(57, 10), rat(77, 10))
+        // b_g (label 1): a single l-subperiod [1, 2).
+        .item(rat(1, 20), rat(1, 1), rat(2, 1))
+        // b_k (label 2): consolidated pair at t = 3, 3.2, plus the
+        // terminating selectee at 5.1.
+        .item(rat(1, 20), rat(3, 1), rat(5, 1))
+        .item(rat(1, 20), rat(16, 5), rat(26, 5))
+        .item(rat(1, 20), rat(51, 10), rat(71, 10))
+        .build()
+        .unwrap();
+    let mut script = dbp_core::Scripted::new(vec![0, 0, 0, 0, 1, 2, 2, 2]);
+    let out = run_packing(&inst, &mut script).expect("scripted packing is feasible");
+    format!(
+        "Figure 6: Case 4 — consolidated follower in a different bin\n\n{}",
+        dbp_viz::subperiods(&inst, &out, WIDTH)
+    )
+}
+
+/// Shared instance for Figure 3 (µ = 2, durations 1..2): anchor
+/// chain A keeps `V_B` long; victim bin B holds a chain of *large*
+/// 1/2-residents plus two smalls at t = 1.2 and t = 5 — more than
+/// `d_max` apart, forcing the l/h split of `x_1`.
+fn selection_instance() -> Instance {
+    Instance::builder()
+        // Anchor chain A (label 0), open [0, 7.7).
+        .item(rat(1, 2), rat(0, 1), rat(2, 1))
+        .item(rat(1, 2), rat(19, 10), rat(39, 10))
+        .item(rat(1, 2), rat(19, 5), rat(29, 5))
+        .item(rat(1, 2), rat(57, 10), rat(77, 10))
+        // Victim bin B (label 1): large residents bridge [1, 6).
+        .item(rat(1, 2), rat(1, 1), rat(3, 1)) // L1
+        .item(rat(1, 2), rat(5, 2), rat(9, 2)) // L2
+        .item(rat(1, 2), rat(4, 1), rat(6, 1)) // L3
+        // The two selected smalls.
+        .item(rat(3, 10), rat(6, 5), rat(11, 5)) // s1 @ 1.2, dur 1
+        .item(rat(3, 10), rat(5, 1), rat(6, 1)) // s2 @ 5, dur 1
+        .build()
+        .unwrap()
+}
+
+/// Shared instance for Figure 5 (µ = 2): two victim bins fed by the
+/// same supplier chain, one short single then one long single.
+fn cross_bin_instance() -> Instance {
+    Instance::builder()
+        // Supplier chain S (label 0), open [0, 7.7).
+        .item(rat(1, 2), rat(0, 1), rat(2, 1))
+        .item(rat(1, 2), rat(19, 10), rat(39, 10))
+        .item(rat(1, 2), rat(19, 5), rat(29, 5))
+        .item(rat(1, 2), rat(57, 10), rat(77, 10))
+        // b_g (label 1): single l-subperiod [1, 2).
+        .item(rat(1, 20), rat(1, 1), rat(2, 1))
+        // b_k (label 2): single l-subperiod [3, 5).
+        .item(rat(1, 20), rat(3, 1), rat(5, 1))
+        .build()
+        .unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_figures_render_with_expected_structure() {
+        let f1 = fig1_span();
+        assert!(f1.contains("span"));
+        assert!(f1.contains('█'));
+
+        let f2 = fig2_usage_periods();
+        assert!(f2.contains("E_k"));
+        assert!(f2.contains('█'));
+
+        let f3 = fig3_selection();
+        assert!(f3.contains('▼'), "selection arrows missing:\n{f3}");
+        assert!(f3.contains('l'), "l-subperiods missing");
+        assert!(f3.contains('h'), "h-subperiod missing:\n{f3}");
+
+        let f4 = fig4_supplier();
+        assert!(f4.contains('◆'), "supplier periods missing:\n{f4}");
+        assert!(
+            f4.contains("u(consolidated)"),
+            "consolidated supplier period missing:\n{f4}"
+        );
+
+        let f5 = fig5_case3();
+        assert!(f5.contains('◆'));
+
+        let f6 = fig6_case4();
+        assert!(f6.contains('◆'));
+        assert!(
+            f6.contains("u(consolidated)"),
+            "consolidated follower missing:\n{f6}"
+        );
+    }
+
+    #[test]
+    fn figure_instances_certify() {
+        for inst in [selection_instance(), cross_bin_instance()] {
+            let report = dbp_analysis::certify_first_fit(&inst);
+            assert!(report.all_passed(), "{report}");
+        }
+    }
+
+    #[test]
+    fn figures_are_deterministic() {
+        assert_eq!(fig3_selection(), fig3_selection());
+        assert_eq!(fig6_case4(), fig6_case4());
+    }
+}

@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+
+//! # `dbp-bench` — the experiment harness
+//!
+//! One module per experiment from DESIGN.md §4, each exposing a
+//! `run(...) -> Table`-style function that regenerates the
+//! corresponding result of the paper; the `src/bin/*` binaries are
+//! thin printers around these functions, and the module-level tests
+//! assert the *shape* of each result (who wins, by what factor, where
+//! the trends point) so the reproduction itself is under test.
+//!
+//! | ID  | Module | Paper artifact |
+//! |-----|--------|----------------|
+//! | E1  | [`e1_theorem1`] | Theorem 1: FF ≤ (µ+4)·OPT |
+//! | E2  | [`e2_nextfit`] | §VIII Next Fit lower bound |
+//! | E3  | [`e3_universal`] | universal µ lower bound |
+//! | E4  | [`e4_anyfit`] | Any-Fit µ+1 lower bound |
+//! | E5  | [`e5_bestfit`] | Best Fit ≫ First Fit separation |
+//! | E6  | [`e6_beta`] | bounded item sizes (≤ 1/β) regime |
+//! | E7  | [`e7_hybrid`] | Hybrid First Fit vs First Fit |
+//! | E8  | [`e8_gaming`] | cloud-gaming motivation |
+//! | E9  | [`e9_billing`] | pay-as-you-go billing quanta |
+//! | E10 | [`e10_certify`] | §IV–§VII machinery certification |
+//! | E11 | [`e11_multidim`] | multi-dimensional extension (§IX future work) |
+//! | E12 | [`e12_clairvoyance`] | value-of-information ablation |
+//! | E13 | [`e13_standard_dbp`] | usage-time vs standard-DBP peak objective |
+//! | E14 | [`e14_adaptive`] | adaptive lower-bound game |
+//! | F1–F6 | [`figures`] | the paper's illustrative figures |
+
+pub mod e10_certify;
+pub mod e11_multidim;
+pub mod e12_clairvoyance;
+pub mod e13_standard_dbp;
+pub mod e14_adaptive;
+pub mod e1_theorem1;
+pub mod e2_nextfit;
+pub mod e3_universal;
+pub mod e4_anyfit;
+pub mod e5_bestfit;
+pub mod e6_beta;
+pub mod e7_hybrid;
+pub mod e8_gaming;
+pub mod e9_billing;
+pub mod figures;
+pub mod table;
+
+pub use table::Table;
+
+use dbp_core::PackingAlgorithm;
+
+/// The standard algorithm line-up for comparison tables.
+pub fn algorithm_lineup() -> Vec<Box<dyn PackingAlgorithm>> {
+    vec![
+        Box::new(dbp_core::FirstFit::new()),
+        Box::new(dbp_core::BestFit::new()),
+        Box::new(dbp_core::WorstFit::new()),
+        Box::new(dbp_core::NextFit::new()),
+        Box::new(dbp_core::HybridFirstFit::classic()),
+    ]
+}

@@ -1,0 +1,144 @@
+//! Minimal aligned-text tables for experiment output.
+
+use std::fmt;
+
+/// A printable table with a title, headers and string cells.
+///
+/// ```
+/// use dbp_bench::Table;
+/// let mut t = Table::new("demo", &["x", "x²"]);
+/// t.row(vec!["2".into(), "4".into()]);
+/// t.row(vec!["10".into(), "100".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("demo"));
+/// assert!(s.contains("100"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a footnote printed under the table.
+    pub fn note(&mut self, note: &str) {
+        self.notes.push(note.to_string());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` iff the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Cell accessor (row, column) for tests.
+    pub fn cell(&self, r: usize, c: usize) -> &str {
+        &self.rows[r][c]
+    }
+
+    /// Looks up a column index by header name.
+    pub fn col(&self, header: &str) -> Option<usize> {
+        self.headers.iter().position(|h| h == header)
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>width$}", width = w)?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a rational as a fixed-point decimal with 3 digits (for
+/// table cells; exact values live in the structured results).
+pub fn dec(x: dbp_numeric::Rational) -> String {
+    format!("{:.3}", x.to_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_numeric::rat;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("t", &["a", "bbbb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        t.note("a note");
+        let s = t.to_string();
+        assert!(s.contains("== t =="));
+        assert!(s.contains("note: a note"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let mut t = Table::new("t", &["x", "y"]);
+        t.row(vec!["7".into(), "8".into()]);
+        assert_eq!(t.col("y"), Some(1));
+        assert_eq!(t.col("z"), None);
+        assert_eq!(t.cell(0, 1), "8");
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn dec_formats() {
+        assert_eq!(dec(rat(1, 2)), "0.500");
+        assert_eq!(dec(rat(22, 7)), "3.143");
+    }
+}

@@ -1,0 +1,566 @@
+#![warn(missing_docs)]
+
+//! `mindbp` — the command-line face of the workspace.
+//!
+//! ```text
+//! mindbp generate --family random --n 100 --mu 4 --seed 7 --out trace.json
+//! mindbp pack     --trace trace.json --algo firstfit --billing hourly
+//! mindbp compare  --trace trace.json
+//! mindbp certify  --trace trace.json
+//! mindbp opt      --trace trace.json
+//! mindbp render   --trace trace.json --algo firstfit
+//! ```
+//!
+//! The library entry point [`run`] takes the argument vector and
+//! returns the rendered output (or a typed error), so the whole CLI
+//! is unit-testable without spawning processes; `main.rs` is a thin
+//! printer.
+
+use dbp_analysis::{certify_first_fit, measure_ratio, TheoremChain};
+use dbp_cloudsim::{simulate, BillingModel};
+use dbp_core::{
+    run_packing, BestFit, DepartureAlignedFit, FirstFit, HybridFirstFit, Instance, LastFit,
+    NextFit, PackingAlgorithm, WorstFit,
+};
+use dbp_numeric::Rational;
+use dbp_workloads::adversarial::{
+    any_fit_ladder, best_fit_scatter, next_fit_pairs, universal_mu_pairs,
+};
+use dbp_workloads::{load_instance, save_instance, GamingConfig, RandomWorkload, Trace};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// CLI failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Parsed `--key value` options.
+struct Opts {
+    map: BTreeMap<String, String>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Opts, CliError> {
+        let mut map = BTreeMap::new();
+        let mut it = args.iter();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(err(format!("expected --option, got `{key}`")));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| err(format!("--{name} needs a value")))?;
+            map.insert(name.to_string(), value.clone());
+        }
+        Ok(Opts { map })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.map.get(name).map(String::as_str)
+    }
+
+    fn required(&self, name: &str) -> Result<&str, CliError> {
+        self.get(name)
+            .ok_or_else(|| err(format!("missing required --{name}")))
+    }
+
+    fn u32_or(&self, name: &str, default: u32) -> Result<u32, CliError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("--{name}: `{v}` is not an integer"))),
+        }
+    }
+
+    fn u64_or(&self, name: &str, default: u64) -> Result<u64, CliError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("--{name}: `{v}` is not an integer"))),
+        }
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+mindbp — MinUsageTime Dynamic Bin Packing toolkit
+
+USAGE:
+  mindbp <command> [--option value ...]
+
+COMMANDS:
+  generate  create a workload trace
+            --family random|gaming|nextfit|universal|ladder|scatter
+            --out FILE [--n N] [--mu M] [--seed S] [--k K]
+  pack      dispatch a trace with one algorithm
+            --trace FILE [--algo NAME] [--billing hourly|minute|continuous]
+  compare   dispatch a trace with every algorithm, ranked by cost
+            --trace FILE [--billing ...]
+  certify   run the IPDPS'16 §IV–§VII certification under First Fit
+            --trace FILE
+  chain     print the Theorem 1 inequality chain, numerically
+            instantiated on the trace
+            --trace FILE
+  adaptive  play the keep-smallest adversary game against an algorithm
+            --algo NAME [--k K] [--mu M]
+  opt       compute the exact repacking adversary OPT_total
+            --trace FILE [--max-exact N]
+  render    ASCII timeline of a packing
+            --trace FILE [--algo NAME] [--width W]
+  help      this text
+
+ALGORITHMS: firstfit bestfit worstfit lastfit nextfit hybrid harmonic
+            aligned (clairvoyant — pack/render only)
+";
+
+fn make_algo_for(name: &str, instance: &Instance) -> Result<Box<dyn PackingAlgorithm>, CliError> {
+    if matches!(name, "aligned" | "clairvoyant") {
+        return Ok(Box::new(DepartureAlignedFit::new(instance)));
+    }
+    make_algo(name)
+}
+
+fn make_algo(name: &str) -> Result<Box<dyn PackingAlgorithm>, CliError> {
+    Ok(match name {
+        "firstfit" | "ff" => Box::new(FirstFit::new()),
+        "bestfit" | "bf" => Box::new(BestFit::new()),
+        "worstfit" | "wf" => Box::new(WorstFit::new()),
+        "lastfit" | "lf" => Box::new(LastFit::new()),
+        "nextfit" | "nf" => Box::new(NextFit::new()),
+        "hybrid" | "hff" => Box::new(HybridFirstFit::classic()),
+        "harmonic" => Box::new(HybridFirstFit::harmonic(4)),
+        other => return Err(err(format!("unknown algorithm `{other}`"))),
+    })
+}
+
+fn make_billing(name: &str) -> Result<BillingModel, CliError> {
+    Ok(match name {
+        "continuous" => BillingModel::Continuous,
+        "minute" => BillingModel::per_minute(),
+        "hourly" => BillingModel::hourly(),
+        other => return Err(err(format!("unknown billing model `{other}`"))),
+    })
+}
+
+fn load(opts: &Opts) -> Result<(Trace, Instance), CliError> {
+    let path = opts.required("trace")?;
+    load_instance(Path::new(path)).map_err(|e| err(format!("cannot load `{path}`: {e}")))
+}
+
+/// Executes an argument vector (without the program name), returning
+/// the output text.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some(command) = args.first() else {
+        return Ok(USAGE.to_string());
+    };
+    let opts = Opts::parse(&args[1..])?;
+    match command.as_str() {
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        "generate" => cmd_generate(&opts),
+        "pack" => cmd_pack(&opts),
+        "compare" => cmd_compare(&opts),
+        "certify" => cmd_certify(&opts),
+        "chain" => cmd_chain(&opts),
+        "adaptive" => cmd_adaptive(&opts),
+        "opt" => cmd_opt(&opts),
+        "render" => cmd_render(&opts),
+        other => Err(err(format!("unknown command `{other}`\n\n{USAGE}"))),
+    }
+}
+
+fn cmd_generate(opts: &Opts) -> Result<String, CliError> {
+    let family = opts.required("family")?;
+    let out = opts.required("out")?;
+    let n = opts.u32_or("n", 100)?;
+    let mu = opts.u32_or("mu", 4)?;
+    let k = opts.u32_or("k", 8)?;
+    let seed = opts.u64_or("seed", 0)?;
+
+    let (instance, description) = match family {
+        "random" => (
+            RandomWorkload::with_mu(n as usize, Rational::from_int(mu as i128), seed).generate(),
+            format!("random workload n={n} µ≤{mu} seed={seed}"),
+        ),
+        "gaming" => (
+            GamingConfig {
+                seed,
+                peak_sessions_per_hour: n.max(1),
+                ..Default::default()
+            }
+            .generate()
+            .instance,
+            format!("synthetic cloud-gaming day, peak {n}/h, seed={seed}"),
+        ),
+        "nextfit" => (
+            next_fit_pairs(n.max(3), mu).0,
+            format!("§VIII Next Fit pair gadget n={n} µ={mu}"),
+        ),
+        "universal" => (
+            universal_mu_pairs(k, mu, k.max(4)).0,
+            format!("universal µ pair family k={k} µ={mu}"),
+        ),
+        "ladder" => (
+            any_fit_ladder(k.max(2), mu).0,
+            format!("Any-Fit gap-ladder n={k} µ={mu}"),
+        ),
+        "scatter" => (
+            best_fit_scatter(k.max(2), mu.max(2)).0,
+            format!("Best Fit scatter gadget k={k} µ={mu}"),
+        ),
+        other => return Err(err(format!("unknown family `{other}`"))),
+    };
+
+    let trace = Trace::from_instance(family, &description, &instance)
+        .with_meta("seed", seed)
+        .with_meta("family", family);
+    save_instance(Path::new(out), &trace).map_err(|e| err(format!("cannot write `{out}`: {e}")))?;
+    Ok(format!(
+        "wrote {} ({} items, µ = {}) to {out}\n",
+        family,
+        instance.len(),
+        instance
+            .mu()
+            .map(|m| m.to_string())
+            .unwrap_or_else(|| "-".into()),
+    ))
+}
+
+fn cmd_pack(opts: &Opts) -> Result<String, CliError> {
+    let (_, instance) = load(opts)?;
+    let mut algo = make_algo_for(opts.get("algo").unwrap_or("firstfit"), &instance)?;
+    let billing = make_billing(opts.get("billing").unwrap_or("continuous"))?;
+    let report = simulate(&instance, algo.as_mut(), billing)
+        .map_err(|e| err(format!("packing failed: {e}")))?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{}: {} jobs → {} servers (peak {}), usage {}, billed {} [{}]\n",
+        report.algorithm,
+        report.jobs,
+        report.servers_used,
+        report.peak_servers,
+        report.usage_time,
+        report.billed_time,
+        report.billing,
+    ));
+    if let Some(u) = report.utilization {
+        out.push_str(&format!("utilization: {:.3}\n", u.to_f64()));
+    }
+    Ok(out)
+}
+
+fn cmd_compare(opts: &Opts) -> Result<String, CliError> {
+    let (_, instance) = load(opts)?;
+    let billing = make_billing(opts.get("billing").unwrap_or("continuous"))?;
+    let names = [
+        "firstfit", "bestfit", "worstfit", "lastfit", "nextfit", "hybrid",
+    ];
+    let mut rows: Vec<(String, Rational, Rational, usize)> = Vec::new();
+    for name in names {
+        let mut algo = make_algo(name)?;
+        let rep = simulate(&instance, algo.as_mut(), billing)
+            .map_err(|e| err(format!("{name} failed: {e}")))?;
+        rows.push((
+            rep.algorithm.clone(),
+            rep.billed_time,
+            rep.usage_time,
+            rep.servers_used,
+        ));
+    }
+    rows.sort_by_key(|a| a.1);
+    let mut out = format!(
+        "{:<22} {:>12} {:>12} {:>8}\n",
+        "algorithm", "billed", "usage", "servers"
+    );
+    for (name, billed, usage, servers) in rows {
+        out.push_str(&format!(
+            "{name:<22} {:>12} {:>12} {servers:>8}\n",
+            billed.to_string(),
+            usage.to_string(),
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_certify(opts: &Opts) -> Result<String, CliError> {
+    let (_, instance) = load(opts)?;
+    if instance.is_empty() {
+        return Ok("empty instance: nothing to certify\n".into());
+    }
+    let report = certify_first_fit(&instance);
+    let mut out = report.to_string();
+    out.push_str(if report.all_passed() {
+        "\nall certificates hold.\n"
+    } else {
+        "\nCERTIFICATE FAILURES — see above.\n"
+    });
+    Ok(out)
+}
+
+fn cmd_chain(opts: &Opts) -> Result<String, CliError> {
+    let (_, instance) = load(opts)?;
+    if instance.is_empty() {
+        return Ok("empty instance: nothing to evaluate\n".into());
+    }
+    let chain = TheoremChain::compute(&instance);
+    let mut out = chain.to_string();
+    out.push_str(if chain.holds() {
+        "every step holds.\n"
+    } else {
+        "STEP FAILURES — see above.\n"
+    });
+    Ok(out)
+}
+
+fn cmd_adaptive(opts: &Opts) -> Result<String, CliError> {
+    let name = opts.get("algo").unwrap_or("firstfit");
+    let k = opts.u32_or("k", 10)?;
+    let mu = opts.u32_or("mu", 6)?;
+    let mut algo = make_algo(name)?;
+    let mut adversary = dbp_workloads::adaptive::KeepSmallestAdversary::new(k, mu);
+    let result = dbp_workloads::adaptive::play(&mut adversary, algo.as_mut(), 1_000_000)
+        .map_err(|e| err(format!("game failed: {e}")))?;
+    let rerun = run_packing(&result.instance, algo.as_mut())
+        .map_err(|e| err(format!("replay failed: {e}")))?;
+    let rep = measure_ratio(&result.instance, &rerun);
+    let mut out = format!(
+        "adversary keep-smallest (k = {k}, µ = {mu}) vs {}:\n",
+        rerun.algorithm()
+    );
+    out.push_str(&format!(
+        "  bins opened: {}, cost: {}\n",
+        result.bins_opened, result.algorithm_cost
+    ));
+    match rep.exact_ratio().or(rep.ratio_upper) {
+        Some(r) => out.push_str(&format!(
+            "  ratio vs exact OPT: {} ≈ {:.3}\n",
+            r,
+            r.to_f64()
+        )),
+        None => out.push_str("  (adversary cost out of exact reach)\n"),
+    }
+    Ok(out)
+}
+
+fn cmd_opt(opts: &Opts) -> Result<String, CliError> {
+    let (_, instance) = load(opts)?;
+    let max_exact = opts.u32_or("max-exact", 28)? as usize;
+    let solver = dbp_analysis::ExactBinPacking::new();
+    let opt = dbp_analysis::optimal::opt_total(
+        &instance,
+        &solver,
+        dbp_analysis::optimal::OptConfig {
+            max_exact_items: max_exact,
+        },
+    );
+    let ff = run_packing(&instance, &mut FirstFit::new())
+        .map_err(|e| err(format!("packing failed: {e}")))?;
+    let rep = measure_ratio(&instance, &ff);
+    let mut out = String::new();
+    match opt.exact() {
+        Some(v) => out.push_str(&format!("OPT_total = {v} (exact)\n")),
+        None => out.push_str(&format!(
+            "OPT_total ∈ [{}, {}] (bracket)\n",
+            opt.lower, opt.upper
+        )),
+    }
+    out.push_str(&format!("FirstFit  = {}\n", ff.total_usage()));
+    if let Some(r) = rep.exact_ratio() {
+        out.push_str(&format!(
+            "ratio     = {} ≤ µ+4 = {}\n",
+            r,
+            rep.theorem1_bound()
+                .map(|b| b.to_string())
+                .unwrap_or_default()
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_render(opts: &Opts) -> Result<String, CliError> {
+    let (_, instance) = load(opts)?;
+    let width = opts.u32_or("width", 72)? as usize;
+    let mut algo = make_algo_for(opts.get("algo").unwrap_or("firstfit"), &instance)?;
+    let outcome =
+        run_packing(&instance, algo.as_mut()).map_err(|e| err(format!("packing failed: {e}")))?;
+    let mut out = String::new();
+    out.push_str(&dbp_viz::timeline(&instance, width));
+    out.push('\n');
+    out.push_str(&dbp_viz::usage(&instance, &outcome, width));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("mindbp-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        let out = run(&[]).unwrap();
+        assert!(out.contains("USAGE"));
+        assert!(run(&args(&["help"])).unwrap().contains("COMMANDS"));
+    }
+
+    #[test]
+    fn unknown_command_errors_with_usage() {
+        let e = run(&args(&["frobnicate"])).unwrap_err();
+        assert!(e.0.contains("unknown command"));
+        assert!(e.0.contains("USAGE"));
+    }
+
+    #[test]
+    fn option_parsing_errors() {
+        assert!(run(&args(&["pack", "positional"])).is_err());
+        assert!(run(&args(&["pack", "--trace"])).is_err());
+        assert!(run(&args(&["generate", "--family", "random"])).is_err()); // no --out
+    }
+
+    #[test]
+    fn generate_pack_certify_opt_render_pipeline() {
+        let path = tmp("pipeline.json");
+        let out = run(&args(&[
+            "generate", "--family", "random", "--n", "24", "--mu", "3", "--seed", "5", "--out",
+            &path,
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote random"));
+
+        let packed = run(&args(&["pack", "--trace", &path, "--algo", "ff"])).unwrap();
+        assert!(packed.contains("FirstFit"));
+        assert!(packed.contains("servers"));
+
+        let compared = run(&args(&["compare", "--trace", &path])).unwrap();
+        assert!(compared.contains("NextFit"));
+        assert!(compared.contains("HybridFirstFit"));
+
+        let cert = run(&args(&["certify", "--trace", &path])).unwrap();
+        assert!(cert.contains("all certificates hold"), "{cert}");
+
+        let opt = run(&args(&["opt", "--trace", &path])).unwrap();
+        assert!(opt.contains("OPT_total"));
+        assert!(opt.contains("ratio"));
+
+        let render = run(&args(&["render", "--trace", &path, "--width", "60"])).unwrap();
+        assert!(render.contains("span"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn gadget_families_generate() {
+        for family in ["nextfit", "universal", "ladder", "scatter", "gaming"] {
+            let path = tmp(&format!("{family}.json"));
+            let out = run(&args(&[
+                "generate", "--family", family, "--mu", "3", "--k", "4", "--n", "6", "--out", &path,
+            ]))
+            .unwrap();
+            assert!(out.contains(family), "{out}");
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn bad_algo_and_billing_are_reported() {
+        let path = tmp("bad.json");
+        run(&args(&[
+            "generate", "--family", "random", "--n", "4", "--out", &path,
+        ]))
+        .unwrap();
+        assert!(run(&args(&["pack", "--trace", &path, "--algo", "nope"]))
+            .unwrap_err()
+            .0
+            .contains("unknown algorithm"));
+        assert!(run(&args(&["pack", "--trace", &path, "--billing", "nope"]))
+            .unwrap_err()
+            .0
+            .contains("unknown billing"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn clairvoyant_and_harmonic_algos_work() {
+        let path = tmp("cv.json");
+        run(&args(&[
+            "generate",
+            "--family",
+            "universal",
+            "--k",
+            "6",
+            "--mu",
+            "4",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        let aligned = run(&args(&["pack", "--trace", &path, "--algo", "aligned"])).unwrap();
+        assert!(aligned.contains("DepartureAlignedFit"));
+        let harmonic = run(&args(&["pack", "--trace", &path, "--algo", "harmonic"])).unwrap();
+        assert!(harmonic.contains("HybridFirstFit"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn chain_and_adaptive_commands_work() {
+        let path = tmp("chain.json");
+        run(&args(&[
+            "generate", "--family", "random", "--n", "16", "--mu", "3", "--seed", "2", "--out",
+            &path,
+        ]))
+        .unwrap();
+        let chain = run(&args(&["chain", "--trace", &path])).unwrap();
+        assert!(chain.contains("Theorem 1 chain"), "{chain}");
+        assert!(chain.contains("every step holds"), "{chain}");
+        std::fs::remove_file(&path).unwrap();
+
+        let game = run(&args(&[
+            "adaptive", "--algo", "bestfit", "--k", "6", "--mu", "4",
+        ]))
+        .unwrap();
+        assert!(game.contains("keep-smallest"), "{game}");
+        assert!(game.contains("cost: 24"), "{game}"); // kµ = 24
+    }
+
+    #[test]
+    fn hourly_billing_increases_cost() {
+        let path = tmp("billing.json");
+        run(&args(&[
+            "generate", "--family", "gaming", "--n", "10", "--seed", "3", "--out", &path,
+        ]))
+        .unwrap();
+        let cont = run(&args(&[
+            "pack",
+            "--trace",
+            &path,
+            "--billing",
+            "continuous",
+        ]))
+        .unwrap();
+        let hourly = run(&args(&["pack", "--trace", &path, "--billing", "hourly"])).unwrap();
+        assert!(cont.contains("billed"));
+        assert!(hourly.contains("quantized"));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

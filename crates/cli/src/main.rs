@@ -1,0 +1,12 @@
+//! Thin binary wrapper around the testable CLI library.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match mindbp_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

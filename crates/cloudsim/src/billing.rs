@@ -1,0 +1,141 @@
+//! Pay-as-you-go billing models.
+//!
+//! The paper's cost model charges each server for its *usage time*;
+//! real clouds round each rental up to a billing quantum. The
+//! MinUsageTime objective is the `quantum → 0` limit, and `exp_billing`
+//! (E9) shows empirically that minimizing usage time remains the right
+//! proxy under realistic quanta.
+
+use dbp_numeric::Rational;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How a single server rental of some duration is billed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BillingModel {
+    /// Bill exactly the usage time (the paper's objective).
+    Continuous,
+    /// Round each rental up to a multiple of `quantum` (same time
+    /// unit as the job stream), with an optional minimum charge.
+    Quantized {
+        /// Billing granularity, > 0.
+        quantum: Rational,
+        /// Minimum billed time per rental (e.g. per-second billing
+        /// with a 60-second minimum). Zero for none.
+        minimum: Rational,
+    },
+}
+
+impl BillingModel {
+    /// Per-hour billing for a job stream whose times are minutes.
+    pub fn hourly() -> BillingModel {
+        BillingModel::Quantized {
+            quantum: Rational::from_int(60),
+            minimum: Rational::ZERO,
+        }
+    }
+
+    /// Per-minute billing (minute time unit).
+    pub fn per_minute() -> BillingModel {
+        BillingModel::Quantized {
+            quantum: Rational::ONE,
+            minimum: Rational::ZERO,
+        }
+    }
+
+    /// Per-second billing with a one-minute minimum (minute unit):
+    /// quantum 1/60, minimum 1.
+    pub fn per_second_min_minute() -> BillingModel {
+        BillingModel::Quantized {
+            quantum: Rational::new(1, 60),
+            minimum: Rational::ONE,
+        }
+    }
+
+    /// Billed time for one server rental of length `usage`.
+    pub fn bill(&self, usage: Rational) -> Rational {
+        debug_assert!(!usage.is_negative());
+        match *self {
+            BillingModel::Continuous => usage,
+            BillingModel::Quantized { quantum, minimum } => {
+                assert!(quantum.is_positive(), "billing quantum must be positive");
+                let units = (usage / quantum).ceil().max(0);
+                (Rational::from_int(units) * quantum).max(minimum)
+            }
+        }
+    }
+}
+
+impl fmt::Display for BillingModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BillingModel::Continuous => write!(f, "continuous"),
+            BillingModel::Quantized { quantum, minimum } => {
+                write!(f, "quantized(q={quantum}")?;
+                if minimum.is_positive() {
+                    write!(f, ", min={minimum}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_numeric::rat;
+
+    #[test]
+    fn continuous_is_identity() {
+        assert_eq!(BillingModel::Continuous.bill(rat(7, 3)), rat(7, 3));
+        assert_eq!(
+            BillingModel::Continuous.bill(Rational::ZERO),
+            Rational::ZERO
+        );
+    }
+
+    #[test]
+    fn hourly_rounds_up() {
+        let h = BillingModel::hourly();
+        assert_eq!(h.bill(rat(1, 1)), rat(60, 1)); // 1 min → 1 h
+        assert_eq!(h.bill(rat(60, 1)), rat(60, 1)); // exactly 1 h
+        assert_eq!(h.bill(rat(61, 1)), rat(120, 1)); // 61 min → 2 h
+        assert_eq!(h.bill(Rational::ZERO), Rational::ZERO);
+    }
+
+    #[test]
+    fn minimum_charge_applies() {
+        let m = BillingModel::per_second_min_minute();
+        // 10 seconds = 1/6 minute → rounded to 10/60 = 1/6, then min 1.
+        assert_eq!(m.bill(rat(1, 6)), rat(1, 1));
+        // 2.5 minutes → ceil to 150 seconds = 2.5 min (already multiple).
+        assert_eq!(m.bill(rat(5, 2)), rat(5, 2));
+    }
+
+    #[test]
+    fn quantized_monotone_and_dominating() {
+        let q = BillingModel::Quantized {
+            quantum: rat(7, 2),
+            minimum: Rational::ZERO,
+        };
+        let mut last = Rational::ZERO;
+        for i in 0..20 {
+            let usage = rat(i, 3);
+            let b = q.bill(usage);
+            assert!(b >= usage, "billed below usage");
+            assert!(b >= last, "billing must be monotone");
+            last = b;
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(BillingModel::Continuous.to_string(), "continuous");
+        assert_eq!(BillingModel::hourly().to_string(), "quantized(q=60)");
+        assert_eq!(
+            BillingModel::per_second_min_minute().to_string(),
+            "quantized(q=1/60, min=1)"
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Cost and fleet reporting.
+
+use crate::billing::BillingModel;
+use dbp_numeric::{Interval, Rational};
+use serde::Serialize;
+
+/// One rented server's history.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ServerRecord {
+    /// Server index in rental order.
+    pub server: u32,
+    /// Rental period (first job arrival to last job departure).
+    pub rental: Interval,
+    /// Billed time under the report's billing model.
+    pub billed: Rational,
+    /// Number of jobs the server ever hosted.
+    pub jobs: usize,
+    /// Mean resource utilization over the rental.
+    pub mean_utilization: Rational,
+}
+
+/// The outcome of a dispatch simulation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct CostReport {
+    /// Dispatch algorithm name.
+    pub algorithm: String,
+    /// Billing model applied.
+    pub billing: BillingModel,
+    /// Number of jobs dispatched.
+    pub jobs: usize,
+    /// Servers rented over the run.
+    pub servers_used: usize,
+    /// Peak simultaneously-open servers.
+    pub peak_servers: usize,
+    /// Total raw usage time `Σ |rental|` (the paper's objective).
+    pub usage_time: Rational,
+    /// Total billed time under the billing model (`≥ usage_time`).
+    pub billed_time: Rational,
+    /// Demand-weighted utilization: packed job volume / usage time.
+    pub utilization: Option<Rational>,
+    /// Per-server details.
+    pub servers: Vec<ServerRecord>,
+    /// Step function of open-server count: `(time, count)` at each
+    /// change point, in time order.
+    pub open_series: Vec<(Rational, usize)>,
+}
+
+impl CostReport {
+    /// Billing overhead factor `billed/usage` (`None` for an idle
+    /// run).
+    pub fn billing_overhead(&self) -> Option<Rational> {
+        (!self.usage_time.is_zero()).then(|| self.billed_time / self.usage_time)
+    }
+
+    /// Open-server count at a time `t` (for plotting/tests).
+    pub fn open_at(&self, t: Rational) -> usize {
+        let idx = self.open_series.partition_point(|(ts, _)| *ts <= t);
+        if idx == 0 {
+            0
+        } else {
+            self.open_series[idx - 1].1
+        }
+    }
+}

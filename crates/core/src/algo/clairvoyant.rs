@@ -1,0 +1,339 @@
+//! Departure-clairvoyant packing (ablation baseline).
+//!
+//! The defining difficulty of MinUsageTime DBP is that **departure
+//! times are unknown at placement time** — it is why no online
+//! algorithm can beat ratio `µ`. [`DepartureAlignedFit`] is the
+//! ablation of exactly that constraint: it is constructed with the
+//! full instance (so it knows every departure) and places each item
+//! into the feasible open bin whose current closing time is nearest
+//! the item's own departure, aligning lifetimes so bins close
+//! promptly instead of being pinned open by one long straggler.
+//!
+//! It is *not* an online algorithm; it exists so experiments can
+//! quantify the value of duration information (`exp_clairvoyance`),
+//! the ablation DESIGN.md calls for. Everything else about the
+//! engine contract (no migration, feasibility) still applies.
+
+use super::{ArrivalView, PackingAlgorithm, Placement};
+use crate::bin::{BinId, BinSnapshot};
+use crate::item::{Instance, ItemId};
+use dbp_numeric::Rational;
+use std::collections::HashMap;
+
+/// Clairvoyant alignment fit: among feasible open bins, find the one
+/// minimizing `|bin_close − item_departure|` (`bin_close` = latest
+/// departure among the bin's residents), and join it **only if the
+/// mismatch is at most half the item's duration** — otherwise open a
+/// fresh bin, even though something fits.
+///
+/// The tolerance is what lets clairvoyance actually pay off: an
+/// Any-Fit clairvoyant is still forced into the adversarial gadgets
+/// (when only one bin fits, alignment has no choice), whereas the
+/// tolerance rule groups items by departure epoch and sends the
+/// long-lived stragglers to their own bins. On the universal pair
+/// family it recovers the offline non-migratory optimum `k + µ`
+/// while every online algorithm pays `kµ`.
+#[derive(Debug, Clone)]
+pub struct DepartureAlignedFit {
+    /// Departure time per item id (the clairvoyance).
+    departures: Vec<Rational>,
+    /// Latest departure among residents, per open bin.
+    bin_close: HashMap<BinId, Rational>,
+    /// Residents per open bin (to recompute closings on departure).
+    residents: HashMap<BinId, Vec<ItemId>>,
+}
+
+impl DepartureAlignedFit {
+    /// Builds the clairvoyant from the full instance.
+    pub fn new(instance: &Instance) -> DepartureAlignedFit {
+        DepartureAlignedFit {
+            departures: instance.items().iter().map(|r| r.departure()).collect(),
+            bin_close: HashMap::new(),
+            residents: HashMap::new(),
+        }
+    }
+
+    fn departure_of(&self, item: ItemId) -> Rational {
+        self.departures[item.index()]
+    }
+}
+
+impl PackingAlgorithm for DepartureAlignedFit {
+    fn name(&self) -> String {
+        "DepartureAlignedFit".to_string()
+    }
+
+    fn reset(&mut self) {
+        self.bin_close.clear();
+        self.residents.clear();
+    }
+
+    fn place(&mut self, arrival: &ArrivalView, bins: &BinSnapshot<'_>) -> Placement {
+        let dep = self.departure_of(arrival.item);
+        let duration = dep - arrival.time;
+        let mut best: Option<(Rational, BinId)> = None;
+        for bin in bins.fitting(arrival.size) {
+            let close = self
+                .bin_close
+                .get(&bin.id)
+                .copied()
+                .expect("open bin tracked");
+            let mismatch = (close - dep).abs();
+            match best {
+                Some((cur, _)) if cur <= mismatch => {}
+                _ => best = Some((mismatch, bin.id)),
+            }
+        }
+        match best {
+            // Join only a well-aligned bin: mismatch ≤ duration/2.
+            Some((mismatch, bin)) if mismatch * Rational::TWO <= duration => {
+                Placement::Existing(bin)
+            }
+            _ => Placement::OpenNew,
+        }
+    }
+
+    fn on_placed(&mut self, item: ItemId, bin: BinId, _new_bin: bool, _time: Rational) {
+        let dep = self.departure_of(item);
+        let close = self.bin_close.entry(bin).or_insert(dep);
+        if dep > *close {
+            *close = dep;
+        }
+        self.residents.entry(bin).or_default().push(item);
+    }
+
+    fn on_departure(&mut self, item: ItemId, bin: BinId, _time: Rational, _bins: &BinSnapshot<'_>) {
+        if let Some(rs) = self.residents.get_mut(&bin) {
+            rs.retain(|r| *r != item);
+            if let Some(max) = rs.iter().map(|r| self.departures[r.index()]).max() {
+                self.bin_close.insert(bin, max);
+            }
+        }
+    }
+
+    fn on_bin_closed(&mut self, bin: BinId, _time: Rational) {
+        self.bin_close.remove(&bin);
+        self.residents.remove(&bin);
+    }
+}
+
+/// Clairvoyant greedy: place each item where it adds the least
+/// usage time *right now* — joining bin `b` costs
+/// `max(0, departure − bin_close(b))` (the extension it forces),
+/// opening a new bin costs the item's full duration. Ties prefer the
+/// earliest-opened bin.
+///
+/// Unlike [`DepartureAlignedFit`] this is a pure local-cost rule with
+/// no tuning knob; it is myopic (it can be baited into extending a
+/// bin that a later item would have extended anyway) but is the
+/// natural "obvious greedy" baseline for the clairvoyant setting.
+#[derive(Debug, Clone)]
+pub struct MarginalCostFit {
+    departures: Vec<Rational>,
+    bin_close: HashMap<BinId, Rational>,
+    residents: HashMap<BinId, Vec<ItemId>>,
+}
+
+impl MarginalCostFit {
+    /// Builds the greedy from the full instance.
+    pub fn new(instance: &Instance) -> MarginalCostFit {
+        MarginalCostFit {
+            departures: instance.items().iter().map(|r| r.departure()).collect(),
+            bin_close: HashMap::new(),
+            residents: HashMap::new(),
+        }
+    }
+}
+
+impl PackingAlgorithm for MarginalCostFit {
+    fn name(&self) -> String {
+        "MarginalCostFit".to_string()
+    }
+
+    fn reset(&mut self) {
+        self.bin_close.clear();
+        self.residents.clear();
+    }
+
+    fn place(&mut self, arrival: &ArrivalView, bins: &BinSnapshot<'_>) -> Placement {
+        let dep = self.departures[arrival.item.index()];
+        let open_cost = dep - arrival.time; // duration
+        let mut best: Option<(Rational, BinId)> = None;
+        for bin in bins.fitting(arrival.size) {
+            let close = self.bin_close[&bin.id];
+            let extension = (dep - close).max(Rational::ZERO);
+            match best {
+                Some((cur, _)) if cur <= extension => {}
+                _ => best = Some((extension, bin.id)),
+            }
+        }
+        match best {
+            Some((extension, bin)) if extension < open_cost => Placement::Existing(bin),
+            _ => Placement::OpenNew,
+        }
+    }
+
+    fn on_placed(&mut self, item: ItemId, bin: BinId, _new_bin: bool, _time: Rational) {
+        let dep = self.departures[item.index()];
+        let close = self.bin_close.entry(bin).or_insert(dep);
+        if dep > *close {
+            *close = dep;
+        }
+        self.residents.entry(bin).or_default().push(item);
+    }
+
+    fn on_departure(&mut self, item: ItemId, bin: BinId, _time: Rational, _bins: &BinSnapshot<'_>) {
+        if let Some(rs) = self.residents.get_mut(&bin) {
+            rs.retain(|r| *r != item);
+            if let Some(max) = rs.iter().map(|r| self.departures[r.index()]).max() {
+                self.bin_close.insert(bin, max);
+            }
+        }
+    }
+
+    fn on_bin_closed(&mut self, bin: BinId, _time: Rational) {
+        self.bin_close.remove(&bin);
+        self.residents.remove(&bin);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_packing;
+    use crate::FirstFit;
+    use dbp_numeric::rat;
+
+    /// The universal pair gadget is precisely where clairvoyance
+    /// pays: the aligned fit keeps long tinies out of the short
+    /// larges' bins.
+    fn pair_gadget(k: i128, mu: i128) -> Instance {
+        let mut b = Instance::builder();
+        for _ in 0..k {
+            b = b
+                .item(rat(k - 1, k), rat(0, 1), rat(1, 1)) // large, short
+                .item(rat(1, k), rat(0, 1), rat(mu, 1)); // tiny, long
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn clairvoyance_beats_first_fit_on_the_gadget() {
+        let inst = pair_gadget(8, 6);
+        let ff = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let mut cv = DepartureAlignedFit::new(&inst);
+        let aligned = run_packing(&inst, &mut cv).unwrap();
+        assert!(
+            aligned.total_usage() < ff.total_usage(),
+            "aligned {} !< FF {}",
+            aligned.total_usage(),
+            ff.total_usage()
+        );
+    }
+
+    #[test]
+    fn alignment_groups_equal_departures() {
+        // Two shorts (depart at 1) and two longs (depart at 9), all
+        // size 1/2 arriving together: alignment pairs short+short and
+        // long+long → total usage 1 + 9; FF pairs them by arrival
+        // order (short+long twice) → 9 + 9.
+        let inst = Instance::builder()
+            .item(rat(1, 2), rat(0, 1), rat(1, 1))
+            .item(rat(1, 2), rat(0, 1), rat(9, 1))
+            .item(rat(1, 2), rat(0, 1), rat(1, 1))
+            .item(rat(1, 2), rat(0, 1), rat(9, 1))
+            .build()
+            .unwrap();
+        let ff = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        assert_eq!(ff.total_usage(), rat(18, 1));
+        let mut cv = DepartureAlignedFit::new(&inst);
+        let aligned = run_packing(&inst, &mut cv).unwrap();
+        assert_eq!(aligned.total_usage(), rat(10, 1));
+    }
+
+    #[test]
+    fn remains_feasible_and_complete() {
+        let inst = Instance::builder()
+            .item(rat(2, 3), rat(0, 1), rat(4, 1))
+            .item(rat(2, 3), rat(1, 1), rat(2, 1))
+            .item(rat(1, 3), rat(1, 1), rat(5, 1))
+            .item(rat(1, 2), rat(3, 1), rat(6, 1))
+            .build()
+            .unwrap();
+        let mut cv = DepartureAlignedFit::new(&inst);
+        let out = run_packing(&inst, &mut cv).unwrap();
+        assert_eq!(out.assignments().len(), 4);
+        assert!(out.total_usage() >= inst.span());
+    }
+
+    #[test]
+    fn marginal_cost_fit_extends_cheaply() {
+        // A zero-extension join always beats opening: two items with
+        // the SAME departure share; a later-departing item opens its
+        // own bin only when extension ≥ duration.
+        let inst = Instance::builder()
+            .item(rat(1, 4), rat(0, 1), rat(4, 1)) // b0 closes at 4
+            .item(rat(1, 4), rat(1, 1), rat(4, 1)) // extension 0 → join
+            .item(rat(1, 4), rat(2, 1), rat(12, 1)) // ext 8 ≥ dur 10 → join (8 < 10)
+            .build()
+            .unwrap();
+        let mut mc = MarginalCostFit::new(&inst);
+        let out = run_packing(&inst, &mut mc).unwrap();
+        assert_eq!(out.bin_of(ItemId(1)), out.bin_of(ItemId(0)));
+        // extension 8 < duration 10 → joins too.
+        assert_eq!(out.bin_of(ItemId(2)), out.bin_of(ItemId(0)));
+        assert_eq!(out.bins_opened(), 1);
+    }
+
+    #[test]
+    fn marginal_cost_fit_opens_for_expensive_extensions() {
+        let inst = Instance::builder()
+            .item(rat(1, 4), rat(0, 1), rat(1, 1)) // b0 closes at 1
+            .item(rat(1, 4), rat(0, 1), rat(10, 1)) // ext 9 ≥ dur 10? 9 < 10 → joins!
+            .item(rat(1, 4), rat(9, 1), rat(10, 1)) // ext 0 → joins the long bin
+            .build()
+            .unwrap();
+        let mut mc = MarginalCostFit::new(&inst);
+        let out = run_packing(&inst, &mut mc).unwrap();
+        // Item 1: extension 9 < duration 10, joins; bin stays open to 10.
+        assert_eq!(out.bins_opened(), 1);
+        // Compare a case where opening wins: extension == duration.
+        let inst2 = Instance::builder()
+            .item(rat(1, 4), rat(0, 1), rat(1, 1))
+            .item(rat(1, 4), rat(1, 2), rat(3, 2)) // ext 1/2 < dur 1 → join
+            .item(rat(1, 4), rat(1, 1), rat(2, 1)) // ext 1/2... closes 3/2: ext 1/2 < 1 join
+            .build()
+            .unwrap();
+        let mut mc2 = MarginalCostFit::new(&inst2);
+        let out2 = run_packing(&inst2, &mut mc2).unwrap();
+        assert_eq!(out2.bins_opened(), 1);
+    }
+
+    #[test]
+    fn tolerance_beats_myopia_on_the_gadget() {
+        // The pair gadget separates the two clairvoyant rules: the
+        // tolerance-based aligned fit refuses the ill-matched join
+        // and recovers ≈ OPT, while the myopic marginal greedy joins
+        // each pair bin (extension µ−1 < duration µ, and the bin is
+        // then exactly full, removing all later choice) and ends up
+        // exactly where First Fit does. Knowing departures is only
+        // worth something if the *rule* exploits them non-myopically.
+        let inst = pair_gadget(10, 8);
+        let ff = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let mut al = DepartureAlignedFit::new(&inst);
+        let aligned = run_packing(&inst, &mut al).unwrap();
+        let mut mc = MarginalCostFit::new(&inst);
+        let marginal = run_packing(&inst, &mut mc).unwrap();
+        assert!(aligned.total_usage() < ff.total_usage());
+        assert_eq!(marginal.total_usage(), ff.total_usage());
+    }
+
+    #[test]
+    fn reset_allows_reuse() {
+        let inst = pair_gadget(4, 3);
+        let mut cv = DepartureAlignedFit::new(&inst);
+        let a = run_packing(&inst, &mut cv).unwrap();
+        let b = run_packing(&inst, &mut cv).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,120 @@
+//! Scripted (replay) placements.
+//!
+//! [`Scripted`] places each item into a predetermined *bin label*;
+//! labels are mapped to engine bins in order of first use. This is
+//! not an online algorithm — it exists so tests, figures and worked
+//! examples can realize an exact packing (e.g. the consolidation
+//! scenarios of §V) and feed it to the analysis machinery, with the
+//! engine still enforcing feasibility.
+
+use super::{ArrivalView, PackingAlgorithm, Placement};
+use crate::bin::{BinId, BinSnapshot};
+use crate::item::ItemId;
+use dbp_numeric::Rational;
+use std::collections::HashMap;
+
+/// Places item `i` into the bin labeled `labels[i]`.
+#[derive(Debug, Clone)]
+pub struct Scripted {
+    labels: Vec<u32>,
+    open_by_label: HashMap<u32, BinId>,
+}
+
+impl Scripted {
+    /// Builds the script; `labels[i]` is item `i`'s bin label.
+    pub fn new(labels: Vec<u32>) -> Scripted {
+        Scripted {
+            labels,
+            open_by_label: HashMap::new(),
+        }
+    }
+
+    /// Builds a script from `(item index, label)` pairs over `n`
+    /// items; unlisted items get label 0.
+    pub fn from_pairs(n: usize, pairs: &[(usize, u32)]) -> Scripted {
+        let mut labels = vec![0; n];
+        for &(i, l) in pairs {
+            labels[i] = l;
+        }
+        Scripted::new(labels)
+    }
+}
+
+impl PackingAlgorithm for Scripted {
+    fn name(&self) -> String {
+        "Scripted".to_string()
+    }
+
+    fn reset(&mut self) {
+        self.open_by_label.clear();
+    }
+
+    fn place(&mut self, arrival: &ArrivalView, _bins: &BinSnapshot<'_>) -> Placement {
+        let label = self.labels[arrival.item.index()];
+        match self.open_by_label.get(&label) {
+            Some(&bin) => Placement::Existing(bin),
+            None => Placement::OpenNew,
+        }
+    }
+
+    fn on_placed(&mut self, item: ItemId, bin: BinId, new_bin: bool, _time: Rational) {
+        if new_bin {
+            self.open_by_label.insert(self.labels[item.index()], bin);
+        }
+    }
+
+    fn on_bin_closed(&mut self, bin: BinId, _time: Rational) {
+        self.open_by_label.retain(|_, b| *b != bin);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_packing;
+    use crate::item::Instance;
+    use dbp_numeric::rat;
+
+    #[test]
+    fn follows_the_script() {
+        let inst = Instance::builder()
+            .item(rat(1, 4), rat(0, 1), rat(2, 1))
+            .item(rat(1, 4), rat(0, 1), rat(2, 1))
+            .item(rat(1, 4), rat(0, 1), rat(2, 1))
+            .build()
+            .unwrap();
+        // First Fit would use one bin; the script demands two.
+        let out = run_packing(&inst, &mut Scripted::new(vec![0, 1, 0])).unwrap();
+        assert_eq!(out.bins_opened(), 2);
+        assert_eq!(out.bin_of(ItemId(0)), out.bin_of(ItemId(2)));
+        assert_ne!(out.bin_of(ItemId(0)), out.bin_of(ItemId(1)));
+    }
+
+    #[test]
+    fn closed_labels_reopen_fresh_bins() {
+        let inst = Instance::builder()
+            .item(rat(1, 2), rat(0, 1), rat(1, 1))
+            .item(rat(1, 2), rat(2, 1), rat(3, 1)) // label 0 again, after close
+            .build()
+            .unwrap();
+        let out = run_packing(&inst, &mut Scripted::new(vec![0, 0])).unwrap();
+        assert_eq!(out.bins_opened(), 2);
+    }
+
+    #[test]
+    fn infeasible_scripts_are_rejected_by_the_engine() {
+        let inst = Instance::builder()
+            .item(rat(2, 3), rat(0, 1), rat(2, 1))
+            .item(rat(2, 3), rat(0, 1), rat(2, 1))
+            .build()
+            .unwrap();
+        let err = run_packing(&inst, &mut Scripted::new(vec![0, 0])).unwrap_err();
+        assert!(matches!(err, crate::PackingError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn from_pairs_defaults_to_zero() {
+        let s = Scripted::from_pairs(4, &[(2, 7)]);
+        assert_eq!(s.labels, vec![0, 0, 7, 0]);
+    }
+}

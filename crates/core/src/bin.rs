@@ -1,0 +1,163 @@
+//! Open-bin state and the read-only view exposed to algorithms.
+
+use crate::item::ItemId;
+use dbp_numeric::Rational;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a bin. Bins are numbered in the temporal order of
+/// their opening (the paper's convention: `U_1^- ≤ U_2^- ≤ …`), and a
+/// closed bin is never reused — reopening would be a *new* bin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BinId(pub u32);
+
+impl BinId {
+    /// Index form.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BinId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// Snapshot of one *open* bin as visible to an online algorithm.
+///
+/// Contains only online-legal information: which items are currently
+/// inside (ids and sizes), the current level, and when the bin was
+/// opened. No departure times.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenBin {
+    /// Bin identifier (also its opening rank: `BinId(k)` was the
+    /// `k`-th bin opened overall).
+    pub id: BinId,
+    /// Time the bin was opened (first item arrival).
+    pub opened_at: Rational,
+    /// Current level: total size of the active items inside.
+    pub level: Rational,
+    /// Currently active items `(id, size)` in arrival order.
+    pub contents: Vec<(ItemId, Rational)>,
+}
+
+impl OpenBin {
+    /// Remaining capacity `1 − level`.
+    #[inline]
+    pub fn gap(&self) -> Rational {
+        Rational::ONE - self.level
+    }
+
+    /// `true` iff an item of size `size` fits (`level + size ≤ 1`).
+    #[inline]
+    pub fn fits(&self, size: Rational) -> bool {
+        self.level + size <= Rational::ONE
+    }
+
+    /// Number of active items inside.
+    #[inline]
+    pub fn item_count(&self) -> usize {
+        self.contents.len()
+    }
+}
+
+/// Read-only view of all open bins, ordered by opening time (i.e. by
+/// `BinId`). Handed to [`crate::algo::PackingAlgorithm::place`].
+#[derive(Debug)]
+pub struct BinSnapshot<'a> {
+    bins: &'a [OpenBin],
+}
+
+impl<'a> BinSnapshot<'a> {
+    /// Wraps a slice of open bins (must be sorted by id).
+    pub(crate) fn new(bins: &'a [OpenBin]) -> BinSnapshot<'a> {
+        debug_assert!(bins.windows(2).all(|w| w[0].id < w[1].id));
+        BinSnapshot { bins }
+    }
+
+    /// Open bins in opening order (First Fit scans this forwards).
+    #[inline]
+    pub fn open_bins(&self) -> &[OpenBin] {
+        self.bins
+    }
+
+    /// Number of open bins.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// `true` iff no bin is open.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// Looks up an open bin by id (`None` if that bin is closed or
+    /// never existed).
+    pub fn get(&self, id: BinId) -> Option<&OpenBin> {
+        self.bins
+            .binary_search_by(|b| b.id.cmp(&id))
+            .ok()
+            .map(|i| &self.bins[i])
+    }
+
+    /// Iterates over the bins that can accommodate `size`.
+    pub fn fitting(&self, size: Rational) -> impl Iterator<Item = &OpenBin> + '_ {
+        self.bins.iter().filter(move |b| b.fits(size))
+    }
+
+    /// The earliest-opened bin that fits `size` (First Fit's choice).
+    pub fn first_fitting(&self, size: Rational) -> Option<&OpenBin> {
+        self.fitting(size).next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_numeric::rat;
+
+    fn bin(id: u32, level: Rational) -> OpenBin {
+        OpenBin {
+            id: BinId(id),
+            opened_at: rat(0, 1),
+            level,
+            contents: vec![(ItemId(id), level)],
+        }
+    }
+
+    #[test]
+    fn gap_and_fits() {
+        let b = bin(0, rat(3, 4));
+        assert_eq!(b.gap(), rat(1, 4));
+        assert!(b.fits(rat(1, 4))); // exact fit allowed
+        assert!(!b.fits(rat(1, 3)));
+        assert_eq!(b.item_count(), 1);
+    }
+
+    #[test]
+    fn snapshot_lookup_and_order() {
+        let bins = vec![bin(0, rat(9, 10)), bin(2, rat(1, 2)), bin(5, rat(1, 5))];
+        let snap = BinSnapshot::new(&bins);
+        assert_eq!(snap.len(), 3);
+        assert!(!snap.is_empty());
+        assert_eq!(snap.get(BinId(2)).unwrap().level, rat(1, 2));
+        assert!(snap.get(BinId(1)).is_none());
+    }
+
+    #[test]
+    fn first_fitting_scans_in_opening_order() {
+        let bins = vec![bin(0, rat(9, 10)), bin(2, rat(1, 2)), bin(5, rat(1, 5))];
+        let snap = BinSnapshot::new(&bins);
+        // size 1/3 does not fit b0 (gap 1/10) but fits b2 first.
+        assert_eq!(snap.first_fitting(rat(1, 3)).unwrap().id, BinId(2));
+        // size 1/20 fits b0.
+        assert_eq!(snap.first_fitting(rat(1, 20)).unwrap().id, BinId(0));
+        // nothing fits size 1.
+        assert!(snap.first_fitting(rat(1, 1)).is_none());
+        assert_eq!(snap.fitting(rat(1, 3)).count(), 2);
+    }
+}

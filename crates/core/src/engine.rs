@@ -1,0 +1,597 @@
+//! The event-driven online packing engine.
+//!
+//! The engine is the referee between an instance and an online
+//! algorithm: it replays arrivals and departures in time order
+//! (departures first at equal timestamps — intervals are half-open),
+//! asks the algorithm where to place each arriving item, **validates
+//! feasibility**, and keeps exact books: per-bin usage periods,
+//! per-bin level integrals, and the global usage-time objective
+//! `Σ_k |U_k|` the paper minimizes.
+//!
+//! Algorithms cannot cheat: they see only [`crate::bin::BinSnapshot`]
+//! (current open bins) and the arriving item's size — never a
+//! departure time.
+
+use crate::algo::{ArrivalView, PackingAlgorithm, Placement};
+use crate::bin::{BinId, BinSnapshot, OpenBin};
+use crate::item::{Instance, ItemId};
+use dbp_numeric::{Interval, Rational};
+use dbp_simcore::{EventClass, EventQueue};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors surfaced while driving a packing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PackingError {
+    /// The algorithm placed an item into a bin that cannot hold it.
+    Infeasible {
+        /// Offending bin.
+        bin: BinId,
+        /// Bin level before the placement.
+        level: Rational,
+        /// Size of the item being placed.
+        size: Rational,
+    },
+    /// The algorithm referenced a bin that is not open.
+    NoSuchBin(BinId),
+    /// An item id arrived twice without departing.
+    DuplicateItem(ItemId),
+    /// A departure was issued for an item the engine is not tracking.
+    UnknownItem(ItemId),
+    /// Events were driven with a time earlier than the engine's clock.
+    TimeRegression {
+        /// Engine clock.
+        now: Rational,
+        /// Offending event time.
+        event: Rational,
+    },
+    /// [`PackingEngine::finish`] was called while items are active.
+    ItemsStillActive(usize),
+}
+
+impl fmt::Display for PackingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PackingError::Infeasible { bin, level, size } => write!(
+                f,
+                "infeasible placement: bin {bin} at level {level} cannot take size {size}"
+            ),
+            PackingError::NoSuchBin(b) => write!(f, "placement into non-open bin {b}"),
+            PackingError::DuplicateItem(r) => write!(f, "item {r} arrived twice"),
+            PackingError::UnknownItem(r) => write!(f, "departure of unknown item {r}"),
+            PackingError::TimeRegression { now, event } => {
+                write!(f, "event at {event} precedes engine clock {now}")
+            }
+            PackingError::ItemsStillActive(n) => {
+                write!(f, "finish() with {n} items still active")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PackingError {}
+
+/// Full history of one bin after the run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BinRecord {
+    /// Bin identifier == opening rank.
+    pub id: BinId,
+    /// Usage period `U_k = [opened, closed)`.
+    pub usage: Interval,
+    /// Every item ever placed in the bin, in placement order.
+    pub items: Vec<ItemId>,
+    /// `∫ level(t) dt` over the usage period (exact).
+    pub level_integral: Rational,
+    /// Peak level reached.
+    pub peak_level: Rational,
+}
+
+impl BinRecord {
+    /// Mean level over the usage period (`None` for zero-length
+    /// usage, which cannot happen for validated instances).
+    pub fn mean_level(&self) -> Option<Rational> {
+        let len = self.usage.len();
+        (!len.is_zero()).then(|| self.level_integral / len)
+    }
+}
+
+/// The result of a completed packing run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PackingOutcome {
+    algorithm: String,
+    bins: Vec<BinRecord>,
+    assignments: Vec<(ItemId, BinId)>,
+    total_usage: Rational,
+    max_open_bins: usize,
+}
+
+impl PackingOutcome {
+    /// Name of the algorithm that produced this packing.
+    pub fn algorithm(&self) -> &str {
+        &self.algorithm
+    }
+
+    /// Per-bin histories, in opening order.
+    pub fn bins(&self) -> &[BinRecord] {
+        &self.bins
+    }
+
+    /// `(item, bin)` pairs sorted by item id.
+    pub fn assignments(&self) -> &[(ItemId, BinId)] {
+        &self.assignments
+    }
+
+    /// The bin an item was placed in.
+    pub fn bin_of(&self, item: ItemId) -> Option<BinId> {
+        self.assignments
+            .binary_search_by(|(r, _)| r.cmp(&item))
+            .ok()
+            .map(|i| self.assignments[i].1)
+    }
+
+    /// The objective: total bin usage time `Σ_k |U_k|`
+    /// (`FF_total(R)` for First Fit, §III.C).
+    pub fn total_usage(&self) -> Rational {
+        self.total_usage
+    }
+
+    /// Peak number of simultaneously open bins (the *standard* DBP
+    /// objective, for comparison).
+    pub fn max_open_bins(&self) -> usize {
+        self.max_open_bins
+    }
+
+    /// Number of bins ever opened.
+    pub fn bins_opened(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Aggregate utilization: packed time–space demand divided by
+    /// usage time (`None` for an empty run). Always `≤ 1`.
+    pub fn utilization(&self) -> Option<Rational> {
+        (!self.total_usage.is_zero()).then(|| {
+            let packed: Rational = self.bins.iter().map(|b| b.level_integral).sum();
+            packed / self.total_usage
+        })
+    }
+}
+
+/// Per-bin mutable bookkeeping while the run is live.
+#[derive(Debug, Clone)]
+struct LiveBin {
+    opened_at: Rational,
+    items: Vec<ItemId>,
+    level_integral: Rational,
+    peak_level: Rational,
+    last_change: Rational,
+}
+
+/// The incremental engine. Drive it with [`arrive`](Self::arrive) /
+/// [`depart`](Self::depart) in non-decreasing time order (the
+/// instance-replay helper [`run_packing`] does this for you), then
+/// call [`finish`](Self::finish).
+pub struct PackingEngine {
+    /// Open bins sorted by id, as exposed to algorithms.
+    open: Vec<OpenBin>,
+    /// Parallel bookkeeping for each open bin (same order as `open`).
+    live: Vec<LiveBin>,
+    /// Completed bin records.
+    closed: Vec<BinRecord>,
+    /// item -> (bin, size) for active items, sorted by item id.
+    active: Vec<(ItemId, BinId, Rational)>,
+    /// Final assignment log.
+    assignments: Vec<(ItemId, BinId)>,
+    next_bin: u32,
+    now: Option<Rational>,
+    max_open: usize,
+}
+
+impl Default for PackingEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PackingEngine {
+    /// Creates an idle engine.
+    pub fn new() -> PackingEngine {
+        PackingEngine {
+            open: Vec::new(),
+            live: Vec::new(),
+            closed: Vec::new(),
+            active: Vec::new(),
+            assignments: Vec::new(),
+            next_bin: 0,
+            now: None,
+            max_open: 0,
+        }
+    }
+
+    /// Engine clock (time of the last processed event).
+    pub fn now(&self) -> Option<Rational> {
+        self.now
+    }
+
+    /// Number of currently open bins.
+    pub fn open_bins(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Number of currently active items.
+    pub fn active_items(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Snapshot of the open bins (what an algorithm would see).
+    pub fn snapshot(&self) -> BinSnapshot<'_> {
+        BinSnapshot::new(&self.open)
+    }
+
+    fn check_time(&mut self, t: Rational) -> Result<(), PackingError> {
+        if let Some(now) = self.now {
+            if t < now {
+                return Err(PackingError::TimeRegression { now, event: t });
+            }
+        }
+        self.now = Some(t);
+        Ok(())
+    }
+
+    fn advance_bin_clock(open: &mut OpenBin, live: &mut LiveBin, t: Rational) {
+        live.level_integral += open.level * (t - live.last_change);
+        live.last_change = t;
+    }
+
+    /// Processes an arrival: asks `algo` for a placement, validates
+    /// it, and applies it. Returns the chosen bin.
+    pub fn arrive(
+        &mut self,
+        algo: &mut dyn PackingAlgorithm,
+        item: ItemId,
+        size: Rational,
+        time: Rational,
+    ) -> Result<BinId, PackingError> {
+        self.check_time(time)?;
+        if self.active.iter().any(|(r, _, _)| *r == item) {
+            return Err(PackingError::DuplicateItem(item));
+        }
+        let arrival = ArrivalView { item, size, time };
+        let placement = {
+            let snap = BinSnapshot::new(&self.open);
+            algo.place(&arrival, &snap)
+        };
+        let (bin_id, new_bin) = match placement {
+            Placement::Existing(bin_id) => {
+                let idx = self
+                    .open
+                    .binary_search_by(|b| b.id.cmp(&bin_id))
+                    .map_err(|_| PackingError::NoSuchBin(bin_id))?;
+                let (open, live) = (&mut self.open[idx], &mut self.live[idx]);
+                if !open.fits(size) {
+                    return Err(PackingError::Infeasible {
+                        bin: bin_id,
+                        level: open.level,
+                        size,
+                    });
+                }
+                Self::advance_bin_clock(open, live, time);
+                open.level += size;
+                open.contents.push((item, size));
+                live.items.push(item);
+                if open.level > live.peak_level {
+                    live.peak_level = open.level;
+                }
+                (bin_id, false)
+            }
+            Placement::OpenNew => {
+                let bin_id = BinId(self.next_bin);
+                self.next_bin += 1;
+                self.open.push(OpenBin {
+                    id: bin_id,
+                    opened_at: time,
+                    level: size,
+                    contents: vec![(item, size)],
+                });
+                self.live.push(LiveBin {
+                    opened_at: time,
+                    items: vec![item],
+                    level_integral: Rational::ZERO,
+                    peak_level: size,
+                    last_change: time,
+                });
+                self.max_open = self.max_open.max(self.open.len());
+                (bin_id, true)
+            }
+        };
+        let pos = self.active.partition_point(|(r, _, _)| *r < item);
+        self.active.insert(pos, (item, bin_id, size));
+        self.assignments.push((item, bin_id));
+        algo.on_placed(item, bin_id, new_bin, time);
+        Ok(bin_id)
+    }
+
+    /// Processes a departure: removes the item from its bin, closing
+    /// the bin if it empties, and notifies `algo`.
+    pub fn depart(
+        &mut self,
+        algo: &mut dyn PackingAlgorithm,
+        item: ItemId,
+        time: Rational,
+    ) -> Result<BinId, PackingError> {
+        self.check_time(time)?;
+        let pos = self
+            .active
+            .binary_search_by(|(r, _, _)| r.cmp(&item))
+            .map_err(|_| PackingError::UnknownItem(item))?;
+        let (_, bin_id, size) = self.active.remove(pos);
+        let idx = self
+            .open
+            .binary_search_by(|b| b.id.cmp(&bin_id))
+            .expect("active item's bin must be open");
+        {
+            let (open, live) = (&mut self.open[idx], &mut self.live[idx]);
+            Self::advance_bin_clock(open, live, time);
+            open.level -= size;
+            let in_bin = open
+                .contents
+                .iter()
+                .position(|(r, _)| *r == item)
+                .expect("item recorded in its bin");
+            open.contents.remove(in_bin);
+        }
+        let closed_now = self.open[idx].contents.is_empty();
+        if closed_now {
+            let open = self.open.remove(idx);
+            let live = self.live.remove(idx);
+            debug_assert!(open.level.is_zero(), "empty bin must have zero level");
+            self.closed.push(BinRecord {
+                id: open.id,
+                usage: Interval::new(live.opened_at, time),
+                items: live.items,
+                level_integral: live.level_integral,
+                peak_level: live.peak_level,
+            });
+        }
+        {
+            let snap = BinSnapshot::new(&self.open);
+            algo.on_departure(item, bin_id, time, &snap);
+            if closed_now {
+                algo.on_bin_closed(bin_id, time);
+            }
+        }
+        Ok(bin_id)
+    }
+
+    /// Finalizes the run. Fails if items are still active (every
+    /// validated instance drains completely when replayed).
+    pub fn finish(mut self, algorithm: &str) -> Result<PackingOutcome, PackingError> {
+        if !self.active.is_empty() {
+            return Err(PackingError::ItemsStillActive(self.active.len()));
+        }
+        debug_assert!(self.open.is_empty());
+        self.closed.sort_by_key(|b| b.id);
+        self.assignments.sort_by_key(|&(r, _)| r);
+        let total_usage = self.closed.iter().map(|b| b.usage.len()).sum();
+        Ok(PackingOutcome {
+            algorithm: algorithm.to_string(),
+            bins: self.closed,
+            assignments: self.assignments,
+            total_usage,
+            max_open_bins: self.max_open,
+        })
+    }
+}
+
+/// Payload of the replay event queue.
+enum Ev {
+    Arrive(ItemId),
+    Depart(ItemId),
+}
+
+/// Replays a whole instance against an algorithm and returns the
+/// completed outcome.
+///
+/// Event order: global time order; at equal times departures precede
+/// arrivals (half-open intervals), and equal-time same-class events
+/// run in item order — this is what makes adversarial constructions
+/// like §VIII's "let n pairs of items arrive in sequence"
+/// deterministic.
+pub fn run_packing(
+    instance: &Instance,
+    algo: &mut dyn PackingAlgorithm,
+) -> Result<PackingOutcome, PackingError> {
+    algo.reset();
+    let mut queue: EventQueue<Ev> = EventQueue::with_capacity(instance.len() * 2);
+    for item in instance.items() {
+        queue.schedule(item.arrival(), EventClass::Arrival, Ev::Arrive(item.id));
+        queue.schedule(item.departure(), EventClass::Departure, Ev::Depart(item.id));
+    }
+    let mut engine = PackingEngine::new();
+    while let Some(ev) = queue.pop() {
+        match ev.payload {
+            Ev::Arrive(id) => {
+                let size = instance.item(id).size;
+                engine.arrive(algo, id, size, ev.time)?;
+            }
+            Ev::Depart(id) => {
+                engine.depart(algo, id, ev.time)?;
+            }
+        }
+    }
+    engine.finish(&algo.name())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::FirstFit;
+    use dbp_numeric::rat;
+
+    fn inst(specs: &[(i128, i128, i128, i128)]) -> Instance {
+        // (size_num, size_den, arrival, departure)
+        Instance::new(
+            specs
+                .iter()
+                .map(|&(n, d, a, dep)| (rat(n, d), rat(a, 1), rat(dep, 1)))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_item_single_bin() {
+        let i = inst(&[(1, 2, 0, 3)]);
+        let out = run_packing(&i, &mut FirstFit::new()).unwrap();
+        assert_eq!(out.bins_opened(), 1);
+        assert_eq!(out.total_usage(), rat(3, 1));
+        assert_eq!(out.max_open_bins(), 1);
+        assert_eq!(out.bin_of(ItemId(0)), Some(BinId(0)));
+        assert_eq!(out.bins()[0].usage, Interval::new(rat(0, 1), rat(3, 1)));
+        assert_eq!(out.bins()[0].level_integral, rat(3, 2));
+        assert_eq!(out.bins()[0].peak_level, rat(1, 2));
+        assert_eq!(out.utilization(), Some(rat(1, 2)));
+    }
+
+    #[test]
+    fn bin_reuse_at_departure_instant() {
+        // Item 0 on [0,1), item 1 (full size) on [1,2): the departure
+        // at t=1 frees the bin before the arrival at t=1, so First
+        // Fit... opens bin 0 is closed at t=1, so a NEW bin is opened
+        // (closed bins never reopen). Two bins, usage 1 each.
+        let i = inst(&[(1, 1, 0, 1), (1, 1, 1, 2)]);
+        let out = run_packing(&i, &mut FirstFit::new()).unwrap();
+        assert_eq!(out.bins_opened(), 2);
+        assert_eq!(out.total_usage(), rat(2, 1));
+        assert_eq!(out.max_open_bins(), 1);
+    }
+
+    #[test]
+    fn capacity_forces_second_bin() {
+        let i = inst(&[(2, 3, 0, 2), (2, 3, 0, 2)]);
+        let out = run_packing(&i, &mut FirstFit::new()).unwrap();
+        assert_eq!(out.bins_opened(), 2);
+        assert_eq!(out.total_usage(), rat(4, 1));
+        assert_eq!(out.max_open_bins(), 2);
+        assert_eq!(out.bin_of(ItemId(0)), Some(BinId(0)));
+        assert_eq!(out.bin_of(ItemId(1)), Some(BinId(1)));
+    }
+
+    #[test]
+    fn usage_periods_track_openings_and_closings() {
+        // Two items in one bin with staggered intervals, then a late
+        // item reopening a fresh bin after everything closed.
+        let i = inst(&[(1, 2, 0, 2), (1, 2, 1, 4), (1, 2, 6, 7)]);
+        let out = run_packing(&i, &mut FirstFit::new()).unwrap();
+        assert_eq!(out.bins_opened(), 2);
+        let b0 = &out.bins()[0];
+        let b1 = &out.bins()[1];
+        assert_eq!(b0.usage, Interval::new(rat(0, 1), rat(4, 1)));
+        assert_eq!(b1.usage, Interval::new(rat(6, 1), rat(7, 1)));
+        assert_eq!(out.total_usage(), rat(5, 1));
+        // Level integral of b0: 1/2 on [0,1), 1 on [1,2), 1/2 on [2,4)
+        assert_eq!(b0.level_integral, rat(1, 2) + rat(1, 1) + rat(1, 1));
+        assert_eq!(b0.peak_level, rat(1, 1));
+        assert_eq!(b0.mean_level(), Some(rat(5, 8)));
+    }
+
+    #[test]
+    fn infeasible_placement_is_rejected() {
+        struct Stubborn;
+        impl PackingAlgorithm for Stubborn {
+            fn name(&self) -> String {
+                "stubborn".into()
+            }
+            fn place(&mut self, _a: &ArrivalView, bins: &BinSnapshot<'_>) -> Placement {
+                match bins.open_bins().first() {
+                    Some(b) => Placement::Existing(b.id), // even if it doesn't fit
+                    None => Placement::OpenNew,
+                }
+            }
+        }
+        let i = inst(&[(2, 3, 0, 2), (2, 3, 0, 2)]);
+        let err = run_packing(&i, &mut Stubborn).unwrap_err();
+        assert!(matches!(
+            err,
+            PackingError::Infeasible { bin: BinId(0), .. }
+        ));
+    }
+
+    #[test]
+    fn placement_into_closed_bin_is_rejected() {
+        struct Ghost;
+        impl PackingAlgorithm for Ghost {
+            fn name(&self) -> String {
+                "ghost".into()
+            }
+            fn place(&mut self, a: &ArrivalView, _b: &BinSnapshot<'_>) -> Placement {
+                if a.item == ItemId(0) {
+                    Placement::OpenNew
+                } else {
+                    Placement::Existing(BinId(0)) // closed by then
+                }
+            }
+        }
+        let i = inst(&[(1, 2, 0, 1), (1, 2, 2, 3)]);
+        let err = run_packing(&i, &mut Ghost).unwrap_err();
+        assert_eq!(err, PackingError::NoSuchBin(BinId(0)));
+    }
+
+    #[test]
+    fn engine_rejects_time_regression() {
+        let mut eng = PackingEngine::new();
+        let mut ff = FirstFit::new();
+        eng.arrive(&mut ff, ItemId(0), rat(1, 2), rat(5, 1))
+            .unwrap();
+        let err = eng
+            .arrive(&mut ff, ItemId(1), rat(1, 2), rat(4, 1))
+            .unwrap_err();
+        assert!(matches!(err, PackingError::TimeRegression { .. }));
+    }
+
+    #[test]
+    fn engine_rejects_duplicates_and_unknowns() {
+        let mut eng = PackingEngine::new();
+        let mut ff = FirstFit::new();
+        eng.arrive(&mut ff, ItemId(0), rat(1, 2), rat(0, 1))
+            .unwrap();
+        assert_eq!(
+            eng.arrive(&mut ff, ItemId(0), rat(1, 4), rat(1, 1)),
+            Err(PackingError::DuplicateItem(ItemId(0)))
+        );
+        assert_eq!(
+            eng.depart(&mut ff, ItemId(7), rat(1, 1)),
+            Err(PackingError::UnknownItem(ItemId(7)))
+        );
+    }
+
+    #[test]
+    fn finish_requires_drained_engine() {
+        let mut eng = PackingEngine::new();
+        let mut ff = FirstFit::new();
+        eng.arrive(&mut ff, ItemId(0), rat(1, 2), rat(0, 1))
+            .unwrap();
+        let err = eng.finish("ff").unwrap_err();
+        assert_eq!(err, PackingError::ItemsStillActive(1));
+    }
+
+    #[test]
+    fn max_open_bins_counts_concurrency() {
+        // Three simultaneous full-size items: three bins at once.
+        let i = inst(&[(1, 1, 0, 2), (1, 1, 0, 2), (1, 1, 0, 2), (1, 1, 3, 4)]);
+        let out = run_packing(&i, &mut FirstFit::new()).unwrap();
+        assert_eq!(out.max_open_bins(), 3);
+        assert_eq!(out.bins_opened(), 4);
+        assert_eq!(out.total_usage(), rat(7, 1));
+    }
+
+    #[test]
+    fn outcome_assignment_lookup() {
+        let i = inst(&[(1, 2, 0, 2), (1, 2, 0, 2), (1, 2, 0, 2)]);
+        let out = run_packing(&i, &mut FirstFit::new()).unwrap();
+        assert_eq!(out.bin_of(ItemId(0)), Some(BinId(0)));
+        assert_eq!(out.bin_of(ItemId(1)), Some(BinId(0)));
+        assert_eq!(out.bin_of(ItemId(2)), Some(BinId(1)));
+        assert_eq!(out.bin_of(ItemId(9)), None);
+        assert_eq!(out.algorithm(), "FirstFit");
+    }
+}

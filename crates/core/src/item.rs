@@ -1,0 +1,590 @@
+//! Items and validated problem instances.
+
+use dbp_numeric::{Interval, IntervalSet, Rational};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an item within an [`Instance`] (its index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ItemId(pub u32);
+
+impl ItemId {
+    /// The item's index into [`Instance::items`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// An item: a job with a resource demand and an activity interval.
+///
+/// `size` is the fraction of a unit-capacity bin the item occupies
+/// (paper: `s(r) ∈ (0, 1]`); `interval` is `I(r) = [arrival,
+/// departure)`. The departure is ground truth used by the engine to
+/// schedule the departure event and by offline analysis — online
+/// algorithms never see it at placement time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Item {
+    /// Identifier; equals the item's index in its instance.
+    pub id: ItemId,
+    /// Resource demand in `(0, 1]` of a unit bin.
+    pub size: Rational,
+    /// Activity interval `[arrival, departure)`.
+    pub interval: Interval,
+}
+
+impl Item {
+    /// Arrival time `I(r)^-`.
+    #[inline]
+    pub fn arrival(&self) -> Rational {
+        self.interval.lo()
+    }
+
+    /// Departure time `I(r)^+`.
+    #[inline]
+    pub fn departure(&self) -> Rational {
+        self.interval.hi()
+    }
+
+    /// Duration `|I(r)|`.
+    #[inline]
+    pub fn duration(&self) -> Rational {
+        self.interval.len()
+    }
+
+    /// Time–space demand `s(r)·|I(r)|` (paper §III, Proposition 1).
+    #[inline]
+    pub fn demand(&self) -> Rational {
+        self.size * self.duration()
+    }
+
+    /// `true` iff the item is active at time `t`.
+    #[inline]
+    pub fn active_at(&self, t: Rational) -> bool {
+        self.interval.contains_point(t)
+    }
+
+    /// Small/large classification (paper §V): an item is *small* if
+    /// its size is strictly less than `1/2`, *large* otherwise.
+    #[inline]
+    pub fn is_small(&self) -> bool {
+        self.size < Rational::HALF
+    }
+}
+
+/// Validation failure for [`Instance`] construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstanceError {
+    /// An item's size is outside `(0, 1]`.
+    BadSize {
+        /// Offending item index.
+        item: usize,
+        /// The rejected size.
+        size: Rational,
+    },
+    /// An item's interval is empty (`arrival ≥ departure`).
+    EmptyInterval {
+        /// Offending item index.
+        item: usize,
+        /// The rejected interval (endpoints ordered for display).
+        interval: Interval,
+    },
+    /// The instance has more than `u32::MAX` items.
+    TooManyItems(usize),
+}
+
+impl fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstanceError::BadSize { item, size } => {
+                write!(f, "item {item}: size {size} outside (0, 1]")
+            }
+            InstanceError::EmptyInterval { item, interval } => {
+                write!(f, "item {item}: empty activity interval {interval}")
+            }
+            InstanceError::TooManyItems(n) => write!(f, "too many items: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+/// A validated MinUsageTime DBP instance: a finite list of items.
+///
+/// Invariants enforced at construction:
+/// * every size lies in `(0, 1]`;
+/// * every interval is non-empty (`arrival < departure`);
+/// * `items[i].id == ItemId(i)`.
+///
+/// Items are stored in the order supplied, which need not be arrival
+/// order — the engine sorts events itself, and adversarial
+/// constructions care about *tie order at equal arrival times*, which
+/// follows the item order here (stable).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instance {
+    items: Vec<Item>,
+}
+
+impl Instance {
+    /// Validates and builds an instance from `(size, arrival,
+    /// departure)` triples.
+    pub fn new(specs: Vec<(Rational, Rational, Rational)>) -> Result<Instance, InstanceError> {
+        if specs.len() > u32::MAX as usize {
+            return Err(InstanceError::TooManyItems(specs.len()));
+        }
+        let mut items = Vec::with_capacity(specs.len());
+        for (i, (size, arrival, departure)) in specs.into_iter().enumerate() {
+            if !size.is_positive() || size > Rational::ONE {
+                return Err(InstanceError::BadSize { item: i, size });
+            }
+            if arrival >= departure {
+                return Err(InstanceError::EmptyInterval {
+                    item: i,
+                    interval: if arrival <= departure {
+                        Interval::new(arrival, departure)
+                    } else {
+                        Interval::new(departure, arrival)
+                    },
+                });
+            }
+            items.push(Item {
+                id: ItemId(i as u32),
+                size,
+                interval: Interval::new(arrival, departure),
+            });
+        }
+        Ok(Instance { items })
+    }
+
+    /// Starts a fluent builder.
+    pub fn builder() -> InstanceBuilder {
+        InstanceBuilder::default()
+    }
+
+    /// The items, indexed by [`ItemId`].
+    #[inline]
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// Number of items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` iff the instance has no items.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Item lookup by id.
+    #[inline]
+    pub fn item(&self, id: ItemId) -> &Item {
+        &self.items[id.index()]
+    }
+
+    /// Total time–space demand `vol(R) = Σ s(r)·|I(r)|`
+    /// (lower-bounds `OPT_total`, Proposition 1).
+    pub fn vol(&self) -> Rational {
+        self.items.iter().map(Item::demand).sum()
+    }
+
+    /// The union of the items' activity intervals.
+    pub fn active_set(&self) -> IntervalSet {
+        IntervalSet::from_intervals(self.items.iter().map(|r| r.interval))
+    }
+
+    /// `span(R)` — measure of the union of activity intervals
+    /// (lower-bounds `OPT_total`, Proposition 2; Figure 1).
+    pub fn span(&self) -> Rational {
+        self.active_set().measure()
+    }
+
+    /// Max/min duration ratio `µ ≥ 1`; `None` for an empty instance.
+    pub fn mu(&self) -> Option<Rational> {
+        let max = self.items.iter().map(Item::duration).max()?;
+        let min = self.items.iter().map(Item::duration).min()?;
+        Some(max / min)
+    }
+
+    /// The *packing period* `⋃_r I(r)`'s convex hull — from the first
+    /// arrival to the last departure (paper §III.C). `None` if empty.
+    pub fn packing_period(&self) -> Option<Interval> {
+        self.active_set().hull()
+    }
+
+    /// Items active at time `t`, in id order.
+    pub fn active_at(&self, t: Rational) -> Vec<ItemId> {
+        self.items
+            .iter()
+            .filter(|r| r.active_at(t))
+            .map(|r| r.id)
+            .collect()
+    }
+
+    /// All distinct event times (arrivals and departures), sorted.
+    /// `OPT(R, t)` is piecewise constant between consecutive entries.
+    pub fn event_times(&self) -> Vec<Rational> {
+        let mut ts: Vec<Rational> = self
+            .items
+            .iter()
+            .flat_map(|r| [r.arrival(), r.departure()])
+            .collect();
+        ts.sort_unstable();
+        ts.dedup();
+        ts
+    }
+
+    /// The maximum number of simultaneously active items.
+    pub fn max_concurrency(&self) -> usize {
+        let mut events: Vec<(Rational, i32)> = Vec::with_capacity(self.items.len() * 2);
+        for r in &self.items {
+            events.push((r.arrival(), 1));
+            events.push((r.departure(), -1));
+        }
+        // Departures before arrivals at equal times (half-open).
+        events.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut cur = 0i64;
+        let mut max = 0i64;
+        for (_, d) in events {
+            cur += d as i64;
+            max = max.max(cur);
+        }
+        max as usize
+    }
+
+    /// Returns the instance with all times scaled by `c > 0`.
+    ///
+    /// MinUsageTime DBP is scale-invariant: costs scale by `c` while
+    /// `µ`, competitive ratios and the §IV–§VII certificates are
+    /// unchanged (property-tested in `prop_engine.rs`).
+    pub fn scaled_time(&self, c: Rational) -> Instance {
+        assert!(c.is_positive(), "time scale must be positive");
+        Instance {
+            items: self
+                .items
+                .iter()
+                .map(|r| Item {
+                    id: r.id,
+                    size: r.size,
+                    interval: Interval::new(r.arrival() * c, r.departure() * c),
+                })
+                .collect(),
+        }
+    }
+
+    /// Returns the instance with all times translated by `dt`
+    /// (another invariance: absolute time never matters).
+    pub fn translated(&self, dt: Rational) -> Instance {
+        Instance {
+            items: self
+                .items
+                .iter()
+                .map(|r| Item {
+                    id: r.id,
+                    size: r.size,
+                    interval: r.interval.shift(dt),
+                })
+                .collect(),
+        }
+    }
+
+    /// Concatenates two instances in time: `other` is translated to
+    /// start right after this instance's packing period ends (plus a
+    /// `gap`), so the two phases never overlap.
+    pub fn then(&self, other: &Instance, gap: Rational) -> Instance {
+        let end = self
+            .packing_period()
+            .map(|p| p.hi())
+            .unwrap_or(Rational::ZERO);
+        let start = other
+            .packing_period()
+            .map(|p| p.lo())
+            .unwrap_or(Rational::ZERO);
+        let shifted = other.translated(end + gap - start);
+        let mut specs: Vec<(Rational, Rational, Rational)> = self
+            .items
+            .iter()
+            .map(|r| (r.size, r.arrival(), r.departure()))
+            .collect();
+        specs.extend(
+            shifted
+                .items
+                .iter()
+                .map(|r| (r.size, r.arrival(), r.departure())),
+        );
+        Instance::new(specs).expect("concatenation preserves validity")
+    }
+
+    /// Summary statistics for reports.
+    pub fn stats(&self) -> InstanceStats {
+        InstanceStats {
+            n_items: self.len(),
+            vol: self.vol(),
+            span: self.span(),
+            mu: self.mu(),
+            max_concurrency: self.max_concurrency(),
+            max_size: self.items.iter().map(|r| r.size).max(),
+            min_size: self.items.iter().map(|r| r.size).min(),
+        }
+    }
+}
+
+/// Aggregate facts about an instance (see [`Instance::stats`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstanceStats {
+    /// Number of items.
+    pub n_items: usize,
+    /// Total time–space demand.
+    pub vol: Rational,
+    /// Span of the activity union.
+    pub span: Rational,
+    /// Max/min duration ratio (`None` for empty instances).
+    pub mu: Option<Rational>,
+    /// Peak number of simultaneously active items.
+    pub max_concurrency: usize,
+    /// Largest item size (`None` for empty instances).
+    pub max_size: Option<Rational>,
+    /// Smallest item size (`None` for empty instances).
+    pub min_size: Option<Rational>,
+}
+
+/// Fluent construction of instances (mainly for tests/examples).
+#[derive(Debug, Default, Clone)]
+pub struct InstanceBuilder {
+    specs: Vec<(Rational, Rational, Rational)>,
+}
+
+impl InstanceBuilder {
+    /// Adds an item with `size`, active on `[arrival, departure)`.
+    pub fn item(
+        mut self,
+        size: Rational,
+        arrival: Rational,
+        departure: Rational,
+    ) -> InstanceBuilder {
+        self.specs.push((size, arrival, departure));
+        self
+    }
+
+    /// Adds an item with `size` arriving at `arrival` and staying for
+    /// `duration`.
+    pub fn item_for(
+        self,
+        size: Rational,
+        arrival: Rational,
+        duration: Rational,
+    ) -> InstanceBuilder {
+        let dep = arrival + duration;
+        self.item(size, arrival, dep)
+    }
+
+    /// Validates and builds the instance.
+    pub fn build(self) -> Result<Instance, InstanceError> {
+        Instance::new(self.specs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_numeric::rat;
+
+    fn demo() -> Instance {
+        // Mirrors the paper's Figure 1 shape: r1 on [0,2), r2 on
+        // [1,3), r3 on [5,7) — span is 5 (gap [3,5) not counted).
+        Instance::builder()
+            .item(rat(1, 2), rat(0, 1), rat(2, 1))
+            .item(rat(1, 3), rat(1, 1), rat(3, 1))
+            .item(rat(1, 4), rat(5, 1), rat(7, 1))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_sizes() {
+        assert!(matches!(
+            Instance::new(vec![(rat(0, 1), rat(0, 1), rat(1, 1))]),
+            Err(InstanceError::BadSize { item: 0, .. })
+        ));
+        assert!(matches!(
+            Instance::new(vec![(rat(3, 2), rat(0, 1), rat(1, 1))]),
+            Err(InstanceError::BadSize { item: 0, .. })
+        ));
+        assert!(matches!(
+            Instance::new(vec![(rat(-1, 2), rat(0, 1), rat(1, 1))]),
+            Err(InstanceError::BadSize { item: 0, .. })
+        ));
+        // size exactly 1 is allowed
+        assert!(Instance::new(vec![(rat(1, 1), rat(0, 1), rat(1, 1))]).is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_empty_intervals() {
+        assert!(matches!(
+            Instance::new(vec![(rat(1, 2), rat(1, 1), rat(1, 1))]),
+            Err(InstanceError::EmptyInterval { item: 0, .. })
+        ));
+        assert!(matches!(
+            Instance::new(vec![(rat(1, 2), rat(2, 1), rat(1, 1))]),
+            Err(InstanceError::EmptyInterval { item: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn ids_are_indices() {
+        let inst = demo();
+        for (i, r) in inst.items().iter().enumerate() {
+            assert_eq!(r.id, ItemId(i as u32));
+            assert_eq!(inst.item(r.id), r);
+        }
+    }
+
+    #[test]
+    fn span_ignores_gaps() {
+        let inst = demo();
+        assert_eq!(inst.span(), rat(5, 1)); // [0,3) ∪ [5,7)
+        assert_eq!(
+            inst.packing_period(),
+            Some(Interval::new(rat(0, 1), rat(7, 1)))
+        );
+    }
+
+    #[test]
+    fn vol_is_sum_of_demands() {
+        let inst = demo();
+        // 1/2*2 + 1/3*2 + 1/4*2 = 1 + 2/3 + 1/2 = 13/6
+        assert_eq!(inst.vol(), rat(13, 6));
+    }
+
+    #[test]
+    fn mu_is_duration_ratio() {
+        let inst = Instance::builder()
+            .item(rat(1, 2), rat(0, 1), rat(1, 1)) // duration 1
+            .item(rat(1, 2), rat(0, 1), rat(4, 1)) // duration 4
+            .build()
+            .unwrap();
+        assert_eq!(inst.mu(), Some(rat(4, 1)));
+        assert_eq!(Instance::new(vec![]).unwrap().mu(), None);
+        assert_eq!(demo().mu(), Some(rat(1, 1)));
+    }
+
+    #[test]
+    fn active_at_respects_half_open() {
+        let inst = demo();
+        assert_eq!(inst.active_at(rat(0, 1)), vec![ItemId(0)]);
+        assert_eq!(inst.active_at(rat(1, 1)), vec![ItemId(0), ItemId(1)]);
+        assert_eq!(inst.active_at(rat(2, 1)), vec![ItemId(1)]); // r1 departed
+        assert_eq!(inst.active_at(rat(3, 1)), Vec::<ItemId>::new());
+        assert_eq!(inst.active_at(rat(5, 1)), vec![ItemId(2)]);
+    }
+
+    #[test]
+    fn event_times_sorted_dedup() {
+        let inst = demo();
+        let ts = inst.event_times();
+        assert_eq!(
+            ts,
+            vec![
+                rat(0, 1),
+                rat(1, 1),
+                rat(2, 1),
+                rat(3, 1),
+                rat(5, 1),
+                rat(7, 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn max_concurrency_counts_overlap() {
+        let inst = demo();
+        assert_eq!(inst.max_concurrency(), 2);
+        // Back-to-back items never overlap (half-open).
+        let seq = Instance::builder()
+            .item(rat(1, 2), rat(0, 1), rat(1, 1))
+            .item(rat(1, 2), rat(1, 1), rat(2, 1))
+            .build()
+            .unwrap();
+        assert_eq!(seq.max_concurrency(), 1);
+    }
+
+    #[test]
+    fn small_large_classification() {
+        let inst = Instance::builder()
+            .item(rat(1, 4), rat(0, 1), rat(1, 1))
+            .item(rat(1, 2), rat(0, 1), rat(1, 1))
+            .item(rat(3, 4), rat(0, 1), rat(1, 1))
+            .build()
+            .unwrap();
+        assert!(inst.items()[0].is_small());
+        assert!(!inst.items()[1].is_small()); // exactly 1/2 is large
+        assert!(!inst.items()[2].is_small());
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let s = demo().stats();
+        assert_eq!(s.n_items, 3);
+        assert_eq!(s.vol, rat(13, 6));
+        assert_eq!(s.span, rat(5, 1));
+        assert_eq!(s.mu, Some(rat(1, 1)));
+        assert_eq!(s.max_concurrency, 2);
+        assert_eq!(s.max_size, Some(rat(1, 2)));
+        assert_eq!(s.min_size, Some(rat(1, 4)));
+    }
+
+    #[test]
+    fn scaling_and_translation() {
+        let inst = demo();
+        let scaled = inst.scaled_time(rat(3, 2));
+        assert_eq!(scaled.span(), inst.span() * rat(3, 2));
+        assert_eq!(scaled.vol(), inst.vol() * rat(3, 2));
+        assert_eq!(scaled.mu(), inst.mu());
+        let moved = inst.translated(rat(-5, 1));
+        assert_eq!(moved.span(), inst.span());
+        assert_eq!(moved.vol(), inst.vol());
+        assert_eq!(moved.items()[0].arrival(), rat(-5, 1));
+    }
+
+    #[test]
+    fn concatenation_in_time() {
+        let a = demo();
+        let b = demo();
+        let joined = a.then(&b, rat(1, 1));
+        assert_eq!(joined.len(), a.len() + b.len());
+        // Phases are disjoint: span adds up.
+        assert_eq!(joined.span(), a.span() + b.span());
+        assert_eq!(joined.vol(), a.vol() + b.vol());
+        // Second phase starts one unit after the first ends (t = 8).
+        assert_eq!(joined.items()[3].arrival(), rat(8, 1));
+        // Concatenating onto an empty instance is a pure shift.
+        let empty = Instance::new(vec![]).unwrap();
+        let only_b = empty.then(&b, rat(2, 1));
+        assert_eq!(only_b.len(), b.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "time scale must be positive")]
+    fn negative_scale_rejected() {
+        let _ = demo().scaled_time(rat(-1, 1));
+    }
+
+    #[test]
+    fn builder_item_for() {
+        let inst = Instance::builder()
+            .item_for(rat(1, 2), rat(3, 1), rat(5, 2))
+            .build()
+            .unwrap();
+        assert_eq!(inst.items()[0].departure(), rat(11, 2));
+        assert_eq!(inst.items()[0].duration(), rat(5, 2));
+    }
+}

@@ -1,0 +1,230 @@
+//! Multi-dimensional packing algorithms.
+//!
+//! The scalar Any-Fit rules lift naturally except that "level" is a
+//! vector, so Best/Worst Fit need a scalarization. We provide the
+//! two standard ones (sum of coordinates; maximum coordinate is
+//! available through [`MdOpenBin::level`] for custom policies) plus
+//! vector First Fit and Next Fit.
+
+use crate::engine::MdOpenBin;
+use crate::vector::ResourceVec;
+use dbp_core::{BinId, ItemId};
+use dbp_numeric::Rational;
+
+/// Arrival view: id, demand vector, time — no departure.
+#[derive(Debug, Clone)]
+pub struct MdArrival {
+    /// Arriving item.
+    pub item: ItemId,
+    /// Demand vector.
+    pub size: ResourceVec,
+    /// Current time.
+    pub time: Rational,
+}
+
+/// Placement decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MdPlacement {
+    /// Use an open bin.
+    Existing(BinId),
+    /// Open a fresh bin.
+    OpenNew,
+}
+
+/// A multi-dimensional online packing algorithm.
+pub trait MdAlgorithm {
+    /// Display name.
+    fn name(&self) -> String;
+    /// Clears run state.
+    fn reset(&mut self) {}
+    /// Placement decision; `bins` is sorted by opening order.
+    fn place(&mut self, arrival: &MdArrival, bins: &[MdOpenBin]) -> MdPlacement;
+    /// Post-placement notification.
+    fn on_placed(&mut self, _item: ItemId, _bin: BinId, _time: Rational) {}
+    /// Bin-close notification.
+    fn on_bin_closed(&mut self, _bin: BinId, _time: Rational) {}
+}
+
+/// Vector First Fit: earliest-opened bin that fits in every
+/// dimension.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MdFirstFit;
+
+impl MdFirstFit {
+    /// Creates vector First Fit.
+    pub fn new() -> MdFirstFit {
+        MdFirstFit
+    }
+}
+
+impl MdAlgorithm for MdFirstFit {
+    fn name(&self) -> String {
+        "MdFirstFit".into()
+    }
+    fn place(&mut self, arrival: &MdArrival, bins: &[MdOpenBin]) -> MdPlacement {
+        bins.iter()
+            .find(|b| b.fits(&arrival.size))
+            .map(|b| MdPlacement::Existing(b.id))
+            .unwrap_or(MdPlacement::OpenNew)
+    }
+}
+
+/// Vector Best Fit, scalarized by the **sum** of level coordinates
+/// (ties: earliest opened).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MdBestFitBySum;
+
+impl MdBestFitBySum {
+    /// Creates sum-scalarized Best Fit.
+    pub fn new() -> MdBestFitBySum {
+        MdBestFitBySum
+    }
+}
+
+impl MdAlgorithm for MdBestFitBySum {
+    fn name(&self) -> String {
+        "MdBestFit[sum]".into()
+    }
+    fn place(&mut self, arrival: &MdArrival, bins: &[MdOpenBin]) -> MdPlacement {
+        let mut best: Option<&MdOpenBin> = None;
+        for b in bins.iter().filter(|b| b.fits(&arrival.size)) {
+            match best {
+                Some(cur) if cur.level.sum() >= b.level.sum() => {}
+                _ => best = Some(b),
+            }
+        }
+        best.map(|b| MdPlacement::Existing(b.id))
+            .unwrap_or(MdPlacement::OpenNew)
+    }
+}
+
+/// Vector Worst Fit (sum-scalarized; ties: earliest opened).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MdWorstFit;
+
+impl MdWorstFit {
+    /// Creates sum-scalarized Worst Fit.
+    pub fn new() -> MdWorstFit {
+        MdWorstFit
+    }
+}
+
+impl MdAlgorithm for MdWorstFit {
+    fn name(&self) -> String {
+        "MdWorstFit[sum]".into()
+    }
+    fn place(&mut self, arrival: &MdArrival, bins: &[MdOpenBin]) -> MdPlacement {
+        let mut worst: Option<&MdOpenBin> = None;
+        for b in bins.iter().filter(|b| b.fits(&arrival.size)) {
+            match worst {
+                Some(cur) if cur.level.sum() <= b.level.sum() => {}
+                _ => worst = Some(b),
+            }
+        }
+        worst
+            .map(|b| MdPlacement::Existing(b.id))
+            .unwrap_or(MdPlacement::OpenNew)
+    }
+}
+
+/// Vector Next Fit: one available bin, abandoned on first misfit.
+#[derive(Debug, Clone, Default)]
+pub struct MdNextFit {
+    available: Option<BinId>,
+}
+
+impl MdNextFit {
+    /// Creates vector Next Fit.
+    pub fn new() -> MdNextFit {
+        MdNextFit::default()
+    }
+}
+
+impl MdAlgorithm for MdNextFit {
+    fn name(&self) -> String {
+        "MdNextFit".into()
+    }
+    fn reset(&mut self) {
+        self.available = None;
+    }
+    fn place(&mut self, arrival: &MdArrival, bins: &[MdOpenBin]) -> MdPlacement {
+        if let Some(avail) = self.available {
+            if let Some(bin) = bins.iter().find(|b| b.id == avail) {
+                if bin.fits(&arrival.size) {
+                    return MdPlacement::Existing(avail);
+                }
+            }
+            self.available = None;
+        }
+        MdPlacement::OpenNew
+    }
+    fn on_placed(&mut self, _item: ItemId, bin: BinId, _time: Rational) {
+        if self.available.is_none() {
+            self.available = Some(bin);
+        }
+    }
+    fn on_bin_closed(&mut self, bin: BinId, _time: Rational) {
+        if self.available == Some(bin) {
+            self.available = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_md_packing;
+    use crate::model::MdInstance;
+    use dbp_numeric::rat;
+
+    fn v2(a: i128, b: i128, d: i128) -> ResourceVec {
+        ResourceVec::new(vec![rat(a, d), rat(b, d)])
+    }
+
+    /// Bins at (sum) levels 0.5 and 0.75; a probe that fits both.
+    fn scenario() -> MdInstance {
+        MdInstance::new(vec![
+            (v2(1, 1, 4), rat(0, 1), rat(10, 1)), // b0: sum 1/2
+            (v2(3, 3, 8), rat(0, 1), rat(1, 1)),  // forces b1? (1/4+3/8, ...) = (5/8, 5/8) fits b0!
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn best_and_worst_differ() {
+        // Construct explicitly: two long-lived bins at distinct sum
+        // levels, then a probe.
+        let inst = MdInstance::new(vec![
+            (v2(3, 3, 4), rat(0, 1), rat(10, 1)), // b0 sum 3/2
+            (v2(3, 3, 4), rat(0, 1), rat(10, 1)), // b1 (can't join b0)
+            (v2(1, 0, 8), rat(1, 1), rat(10, 1)), // joins b0 (FF) → b0 sum 3/2+1/8
+            (v2(1, 1, 8), rat(2, 1), rat(10, 1)), // probe: fits both
+        ])
+        .unwrap();
+        let ff = run_md_packing(&inst, &mut MdFirstFit::new()).unwrap();
+        let bf = run_md_packing(&inst, &mut MdBestFitBySum::new()).unwrap();
+        let wf = run_md_packing(&inst, &mut MdWorstFit::new()).unwrap();
+        use dbp_core::ItemId;
+        assert_eq!(ff.bin_of(ItemId(3)), Some(dbp_core::BinId(0)));
+        assert_eq!(bf.bin_of(ItemId(3)), Some(dbp_core::BinId(0))); // fuller
+        assert_eq!(wf.bin_of(ItemId(3)), Some(dbp_core::BinId(1))); // emptier
+        let _ = scenario();
+    }
+
+    #[test]
+    fn next_fit_md_abandons_bins() {
+        let inst = MdInstance::new(vec![
+            (v2(1, 7, 8), rat(0, 1), rat(10, 1)), // b0 available
+            (v2(1, 2, 8), rat(1, 1), rat(10, 1)), // mem 7/8+2/8 > 1 → b1
+            (v2(1, 1, 8), rat(2, 1), rat(10, 1)), // fits b0 but unavailable → b1
+        ])
+        .unwrap();
+        let out = run_md_packing(&inst, &mut MdNextFit::new()).unwrap();
+        use dbp_core::{BinId, ItemId};
+        assert_eq!(out.bins_opened(), 2);
+        assert_eq!(out.bin_of(ItemId(2)), Some(BinId(1)));
+        // First Fit would have reused b0.
+        let ff = run_md_packing(&inst, &mut MdFirstFit::new()).unwrap();
+        assert_eq!(ff.bin_of(ItemId(2)), Some(BinId(0)));
+    }
+}

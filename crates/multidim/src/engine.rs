@@ -1,0 +1,295 @@
+//! The vector packing engine (multi-dimensional analogue of
+//! `dbp_core::engine`).
+
+use crate::algo::{MdAlgorithm, MdArrival, MdPlacement};
+use crate::model::MdInstance;
+use crate::vector::ResourceVec;
+use dbp_core::{BinId, ItemId};
+use dbp_numeric::{Interval, Rational};
+use dbp_simcore::{EventClass, EventQueue};
+use std::fmt;
+
+/// Errors from the vector engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MdPackingError {
+    /// Placement into a bin that cannot hold the item in some
+    /// dimension.
+    Infeasible(BinId),
+    /// Placement into a bin that is not open.
+    NoSuchBin(BinId),
+}
+
+impl fmt::Display for MdPackingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MdPackingError::Infeasible(b) => write!(f, "infeasible placement into {b}"),
+            MdPackingError::NoSuchBin(b) => write!(f, "placement into non-open {b}"),
+        }
+    }
+}
+
+impl std::error::Error for MdPackingError {}
+
+/// One open bin as visible to algorithms.
+#[derive(Debug, Clone)]
+pub struct MdOpenBin {
+    /// Identifier (opening rank).
+    pub id: BinId,
+    /// Opening time.
+    pub opened_at: Rational,
+    /// Coordinate-wise level.
+    pub level: ResourceVec,
+    /// Active items.
+    pub contents: Vec<(ItemId, ResourceVec)>,
+}
+
+impl MdOpenBin {
+    /// `true` iff `size` fits coordinate-wise.
+    pub fn fits(&self, size: &ResourceVec) -> bool {
+        self.level.fits_with(size)
+    }
+}
+
+/// Completed bin history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MdBinRecord {
+    /// Bin identifier.
+    pub id: BinId,
+    /// Usage period.
+    pub usage: Interval,
+    /// Items ever hosted.
+    pub items: Vec<ItemId>,
+    /// Peak level reached (coordinate-wise sup of levels over time).
+    pub peak_level: ResourceVec,
+}
+
+/// Result of a completed run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MdOutcome {
+    algorithm: String,
+    bins: Vec<MdBinRecord>,
+    assignments: Vec<(ItemId, BinId)>,
+    total_usage: Rational,
+    max_open_bins: usize,
+}
+
+impl MdOutcome {
+    /// Algorithm name.
+    pub fn algorithm(&self) -> &str {
+        &self.algorithm
+    }
+
+    /// Per-bin histories.
+    pub fn bins(&self) -> &[MdBinRecord] {
+        &self.bins
+    }
+
+    /// `(item, bin)` assignments sorted by item.
+    pub fn assignments(&self) -> &[(ItemId, BinId)] {
+        &self.assignments
+    }
+
+    /// Assignment lookup.
+    pub fn bin_of(&self, item: ItemId) -> Option<BinId> {
+        self.assignments
+            .binary_search_by(|(r, _)| r.cmp(&item))
+            .ok()
+            .map(|i| self.assignments[i].1)
+    }
+
+    /// The objective: total bin usage time.
+    pub fn total_usage(&self) -> Rational {
+        self.total_usage
+    }
+
+    /// Peak simultaneously-open bins.
+    pub fn max_open_bins(&self) -> usize {
+        self.max_open_bins
+    }
+
+    /// Bins opened over the run.
+    pub fn bins_opened(&self) -> usize {
+        self.bins.len()
+    }
+}
+
+enum Ev {
+    Arrive(ItemId),
+    Depart(ItemId),
+}
+
+/// Replays a multi-dimensional instance against an algorithm.
+///
+/// Same tie policy as the scalar engine: departures before arrivals
+/// at equal times, item order within a class.
+pub fn run_md_packing(
+    instance: &MdInstance,
+    algo: &mut dyn MdAlgorithm,
+) -> Result<MdOutcome, MdPackingError> {
+    algo.reset();
+    let mut queue: EventQueue<Ev> = EventQueue::with_capacity(instance.len() * 2);
+    for item in instance.items() {
+        queue.schedule(item.arrival(), EventClass::Arrival, Ev::Arrive(item.id));
+        queue.schedule(item.departure(), EventClass::Departure, Ev::Depart(item.id));
+    }
+
+    let dim = instance.dim();
+    let mut open: Vec<MdOpenBin> = Vec::new();
+    let mut open_items: Vec<Vec<ItemId>> = Vec::new(); // parallel: items ever
+    let mut open_peaks: Vec<ResourceVec> = Vec::new();
+    let mut closed: Vec<MdBinRecord> = Vec::new();
+    let mut assignments: Vec<(ItemId, BinId)> = Vec::new();
+    let mut next_bin = 0u32;
+    let mut max_open = 0usize;
+
+    while let Some(ev) = queue.pop() {
+        match ev.payload {
+            Ev::Arrive(id) => {
+                let item = instance.item(id);
+                let arrival = MdArrival {
+                    item: id,
+                    size: item.size.clone(),
+                    time: ev.time,
+                };
+                let placement = algo.place(&arrival, &open);
+                let bin_id = match placement {
+                    MdPlacement::Existing(bin_id) => {
+                        let idx = open
+                            .binary_search_by(|b| b.id.cmp(&bin_id))
+                            .map_err(|_| MdPackingError::NoSuchBin(bin_id))?;
+                        if !open[idx].fits(&item.size) {
+                            return Err(MdPackingError::Infeasible(bin_id));
+                        }
+                        open[idx].level += item.size.clone();
+                        open[idx].contents.push((id, item.size.clone()));
+                        open_items[idx].push(id);
+                        open_peaks[idx] = open_peaks[idx].sup(&open[idx].level);
+                        bin_id
+                    }
+                    MdPlacement::OpenNew => {
+                        let bin_id = BinId(next_bin);
+                        next_bin += 1;
+                        open.push(MdOpenBin {
+                            id: bin_id,
+                            opened_at: ev.time,
+                            level: item.size.clone(),
+                            contents: vec![(id, item.size.clone())],
+                        });
+                        open_items.push(vec![id]);
+                        open_peaks.push(item.size.clone());
+                        max_open = max_open.max(open.len());
+                        bin_id
+                    }
+                };
+                assignments.push((id, bin_id));
+                algo.on_placed(id, bin_id, ev.time);
+            }
+            Ev::Depart(id) => {
+                let item = instance.item(id);
+                let idx = open
+                    .iter()
+                    .position(|b| b.contents.iter().any(|(r, _)| *r == id))
+                    .expect("active item must be in an open bin");
+                open[idx].level -= item.size.clone();
+                let pos = open[idx]
+                    .contents
+                    .iter()
+                    .position(|(r, _)| *r == id)
+                    .unwrap();
+                open[idx].contents.remove(pos);
+                let bin_id = open[idx].id;
+                if open[idx].contents.is_empty() {
+                    debug_assert_eq!(open[idx].level, ResourceVec::zeros(dim));
+                    let bin = open.remove(idx);
+                    let items = open_items.remove(idx);
+                    let peak = open_peaks.remove(idx);
+                    closed.push(MdBinRecord {
+                        id: bin.id,
+                        usage: Interval::new(bin.opened_at, ev.time),
+                        items,
+                        peak_level: peak,
+                    });
+                    algo.on_bin_closed(bin_id, ev.time);
+                }
+            }
+        }
+    }
+
+    debug_assert!(open.is_empty());
+    closed.sort_by_key(|b| b.id);
+    assignments.sort_by_key(|&(r, _)| r);
+    let total_usage = closed.iter().map(|b| b.usage.len()).sum();
+    Ok(MdOutcome {
+        algorithm: algo.name(),
+        bins: closed,
+        assignments,
+        total_usage,
+        max_open_bins: max_open,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::MdFirstFit;
+    use dbp_numeric::rat;
+
+    fn v2(a: i128, b: i128, d: i128) -> ResourceVec {
+        ResourceVec::new(vec![rat(a, d), rat(b, d)])
+    }
+
+    #[test]
+    fn cpu_and_memory_both_constrain() {
+        // Item A: cpu-heavy (3/4, 1/4); item B: (1/4, 1/4) fits with
+        // A; item C: (1/8, 7/8) — cpu fits but memory doesn't.
+        let inst = MdInstance::new(vec![
+            (v2(3, 1, 4), rat(0, 1), rat(4, 1)),
+            (v2(1, 1, 4), rat(0, 1), rat(4, 1)),
+            (v2(1, 7, 8), rat(0, 1), rat(4, 1)),
+        ])
+        .unwrap();
+        let out = run_md_packing(&inst, &mut MdFirstFit::new()).unwrap();
+        assert_eq!(out.bins_opened(), 2);
+        assert_eq!(out.bin_of(ItemId(0)), out.bin_of(ItemId(1)));
+        assert_ne!(out.bin_of(ItemId(0)), out.bin_of(ItemId(2)));
+        assert_eq!(out.total_usage(), rat(8, 1));
+        // Peak level of bin 0 is coordinate-wise (1, 1/2).
+        assert_eq!(out.bins()[0].peak_level, v2(4, 2, 4));
+    }
+
+    #[test]
+    fn usage_accounting_matches_scalar_semantics() {
+        let inst = MdInstance::new(vec![
+            (v2(1, 1, 2), rat(0, 1), rat(2, 1)),
+            (v2(1, 1, 2), rat(1, 1), rat(3, 1)),
+        ])
+        .unwrap();
+        let out = run_md_packing(&inst, &mut MdFirstFit::new()).unwrap();
+        // (1/2,1/2)+(1/2,1/2) = (1,1) fits exactly → one bin [0,3).
+        assert_eq!(out.bins_opened(), 1);
+        assert_eq!(out.total_usage(), rat(3, 1));
+        assert_eq!(out.max_open_bins(), 1);
+    }
+
+    #[test]
+    fn infeasible_md_placement_rejected() {
+        struct Bad;
+        impl MdAlgorithm for Bad {
+            fn name(&self) -> String {
+                "bad".into()
+            }
+            fn place(&mut self, _a: &MdArrival, bins: &[MdOpenBin]) -> MdPlacement {
+                bins.first()
+                    .map(|b| MdPlacement::Existing(b.id))
+                    .unwrap_or(MdPlacement::OpenNew)
+            }
+        }
+        let inst = MdInstance::new(vec![
+            (v2(3, 3, 4), rat(0, 1), rat(1, 1)),
+            (v2(3, 3, 4), rat(0, 1), rat(1, 1)),
+        ])
+        .unwrap();
+        let err = run_md_packing(&inst, &mut Bad).unwrap_err();
+        assert_eq!(err, MdPackingError::Infeasible(BinId(0)));
+    }
+}

@@ -1,0 +1,280 @@
+//! Multi-dimensional items and instances.
+
+use crate::vector::ResourceVec;
+use dbp_core::ItemId;
+use dbp_numeric::{Interval, IntervalSet, Rational};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A job with a resource vector demand and an activity interval.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MdItem {
+    /// Identifier (index in the instance).
+    pub id: ItemId,
+    /// Resource demand vector, each coordinate in `[0, 1]`, at least
+    /// one positive.
+    pub size: ResourceVec,
+    /// Activity interval `[arrival, departure)`.
+    pub interval: Interval,
+}
+
+impl MdItem {
+    /// Arrival time.
+    pub fn arrival(&self) -> Rational {
+        self.interval.lo()
+    }
+
+    /// Departure time.
+    pub fn departure(&self) -> Rational {
+        self.interval.hi()
+    }
+
+    /// Duration.
+    pub fn duration(&self) -> Rational {
+        self.interval.len()
+    }
+
+    /// `true` iff active at `t`.
+    pub fn active_at(&self, t: Rational) -> bool {
+        self.interval.contains_point(t)
+    }
+}
+
+/// Validation failures for [`MdInstance`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MdInstanceError {
+    /// A demand vector is outside the unit box or all-zero.
+    BadSize(usize),
+    /// An activity interval is empty or reversed.
+    EmptyInterval(usize),
+    /// Items have inconsistent dimensions.
+    DimensionMismatch {
+        /// Offending item index.
+        item: usize,
+        /// Its dimension.
+        got: usize,
+        /// The instance dimension (from item 0).
+        expected: usize,
+    },
+}
+
+impl fmt::Display for MdInstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MdInstanceError::BadSize(i) => write!(f, "item {i}: invalid demand vector"),
+            MdInstanceError::EmptyInterval(i) => write!(f, "item {i}: empty interval"),
+            MdInstanceError::DimensionMismatch {
+                item,
+                got,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "item {item}: dimension {got} ≠ instance dimension {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MdInstanceError {}
+
+/// A validated multi-dimensional MinUsageTime DBP instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MdInstance {
+    dim: usize,
+    items: Vec<MdItem>,
+}
+
+impl MdInstance {
+    /// Validates and builds from `(size, arrival, departure)` specs.
+    pub fn new(
+        specs: Vec<(ResourceVec, Rational, Rational)>,
+    ) -> Result<MdInstance, MdInstanceError> {
+        let dim = specs.first().map(|(v, _, _)| v.dim()).unwrap_or(1);
+        let mut items = Vec::with_capacity(specs.len());
+        for (i, (size, arrival, departure)) in specs.into_iter().enumerate() {
+            if size.dim() != dim {
+                return Err(MdInstanceError::DimensionMismatch {
+                    item: i,
+                    got: size.dim(),
+                    expected: dim,
+                });
+            }
+            if !size.valid_demand() {
+                return Err(MdInstanceError::BadSize(i));
+            }
+            if arrival >= departure {
+                return Err(MdInstanceError::EmptyInterval(i));
+            }
+            items.push(MdItem {
+                id: ItemId(i as u32),
+                size,
+                interval: Interval::new(arrival, departure),
+            });
+        }
+        Ok(MdInstance { dim, items })
+    }
+
+    /// Lifts a scalar instance into `d = 1`.
+    pub fn from_scalar(instance: &dbp_core::Instance) -> MdInstance {
+        MdInstance {
+            dim: 1,
+            items: instance
+                .items()
+                .iter()
+                .map(|r| MdItem {
+                    id: r.id,
+                    size: ResourceVec::scalar(r.size),
+                    interval: r.interval,
+                })
+                .collect(),
+        }
+    }
+
+    /// Resource dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The items.
+    pub fn items(&self) -> &[MdItem] {
+        &self.items
+    }
+
+    /// Item count.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Lookup by id.
+    pub fn item(&self, id: ItemId) -> &MdItem {
+        &self.items[id.index()]
+    }
+
+    /// Per-dimension time–space demand
+    /// `vol_j = Σ_r s_j(r)·|I(r)|`; Proposition 1 lifts to
+    /// `OPT_total ≥ max_j vol_j`.
+    pub fn vol_vector(&self) -> ResourceVec {
+        let mut acc = ResourceVec::zeros(self.dim);
+        for r in &self.items {
+            acc += r.size.scale(r.duration());
+        }
+        acc
+    }
+
+    /// `max_j vol_j` — the lifted Proposition 1 bound.
+    pub fn vol(&self) -> Rational {
+        self.vol_vector().max_coord()
+    }
+
+    /// `span(R)` (Proposition 2, unchanged).
+    pub fn span(&self) -> Rational {
+        IntervalSet::from_intervals(self.items.iter().map(|r| r.interval)).measure()
+    }
+
+    /// Duration ratio `µ`.
+    pub fn mu(&self) -> Option<Rational> {
+        let max = self.items.iter().map(MdItem::duration).max()?;
+        let min = self.items.iter().map(MdItem::duration).min()?;
+        Some(max / min)
+    }
+
+    /// Sorted, deduplicated event times.
+    pub fn event_times(&self) -> Vec<Rational> {
+        let mut ts: Vec<Rational> = self
+            .items
+            .iter()
+            .flat_map(|r| [r.arrival(), r.departure()])
+            .collect();
+        ts.sort_unstable();
+        ts.dedup();
+        ts
+    }
+
+    /// Peak concurrent item count.
+    pub fn max_concurrency(&self) -> usize {
+        let mut events: Vec<(Rational, i32)> = Vec::with_capacity(self.items.len() * 2);
+        for r in &self.items {
+            events.push((r.arrival(), 1));
+            events.push((r.departure(), -1));
+        }
+        events.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut cur = 0i64;
+        let mut max = 0i64;
+        for (_, d) in events {
+            cur += i64::from(d);
+            max = max.max(cur);
+        }
+        max as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_numeric::rat;
+
+    fn v2(a: Rational, b: Rational) -> ResourceVec {
+        ResourceVec::new(vec![a, b])
+    }
+
+    #[test]
+    fn validation_catches_bad_specs() {
+        assert!(matches!(
+            MdInstance::new(vec![(ResourceVec::zeros(2), rat(0, 1), rat(1, 1))]),
+            Err(MdInstanceError::BadSize(0))
+        ));
+        assert!(matches!(
+            MdInstance::new(vec![(v2(rat(1, 2), rat(1, 2)), rat(1, 1), rat(1, 1))]),
+            Err(MdInstanceError::EmptyInterval(0))
+        ));
+        assert!(matches!(
+            MdInstance::new(vec![
+                (v2(rat(1, 2), rat(1, 2)), rat(0, 1), rat(1, 1)),
+                (ResourceVec::scalar(rat(1, 2)), rat(0, 1), rat(1, 1)),
+            ]),
+            Err(MdInstanceError::DimensionMismatch {
+                item: 1,
+                got: 1,
+                expected: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn vol_takes_the_max_dimension() {
+        let inst = MdInstance::new(vec![
+            (v2(rat(1, 2), rat(1, 8)), rat(0, 1), rat(2, 1)), // cpu-heavy
+            (v2(rat(1, 8), rat(3, 4)), rat(0, 1), rat(2, 1)), // mem-heavy
+        ])
+        .unwrap();
+        // vol = (5/4, 7/4) → max 7/4.
+        assert_eq!(inst.vol_vector().coord(0), rat(5, 4));
+        assert_eq!(inst.vol_vector().coord(1), rat(7, 4));
+        assert_eq!(inst.vol(), rat(7, 4));
+        assert_eq!(inst.span(), rat(2, 1));
+        assert_eq!(inst.mu(), Some(rat(1, 1)));
+    }
+
+    #[test]
+    fn scalar_lift_round_trips() {
+        let scalar = dbp_core::Instance::builder()
+            .item(rat(1, 2), rat(0, 1), rat(2, 1))
+            .item(rat(1, 3), rat(1, 1), rat(4, 1))
+            .build()
+            .unwrap();
+        let md = MdInstance::from_scalar(&scalar);
+        assert_eq!(md.dim(), 1);
+        assert_eq!(md.vol(), scalar.vol());
+        assert_eq!(md.span(), scalar.span());
+        assert_eq!(md.mu(), scalar.mu());
+        assert_eq!(md.max_concurrency(), scalar.max_concurrency());
+        assert_eq!(md.event_times(), scalar.event_times());
+    }
+}

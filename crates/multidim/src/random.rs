@@ -1,0 +1,157 @@
+//! Random multi-dimensional workloads (CPU/memory style).
+
+use crate::model::MdInstance;
+use crate::vector::ResourceVec;
+use dbp_numeric::{rat, Rational};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Correlation profile between resource dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Correlation {
+    /// Coordinates drawn independently.
+    Independent,
+    /// Jobs are either dimension-0-heavy or dimension-1-heavy
+    /// (anti-correlated: complementary pairs pack well offline —
+    /// the regime where vector packing is genuinely harder online).
+    Complementary,
+    /// All coordinates equal (reduces to scalar behavior).
+    Identical,
+}
+
+/// A seeded random vector-workload specification.
+#[derive(Debug, Clone)]
+pub struct MdRandomWorkload {
+    /// Number of jobs.
+    pub n: usize,
+    /// Resource dimension.
+    pub dim: usize,
+    /// Seed.
+    pub seed: u64,
+    /// Duration ratio target (durations uniform on the grid in
+    /// `[1, mu]`).
+    pub mu: Rational,
+    /// Arrival horizon.
+    pub horizon: Rational,
+    /// Grid denominator.
+    pub grid: i128,
+    /// Largest coordinate drawn.
+    pub max_coord: Rational,
+    /// Coordinate correlation.
+    pub correlation: Correlation,
+}
+
+impl MdRandomWorkload {
+    /// CPU+memory default: `d = 2`, complementary demands.
+    pub fn cpu_mem(n: usize, mu: Rational, seed: u64) -> MdRandomWorkload {
+        MdRandomWorkload {
+            n,
+            dim: 2,
+            seed,
+            mu,
+            horizon: rat(n as i128 / 4 + 1, 1),
+            grid: 16,
+            max_coord: rat(3, 4),
+            correlation: Correlation::Complementary,
+        }
+    }
+
+    /// Generates the instance.
+    pub fn generate(&self) -> MdInstance {
+        assert!(self.dim >= 1);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut specs = Vec::with_capacity(self.n);
+        for _ in 0..self.n {
+            let size = self.sample_size(&mut rng);
+            let arrival = self.grid_uniform(&mut rng, Rational::ZERO, self.horizon);
+            let duration = self.grid_uniform(&mut rng, Rational::ONE, self.mu);
+            specs.push((size, arrival, arrival + duration));
+        }
+        MdInstance::new(specs).expect("generator produces valid specs")
+    }
+
+    fn grid_uniform(&self, rng: &mut StdRng, lo: Rational, hi: Rational) -> Rational {
+        let lo_steps = (lo * rat(self.grid, 1)).ceil();
+        let hi_steps = (hi * rat(self.grid, 1)).floor();
+        rat(rng.gen_range(lo_steps..=hi_steps.max(lo_steps)), self.grid)
+    }
+
+    fn coord(&self, rng: &mut StdRng, lo: Rational) -> Rational {
+        self.grid_uniform(rng, lo.max(rat(1, self.grid)), self.max_coord)
+    }
+
+    fn sample_size(&self, rng: &mut StdRng) -> ResourceVec {
+        let min = rat(1, self.grid);
+        match self.correlation {
+            Correlation::Independent => {
+                ResourceVec::new((0..self.dim).map(|_| self.coord(rng, min)).collect())
+            }
+            Correlation::Identical => {
+                let x = self.coord(rng, min);
+                ResourceVec::new(vec![x; self.dim])
+            }
+            Correlation::Complementary => {
+                // One "heavy" dimension near max_coord, others light.
+                let heavy = rng.gen_range(0..self.dim);
+                ResourceVec::new(
+                    (0..self.dim)
+                        .map(|j| {
+                            if j == heavy {
+                                self.grid_uniform(
+                                    rng,
+                                    self.max_coord * Rational::HALF,
+                                    self.max_coord,
+                                )
+                            } else {
+                                self.grid_uniform(rng, min, self.max_coord * rat(1, 3))
+                            }
+                        })
+                        .collect(),
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_valid() {
+        let wl = MdRandomWorkload::cpu_mem(60, rat(4, 1), 9);
+        let a = wl.generate();
+        let b = wl.generate();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 60);
+        assert_eq!(a.dim(), 2);
+        assert!(a.mu().unwrap() <= rat(4, 1));
+        for item in a.items() {
+            assert!(item.size.valid_demand());
+            assert!(item.size.max_coord() <= rat(3, 4));
+        }
+    }
+
+    #[test]
+    fn complementary_workloads_have_a_heavy_dimension() {
+        let inst = MdRandomWorkload::cpu_mem(80, rat(2, 1), 4).generate();
+        let heavy_count = inst
+            .items()
+            .iter()
+            .filter(|r| r.size.max_coord() >= rat(3, 8))
+            .count();
+        assert!(heavy_count > 60, "most jobs should have a heavy dimension");
+    }
+
+    #[test]
+    fn identical_correlation_duplicates_coordinates() {
+        let mut wl = MdRandomWorkload::cpu_mem(20, rat(2, 1), 5);
+        wl.correlation = Correlation::Identical;
+        wl.dim = 3;
+        let inst = wl.generate();
+        for item in inst.items() {
+            let c = item.size.coords();
+            assert!(c.iter().all(|x| *x == c[0]));
+        }
+    }
+}

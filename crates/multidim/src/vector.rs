@@ -1,0 +1,226 @@
+//! Exact resource vectors.
+
+use dbp_numeric::Rational;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A `d`-dimensional vector of exact rationals, one coordinate per
+/// resource type. Bin capacity is the all-ones vector.
+///
+/// ```
+/// use dbp_multidim::ResourceVec;
+/// use dbp_numeric::rat;
+///
+/// let cpu_mem = ResourceVec::new(vec![rat(1, 2), rat(1, 4)]);
+/// let more = ResourceVec::new(vec![rat(1, 2), rat(1, 2)]);
+/// let sum = cpu_mem.clone() + more;
+/// assert!(sum.within_unit()); // (1, 3/4) fits a unit server
+/// assert_eq!(sum.max_coord(), rat(1, 1));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ResourceVec(Vec<Rational>);
+
+impl ResourceVec {
+    /// Builds a vector from coordinates (must be non-empty).
+    pub fn new(coords: Vec<Rational>) -> ResourceVec {
+        assert!(!coords.is_empty(), "resource vector needs ≥ 1 dimension");
+        ResourceVec(coords)
+    }
+
+    /// The all-zeros vector of dimension `d`.
+    pub fn zeros(d: usize) -> ResourceVec {
+        ResourceVec::new(vec![Rational::ZERO; d])
+    }
+
+    /// Scalar convenience: a 1-dimensional vector.
+    pub fn scalar(x: Rational) -> ResourceVec {
+        ResourceVec::new(vec![x])
+    }
+
+    /// Dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Coordinate accessor.
+    pub fn coord(&self, j: usize) -> Rational {
+        self.0[j]
+    }
+
+    /// All coordinates.
+    pub fn coords(&self) -> &[Rational] {
+        &self.0
+    }
+
+    /// The largest coordinate (used for FFD ordering and the
+    /// per-instant load bound).
+    pub fn max_coord(&self) -> Rational {
+        self.0.iter().copied().max().expect("non-empty")
+    }
+
+    /// Sum of coordinates (Best-Fit-by-sum scalarization).
+    pub fn sum(&self) -> Rational {
+        self.0.iter().copied().sum()
+    }
+
+    /// `true` iff every coordinate is within `[0, 1]`.
+    pub fn within_unit(&self) -> bool {
+        self.0
+            .iter()
+            .all(|x| !x.is_negative() && *x <= Rational::ONE)
+    }
+
+    /// `true` iff every coordinate is strictly positive — the
+    /// validity requirement for item demands... relaxed: at least one
+    /// coordinate positive and none negative (a job may use zero of
+    /// some resource).
+    pub fn valid_demand(&self) -> bool {
+        self.0.iter().all(|x| !x.is_negative())
+            && self.0.iter().any(|x| x.is_positive())
+            && self.0.iter().all(|x| *x <= Rational::ONE)
+    }
+
+    /// Coordinate-wise `self + other ≤ 1`?
+    pub fn fits_with(&self, other: &ResourceVec) -> bool {
+        debug_assert_eq!(self.dim(), other.dim());
+        self.0
+            .iter()
+            .zip(&other.0)
+            .all(|(a, b)| *a + *b <= Rational::ONE)
+    }
+
+    /// Scales by a rational (used for time–space demand).
+    pub fn scale(&self, k: Rational) -> ResourceVec {
+        ResourceVec::new(self.0.iter().map(|x| *x * k).collect())
+    }
+
+    /// Coordinate-wise maximum.
+    pub fn sup(&self, other: &ResourceVec) -> ResourceVec {
+        debug_assert_eq!(self.dim(), other.dim());
+        ResourceVec::new(
+            self.0
+                .iter()
+                .zip(&other.0)
+                .map(|(a, b)| (*a).max(*b))
+                .collect(),
+        )
+    }
+}
+
+impl Add for ResourceVec {
+    type Output = ResourceVec;
+    fn add(mut self, rhs: ResourceVec) -> ResourceVec {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for ResourceVec {
+    fn add_assign(&mut self, rhs: ResourceVec) {
+        assert_eq!(self.dim(), rhs.dim(), "dimension mismatch");
+        for (a, b) in self.0.iter_mut().zip(rhs.0) {
+            *a += b;
+        }
+    }
+}
+
+impl Sub for ResourceVec {
+    type Output = ResourceVec;
+    fn sub(mut self, rhs: ResourceVec) -> ResourceVec {
+        self -= rhs;
+        self
+    }
+}
+
+impl SubAssign for ResourceVec {
+    fn sub_assign(&mut self, rhs: ResourceVec) {
+        assert_eq!(self.dim(), rhs.dim(), "dimension mismatch");
+        for (a, b) in self.0.iter_mut().zip(rhs.0) {
+            *a -= b;
+        }
+    }
+}
+
+impl fmt::Debug for ResourceVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for ResourceVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, x) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_numeric::rat;
+
+    #[test]
+    fn arithmetic_is_coordinatewise() {
+        let a = ResourceVec::new(vec![rat(1, 2), rat(1, 3)]);
+        let b = ResourceVec::new(vec![rat(1, 4), rat(1, 3)]);
+        let s = a.clone() + b.clone();
+        assert_eq!(s.coord(0), rat(3, 4));
+        assert_eq!(s.coord(1), rat(2, 3));
+        let d = s - b;
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn fits_with_requires_every_coordinate() {
+        let a = ResourceVec::new(vec![rat(1, 2), rat(9, 10)]);
+        let small_cpu = ResourceVec::new(vec![rat(1, 2), rat(1, 10)]);
+        let big_mem = ResourceVec::new(vec![rat(1, 10), rat(1, 5)]);
+        assert!(a.fits_with(&small_cpu)); // (1, 1) exactly
+        assert!(!a.fits_with(&big_mem)); // memory exceeds
+    }
+
+    #[test]
+    fn scalarizations() {
+        let v = ResourceVec::new(vec![rat(1, 2), rat(1, 8), rat(3, 4)]);
+        assert_eq!(v.max_coord(), rat(3, 4));
+        assert_eq!(v.sum(), rat(11, 8));
+        assert_eq!(v.scale(rat(2, 1)).coord(0), rat(1, 1));
+        assert_eq!(v.dim(), 3);
+    }
+
+    #[test]
+    fn validity_rules() {
+        assert!(ResourceVec::new(vec![rat(1, 2), Rational::ZERO]).valid_demand());
+        assert!(!ResourceVec::zeros(2).valid_demand()); // all-zero demand
+        assert!(!ResourceVec::new(vec![rat(3, 2)]).valid_demand()); // > 1
+        assert!(ResourceVec::scalar(rat(1, 1)).valid_demand());
+    }
+
+    #[test]
+    fn sup_is_coordinatewise_max() {
+        let a = ResourceVec::new(vec![rat(1, 2), rat(1, 8)]);
+        let b = ResourceVec::new(vec![rat(1, 4), rat(1, 2)]);
+        let s = a.sup(&b);
+        assert_eq!(s.coord(0), rat(1, 2));
+        assert_eq!(s.coord(1), rat(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_dims_panic() {
+        let _ = ResourceVec::scalar(rat(1, 2)) + ResourceVec::zeros(2);
+    }
+
+    #[test]
+    fn display() {
+        let v = ResourceVec::new(vec![rat(1, 2), rat(1, 3)]);
+        assert_eq!(v.to_string(), "(1/2, 1/3)");
+    }
+}

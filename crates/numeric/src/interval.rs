@@ -1,0 +1,259 @@
+//! Half-open time intervals `[lo, hi)`.
+//!
+//! The paper (§III.A) views all intervals — item activity `I(r)`,
+//! bin usage periods `U_k`, subperiods, supplier periods — as
+//! half-open. Treating them half-open makes abutting intervals
+//! (`[a, b)` and `[b, c)`) disjoint-but-mergeable, which is exactly
+//! the semantics needed for the span and the Lemma 2 disjointness
+//! arguments.
+
+use crate::Rational;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open interval `[lo, hi)` with rational endpoints.
+///
+/// Empty intervals (`lo == hi`) are permitted and behave as the empty
+/// set; the paper's constructions produce genuinely empty subperiods
+/// (e.g. `x_{h,i} = ∅` when a period does not exceed length `µ`).
+///
+/// ```
+/// use dbp_numeric::{iv, rat, Interval};
+/// let a = iv(0, 2);
+/// let b = iv(1, 3);
+/// assert_eq!(a.intersect(&b), Some(iv(1, 2)));
+/// assert_eq!(a.len(), rat(2, 1));
+/// assert!(a.contains_point(rat(0, 1)));
+/// assert!(!a.contains_point(rat(2, 1))); // right endpoint excluded
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Interval {
+    lo: Rational,
+    hi: Rational,
+}
+
+impl Interval {
+    /// Builds `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    #[inline]
+    pub fn new(lo: Rational, hi: Rational) -> Interval {
+        assert!(lo <= hi, "interval endpoints out of order: [{lo}, {hi})");
+        Interval { lo, hi }
+    }
+
+    /// The canonical empty interval `[0, 0)`.
+    #[inline]
+    pub fn empty() -> Interval {
+        Interval {
+            lo: Rational::ZERO,
+            hi: Rational::ZERO,
+        }
+    }
+
+    /// Left endpoint (`I^-` in the paper's notation).
+    #[inline]
+    pub fn lo(&self) -> Rational {
+        self.lo
+    }
+
+    /// Right endpoint (`I^+` in the paper's notation; excluded).
+    #[inline]
+    pub fn hi(&self) -> Rational {
+        self.hi
+    }
+
+    /// Length `|I| = I^+ − I^-`.
+    #[inline]
+    pub fn len(&self) -> Rational {
+        self.hi - self.lo
+    }
+
+    /// `true` iff the interval contains no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// `true` iff `t ∈ [lo, hi)`.
+    #[inline]
+    pub fn contains_point(&self, t: Rational) -> bool {
+        self.lo <= t && t < self.hi
+    }
+
+    /// `true` iff `other ⊆ self` (the empty set is contained in
+    /// everything).
+    #[inline]
+    pub fn contains(&self, other: &Interval) -> bool {
+        other.is_empty() || (self.lo <= other.lo && other.hi <= self.hi)
+    }
+
+    /// `true` iff the two intervals share at least one point.
+    #[inline]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.lo.max(other.lo) < self.hi.min(other.hi)
+    }
+
+    /// Intersection, or `None` if the intervals are disjoint.
+    /// Abutting intervals (`[a,b)`, `[b,c)`) are disjoint.
+    #[inline]
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo < hi {
+            Some(Interval { lo, hi })
+        } else {
+            None
+        }
+    }
+
+    /// Length of the intersection (zero when disjoint).
+    #[inline]
+    pub fn overlap_len(&self, other: &Interval) -> Rational {
+        self.intersect(other).map_or(Rational::ZERO, |i| i.len())
+    }
+
+    /// The smallest interval containing both inputs (convex hull).
+    #[inline]
+    pub fn hull(&self, other: &Interval) -> Interval {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Translates the interval by `dt`.
+    #[inline]
+    pub fn shift(&self, dt: Rational) -> Interval {
+        Interval {
+            lo: self.lo + dt,
+            hi: self.hi + dt,
+        }
+    }
+
+    /// Splits at `t`, clamped to the interval: returns
+    /// `([lo, clamp(t)), [clamp(t), hi))`.
+    ///
+    /// This is the primitive behind the paper's l/h-subperiod split
+    /// (§V): a period `x_i` longer than `µ` is split at `x_i^- + µ`.
+    #[inline]
+    pub fn split_at(&self, t: Rational) -> (Interval, Interval) {
+        let t = t.max(self.lo).min(self.hi);
+        (
+            Interval { lo: self.lo, hi: t },
+            Interval { lo: t, hi: self.hi },
+        )
+    }
+}
+
+impl fmt::Debug for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{iv, rat};
+
+    #[test]
+    fn construction_and_accessors() {
+        let i = iv(1, 5);
+        assert_eq!(i.lo(), rat(1, 1));
+        assert_eq!(i.hi(), rat(5, 1));
+        assert_eq!(i.len(), rat(4, 1));
+        assert!(!i.is_empty());
+        assert!(Interval::empty().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoints out of order")]
+    fn reversed_endpoints_panic() {
+        let _ = iv(5, 1);
+    }
+
+    #[test]
+    fn half_open_membership() {
+        let i = iv(1, 3);
+        assert!(i.contains_point(rat(1, 1)));
+        assert!(i.contains_point(rat(5, 2)));
+        assert!(!i.contains_point(rat(3, 1)));
+        assert!(!i.contains_point(rat(0, 1)));
+        assert!(!Interval::empty().contains_point(Rational::ZERO));
+    }
+
+    #[test]
+    fn abutting_intervals_are_disjoint() {
+        let a = iv(0, 2);
+        let b = iv(2, 4);
+        assert!(!a.overlaps(&b));
+        assert!(a.intersect(&b).is_none());
+        assert_eq!(a.overlap_len(&b), Rational::ZERO);
+    }
+
+    #[test]
+    fn intersection_and_hull() {
+        let a = iv(0, 3);
+        let b = iv(2, 5);
+        assert_eq!(a.intersect(&b), Some(iv(2, 3)));
+        assert_eq!(a.overlap_len(&b), rat(1, 1));
+        assert_eq!(a.hull(&b), iv(0, 5));
+        assert_eq!(a.hull(&Interval::empty()), a);
+        assert_eq!(Interval::empty().hull(&b), b);
+    }
+
+    #[test]
+    fn containment() {
+        let a = iv(0, 10);
+        assert!(a.contains(&iv(2, 5)));
+        assert!(a.contains(&a));
+        assert!(a.contains(&Interval::empty()));
+        assert!(!iv(2, 5).contains(&a));
+        assert!(!a.contains(&iv(5, 11)));
+    }
+
+    #[test]
+    fn split_at_clamps() {
+        let a = iv(0, 10);
+        let (l, r) = a.split_at(rat(4, 1));
+        assert_eq!(l, iv(0, 4));
+        assert_eq!(r, iv(4, 10));
+        let (l, r) = a.split_at(rat(-3, 1));
+        assert!(l.is_empty());
+        assert_eq!(r, a);
+        let (l, r) = a.split_at(rat(99, 1));
+        assert_eq!(l, a);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn shift_translates() {
+        assert_eq!(
+            iv(1, 3).shift(rat(5, 2)),
+            Interval::new(rat(7, 2), rat(11, 2))
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(iv(1, 3).to_string(), "[1, 3)");
+        assert_eq!(
+            Interval::new(rat(1, 2), rat(3, 4)).to_string(),
+            "[1/2, 3/4)"
+        );
+    }
+}

@@ -1,0 +1,65 @@
+#![warn(missing_docs)]
+
+//! # `dbp-numeric` — exact arithmetic and interval algebra
+//!
+//! Foundation crate for the MinUsageTime Dynamic Bin Packing
+//! reproduction. The competitive analysis of Tang, Li, Ren & Cai
+//! (IPDPS 2016) manipulates quantities such as subperiod boundaries
+//! at `t + µ`, supplier windows `[t − |x|/2, t + |x|/2)` and exact
+//! bin levels; verifying the paper's propositions on concrete
+//! instances therefore demands *exact* arithmetic — floating point
+//! would make the certification checks flaky around the many
+//! boundary-equality cases the proofs rely on (e.g. "within a
+//! duration µ *(including µ)*").
+//!
+//! The crate provides:
+//!
+//! * [`Rational`] — an `i128`-backed reduced fraction with total
+//!   order, hashing and serde support. Used for both *time* and
+//!   *size* throughout the workspace (bins have unit capacity, so
+//!   sizes are rationals in `(0, 1]`).
+//! * [`Interval`] — a half-open interval `[lo, hi)` exactly as the
+//!   paper defines item activity and bin usage periods (§III.A).
+//! * [`IntervalSet`] — a normalized union of disjoint intervals with
+//!   measure, union, intersection and containment; implements the
+//!   paper's `span(·)` and the disjointness checks of Lemma 2.
+//!
+//! All operations are deterministic and panic-free for inputs built
+//! through the checked constructors; arithmetic overflow on the
+//! `i128` backing store panics in both debug and release (the
+//! workload generators keep magnitudes far below the overflow
+//! threshold, and a panic is preferable to a silently wrong
+//! certificate).
+
+pub mod interval;
+pub mod rational;
+pub mod set;
+
+pub use interval::Interval;
+pub use rational::{ParseRationalError, Rational};
+pub use set::IntervalSet;
+
+/// Convenience constructor: `rat(n, d)` builds `n/d`.
+///
+/// # Panics
+/// Panics if `d == 0`.
+///
+/// ```
+/// use dbp_numeric::{rat, Rational};
+/// assert_eq!(rat(2, 4), rat(1, 2));
+/// assert_eq!(rat(5, 1), Rational::from_int(5));
+/// ```
+#[inline]
+pub fn rat(num: i128, den: i128) -> Rational {
+    Rational::new(num, den)
+}
+
+/// Convenience constructor for a half-open interval `[lo, hi)` from
+/// integer endpoints.
+///
+/// # Panics
+/// Panics if `lo > hi`.
+#[inline]
+pub fn iv(lo: i128, hi: i128) -> Interval {
+    Interval::new(Rational::from_int(lo), Rational::from_int(hi))
+}

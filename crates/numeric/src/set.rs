@@ -1,0 +1,324 @@
+//! Normalized unions of disjoint half-open intervals.
+//!
+//! [`IntervalSet`] is the measure-theoretic workhorse of the
+//! reproduction: the paper's `span(R)` (§III.A, Figure 1) is the
+//! measure of the union of the items' active intervals, and Lemma 2
+//! ("the supplier periods of all the single and consolidated
+//! l-subperiods do not intersect with each other") is checked by
+//! asserting that the measure of the union equals the sum of the
+//! individual lengths.
+
+use crate::{Interval, Rational};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A set of rationals represented as a sorted list of disjoint,
+/// non-abutting, non-empty half-open intervals.
+///
+/// ```
+/// use dbp_numeric::{iv, rat, IntervalSet};
+/// let mut s = IntervalSet::new();
+/// s.insert(iv(0, 2));
+/// s.insert(iv(5, 7));
+/// s.insert(iv(1, 6)); // bridges the gap
+/// assert_eq!(s.measure(), rat(7, 1));
+/// assert_eq!(s.components().len(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct IntervalSet {
+    /// Invariant: sorted by `lo`, pairwise disjoint, no abutting
+    /// pairs (`a.hi < b.lo` for consecutive members), no empties.
+    parts: Vec<Interval>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    #[inline]
+    pub fn new() -> IntervalSet {
+        IntervalSet { parts: Vec::new() }
+    }
+
+    /// Builds a set from arbitrary intervals (normalizing).
+    pub fn from_intervals<I: IntoIterator<Item = Interval>>(iter: I) -> IntervalSet {
+        let mut parts: Vec<Interval> = iter.into_iter().filter(|i| !i.is_empty()).collect();
+        parts.sort_by(|a, b| a.lo().cmp(&b.lo()).then(a.hi().cmp(&b.hi())));
+        let mut merged: Vec<Interval> = Vec::with_capacity(parts.len());
+        for p in parts {
+            match merged.last_mut() {
+                Some(last) if p.lo() <= last.hi() => {
+                    if p.hi() > last.hi() {
+                        *last = Interval::new(last.lo(), p.hi());
+                    }
+                }
+                _ => merged.push(p),
+            }
+        }
+        IntervalSet { parts: merged }
+    }
+
+    /// The maximal disjoint intervals composing the set.
+    #[inline]
+    pub fn components(&self) -> &[Interval] {
+        &self.parts
+    }
+
+    /// `true` iff the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// Total measure (sum of component lengths). This is the paper's
+    /// `span(R)` when the set is the union of item activity intervals.
+    #[inline]
+    pub fn measure(&self) -> Rational {
+        self.parts.iter().map(Interval::len).sum()
+    }
+
+    /// Inserts an interval, merging as needed. Amortized `O(n)`.
+    pub fn insert(&mut self, interval: Interval) {
+        if interval.is_empty() {
+            return;
+        }
+        // Fast path: append beyond the current end (the packing engine
+        // inserts usage periods in roughly increasing order).
+        if let Some(last) = self.parts.last_mut() {
+            if interval.lo() > last.hi() {
+                self.parts.push(interval);
+                return;
+            }
+            if interval.lo() >= last.lo() {
+                if interval.hi() > last.hi() {
+                    if interval.lo() <= last.hi() {
+                        *last = Interval::new(last.lo(), interval.hi());
+                        return;
+                    }
+                } else {
+                    return; // fully covered
+                }
+            }
+        } else {
+            self.parts.push(interval);
+            return;
+        }
+        // General path: locate the affected range with binary search.
+        let lo_idx = self.parts.partition_point(|p| p.hi() < interval.lo());
+        let hi_idx = self.parts.partition_point(|p| p.lo() <= interval.hi());
+        if lo_idx == hi_idx {
+            self.parts.insert(lo_idx, interval);
+            return;
+        }
+        let new_lo = interval.lo().min(self.parts[lo_idx].lo());
+        let new_hi = interval.hi().max(self.parts[hi_idx - 1].hi());
+        self.parts
+            .splice(lo_idx..hi_idx, [Interval::new(new_lo, new_hi)]);
+    }
+
+    /// `true` iff `t` belongs to the set.
+    pub fn contains_point(&self, t: Rational) -> bool {
+        let idx = self.parts.partition_point(|p| p.hi() <= t);
+        self.parts.get(idx).is_some_and(|p| p.contains_point(t))
+    }
+
+    /// `true` iff the interval is entirely covered by the set.
+    pub fn contains_interval(&self, interval: &Interval) -> bool {
+        if interval.is_empty() {
+            return true;
+        }
+        let idx = self.parts.partition_point(|p| p.hi() <= interval.lo());
+        self.parts.get(idx).is_some_and(|p| p.contains(interval))
+    }
+
+    /// Union of two sets.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        IntervalSet::from_intervals(self.parts.iter().chain(other.parts.iter()).copied())
+    }
+
+    /// Intersection of two sets (linear merge).
+    pub fn intersection(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.parts.len() && j < other.parts.len() {
+            let a = self.parts[i];
+            let b = other.parts[j];
+            if let Some(x) = a.intersect(&b) {
+                out.push(x);
+            }
+            if a.hi() <= b.hi() {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        IntervalSet { parts: out }
+    }
+
+    /// Measure of the intersection with a single interval.
+    pub fn overlap_len(&self, interval: &Interval) -> Rational {
+        if interval.is_empty() {
+            return Rational::ZERO;
+        }
+        let start = self.parts.partition_point(|p| p.hi() <= interval.lo());
+        self.parts[start..]
+            .iter()
+            .take_while(|p| p.lo() < interval.hi())
+            .map(|p| p.overlap_len(interval))
+            .sum()
+    }
+
+    /// Measure of `self \ other`.
+    pub fn difference_measure(&self, other: &IntervalSet) -> Rational {
+        self.measure() - self.intersection(other).measure()
+    }
+
+    /// The convex hull of the set, or `None` when empty.
+    pub fn hull(&self) -> Option<Interval> {
+        match (self.parts.first(), self.parts.last()) {
+            (Some(f), Some(l)) => Some(Interval::new(f.lo(), l.hi())),
+            _ => None,
+        }
+    }
+
+    /// Checks that a family of intervals is pairwise disjoint, i.e.
+    /// the measure of the union equals the sum of lengths. Empty
+    /// members are ignored. This is the executable form of Lemma 2.
+    pub fn pairwise_disjoint<'a, I>(intervals: I) -> bool
+    where
+        I: IntoIterator<Item = &'a Interval>,
+    {
+        let items: Vec<Interval> = intervals.into_iter().copied().collect();
+        let total: Rational = items.iter().map(Interval::len).sum();
+        let set = IntervalSet::from_intervals(items);
+        set.measure() == total
+    }
+}
+
+impl FromIterator<Interval> for IntervalSet {
+    fn from_iter<T: IntoIterator<Item = Interval>>(iter: T) -> Self {
+        IntervalSet::from_intervals(iter)
+    }
+}
+
+impl fmt::Debug for IntervalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, p) in self.parts.iter().enumerate() {
+            if k > 0 {
+                write!(f, " ∪ ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{iv, rat};
+
+    #[test]
+    fn from_intervals_normalizes() {
+        let s = IntervalSet::from_intervals([iv(4, 6), iv(0, 2), iv(1, 3), iv(8, 8)]);
+        assert_eq!(s.components(), &[iv(0, 3), iv(4, 6)]);
+        assert_eq!(s.measure(), rat(5, 1));
+    }
+
+    #[test]
+    fn abutting_intervals_merge() {
+        let s = IntervalSet::from_intervals([iv(0, 2), iv(2, 4)]);
+        assert_eq!(s.components(), &[iv(0, 4)]);
+    }
+
+    #[test]
+    fn insert_fast_path_appends() {
+        let mut s = IntervalSet::new();
+        s.insert(iv(0, 1));
+        s.insert(iv(2, 3));
+        s.insert(iv(5, 6));
+        assert_eq!(s.components().len(), 3);
+        assert_eq!(s.measure(), rat(3, 1));
+    }
+
+    #[test]
+    fn insert_extends_last() {
+        let mut s = IntervalSet::new();
+        s.insert(iv(0, 2));
+        s.insert(iv(1, 4)); // overlaps last
+        assert_eq!(s.components(), &[iv(0, 4)]);
+        s.insert(iv(4, 5)); // abuts last
+        assert_eq!(s.components(), &[iv(0, 5)]);
+        s.insert(iv(2, 3)); // covered
+        assert_eq!(s.components(), &[iv(0, 5)]);
+    }
+
+    #[test]
+    fn insert_general_path_bridges() {
+        let mut s = IntervalSet::new();
+        s.insert(iv(0, 1));
+        s.insert(iv(3, 4));
+        s.insert(iv(6, 7));
+        s.insert(iv(1, 6)); // bridges first two gaps (abuts both ends)
+        assert_eq!(s.components(), &[iv(0, 7)]);
+    }
+
+    #[test]
+    fn insert_in_middle() {
+        let mut s = IntervalSet::new();
+        s.insert(iv(0, 1));
+        s.insert(iv(10, 11));
+        s.insert(iv(4, 5));
+        assert_eq!(s.components(), &[iv(0, 1), iv(4, 5), iv(10, 11)]);
+    }
+
+    #[test]
+    fn membership_queries() {
+        let s = IntervalSet::from_intervals([iv(0, 2), iv(5, 8)]);
+        assert!(s.contains_point(rat(1, 1)));
+        assert!(!s.contains_point(rat(2, 1)));
+        assert!(s.contains_point(rat(5, 1)));
+        assert!(!s.contains_point(rat(3, 1)));
+        assert!(s.contains_interval(&iv(6, 8)));
+        assert!(!s.contains_interval(&iv(1, 6)));
+        assert!(s.contains_interval(&Interval::empty()));
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = IntervalSet::from_intervals([iv(0, 4), iv(6, 10)]);
+        let b = IntervalSet::from_intervals([iv(2, 7), iv(9, 12)]);
+        assert_eq!(a.union(&b).components(), &[iv(0, 12)]);
+        assert_eq!(
+            a.intersection(&b).components(),
+            &[iv(2, 4), iv(6, 7), iv(9, 10)]
+        );
+        assert_eq!(a.difference_measure(&b), rat(4, 1));
+    }
+
+    #[test]
+    fn overlap_len_queries() {
+        let s = IntervalSet::from_intervals([iv(0, 2), iv(5, 8)]);
+        assert_eq!(s.overlap_len(&iv(1, 6)), rat(2, 1));
+        assert_eq!(s.overlap_len(&iv(2, 5)), Rational::ZERO);
+        assert_eq!(s.overlap_len(&Interval::empty()), Rational::ZERO);
+    }
+
+    #[test]
+    fn hull_and_empty() {
+        let s = IntervalSet::from_intervals([iv(1, 2), iv(7, 9)]);
+        assert_eq!(s.hull(), Some(iv(1, 9)));
+        assert_eq!(IntervalSet::new().hull(), None);
+        assert!(IntervalSet::new().is_empty());
+    }
+
+    #[test]
+    fn pairwise_disjoint_detects_overlap() {
+        assert!(IntervalSet::pairwise_disjoint([iv(0, 1), iv(2, 3)].iter()));
+        // Abutting counts as disjoint (no shared point).
+        assert!(IntervalSet::pairwise_disjoint([iv(0, 1), iv(1, 2)].iter()));
+        assert!(!IntervalSet::pairwise_disjoint([iv(0, 2), iv(1, 3)].iter()));
+        assert!(IntervalSet::pairwise_disjoint(
+            [iv(0, 1), Interval::empty(), iv(1, 2)].iter()
+        ));
+    }
+}

@@ -1,0 +1,215 @@
+//! Property-based tests for exact arithmetic and interval algebra.
+//!
+//! These are the foundation invariants the whole certification suite
+//! leans on: if `Rational` or `IntervalSet` misbehaved, the checks of
+//! the paper's propositions would be meaningless.
+
+use dbp_numeric::{Interval, IntervalSet, Rational};
+use proptest::prelude::*;
+
+/// Small-magnitude rationals: numerators in ±10⁴, denominators in
+/// 1..=100 — comfortably inside i128 for any polynomial combination.
+fn small_rational() -> impl Strategy<Value = Rational> {
+    (-10_000i128..=10_000, 1i128..=100).prop_map(|(n, d)| Rational::new(n, d))
+}
+
+fn small_interval() -> impl Strategy<Value = Interval> {
+    (small_rational(), small_rational()).prop_map(|(a, b)| Interval::new(a.min(b), a.max(b)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    // ---- Rational: ordered-field laws ----
+
+    #[test]
+    fn add_commutative(a in small_rational(), b in small_rational()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn add_associative(a in small_rational(), b in small_rational(), c in small_rational()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn mul_commutative(a in small_rational(), b in small_rational()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn mul_associative(a in small_rational(), b in small_rational(), c in small_rational()) {
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+
+    #[test]
+    fn distributivity(a in small_rational(), b in small_rational(), c in small_rational()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn additive_inverse(a in small_rational()) {
+        prop_assert_eq!(a + (-a), Rational::ZERO);
+        prop_assert_eq!(a - a, Rational::ZERO);
+    }
+
+    #[test]
+    fn multiplicative_inverse(a in small_rational()) {
+        prop_assume!(!a.is_zero());
+        prop_assert_eq!(a * a.recip(), Rational::ONE);
+        prop_assert_eq!(a / a, Rational::ONE);
+    }
+
+    #[test]
+    fn normalization_is_canonical(n in -10_000i128..=10_000, d in 1i128..=100, k in 1i128..=50) {
+        prop_assert_eq!(Rational::new(n, d), Rational::new(n * k, d * k));
+        prop_assert_eq!(Rational::new(n, d), Rational::new(-n * k, -d * k));
+    }
+
+    #[test]
+    fn order_total_and_compatible(a in small_rational(), b in small_rational(), c in small_rational()) {
+        // trichotomy
+        let lt = a < b;
+        let gt = a > b;
+        let eq = a == b;
+        prop_assert_eq!(u8::from(lt) + u8::from(gt) + u8::from(eq), 1);
+        // translation invariance
+        prop_assert_eq!(a < b, a + c < b + c);
+        // scaling by a positive preserves order
+        prop_assume!(c.is_positive());
+        prop_assert_eq!(a < b, a * c < b * c);
+    }
+
+    #[test]
+    fn floor_ceil_sandwich(a in small_rational()) {
+        let f = Rational::from_int(a.floor());
+        let c = Rational::from_int(a.ceil());
+        prop_assert!(f <= a && a <= c);
+        prop_assert!(a - f < Rational::ONE);
+        prop_assert!(c - a < Rational::ONE);
+        if a.is_integer() {
+            prop_assert_eq!(f, c);
+        } else {
+            prop_assert_eq!(c - f, Rational::ONE);
+        }
+    }
+
+    #[test]
+    fn parse_display_round_trip(a in small_rational()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<Rational>().unwrap(), a);
+    }
+
+    #[test]
+    fn to_f64_monotone(a in small_rational(), b in small_rational()) {
+        if a < b {
+            prop_assert!(a.to_f64() <= b.to_f64());
+        }
+    }
+
+    // ---- Interval laws ----
+
+    #[test]
+    fn intersection_commutes(a in small_interval(), b in small_interval()) {
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        prop_assert_eq!(a.overlap_len(&b), b.overlap_len(&a));
+    }
+
+    #[test]
+    fn intersection_within_hull(a in small_interval(), b in small_interval()) {
+        if let Some(x) = a.intersect(&b) {
+            prop_assert!(a.contains(&x));
+            prop_assert!(b.contains(&x));
+            prop_assert!(x.len() <= a.len().min(b.len()));
+        }
+        let h = a.hull(&b);
+        prop_assert!(h.contains(&a) && h.contains(&b));
+    }
+
+    #[test]
+    fn split_partitions(a in small_interval(), t in small_rational()) {
+        let (l, r) = a.split_at(t);
+        prop_assert_eq!(l.len() + r.len(), a.len());
+        if !l.is_empty() { prop_assert_eq!(l.lo(), a.lo()); }
+        if !r.is_empty() { prop_assert_eq!(r.hi(), a.hi()); }
+        prop_assert_eq!(l.hi(), r.lo());
+    }
+
+    // ---- IntervalSet laws ----
+
+    #[test]
+    fn set_measure_subadditive(ivs in prop::collection::vec(small_interval(), 0..20)) {
+        let total: Rational = ivs.iter().map(Interval::len).sum();
+        let set = IntervalSet::from_intervals(ivs.iter().copied());
+        prop_assert!(set.measure() <= total);
+        // Every input interval is covered by the set.
+        for i in &ivs {
+            prop_assert!(set.contains_interval(i));
+        }
+    }
+
+    #[test]
+    fn set_components_normalized(ivs in prop::collection::vec(small_interval(), 0..20)) {
+        let set = IntervalSet::from_intervals(ivs.iter().copied());
+        let comps = set.components();
+        for w in comps.windows(2) {
+            prop_assert!(w[0].hi() < w[1].lo(), "components must be separated: {:?}", comps);
+        }
+        for c in comps {
+            prop_assert!(!c.is_empty());
+        }
+    }
+
+    #[test]
+    fn incremental_insert_matches_batch(ivs in prop::collection::vec(small_interval(), 0..20)) {
+        let batch = IntervalSet::from_intervals(ivs.iter().copied());
+        let mut inc = IntervalSet::new();
+        for i in &ivs {
+            inc.insert(*i);
+        }
+        prop_assert_eq!(batch, inc);
+    }
+
+    #[test]
+    fn union_is_lub(a in prop::collection::vec(small_interval(), 0..10),
+                    b in prop::collection::vec(small_interval(), 0..10)) {
+        let sa = IntervalSet::from_intervals(a.iter().copied());
+        let sb = IntervalSet::from_intervals(b.iter().copied());
+        let u = sa.union(&sb);
+        prop_assert!(u.measure() >= sa.measure().max(sb.measure()));
+        prop_assert!(u.measure() <= sa.measure() + sb.measure());
+        for c in sa.components().iter().chain(sb.components()) {
+            prop_assert!(u.contains_interval(c));
+        }
+    }
+
+    #[test]
+    fn inclusion_exclusion(a in prop::collection::vec(small_interval(), 0..10),
+                           b in prop::collection::vec(small_interval(), 0..10)) {
+        let sa = IntervalSet::from_intervals(a.iter().copied());
+        let sb = IntervalSet::from_intervals(b.iter().copied());
+        let u = sa.union(&sb).measure();
+        let i = sa.intersection(&sb).measure();
+        prop_assert_eq!(u + i, sa.measure() + sb.measure());
+    }
+
+    #[test]
+    fn overlap_len_matches_intersection(ivs in prop::collection::vec(small_interval(), 0..10),
+                                        probe in small_interval()) {
+        let set = IntervalSet::from_intervals(ivs.iter().copied());
+        let expected = set
+            .intersection(&IntervalSet::from_intervals([probe]))
+            .measure();
+        prop_assert_eq!(set.overlap_len(&probe), expected);
+    }
+
+    #[test]
+    fn point_membership_agrees_with_components(
+        ivs in prop::collection::vec(small_interval(), 0..10),
+        t in small_rational()
+    ) {
+        let set = IntervalSet::from_intervals(ivs.iter().copied());
+        let direct = set.components().iter().any(|c| c.contains_point(t));
+        prop_assert_eq!(set.contains_point(t), direct);
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # `dbp-simcore` — discrete-event simulation core
+//!
+//! A small, deterministic discrete-event substrate shared by the
+//! online packing engine (`dbp-core`) and the cloud-allocation
+//! simulator (`dbp-cloudsim`).
+//!
+//! Design points:
+//!
+//! * **Exact time.** The simulation clock runs on
+//!   [`dbp_numeric::Rational`]; no floating-point drift, so two runs
+//!   of the same instance are bit-identical and event ties are real
+//!   ties, resolved by an explicit, documented policy.
+//! * **Stable ordering.** [`EventQueue`] orders events by
+//!   `(time, class, seq)`. `class` encodes the paper's half-open
+//!   interval semantics: an item active on `[a, d)` has *departed* at
+//!   time `d`, so departures at `t` are processed before arrivals at
+//!   `t` (a new item can reuse capacity freed at the same instant).
+//!   `seq` is the insertion sequence number, making the whole order
+//!   total and deterministic.
+//! * **Time-weighted statistics.** [`stats::TimeWeighted`] integrates
+//!   step functions of time exactly — this is how bin levels,
+//!   open-server counts and `∫ OPT(R,t) dt` style quantities are
+//!   accumulated.
+
+pub mod queue;
+pub mod stats;
+
+pub use queue::{EventClass, EventQueue, ScheduledEvent};
+pub use stats::{Counter, StepIntegrator, SummaryStats, TimeWeighted};

@@ -1,0 +1,239 @@
+//! Deterministic event queue with stable tie-breaking.
+
+use dbp_numeric::Rational;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Priority class of an event at equal timestamps.
+///
+/// Items are active on half-open intervals `[arrival, departure)`
+/// (paper §III.A), so at any instant `t` a departure scheduled for
+/// `t` has already taken effect when an arrival at `t` is processed.
+/// `Departure < Arrival < Control` in processing order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventClass {
+    /// Capacity-freeing events; processed first at a given time.
+    Departure = 0,
+    /// Capacity-consuming events; processed after departures.
+    Arrival = 1,
+    /// Measurement / bookkeeping events; processed last.
+    Control = 2,
+}
+
+/// An event drawn from the queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledEvent<T> {
+    /// Simulation time at which the event fires.
+    pub time: Rational,
+    /// Tie-breaking class (see [`EventClass`]).
+    pub class: EventClass,
+    /// Insertion sequence number; the final tie-breaker.
+    pub seq: u64,
+    /// User payload.
+    pub payload: T,
+}
+
+/// Internal heap node: `BinaryHeap` is a max-heap, so ordering is
+/// reversed to pop the *earliest* event first.
+struct Node<T> {
+    time: Rational,
+    class: EventClass,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Node<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.class == other.class && self.seq == other.seq
+    }
+}
+impl<T> Eq for Node<T> {}
+
+impl<T> PartialOrd for Node<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Node<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: smaller (time, class, seq) == greater heap priority.
+        (other.time, other.class, other.seq).cmp(&(self.time, self.class, self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// ```
+/// use dbp_simcore::{EventClass, EventQueue};
+/// use dbp_numeric::rat;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(rat(2, 1), EventClass::Arrival, "arrive@2");
+/// q.schedule(rat(1, 1), EventClass::Arrival, "arrive@1");
+/// q.schedule(rat(2, 1), EventClass::Departure, "depart@2");
+///
+/// let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+/// assert_eq!(order, ["arrive@1", "depart@2", "arrive@2"]);
+/// ```
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Node<T>>,
+    next_seq: u64,
+    now: Option<Rational>,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: None,
+        }
+    }
+
+    /// Creates an empty queue with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            now: None,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` iff no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The time of the most recently popped event, if any. Monotone
+    /// non-decreasing over the lifetime of the queue.
+    pub fn now(&self) -> Option<Rational> {
+        self.now
+    }
+
+    /// Schedules an event; returns its sequence number.
+    ///
+    /// # Panics
+    /// Panics if the event is scheduled strictly in the past (before
+    /// the time of the last popped event). Same-time scheduling is
+    /// allowed: the new event will be ordered after already-popped
+    /// events by class/sequence.
+    pub fn schedule(&mut self, time: Rational, class: EventClass, payload: T) -> u64 {
+        if let Some(now) = self.now {
+            assert!(
+                time >= now,
+                "cannot schedule event in the past: t={time} < now={now}"
+            );
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Node {
+            time,
+            class,
+            seq,
+            payload,
+        });
+        seq
+    }
+
+    /// Pops the earliest event (by `(time, class, seq)`), advancing
+    /// the queue's notion of *now*.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<T>> {
+        let node = self.heap.pop()?;
+        self.now = Some(node.time);
+        Some(ScheduledEvent {
+            time: node.time,
+            class: node.class,
+            seq: node.seq,
+            payload: node.payload,
+        })
+    }
+
+    /// Time of the next pending event without popping it.
+    pub fn peek_time(&self) -> Option<Rational> {
+        self.heap.peek().map(|n| n.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_numeric::rat;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for t in [5, 1, 4, 2, 3] {
+            q.schedule(rat(t, 1), EventClass::Arrival, t);
+        }
+        let order: Vec<i128> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, [1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn departures_before_arrivals_at_equal_time() {
+        let mut q = EventQueue::new();
+        q.schedule(rat(1, 1), EventClass::Arrival, "a");
+        q.schedule(rat(1, 1), EventClass::Control, "c");
+        q.schedule(rat(1, 1), EventClass::Departure, "d");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, ["d", "a", "c"]);
+    }
+
+    #[test]
+    fn insertion_order_breaks_full_ties() {
+        let mut q = EventQueue::new();
+        q.schedule(rat(1, 1), EventClass::Arrival, "first");
+        q.schedule(rat(1, 1), EventClass::Arrival, "second");
+        q.schedule(rat(1, 1), EventClass::Arrival, "third");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, ["first", "second", "third"]);
+    }
+
+    #[test]
+    fn now_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(rat(3, 1), EventClass::Arrival, ());
+        q.schedule(rat(1, 1), EventClass::Arrival, ());
+        assert_eq!(q.now(), None);
+        q.pop();
+        assert_eq!(q.now(), Some(rat(1, 1)));
+        // Scheduling at the current time is allowed.
+        q.schedule(rat(1, 1), EventClass::Control, ());
+        q.pop();
+        assert_eq!(q.now(), Some(rat(1, 1)));
+        q.pop();
+        assert_eq!(q.now(), Some(rat(3, 1)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule event in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(rat(2, 1), EventClass::Arrival, ());
+        q.pop();
+        q.schedule(rat(1, 1), EventClass::Arrival, ());
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.schedule(rat(7, 2), EventClass::Arrival, ());
+        assert_eq!(q.peek_time(), Some(rat(7, 2)));
+        assert_eq!(q.now(), None);
+        assert_eq!(q.len(), 1);
+    }
+}

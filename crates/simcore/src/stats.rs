@@ -1,0 +1,391 @@
+//! Exact time-weighted statistics for step functions of time.
+
+use dbp_numeric::Rational;
+use serde::{Deserialize, Serialize};
+
+/// Integrates a rational-valued step function of time exactly.
+///
+/// Feed it `set(t, v)` updates with non-decreasing `t`; it maintains
+/// `∫ v(t) dt` plus the time-weighted extremes. This is the engine
+/// behind bin-level utilization accounting and `∫ OPT(R, t) dt`.
+///
+/// ```
+/// use dbp_simcore::TimeWeighted;
+/// use dbp_numeric::rat;
+///
+/// let mut w = TimeWeighted::starting_at(rat(0, 1), rat(0, 1));
+/// w.set(rat(1, 1), rat(3, 1)); // v=0 on [0,1)
+/// w.set(rat(4, 1), rat(1, 1)); // v=3 on [1,4)
+/// w.finish(rat(6, 1));         // v=1 on [4,6)
+/// assert_eq!(w.integral(), rat(11, 1)); // 0*1 + 3*3 + 1*2
+/// assert_eq!(w.time_average().unwrap(), rat(11, 6));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    start: Rational,
+    last_t: Rational,
+    last_v: Rational,
+    integral: Rational,
+    max_v: Rational,
+    min_v: Rational,
+    finished: bool,
+}
+
+impl TimeWeighted {
+    /// Starts tracking at time `t0` with initial value `v0`.
+    pub fn starting_at(t0: Rational, v0: Rational) -> TimeWeighted {
+        TimeWeighted {
+            start: t0,
+            last_t: t0,
+            last_v: v0,
+            integral: Rational::ZERO,
+            max_v: v0,
+            min_v: v0,
+            finished: false,
+        }
+    }
+
+    /// Updates the value to `v` at time `t`.
+    ///
+    /// # Panics
+    /// Panics if `t` is earlier than the previous update or if the
+    /// tracker was already [`finish`](Self::finish)ed.
+    pub fn set(&mut self, t: Rational, v: Rational) {
+        assert!(!self.finished, "TimeWeighted already finished");
+        assert!(
+            t >= self.last_t,
+            "time went backwards: {t} < {}",
+            self.last_t
+        );
+        self.integral += self.last_v * (t - self.last_t);
+        self.last_t = t;
+        self.last_v = v;
+        if v > self.max_v {
+            self.max_v = v;
+        }
+        if v < self.min_v {
+            self.min_v = v;
+        }
+    }
+
+    /// Adds `delta` to the current value at time `t` (convenience for
+    /// counter-style signals such as "number of open bins").
+    pub fn add(&mut self, t: Rational, delta: Rational) {
+        let v = self.last_v + delta;
+        self.set(t, v);
+    }
+
+    /// Closes the observation window at time `t_end`.
+    pub fn finish(&mut self, t_end: Rational) {
+        assert!(!self.finished, "TimeWeighted already finished");
+        assert!(t_end >= self.last_t, "finish time precedes last update");
+        self.integral += self.last_v * (t_end - self.last_t);
+        self.last_t = t_end;
+        self.finished = true;
+    }
+
+    /// The current value of the step function.
+    pub fn current(&self) -> Rational {
+        self.last_v
+    }
+
+    /// `∫ v(t) dt` over the observed window so far.
+    pub fn integral(&self) -> Rational {
+        self.integral
+    }
+
+    /// Time-weighted mean over the observed window; `None` if the
+    /// window has zero length.
+    pub fn time_average(&self) -> Option<Rational> {
+        let span = self.last_t - self.start;
+        if span.is_zero() {
+            None
+        } else {
+            Some(self.integral / span)
+        }
+    }
+
+    /// Maximum value observed (including the initial value).
+    pub fn max(&self) -> Rational {
+        self.max_v
+    }
+
+    /// Minimum value observed (including the initial value).
+    pub fn min(&self) -> Rational {
+        self.min_v
+    }
+
+    /// Length of the observation window so far.
+    pub fn elapsed(&self) -> Rational {
+        self.last_t - self.start
+    }
+}
+
+/// Integrates an integer-valued step function given as explicit
+/// breakpoints — the piecewise-constant `OPT(R, t)` profile.
+///
+/// Unlike [`TimeWeighted`] this is a one-shot builder: supply all
+/// `(interval_start, value)` breakpoints in order plus the end time.
+#[derive(Debug, Clone, Default)]
+pub struct StepIntegrator {
+    segments: Vec<(Rational, Rational, Rational)>, // (lo, hi, value)
+}
+
+impl StepIntegrator {
+    /// Creates an empty integrator.
+    pub fn new() -> StepIntegrator {
+        StepIntegrator::default()
+    }
+
+    /// Appends a constant segment `value` on `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if segments are not appended left-to-right or overlap.
+    pub fn push_segment(&mut self, lo: Rational, hi: Rational, value: Rational) {
+        assert!(lo <= hi, "segment endpoints out of order");
+        if let Some((_, prev_hi, _)) = self.segments.last() {
+            assert!(
+                lo >= *prev_hi,
+                "segments must be appended in order without overlap"
+            );
+        }
+        if lo < hi {
+            self.segments.push((lo, hi, value));
+        }
+    }
+
+    /// `∫ v(t) dt` over all segments.
+    pub fn integral(&self) -> Rational {
+        self.segments
+            .iter()
+            .map(|(lo, hi, v)| *v * (*hi - *lo))
+            .sum()
+    }
+
+    /// Maximum segment value (`None` when empty). For MinUsageTime's
+    /// sibling objective — the standard DBP "max concurrent bins".
+    pub fn max_value(&self) -> Option<Rational> {
+        self.segments.iter().map(|(_, _, v)| *v).max()
+    }
+
+    /// Total measure where the value is strictly positive.
+    pub fn positive_measure(&self) -> Rational {
+        self.segments
+            .iter()
+            .filter(|(_, _, v)| v.is_positive())
+            .map(|(lo, hi, _)| *hi - *lo)
+            .sum()
+    }
+
+    /// The recorded segments.
+    pub fn segments(&self) -> &[(Rational, Rational, Rational)] {
+        &self.segments
+    }
+}
+
+/// A simple monotone event counter with named buckets, used by the
+/// experiment harness for run summaries.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Counter {
+    count: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Increments by one.
+    pub fn bump(&mut self) {
+        self.count += 1;
+    }
+
+    /// Increments by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.count += n;
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Streaming summary statistics over `f64` observations
+/// (Welford's algorithm). Used for *reporting* only — correctness
+/// checks always go through exact arithmetic.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SummaryStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl SummaryStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> SummaryStats {
+        SummaryStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Sample variance with Bessel's correction (`None` for n < 2).
+    pub fn variance(&self) -> Option<f64> {
+        (self.n > 1).then(|| self.m2 / (self.n - 1) as f64)
+    }
+
+    /// Sample standard deviation (`None` for n < 2).
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_numeric::rat;
+
+    #[test]
+    fn time_weighted_integrates_steps() {
+        let mut w = TimeWeighted::starting_at(rat(0, 1), rat(2, 1));
+        w.set(rat(2, 1), rat(5, 1));
+        w.set(rat(3, 1), rat(0, 1));
+        w.finish(rat(5, 1));
+        // 2*2 + 5*1 + 0*2 = 9
+        assert_eq!(w.integral(), rat(9, 1));
+        assert_eq!(w.time_average(), Some(rat(9, 5)));
+        assert_eq!(w.max(), rat(5, 1));
+        assert_eq!(w.min(), rat(0, 1));
+        assert_eq!(w.elapsed(), rat(5, 1));
+    }
+
+    #[test]
+    fn time_weighted_add_deltas() {
+        let mut w = TimeWeighted::starting_at(rat(0, 1), rat(0, 1));
+        w.add(rat(1, 1), rat(1, 1)); // 1 open bin from t=1
+        w.add(rat(2, 1), rat(1, 1)); // 2 open bins from t=2
+        w.add(rat(4, 1), rat(-2, 1)); // all closed at t=4
+        w.finish(rat(10, 1));
+        assert_eq!(w.integral(), rat(5, 1)); // 0*1 + 1*1 + 2*2 + 0*6
+        assert_eq!(w.current(), rat(0, 1));
+    }
+
+    #[test]
+    fn zero_width_updates_are_fine() {
+        let mut w = TimeWeighted::starting_at(rat(1, 1), rat(3, 1));
+        w.set(rat(1, 1), rat(7, 1)); // simultaneous update
+        w.finish(rat(2, 1));
+        assert_eq!(w.integral(), rat(7, 1));
+        assert_eq!(w.max(), rat(7, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn backwards_time_panics() {
+        let mut w = TimeWeighted::starting_at(rat(5, 1), rat(0, 1));
+        w.set(rat(4, 1), rat(1, 1));
+    }
+
+    #[test]
+    fn empty_window_has_no_average() {
+        let w = TimeWeighted::starting_at(rat(3, 1), rat(9, 1));
+        assert_eq!(w.time_average(), None);
+    }
+
+    #[test]
+    fn step_integrator_profile() {
+        let mut s = StepIntegrator::new();
+        s.push_segment(rat(0, 1), rat(1, 1), rat(2, 1));
+        s.push_segment(rat(1, 1), rat(3, 1), rat(0, 1));
+        s.push_segment(rat(3, 1), rat(4, 1), rat(5, 1));
+        assert_eq!(s.integral(), rat(7, 1));
+        assert_eq!(s.max_value(), Some(rat(5, 1)));
+        assert_eq!(s.positive_measure(), rat(2, 1));
+        assert_eq!(s.segments().len(), 3);
+    }
+
+    #[test]
+    fn step_integrator_skips_empty_segments() {
+        let mut s = StepIntegrator::new();
+        s.push_segment(rat(0, 1), rat(0, 1), rat(9, 1));
+        assert_eq!(s.segments().len(), 0);
+        assert_eq!(s.integral(), rat(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "appended in order")]
+    fn step_integrator_rejects_overlap() {
+        let mut s = StepIntegrator::new();
+        s.push_segment(rat(0, 1), rat(2, 1), rat(1, 1));
+        s.push_segment(rat(1, 1), rat(3, 1), rat(1, 1));
+    }
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.bump();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn summary_stats_welford() {
+        let mut s = SummaryStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean().unwrap() - 5.0).abs() < 1e-12);
+        assert!((s.variance().unwrap() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn summary_stats_empty_and_single() {
+        let mut s = SummaryStats::new();
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.variance(), None);
+        s.push(3.5);
+        assert_eq!(s.mean(), Some(3.5));
+        assert_eq!(s.variance(), None);
+        assert_eq!(s.std_dev(), None);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the event queue and exact statistics.
+
+use dbp_numeric::{rat, Rational};
+use dbp_simcore::{EventClass, EventQueue, TimeWeighted};
+use proptest::prelude::*;
+
+fn class_strategy() -> impl Strategy<Value = EventClass> {
+    prop_oneof![
+        Just(EventClass::Departure),
+        Just(EventClass::Arrival),
+        Just(EventClass::Control),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The queue is a total order on (time, class, seq): popping
+    /// yields a sorted sequence, stable for full ties.
+    #[test]
+    fn queue_pops_in_total_order(
+        events in prop::collection::vec(((0i128..50, 1i128..8), class_strategy()), 0..60)
+    ) {
+        let mut q = EventQueue::new();
+        for (i, ((num, den), class)) in events.iter().enumerate() {
+            q.schedule(rat(*num, *den), *class, i);
+        }
+        let mut popped: Vec<(Rational, EventClass, usize)> = Vec::new();
+        while let Some(ev) = q.pop() {
+            popped.push((ev.time, ev.class, ev.payload));
+        }
+        prop_assert_eq!(popped.len(), events.len());
+        for w in popped.windows(2) {
+            let (t1, c1, p1) = w[0];
+            let (t2, c2, p2) = w[1];
+            prop_assert!(
+                (t1, c1) < (t2, c2) || ((t1, c1) == (t2, c2) && p1 < p2),
+                "order violated: {:?} then {:?}", w[0], w[1]
+            );
+        }
+    }
+
+    /// Interleaved scheduling respects the no-past rule and keeps
+    /// order: scheduling at exactly `now` is fine.
+    #[test]
+    fn queue_allows_schedule_at_now(times in prop::collection::vec(0i128..20, 1..20)) {
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        let mut q = EventQueue::new();
+        for &t in &sorted {
+            q.schedule(rat(t, 1), EventClass::Arrival, ());
+        }
+        let mut count = 0;
+        while let Some(ev) = q.pop() {
+            // Schedule a follow-up at the same instant sometimes.
+            if count % 3 == 0 {
+                q.schedule(ev.time, EventClass::Control, ());
+            }
+            count += 1;
+        }
+        prop_assert!(count >= sorted.len());
+    }
+
+    /// TimeWeighted's integral equals the hand-computed Riemann sum
+    /// of the step function.
+    #[test]
+    fn time_weighted_matches_manual_sum(
+        steps in prop::collection::vec((1i128..10, -5i128..10), 1..30)
+    ) {
+        let mut w = TimeWeighted::starting_at(Rational::ZERO, Rational::ZERO);
+        let mut manual = Rational::ZERO;
+        let mut t = Rational::ZERO;
+        let mut v = Rational::ZERO;
+        for &(dt, val) in &steps {
+            let nt = t + rat(dt, 1);
+            manual += v * (nt - t);
+            t = nt;
+            v = rat(val, 1);
+            w.set(t, v);
+        }
+        let end = t + Rational::ONE;
+        manual += v * Rational::ONE;
+        w.finish(end);
+        prop_assert_eq!(w.integral(), manual);
+        prop_assert_eq!(w.elapsed(), end);
+        // Extremes bound every step value.
+        for &(_, val) in &steps {
+            prop_assert!(w.min() <= rat(val, 1));
+            prop_assert!(w.max() >= rat(val, 1));
+        }
+    }
+}

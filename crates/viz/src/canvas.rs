@@ -1,0 +1,172 @@
+//! A labeled character grid for timeline drawings.
+
+use dbp_numeric::Interval;
+
+/// A left-labeled row-oriented character canvas.
+///
+/// ```
+/// use dbp_viz::Canvas;
+/// let mut c = Canvas::new(10);
+/// let r = c.blank_row("row");
+/// c.fill_row(r, 2, 6, '=');
+/// c.mark(r, 0, '|');
+/// let s = c.render();
+/// assert!(s.contains("row"));
+/// assert!(s.contains("|·====····"));
+/// ```
+pub struct Canvas {
+    width: usize,
+    labels: Vec<String>,
+    rows: Vec<Vec<char>>,
+    legends: Vec<String>,
+}
+
+impl Canvas {
+    /// Creates an empty canvas of the given column width.
+    pub fn new(width: usize) -> Canvas {
+        Canvas {
+            width: width.max(8),
+            labels: Vec::new(),
+            rows: Vec::new(),
+            legends: Vec::new(),
+        }
+    }
+
+    /// Appends a row filled with `·`, returning its index.
+    pub fn blank_row(&mut self, label: &str) -> usize {
+        self.labels.push(label.to_string());
+        self.rows.push(vec!['·'; self.width]);
+        self.rows.len() - 1
+    }
+
+    /// Fills columns `[c0, c1)` of `row` with `ch` (clamped).
+    pub fn fill_row(&mut self, row: usize, c0: usize, c1: usize, ch: char) {
+        let c1 = c1.min(self.width);
+        for c in c0.min(self.width)..c1 {
+            self.rows[row][c] = ch;
+        }
+    }
+
+    /// Draws a single marker (overwrites).
+    pub fn mark(&mut self, row: usize, col: usize, ch: char) {
+        if col < self.width {
+            self.rows[row][col] = ch;
+        }
+    }
+
+    /// Appends a labeled segment row `[c0, c1)` with explicit end
+    /// caps, e.g. `[────)`.
+    pub fn segment(
+        &mut self,
+        label: &str,
+        c0: usize,
+        c1: usize,
+        body: char,
+        open: char,
+        close: char,
+    ) {
+        let row = self.blank_row(label);
+        self.fill_row(row, c0, c1, body);
+        self.mark(row, c0, open);
+        if c1 > c0 {
+            self.mark(row, c1.min(self.width) - 1, close);
+        }
+    }
+
+    /// Adds a legend line printed under the grid.
+    pub fn push_legend(&mut self, legend: &str) {
+        self.legends.push(legend.to_string());
+    }
+
+    /// Renders with a time axis for the given hull.
+    pub fn with_axis(mut self, hull: Interval) -> String {
+        let axis_label = format!("t ∈ [{}, {})", hull.lo(), hull.hi());
+        let row = self.blank_row("");
+        self.fill_row(row, 0, self.width, '─');
+        self.mark(row, 0, '0');
+        self.legends.insert(0, axis_label);
+        self.render()
+    }
+
+    /// Renders the canvas.
+    pub fn render(&self) -> String {
+        let label_width = self
+            .labels
+            .iter()
+            .map(|l| l.chars().count())
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        for (label, row) in self.labels.iter().zip(&self.rows) {
+            let pad = label_width - label.chars().count();
+            out.push_str(label);
+            out.extend(std::iter::repeat_n(' ', pad + 1));
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        for legend in &self.legends {
+            out.push_str(legend);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_numeric::iv;
+
+    #[test]
+    fn rows_align_under_longest_label() {
+        let mut c = Canvas::new(12);
+        let a = c.blank_row("x");
+        let b = c.blank_row("longer-label");
+        c.fill_row(a, 0, 3, '#');
+        c.fill_row(b, 3, 6, '%');
+        let s = c.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // Both grids start at the same column (count chars, not
+        // bytes — the blank fill '·' is multi-byte).
+        let col_a = lines[0].chars().position(|ch| ch == '#').unwrap();
+        let col_b = lines[1].chars().position(|ch| ch == '%').unwrap();
+        assert_eq!(col_b - col_a, 3);
+    }
+
+    #[test]
+    fn fills_clamp_to_width() {
+        let mut c = Canvas::new(8);
+        let r = c.blank_row("r");
+        c.fill_row(r, 5, 100, '#');
+        c.mark(r, 200, '!'); // silently ignored
+        let s = c.render();
+        assert!(s.contains("·····###"));
+        assert!(!s.contains('!'));
+    }
+
+    #[test]
+    fn segment_has_caps() {
+        let mut c = Canvas::new(10);
+        c.segment("seg", 1, 6, '─', '[', ')');
+        let s = c.render();
+        assert!(s.contains("[───)"), "{s}");
+    }
+
+    #[test]
+    fn axis_and_legend_are_rendered() {
+        let mut c = Canvas::new(10);
+        c.blank_row("row");
+        c.push_legend("legend text");
+        let s = c.with_axis(iv(2, 9));
+        assert!(s.contains("t ∈ [2, 9)"));
+        assert!(s.contains("legend text"));
+        assert!(s.contains('─'));
+    }
+
+    #[test]
+    fn minimum_width_enforced() {
+        let c = Canvas::new(1);
+        assert_eq!(c.width, 8);
+    }
+}

@@ -1,0 +1,110 @@
+//! Side-by-side fleet comparison: the algorithm's open-bin count vs
+//! the adversary's `OPT(R, t)` profile.
+//!
+//! This is the competitive ratio *as a picture*: wherever the digit
+//! rows diverge, the algorithm is paying for bins the repacking
+//! adversary would not keep open.
+
+use dbp_analysis::optimal::{opt_profile, OptConfig};
+use dbp_analysis::ExactBinPacking;
+use dbp_core::{Instance, PackingOutcome};
+use dbp_numeric::Rational;
+
+/// Digit (capped at `9`, then `+`) for a bin count.
+fn digit(count: usize) -> char {
+    match count {
+        0 => '·',
+        1..=9 => char::from_digit(count as u32, 10).unwrap(),
+        _ => '+',
+    }
+}
+
+/// Renders two aligned strips over the packing period: the
+/// algorithm's open-bin count and the adversary's instantaneous
+/// optimum (lower bound when an exact solve is out of reach), plus
+/// the usage-time totals.
+pub fn comparison(instance: &Instance, outcome: &PackingOutcome, width: usize) -> String {
+    let Some(hull) = instance.packing_period() else {
+        return "(empty instance)\n".to_string();
+    };
+    let width = width.max(8);
+    let profile = opt_profile(instance, &ExactBinPacking::new(), OptConfig::default());
+
+    let mut alg_row = String::with_capacity(width);
+    let mut opt_row = String::with_capacity(width);
+    for col in 0..width {
+        let t = hull.lo() + hull.len() * Rational::new(col as i128, width as i128);
+        let open = outcome
+            .bins()
+            .iter()
+            .filter(|b| b.usage.contains_point(t))
+            .count();
+        alg_row.push(digit(open));
+        let opt = profile
+            .segments
+            .iter()
+            .find(|s| s.window.contains_point(t))
+            .map(|s| s.lower)
+            .unwrap_or(0);
+        opt_row.push(digit(opt));
+    }
+
+    let opt_total: Rational = profile
+        .segments
+        .iter()
+        .map(|s| Rational::from_int(s.lower as i128) * s.window.len())
+        .sum();
+    format!(
+        "{:<4} {alg_row}  usage = {}\nOPT  {opt_row}  ∫OPT ≥ {}\n     t ∈ [{}, {})   digits = open servers (· = none, + = >9)\n",
+        outcome.algorithm().chars().take(4).collect::<String>(),
+        outcome.total_usage(),
+        opt_total,
+        hull.lo(),
+        hull.hi(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_core::prelude::*;
+    use dbp_numeric::rat;
+    use dbp_workloads::adversarial::next_fit_pairs;
+
+    #[test]
+    fn gadget_comparison_shows_divergence() {
+        let (inst, _) = next_fit_pairs(6, 4);
+        let nf = run_packing(&inst, &mut NextFit::new()).unwrap();
+        let s = comparison(&inst, &nf, 48);
+        // Next Fit holds 6 bins open for the whole horizon; the
+        // adversary drops to 1 after t = 1.
+        assert!(s.contains('6'), "{s}");
+        assert!(s.contains('1'), "{s}");
+        assert!(s.contains("usage = 24"));
+        assert!(s.lines().count() == 3);
+    }
+
+    #[test]
+    fn optimal_packing_rows_agree() {
+        // A single item: ALG row and OPT row are identical.
+        let inst = Instance::builder()
+            .item(rat(1, 2), rat(0, 1), rat(4, 1))
+            .build()
+            .unwrap();
+        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let s = comparison(&inst, &out, 24);
+        let lines: Vec<&str> = s.lines().collect();
+        let alg: String = lines[0].chars().skip(5).take(24).collect();
+        let opt: String = lines[1].chars().skip(5).take(24).collect();
+        assert_eq!(alg, opt);
+    }
+
+    #[test]
+    fn dense_fleets_saturate_to_plus() {
+        let specs: Vec<_> = (0..12).map(|_| (rat(1, 1), rat(0, 1), rat(1, 1))).collect();
+        let inst = Instance::new(specs).unwrap();
+        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let s = comparison(&inst, &out, 16);
+        assert!(s.contains('+'), "{s}");
+    }
+}

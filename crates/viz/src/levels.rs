@@ -1,0 +1,133 @@
+//! Bin-level (utilization) profiles as block-character strips.
+
+use dbp_core::{Instance, PackingOutcome};
+use dbp_numeric::{Interval, Rational};
+
+/// Eight-step block ramp for fill levels in `(0, 1]`.
+const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders each bin's level over time as a strip of block characters
+/// (space = closed or empty, `▁…█` = level in eighths), with the
+/// bin's mean utilization on the right.
+///
+/// The level shown in each column is the exact level at the column's
+/// left-edge time — faithful for instances whose events are no finer
+/// than the column grid, and a fair summary otherwise.
+pub fn levels(instance: &Instance, outcome: &PackingOutcome, width: usize) -> String {
+    let Some(hull) = instance.packing_period() else {
+        return "(empty instance)\n".to_string();
+    };
+    if outcome.bins().is_empty() {
+        return "(no bins opened)\n".to_string();
+    }
+    let width = width.max(8);
+    let label_width = outcome
+        .bins()
+        .iter()
+        .map(|b| b.id.to_string().len())
+        .max()
+        .unwrap_or(2);
+    let mut out = String::new();
+    for bin in outcome.bins() {
+        let mut strip = String::with_capacity(width);
+        for col in 0..width {
+            let t = hull.lo() + hull.len() * Rational::new(col as i128, width as i128);
+            if !bin.usage.contains_point(t) {
+                strip.push(' ');
+                continue;
+            }
+            let level: Rational = bin
+                .items
+                .iter()
+                .map(|id| instance.item(*id))
+                .filter(|r| r.active_at(t))
+                .map(|r| r.size)
+                .sum();
+            if level.is_zero() {
+                strip.push(' ');
+            } else {
+                // Map (0,1] to the 8 blocks: ⌈8·level⌉ clamped.
+                let idx = (level * Rational::from_int(8)).ceil().clamp(1, 8) as usize;
+                strip.push(BLOCKS[idx - 1]);
+            }
+        }
+        let mean = bin
+            .mean_level()
+            .map(|m| format!("{:.2}", m.to_f64()))
+            .unwrap_or_else(|| "-".into());
+        out.push_str(&format!(
+            "{:<label_width$} {strip} mean {mean}\n",
+            bin.id.to_string(),
+        ));
+    }
+    out.push_str(&format!(
+        "{} t ∈ [{}, {}), 1 column = {}\n",
+        " ".repeat(label_width),
+        hull.lo(),
+        hull.hi(),
+        Interval::new(Rational::ZERO, hull.len() * Rational::new(1, width as i128)).len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_core::prelude::*;
+    use dbp_numeric::rat;
+
+    #[test]
+    fn full_bins_render_full_blocks() {
+        let inst = Instance::builder()
+            .item(rat(1, 1), rat(0, 1), rat(4, 1))
+            .build()
+            .unwrap();
+        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let s = levels(&inst, &out, 16);
+        assert!(s.contains('█'));
+        assert!(s.contains("mean 1.00"));
+    }
+
+    #[test]
+    fn half_level_uses_mid_block() {
+        let inst = Instance::builder()
+            .item(rat(1, 2), rat(0, 1), rat(4, 1))
+            .build()
+            .unwrap();
+        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let s = levels(&inst, &out, 16);
+        // ⌈8·(1/2)⌉ = 4 → '▄'.
+        assert!(s.contains('▄'), "{s}");
+        assert!(!s.contains('█'));
+    }
+
+    #[test]
+    fn closed_periods_are_blank() {
+        let inst = Instance::builder()
+            .item(rat(1, 2), rat(0, 1), rat(1, 1))
+            .item(rat(1, 2), rat(3, 1), rat(4, 1))
+            .build()
+            .unwrap();
+        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let s = levels(&inst, &out, 16);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3); // two bins + axis
+                                    // The first bin's strip goes blank after it closes at t=1.
+        let strip = &lines[0][3..]; // skip "b0 "
+        assert!(strip.trim_end().len() < strip.len() || strip.contains(' '));
+    }
+
+    #[test]
+    fn level_changes_show_as_steps() {
+        let inst = Instance::builder()
+            .item(rat(1, 4), rat(0, 1), rat(8, 1))
+            .item(rat(3, 4), rat(4, 1), rat(8, 1))
+            .build()
+            .unwrap();
+        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let s = levels(&inst, &out, 16);
+        // First half at 1/4 (block 2 = ▂), second half full (█).
+        assert!(s.contains('▂'), "{s}");
+        assert!(s.contains('█'), "{s}");
+    }
+}

@@ -1,0 +1,231 @@
+#![warn(missing_docs)]
+
+//! # `dbp-viz` — ASCII timeline renderings
+//!
+//! Deterministic text renderings of packings and of the §IV–§VII
+//! decomposition, reproducing the paper's illustrative figures from
+//! concrete instances:
+//!
+//! * [`timeline`] — items and their span (Figure 1);
+//! * [`usage`] — per-bin usage periods with the `V_k`/`W_k` split and
+//!   `E_k` markers (Figure 2);
+//! * [`subperiods`] — small-item selection, `x_i` periods, l/h split,
+//!   and supplier periods drawn on the supplier bins (Figures 3–6);
+//! * [`levels`] — per-bin utilization strips (block characters);
+//! * [`comparison`] — the algorithm's fleet size vs `OPT(R,t)`, the
+//!   competitive ratio as a picture.
+//!
+//! All renderers are pure string producers (testable, diffable) and
+//! scale times linearly onto a fixed-width column grid.
+
+mod canvas;
+pub mod compare;
+mod levels;
+
+pub use canvas::Canvas;
+pub use compare::comparison;
+pub use levels::levels;
+
+use dbp_analysis::Decomposition;
+use dbp_core::{Instance, PackingOutcome};
+use dbp_numeric::{Interval, Rational};
+
+/// Maps a time to a column in `[0, width]` given the global hull.
+fn scale(t: Rational, hull: Interval, width: usize) -> usize {
+    if hull.len().is_zero() {
+        return 0;
+    }
+    let frac = (t - hull.lo()) / hull.len();
+    let col = (frac * Rational::from_int(width as i128)).floor();
+    col.clamp(0, width as i128) as usize
+}
+
+/// Renders the items of an instance with the span row underneath
+/// (the paper's Figure 1).
+///
+/// Each item row shows `[────)` over its active interval; the last
+/// row marks the union (span) with `█`.
+pub fn timeline(instance: &Instance, width: usize) -> String {
+    let Some(hull) = instance.packing_period() else {
+        return "(empty instance)\n".to_string();
+    };
+    let mut canvas = Canvas::new(width);
+    for item in instance.items() {
+        let c0 = scale(item.arrival(), hull, width);
+        let c1 = scale(item.departure(), hull, width).max(c0 + 1);
+        let label = format!("{} (s={})", item.id, item.size);
+        canvas.segment(&label, c0, c1, '─', '[', ')');
+    }
+    let span_row = canvas.blank_row("span");
+    for comp in instance.active_set().components() {
+        let c0 = scale(comp.lo(), hull, width);
+        let c1 = scale(comp.hi(), hull, width).max(c0 + 1);
+        canvas.fill_row(span_row, c0, c1, '█');
+    }
+    canvas.with_axis(hull)
+}
+
+/// Renders per-bin usage periods with `V_k` (`░`), `W_k` (`█`) and
+/// the `E_k` marker (`|`) — the paper's Figure 2.
+pub fn usage(instance: &Instance, outcome: &PackingOutcome, width: usize) -> String {
+    let Some(hull) = instance.packing_period() else {
+        return "(empty instance)\n".to_string();
+    };
+    if outcome.bins().is_empty() {
+        return "(no bins opened)\n".to_string();
+    }
+    let decomp = Decomposition::compute(instance, outcome);
+    let mut canvas = Canvas::new(width);
+    for bin in &decomp.bins {
+        let label = format!("{} U={}", bin.bin, bin.usage);
+        let row = canvas.blank_row(&label);
+        if !bin.v.is_empty() {
+            let c0 = scale(bin.v.lo(), hull, width);
+            let c1 = scale(bin.v.hi(), hull, width).max(c0 + 1);
+            canvas.fill_row(row, c0, c1, '░');
+        }
+        if !bin.w.is_empty() {
+            let c0 = scale(bin.w.lo(), hull, width);
+            let c1 = scale(bin.w.hi(), hull, width).max(c0 + 1);
+            canvas.fill_row(row, c0, c1, '█');
+        }
+        let e_col = scale(bin.e_k, hull, width).min(width.saturating_sub(1));
+        canvas.mark(row, e_col, '|');
+    }
+    canvas.push_legend("░ V_k (overlapped by earlier bins)   █ W_k (exclusive)   | E_k");
+    canvas.with_axis(hull)
+}
+
+/// Renders the §V–§VII decomposition: every bin's subperiods (`l`/`h`)
+/// with the selected small-item arrivals (`▼`), and each group's
+/// supplier period (`◆`) drawn on a row under its *supplier* bin —
+/// the paper's Figures 3–6 in one picture.
+pub fn subperiods(instance: &Instance, outcome: &PackingOutcome, width: usize) -> String {
+    let Some(hull_items) = instance.packing_period() else {
+        return "(empty instance)\n".to_string();
+    };
+    if outcome.bins().is_empty() {
+        return "(no bins opened)\n".to_string();
+    }
+    let decomp = Decomposition::compute(instance, outcome);
+    // Supplier windows can poke outside the packing period; widen the
+    // hull to cover them.
+    let mut hull = hull_items;
+    for g in &decomp.groups {
+        hull = hull.hull(&g.supplier_period);
+    }
+    let mut canvas = Canvas::new(width);
+    for (k, bin) in decomp.bins.iter().enumerate() {
+        let label = format!("{}", bin.bin);
+        let row = canvas.blank_row(&label);
+        // Usage background.
+        let u0 = scale(bin.usage.lo(), hull, width);
+        let u1 = scale(bin.usage.hi(), hull, width).max(u0 + 1);
+        canvas.fill_row(row, u0, u1, '·');
+        // Subperiods.
+        for s in &bin.subperiods {
+            if !s.l.is_empty() {
+                let c0 = scale(s.l.lo(), hull, width);
+                let c1 = scale(s.l.hi(), hull, width).max(c0 + 1);
+                canvas.fill_row(row, c0, c1, 'l');
+            }
+            if !s.h.is_empty() {
+                let c0 = scale(s.h.lo(), hull, width);
+                let c1 = scale(s.h.hi(), hull, width).max(c0 + 1);
+                canvas.fill_row(row, c0, c1, 'h');
+            }
+        }
+        // Selected arrivals.
+        for &sel in &bin.selected {
+            let col = scale(instance.item(sel).arrival(), hull, width).min(width.saturating_sub(1));
+            canvas.mark(row, col, '▼');
+        }
+        // Supplier periods feeding off this bin.
+        for g in decomp.groups.iter().filter(|g| g.supplier == bin.bin) {
+            let tag = if g.is_consolidated() {
+                "u(consolidated)"
+            } else {
+                "u(single)"
+            };
+            let label = format!("  ↳ {} for {} {:?}", tag, g.bin, g.members);
+            let urow = canvas.blank_row(&label);
+            let c0 = scale(g.supplier_period.lo(), hull, width);
+            let c1 = scale(g.supplier_period.hi(), hull, width).max(c0 + 1);
+            canvas.fill_row(urow, c0, c1, '◆');
+        }
+        let _ = k;
+    }
+    canvas.push_legend(
+        "l l-subperiod   h h-subperiod   ▼ selected small arrival   ◆ supplier period   · usage",
+    );
+    canvas.with_axis(hull)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_core::prelude::*;
+    use dbp_numeric::rat;
+
+    fn demo() -> (Instance, PackingOutcome) {
+        let inst = Instance::builder()
+            .item(rat(9, 10), rat(0, 1), rat(4, 1))
+            .item(rat(9, 10), rat(3, 1), rat(7, 1))
+            .item(rat(2, 5), rat(1, 1), rat(3, 1))
+            .build()
+            .unwrap();
+        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        (inst, out)
+    }
+
+    #[test]
+    fn timeline_contains_every_item_and_span() {
+        let (inst, _) = demo();
+        let s = timeline(&inst, 60);
+        assert!(s.contains("r0"));
+        assert!(s.contains("r1"));
+        assert!(s.contains("r2"));
+        assert!(s.contains("span"));
+        assert!(s.contains('█'));
+        // Axis endpoints.
+        assert!(s.contains('0'));
+        assert!(s.contains('7'));
+    }
+
+    #[test]
+    fn usage_shows_v_and_w() {
+        let (inst, out) = demo();
+        let s = usage(&inst, &out, 60);
+        assert!(s.contains("b0"));
+        assert!(s.contains('█'), "W periods missing:\n{s}");
+        assert!(s.contains('░'), "V periods missing:\n{s}");
+        assert!(s.contains("E_k"));
+    }
+
+    #[test]
+    fn subperiods_show_selection_and_supplier() {
+        let (inst, out) = demo();
+        let s = subperiods(&inst, &out, 60);
+        assert!(s.contains('▼'), "selected arrival missing:\n{s}");
+        assert!(s.contains('◆'), "supplier period missing:\n{s}");
+        assert!(s.contains('l'), "l-subperiod missing:\n{s}");
+    }
+
+    #[test]
+    fn renderers_are_deterministic() {
+        let (inst, out) = demo();
+        assert_eq!(timeline(&inst, 72), timeline(&inst, 72));
+        assert_eq!(usage(&inst, &out, 72), usage(&inst, &out, 72));
+        assert_eq!(subperiods(&inst, &out, 72), subperiods(&inst, &out, 72));
+    }
+
+    #[test]
+    fn empty_instance_renders_gracefully() {
+        let inst = Instance::new(vec![]).unwrap();
+        assert!(timeline(&inst, 40).contains("empty"));
+        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        assert!(
+            usage(&inst, &out, 40).contains("empty") || usage(&inst, &out, 40).contains("no bins")
+        );
+    }
+}

@@ -1,0 +1,386 @@
+//! Adaptive adversaries: lower-bound games with departures chosen
+//! *after* observing placements.
+//!
+//! The oblivious gadgets of [`crate::adversarial`] fix every arrival
+//! and departure in advance. The lower-bound proofs the paper cites
+//! (\[6\], \[12\]) are stronger: the adversary releases items online and
+//! **decides departure times adaptively**, reacting to where the
+//! algorithm put things — which is legal precisely because departure
+//! times are unknown to the algorithm at placement time.
+//!
+//! [`play`] runs that game on the real packing engine: the adversary
+//! issues [`Move`]s (release an item now, advance the clock, depart a
+//! specific item, finish), observing the live bin state after every
+//! step. The realized arrivals/departures are then assembled into an
+//! ordinary [`Instance`] so the exact repacking adversary can price
+//! the run.
+//!
+//! [`KeepSmallestAdversary`] implements the classic strategy behind
+//! the universal `µ` bound: release exactly-filling pairs, then keep
+//! alive the smallest *small* resident of every open bin until `µ`
+//! while departing everything else at time 1 — any algorithm that let
+//! a small item share a bin with short-lived cargo pays `µ` for that
+//! bin; size-segregating algorithms escape, which the experiment
+//! (E14) reports honestly.
+
+use dbp_core::{BinId, Instance, ItemId, PackingAlgorithm, PackingEngine, PackingError};
+use dbp_numeric::{rat, Rational};
+use std::collections::BTreeMap;
+
+/// A move in the adversary game.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Move {
+    /// Release an item of the given size at the current time.
+    Release {
+        /// Item size in `(0, 1]`.
+        size: Rational,
+    },
+    /// Advance the clock to `to` (must not go backwards).
+    Advance {
+        /// New current time.
+        to: Rational,
+    },
+    /// Depart a specific live item at the current time.
+    Depart {
+        /// The item to retire.
+        item: ItemId,
+    },
+    /// End the game (all live items depart now).
+    Finish,
+}
+
+/// What the adversary sees between moves.
+#[derive(Debug, Clone)]
+pub struct GameView {
+    /// Current time.
+    pub now: Rational,
+    /// Live items: `(item, size, bin)` in id order.
+    pub live: Vec<(ItemId, Rational, BinId)>,
+}
+
+impl GameView {
+    /// Groups the live items by bin.
+    pub fn by_bin(&self) -> BTreeMap<BinId, Vec<(ItemId, Rational)>> {
+        let mut map: BTreeMap<BinId, Vec<(ItemId, Rational)>> = BTreeMap::new();
+        for &(item, size, bin) in &self.live {
+            map.entry(bin).or_default().push((item, size));
+        }
+        map
+    }
+}
+
+/// An adaptive adversary: produces the next move given the view.
+pub trait AdaptiveAdversary {
+    /// Strategy name for reports.
+    fn name(&self) -> &'static str;
+    /// The next move. Must eventually return [`Move::Finish`].
+    fn next_move(&mut self, view: &GameView) -> Move;
+}
+
+/// The realized game: the instance the adversary ended up
+/// constructing, and the algorithm's outcome on it.
+#[derive(Debug, Clone)]
+pub struct GameResult {
+    /// The realized instance (arrivals/departures as they happened).
+    pub instance: Instance,
+    /// The algorithm's usage time.
+    pub algorithm_cost: Rational,
+    /// Bins the algorithm opened.
+    pub bins_opened: usize,
+}
+
+/// Runs the game. `max_moves` bounds runaway strategies.
+///
+/// # Panics
+/// Panics if the adversary exceeds `max_moves` without finishing or
+/// issues an illegal move (departing a dead item, reversing time,
+/// releasing a size outside `(0, 1]`).
+pub fn play(
+    adversary: &mut dyn AdaptiveAdversary,
+    algo: &mut dyn PackingAlgorithm,
+    max_moves: usize,
+) -> Result<GameResult, PackingError> {
+    algo.reset();
+    let mut engine = PackingEngine::new();
+    let mut now = Rational::ZERO;
+    let mut next_id = 0u32;
+    // (size, arrival, departure once known)
+    let mut births: Vec<(Rational, Rational)> = Vec::new();
+    let mut deaths: Vec<Option<Rational>> = Vec::new();
+    let mut live: Vec<(ItemId, Rational, BinId)> = Vec::new();
+
+    for _ in 0..max_moves {
+        let view = GameView {
+            now,
+            live: live.clone(),
+        };
+        match adversary.next_move(&view) {
+            Move::Release { size } => {
+                assert!(
+                    size.is_positive() && size <= Rational::ONE,
+                    "adversary released invalid size {size}"
+                );
+                let id = ItemId(next_id);
+                next_id += 1;
+                let bin = engine.arrive(algo, id, size, now)?;
+                births.push((size, now));
+                deaths.push(None);
+                live.push((id, size, bin));
+            }
+            Move::Advance { to } => {
+                assert!(to >= now, "adversary reversed time");
+                now = to;
+            }
+            Move::Depart { item } => {
+                let pos = live
+                    .iter()
+                    .position(|(r, _, _)| *r == item)
+                    .expect("adversary departed a dead item");
+                live.remove(pos);
+                // Guard against zero-length intervals: nudge forward.
+                let arrival = births[item.index()].1;
+                assert!(now > arrival, "adversary departed an item instantly");
+                deaths[item.index()] = Some(now);
+                engine.depart(algo, item, now)?;
+            }
+            Move::Finish => {
+                // Everything still alive departs now (or just after,
+                // for same-instant arrivals).
+                let mut t = now;
+                for &(item, _, _) in &live {
+                    let arrival = births[item.index()].1;
+                    if t <= arrival {
+                        t = arrival + rat(1, 1_000_000);
+                    }
+                    deaths[item.index()] = Some(t);
+                    engine.depart(algo, item, t)?;
+                }
+                let outcome = engine.finish(&algo.name())?;
+                let specs: Vec<(Rational, Rational, Rational)> = births
+                    .iter()
+                    .zip(&deaths)
+                    .map(|(&(size, arr), dep)| (size, arr, dep.expect("all items departed")))
+                    .collect();
+                let instance = Instance::new(specs).expect("realized instance is valid");
+                return Ok(GameResult {
+                    instance,
+                    algorithm_cost: outcome.total_usage(),
+                    bins_opened: outcome.bins_opened(),
+                });
+            }
+        }
+    }
+    panic!("adversary did not finish within {max_moves} moves");
+}
+
+/// The keep-smallest strategy behind the universal `µ` bound.
+///
+/// Phase 1 (t = 0): release `k` pairs — a large item `1 − 1/m`
+/// followed by a tiny `1/m` (`m ≥ k`).
+/// Phase 2 (t = 1): in every open bin, keep the smallest resident
+/// *if it is small* (`< 1/2`) and depart everything else.
+/// Phase 3 (t = µ): finish.
+#[derive(Debug, Clone)]
+pub struct KeepSmallestAdversary {
+    /// Pair count.
+    pub k: u32,
+    /// Tiny size denominator (`m ≥ k`).
+    pub m: u32,
+    /// Final horizon (the duration ratio the game realizes).
+    pub mu: u32,
+    released: u32,
+    phase: u8,
+    pending_departures: Vec<ItemId>,
+}
+
+impl KeepSmallestAdversary {
+    /// Creates the strategy.
+    pub fn new(k: u32, mu: u32) -> KeepSmallestAdversary {
+        KeepSmallestAdversary {
+            k,
+            m: k.max(4),
+            mu: mu.max(2),
+            released: 0,
+            phase: 0,
+            pending_departures: Vec::new(),
+        }
+    }
+}
+
+impl AdaptiveAdversary for KeepSmallestAdversary {
+    fn name(&self) -> &'static str {
+        "keep-smallest"
+    }
+
+    fn next_move(&mut self, view: &GameView) -> Move {
+        match self.phase {
+            // Phase 0: release the 2k items at t = 0.
+            0 => {
+                if self.released < 2 * self.k {
+                    let i = self.released;
+                    self.released += 1;
+                    let size = if i.is_multiple_of(2) {
+                        Rational::ONE - rat(1, self.m as i128)
+                    } else {
+                        rat(1, self.m as i128)
+                    };
+                    Move::Release { size }
+                } else {
+                    self.phase = 1;
+                    Move::Advance { to: Rational::ONE }
+                }
+            }
+            // Phase 1: decide, once, who dies at t = 1.
+            1 => {
+                if self.pending_departures.is_empty() {
+                    for (_, residents) in view.by_bin() {
+                        let keeper = residents
+                            .iter()
+                            .min_by_key(|(_, size)| *size)
+                            .filter(|(_, size)| *size < Rational::HALF)
+                            .map(|(item, _)| *item);
+                        for (item, _) in residents {
+                            if Some(item) != keeper {
+                                self.pending_departures.push(item);
+                            }
+                        }
+                    }
+                    // Reverse so pop() departs in id order.
+                    self.pending_departures.sort();
+                    self.pending_departures.reverse();
+                }
+                match self.pending_departures.pop() {
+                    Some(item) => Move::Depart { item },
+                    None => {
+                        self.phase = 2;
+                        Move::Advance {
+                            to: rat(self.mu as i128, 1),
+                        }
+                    }
+                }
+            }
+            // Phase 2: horizon reached.
+            _ => Move::Finish,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_analysis::measure_ratio;
+    use dbp_core::{
+        run_packing, BestFit, DepartureAlignedFit, FirstFit, HybridFirstFit, NextFit, WorstFit,
+    };
+
+    #[test]
+    fn adaptive_game_forces_any_fit_to_mu() {
+        let mu = 5u32;
+        let k = 10u32;
+        for mut algo in [
+            Box::new(FirstFit::new()) as Box<dyn PackingAlgorithm>,
+            Box::new(BestFit::new()),
+            Box::new(WorstFit::new()),
+            Box::new(NextFit::new()),
+        ] {
+            let mut adv = KeepSmallestAdversary::new(k, mu);
+            let result = play(&mut adv, algo.as_mut(), 10_000).unwrap();
+            // Every pair filled one bin; each bin keeps a tiny till µ.
+            assert_eq!(result.bins_opened, k as usize);
+            assert_eq!(
+                result.algorithm_cost,
+                rat((k * mu) as i128, 1),
+                "algorithm should pay kµ"
+            );
+            // Realized instance prices close to µ against exact OPT.
+            let rerun = run_packing(&result.instance, algo.as_mut()).unwrap();
+            assert_eq!(
+                rerun.total_usage(),
+                result.algorithm_cost,
+                "replay consistent"
+            );
+            let rep = measure_ratio(&result.instance, &rerun);
+            let ratio = rep.exact_ratio().unwrap();
+            assert!(
+                ratio > rat(3, 1),
+                "adaptive ratio {ratio} too small for µ = 5"
+            );
+        }
+    }
+
+    #[test]
+    fn size_segregation_escapes_the_adversary() {
+        let mut adv = KeepSmallestAdversary::new(10, 5);
+        let mut hff = HybridFirstFit::classic();
+        let result = play(&mut adv, &mut hff, 10_000).unwrap();
+        // Large bins contain no small item → everything there departs
+        // at 1; only the shared tiny bin lives to µ.
+        let rerun = run_packing(&result.instance, &mut HybridFirstFit::classic()).unwrap();
+        let rep = measure_ratio(&result.instance, &rerun);
+        let ratio = rep.exact_ratio().or(rep.ratio_upper).unwrap();
+        assert!(ratio < rat(3, 2), "HFF should escape, got {ratio}");
+    }
+
+    #[test]
+    fn clairvoyant_cannot_be_adaptively_trapped_here() {
+        // DepartureAlignedFit needs departures up front, which an
+        // adaptive game cannot provide honestly — so we evaluate it
+        // on the *realized* instance instead (it sees the adversary's
+        // final choices): it reconstructs near-optimal cost.
+        let mut adv = KeepSmallestAdversary::new(8, 6);
+        let mut probe = FirstFit::new();
+        let result = play(&mut adv, &mut probe, 10_000).unwrap();
+        let mut cv = DepartureAlignedFit::new(&result.instance);
+        let out = run_packing(&result.instance, &mut cv).unwrap();
+        assert!(
+            out.total_usage() < result.algorithm_cost,
+            "clairvoyant {} !< online {}",
+            out.total_usage(),
+            result.algorithm_cost
+        );
+    }
+
+    #[test]
+    fn illegal_moves_are_caught() {
+        struct Reverser(u8);
+        impl AdaptiveAdversary for Reverser {
+            fn name(&self) -> &'static str {
+                "reverser"
+            }
+            fn next_move(&mut self, _v: &GameView) -> Move {
+                self.0 += 1;
+                match self.0 {
+                    1 => Move::Advance { to: rat(5, 1) },
+                    _ => Move::Advance { to: rat(1, 1) }, // backwards!
+                }
+            }
+        }
+        let result = std::panic::catch_unwind(|| {
+            let mut adv = Reverser(0);
+            let mut ff = FirstFit::new();
+            let _ = play(&mut adv, &mut ff, 100);
+        });
+        assert!(result.is_err(), "time reversal must panic");
+    }
+
+    #[test]
+    fn runaway_adversaries_are_bounded() {
+        struct Staller;
+        impl AdaptiveAdversary for Staller {
+            fn name(&self) -> &'static str {
+                "staller"
+            }
+            fn next_move(&mut self, v: &GameView) -> Move {
+                Move::Advance {
+                    to: v.now + Rational::ONE,
+                }
+            }
+        }
+        let result = std::panic::catch_unwind(|| {
+            let mut adv = Staller;
+            let mut ff = FirstFit::new();
+            let _ = play(&mut adv, &mut ff, 50);
+        });
+        assert!(result.is_err(), "move budget must be enforced");
+    }
+}

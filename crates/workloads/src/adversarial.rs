@@ -1,0 +1,367 @@
+//! The paper's lower-bound constructions, executable.
+//!
+//! Every generator returns `(Instance, GadgetPrediction)` where the
+//! prediction carries the closed-form costs the construction is
+//! engineered to achieve, so experiment tables can show *predicted vs
+//! measured* side by side.
+
+use dbp_core::Instance;
+use dbp_numeric::{rat, Rational};
+
+/// Closed-form expectations for a gadget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GadgetPrediction {
+    /// Human-readable identification of the construction.
+    pub family: &'static str,
+    /// The duration ratio `µ` of the instance.
+    pub mu: Rational,
+    /// Predicted cost of the targeted algorithm.
+    pub algorithm_cost: Rational,
+    /// Predicted cost of the offline adversary (`OPT_total`).
+    pub opt_cost: Rational,
+    /// The ratio the family approaches as its size parameter grows.
+    pub limit_ratio: Rational,
+}
+
+impl GadgetPrediction {
+    /// Predicted achieved ratio for this concrete instance size.
+    pub fn predicted_ratio(&self) -> Rational {
+        self.algorithm_cost / self.opt_cost
+    }
+}
+
+/// §VIII: the Next Fit pair gadget.
+///
+/// `n ≥ 3` pairs arrive in sequence at time 0; each pair is a
+/// size-`1/2` item (duration 1) followed by a size-`1/n` item
+/// (duration `µ`). Next Fit opens a bin per pair — the next pair's
+/// half does not fit on top of `1/2 + 1/n` — and each bin stays open
+/// for `µ`, so `NF_total = n·µ`.
+///
+/// The adversary packs the halves two-per-bin and all `1/n` items
+/// into a single bin: `OPT(t) = n/2 + 1` on `[0, 1)` and `1` on
+/// `[1, µ)`, giving `OPT_total = n/2 + µ`.
+///
+/// **Reproduction note (DESIGN.md §3).** The paper's own accounting
+/// states `OPT_total = n + µ` and the limit ratio `µ`; with halves
+/// pairable two-per-bin the exact adversary achieves `n/2 + µ`, so
+/// the measured ratio approaches `2µ` — *stronger* than the claimed
+/// `µ` lower bound and still consistent with Next Fit's `2µ + 1`
+/// upper bound [Kamali–López-Ortiz]. The prediction below uses the
+/// exact adversary; `exp_nextfit_lb` prints the paper's formula too.
+pub fn next_fit_pairs(n: u32, mu: u32) -> (Instance, GadgetPrediction) {
+    assert!(n >= 3, "the §VIII gadget needs n ≥ 3");
+    assert!(mu >= 1, "µ ≥ 1");
+    let mut specs = Vec::with_capacity(2 * n as usize);
+    for _ in 0..n {
+        specs.push((Rational::HALF, Rational::ZERO, Rational::ONE));
+        specs.push((rat(1, n as i128), Rational::ZERO, rat(mu as i128, 1)));
+    }
+    let instance = Instance::new(specs).expect("gadget specs are valid");
+    let n_r = rat(n as i128, 1);
+    let mu_r = rat(mu as i128, 1);
+    // OPT profile: on [0,1) the active volume is n/2 + 1 (halves plus
+    // the full unit of 1/n items), so OPT(t) = ⌈n/2 + 1⌉ = ⌈n/2⌉ + 1,
+    // achievable by pairing halves and slotting tinies into the spare
+    // capacity. On [1, µ) only the tinies remain: one bin.
+    let opt = rat((n as i128).div_euclid(2) + (n as i128 % 2), 1) + mu_r;
+    let prediction = GadgetPrediction {
+        family: "next-fit-pairs (§VIII)",
+        mu: mu_r,
+        algorithm_cost: n_r * mu_r,
+        opt_cost: opt,
+        limit_ratio: Rational::TWO * mu_r,
+    };
+    (instance, prediction)
+}
+
+/// The paper's §VIII formula `nµ/(n+µ)` (as printed), for
+/// side-by-side reporting.
+pub fn next_fit_paper_formula(n: u32, mu: u32) -> Rational {
+    let n = rat(n as i128, 1);
+    let mu = rat(mu as i128, 1);
+    n * mu / (n + mu)
+}
+
+/// The universal pair family driving *every* non-classifying
+/// algorithm to ratio → `µ`.
+///
+/// `k` pairs arrive in sequence at time 0: a large item of size
+/// `1 − 1/m` (duration 1) followed by a tiny item of size `1/m`
+/// (duration `µ`), with `m ≥ k`. Each pair exactly fills a bin, so
+/// *any* algorithm that does not reserve bins by size class ends up
+/// with `k` bins, each kept open for `µ` by its tiny resident:
+/// `ALG_total = k·µ`. The adversary uses `k` bins on `[0, 1)` and
+/// repacks the tinies (total size `k/m ≤ 1`) into one bin afterwards:
+/// `OPT_total = k + µ − 1`. Ratio `kµ/(k+µ−1) → µ`.
+///
+/// Hybrid First Fit *defeats* this family (tinies share one
+/// small-class bin), which is exactly the separation `exp_hybrid_ff`
+/// demonstrates.
+pub fn universal_mu_pairs(k: u32, mu: u32, m: u32) -> (Instance, GadgetPrediction) {
+    assert!(k >= 1 && m >= k, "need m ≥ k ≥ 1");
+    assert!(mu >= 1, "µ ≥ 1");
+    let mut specs = Vec::with_capacity(2 * k as usize);
+    for _ in 0..k {
+        specs.push((
+            Rational::ONE - rat(1, m as i128),
+            Rational::ZERO,
+            Rational::ONE,
+        ));
+        specs.push((rat(1, m as i128), Rational::ZERO, rat(mu as i128, 1)));
+    }
+    let instance = Instance::new(specs).expect("gadget specs are valid");
+    let k_r = rat(k as i128, 1);
+    let mu_r = rat(mu as i128, 1);
+    let prediction = GadgetPrediction {
+        family: "universal-mu-pairs",
+        mu: mu_r,
+        algorithm_cost: k_r * mu_r,
+        opt_cost: k_r + mu_r - Rational::ONE,
+        limit_ratio: mu_r,
+    };
+    (instance, prediction)
+}
+
+/// The Any-Fit gap-ladder achieving ratio → `µ + 1`.
+///
+/// At time 0, `n` large items `B_i` of size `1 − g_i` arrive
+/// (`g_i = (n+1−i)·δ`, `δ = 1/(n(n+1))`), each forced into its own
+/// bin. At time `1 − δ`, tiny items `s_i` of size exactly `g_i`
+/// arrive in descending size order: `s_i` fits **only** bin `i`
+/// (fuller bins are exactly full, sparser bins have smaller gaps), so
+/// any Any-Fit algorithm tops every bin up to level 1. The larges
+/// depart at time 1; the tinies (duration `µ`) hold all `n` bins open
+/// until `1 − δ + µ`:
+///
+/// * `ALG_total = n·(µ + 1 − δ)`;
+/// * `OPT_total = n + µ − δ` (`n` bins until the larges leave, then
+///   one bin for the tinies, whose total size is `Σ g_i ≤ 1/2`);
+/// * ratio → `µ + 1` as `n → ∞`.
+pub fn any_fit_ladder(n: u32, mu: u32) -> (Instance, GadgetPrediction) {
+    assert!(n >= 2, "ladder needs n ≥ 2");
+    assert!(mu >= 1, "µ ≥ 1");
+    let n_i = n as i128;
+    let delta = rat(1, n_i * (n_i + 1));
+    let mut specs = Vec::with_capacity(2 * n as usize);
+    // Larges at t = 0, duration 1.
+    for i in 1..=n_i {
+        let g_i = rat(n_i + 1 - i, n_i * (n_i + 1));
+        specs.push((Rational::ONE - g_i, Rational::ZERO, Rational::ONE));
+    }
+    // Tinies at t = 1 − δ, duration µ, descending sizes g_1 > g_2 > …
+    let t1 = Rational::ONE - delta;
+    for i in 1..=n_i {
+        let g_i = rat(n_i + 1 - i, n_i * (n_i + 1));
+        specs.push((g_i, t1, t1 + rat(mu as i128, 1)));
+    }
+    let instance = Instance::new(specs).expect("gadget specs are valid");
+    let n_r = rat(n_i, 1);
+    let mu_r = rat(mu as i128, 1);
+    let prediction = GadgetPrediction {
+        family: "any-fit-ladder",
+        mu: mu_r,
+        algorithm_cost: n_r * (mu_r + Rational::ONE - delta),
+        opt_cost: n_r + mu_r - delta,
+        limit_ratio: mu_r + Rational::ONE,
+    };
+    (instance, prediction)
+}
+
+/// The Best Fit scatter gadget: `k` rounds, one per time unit.
+/// Round `j` (at `t = j − 1`) releases a *gap-setter* `G_j` of size
+/// `1 − (k+1−j)·δ` (duration 1) followed by a *probe* `P_j` of size
+/// exactly `G_j`'s gap, `(k+1−j)·δ` (duration `µ`), with
+/// `δ = 1/(k(k+1))`. Gap-setter sizes **increase** round over round,
+/// so `G_j` fits no earlier bin (a bin still holding its setter is
+/// exactly full; a bin holding only its probe has level `(k+1−i)δ`
+/// and `(k+1−i)δ + G_j > 1`): every setter opens a fresh bin under
+/// any algorithm.
+///
+/// Best Fit sends each probe to the fullest feasible bin — the bin
+/// its own gap-setter just opened (level ≈ 1) rather than the sparse
+/// early bins. Each of the `k` bins is then held open for `µ` by its
+/// probe: `BF_total = k·µ`.
+///
+/// First Fit instead returns each probe to the *earliest* open bin
+/// (bin 1, whose setter departs after round 1), consolidating all
+/// probes there: `FF_total = 2k + µ − 2 = OPT_total` — First Fit is
+/// exactly optimal on this family. The separation `BF/OPT → µ/2`
+/// grows with `µ`, reproducing the paper's qualitative claim that
+/// Best Fit, unlike First Fit, carries a multiplicative penalty First
+/// Fit's `µ+4` guarantee rules out.
+///
+/// **Reproduction note.** The paper's stronger statement — Best Fit
+/// unbounded *for fixed µ* — cites the construction of [Li–Tang–Cai
+/// SPAA'14/TPDS'16], which the OCR text does not reproduce; this
+/// family is our documented substitute (DESIGN.md §2).
+pub fn best_fit_scatter(k: u32, mu: u32) -> (Instance, GadgetPrediction) {
+    assert!(k >= 2, "scatter needs k ≥ 2");
+    assert!(mu >= 2, "probes must outlive gap-setters: µ ≥ 2");
+    let k_i = k as i128;
+    let delta_den = k_i * (k_i + 1);
+    let mut specs = Vec::with_capacity(2 * k as usize);
+    for j in 1..=k_i {
+        let t = rat(j - 1, 1);
+        let gap = rat(k_i + 1 - j, delta_den);
+        specs.push((Rational::ONE - gap, t, t + Rational::ONE)); // G_j
+        specs.push((gap, t, t + rat(mu as i128, 1))); // P_j
+    }
+    let instance = Instance::new(specs).expect("gadget specs are valid");
+    let k_r = rat(k_i, 1);
+    let mu_r = rat(mu as i128, 1);
+    let prediction = GadgetPrediction {
+        family: "best-fit-scatter",
+        mu: mu_r,
+        // BF: k bins, bin j open from j−1 until j−1+µ.
+        algorithm_cost: k_r * mu_r,
+        // OPT(t): 1 on [0,1) (G_1+P_1 fill one bin), 2 on [1, k)
+        // (current setter + accumulated probes), 1 on [k, k−1+µ):
+        // total 1 + 2(k−1) + (µ−1) = 2k + µ − 2.
+        opt_cost: Rational::TWO * k_r + mu_r - Rational::TWO,
+        limit_ratio: mu_r * Rational::HALF,
+    };
+    (instance, prediction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_analysis::measure_ratio;
+    use dbp_core::prelude::*;
+    use dbp_core::PackingAlgorithm;
+
+    #[test]
+    fn next_fit_gadget_behaves_as_predicted() {
+        for (n, mu) in [(4u32, 3u32), (6, 2), (5, 4)] {
+            let (inst, pred) = next_fit_pairs(n, mu);
+            assert_eq!(inst.mu(), Some(pred.mu));
+            let out = run_packing(&inst, &mut NextFit::new()).unwrap();
+            assert_eq!(out.total_usage(), pred.algorithm_cost, "n={n} µ={mu}");
+            assert_eq!(out.bins_opened(), n as usize);
+            let rep = measure_ratio(&inst, &out);
+            assert_eq!(rep.opt_lower, pred.opt_cost, "OPT mismatch n={n} µ={mu}");
+            assert_eq!(rep.exact_ratio(), Some(pred.predicted_ratio()));
+        }
+    }
+
+    #[test]
+    fn next_fit_gadget_ratio_approaches_two_mu() {
+        let mu = 4u32;
+        let mut last = Rational::ZERO;
+        for n in [4u32, 8, 16, 64] {
+            let (_, pred) = next_fit_pairs(n, mu);
+            let r = pred.predicted_ratio();
+            assert!(r > last, "ratio should increase with n");
+            last = r;
+        }
+        // Approaching 2µ = 8.
+        assert!(last > rat(13, 2), "ratio {last} should be close to 8");
+        assert!(last < rat(8, 1));
+        // The paper's printed formula stays below µ+1.
+        assert!(next_fit_paper_formula(32, mu) < rat(4, 1));
+    }
+
+    #[test]
+    fn universal_pairs_hurt_every_plain_algorithm() {
+        let (inst, pred) = universal_mu_pairs(8, 4, 8);
+        for mut algo in [
+            Box::new(FirstFit::new()) as Box<dyn PackingAlgorithm>,
+            Box::new(BestFit::new()),
+            Box::new(WorstFit::new()),
+            Box::new(NextFit::new()),
+        ] {
+            let out = run_packing(&inst, algo.as_mut()).unwrap();
+            assert_eq!(
+                out.total_usage(),
+                pred.algorithm_cost,
+                "{} should pay kµ",
+                out.algorithm()
+            );
+        }
+        // Hybrid First Fit defeats the gadget.
+        let hff = run_packing(&inst, &mut HybridFirstFit::classic()).unwrap();
+        assert!(hff.total_usage() < pred.algorithm_cost);
+        // k larges (one bin each, duration 1) + 1 tiny bin (duration µ).
+        assert_eq!(hff.total_usage(), rat(8, 1) + rat(4, 1));
+        // Exact adversary matches the prediction.
+        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let rep = measure_ratio(&inst, &out);
+        assert_eq!(rep.opt_lower, pred.opt_cost);
+    }
+
+    #[test]
+    fn ladder_forces_any_fit_to_mu_plus_1() {
+        let (inst, pred) = any_fit_ladder(6, 3);
+        for mut algo in [
+            Box::new(FirstFit::new()) as Box<dyn PackingAlgorithm>,
+            Box::new(BestFit::new()),
+            Box::new(WorstFit::new()),
+            Box::new(LastFit::new()),
+            Box::new(RandomFit::seeded(5)),
+        ] {
+            let out = run_packing(&inst, algo.as_mut()).unwrap();
+            assert_eq!(out.bins_opened(), 6, "{}", out.algorithm());
+            assert_eq!(
+                out.total_usage(),
+                pred.algorithm_cost,
+                "{}",
+                out.algorithm()
+            );
+        }
+        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let rep = measure_ratio(&inst, &out);
+        assert_eq!(rep.opt_lower, pred.opt_cost, "adversary cost");
+        // Measured ratio matches the closed form exactly and sits
+        // below the µ+1 limit.
+        let r = rep.exact_ratio().unwrap();
+        assert_eq!(r, pred.predicted_ratio());
+        assert!(r > rat(5, 2) && r < rat(4, 1), "ratio {r}");
+    }
+
+    #[test]
+    fn ladder_ratio_grows_towards_mu_plus_1() {
+        let mu = 2u32;
+        let r_small = {
+            let (_, p) = any_fit_ladder(3, mu);
+            p.predicted_ratio()
+        };
+        let r_big = {
+            let (_, p) = any_fit_ladder(48, mu);
+            p.predicted_ratio()
+        };
+        assert!(r_big > r_small);
+        assert!(r_big > rat(14, 5), "r_big = {r_big} should approach 3");
+        assert!(r_big < rat(3, 1));
+    }
+
+    #[test]
+    fn scatter_separates_best_fit_from_first_fit() {
+        let (inst, pred) = best_fit_scatter(8, 6);
+        let bf = run_packing(&inst, &mut BestFit::new()).unwrap();
+        let ff = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        // BF scatters probes into fresh bins: k bins × µ.
+        assert_eq!(bf.total_usage(), pred.algorithm_cost);
+        assert_eq!(bf.bins_opened(), 8);
+        // FF consolidates probes into early bins — strictly cheaper.
+        assert!(
+            ff.total_usage() < bf.total_usage(),
+            "FF {} !< BF {}",
+            ff.total_usage(),
+            bf.total_usage()
+        );
+    }
+
+    #[test]
+    fn gadget_instances_are_valid_and_mu_correct() {
+        for (inst, pred) in [
+            next_fit_pairs(5, 7),
+            universal_mu_pairs(4, 9, 6),
+            any_fit_ladder(5, 2),
+            best_fit_scatter(4, 3),
+        ] {
+            assert_eq!(inst.mu(), Some(pred.mu), "{}", pred.family);
+            assert!(pred.predicted_ratio() > Rational::ONE, "{}", pred.family);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # `dbp-workloads` — instance generators and trace IO
+//!
+//! Three families of inputs for the MinUsageTime DBP experiments:
+//!
+//! * [`adaptive`] — the lower-bound *game*: adversaries that choose
+//!   departures after observing placements, run live against the
+//!   packing engine.
+//! * [`adversarial`] — the paper's lower-bound constructions in
+//!   executable form: the §VIII Next Fit pair gadget, the universal
+//!   `µ` pair family, the Any-Fit `µ+1` gap-ladder, and the Best Fit
+//!   scatter gadget. Each returns the instance together with the
+//!   closed-form cost predictions the construction is designed to
+//!   achieve, so experiments can print *predicted vs measured*.
+//! * [`random`] — seeded random workloads with controllable arrival
+//!   process, duration spread (hence `µ`) and size distribution, all
+//!   in exact rationals.
+//! * [`gaming`] — a synthetic cloud-gaming session workload (the
+//!   paper's motivating application): Poisson-ish session arrivals
+//!   with diurnal modulation, heavy-tailed play durations, per-title
+//!   GPU demand classes.
+//! * [`traces`] — JSON (de)serialization of instances with metadata.
+
+pub mod adaptive;
+pub mod adversarial;
+pub mod gaming;
+pub mod random;
+pub mod traces;
+
+pub use adaptive::{play, AdaptiveAdversary, GameResult, GameView, KeepSmallestAdversary, Move};
+pub use adversarial::{
+    any_fit_ladder, best_fit_scatter, next_fit_pairs, universal_mu_pairs, GadgetPrediction,
+};
+pub use gaming::{GamingConfig, TitleClass};
+pub use random::RandomWorkload;
+pub use traces::{load_instance, save_instance, Trace};

@@ -1,0 +1,313 @@
+//! Seeded random instance generators over an exact rational grid.
+//!
+//! All sampled quantities are integer multiples of `1/grid`, so
+//! generated instances stay inside the exact-arithmetic fast path and
+//! runs are bit-reproducible from the seed.
+
+use dbp_core::Instance;
+use dbp_numeric::{rat, Rational};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Item size distribution.
+#[derive(Debug, Clone)]
+pub enum SizeDist {
+    /// Uniform on the grid over `(0, max]`.
+    Uniform {
+        /// Largest size (inclusive), in `(0, 1]`.
+        max: Rational,
+    },
+    /// A weighted set of discrete sizes (e.g. VM flavours).
+    Classes(Vec<(Rational, u32)>),
+}
+
+/// Item duration distribution (controls `µ`).
+#[derive(Debug, Clone)]
+pub enum DurationDist {
+    /// Uniform on the grid over `[min, max]`.
+    Uniform {
+        /// Shortest duration.
+        min: Rational,
+        /// Longest duration.
+        max: Rational,
+    },
+    /// Exactly two durations — gives a *sharp* `µ = long/short` with
+    /// probability `p_long_percent`% of drawing the long one.
+    TwoPoint {
+        /// The short duration (defines `d_min`).
+        short: Rational,
+        /// The long duration (defines `d_max`).
+        long: Rational,
+        /// Percent chance of the long duration.
+        p_long_percent: u32,
+    },
+}
+
+/// Arrival process.
+#[derive(Debug, Clone)]
+pub enum ArrivalDist {
+    /// Arrivals uniform on `[0, horizon)`.
+    Uniform {
+        /// End of the arrival window.
+        horizon: Rational,
+    },
+    /// Geometric inter-arrival gaps on the grid with mean `mean_gap`
+    /// (a discrete stand-in for Poisson arrivals).
+    Poissonish {
+        /// Mean gap between consecutive arrivals.
+        mean_gap: Rational,
+    },
+    /// Flash crowds: items land in `bursts` simultaneous-arrival
+    /// waves spaced `spacing` apart (each item joins a uniformly
+    /// chosen wave). The regime with maximal tie-breaking pressure —
+    /// exactly how the paper's gadgets arrive ("let n pairs arrive in
+    /// sequence").
+    Bursty {
+        /// Number of waves.
+        bursts: u32,
+        /// Time between consecutive waves.
+        spacing: Rational,
+    },
+}
+
+/// A reproducible random workload specification.
+///
+/// ```
+/// use dbp_workloads::RandomWorkload;
+/// use dbp_numeric::rat;
+///
+/// let inst = RandomWorkload::with_mu(100, rat(4, 1), 42).generate();
+/// assert_eq!(inst.len(), 100);
+/// let mu = inst.mu().unwrap();
+/// assert!(mu <= rat(4, 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomWorkload {
+    /// Number of items.
+    pub n: usize,
+    /// RNG seed (fully determines the instance).
+    pub seed: u64,
+    /// Grid denominator for all sampled quantities.
+    pub grid: i128,
+    /// Size distribution.
+    pub sizes: SizeDist,
+    /// Duration distribution.
+    pub durations: DurationDist,
+    /// Arrival process.
+    pub arrivals: ArrivalDist,
+}
+
+impl RandomWorkload {
+    /// A balanced default: sizes uniform on `(0, 1]`, durations
+    /// uniform on `[1, mu]` (so the instance's `µ ≤ mu`), arrivals
+    /// uniform over a horizon scaled to keep moderate concurrency.
+    pub fn with_mu(n: usize, mu: Rational, seed: u64) -> RandomWorkload {
+        RandomWorkload {
+            n,
+            seed,
+            grid: 16,
+            sizes: SizeDist::Uniform { max: Rational::ONE },
+            durations: DurationDist::Uniform {
+                min: Rational::ONE,
+                max: mu,
+            },
+            arrivals: ArrivalDist::Uniform {
+                horizon: rat(n as i128 / 4 + 1, 1),
+            },
+        }
+    }
+
+    /// Same but with a sharp two-point duration law, guaranteeing the
+    /// instance's `µ` equals `mu` exactly (for n large enough to draw
+    /// both).
+    pub fn with_sharp_mu(n: usize, mu: Rational, seed: u64) -> RandomWorkload {
+        RandomWorkload {
+            durations: DurationDist::TwoPoint {
+                short: Rational::ONE,
+                long: mu,
+                p_long_percent: 50,
+            },
+            ..RandomWorkload::with_mu(n, mu, seed)
+        }
+    }
+
+    /// Caps all sizes at `1/beta` (the §I bounded-size regime of E6).
+    pub fn capped_sizes(mut self, beta: u32) -> RandomWorkload {
+        self.sizes = SizeDist::Uniform {
+            max: rat(1, beta as i128),
+        };
+        self
+    }
+
+    /// Generates the instance.
+    pub fn generate(&self) -> Instance {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut specs = Vec::with_capacity(self.n);
+        let mut clock = Rational::ZERO; // for Poissonish arrivals
+        for _ in 0..self.n {
+            let size = self.sample_size(&mut rng);
+            let arrival = self.sample_arrival(&mut rng, &mut clock);
+            let duration = self.sample_duration(&mut rng);
+            specs.push((size, arrival, arrival + duration));
+        }
+        Instance::new(specs).expect("generator produces valid specs")
+    }
+
+    /// Samples a rational uniformly from the grid points in
+    /// `[lo, hi]` (inclusive).
+    fn grid_uniform(&self, rng: &mut StdRng, lo: Rational, hi: Rational) -> Rational {
+        let lo_steps = (lo * rat(self.grid, 1)).ceil();
+        let hi_steps = (hi * rat(self.grid, 1)).floor();
+        debug_assert!(lo_steps <= hi_steps, "empty grid range [{lo}, {hi}]");
+        let steps = rng.gen_range(lo_steps..=hi_steps);
+        rat(steps, self.grid)
+    }
+
+    fn sample_size(&self, rng: &mut StdRng) -> Rational {
+        match &self.sizes {
+            SizeDist::Uniform { max } => self.grid_uniform(rng, rat(1, self.grid), *max),
+            SizeDist::Classes(classes) => {
+                let total: u32 = classes.iter().map(|(_, w)| *w).sum();
+                let mut pick = rng.gen_range(0..total);
+                for (size, w) in classes {
+                    if pick < *w {
+                        return *size;
+                    }
+                    pick -= w;
+                }
+                unreachable!("weights sum checked above")
+            }
+        }
+    }
+
+    fn sample_duration(&self, rng: &mut StdRng) -> Rational {
+        match &self.durations {
+            DurationDist::Uniform { min, max } => self.grid_uniform(rng, *min, *max),
+            DurationDist::TwoPoint {
+                short,
+                long,
+                p_long_percent,
+            } => {
+                if rng.gen_range(0..100) < *p_long_percent {
+                    *long
+                } else {
+                    *short
+                }
+            }
+        }
+    }
+
+    fn sample_arrival(&self, rng: &mut StdRng, clock: &mut Rational) -> Rational {
+        match &self.arrivals {
+            ArrivalDist::Uniform { horizon } => self.grid_uniform(rng, Rational::ZERO, *horizon),
+            ArrivalDist::Poissonish { mean_gap } => {
+                // Geometric number of grid steps with the right mean.
+                let mean_steps = (*mean_gap * rat(self.grid, 1)).to_f64().max(1.0);
+                let p = 1.0 / mean_steps;
+                let mut steps = 0i128;
+                while rng.gen::<f64>() > p && steps < 64 * self.grid {
+                    steps += 1;
+                }
+                *clock += rat(steps, self.grid);
+                *clock
+            }
+            ArrivalDist::Bursty { bursts, spacing } => {
+                let wave = rng.gen_range(0..(*bursts).max(1));
+                *spacing * rat(wave as i128, 1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let w = RandomWorkload::with_mu(50, rat(8, 1), 7);
+        assert_eq!(w.generate(), w.generate());
+        let w2 = RandomWorkload::with_mu(50, rat(8, 1), 8);
+        assert_ne!(w.generate(), w2.generate());
+    }
+
+    #[test]
+    fn mu_is_bounded_by_config() {
+        for seed in 0..10 {
+            let inst = RandomWorkload::with_mu(40, rat(6, 1), seed).generate();
+            let mu = inst.mu().unwrap();
+            assert!(mu <= rat(6, 1), "µ = {mu}");
+            assert!(mu >= Rational::ONE);
+        }
+    }
+
+    #[test]
+    fn sharp_mu_hits_exactly() {
+        let inst = RandomWorkload::with_sharp_mu(200, rat(5, 1), 3).generate();
+        assert_eq!(inst.mu(), Some(rat(5, 1)));
+        for item in inst.items() {
+            let d = item.duration();
+            assert!(d == Rational::ONE || d == rat(5, 1));
+        }
+    }
+
+    #[test]
+    fn capped_sizes_respect_beta() {
+        let inst = RandomWorkload::with_mu(80, rat(2, 1), 1)
+            .capped_sizes(4)
+            .generate();
+        for item in inst.items() {
+            assert!(item.size <= rat(1, 4));
+            assert!(item.size.is_positive());
+        }
+    }
+
+    #[test]
+    fn class_sizes_draw_from_the_set() {
+        let mut w = RandomWorkload::with_mu(60, rat(2, 1), 9);
+        w.sizes = SizeDist::Classes(vec![(rat(1, 4), 3), (rat(1, 2), 1)]);
+        let inst = w.generate();
+        let quarters = inst.items().iter().filter(|r| r.size == rat(1, 4)).count();
+        let halves = inst.items().iter().filter(|r| r.size == rat(1, 2)).count();
+        assert_eq!(quarters + halves, 60);
+        assert!(quarters > halves, "3:1 weighting should show");
+    }
+
+    #[test]
+    fn bursty_arrivals_land_on_waves() {
+        let mut w = RandomWorkload::with_mu(120, rat(2, 1), 13);
+        w.arrivals = ArrivalDist::Bursty {
+            bursts: 4,
+            spacing: rat(5, 1),
+        };
+        let inst = w.generate();
+        let allowed: Vec<Rational> = (0..4).map(|i| rat(5 * i, 1)).collect();
+        for item in inst.items() {
+            assert!(
+                allowed.contains(&item.arrival()),
+                "stray arrival {}",
+                item.arrival()
+            );
+        }
+        // Every wave gets some traffic at this n.
+        for t in &allowed {
+            assert!(
+                inst.items().iter().any(|r| r.arrival() == *t),
+                "empty wave at {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn poissonish_arrivals_are_nondecreasing_per_draw_order() {
+        let mut w = RandomWorkload::with_mu(100, rat(3, 1), 11);
+        w.arrivals = ArrivalDist::Poissonish {
+            mean_gap: rat(1, 2),
+        };
+        let inst = w.generate();
+        // Items were generated in arrival order.
+        for pair in inst.items().windows(2) {
+            assert!(pair[0].arrival() <= pair[1].arrival());
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! JSON trace IO for instances.
+//!
+//! Traces are plain JSON so they can be generated, inspected and
+//! diffed outside the toolchain; rationals are stored as `{num, den}`
+//! pairs (re-normalized on load by `dbp-numeric`'s serde shadow).
+
+use dbp_core::{Instance, InstanceError};
+use dbp_numeric::Rational;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One item in a trace file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceItem {
+    /// Resource demand in `(0, 1]` of a unit server.
+    pub size: Rational,
+    /// Arrival time.
+    pub arrival: Rational,
+    /// Departure time.
+    pub departure: Rational,
+}
+
+/// A serializable workload trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Short identifier.
+    pub name: String,
+    /// Free-form description (generator, parameters, date …).
+    pub description: String,
+    /// String metadata (seed, family parameters …).
+    #[serde(default)]
+    pub metadata: BTreeMap<String, String>,
+    /// The items.
+    pub items: Vec<TraceItem>,
+}
+
+/// Errors from trace IO.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// Malformed JSON.
+    Json(serde_json::Error),
+    /// Structurally valid JSON describing an invalid instance.
+    Invalid(InstanceError),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace IO error: {e}"),
+            TraceError::Json(e) => write!(f, "trace JSON error: {e}"),
+            TraceError::Invalid(e) => write!(f, "invalid trace: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> TraceError {
+        TraceError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for TraceError {
+    fn from(e: serde_json::Error) -> TraceError {
+        TraceError::Json(e)
+    }
+}
+
+impl Trace {
+    /// Captures an instance as a trace.
+    pub fn from_instance(name: &str, description: &str, instance: &Instance) -> Trace {
+        Trace {
+            name: name.to_string(),
+            description: description.to_string(),
+            metadata: BTreeMap::new(),
+            items: instance
+                .items()
+                .iter()
+                .map(|r| TraceItem {
+                    size: r.size,
+                    arrival: r.arrival(),
+                    departure: r.departure(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds (and re-validates) the instance.
+    pub fn to_instance(&self) -> Result<Instance, InstanceError> {
+        Instance::new(
+            self.items
+                .iter()
+                .map(|t| (t.size, t.arrival, t.departure))
+                .collect(),
+        )
+    }
+
+    /// Adds a metadata entry (builder style).
+    pub fn with_meta(mut self, key: &str, value: impl ToString) -> Trace {
+        self.metadata.insert(key.to_string(), value.to_string());
+        self
+    }
+}
+
+/// Writes a trace as pretty JSON.
+pub fn save_instance(path: &Path, trace: &Trace) -> Result<(), TraceError> {
+    let json = serde_json::to_string_pretty(trace)?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Reads a trace and validates its instance.
+pub fn load_instance(path: &Path) -> Result<(Trace, Instance), TraceError> {
+    let json = fs::read_to_string(path)?;
+    let trace: Trace = serde_json::from_str(&json)?;
+    let instance = trace.to_instance().map_err(TraceError::Invalid)?;
+    Ok((trace, instance))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::RandomWorkload;
+    use dbp_numeric::rat;
+
+    #[test]
+    fn round_trip_through_json() {
+        let inst = RandomWorkload::with_mu(30, rat(4, 1), 5).generate();
+        let trace = Trace::from_instance("rt", "round trip", &inst)
+            .with_meta("seed", 5)
+            .with_meta("mu", "4");
+        let dir = std::env::temp_dir().join("dbp-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rt.json");
+        save_instance(&path, &trace).unwrap();
+        let (loaded, rebuilt) = load_instance(&path).unwrap();
+        assert_eq!(loaded, trace);
+        assert_eq!(rebuilt, inst);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn invalid_trace_is_rejected_on_load() {
+        let trace = Trace {
+            name: "bad".into(),
+            description: String::new(),
+            metadata: BTreeMap::new(),
+            items: vec![TraceItem {
+                size: rat(2, 1), // > 1: invalid
+                arrival: rat(0, 1),
+                departure: rat(1, 1),
+            }],
+        };
+        assert!(matches!(
+            trace.to_instance(),
+            Err(InstanceError::BadSize { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        let dir = std::env::temp_dir().join("dbp-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, "{ not json").unwrap();
+        assert!(matches!(load_instance(&path), Err(TraceError::Json(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,86 @@
+//! The lower-bound gallery: every adversarial family from the paper
+//! (and its companion results), with predicted vs measured costs.
+//!
+//! ```text
+//! cargo run --release --example adversarial_gallery
+//! ```
+
+use mindbp::analysis::measure_ratio;
+use mindbp::prelude::*;
+use mindbp::workloads::adversarial::{
+    any_fit_ladder, best_fit_scatter, next_fit_pairs, universal_mu_pairs,
+};
+
+fn main() {
+    println!("§VIII — Next Fit pair gadget (n = 16, µ = 4)");
+    let (inst, pred) = next_fit_pairs(16, 4);
+    let nf = run_packing(&inst, &mut NextFit::new()).unwrap();
+    let rep = measure_ratio(&inst, &nf);
+    println!(
+        "  predicted NF cost {} / OPT {}",
+        pred.algorithm_cost, pred.opt_cost
+    );
+    println!(
+        "  measured  NF cost {} / OPT {} → ratio {} (limit 2µ = {})",
+        nf.total_usage(),
+        rep.opt_lower,
+        rep.exact_ratio().unwrap(),
+        pred.limit_ratio
+    );
+
+    println!("\nuniversal µ pair family (k = 12, µ = 6): all plain algorithms pay kµ");
+    let (inst, pred) = universal_mu_pairs(12, 6, 12);
+    for mut algo in [
+        Box::new(FirstFit::new()) as Box<dyn PackingAlgorithm>,
+        Box::new(BestFit::new()),
+        Box::new(NextFit::new()),
+        Box::new(HybridFirstFit::classic()),
+    ] {
+        let out = run_packing(&inst, algo.as_mut()).unwrap();
+        let rep = measure_ratio(&inst, &out);
+        println!(
+            "  {:<20} cost {:>4} ratio {}",
+            out.algorithm(),
+            out.total_usage().to_string(),
+            rep.exact_ratio().map(|r| r.to_string()).unwrap_or_default()
+        );
+    }
+    println!(
+        "  (predicted plain-algorithm cost {}, OPT {})",
+        pred.algorithm_cost, pred.opt_cost
+    );
+
+    println!("\nAny-Fit gap-ladder (n = 10, µ = 3): forced ratio → µ+1");
+    let (inst, pred) = any_fit_ladder(10, 3);
+    let out = run_packing(&inst, &mut WorstFit::new()).unwrap();
+    let rep = measure_ratio(&inst, &out);
+    println!(
+        "  WorstFit cost {} vs OPT {} → ratio {} (predicted {}, limit µ+1 = {})",
+        out.total_usage(),
+        rep.opt_lower,
+        rep.exact_ratio().unwrap(),
+        pred.predicted_ratio(),
+        pred.limit_ratio
+    );
+
+    println!("\nBest Fit scatter gadget (k = 10, µ = 8): BF scatters, FF is optimal");
+    let (inst, pred) = best_fit_scatter(10, 8);
+    let bf = run_packing(&inst, &mut BestFit::new()).unwrap();
+    let ff = run_packing(&inst, &mut FirstFit::new()).unwrap();
+    let rep_bf = measure_ratio(&inst, &bf);
+    let rep_ff = measure_ratio(&inst, &ff);
+    println!(
+        "  BF cost {} (ratio {}), FF cost {} (ratio {}), OPT {} — BF limit µ/2 = {}",
+        bf.total_usage(),
+        rep_bf.exact_ratio().unwrap(),
+        ff.total_usage(),
+        rep_ff.exact_ratio().unwrap(),
+        rep_bf.opt_lower,
+        pred.limit_ratio
+    );
+
+    println!("\nthe §VIII gadget, as a picture (Next Fit fleet vs OPT over time):");
+    let (inst, _) = next_fit_pairs(8, 4);
+    let nf = run_packing(&inst, &mut NextFit::new()).unwrap();
+    println!("{}", mindbp::viz::comparison(&inst, &nf, 64));
+}

@@ -1,0 +1,62 @@
+//! Multi-resource servers (the paper's §IX future work): dispatch
+//! CPU+memory jobs with vector First Fit and compare against the
+//! vector repacking adversary.
+//!
+//! ```text
+//! cargo run --release --example multidim_servers
+//! ```
+
+use mindbp::multidim::{
+    md_opt_total, run_md_packing, Correlation, MdBestFitBySum, MdFirstFit, MdNextFit,
+    MdRandomWorkload,
+};
+use mindbp::numeric::rat;
+
+fn main() {
+    println!("CPU+memory MinUsageTime DBP — §IX future work made concrete\n");
+    for (label, correlation) in [
+        (
+            "complementary (cpu-heavy vs mem-heavy jobs)",
+            Correlation::Complementary,
+        ),
+        ("independent", Correlation::Independent),
+        (
+            "identical (reduces to scalar behavior)",
+            Correlation::Identical,
+        ),
+    ] {
+        let mut wl = MdRandomWorkload::cpu_mem(60, rat(4, 1), 2016);
+        wl.correlation = correlation;
+        let inst = wl.generate();
+        let opt = md_opt_total(&inst, 14);
+
+        println!("workload: {label}");
+        println!(
+            "  {} jobs, µ = {}, vol-vector = {}, span = {}",
+            inst.len(),
+            inst.mu().unwrap(),
+            inst.vol_vector(),
+            inst.span()
+        );
+        match opt.exact() {
+            Some(v) => println!("  adversary OPT_total = {v} (exact)"),
+            None => println!("  adversary OPT_total ∈ [{}, {}]", opt.lower, opt.upper),
+        }
+        let ff = run_md_packing(&inst, &mut MdFirstFit::new()).unwrap();
+        let bf = run_md_packing(&inst, &mut MdBestFitBySum::new()).unwrap();
+        let nf = run_md_packing(&inst, &mut MdNextFit::new()).unwrap();
+        for out in [&ff, &bf, &nf] {
+            let ratio = (out.total_usage() / opt.lower).to_f64();
+            println!(
+                "  {:<16} servers={:<3} usage={:<8} ratio ≤ {:.3}",
+                out.algorithm(),
+                out.bins_opened(),
+                out.total_usage().to_string(),
+                ratio
+            );
+        }
+        println!();
+    }
+    println!("note: with one resource dimension the vector engine is bit-for-bit");
+    println!("identical to the scalar engine (enforced by the d1_equivalence tests).");
+}

@@ -1,0 +1,55 @@
+//! Quickstart: pack a handful of cloud jobs with First Fit and
+//! compare against the offline adversary.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mindbp::numeric::rat;
+use mindbp::prelude::*;
+
+fn main() {
+    // A small job stream: sizes are fractions of one server's
+    // capacity, times are hours. Departures are *not* visible to the
+    // algorithm until they happen — that's the online model.
+    let jobs = Instance::builder()
+        .item(rat(1, 2), rat(0, 1), rat(3, 1)) // half-server job, 3h
+        .item(rat(1, 4), rat(0, 1), rat(1, 1)) // quarter job, 1h
+        .item(rat(2, 3), rat(1, 1), rat(4, 1)) // big job arrives at 1h
+        .item(rat(1, 4), rat(2, 1), rat(5, 1))
+        .item(rat(1, 2), rat(3, 1), rat(6, 1))
+        .build()
+        .expect("valid instance");
+
+    println!("instance: {:#?}\n", jobs.stats());
+    println!("{}", mindbp::viz::timeline(&jobs, 64));
+
+    for mut algo in [
+        Box::new(FirstFit::new()) as Box<dyn PackingAlgorithm>,
+        Box::new(BestFit::new()),
+        Box::new(NextFit::new()),
+    ] {
+        let outcome = run_packing(&jobs, algo.as_mut()).expect("packing succeeds");
+        let report = measure_ratio(&jobs, &outcome);
+        println!(
+            "{:<10} bins={} usage={} ratio={}",
+            outcome.algorithm(),
+            outcome.bins_opened(),
+            outcome.total_usage(),
+            report
+                .exact_ratio()
+                .map(|r| format!("{} (≤ µ+4 = {})", r, report.theorem1_bound().unwrap()))
+                .unwrap_or_else(|| "n/a".into()),
+        );
+    }
+
+    // The packing itself, bin by bin.
+    let outcome = run_packing(&jobs, &mut FirstFit::new()).unwrap();
+    println!("\nFirst Fit packing:");
+    for bin in outcome.bins() {
+        println!(
+            "  {} open {} items {:?} peak level {}",
+            bin.id, bin.usage, bin.items, bin.peak_level
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Integration tests of the paper's quantitative landscape: the
+//! upper/lower-bound ecosystem reproduced end to end.
+
+use mindbp::analysis::optimal::{opt_total, OptConfig};
+use mindbp::analysis::{measure_ratio, profile_lower_bound, ExactBinPacking};
+use mindbp::numeric::{rat, Rational};
+use mindbp::prelude::*;
+use mindbp::workloads::adversarial::{any_fit_ladder, next_fit_pairs, universal_mu_pairs};
+
+/// Theorem 1 never breaks, even on the adversarial families designed
+/// to be worst cases.
+#[test]
+fn theorem1_on_adversarial_families() {
+    for mu in [1u32, 2, 5, 9] {
+        for (inst, _) in [
+            next_fit_pairs(10, mu),
+            universal_mu_pairs(10, mu, 10),
+            any_fit_ladder(10, mu),
+        ] {
+            let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+            let rep = measure_ratio(&inst, &out);
+            let bound = rep.theorem1_bound().unwrap();
+            let ratio = rep.exact_ratio().or(rep.ratio_upper).unwrap();
+            assert!(ratio <= bound, "µ={mu}: FF ratio {ratio} > bound {bound}");
+        }
+    }
+}
+
+/// The ordering of the bound ecosystem on gadgets:
+/// universal family pushes FF above µ−ε, ladder pushes Any Fit above
+/// µ (towards µ+1), and everything respects µ+4.
+#[test]
+fn lower_bound_ordering() {
+    let mu = 6u32;
+    let mu_r = rat(mu as i128, 1);
+
+    // Universal family at large k: ratio close to µ.
+    let (inst, _) = universal_mu_pairs(14, mu, 14);
+    let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+    let universal = measure_ratio(&inst, &out).exact_ratio().unwrap();
+    // kµ/(k+µ−1) with k = 14, µ = 6 is 84/19 ≈ 4.42 — already most of
+    // the way to µ.
+    assert!(
+        universal > mu_r * rat(2, 3),
+        "universal ratio {universal} too low"
+    );
+    assert!(universal < mu_r, "universal family cannot exceed µ");
+
+    // Ladder at the same scale: strictly stronger (→ µ+1).
+    let (inst, _) = any_fit_ladder(14, mu);
+    let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+    let ladder = measure_ratio(&inst, &out).exact_ratio().unwrap();
+    assert!(
+        ladder > universal,
+        "ladder ({ladder}) should beat the universal family ({universal})"
+    );
+    assert!(ladder < mu_r + Rational::ONE);
+}
+
+/// `∫OPT(R,t)dt` through the exact solver is consistent with the
+/// certified profile bound and with FFD-based brackets at every
+/// capping level.
+#[test]
+fn adversary_brackets_are_nested() {
+    for seed in 0..6 {
+        let inst = RandomWorkload::with_mu(36, rat(5, 1), seed).generate();
+        let solver = ExactBinPacking::new();
+        let exact = opt_total(&inst, &solver, OptConfig::default());
+        let profile_lb = profile_lower_bound(&inst);
+        assert!(profile_lb <= exact.lower);
+        let mut prev = (Rational::ZERO, exact.upper + Rational::ONE);
+        for cap in [0usize, 2, 6, 12, 28] {
+            let bracket = opt_total(
+                &inst,
+                &solver,
+                OptConfig {
+                    max_exact_items: cap,
+                },
+            );
+            assert!(bracket.lower <= exact.lower, "cap {cap}");
+            assert!(bracket.upper >= exact.upper, "cap {cap}");
+            // Brackets tighten (weakly) as the cap rises.
+            assert!(bracket.lower >= prev.0, "cap {cap} lower regressed");
+            assert!(bracket.upper <= prev.1, "cap {cap} upper regressed");
+            prev = (bracket.lower, bracket.upper);
+        }
+    }
+}
+
+/// Every algorithm's measured cost is sandwiched:
+/// `OPT ≤ cost ≤ (paper bound for FF) / (known gadget behavior)`.
+#[test]
+fn costs_always_dominate_the_adversary() {
+    for seed in 0..5 {
+        let inst = RandomWorkload::with_mu(40, rat(4, 1), seed).generate();
+        let solver = ExactBinPacking::new();
+        let opt = opt_total(&inst, &solver, OptConfig::default());
+        for mut algo in [
+            Box::new(FirstFit::new()) as Box<dyn PackingAlgorithm>,
+            Box::new(BestFit::new()),
+            Box::new(WorstFit::new()),
+            Box::new(NextFit::new()),
+            Box::new(HybridFirstFit::classic()),
+        ] {
+            let out = run_packing(&inst, algo.as_mut()).unwrap();
+            assert!(
+                out.total_usage() >= opt.lower,
+                "{} beat the adversary",
+                out.algorithm()
+            );
+        }
+    }
+}
+
+/// Decimal sanity for the §VIII formulas across n at fixed µ: the
+/// measured ratio is monotone and bracketed by the paper's printed
+/// formula and 2µ.
+#[test]
+fn section8_ratio_bracket() {
+    let mu = 3u32;
+    let mut prev = Rational::ZERO;
+    for n in [4u32, 8, 16, 32, 64] {
+        let (inst, pred) = next_fit_pairs(n, mu);
+        let out = run_packing(&inst, &mut NextFit::new()).unwrap();
+        let rep = measure_ratio(&inst, &out);
+        let ratio = rep.exact_ratio().unwrap();
+        let paper = mindbp::workloads::adversarial::next_fit_paper_formula(n, mu);
+        assert!(ratio >= paper, "n={n}");
+        assert!(ratio < pred.limit_ratio, "n={n}");
+        assert!(ratio > prev, "n={n} not monotone");
+        prev = ratio;
+    }
+}

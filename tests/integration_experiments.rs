@@ -1,0 +1,115 @@
+//! Small-scale runs of every experiment module: the tables that
+//! EXPERIMENTS.md reports must be regenerable (and shaped correctly)
+//! under `cargo test`, not just by the release binaries.
+
+use dbp_bench as bench;
+
+#[test]
+fn e1_theorem1_table() {
+    let (rows, table) = bench::e1_theorem1::run(&[2, 8], 30, 4);
+    assert_eq!(rows.len(), 2);
+    assert_eq!(table.len(), 2);
+    assert!(table.col("µ+4").is_some());
+    for r in &rows {
+        assert!(r.max_ratio <= r.bound);
+    }
+}
+
+#[test]
+fn e2_nextfit_table() {
+    let (rows, table) = bench::e2_nextfit::run(&[4, 8], &[3]);
+    assert_eq!(rows.len(), 2);
+    assert!(rows[1].ratio > rows[0].ratio);
+    assert!(table.to_string().contains("NF/OPT"));
+}
+
+#[test]
+fn e3_universal_table() {
+    let (rows, _) = bench::e3_universal::run(&[3], &[4, 8]);
+    let first = bench::e3_universal::ratio_of(&rows[0], "FirstFit").unwrap();
+    let later = bench::e3_universal::ratio_of(&rows[1], "FirstFit").unwrap();
+    assert!(later > first);
+}
+
+#[test]
+fn e4_ladder_table() {
+    let (rows, _) = bench::e4_anyfit::run(&[2], &[4, 8]);
+    assert!(rows[1].ratios[0].1 > rows[0].ratios[0].1);
+}
+
+#[test]
+fn e5_scatter_table() {
+    let (rows, _) = bench::e5_bestfit::run(&[6], &[6]);
+    assert!(rows[0].bf_ratio > rows[0].ff_ratio);
+}
+
+#[test]
+fn e6_beta_table() {
+    let (rows, _) = bench::e6_beta::run(&[2], &[2], 24, 3);
+    assert!(rows[0].instances > 0);
+}
+
+#[test]
+fn e7_hybrid_table() {
+    let (rows, _) = bench::e7_hybrid::run(&[6], 8, 24, 2);
+    assert!(rows[0].hff_adversarial < rows[0].ff_adversarial);
+}
+
+#[test]
+fn e8_gaming_table() {
+    let (rows, table) = bench::e8_gaming::run(&[15], 1);
+    assert!(rows[0].sessions > 0);
+    assert!(table.len() >= 5);
+}
+
+#[test]
+fn e9_billing_table() {
+    let (rows, _) = bench::e9_billing::run(4);
+    assert!(rows.iter().all(|r| r.billed >= r.usage));
+}
+
+#[test]
+fn e10_certify_table() {
+    let (tallies, _) = bench::e10_certify::run(&[4], 16, 4);
+    assert!(tallies.values().all(|t| t.fail == 0));
+}
+
+#[test]
+fn e11_multidim_table() {
+    let (rows, _) = bench::e11_multidim::run(&[2], 20, 3);
+    assert_eq!(rows.len(), 3); // three correlation profiles
+}
+
+#[test]
+fn e12_clairvoyance_table() {
+    let (rows, _) = bench::e12_clairvoyance::run(&[8], 8, 20, 2);
+    assert!(rows[0].cv_gadget < rows[0].ff_gadget);
+}
+
+#[test]
+fn e13_standard_dbp_table() {
+    let (rows, _) = bench::e13_standard_dbp::run(&[2], 30, 3);
+    assert!(rows.iter().any(|r| r.algorithm == "NextFit"));
+}
+
+#[test]
+fn e14_adaptive_table() {
+    let (rows, _) = bench::e14_adaptive::run(&[4], 8);
+    let ff = rows.iter().find(|r| r.algorithm == "FirstFit").unwrap();
+    assert_eq!(ff.cost, dbp_numeric::rat(32, 1));
+}
+
+#[test]
+fn all_figures_render() {
+    for fig in [
+        bench::figures::fig1_span(),
+        bench::figures::fig2_usage_periods(),
+        bench::figures::fig3_selection(),
+        bench::figures::fig4_supplier(),
+        bench::figures::fig5_case3(),
+        bench::figures::fig6_case4(),
+    ] {
+        assert!(fig.contains("Figure"));
+        assert!(fig.lines().count() > 4);
+    }
+}

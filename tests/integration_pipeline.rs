@@ -1,0 +1,135 @@
+//! End-to-end pipeline tests: generators → engine → analysis →
+//! certification → cloud simulation, across crates.
+
+use mindbp::analysis::{certify_first_fit, certify_packing, measure_ratio, opt_lower_bound};
+use mindbp::cloudsim::{simulate, BillingModel};
+use mindbp::numeric::{rat, Rational};
+use mindbp::prelude::*;
+use mindbp::workloads::adversarial::{
+    any_fit_ladder, best_fit_scatter, next_fit_pairs, universal_mu_pairs,
+};
+use mindbp::workloads::{load_instance, save_instance, Trace};
+
+/// The full line-up used across integration tests.
+fn lineup() -> Vec<Box<dyn PackingAlgorithm>> {
+    vec![
+        Box::new(FirstFit::new()),
+        Box::new(BestFit::new()),
+        Box::new(WorstFit::new()),
+        Box::new(NextFit::new()),
+        Box::new(HybridFirstFit::classic()),
+    ]
+}
+
+#[test]
+fn random_workloads_flow_through_the_whole_stack() {
+    for seed in 0..8 {
+        let inst = RandomWorkload::with_mu(60, rat(6, 1), seed).generate();
+        for mut algo in lineup() {
+            let out = run_packing(&inst, algo.as_mut()).unwrap();
+            // Cost dominated by the certified lower bound.
+            assert!(out.total_usage() >= opt_lower_bound(&inst));
+            // Structural certification holds for every algorithm.
+            let report = certify_packing(&inst, &out, false);
+            assert!(report.all_passed(), "{}: {report}", out.algorithm());
+        }
+        // Full certification (incl. Theorem 1) for First Fit.
+        let report = certify_first_fit(&inst);
+        assert!(report.all_passed(), "{report}");
+    }
+}
+
+#[test]
+fn gadget_instances_certify_under_first_fit() {
+    let gadgets = vec![
+        next_fit_pairs(8, 4).0,
+        universal_mu_pairs(8, 4, 8).0,
+        any_fit_ladder(8, 3).0,
+        best_fit_scatter(8, 4).0,
+    ];
+    for inst in gadgets {
+        let report = certify_first_fit(&inst);
+        assert!(report.all_passed(), "{report}");
+    }
+}
+
+#[test]
+fn cloudsim_agrees_with_core_accounting() {
+    let trace = GamingConfig {
+        peak_sessions_per_hour: 30,
+        ..Default::default()
+    }
+    .generate();
+    let inst = &trace.instance;
+    let outcome = run_packing(inst, &mut FirstFit::new()).unwrap();
+    let report = simulate(inst, &mut FirstFit::new(), BillingModel::Continuous).unwrap();
+    // Same dispatch, same books.
+    assert_eq!(report.usage_time, outcome.total_usage());
+    assert_eq!(report.billed_time, outcome.total_usage());
+    assert_eq!(report.servers_used, outcome.bins_opened());
+    assert_eq!(report.peak_servers, outcome.max_open_bins());
+    // Quantized billing only ever adds cost.
+    let hourly = simulate(inst, &mut FirstFit::new(), BillingModel::hourly()).unwrap();
+    assert!(hourly.billed_time >= report.billed_time);
+    assert_eq!(hourly.usage_time, report.usage_time);
+}
+
+#[test]
+fn traces_round_trip_and_reproduce_results() {
+    let inst = RandomWorkload::with_sharp_mu(40, rat(5, 1), 77).generate();
+    let before = run_packing(&inst, &mut FirstFit::new()).unwrap();
+
+    let dir = std::env::temp_dir().join("mindbp-integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.json");
+    let trace = Trace::from_instance("integration", "round trip", &inst).with_meta("seed", 77);
+    save_instance(&path, &trace).unwrap();
+    let (_trace2, inst2) = load_instance(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+
+    assert_eq!(inst, inst2);
+    let after = run_packing(&inst2, &mut FirstFit::new()).unwrap();
+    assert_eq!(before, after, "replay from disk must be identical");
+}
+
+#[test]
+fn ratio_reports_are_internally_consistent() {
+    for seed in [1u64, 9, 23] {
+        let inst = RandomWorkload::with_mu(30, rat(3, 1), seed).generate();
+        for mut algo in lineup() {
+            let out = run_packing(&inst, algo.as_mut()).unwrap();
+            let rep = measure_ratio(&inst, &out);
+            assert!(rep.opt_lower <= rep.opt_upper);
+            if let (Some(lo), Some(hi)) = (rep.ratio_lower, rep.ratio_upper) {
+                assert!(lo <= hi);
+                assert!(
+                    lo >= Rational::ONE,
+                    "{}: beat the adversary?",
+                    rep.algorithm
+                );
+            }
+            assert!(rep.within_theorem1() || rep.algorithm != "FirstFit");
+        }
+    }
+}
+
+#[test]
+fn parallel_sweep_matches_serial() {
+    let seeds: Vec<u64> = (0..12).collect();
+    let serial: Vec<Rational> = seeds
+        .iter()
+        .map(|&s| {
+            let inst = RandomWorkload::with_mu(40, rat(4, 1), s).generate();
+            run_packing(&inst, &mut FirstFit::new())
+                .unwrap()
+                .total_usage()
+        })
+        .collect();
+    let parallel = mindbp::par::par_map(&seeds, |&s| {
+        let inst = RandomWorkload::with_mu(40, rat(4, 1), s).generate();
+        run_packing(&inst, &mut FirstFit::new())
+            .unwrap()
+            .total_usage()
+    });
+    assert_eq!(serial, parallel);
+}
