@@ -1,0 +1,60 @@
+//! Writes `BENCH_<experiment>.json` perf snapshots into `results/`
+//! (or the directory given as the first argument).
+//!
+//! Two snapshots:
+//! * `BENCH_e1_theorem1.json` — wall time + result metrics of a
+//!   reduced Theorem 1 sweep (the flagship experiment);
+//! * `BENCH_engine_throughput.json` — a pure engine sweep (First Fit
+//!   over random workloads) with per-worker load-balance reports from
+//!   `dbp_par::par_map_report`.
+
+use dbp_bench::perf::measure;
+use dbp_core::{run_packing, FirstFit};
+use dbp_numeric::rat;
+use dbp_workloads::RandomWorkload;
+use serde::Value;
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let dir = args.get(1).map(String::as_str).unwrap_or("results");
+    let dir = Path::new(dir);
+    std::fs::create_dir_all(dir).expect("create output directory");
+
+    // Snapshot 1: the Theorem 1 sweep at a CI-sized configuration.
+    let (mus, n, seeds_per_mu) = (vec![1u32, 2, 4], 36usize, 8u64);
+    let ((rows, _table), snap) = measure("e1_theorem1", || {
+        dbp_bench::e1_theorem1::run(&mus, n, seeds_per_mu)
+    });
+    let instances: usize = rows.iter().map(|r| r.instances).sum();
+    let snap = snap
+        .with_metric("mus", Value::Int(mus.len() as i128))
+        .with_metric("items_per_instance", Value::Int(n as i128))
+        .with_metric("seeds_per_mu", Value::Int(seeds_per_mu as i128))
+        .with_metric("instances_measured", Value::Int(instances as i128));
+    let path = snap.write_to(dir).expect("write snapshot");
+    println!("wrote {} ({:.1} ms)", path.display(), snap.wall_ms());
+
+    // Snapshot 2: raw engine throughput with worker load balance.
+    let (instances, items_each) = (64u64, 200usize);
+    let seeds: Vec<u64> = (0..instances).collect();
+    let ((usages, workers), snap) = measure("engine_throughput", || {
+        dbp_par::par_map_report(&seeds, |&seed| {
+            let inst = RandomWorkload::with_mu(items_each, rat(4, 1), seed).generate();
+            let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+            out.total_usage().to_f64()
+        })
+    });
+    let total_events = instances as i128 * items_each as i128 * 2; // arrive + depart
+    let mean_usage = usages.iter().sum::<f64>() / usages.len() as f64;
+    let events_per_sec = total_events as f64 / (snap.wall_ms() / 1e3);
+    let snap = snap
+        .with_metric("instances", Value::Int(instances as i128))
+        .with_metric("items_per_instance", Value::Int(items_each as i128))
+        .with_metric("engine_events", Value::Int(total_events))
+        .with_metric("events_per_sec", Value::Float(events_per_sec))
+        .with_metric("mean_total_usage", Value::Float(mean_usage))
+        .with_workers(&workers);
+    let path = snap.write_to(dir).expect("write snapshot");
+    println!("wrote {} ({:.1} ms)", path.display(), snap.wall_ms());
+}

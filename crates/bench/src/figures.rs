@@ -57,8 +57,7 @@ pub fn fig2_usage_periods() -> String {
 pub fn fig3_selection() -> String {
     let inst = selection_instance();
     let mut script = dbp_core::Scripted::new(vec![0, 0, 0, 0, 1, 1, 1, 1, 1]);
-    let out =
-        run_packing(&inst, &mut script).expect("scripted packing is feasible");
+    let out = run_packing(&inst, &mut script).expect("scripted packing is feasible");
     format!(
         "Figure 3: item selection and l/h period split over V_k\n\n{}",
         dbp_viz::subperiods(&inst, &out, WIDTH)

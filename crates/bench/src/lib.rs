@@ -42,6 +42,7 @@ pub mod e7_hybrid;
 pub mod e8_gaming;
 pub mod e9_billing;
 pub mod figures;
+pub mod perf;
 pub mod table;
 
 pub use table::Table;

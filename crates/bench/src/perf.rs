@@ -1,0 +1,149 @@
+//! Perf snapshots: wall-time + metrics capture around experiment
+//! runs, written as `BENCH_<experiment>.json`.
+//!
+//! Every snapshot records the wall time of the wrapped `run()`, the
+//! machine's available parallelism, free-form metrics (row counts,
+//! cells evaluated, …), and optionally the per-worker load-balance
+//! reports from [`dbp_par::par_map_report`]. Snapshots are committed
+//! under `results/` so the repository accumulates a perf trajectory —
+//! the measuring half of ROADMAP's "fast as the hardware allows".
+
+use dbp_par::WorkerReport;
+use serde::Value;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// One perf measurement of an experiment run.
+#[derive(Debug, Clone)]
+pub struct PerfSnapshot {
+    experiment: String,
+    wall_ms: f64,
+    threads: usize,
+    metrics: Vec<(String, Value)>,
+    workers: Vec<WorkerReport>,
+}
+
+impl PerfSnapshot {
+    /// The experiment name (`BENCH_<name>.json` on disk).
+    pub fn experiment(&self) -> &str {
+        &self.experiment
+    }
+
+    /// Wall time of the wrapped run, in milliseconds.
+    pub fn wall_ms(&self) -> f64 {
+        self.wall_ms
+    }
+
+    /// Attaches a named metric (chainable).
+    pub fn with_metric(mut self, name: &str, value: impl Into<Value>) -> PerfSnapshot {
+        self.metrics.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Attaches per-worker load-balance reports (chainable).
+    pub fn with_workers(mut self, workers: &[WorkerReport]) -> PerfSnapshot {
+        self.workers = workers.to_vec();
+        self
+    }
+
+    /// The snapshot as one JSON object.
+    pub fn to_json(&self) -> Value {
+        let workers = self
+            .workers
+            .iter()
+            .map(|w| {
+                Value::Object(vec![
+                    ("worker".into(), Value::Int(w.worker as i128)),
+                    ("items".into(), Value::Int(w.items as i128)),
+                    ("busy_ns".into(), Value::Int(w.busy_ns as i128)),
+                    ("elapsed_ns".into(), Value::Int(w.elapsed_ns as i128)),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("experiment".into(), Value::Str(self.experiment.clone())),
+            ("wall_ms".into(), Value::Float(self.wall_ms)),
+            ("threads".into(), Value::Int(self.threads as i128)),
+            ("metrics".into(), Value::Object(self.metrics.clone())),
+            ("workers".into(), Value::Array(workers)),
+        ])
+    }
+
+    /// Writes `BENCH_<experiment>.json` into `dir`, returning the
+    /// path.
+    pub fn write_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        let path = dir.join(format!("BENCH_{}.json", self.experiment));
+        let text = serde_json::to_string_pretty(&self.to_json())
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        std::fs::write(&path, text + "\n")?;
+        Ok(path)
+    }
+}
+
+/// Runs `f`, timing it, and returns its result together with a
+/// [`PerfSnapshot`] named `experiment`.
+pub fn measure<T>(experiment: &str, f: impl FnOnce() -> T) -> (T, PerfSnapshot) {
+    let start = Instant::now();
+    let out = f();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let snapshot = PerfSnapshot {
+        experiment: experiment.to_string(),
+        wall_ms,
+        threads: std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+        metrics: Vec::new(),
+        workers: Vec::new(),
+    };
+    (out, snapshot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_wraps_a_run() {
+        let (rows, snap) = measure("toy", || {
+            let (rows, _) = crate::e1_theorem1::run(&[2], 12, 2);
+            rows
+        });
+        assert_eq!(rows.len(), 1);
+        assert!(snap.wall_ms() >= 0.0);
+        assert_eq!(snap.experiment(), "toy");
+    }
+
+    #[test]
+    fn snapshot_serializes_with_metrics_and_workers() {
+        let (items, reports) = dbp_par::par_map_report(&[1u64, 2, 3], |&x| x);
+        let (_, snap) = measure("shape", || items.len());
+        let snap = snap
+            .with_metric("items", Value::Int(3))
+            .with_metric("label", Value::Str("x".into()))
+            .with_workers(&reports);
+        let json = snap.to_json();
+        assert_eq!(json.get("experiment").unwrap().as_str(), Some("shape"));
+        assert_eq!(
+            json.get("metrics").unwrap().get("items"),
+            Some(&Value::Int(3))
+        );
+        let workers = json.get("workers").unwrap().as_array().unwrap();
+        assert_eq!(workers.len(), reports.len());
+        // Round-trips through JSON text.
+        let text = serde_json::to_string(&json).unwrap();
+        assert_eq!(serde_json::parse(&text).unwrap(), json);
+    }
+
+    #[test]
+    fn write_to_emits_bench_file() {
+        let dir = std::env::temp_dir().join("dbp-bench-perf-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (_, snap) = measure("unit_test", || 1 + 1);
+        let path = snap.write_to(&dir).unwrap();
+        assert!(path.ends_with("BENCH_unit_test.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(serde_json::parse(&text).is_ok());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -5,6 +5,8 @@
 //! ```text
 //! mindbp generate --family random --n 100 --mu 4 --seed 7 --out trace.json
 //! mindbp pack     --trace trace.json --algo firstfit --billing hourly
+//! mindbp pack     --trace trace.json --events run.jsonl --metrics run.json
+//! mindbp stats    --trace run.jsonl
 //! mindbp compare  --trace trace.json
 //! mindbp certify  --trace trace.json
 //! mindbp opt      --trace trace.json
@@ -17,12 +19,13 @@
 //! printer.
 
 use dbp_analysis::{certify_first_fit, measure_ratio, TheoremChain};
-use dbp_cloudsim::{simulate, BillingModel};
+use dbp_cloudsim::{simulate, simulate_observed, BillingModel};
 use dbp_core::{
-    run_packing, BestFit, DepartureAlignedFit, FirstFit, HybridFirstFit, Instance, LastFit,
+    run_packing, BestFit, DepartureAlignedFit, FanOut, FirstFit, HybridFirstFit, Instance, LastFit,
     NextFit, PackingAlgorithm, WorstFit,
 };
 use dbp_numeric::Rational;
+use dbp_obs::{chrome_trace, parse_jsonl, EngineMetrics, StepSeries, TraceRecorder};
 use dbp_workloads::adversarial::{
     any_fit_ladder, best_fit_scatter, next_fit_pairs, universal_mu_pairs,
 };
@@ -109,6 +112,11 @@ COMMANDS:
             --out FILE [--n N] [--mu M] [--seed S] [--k K]
   pack      dispatch a trace with one algorithm
             --trace FILE [--algo NAME] [--billing hourly|minute|continuous]
+            [--events FILE]   write a JSONL engine-event trace
+            [--metrics FILE]  write a metrics-registry JSON snapshot
+            [--chrome FILE]   write a Chrome trace-event file (Perfetto)
+  stats     summarize a JSONL event trace written by `pack --events`
+            --trace FILE [--max-rows N]
   compare   dispatch a trace with every algorithm, ranked by cost
             --trace FILE [--billing ...]
   certify   run the IPDPS'16 §IV–§VII certification under First Fit
@@ -173,6 +181,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         "generate" => cmd_generate(&opts),
         "pack" => cmd_pack(&opts),
+        "stats" => cmd_stats(&opts),
         "compare" => cmd_compare(&opts),
         "certify" => cmd_certify(&opts),
         "chain" => cmd_chain(&opts),
@@ -240,12 +249,32 @@ fn cmd_generate(opts: &Opts) -> Result<String, CliError> {
     ))
 }
 
+fn write_file(path: &str, contents: &str) -> Result<(), CliError> {
+    std::fs::write(path, contents).map_err(|e| err(format!("cannot write `{path}`: {e}")))
+}
+
 fn cmd_pack(opts: &Opts) -> Result<String, CliError> {
     let (_, instance) = load(opts)?;
     let mut algo = make_algo_for(opts.get("algo").unwrap_or("firstfit"), &instance)?;
     let billing = make_billing(opts.get("billing").unwrap_or("continuous"))?;
-    let report = simulate(&instance, algo.as_mut(), billing)
-        .map_err(|e| err(format!("packing failed: {e}")))?;
+
+    // `--events`/`--metrics`/`--chrome` attach observers to the run;
+    // without them the unobserved (no-op observer) path is used.
+    let events_out = opts.get("events");
+    let metrics_out = opts.get("metrics");
+    let chrome_out = opts.get("chrome");
+    let observing = events_out.is_some() || metrics_out.is_some() || chrome_out.is_some();
+
+    let mut recorder = TraceRecorder::new();
+    let mut metrics = EngineMetrics::new();
+    let report = if observing {
+        let mut fan = FanOut::new(vec![&mut recorder, &mut metrics]);
+        simulate_observed(&instance, algo.as_mut(), billing, &mut fan)
+    } else {
+        simulate(&instance, algo.as_mut(), billing)
+    }
+    .map_err(|e| err(format!("packing failed: {e}")))?;
+
     let mut out = String::new();
     out.push_str(&format!(
         "{}: {} jobs → {} servers (peak {}), usage {}, billed {} [{}]\n",
@@ -259,6 +288,115 @@ fn cmd_pack(opts: &Opts) -> Result<String, CliError> {
     ));
     if let Some(u) = report.utilization {
         out.push_str(&format!("utilization: {:.3}\n", u.to_f64()));
+    }
+
+    if let Some(path) = events_out {
+        write_file(path, &recorder.to_jsonl())?;
+        out.push_str(&format!(
+            "events: {} trace events → {path}\n",
+            recorder.events().len()
+        ));
+    }
+    if let Some(path) = metrics_out {
+        write_file(path, &metrics.registry().to_json_pretty())?;
+        out.push_str(&format!("metrics: registry snapshot → {path}\n"));
+    }
+    if let Some(path) = chrome_out {
+        let doc = serde_json::to_string(&chrome_trace(recorder.events()))
+            .map_err(|e| err(format!("chrome export failed: {e}")))?;
+        write_file(path, &doc)?;
+        out.push_str(&format!("chrome: trace-event file → {path}\n"));
+    }
+    Ok(out)
+}
+
+fn cmd_stats(opts: &Opts) -> Result<String, CliError> {
+    let path = opts.required("trace")?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| err(format!("cannot read `{path}`: {e}")))?;
+    let events = parse_jsonl(&text).map_err(|e| err(format!("`{path}`: {e}")))?;
+    if events.is_empty() {
+        return Ok("empty trace: no events\n".into());
+    }
+    // StepSeries integrates over time and requires non-decreasing
+    // timestamps; reject a reordered/tampered log up front rather
+    // than panicking inside the integrator.
+    let mut last: Option<Rational> = None;
+    for (i, ev) in events.iter().enumerate() {
+        if let Some(t) = ev.time() {
+            if last.is_some_and(|l| t < l) {
+                return Err(err(format!(
+                    "`{path}`: corrupt trace — time goes backwards at event {}",
+                    i + 1
+                )));
+            }
+            last = Some(t);
+        }
+    }
+
+    let mut out = String::new();
+    let count = |k: &str| events.iter().filter(|e| e.kind() == k).count();
+    out.push_str(&format!(
+        "{path}: {} events ({} arrivals, {} placements, {} departures, {} bins)\n",
+        events.len(),
+        count("arrival"),
+        count("placement"),
+        count("departure"),
+        count("bin_opened"),
+    ));
+
+    match dbp_obs::replay(&events) {
+        Ok(s) => out.push_str(&format!(
+            "replay: OK — usage {}, peak {} open, {} bins opened\n",
+            s.total_usage, s.max_open_bins, s.bins_opened,
+        )),
+        Err(e) => out.push_str(&format!("replay: FAILED — {e}\n")),
+    }
+
+    let series = StepSeries::from_events(&events);
+    if let Some(s) = series.summary() {
+        out.push_str(&format!(
+            "span {}, avg open {}, peak level {}",
+            s.span,
+            s.avg_open_bins
+                .map(|a| format!("{:.3}", a.to_f64()))
+                .unwrap_or_else(|| "-".into()),
+            s.peak_total_level,
+        ));
+        if let Some(u) = s.utilization {
+            out.push_str(&format!(", utilization {:.3}", u.to_f64()));
+        }
+        out.push('\n');
+    }
+
+    // Step time-series table, capped at --max-rows samples.
+    let max_rows = opts.u32_or("max-rows", 24)? as usize;
+    let points = series.points();
+    out.push_str(&format!(
+        "\n{:>12} {:>6} {:>12} {:>8}\n",
+        "t", "open", "level", "util"
+    ));
+    let step = points.len().div_ceil(max_rows.max(1));
+    for p in points.iter().step_by(step.max(1)) {
+        let util = if p.open_bins == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.3}", p.total_level.to_f64() / p.open_bins as f64)
+        };
+        out.push_str(&format!(
+            "{:>12} {:>6} {:>12} {:>8}\n",
+            p.t.to_string(),
+            p.open_bins,
+            p.total_level.to_string(),
+            util,
+        ));
+    }
+    if step > 1 {
+        out.push_str(&format!(
+            "({} of {} samples shown; raise --max-rows for more)\n",
+            points.iter().step_by(step).count(),
+            points.len(),
+        ));
     }
     Ok(out)
 }
@@ -541,6 +679,83 @@ mod tests {
         .unwrap();
         assert!(game.contains("keep-smallest"), "{game}");
         assert!(game.contains("cost: 24"), "{game}"); // kµ = 24
+    }
+
+    #[test]
+    fn pack_emits_observability_files_and_stats_reads_them() {
+        let path = tmp("obs-in.json");
+        let events = tmp("obs-events.jsonl");
+        let metrics = tmp("obs-metrics.json");
+        let chrome = tmp("obs-chrome.json");
+        run(&args(&[
+            "generate", "--family", "random", "--n", "20", "--mu", "3", "--seed", "9", "--out",
+            &path,
+        ]))
+        .unwrap();
+        let packed = run(&args(&[
+            "pack",
+            "--trace",
+            &path,
+            "--algo",
+            "firstfit",
+            "--events",
+            &events,
+            "--metrics",
+            &metrics,
+            "--chrome",
+            &chrome,
+        ]))
+        .unwrap();
+        assert!(packed.contains("trace events"), "{packed}");
+        assert!(packed.contains("registry snapshot"), "{packed}");
+        assert!(packed.contains("trace-event file"), "{packed}");
+
+        // The emitted event log replays cleanly and carries the run.
+        let text = std::fs::read_to_string(&events).unwrap();
+        let parsed = parse_jsonl(&text).unwrap();
+        assert!(dbp_obs::replay(&parsed).is_ok());
+
+        // The metrics snapshot is valid JSON with the core counters.
+        let snap = serde_json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        let counters = snap.get("counters").unwrap();
+        assert_eq!(counters.get("arrivals").unwrap().as_int(), Some(20));
+
+        // The chrome export is valid JSON with a traceEvents array.
+        let doc = serde_json::parse(&std::fs::read_to_string(&chrome).unwrap()).unwrap();
+        assert!(doc.get("traceEvents").unwrap().as_array().is_some());
+
+        // `stats` summarizes the event log.
+        let stats = run(&args(&["stats", "--trace", &events])).unwrap();
+        assert!(stats.contains("20 arrivals"), "{stats}");
+        assert!(stats.contains("replay: OK"), "{stats}");
+        assert!(stats.contains("utilization"), "{stats}");
+
+        for f in [&path, &events, &metrics, &chrome] {
+            std::fs::remove_file(f).unwrap();
+        }
+    }
+
+    #[test]
+    fn stats_rejects_garbage_and_handles_empty() {
+        let bad = tmp("stats-bad.jsonl");
+        std::fs::write(&bad, "not json\n").unwrap();
+        assert!(run(&args(&["stats", "--trace", &bad])).is_err());
+        // Reordered timestamps must be rejected, not panic the
+        // series integrator.
+        std::fs::write(
+            &bad,
+            concat!(
+                "{\"BinOpened\":{\"t\":{\"num\":5,\"den\":1},\"bin\":0}}\n",
+                "{\"BinOpened\":{\"t\":{\"num\":1,\"den\":1},\"bin\":1}}\n",
+            ),
+        )
+        .unwrap();
+        let e = run(&args(&["stats", "--trace", &bad])).unwrap_err();
+        assert!(e.0.contains("time goes backwards"), "{e}");
+        std::fs::write(&bad, "\n\n").unwrap();
+        let out = run(&args(&["stats", "--trace", &bad])).unwrap();
+        assert!(out.contains("empty trace"), "{out}");
+        std::fs::remove_file(&bad).unwrap();
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use crate::billing::BillingModel;
 use crate::report::{CostReport, ServerRecord};
-use dbp_core::{Instance, PackingAlgorithm, PackingError};
+use dbp_core::{EngineObserver, Instance, NoopObserver, PackingAlgorithm, PackingError};
 use dbp_numeric::Rational;
 
 /// Replays the job stream `jobs` against `algo` under `billing`.
@@ -18,7 +18,19 @@ pub fn simulate(
     algo: &mut dyn PackingAlgorithm,
     billing: BillingModel,
 ) -> Result<CostReport, PackingError> {
-    let outcome = dbp_core::run_packing(jobs, algo)?;
+    simulate_observed(jobs, algo, billing, &mut NoopObserver)
+}
+
+/// [`simulate`] with an [`EngineObserver`] attached to the underlying
+/// packing run — every dispatch decision streams through `observer`
+/// before the report is assembled.
+pub fn simulate_observed(
+    jobs: &Instance,
+    algo: &mut dyn PackingAlgorithm,
+    billing: BillingModel,
+    observer: &mut dyn EngineObserver,
+) -> Result<CostReport, PackingError> {
+    let outcome = dbp_core::run_packing_observed(jobs, algo, observer)?;
 
     let mut servers = Vec::with_capacity(outcome.bins().len());
     let mut billed_total = Rational::ZERO;
@@ -140,6 +152,62 @@ mod tests {
         assert_eq!(r.billed_time, Rational::ZERO);
         assert_eq!(r.billing_overhead(), None);
         assert!(r.open_series.is_empty());
+    }
+
+    #[test]
+    fn equal_time_rental_end_and_start_merge_in_open_series() {
+        // A full-size job forces its server closed at t=10, and the
+        // next full-size job arrives exactly then. Closed servers
+        // never reopen, so a second server starts at the same instant
+        // the first one ends: the step series must merge the two
+        // endpoint deltas into one entry (end applied before start)
+        // rather than dipping to 0 at t=10.
+        let stream = Instance::builder()
+            .item(rat(1, 1), rat(0, 1), rat(10, 1))
+            .item(rat(1, 1), rat(10, 1), rat(20, 1))
+            .build()
+            .unwrap();
+        let r = simulate(&stream, &mut FirstFit::new(), BillingModel::Continuous).unwrap();
+        assert_eq!(r.servers_used, 2);
+        assert_eq!(r.peak_servers, 1);
+        assert_eq!(
+            r.open_series,
+            vec![
+                (rat(0, 1), 1),
+                (rat(10, 1), 1), // merged: -1 (end) then +1 (start)
+                (rat(20, 1), 0),
+            ]
+        );
+        assert_eq!(r.open_at(rat(10, 1)), 1);
+    }
+
+    #[test]
+    fn degenerate_outcomes_utilization_and_mean_level() {
+        // Empty run: no usage, so utilization is undefined.
+        let empty = Instance::new(vec![]).unwrap();
+        let out = dbp_core::run_packing(&empty, &mut FirstFit::new()).unwrap();
+        assert_eq!(out.utilization(), None);
+        assert!(out.bins().is_empty());
+
+        // Single item: the bin's mean level is exactly the item size,
+        // and the run's utilization equals it.
+        let single = Instance::builder()
+            .item(rat(1, 3), rat(0, 1), rat(7, 1))
+            .build()
+            .unwrap();
+        let out = dbp_core::run_packing(&single, &mut FirstFit::new()).unwrap();
+        assert_eq!(out.bins().len(), 1);
+        assert_eq!(out.bins()[0].mean_level(), Some(rat(1, 3)));
+        assert_eq!(out.utilization(), Some(rat(1, 3)));
+
+        // Perfectly packed run: utilization is exactly 1.
+        let full = Instance::builder()
+            .item(rat(1, 1), rat(0, 1), rat(5, 1))
+            .build()
+            .unwrap();
+        let out = dbp_core::run_packing(&full, &mut FirstFit::new()).unwrap();
+        assert_eq!(out.utilization(), Some(Rational::ONE));
+        assert_eq!(out.bins()[0].mean_level(), Some(Rational::ONE));
     }
 
     #[test]

@@ -41,12 +41,12 @@ pub mod dispatcher;
 pub mod report;
 
 pub use billing::BillingModel;
-pub use dispatcher::simulate;
+pub use dispatcher::{simulate, simulate_observed};
 pub use report::{CostReport, ServerRecord};
 
 /// One-stop imports.
 pub mod prelude {
     pub use crate::billing::BillingModel;
-    pub use crate::dispatcher::simulate;
+    pub use crate::dispatcher::{simulate, simulate_observed};
     pub use crate::report::CostReport;
 }

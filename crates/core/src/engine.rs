@@ -15,6 +15,7 @@
 use crate::algo::{ArrivalView, PackingAlgorithm, Placement};
 use crate::bin::{BinId, BinSnapshot, OpenBin};
 use crate::item::{Instance, ItemId};
+use crate::observe::{EngineObserver, NoopObserver};
 use dbp_numeric::{Interval, Rational};
 use dbp_simcore::{EventClass, EventQueue};
 use serde::{Deserialize, Serialize};
@@ -251,6 +252,20 @@ impl PackingEngine {
         size: Rational,
         time: Rational,
     ) -> Result<BinId, PackingError> {
+        self.arrive_observed(algo, &mut NoopObserver, item, size, time)
+    }
+
+    /// [`arrive`](Self::arrive) with instrumentation: `obs` sees the
+    /// arrival (pre-decision) and the validated placement
+    /// (pre-application). Invalid decisions error out unobserved.
+    pub fn arrive_observed(
+        &mut self,
+        algo: &mut dyn PackingAlgorithm,
+        obs: &mut dyn EngineObserver,
+        item: ItemId,
+        size: Rational,
+        time: Rational,
+    ) -> Result<BinId, PackingError> {
         self.check_time(time)?;
         if self.active.iter().any(|(r, _, _)| *r == item) {
             return Err(PackingError::DuplicateItem(item));
@@ -258,6 +273,7 @@ impl PackingEngine {
         let arrival = ArrivalView { item, size, time };
         let placement = {
             let snap = BinSnapshot::new(&self.open);
+            obs.on_arrival(&arrival, &snap);
             algo.place(&arrival, &snap)
         };
         let (bin_id, new_bin) = match placement {
@@ -266,14 +282,18 @@ impl PackingEngine {
                     .open
                     .binary_search_by(|b| b.id.cmp(&bin_id))
                     .map_err(|_| PackingError::NoSuchBin(bin_id))?;
-                let (open, live) = (&mut self.open[idx], &mut self.live[idx]);
-                if !open.fits(size) {
+                if !self.open[idx].fits(size) {
                     return Err(PackingError::Infeasible {
                         bin: bin_id,
-                        level: open.level,
+                        level: self.open[idx].level,
                         size,
                     });
                 }
+                {
+                    let snap = BinSnapshot::new(&self.open);
+                    obs.on_placement(&arrival, &snap, bin_id, false);
+                }
+                let (open, live) = (&mut self.open[idx], &mut self.live[idx]);
                 Self::advance_bin_clock(open, live, time);
                 open.level += size;
                 open.contents.push((item, size));
@@ -285,6 +305,11 @@ impl PackingEngine {
             }
             Placement::OpenNew => {
                 let bin_id = BinId(self.next_bin);
+                {
+                    let snap = BinSnapshot::new(&self.open);
+                    obs.on_placement(&arrival, &snap, bin_id, true);
+                }
+                obs.on_bin_opened(bin_id, time);
                 self.next_bin += 1;
                 self.open.push(OpenBin {
                     id: bin_id,
@@ -315,6 +340,19 @@ impl PackingEngine {
     pub fn depart(
         &mut self,
         algo: &mut dyn PackingAlgorithm,
+        item: ItemId,
+        time: Rational,
+    ) -> Result<BinId, PackingError> {
+        self.depart_observed(algo, &mut NoopObserver, item, time)
+    }
+
+    /// [`depart`](Self::depart) with instrumentation: `obs` sees the
+    /// departure (post-application) and, if the bin emptied, its
+    /// complete closing record.
+    pub fn depart_observed(
+        &mut self,
+        algo: &mut dyn PackingAlgorithm,
+        obs: &mut dyn EngineObserver,
         item: ItemId,
         time: Rational,
     ) -> Result<BinId, PackingError> {
@@ -354,8 +392,10 @@ impl PackingEngine {
         }
         {
             let snap = BinSnapshot::new(&self.open);
+            obs.on_departure(item, bin_id, size, time, &snap);
             algo.on_departure(item, bin_id, time, &snap);
             if closed_now {
+                obs.on_bin_closed(self.closed.last().expect("bin record just pushed"));
                 algo.on_bin_closed(bin_id, time);
             }
         }
@@ -364,7 +404,17 @@ impl PackingEngine {
 
     /// Finalizes the run. Fails if items are still active (every
     /// validated instance drains completely when replayed).
-    pub fn finish(mut self, algorithm: &str) -> Result<PackingOutcome, PackingError> {
+    pub fn finish(self, algorithm: &str) -> Result<PackingOutcome, PackingError> {
+        self.finish_observed(algorithm, &mut NoopObserver)
+    }
+
+    /// [`finish`](Self::finish) with instrumentation: `obs` sees the
+    /// assembled outcome before it is returned.
+    pub fn finish_observed(
+        mut self,
+        algorithm: &str,
+        obs: &mut dyn EngineObserver,
+    ) -> Result<PackingOutcome, PackingError> {
         if !self.active.is_empty() {
             return Err(PackingError::ItemsStillActive(self.active.len()));
         }
@@ -372,13 +422,15 @@ impl PackingEngine {
         self.closed.sort_by_key(|b| b.id);
         self.assignments.sort_by_key(|&(r, _)| r);
         let total_usage = self.closed.iter().map(|b| b.usage.len()).sum();
-        Ok(PackingOutcome {
+        let outcome = PackingOutcome {
             algorithm: algorithm.to_string(),
             bins: self.closed,
             assignments: self.assignments,
             total_usage,
             max_open_bins: self.max_open,
-        })
+        };
+        obs.on_run_finished(&outcome);
+        Ok(outcome)
     }
 }
 
@@ -400,6 +452,18 @@ pub fn run_packing(
     instance: &Instance,
     algo: &mut dyn PackingAlgorithm,
 ) -> Result<PackingOutcome, PackingError> {
+    run_packing_observed(instance, algo, &mut NoopObserver)
+}
+
+/// [`run_packing`] with instrumentation: every engine event is also
+/// reported to `obs` (see [`EngineObserver`] for the exact firing
+/// points). The unobserved wrapper routes through the zero-sized
+/// [`NoopObserver`], so plain callers pay nothing.
+pub fn run_packing_observed(
+    instance: &Instance,
+    algo: &mut dyn PackingAlgorithm,
+    obs: &mut dyn EngineObserver,
+) -> Result<PackingOutcome, PackingError> {
     algo.reset();
     let mut queue: EventQueue<Ev> = EventQueue::with_capacity(instance.len() * 2);
     for item in instance.items() {
@@ -411,14 +475,14 @@ pub fn run_packing(
         match ev.payload {
             Ev::Arrive(id) => {
                 let size = instance.item(id).size;
-                engine.arrive(algo, id, size, ev.time)?;
+                engine.arrive_observed(algo, obs, id, size, ev.time)?;
             }
             Ev::Depart(id) => {
-                engine.depart(algo, id, ev.time)?;
+                engine.depart_observed(algo, obs, id, ev.time)?;
             }
         }
     }
-    engine.finish(&algo.name())
+    engine.finish_observed(&algo.name(), obs)
 }
 
 #[cfg(test)]
@@ -454,10 +518,11 @@ mod tests {
 
     #[test]
     fn bin_reuse_at_departure_instant() {
-        // Item 0 on [0,1), item 1 (full size) on [1,2): the departure
-        // at t=1 frees the bin before the arrival at t=1, so First
-        // Fit... opens bin 0 is closed at t=1, so a NEW bin is opened
-        // (closed bins never reopen). Two bins, usage 1 each.
+        // Item 0 on [0,1), item 1 (full size) on [1,2). Intervals are
+        // half-open, so the departure at t=1 is processed before the
+        // arrival at t=1: bin 0 empties and closes, and since closed
+        // bins never reopen, First Fit must open a NEW bin for item 1.
+        // Two bins, usage 1 each.
         let i = inst(&[(1, 1, 0, 1), (1, 1, 1, 2)]);
         let out = run_packing(&i, &mut FirstFit::new()).unwrap();
         assert_eq!(out.bins_opened(), 2);

@@ -28,6 +28,9 @@
 //! * [`engine`] — the event-driven online packing engine; enforces
 //!   feasibility, hides departures from the algorithm until they
 //!   happen, and produces a complete [`engine::PackingOutcome`].
+//! * [`observe`] — passive instrumentation hooks
+//!   ([`observe::EngineObserver`]) through which tracing and metrics
+//!   (the `dbp-obs` crate) watch a run without influencing it.
 //! * [`algo`] — the algorithm zoo: **First Fit** (the paper's
 //!   subject, Theorem 1: `(µ+4)`-competitive), Best Fit, Worst Fit,
 //!   Last Fit, Random Fit (the Any-Fit family, §I), **Next Fit**
@@ -58,14 +61,18 @@ pub mod algo;
 pub mod bin;
 pub mod engine;
 pub mod item;
+pub mod observe;
 
 pub use algo::{
     AnyFit, BestFit, DepartureAlignedFit, FirstFit, FitPolicy, HybridFirstFit, LastFit,
     MarginalCostFit, NextFit, PackingAlgorithm, Placement, RandomFit, Scripted, WorstFit,
 };
 pub use bin::{BinId, BinSnapshot, OpenBin};
-pub use engine::{run_packing, BinRecord, PackingEngine, PackingError, PackingOutcome};
+pub use engine::{
+    run_packing, run_packing_observed, BinRecord, PackingEngine, PackingError, PackingOutcome,
+};
 pub use item::{Instance, InstanceBuilder, InstanceError, InstanceStats, Item, ItemId};
+pub use observe::{EngineObserver, FanOut, NoopObserver};
 
 /// One-stop imports for downstream crates and examples.
 pub mod prelude {
@@ -74,6 +81,7 @@ pub mod prelude {
         RandomFit, WorstFit,
     };
     pub use crate::bin::{BinId, BinSnapshot, OpenBin};
-    pub use crate::engine::{run_packing, PackingEngine, PackingOutcome};
+    pub use crate::engine::{run_packing, run_packing_observed, PackingEngine, PackingOutcome};
     pub use crate::item::{Instance, Item, ItemId};
+    pub use crate::observe::{EngineObserver, NoopObserver};
 }

@@ -26,8 +26,7 @@ use std::str::FromStr;
 /// assert!(half > third);
 /// assert_eq!((half * third).to_string(), "1/6");
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[serde(from = "RawRational", into = "RawRational")]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Rational {
     num: i128,
     den: i128,
@@ -35,10 +34,27 @@ pub struct Rational {
 
 /// Serde shadow type: re-normalizes on deserialization so that
 /// hand-written trace files cannot violate the reduced-form invariant.
+///
+/// The conversion is hand-written (the vendored offline `serde_derive`
+/// does not implement container-level `#[serde(from/into)]`), but the
+/// wire format is identical to the derived one: `{"num": n, "den": d}`
+/// with both legs carried as exact `i128`.
 #[derive(Serialize, Deserialize)]
 struct RawRational {
     num: i128,
     den: i128,
+}
+
+impl Serialize for Rational {
+    fn to_value(&self) -> serde::Value {
+        RawRational::from(*self).to_value()
+    }
+}
+
+impl Deserialize for Rational {
+    fn from_value(v: &serde::Value) -> Result<Rational, serde::Error> {
+        RawRational::from_value(v).map(Rational::from)
+    }
 }
 
 impl From<RawRational> for Rational {

@@ -1,0 +1,423 @@
+//! The metrics registry and the engine metrics observer.
+//!
+//! [`MetricsRegistry`] is a small, dependency-free metrics surface:
+//! monotone counters, last-write-wins gauges, exact time-weighted
+//! signals (on [`dbp_simcore::TimeWeighted`]), and log₂-bucketed
+//! histograms for wall-clock and scan-length samples. Everything
+//! snapshots to a single JSON object with stable key order, so
+//! snapshots diff cleanly across runs.
+//!
+//! [`EngineMetrics`] is an [`EngineObserver`] that populates a
+//! registry with the standard engine signals: event counts and
+//! events/sec, placement scan lengths, bins opened vs reused, and the
+//! time-weighted open-bin count.
+
+use dbp_core::algo::ArrivalView;
+use dbp_core::{BinId, BinRecord, BinSnapshot, EngineObserver, ItemId, PackingOutcome};
+use dbp_numeric::Rational;
+use dbp_simcore::TimeWeighted;
+use serde::Value;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Log₂-bucketed histogram of non-negative `f64` samples.
+///
+/// Bucket `i` holds samples in `(2^(i-1), 2^i]` (bucket 0 holds
+/// `[0, 1]`), which spans nanoseconds to minutes in 64 buckets —
+/// coarse, but allocation-bounded and plenty for latency shapes.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    buckets: BTreeMap<u32, u64>,
+}
+
+impl Histogram {
+    /// Records one sample (negative samples clamp to 0).
+    pub fn observe(&mut self, sample: f64) {
+        let v = sample.max(0.0);
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        let bucket = if v <= 1.0 {
+            0
+        } else {
+            // ceil(log2(v)), capped to keep the map bounded.
+            (v.log2().ceil() as u32).min(63)
+        };
+        *self.buckets.entry(bucket).or_insert(0) += 1;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Largest sample (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    fn snapshot(&self) -> Value {
+        let buckets = self
+            .buckets
+            .iter()
+            .map(|(b, n)| {
+                Value::Object(vec![
+                    ("le".into(), Value::Float(2f64.powi(*b as i32))),
+                    ("count".into(), Value::Int(*n as i128)),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("count".into(), Value::Int(self.count as i128)),
+            ("sum".into(), Value::Float(self.sum)),
+            ("min".into(), Value::Float(self.min)),
+            ("max".into(), Value::Float(self.max)),
+            ("mean".into(), self.mean().map_or(Value::Null, Value::Float)),
+            ("buckets".into(), Value::Array(buckets)),
+        ])
+    }
+}
+
+/// Counters, gauges, time-weighted signals, and histograms under
+/// string names, with a deterministic JSON snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    weighted: BTreeMap<String, TimeWeighted>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Increments counter `name` by 1.
+    pub fn inc(&mut self, name: &str) {
+        self.inc_by(name, 1);
+    }
+
+    /// Increments counter `name` by `by`.
+    pub fn inc_by(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets gauge `name` (last write wins).
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Updates the exact time-weighted signal `name` to `value` at
+    /// simulated time `t` (the first call starts the window).
+    pub fn track(&mut self, name: &str, t: Rational, value: Rational) {
+        match self.weighted.get_mut(name) {
+            Some(w) => w.set(t, value),
+            None => {
+                self.weighted
+                    .insert(name.to_string(), TimeWeighted::starting_at(t, value));
+            }
+        }
+    }
+
+    /// The time-weighted signal `name`, if tracked.
+    pub fn tracked(&self, name: &str) -> Option<&TimeWeighted> {
+        self.weighted.get(name)
+    }
+
+    /// Records a histogram sample.
+    pub fn observe(&mut self, name: &str, sample: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(sample);
+    }
+
+    /// The histogram `name`, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Times `f`, recording the wall-clock duration in nanoseconds
+    /// into histogram `name`, and returns `f`'s result.
+    pub fn time<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.observe(name, start.elapsed().as_nanos() as f64);
+        out
+    }
+
+    /// Snapshots everything into one JSON object:
+    /// `{counters, gauges, time_weighted, histograms}` with sorted
+    /// keys throughout.
+    pub fn snapshot(&self) -> Value {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::Int(*v as i128)))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::Float(*v)))
+            .collect();
+        let weighted = self
+            .weighted
+            .iter()
+            .map(|(k, w)| {
+                let avg = w.time_average();
+                (
+                    k.clone(),
+                    Value::Object(vec![
+                        (
+                            "time_average".into(),
+                            avg.map_or(Value::Null, |a| Value::Float(a.to_f64())),
+                        ),
+                        ("max".into(), Value::Float(w.max().to_f64())),
+                        ("min".into(), Value::Float(w.min().to_f64())),
+                        ("integral".into(), serde_json::to_value(&w.integral())),
+                    ]),
+                )
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect();
+        Value::Object(vec![
+            ("counters".into(), Value::Object(counters)),
+            ("gauges".into(), Value::Object(gauges)),
+            ("time_weighted".into(), Value::Object(weighted)),
+            ("histograms".into(), Value::Object(histograms)),
+        ])
+    }
+
+    /// Pretty-printed JSON snapshot.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(&self.snapshot()).expect("snapshot always serializes")
+    }
+}
+
+/// An [`EngineObserver`] that fills a [`MetricsRegistry`] with the
+/// standard engine signals.
+///
+/// Counters: `arrivals`, `departures`, `placements`, `bins_opened`,
+/// `bins_reused`, `bins_closed`, `events`. Histogram `scan_length`
+/// (bins inspected per placement, in opening order) and
+/// `event_gap_ns` (wall-clock between consecutive events).
+/// Time-weighted signal `open_bins` over simulated time. Gauges
+/// `wall_seconds` and `events_per_sec`, set when the run finishes.
+#[derive(Debug)]
+pub struct EngineMetrics {
+    registry: MetricsRegistry,
+    started: Instant,
+    last_event: Instant,
+    events: u64,
+}
+
+impl Default for EngineMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EngineMetrics {
+    /// Creates a fresh collector; the wall clock starts now.
+    pub fn new() -> EngineMetrics {
+        let now = Instant::now();
+        EngineMetrics {
+            registry: MetricsRegistry::new(),
+            started: now,
+            last_event: now,
+            events: 0,
+        }
+    }
+
+    /// The underlying registry.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Consumes the collector, returning the registry.
+    pub fn into_registry(self) -> MetricsRegistry {
+        self.registry
+    }
+
+    fn tick(&mut self) {
+        let now = Instant::now();
+        self.registry.observe(
+            "event_gap_ns",
+            now.duration_since(self.last_event).as_nanos() as f64,
+        );
+        self.last_event = now;
+        self.events += 1;
+        self.registry.inc("events");
+    }
+}
+
+impl EngineObserver for EngineMetrics {
+    fn on_arrival(&mut self, _arrival: &ArrivalView, _bins: &BinSnapshot<'_>) {
+        self.tick();
+        self.registry.inc("arrivals");
+    }
+
+    fn on_placement(
+        &mut self,
+        arrival: &ArrivalView,
+        bins: &BinSnapshot<'_>,
+        chosen: BinId,
+        opened_new: bool,
+    ) {
+        self.registry.inc("placements");
+        let scanned = if opened_new {
+            bins.len()
+        } else {
+            bins.open_bins()
+                .iter()
+                .position(|b| b.id == chosen)
+                .map_or(bins.len(), |p| p + 1)
+        };
+        self.registry.observe("scan_length", scanned as f64);
+        if !opened_new {
+            self.registry.inc("bins_reused");
+        }
+        let _ = arrival;
+    }
+
+    fn on_bin_opened(&mut self, _bin: BinId, time: Rational) {
+        self.registry.inc("bins_opened");
+        let open = self.registry.counter("bins_opened") - self.registry.counter("bins_closed");
+        self.registry
+            .track("open_bins", time, Rational::from_int(open as i128));
+    }
+
+    fn on_departure(
+        &mut self,
+        _item: ItemId,
+        _bin: BinId,
+        _size: Rational,
+        _time: Rational,
+        _bins: &BinSnapshot<'_>,
+    ) {
+        self.tick();
+        self.registry.inc("departures");
+    }
+
+    fn on_bin_closed(&mut self, record: &BinRecord) {
+        self.registry.inc("bins_closed");
+        let open = self.registry.counter("bins_opened") - self.registry.counter("bins_closed");
+        self.registry.track(
+            "open_bins",
+            record.usage.hi(),
+            Rational::from_int(open as i128),
+        );
+    }
+
+    fn on_run_finished(&mut self, outcome: &PackingOutcome) {
+        let wall = self.started.elapsed().as_secs_f64();
+        self.registry.set_gauge("wall_seconds", wall);
+        if wall > 0.0 {
+            self.registry
+                .set_gauge("events_per_sec", self.events as f64 / wall);
+        }
+        self.registry
+            .set_gauge("total_usage", outcome.total_usage().to_f64());
+        self.registry
+            .set_gauge("max_open_bins", outcome.max_open_bins() as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_core::{run_packing_observed, FirstFit, Instance};
+    use dbp_numeric::rat;
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::default();
+        for v in [0.5, 1.0, 3.0, 100.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), Some(100.0));
+        assert!((h.mean().unwrap() - 26.125).abs() < 1e-9);
+        // 0.5 and 1.0 land in bucket 0; 3.0 in 2 (le 4); 100 in 7 (le 128).
+        assert_eq!(h.buckets.get(&0), Some(&2));
+        assert_eq!(h.buckets.get(&2), Some(&1));
+        assert_eq!(h.buckets.get(&7), Some(&1));
+    }
+
+    #[test]
+    fn registry_snapshot_structure() {
+        let mut m = MetricsRegistry::new();
+        m.inc("a");
+        m.inc_by("a", 2);
+        m.set_gauge("g", 1.5);
+        m.track("w", rat(0, 1), rat(1, 1));
+        m.track("w", rat(2, 1), rat(3, 1));
+        let answer = m.time("t_ns", || 7);
+        assert_eq!(answer, 7);
+        assert_eq!(m.counter("a"), 3);
+        assert_eq!(m.gauge("g"), Some(1.5));
+        assert_eq!(m.tracked("w").unwrap().integral(), rat(2, 1));
+        let snap = m.snapshot();
+        assert_eq!(snap.get("counters").unwrap().get("a"), Some(&Value::Int(3)));
+        assert!(snap.get("histograms").unwrap().get("t_ns").is_some());
+        // Snapshot text parses back as JSON.
+        assert!(serde_json::parse(&m.to_json_pretty()).is_ok());
+    }
+
+    #[test]
+    fn engine_metrics_collects_standard_signals() {
+        let jobs = Instance::builder()
+            .item(rat(1, 2), rat(0, 1), rat(2, 1))
+            .item(rat(3, 4), rat(0, 1), rat(3, 1))
+            .item(rat(1, 4), rat(1, 1), rat(2, 1))
+            .build()
+            .unwrap();
+        let mut em = EngineMetrics::new();
+        let out = run_packing_observed(&jobs, &mut FirstFit::new(), &mut em).unwrap();
+        let m = em.registry();
+        assert_eq!(m.counter("arrivals"), 3);
+        assert_eq!(m.counter("departures"), 3);
+        assert_eq!(m.counter("placements"), 3);
+        assert_eq!(m.counter("bins_opened"), out.bins_opened() as u64);
+        assert_eq!(m.counter("bins_closed"), out.bins_opened() as u64);
+        assert_eq!(m.counter("bins_reused"), 1);
+        assert_eq!(m.histogram("scan_length").unwrap().count(), 3);
+        // ∫ open_bins dt over the run equals total usage.
+        assert_eq!(
+            m.tracked("open_bins").unwrap().integral(),
+            out.total_usage()
+        );
+        assert!(m.gauge("wall_seconds").unwrap() >= 0.0);
+    }
+}

@@ -1,0 +1,292 @@
+//! Replay verification: re-derive the run's aggregates from the raw
+//! event log and check them against the engine's outcome bit-for-bit.
+//!
+//! This is the trust anchor of the tracing layer: if a trace was
+//! recorded, written to JSONL, parsed back, and still reproduces
+//! `total_usage` and `max_open_bins` as **identical rationals**, the
+//! whole pipeline — observer hooks, serialization, parsing — is
+//! loss-free.
+
+use crate::trace::TraceEvent;
+use dbp_core::{BinId, PackingOutcome};
+use dbp_numeric::Rational;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A trace that cannot be replayed, or disagrees with the outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The event stream is internally inconsistent (e.g. a close
+    /// without a matching open).
+    Corrupt(String),
+    /// A re-derived aggregate differs from the reported one.
+    Mismatch {
+        /// Which aggregate disagreed.
+        field: &'static str,
+        /// Value derived from the event log.
+        derived: String,
+        /// Value reported by the outcome (or `RunFinished` event).
+        reported: String,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::Corrupt(msg) => write!(f, "corrupt trace: {msg}"),
+            ReplayError::Mismatch {
+                field,
+                derived,
+                reported,
+            } => write!(
+                f,
+                "replay mismatch on {field}: derived {derived}, reported {reported}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Aggregates re-derived from an event log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplaySummary {
+    /// `Σ_k |U_k|` summed from bin open/close pairs.
+    pub total_usage: Rational,
+    /// Peak concurrency of open bins.
+    pub max_open_bins: usize,
+    /// Bins ever opened.
+    pub bins_opened: usize,
+    /// Arrivals seen.
+    pub arrivals: usize,
+    /// Departures seen.
+    pub departures: usize,
+}
+
+/// Re-derives the run's aggregates from `events` alone.
+///
+/// Checks internal consistency along the way (open/close pairing,
+/// agreement of `BinClosed.opened_at` with the observed opening time,
+/// every bin closed by the end) and, when the stream carries a
+/// `RunFinished` record, cross-checks the derived aggregates against
+/// it.
+pub fn replay(events: &[TraceEvent]) -> Result<ReplaySummary, ReplayError> {
+    let mut opened_at: BTreeMap<BinId, Rational> = BTreeMap::new();
+    let mut total_usage = Rational::ZERO;
+    let mut max_open = 0usize;
+    let mut bins_opened = 0usize;
+    let mut arrivals = 0usize;
+    let mut departures = 0usize;
+
+    for ev in events {
+        match ev {
+            TraceEvent::Arrival { .. } => arrivals += 1,
+            TraceEvent::Departure { .. } => departures += 1,
+            TraceEvent::Placement { .. } => {}
+            TraceEvent::BinOpened { t, bin } => {
+                if opened_at.insert(*bin, *t).is_some() {
+                    return Err(ReplayError::Corrupt(format!("bin {bin} opened twice")));
+                }
+                bins_opened += 1;
+                max_open = max_open.max(opened_at.len());
+            }
+            TraceEvent::BinClosed {
+                t,
+                bin,
+                opened_at: recorded_open,
+                ..
+            } => {
+                let open_t = opened_at.remove(bin).ok_or_else(|| {
+                    ReplayError::Corrupt(format!("bin {bin} closed but never opened"))
+                })?;
+                if open_t != *recorded_open {
+                    return Err(ReplayError::Corrupt(format!(
+                        "bin {bin}: opened at {open_t} but close record says {recorded_open}"
+                    )));
+                }
+                if *t < open_t {
+                    return Err(ReplayError::Corrupt(format!(
+                        "bin {bin}: closes at {t} before opening at {open_t}"
+                    )));
+                }
+                total_usage += *t - open_t;
+            }
+            TraceEvent::RunFinished { .. } => {}
+        }
+    }
+    if let Some((bin, _)) = opened_at.iter().next() {
+        return Err(ReplayError::Corrupt(format!("bin {bin} never closed")));
+    }
+
+    let summary = ReplaySummary {
+        total_usage,
+        max_open_bins: max_open,
+        bins_opened,
+        arrivals,
+        departures,
+    };
+
+    // Cross-check the trailing RunFinished record, if present.
+    if let Some(TraceEvent::RunFinished {
+        total_usage: reported_usage,
+        max_open_bins: reported_max,
+        bins_opened: reported_bins,
+        ..
+    }) = events
+        .iter()
+        .find(|e| matches!(e, TraceEvent::RunFinished { .. }))
+    {
+        check_rat("total_usage", summary.total_usage, *reported_usage)?;
+        check_usize("max_open_bins", summary.max_open_bins, *reported_max)?;
+        check_usize("bins_opened", summary.bins_opened, *reported_bins)?;
+    }
+    Ok(summary)
+}
+
+/// Replays `events` and checks the derived aggregates against
+/// `outcome` **bit-for-bit** (exact `Rational` equality, not an
+/// epsilon comparison).
+pub fn verify(
+    events: &[TraceEvent],
+    outcome: &PackingOutcome,
+) -> Result<ReplaySummary, ReplayError> {
+    let summary = replay(events)?;
+    check_rat("total_usage", summary.total_usage, outcome.total_usage())?;
+    check_usize(
+        "max_open_bins",
+        summary.max_open_bins,
+        outcome.max_open_bins(),
+    )?;
+    check_usize("bins_opened", summary.bins_opened, outcome.bins_opened())?;
+    Ok(summary)
+}
+
+fn check_rat(
+    field: &'static str,
+    derived: Rational,
+    reported: Rational,
+) -> Result<(), ReplayError> {
+    if derived != reported {
+        return Err(ReplayError::Mismatch {
+            field,
+            derived: derived.to_string(),
+            reported: reported.to_string(),
+        });
+    }
+    Ok(())
+}
+
+fn check_usize(field: &'static str, derived: usize, reported: usize) -> Result<(), ReplayError> {
+    if derived != reported {
+        return Err(ReplayError::Mismatch {
+            field,
+            derived: derived.to_string(),
+            reported: reported.to_string(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{events_to_jsonl, parse_jsonl, TraceRecorder};
+    use dbp_core::{run_packing_observed, BestFit, FirstFit, Instance, PackingAlgorithm};
+    use dbp_numeric::rat;
+
+    fn sample() -> Instance {
+        Instance::builder()
+            .item(rat(1, 2), rat(0, 1), rat(2, 1))
+            .item(rat(3, 4), rat(0, 1), rat(3, 1))
+            .item(rat(1, 4), rat(1, 1), rat(2, 1))
+            .item(rat(1, 3), rat(5, 2), rat(7, 2))
+            .build()
+            .unwrap()
+    }
+
+    fn run(algo: &mut dyn PackingAlgorithm) -> (Vec<TraceEvent>, dbp_core::PackingOutcome) {
+        let mut rec = TraceRecorder::new();
+        let out = run_packing_observed(&sample(), algo, &mut rec).unwrap();
+        (rec.into_events(), out)
+    }
+
+    #[test]
+    fn verify_round_trip_through_jsonl() {
+        for algo in [
+            &mut FirstFit::new() as &mut dyn PackingAlgorithm,
+            &mut BestFit::new(),
+        ] {
+            let (events, out) = run(algo);
+            // Direct verification.
+            let s = verify(&events, &out).unwrap();
+            assert_eq!(s.arrivals, 4);
+            assert_eq!(s.departures, 4);
+            // And through the serialized form: still bit-identical.
+            let parsed = parse_jsonl(&events_to_jsonl(&events)).unwrap();
+            let s2 = verify(&parsed, &out).unwrap();
+            assert_eq!(s, s2);
+        }
+    }
+
+    #[test]
+    fn tampered_usage_is_caught() {
+        let (mut events, out) = run(&mut FirstFit::new());
+        // Shift one bin's close time: usage changes, replay must notice
+        // the disagreement with the outcome (drop RunFinished so the
+        // internal cross-check doesn't fire first).
+        events.retain(|e| !matches!(e, TraceEvent::RunFinished { .. }));
+        for ev in &mut events {
+            if let TraceEvent::BinClosed { t, .. } = ev {
+                *t += rat(1, 7);
+                break;
+            }
+        }
+        let err = verify(&events, &out).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ReplayError::Mismatch {
+                    field: "total_usage",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn corrupt_streams_are_rejected() {
+        let open = TraceEvent::BinOpened {
+            t: rat(0, 1),
+            bin: dbp_core::BinId(0),
+        };
+        // Never closed.
+        assert!(matches!(
+            replay(std::slice::from_ref(&open)),
+            Err(ReplayError::Corrupt(_))
+        ));
+        // Closed twice / closed without open.
+        let close = TraceEvent::BinClosed {
+            t: rat(1, 1),
+            bin: dbp_core::BinId(1),
+            opened_at: rat(0, 1),
+            level_integral: rat(1, 2),
+            peak_level: rat(1, 2),
+            items: 1,
+        };
+        assert!(matches!(replay(&[close]), Err(ReplayError::Corrupt(_))));
+        // Close time disagreeing with the recorded opening.
+        let bad_close = TraceEvent::BinClosed {
+            t: rat(2, 1),
+            bin: dbp_core::BinId(0),
+            opened_at: rat(1, 2),
+            level_integral: rat(1, 2),
+            peak_level: rat(1, 2),
+            items: 1,
+        };
+        assert!(matches!(
+            replay(&[open, bad_close]),
+            Err(ReplayError::Corrupt(_))
+        ));
+    }
+}

@@ -1,0 +1,217 @@
+//! Step time-series derived from an event trace.
+//!
+//! A [`StepSeries`] replays a [`TraceEvent`] stream into exact step
+//! functions of time — open-bin count, total packed level, per-bin
+//! levels — integrated with [`dbp_simcore::TimeWeighted`]. Because
+//! every quantity is a [`Rational`], the series' aggregate identities
+//! hold exactly: `∫ open(t) dt` equals the run's `total_usage`, and
+//! `∫ level(t) dt / ∫ open(t) dt` equals the outcome's utilization.
+
+use crate::trace::TraceEvent;
+use dbp_core::BinId;
+use dbp_numeric::Rational;
+use dbp_simcore::TimeWeighted;
+use std::collections::BTreeMap;
+
+/// One sample of the step series, taken after an event was applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeriesPoint {
+    /// Event time.
+    pub t: Rational,
+    /// Open bins after the event.
+    pub open_bins: usize,
+    /// Total packed level (sum of open-bin levels) after the event.
+    pub total_level: Rational,
+}
+
+/// Aggregate view of a series, for summary tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeriesSummary {
+    /// Length of the observed window (first event to last event).
+    pub span: Rational,
+    /// `∫ open(t) dt` — equals the run's `total_usage`.
+    pub usage_integral: Rational,
+    /// Time-averaged open-bin count (`None` on a zero-length window).
+    pub avg_open_bins: Option<Rational>,
+    /// Peak open-bin count.
+    pub max_open_bins: usize,
+    /// `∫ level(t) dt` — the packed time–space demand.
+    pub level_integral: Rational,
+    /// Aggregate utilization `∫ level / ∫ open` (`None` when no bin
+    /// was ever open).
+    pub utilization: Option<Rational>,
+    /// Peak total level across all open bins.
+    pub peak_total_level: Rational,
+}
+
+/// Exact step functions of time reconstructed from a trace.
+#[derive(Debug, Clone)]
+pub struct StepSeries {
+    points: Vec<SeriesPoint>,
+    open_bins: Option<TimeWeighted>,
+    total_level: Option<TimeWeighted>,
+    max_open: usize,
+    per_bin: BTreeMap<BinId, Vec<(Rational, Rational)>>,
+}
+
+impl StepSeries {
+    /// Replays `events` into step series. Events must be in engine
+    /// order (as recorded or as parsed back from JSONL).
+    pub fn from_events(events: &[TraceEvent]) -> StepSeries {
+        let mut levels: BTreeMap<BinId, Rational> = BTreeMap::new();
+        let mut per_bin: BTreeMap<BinId, Vec<(Rational, Rational)>> = BTreeMap::new();
+        let mut points: Vec<SeriesPoint> = Vec::new();
+        let mut open_w: Option<TimeWeighted> = None;
+        let mut level_w: Option<TimeWeighted> = None;
+        let mut max_open = 0usize;
+        let mut last_t: Option<Rational> = None;
+
+        for ev in events {
+            let Some(t) = ev.time() else { continue };
+            last_t = Some(t);
+            match ev {
+                TraceEvent::Placement { bin, size, .. } => {
+                    let level = levels.entry(*bin).or_insert(Rational::ZERO);
+                    *level += *size;
+                    per_bin.entry(*bin).or_default().push((t, *level));
+                }
+                TraceEvent::Departure { bin, size, .. } => {
+                    if let Some(level) = levels.get_mut(bin) {
+                        *level -= *size;
+                        per_bin.entry(*bin).or_default().push((t, *level));
+                    }
+                }
+                TraceEvent::BinClosed { bin, .. } => {
+                    levels.remove(bin);
+                }
+                TraceEvent::Arrival { .. } | TraceEvent::BinOpened { bin: _, .. } => {
+                    // Arrival changes nothing; the bin's level entry is
+                    // created by its first Placement (which precedes
+                    // BinOpened in the stream).
+                }
+                TraceEvent::RunFinished { .. } => unreachable!("filtered by time()"),
+            }
+            let open = levels.len();
+            let total: Rational = levels.values().copied().sum();
+            max_open = max_open.max(open);
+            let open_r = Rational::from_int(open as i128);
+            match (&mut open_w, &mut level_w) {
+                (Some(ow), Some(lw)) => {
+                    ow.set(t, open_r);
+                    lw.set(t, total);
+                }
+                _ => {
+                    open_w = Some(TimeWeighted::starting_at(t, open_r));
+                    level_w = Some(TimeWeighted::starting_at(t, total));
+                }
+            }
+            points.push(SeriesPoint {
+                t,
+                open_bins: open,
+                total_level: total,
+            });
+        }
+
+        if let (Some(ow), Some(lw), Some(t_end)) = (&mut open_w, &mut level_w, last_t) {
+            ow.finish(t_end);
+            lw.finish(t_end);
+        }
+
+        StepSeries {
+            points,
+            open_bins: open_w,
+            total_level: level_w,
+            max_open,
+            per_bin,
+        }
+    }
+
+    /// The per-event samples, in time order.
+    pub fn points(&self) -> &[SeriesPoint] {
+        &self.points
+    }
+
+    /// `(time, level)` breakpoints of one bin's level step function
+    /// (`None` if the bin never appears in the trace).
+    pub fn bin_levels(&self, bin: BinId) -> Option<&[(Rational, Rational)]> {
+        self.per_bin.get(&bin).map(Vec::as_slice)
+    }
+
+    /// Every bin seen in the trace, in id order.
+    pub fn bins(&self) -> impl Iterator<Item = BinId> + '_ {
+        self.per_bin.keys().copied()
+    }
+
+    /// Aggregates the series (`None` for an empty trace).
+    pub fn summary(&self) -> Option<SeriesSummary> {
+        let open = self.open_bins.as_ref()?;
+        let level = self.total_level.as_ref()?;
+        let usage = open.integral();
+        Some(SeriesSummary {
+            span: open.elapsed(),
+            usage_integral: usage,
+            avg_open_bins: open.time_average(),
+            max_open_bins: self.max_open,
+            level_integral: level.integral(),
+            utilization: (!usage.is_zero()).then(|| level.integral() / usage),
+            peak_total_level: level.max(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceRecorder;
+    use dbp_core::{run_packing_observed, FirstFit, Instance};
+    use dbp_numeric::rat;
+
+    fn traced(specs: &[(i128, i128, i128, i128)]) -> (StepSeries, dbp_core::PackingOutcome) {
+        let instance = Instance::new(
+            specs
+                .iter()
+                .map(|&(n, d, a, dep)| (rat(n, d), rat(a, 1), rat(dep, 1)))
+                .collect(),
+        )
+        .unwrap();
+        let mut rec = TraceRecorder::new();
+        let out = run_packing_observed(&instance, &mut FirstFit::new(), &mut rec).unwrap();
+        (StepSeries::from_events(rec.events()), out)
+    }
+
+    #[test]
+    fn series_integrals_match_outcome() {
+        let (series, out) = traced(&[(1, 2, 0, 2), (3, 4, 0, 3), (1, 4, 1, 2), (1, 2, 5, 9)]);
+        let s = series.summary().unwrap();
+        assert_eq!(s.usage_integral, out.total_usage());
+        assert_eq!(s.max_open_bins, out.max_open_bins());
+        assert_eq!(s.utilization, out.utilization());
+        let packed: Rational = out.bins().iter().map(|b| b.level_integral).sum();
+        assert_eq!(s.level_integral, packed);
+    }
+
+    #[test]
+    fn per_bin_levels_step_correctly() {
+        let (series, _) = traced(&[(1, 2, 0, 2), (1, 4, 1, 3)]);
+        // Bin 0: level 1/2 at t=0, 3/4 at t=1, 1/4 at t=2, 0 at t=3.
+        let steps = series.bin_levels(BinId(0)).unwrap();
+        assert_eq!(
+            steps,
+            &[
+                (rat(0, 1), rat(1, 2)),
+                (rat(1, 1), rat(3, 4)),
+                (rat(2, 1), rat(1, 4)),
+                (rat(3, 1), rat(0, 1)),
+            ]
+        );
+        assert_eq!(series.bins().collect::<Vec<_>>(), vec![BinId(0)]);
+        assert!(series.bin_levels(BinId(9)).is_none());
+    }
+
+    #[test]
+    fn empty_trace_has_no_summary() {
+        let series = StepSeries::from_events(&[]);
+        assert!(series.summary().is_none());
+        assert!(series.points().is_empty());
+    }
+}

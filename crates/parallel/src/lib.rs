@@ -101,6 +101,116 @@ where
     par_map_with_threads(items, threads, f)
 }
 
+/// Per-worker progress/timing summary from a reporting parallel map.
+///
+/// Produced by [`par_map_report`]; the perf-snapshot layer in
+/// `dbp-bench` serializes these into `BENCH_*.json` so sweeps expose
+/// their load balance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Worker index, `0..threads`.
+    pub worker: usize,
+    /// Number of items this worker processed.
+    pub items: usize,
+    /// Wall-clock nanoseconds spent inside `f` (work only).
+    pub busy_ns: u128,
+    /// Wall-clock nanoseconds from worker start to worker exit
+    /// (work + queue contention + scheduling).
+    pub elapsed_ns: u128,
+}
+
+/// [`par_map_with_threads`], but additionally reports how the work
+/// was distributed: one [`WorkerReport`] per worker, in worker order.
+///
+/// The reporting path times every task (two `Instant` reads per
+/// item), so keep the non-reporting [`par_map`] for hot sweeps where
+/// the distribution is not of interest.
+///
+/// # Panics
+/// Re-raises the first panic from any worker.
+pub fn par_map_report_with_threads<T, R, F>(
+    items: &[T],
+    threads: usize,
+    f: F,
+) -> (Vec<R>, Vec<WorkerReport>)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let threads = threads.clamp(1, n);
+
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let next = AtomicUsize::new(0);
+
+    let mut per_worker: Vec<(Vec<(usize, R)>, WorkerReport)> = Vec::with_capacity(threads);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for worker in 0..threads {
+            let next = &next;
+            let f = &f;
+            handles.push(scope.spawn(move |_| {
+                let started = std::time::Instant::now();
+                let mut mine: Vec<(usize, R)> = Vec::new();
+                let mut busy_ns: u128 = 0;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let t0 = std::time::Instant::now();
+                    let r = f(&items[i]);
+                    busy_ns += t0.elapsed().as_nanos();
+                    mine.push((i, r));
+                }
+                let report = WorkerReport {
+                    worker,
+                    items: mine.len(),
+                    busy_ns,
+                    elapsed_ns: started.elapsed().as_nanos(),
+                };
+                (mine, report)
+            }));
+        }
+        for h in handles {
+            per_worker.push(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("scope panicked");
+
+    let mut reports = Vec::with_capacity(threads);
+    for (chunk, report) in per_worker {
+        for (i, r) in chunk {
+            debug_assert!(slots[i].is_none(), "slot {i} written twice");
+            slots[i] = Some(r);
+        }
+        reports.push(report);
+    }
+    let results = slots
+        .into_iter()
+        .map(|s| s.expect("all slots filled"))
+        .collect();
+    (results, reports)
+}
+
+/// [`par_map_report_with_threads`] with the available parallelism.
+pub fn par_map_report<T, R, F>(items: &[T], f: F) -> (Vec<R>, Vec<WorkerReport>)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    par_map_report_with_threads(items, threads, f)
+}
+
 /// Evaluates `f` over the cartesian product `rows × cols`, returning
 /// a row-major matrix. The sweep shape used by most experiment
 /// tables.
@@ -175,6 +285,26 @@ mod tests {
             }
             x
         });
+    }
+
+    #[test]
+    fn report_accounts_for_every_item() {
+        let input: Vec<u64> = (0..200).collect();
+        let (out, reports) = par_map_report_with_threads(&input, 4, |&x| x + 1);
+        assert_eq!(out, input.iter().map(|x| x + 1).collect::<Vec<_>>());
+        assert_eq!(reports.len(), 4);
+        assert_eq!(reports.iter().map(|r| r.items).sum::<usize>(), 200);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.worker, i);
+            assert!(r.elapsed_ns >= r.busy_ns);
+        }
+    }
+
+    #[test]
+    fn report_on_empty_input() {
+        let (out, reports) = par_map_report(&[] as &[u32], |&x| x);
+        assert!(out.is_empty());
+        assert!(reports.is_empty());
     }
 
     #[test]

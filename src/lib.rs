@@ -21,6 +21,7 @@
 //! | [`workloads`] | `dbp-workloads` | adversarial gadgets, random & gaming workloads, traces |
 //! | [`cloudsim`] | `dbp-cloudsim` | dispatcher, billing models, cost reports |
 //! | [`par`] | `dbp-par` | deterministic parallel sweeps |
+//! | [`obs`] | `dbp-obs` | engine tracing, metrics registry, replay verification |
 //! | [`viz`] | `dbp-viz` | ASCII timeline renderings (the paper's figures) |
 //! | [`multidim`] | `dbp-multidim` | multi-resource extension (§IX future work) |
 //!
@@ -49,6 +50,7 @@ pub use dbp_cloudsim as cloudsim;
 pub use dbp_core as core;
 pub use dbp_multidim as multidim;
 pub use dbp_numeric as numeric;
+pub use dbp_obs as obs;
 pub use dbp_par as par;
 pub use dbp_simcore as simcore;
 pub use dbp_viz as viz;

@@ -1,0 +1,88 @@
+//! End-to-end observability: the CLI captures a JSONL event trace and
+//! a metrics snapshot, and the replay verifier reconstructs the
+//! packing outcome from the trace **bit-for-bit**.
+
+use mindbp::core::{run_packing, FirstFit};
+use mindbp::obs::{parse_jsonl, verify, StepSeries};
+use mindbp::workloads::load_instance;
+use std::path::Path;
+
+fn args(s: &[&str]) -> Vec<String> {
+    s.iter().map(|x| x.to_string()).collect()
+}
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join("mindbp-integration-obs");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_string_lossy().into_owned()
+}
+
+#[test]
+fn cli_trace_replays_bit_identically() {
+    let workload = tmp("workload.json");
+    let events = tmp("events.jsonl");
+    let metrics = tmp("metrics.json");
+
+    // Generate a workload and pack it with observability attached.
+    mindbp_cli::run(&args(&[
+        "generate", "--family", "random", "--n", "40", "--mu", "4", "--seed", "11", "--out",
+        &workload,
+    ]))
+    .unwrap();
+    let packed = mindbp_cli::run(&args(&[
+        "pack",
+        "--trace",
+        &workload,
+        "--algo",
+        "firstfit",
+        "--events",
+        &events,
+        "--metrics",
+        &metrics,
+    ]))
+    .unwrap();
+    assert!(packed.contains("trace events"), "{packed}");
+    assert!(Path::new(&events).exists());
+    assert!(Path::new(&metrics).exists());
+
+    // Re-run the same instance through the engine directly…
+    let (_, instance) = load_instance(Path::new(&workload)).unwrap();
+    let outcome = run_packing(&instance, &mut FirstFit::new()).unwrap();
+
+    // …and check the CLI-emitted trace reconstructs the outcome
+    // exactly: same total usage (as an exact rational), same peak.
+    let text = std::fs::read_to_string(&events).unwrap();
+    let trace = parse_jsonl(&text).unwrap();
+    let summary = verify(&trace, &outcome).unwrap();
+    assert_eq!(summary.total_usage, outcome.total_usage());
+    assert_eq!(summary.max_open_bins, outcome.max_open_bins());
+    assert_eq!(summary.bins_opened, outcome.bins_opened());
+    assert_eq!(summary.arrivals, 40);
+    assert_eq!(summary.departures, 40);
+
+    // The step series derived from the same trace agrees too.
+    let series = StepSeries::from_events(&trace);
+    let s = series.summary().unwrap();
+    assert_eq!(s.usage_integral, outcome.total_usage());
+    assert_eq!(s.utilization, outcome.utilization());
+
+    // The metrics snapshot is valid JSON and counted every event.
+    let snap = serde_json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+    let counter = |name: &str| {
+        snap.get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(|v| v.as_int())
+            .unwrap()
+    };
+    assert_eq!(counter("arrivals"), 40);
+    assert_eq!(counter("departures"), 40);
+    assert_eq!(counter("bins_opened"), outcome.bins_opened() as i128);
+
+    // `stats` reads the emitted event log and reports a clean replay.
+    let stats = mindbp_cli::run(&args(&["stats", "--trace", &events])).unwrap();
+    assert!(stats.contains("replay: OK"), "{stats}");
+
+    for f in [&workload, &events, &metrics] {
+        std::fs::remove_file(f).unwrap();
+    }
+}

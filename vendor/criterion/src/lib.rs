@@ -1,0 +1,349 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the call surface the workspace's `benches/` use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Throughput`], [`black_box`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — with a simple
+//! wall-clock measurement loop instead of criterion's statistical
+//! machinery:
+//!
+//! * warm up briefly, then calibrate an iteration count targeting
+//!   ~`measurement_ms` of run time;
+//! * take several samples and report median / min / max per
+//!   iteration, plus derived throughput when declared;
+//! * `--test` (what `cargo test` passes to bench targets) runs each
+//!   benchmark exactly once, for a fast smoke check.
+//!
+//! Numbers from this harness are honest wall-clock medians and are
+//! good for regression *tracking*; they make no outlier/variance
+//! claims the way real criterion does.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput declaration for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, like criterion.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// A parameter-only id (used inside groups).
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    /// Filled in by [`Bencher::iter`]: per-iteration nanoseconds.
+    samples: Vec<f64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    /// Calibrated multi-sample measurement.
+    Measure { measurement_ms: u64 },
+    /// One iteration only (`--test`).
+    Smoke,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(f());
+                self.samples.push(0.0);
+            }
+            Mode::Measure { measurement_ms } => {
+                // Warm-up + calibration: time single iterations until
+                // 5ms or 5 iters, whichever first.
+                let warm_start = Instant::now();
+                let mut one_iter_ns = f64::MAX;
+                let mut warm_iters = 0u64;
+                while warm_iters < 5 && warm_start.elapsed() < Duration::from_millis(5) {
+                    let t = Instant::now();
+                    black_box(f());
+                    one_iter_ns = one_iter_ns.min(t.elapsed().as_nanos() as f64);
+                    warm_iters += 1;
+                }
+                let one_iter_ns = one_iter_ns.max(1.0);
+                let budget_ns = (measurement_ms as f64) * 1e6;
+                const SAMPLES: usize = 10;
+                let iters_per_sample =
+                    ((budget_ns / SAMPLES as f64 / one_iter_ns).round() as u64).clamp(1, 1 << 20);
+                for _ in 0..SAMPLES {
+                    let t = Instant::now();
+                    for _ in 0..iters_per_sample {
+                        black_box(f());
+                    }
+                    self.samples
+                        .push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+                }
+            }
+        }
+    }
+}
+
+/// One finished benchmark's summary statistics.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Full benchmark id (`group/name/param`).
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Declared throughput, if any.
+    pub throughput: Option<Throughput>,
+}
+
+impl Summary {
+    fn from_samples(id: String, mut samples: Vec<f64>, throughput: Option<Throughput>) -> Summary {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        let median_ns = samples[samples.len() / 2];
+        Summary {
+            id,
+            median_ns,
+            min_ns: samples[0],
+            max_ns: *samples.last().expect("non-empty samples"),
+            throughput,
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn time(ns: f64) -> String {
+            if ns < 1e3 {
+                format!("{ns:.1} ns")
+            } else if ns < 1e6 {
+                format!("{:.2} µs", ns / 1e3)
+            } else if ns < 1e9 {
+                format!("{:.2} ms", ns / 1e6)
+            } else {
+                format!("{:.2} s", ns / 1e9)
+            }
+        }
+        write!(
+            f,
+            "{:<44} time: [{} {} {}]",
+            self.id,
+            time(self.min_ns),
+            time(self.median_ns),
+            time(self.max_ns)
+        )?;
+        if let Some(tp) = self.throughput {
+            let (n, unit) = match tp {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            if self.median_ns > 0.0 {
+                let per_sec = n as f64 / (self.median_ns / 1e9);
+                write!(f, "  thrpt: {per_sec:.0} {unit}/s")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The benchmark driver (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    mode: Mode,
+    /// All summaries recorded this run, in execution order.
+    pub summaries: Vec<Summary>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion {
+            mode: if smoke {
+                Mode::Smoke
+            } else {
+                Mode::Measure {
+                    measurement_ms: 300,
+                }
+            },
+            summaries: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Shrinks/extends the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        if let Mode::Measure { .. } = self.mode {
+            self.mode = Mode::Measure {
+                measurement_ms: d.as_millis().max(10) as u64,
+            };
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().id;
+        self.run_one(id, None, |b| f(b));
+        self
+    }
+
+    fn run_one<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: String,
+        throughput: Option<Throughput>,
+        f: F,
+    ) {
+        let mut bencher = Bencher {
+            mode: self.mode,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        if bencher.samples.is_empty() {
+            return; // closure never called iter()
+        }
+        let summary = Summary::from_samples(id, bencher.samples, throughput);
+        println!("{summary}");
+        self.summaries.push(summary);
+    }
+
+    /// Criterion calls this at the end of `main`; a no-op here.
+    pub fn final_summary(&self) {}
+}
+
+/// A group of benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let tp = self.throughput;
+        self.parent.run_one(full, tp, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure with no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let tp = self.throughput;
+        self.parent.run_one(full, tp, |b| f(b));
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Declares a group-runner function, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(20));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::new("sum", 4), &[1u64, 2, 3, 4][..], |b, xs| {
+            b.iter(|| xs.iter().sum::<u64>())
+        });
+        group.finish();
+        c.bench_function("free", |b| b.iter(|| black_box(2 + 2)));
+        assert_eq!(c.summaries.len(), 2);
+        assert_eq!(c.summaries[0].id, "g/sum/4");
+        assert!(c.summaries[0].median_ns >= c.summaries[0].min_ns);
+        let line = c.summaries[0].to_string();
+        assert!(line.contains("time:"), "{line}");
+    }
+}

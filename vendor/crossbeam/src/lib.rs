@@ -1,0 +1,96 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` is used in this workspace (the
+//! `dbp-par` work queue); since Rust 1.63 the standard library's
+//! `std::thread::scope` provides the same structured-concurrency
+//! guarantee, so this stand-in is a thin adapter that preserves the
+//! crossbeam call shape: the scope closure and each spawned closure
+//! receive a [`thread::Scope`] handle, `join` returns `Err` on worker
+//! panic, and `scope` itself returns a `Result`.
+
+pub mod thread {
+    use std::marker::PhantomData;
+
+    /// A handle for spawning scoped threads (wraps
+    /// [`std::thread::Scope`]).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    // Manual impls: the wrapper is a shared reference either way.
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Owned permission to join one scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+        _marker: PhantomData<&'scope ()>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread; `Err` carries the worker's panic
+        /// payload, exactly like crossbeam.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope
+        /// again (crossbeam's signature), so workers can spawn
+        /// siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(scope)),
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; all threads are joined before `scope` returns.
+    ///
+    /// A panic in `f` itself propagates (as in crossbeam). The `Ok`
+    /// wrapper keeps call sites (`.expect("scope panicked")`)
+    /// source-compatible with crossbeam's richer error reporting.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = vec![1, 2, 3];
+        let sum = super::thread::scope(|s| {
+            let h1 = s.spawn(|_| data.iter().sum::<i32>());
+            let h2 = s.spawn(|_| data.len());
+            h1.join().unwrap() + h2.join().unwrap() as i32
+        })
+        .unwrap();
+        assert_eq!(sum, 9);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_in_join() {
+        let r = super::thread::scope(|s| {
+            let h = s.spawn(|_| -> i32 { panic!("boom") });
+            h.join().is_err()
+        })
+        .unwrap();
+        assert!(r);
+    }
+}

@@ -1,0 +1,107 @@
+//! Test configuration, case outcomes, and the deterministic RNG.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Per-`proptest!`-block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+    /// Accepted for source compatibility; shrinking is not
+    /// implemented in this stand-in.
+    pub max_shrink_iters: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+
+    /// The case count after applying the `PROPTEST_CASES` env
+    /// override (upstream honors it the same way).
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            // Upstream defaults to 256; this stand-in trims the
+            // default (explicit `with_cases` and `PROPTEST_CASES`
+            // both override it) to keep `cargo test` quick.
+            cases: 64,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!` — not a failure.
+    Reject(String),
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure outcome.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A discard outcome.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// The deterministic generator handed to strategies.
+///
+/// Seeded from the fully-qualified test name via FNV-1a, so each test
+/// gets an independent, reproducible stream — re-running a failed
+/// test replays the identical cases.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Generator for the named test.
+    pub fn for_test(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// Uniform draw from `[lo, hi]` (inclusive, exact).
+    pub fn i128_in(&mut self, lo: i128, hi: i128) -> i128 {
+        debug_assert!(lo <= hi);
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Uniform `usize` draw from `[lo, hi]` (inclusive).
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.i128_in(lo as i128, hi as i128) as usize
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

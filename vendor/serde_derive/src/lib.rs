@@ -1,0 +1,452 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits implementations of the vendor `serde` crate's value-model
+//! `Serialize`/`Deserialize` traits. Because crates.io is
+//! unreachable in this build environment there is no `syn`/`quote`;
+//! the item definition is parsed directly from the proc-macro token
+//! stream. Supported shapes (everything the workspace derives):
+//!
+//! * named-field structs (with the `#[serde(default)]` field attr),
+//! * tuple structs (newtypes serialize transparently, wider tuples
+//!   as arrays),
+//! * enums with unit / tuple / struct variants, externally tagged
+//!   exactly like serde (`"Variant"` or `{"Variant": payload}`).
+//!
+//! Generic type parameters and container-level `#[serde(...)]`
+//! attributes are rejected with a compile error; hand-write those
+//! impls instead (see `dbp_numeric::Rational`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().unwrap()
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().unwrap()
+}
+
+/// A named field: identifier plus whether `#[serde(default)]` is set.
+struct Field {
+    name: String,
+    default: bool,
+}
+
+/// One enum variant.
+enum Variant {
+    Unit(String),
+    Tuple(String, usize),
+    Struct(String, Vec<Field>),
+}
+
+/// Parsed derive input.
+enum Item {
+    Struct(String, Vec<Field>),
+    TupleStruct(String, usize),
+    Enum(String, Vec<Variant>),
+}
+
+impl Item {
+    fn name(&self) -> &str {
+        match self {
+            Item::Struct(n, _) | Item::TupleStruct(n, _) | Item::Enum(n, _) => n,
+        }
+    }
+}
+
+/// Skips attributes at `i`, returning whether any `#[serde(...)]`
+/// among them contains the bare ident `default`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
+    while *i + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[*i] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[*i + 1] else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    for t in args.stream() {
+                        if let TokenTree::Ident(a) = t {
+                            match a.to_string().as_str() {
+                                "default" => has_default = true,
+                                other => panic!(
+                                    "vendor serde_derive: unsupported serde attribute `{other}`"
+                                ),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        *i += 2;
+    }
+    has_default
+}
+
+/// Skips `pub` / `pub(...)` at `i`.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Skips a type at `i`: consumes tokens until a `,` at angle depth 0.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while *i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*i] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Parses the fields of a named-field body `{ ... }`.
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let default = skip_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1; // name
+        i += 1; // ':'
+        skip_type(&tokens, &mut i);
+        i += 1; // ','
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple body `( ... )`.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut n = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        i += 1; // ','
+        n += 1;
+    }
+    n
+}
+
+/// Parses the variants of an enum body `{ ... }`.
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                variants.push(Variant::Struct(name, parse_named_fields(g.stream())));
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                variants.push(Variant::Tuple(name, count_tuple_fields(g.stream())));
+                i += 1;
+            }
+            _ => variants.push(Variant::Unit(name)),
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Container attributes: any `#[serde(...)]` here would change the
+    // wire format in ways this stub does not implement.
+    while i + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[i] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        if let TokenTree::Group(g) = &tokens[i + 1] {
+            let mut it = g.stream().into_iter();
+            if let Some(TokenTree::Ident(id)) = it.next() {
+                assert!(
+                    id.to_string() != "serde",
+                    "vendor serde_derive: container-level #[serde(...)] is not supported; \
+                     hand-write the impl instead"
+                );
+            }
+        }
+        i += 2;
+    }
+    skip_vis(&tokens, &mut i);
+    let Some(TokenTree::Ident(kw)) = tokens.get(i) else {
+        panic!("vendor serde_derive: expected `struct` or `enum`");
+    };
+    let kw = kw.to_string();
+    i += 1;
+    let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+        panic!("vendor serde_derive: expected a type name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        assert!(
+            p.as_char() != '<',
+            "vendor serde_derive: generic types are not supported; hand-write the impl"
+        );
+    }
+    match (kw.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Item::Struct(name, parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Item::TupleStruct(name, count_tuple_fields(g.stream()))
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Item::Enum(name, parse_variants(g.stream()))
+        }
+        _ => panic!("vendor serde_derive: unsupported item shape for `{name}`"),
+    }
+}
+
+// ---------------------------------------------------------------
+// Code generation (emitted as source text, then re-parsed).
+// ---------------------------------------------------------------
+
+fn named_to_obj(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let mut s = String::from(
+        "{ let mut obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        s.push_str(&format!(
+            "obj.push((\"{n}\".to_string(), ::serde::Serialize::to_value({a})));\n",
+            n = f.name,
+            a = access(&f.name),
+        ));
+    }
+    s.push_str("::serde::Value::Object(obj) }");
+    s
+}
+
+fn named_from_obj(ty: &str, fields: &[Field], src: &str) -> String {
+    // Field initializers `name: ...,` reading from the object `src`.
+    let mut s = String::new();
+    for f in fields {
+        let missing = if f.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(::serde::Error::missing_field(\"{n}\", \
+                 \"{ty}\"))",
+                n = f.name,
+            )
+        };
+        s.push_str(&format!(
+            "{n}: match {src}.get(\"{n}\") {{ \
+               ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?, \
+               ::std::option::Option::None => {missing}, \
+             }},\n",
+            n = f.name,
+        ));
+    }
+    s
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = item.name();
+    let body = match item {
+        Item::Struct(_, fields) => named_to_obj(fields, |f| format!("&self.{f}")),
+        Item::TupleStruct(_, 1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Item::TupleStruct(_, n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+        }
+        Item::Enum(_, variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    Variant::Tuple(vn, n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Value::Object(::std::vec![(\
+                             \"{vn}\".to_string(), {payload})]),\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let payload = named_to_obj(fields, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(::std::vec![(\
+                             \"{vn}\".to_string(), {payload})]),\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = item.name();
+    let body = match item {
+        Item::Struct(_, fields) => format!(
+            "if v.as_object().is_none() {{ \
+               return ::std::result::Result::Err(::serde::Error::expected(\"object\", v)); \
+             }}\n\
+             ::std::result::Result::Ok({name} {{\n{inits}}})",
+            inits = named_from_obj(name, fields, "v"),
+        ),
+        Item::TupleStruct(_, 1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Item::TupleStruct(_, n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?"))
+                .collect();
+            format!(
+                "let a = v.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", v))?;\n\
+                 if a.len() != {n} {{ \
+                   return ::std::result::Result::Err(::serde::Error::custom(\
+                     format!(\"expected array of {n} for {name}, got {{}}\", a.len()))); \
+                 }}\n\
+                 ::std::result::Result::Ok({name}({elems}))",
+                elems = elems.join(", "),
+            )
+        }
+        Item::Enum(_, variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => unit_arms.push_str(&format!(
+                        "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Variant::Tuple(vn, n) => {
+                        let ctor = if *n == 1 {
+                            format!("{name}::{vn}(::serde::Deserialize::from_value(payload)?)")
+                        } else {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?"))
+                                .collect();
+                            format!(
+                                "{{ let a = payload.as_array().ok_or_else(|| \
+                                 ::serde::Error::expected(\"array\", payload))?; \
+                                 if a.len() != {n} {{ return ::std::result::Result::Err(\
+                                 ::serde::Error::custom(\"wrong tuple variant arity\".to_string())); }} \
+                                 {name}::{vn}({elems}) }}",
+                                elems = elems.join(", "),
+                            )
+                        };
+                        payload_arms
+                            .push_str(&format!("\"{vn}\" => ::std::result::Result::Ok({ctor}),\n"));
+                    }
+                    Variant::Struct(vn, fields) => {
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => {{ \
+                               if payload.as_object().is_none() {{ \
+                                 return ::std::result::Result::Err(\
+                                   ::serde::Error::expected(\"object\", payload)); \
+                               }} \
+                               ::std::result::Result::Ok({name}::{vn} {{\n{inits}}}) }}\n",
+                            inits = named_from_obj(name, fields, "payload"),
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::std::option::Option::Some(s) = v.as_str() {{\n\
+                   match s {{\n{unit_arms}\
+                     other => return ::std::result::Result::Err(::serde::Error::custom(\
+                       format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                   }}\n\
+                 }}\n\
+                 let obj = v.as_object().ok_or_else(|| \
+                   ::serde::Error::expected(\"string or object\", v))?;\n\
+                 if obj.len() != 1 {{ \
+                   return ::std::result::Result::Err(::serde::Error::custom(\
+                     \"expected single-key variant object\".to_string())); \
+                 }}\n\
+                 let (tag, payload) = &obj[0];\n\
+                 match tag.as_str() {{\n{payload_arms}\
+                   other => ::std::result::Result::Err(::serde::Error::custom(\
+                     format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+           fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> \
+           {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
