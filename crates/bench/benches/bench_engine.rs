@@ -23,6 +23,19 @@ fn bench_engine(c: &mut Criterion) {
                     .bins_opened()
             });
         });
+        // Same stream through the FitTree-indexed variant: the gap
+        // between these two is the linear-scan cost.
+        group.bench_with_input(
+            BenchmarkId::new(format!("{label}-fast"), n),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    run_packing(inst, &mut FirstFitFast::new())
+                        .unwrap()
+                        .bins_opened()
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -12,8 +12,11 @@ use dbp_workloads::RandomWorkload;
 fn algorithms() -> Vec<Box<dyn PackingAlgorithm>> {
     vec![
         Box::new(FirstFit::new()),
+        Box::new(FirstFitFast::new()),
         Box::new(BestFit::new()),
+        Box::new(BestFitFast::new()),
         Box::new(WorstFit::new()),
+        Box::new(WorstFitFast::new()),
         Box::new(NextFit::new()),
         Box::new(HybridFirstFit::classic()),
     ]

@@ -1,0 +1,76 @@
+//! Compares two `BENCH_engine_throughput.json` snapshots and fails
+//! (exit 1) when the fresh run's `events_per_sec` drops more than 30%
+//! below the committed baseline.
+//!
+//! Usage: `perf_check <baseline.json> <fresh.json> [--tolerance 0.70]`
+//!
+//! The tolerance is the fraction of the baseline the fresh run must
+//! reach — 0.70 means "no more than a 30% regression". CI runners are
+//! noisy, so the gate is deliberately loose: it exists to catch
+//! order-of-magnitude slips (an accidental `O(B)` scan back in the
+//! hot path), not 5% jitter.
+
+use serde::Value;
+use std::process::ExitCode;
+
+fn events_per_sec(path: &str) -> Result<f64, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let json = serde_json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    json.get("metrics")
+        .and_then(|m| m.get("events_per_sec"))
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("{path} has no metrics.events_per_sec"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tolerance = 0.70f64;
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--tolerance" {
+            match it.next().and_then(|t| t.parse().ok()) {
+                Some(t) => tolerance = t,
+                None => {
+                    eprintln!("--tolerance needs a numeric argument");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            files.push(a.clone());
+        }
+    }
+    let [baseline, fresh] = files.as_slice() else {
+        eprintln!("usage: perf_check <baseline.json> <fresh.json> [--tolerance 0.70]");
+        return ExitCode::FAILURE;
+    };
+
+    let (base_eps, fresh_eps) = match (events_per_sec(baseline), events_per_sec(fresh)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (b, f) => {
+            for err in [b.err(), f.err()].into_iter().flatten() {
+                eprintln!("perf_check: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let floor = base_eps * tolerance;
+    println!(
+        "baseline {base_eps:.0} ev/s, fresh {fresh_eps:.0} ev/s, floor {floor:.0} ev/s \
+         (tolerance {tolerance:.2})"
+    );
+    if fresh_eps < floor {
+        eprintln!(
+            "perf_check: REGRESSION — fresh throughput is {:.1}% of baseline (floor {:.0}%)",
+            100.0 * fresh_eps / base_eps,
+            100.0 * tolerance
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "perf_check: OK ({:.1}% of baseline)",
+        100.0 * fresh_eps / base_eps
+    );
+    ExitCode::SUCCESS
+}

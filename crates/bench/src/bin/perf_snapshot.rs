@@ -1,23 +1,63 @@
 //! Writes `BENCH_<experiment>.json` perf snapshots into `results/`
 //! (or the directory given as the first argument).
 //!
-//! Two snapshots:
+//! Three snapshots:
 //! * `BENCH_e1_theorem1.json` — wall time + result metrics of a
 //!   reduced Theorem 1 sweep (the flagship experiment);
-//! * `BENCH_engine_throughput.json` — a pure engine sweep (First Fit
-//!   over random workloads) with per-worker load-balance reports from
-//!   `dbp_par::par_map_report`.
+//! * `BENCH_engine_throughput.json` — a pure engine sweep (tree-backed
+//!   First Fit over random workloads) with per-worker load-balance
+//!   reports from `dbp_par::par_map_report`;
+//! * `BENCH_fit_scaling.json` — the concurrency scaling series: a
+//!   staircase workload holding `B ∈ {100, 1000, 10000}` bins open
+//!   at once, replayed through the linear-scan `FirstFit` and the
+//!   `FitTree`-indexed `FirstFitFast`, recording both throughputs and
+//!   the speedup. This is the `Θ(n·B)` vs `O(n log B)` separation.
+//!
+//! Pass `--skip-scaling` to omit the (slower) scaling series, e.g. in
+//! quick local runs.
 
 use dbp_bench::perf::measure;
-use dbp_core::{run_packing, FirstFit};
+use dbp_core::{run_packing, FirstFit, FirstFitFast, Instance, PackingAlgorithm};
 use dbp_numeric::rat;
 use dbp_workloads::RandomWorkload;
 use serde::Value;
 use std::path::Path;
+use std::time::Instant;
+
+/// A staircase of overlapping items: item `i` lives on `[i, i+window)`
+/// with 4 of 5 items sized above 1/2 (forcing singleton bins) and the
+/// rest small (slotting into earlier bins). Steady-state concurrency
+/// tracks `window`.
+fn staircase(n: i128, window: i128) -> Instance {
+    let mut b = Instance::builder();
+    for i in 0..n {
+        let size = if i % 5 == 0 {
+            rat(11 + (i * 13) % 23, 100)
+        } else {
+            rat(51 + (i * 7) % 49, 100)
+        };
+        b = b.item(size, rat(i, 1), rat(i + window, 1));
+    }
+    b.build().expect("staircase is well-formed")
+}
+
+/// Replays `inst` through `algo`, returning events/second.
+fn throughput(inst: &Instance, algo: &mut dyn PackingAlgorithm) -> (f64, usize) {
+    let start = Instant::now();
+    let out = run_packing(inst, algo).expect("replay succeeds");
+    let secs = start.elapsed().as_secs_f64();
+    ((2 * inst.len()) as f64 / secs, out.max_open_bins())
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let dir = args.get(1).map(String::as_str).unwrap_or("results");
+    let skip_scaling = args.iter().any(|a| a == "--skip-scaling");
+    let dir = args
+        .iter()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("results");
     let dir = Path::new(dir);
     std::fs::create_dir_all(dir).expect("create output directory");
 
@@ -35,13 +75,14 @@ fn main() {
     let path = snap.write_to(dir).expect("write snapshot");
     println!("wrote {} ({:.1} ms)", path.display(), snap.wall_ms());
 
-    // Snapshot 2: raw engine throughput with worker load balance.
+    // Snapshot 2: raw engine throughput with worker load balance,
+    // through the FitTree-backed First Fit.
     let (instances, items_each) = (64u64, 200usize);
     let seeds: Vec<u64> = (0..instances).collect();
     let ((usages, workers), snap) = measure("engine_throughput", || {
         dbp_par::par_map_report(&seeds, |&seed| {
             let inst = RandomWorkload::with_mu(items_each, rat(4, 1), seed).generate();
-            let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+            let out = run_packing(&inst, &mut FirstFitFast::new()).unwrap();
             out.total_usage().to_f64()
         })
     });
@@ -49,12 +90,49 @@ fn main() {
     let mean_usage = usages.iter().sum::<f64>() / usages.len() as f64;
     let events_per_sec = total_events as f64 / (snap.wall_ms() / 1e3);
     let snap = snap
+        .with_metric("algorithm", Value::Str("FirstFitFast".into()))
         .with_metric("instances", Value::Int(instances as i128))
         .with_metric("items_per_instance", Value::Int(items_each as i128))
         .with_metric("engine_events", Value::Int(total_events))
         .with_metric("events_per_sec", Value::Float(events_per_sec))
         .with_metric("mean_total_usage", Value::Float(mean_usage))
         .with_workers(&workers);
+    let path = snap.write_to(dir).expect("write snapshot");
+    println!("wrote {} ({:.1} ms)", path.display(), snap.wall_ms());
+
+    if skip_scaling {
+        println!("skipping BENCH_fit_scaling.json (--skip-scaling)");
+        return;
+    }
+
+    // Snapshot 3: linear vs tree scaling over concurrent-bin count.
+    let (series, snap) = measure("fit_scaling", || {
+        let mut series = Vec::new();
+        for &bins in &[100i128, 1000, 10_000] {
+            let n = (2 * bins).max(5000);
+            let inst = staircase(n, bins);
+            let (fast_eps, max_open) = throughput(&inst, &mut FirstFitFast::new());
+            let (linear_eps, _) = throughput(&inst, &mut FirstFit::new());
+            let speedup = fast_eps / linear_eps;
+            println!(
+                "  B={bins:>6} n={n:>6} max_open={max_open:>6} \
+                 linear={linear_eps:>12.0} ev/s fast={fast_eps:>12.0} ev/s ({speedup:.1}x)"
+            );
+            series.push(Value::Object(vec![
+                ("target_bins".into(), Value::Int(bins)),
+                ("items".into(), Value::Int(n)),
+                ("engine_events".into(), Value::Int(2 * n)),
+                ("max_open_bins".into(), Value::Int(max_open as i128)),
+                ("linear_events_per_sec".into(), Value::Float(linear_eps)),
+                ("fast_events_per_sec".into(), Value::Float(fast_eps)),
+                ("speedup".into(), Value::Float(speedup)),
+            ]));
+        }
+        series
+    });
+    let snap = snap
+        .with_metric("algorithms", Value::Str("FirstFit vs FirstFitFast".into()))
+        .with_metric("series", Value::Array(series));
     let path = snap.write_to(dir).expect("write snapshot");
     println!("wrote {} ({:.1} ms)", path.display(), snap.wall_ms());
 }

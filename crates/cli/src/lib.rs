@@ -21,8 +21,8 @@
 use dbp_analysis::{certify_first_fit, measure_ratio, TheoremChain};
 use dbp_cloudsim::{simulate, simulate_observed, BillingModel};
 use dbp_core::{
-    run_packing, BestFit, DepartureAlignedFit, FanOut, FirstFit, HybridFirstFit, Instance, LastFit,
-    NextFit, PackingAlgorithm, WorstFit,
+    run_packing, BestFit, BestFitFast, DepartureAlignedFit, FanOut, FirstFit, FirstFitFast,
+    HybridFirstFit, Instance, LastFit, NextFit, PackingAlgorithm, WorstFit, WorstFitFast,
 };
 use dbp_numeric::Rational;
 use dbp_obs::{chrome_trace, parse_jsonl, EngineMetrics, StepSeries, TraceRecorder};
@@ -134,6 +134,8 @@ COMMANDS:
 
 ALGORITHMS: firstfit bestfit worstfit lastfit nextfit hybrid harmonic
             aligned (clairvoyant — pack/render only)
+            firstfit-fast bestfit-fast worstfit-fast (FitTree-indexed,
+            O(log B) per arrival, identical placements)
 ";
 
 fn make_algo_for(name: &str, instance: &Instance) -> Result<Box<dyn PackingAlgorithm>, CliError> {
@@ -148,6 +150,9 @@ fn make_algo(name: &str) -> Result<Box<dyn PackingAlgorithm>, CliError> {
         "firstfit" | "ff" => Box::new(FirstFit::new()),
         "bestfit" | "bf" => Box::new(BestFit::new()),
         "worstfit" | "wf" => Box::new(WorstFit::new()),
+        "firstfit-fast" | "fff" => Box::new(FirstFitFast::new()),
+        "bestfit-fast" | "bff" => Box::new(BestFitFast::new()),
+        "worstfit-fast" | "wff" => Box::new(WorstFitFast::new()),
         "lastfit" | "lf" => Box::new(LastFit::new()),
         "nextfit" | "nf" => Box::new(NextFit::new()),
         "hybrid" | "hff" => Box::new(HybridFirstFit::classic()),
@@ -405,7 +410,13 @@ fn cmd_compare(opts: &Opts) -> Result<String, CliError> {
     let (_, instance) = load(opts)?;
     let billing = make_billing(opts.get("billing").unwrap_or("continuous"))?;
     let names = [
-        "firstfit", "bestfit", "worstfit", "lastfit", "nextfit", "hybrid",
+        "firstfit",
+        "firstfit-fast",
+        "bestfit",
+        "worstfit",
+        "lastfit",
+        "nextfit",
+        "hybrid",
     ];
     let mut rows: Vec<(String, Rational, Rational, usize)> = Vec::new();
     for name in names {

@@ -21,9 +21,17 @@ pub trait FitPolicy {
     /// Static display name of the resulting algorithm.
     fn policy_name(&self) -> &'static str;
 
-    /// Picks one bin out of `candidates` (guaranteed non-empty, in
-    /// opening order, all feasible).
-    fn select<'a>(&mut self, arrival: &ArrivalView, candidates: &[&'a OpenBin]) -> &'a OpenBin;
+    /// Picks one bin given the full snapshot `open` and the indices
+    /// `feasible` of the bins that can take the item (guaranteed
+    /// non-empty, ascending — i.e. in opening order). Borrowing the
+    /// candidate list as indices keeps the per-arrival hot path free
+    /// of allocation.
+    fn select<'a>(
+        &mut self,
+        arrival: &ArrivalView,
+        open: &'a [OpenBin],
+        feasible: &[usize],
+    ) -> &'a OpenBin;
 
     /// Re-initializes policy state between runs.
     fn reset_policy(&mut self) {}
@@ -69,8 +77,7 @@ impl<P: FitPolicy> PackingAlgorithm for AnyFit<P> {
         if self.scratch.is_empty() {
             return Placement::OpenNew;
         }
-        let candidates: Vec<&OpenBin> = self.scratch.iter().map(|&i| &open[i]).collect();
-        Placement::Existing(self.policy.select(arrival, &candidates).id)
+        Placement::Existing(self.policy.select(arrival, open, &self.scratch).id)
     }
 }
 
@@ -82,8 +89,8 @@ impl FitPolicy for EarliestOpened {
     fn policy_name(&self) -> &'static str {
         "FirstFit"
     }
-    fn select<'a>(&mut self, _a: &ArrivalView, c: &[&'a OpenBin]) -> &'a OpenBin {
-        c[0] // candidates come in opening order
+    fn select<'a>(&mut self, _a: &ArrivalView, open: &'a [OpenBin], c: &[usize]) -> &'a OpenBin {
+        &open[c[0]] // candidates come in opening order
     }
 }
 
@@ -96,12 +103,12 @@ impl FitPolicy for HighestLevel {
     fn policy_name(&self) -> &'static str {
         "BestFit"
     }
-    fn select<'a>(&mut self, _a: &ArrivalView, c: &[&'a OpenBin]) -> &'a OpenBin {
-        // max_by on a stable scan keeps the *first* maximal element.
-        let mut best = c[0];
-        for b in &c[1..] {
-            if b.level > best.level {
-                best = b;
+    fn select<'a>(&mut self, _a: &ArrivalView, open: &'a [OpenBin], c: &[usize]) -> &'a OpenBin {
+        // A stable scan keeps the *first* maximal element.
+        let mut best = &open[c[0]];
+        for &i in &c[1..] {
+            if open[i].level > best.level {
+                best = &open[i];
             }
         }
         best
@@ -117,11 +124,11 @@ impl FitPolicy for LowestLevel {
     fn policy_name(&self) -> &'static str {
         "WorstFit"
     }
-    fn select<'a>(&mut self, _a: &ArrivalView, c: &[&'a OpenBin]) -> &'a OpenBin {
-        let mut worst = c[0];
-        for b in &c[1..] {
-            if b.level < worst.level {
-                worst = b;
+    fn select<'a>(&mut self, _a: &ArrivalView, open: &'a [OpenBin], c: &[usize]) -> &'a OpenBin {
+        let mut worst = &open[c[0]];
+        for &i in &c[1..] {
+            if open[i].level < worst.level {
+                worst = &open[i];
             }
         }
         worst
@@ -136,8 +143,8 @@ impl FitPolicy for LatestOpened {
     fn policy_name(&self) -> &'static str {
         "LastFit"
     }
-    fn select<'a>(&mut self, _a: &ArrivalView, c: &[&'a OpenBin]) -> &'a OpenBin {
-        c[c.len() - 1]
+    fn select<'a>(&mut self, _a: &ArrivalView, open: &'a [OpenBin], c: &[usize]) -> &'a OpenBin {
+        &open[c[c.len() - 1]]
     }
 }
 
@@ -163,8 +170,8 @@ impl FitPolicy for RandomChoice {
     fn policy_name(&self) -> &'static str {
         "RandomFit"
     }
-    fn select<'a>(&mut self, _a: &ArrivalView, c: &[&'a OpenBin]) -> &'a OpenBin {
-        c[self.rng.gen_range(0..c.len())]
+    fn select<'a>(&mut self, _a: &ArrivalView, open: &'a [OpenBin], c: &[usize]) -> &'a OpenBin {
+        &open[c[self.rng.gen_range(0..c.len())]]
     }
     fn reset_policy(&mut self) {
         self.rng = SmallRng::seed_from_u64(self.seed);
@@ -292,24 +299,22 @@ mod tests {
             level,
             contents: vec![],
         };
-        let b0 = mk(0, rat(3, 10));
-        let b1 = mk(1, rat(3, 5));
-        let b2 = mk(2, rat(1, 10));
-        let cands = vec![&b0, &b1, &b2];
+        let open = vec![mk(0, rat(3, 10)), mk(1, rat(3, 5)), mk(2, rat(1, 10))];
+        let cands = vec![0, 1, 2];
         let arr = ArrivalView {
             item: ItemId(9),
             size: rat(3, 10),
             time: rat(0, 1),
         };
-        assert_eq!(EarliestOpened.select(&arr, &cands).id, BinId(0));
-        assert_eq!(HighestLevel.select(&arr, &cands).id, BinId(1));
-        assert_eq!(LowestLevel.select(&arr, &cands).id, BinId(2));
-        assert_eq!(LatestOpened.select(&arr, &cands).id, BinId(2));
+        assert_eq!(EarliestOpened.select(&arr, &open, &cands).id, BinId(0));
+        assert_eq!(HighestLevel.select(&arr, &open, &cands).id, BinId(1));
+        assert_eq!(LowestLevel.select(&arr, &open, &cands).id, BinId(2));
+        assert_eq!(LatestOpened.select(&arr, &open, &cands).id, BinId(2));
         // Ties: first (earliest) wins for BF/WF.
-        let b3 = mk(3, rat(3, 5));
-        let tied = vec![&b1, &b3];
-        assert_eq!(HighestLevel.select(&arr, &tied).id, BinId(1));
-        assert_eq!(LowestLevel.select(&arr, &tied).id, BinId(1));
+        let tied_open = vec![mk(1, rat(3, 5)), mk(3, rat(3, 5))];
+        let tied = vec![0, 1];
+        assert_eq!(HighestLevel.select(&arr, &tied_open, &tied).id, BinId(1));
+        assert_eq!(LowestLevel.select(&arr, &tied_open, &tied).id, BinId(1));
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! Tree-backed Any-Fit algorithms: `O(log B)` placement decisions.
+//!
+//! [`FirstFitFast`], [`BestFitFast`] and [`WorstFitFast`] are drop-in
+//! replacements for the linear-scan [`FirstFit`](super::FirstFit) /
+//! [`BestFit`](super::BestFit) / [`WorstFit`](super::WorstFit): same
+//! [`PackingAlgorithm`] trait, **bit-identical placement decisions**
+//! (asserted by the `prop_fast_fit` property suite), but each arrival
+//! costs one [`FitTree`] descent instead of a scan over every open
+//! bin.
+//!
+//! The tree is kept in sync with the engine purely through the
+//! algorithm callbacks — [`on_placed`](PackingAlgorithm::on_placed)
+//! charges the placed size against the chosen bin (or registers the
+//! fresh bin), [`on_departure`](PackingAlgorithm::on_departure) reads
+//! the bin's post-departure level from the snapshot, and
+//! [`on_bin_closed`](PackingAlgorithm::on_bin_closed) tombstones the
+//! leaf. No engine internals are touched, so these run against any
+//! driver of the `PackingAlgorithm` trait. Like the other stateful
+//! algorithms (Next Fit, Hybrid First Fit), one value must not be
+//! shared across interleaved engines; `reset` restores pristine
+//! state.
+
+use super::{ArrivalView, PackingAlgorithm, Placement};
+use crate::bin::{BinId, BinSnapshot};
+use crate::fit_tree::FitTree;
+use crate::item::ItemId;
+use dbp_numeric::Rational;
+use std::marker::PhantomData;
+
+/// Which `FitTree` query a [`TreeFit`] instance runs per arrival.
+pub trait TreeRule {
+    /// Static display name of the resulting algorithm.
+    const NAME: &'static str;
+    /// Selects a feasible bin for `size`, or `None` to open.
+    fn query(tree: &FitTree, size: Rational) -> Option<BinId>;
+}
+
+/// First Fit rule: earliest-opened feasible bin.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EarliestFeasible;
+
+impl TreeRule for EarliestFeasible {
+    const NAME: &'static str = "FirstFitFast";
+    fn query(tree: &FitTree, size: Rational) -> Option<BinId> {
+        tree.first_fit(size)
+    }
+}
+
+/// Best Fit rule: highest-level feasible bin, ties earliest-opened.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TightestFeasible;
+
+impl TreeRule for TightestFeasible {
+    const NAME: &'static str = "BestFitFast";
+    fn query(tree: &FitTree, size: Rational) -> Option<BinId> {
+        tree.best_fit(size)
+    }
+}
+
+/// Worst Fit rule: lowest-level feasible bin, ties earliest-opened.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoomiestFeasible;
+
+impl TreeRule for RoomiestFeasible {
+    const NAME: &'static str = "WorstFitFast";
+    fn query(tree: &FitTree, size: Rational) -> Option<BinId> {
+        tree.worst_fit(size)
+    }
+}
+
+/// Generic tree-backed Any-Fit algorithm over a [`TreeRule`].
+#[derive(Debug, Clone, Default)]
+pub struct TreeFit<R: TreeRule> {
+    tree: FitTree,
+    /// Size of the arrival whose placement decision is in flight
+    /// (set by `place`, consumed by `on_placed`).
+    pending: Option<Rational>,
+    _rule: PhantomData<R>,
+}
+
+impl<R: TreeRule> TreeFit<R> {
+    /// Creates the algorithm with an empty index.
+    pub fn new() -> TreeFit<R> {
+        TreeFit {
+            tree: FitTree::new(),
+            pending: None,
+            _rule: PhantomData,
+        }
+    }
+
+    /// Read access to the underlying index (diagnostics/tests).
+    pub fn tree(&self) -> &FitTree {
+        &self.tree
+    }
+}
+
+impl<R: TreeRule> PackingAlgorithm for TreeFit<R> {
+    fn name(&self) -> String {
+        R::NAME.to_string()
+    }
+
+    fn reset(&mut self) {
+        self.tree.clear();
+        self.pending = None;
+    }
+
+    fn place(&mut self, arrival: &ArrivalView, _bins: &BinSnapshot<'_>) -> Placement {
+        self.pending = Some(arrival.size);
+        match R::query(&self.tree, arrival.size) {
+            Some(bin) => Placement::Existing(bin),
+            None => Placement::OpenNew,
+        }
+    }
+
+    fn on_placed(&mut self, _item: ItemId, bin: BinId, new_bin: bool, _time: Rational) {
+        let size = self
+            .pending
+            .take()
+            .expect("on_placed must follow a place() call");
+        if new_bin {
+            self.tree.open(bin, Rational::ONE - size);
+        } else {
+            self.tree.place(bin, size);
+        }
+    }
+
+    fn on_departure(&mut self, _item: ItemId, bin: BinId, _time: Rational, bins: &BinSnapshot<'_>) {
+        // The snapshot is post-removal: if the bin is still open its
+        // new level is authoritative; if it closed, `on_bin_closed`
+        // fires next and tombstones the leaf.
+        if let Some(b) = bins.get(bin) {
+            self.tree.set_gap(bin, Rational::ONE - b.level);
+        }
+    }
+
+    fn on_bin_closed(&mut self, bin: BinId, _time: Rational) {
+        self.tree.close(bin);
+    }
+}
+
+/// Tree-backed First Fit (see [`EarliestFeasible`]).
+pub type FirstFitFast = TreeFit<EarliestFeasible>;
+/// Tree-backed Best Fit (see [`TightestFeasible`]).
+pub type BestFitFast = TreeFit<TightestFeasible>;
+/// Tree-backed Worst Fit (see [`RoomiestFeasible`]).
+pub type WorstFitFast = TreeFit<RoomiestFeasible>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{BestFit, FirstFit, WorstFit};
+    use crate::engine::run_packing;
+    use crate::item::Instance;
+    use dbp_numeric::rat;
+
+    /// A churny scenario: mid-run closures, exact fills, equal-time
+    /// departure/arrival boundaries.
+    fn scenario() -> Instance {
+        Instance::builder()
+            .item(rat(7, 10), rat(0, 1), rat(10, 1))
+            .item(rat(2, 5), rat(0, 1), rat(6, 1))
+            .item(rat(9, 10), rat(0, 1), rat(1, 1)) // closes its bin at t=1
+            .item(rat(1, 2), rat(1, 1), rat(10, 1)) // arrives as that closes
+            .item(rat(3, 10), rat(2, 1), rat(10, 1)) // exact fill of b0
+            .item(rat(3, 5), rat(6, 1), rat(10, 1)) // arrives at a departure instant
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fast_first_fit_matches_reference() {
+        let inst = scenario();
+        let fast = run_packing(&inst, &mut FirstFitFast::new()).unwrap();
+        let slow = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        assert_eq!(fast.assignments(), slow.assignments());
+        assert_eq!(fast.bins(), slow.bins());
+        assert_eq!(fast.total_usage(), slow.total_usage());
+        assert_eq!(fast.algorithm(), "FirstFitFast");
+    }
+
+    #[test]
+    fn fast_best_and_worst_match_reference() {
+        let inst = scenario();
+        let bf_fast = run_packing(&inst, &mut BestFitFast::new()).unwrap();
+        let bf = run_packing(&inst, &mut BestFit::new()).unwrap();
+        assert_eq!(bf_fast.assignments(), bf.assignments());
+        let wf_fast = run_packing(&inst, &mut WorstFitFast::new()).unwrap();
+        let wf = run_packing(&inst, &mut WorstFit::new()).unwrap();
+        assert_eq!(wf_fast.assignments(), wf.assignments());
+    }
+
+    #[test]
+    fn reuse_across_runs_via_reset() {
+        let inst = scenario();
+        let mut ff = FirstFitFast::new();
+        let a = run_packing(&inst, &mut ff).unwrap();
+        let b = run_packing(&inst, &mut ff).unwrap(); // reset() clears the tree
+        assert_eq!(a, b);
+        assert!(ff.tree().is_empty()); // everything departed and closed
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(FirstFitFast::new().name(), "FirstFitFast");
+        assert_eq!(BestFitFast::new().name(), "BestFitFast");
+        assert_eq!(WorstFitFast::new().name(), "WorstFitFast");
+    }
+}

@@ -14,6 +14,7 @@
 
 mod any_fit;
 mod clairvoyant;
+mod fast_fit;
 mod hybrid;
 mod next_fit;
 mod scripted;
@@ -23,6 +24,10 @@ pub use any_fit::{
     LowestLevel, RandomChoice, RandomFit, WorstFit,
 };
 pub use clairvoyant::{DepartureAlignedFit, MarginalCostFit};
+pub use fast_fit::{
+    BestFitFast, EarliestFeasible, FirstFitFast, RoomiestFeasible, TightestFeasible, TreeFit,
+    TreeRule, WorstFitFast,
+};
 pub use hybrid::HybridFirstFit;
 pub use next_fit::NextFit;
 pub use scripted::Scripted;

@@ -167,6 +167,9 @@ struct LiveBin {
     last_change: Rational,
 }
 
+/// Sentinel slot for a bin that is not (or no longer) open.
+const NO_SLOT: u32 = u32::MAX;
+
 /// The incremental engine. Drive it with [`arrive`](Self::arrive) /
 /// [`depart`](Self::depart) in non-decreasing time order (the
 /// instance-replay helper [`run_packing`] does this for you), then
@@ -182,6 +185,12 @@ pub struct PackingEngine {
     active: Vec<(ItemId, BinId, Rational)>,
     /// Final assignment log.
     assignments: Vec<(ItemId, BinId)>,
+    /// bin id → current index into `open`/`live` (`NO_SLOT` once
+    /// closed). Ids are dense opening ranks, so a flat vector gives
+    /// O(1) lookup on both the arrival and departure paths; the
+    /// entries right of a closing bin are patched during the same
+    /// left-shift `Vec::remove` already performs.
+    slot_of: Vec<u32>,
     next_bin: u32,
     now: Option<Rational>,
     max_open: usize,
@@ -202,9 +211,19 @@ impl PackingEngine {
             closed: Vec::new(),
             active: Vec::new(),
             assignments: Vec::new(),
+            slot_of: Vec::new(),
             next_bin: 0,
             now: None,
             max_open: 0,
+        }
+    }
+
+    /// Current index of `bin` in `open`/`live`, `None` if not open.
+    #[inline]
+    fn slot(&self, bin: BinId) -> Option<usize> {
+        match self.slot_of.get(bin.index()) {
+            Some(&s) if s != NO_SLOT => Some(s as usize),
+            _ => None,
         }
     }
 
@@ -267,9 +286,13 @@ impl PackingEngine {
         time: Rational,
     ) -> Result<BinId, PackingError> {
         self.check_time(time)?;
-        if self.active.iter().any(|(r, _, _)| *r == item) {
-            return Err(PackingError::DuplicateItem(item));
-        }
+        // `active` is sorted by item id: one binary search both
+        // rejects duplicates and yields the insertion point reused
+        // for the post-placement insert below.
+        let active_pos = match self.active.binary_search_by(|(r, _, _)| r.cmp(&item)) {
+            Ok(_) => return Err(PackingError::DuplicateItem(item)),
+            Err(pos) => pos,
+        };
         let arrival = ArrivalView { item, size, time };
         let placement = {
             let snap = BinSnapshot::new(&self.open);
@@ -278,10 +301,7 @@ impl PackingEngine {
         };
         let (bin_id, new_bin) = match placement {
             Placement::Existing(bin_id) => {
-                let idx = self
-                    .open
-                    .binary_search_by(|b| b.id.cmp(&bin_id))
-                    .map_err(|_| PackingError::NoSuchBin(bin_id))?;
+                let idx = self.slot(bin_id).ok_or(PackingError::NoSuchBin(bin_id))?;
                 if !self.open[idx].fits(size) {
                     return Err(PackingError::Infeasible {
                         bin: bin_id,
@@ -311,6 +331,8 @@ impl PackingEngine {
                 }
                 obs.on_bin_opened(bin_id, time);
                 self.next_bin += 1;
+                debug_assert_eq!(self.slot_of.len(), bin_id.index());
+                self.slot_of.push(self.open.len() as u32);
                 self.open.push(OpenBin {
                     id: bin_id,
                     opened_at: time,
@@ -328,8 +350,7 @@ impl PackingEngine {
                 (bin_id, true)
             }
         };
-        let pos = self.active.partition_point(|(r, _, _)| *r < item);
-        self.active.insert(pos, (item, bin_id, size));
+        self.active.insert(active_pos, (item, bin_id, size));
         self.assignments.push((item, bin_id));
         algo.on_placed(item, bin_id, new_bin, time);
         Ok(bin_id)
@@ -362,10 +383,7 @@ impl PackingEngine {
             .binary_search_by(|(r, _, _)| r.cmp(&item))
             .map_err(|_| PackingError::UnknownItem(item))?;
         let (_, bin_id, size) = self.active.remove(pos);
-        let idx = self
-            .open
-            .binary_search_by(|b| b.id.cmp(&bin_id))
-            .expect("active item's bin must be open");
+        let idx = self.slot(bin_id).expect("active item's bin must be open");
         {
             let (open, live) = (&mut self.open[idx], &mut self.live[idx]);
             Self::advance_bin_clock(open, live, time);
@@ -381,6 +399,12 @@ impl PackingEngine {
         if closed_now {
             let open = self.open.remove(idx);
             let live = self.live.remove(idx);
+            // Patch the id→slot index alongside the left-shift the
+            // two removals just performed.
+            self.slot_of[open.id.index()] = NO_SLOT;
+            for b in &self.open[idx..] {
+                self.slot_of[b.id.index()] -= 1;
+            }
             debug_assert!(open.level.is_zero(), "empty bin must have zero level");
             self.closed.push(BinRecord {
                 id: open.id,

@@ -1,0 +1,375 @@
+//! `FitTree` — a sublinear placement index over open bins.
+//!
+//! The Any-Fit reference implementations scan every open bin per
+//! arrival, which makes a replay with `B` concurrent bins cost
+//! `Θ(n·B)`. This module provides the classic alternative (a
+//! Johnson-style tournament tree over residual capacities): one leaf
+//! per bin, internal nodes storing the **maximum residual gap** of
+//! their subtree, so that the three Any-Fit selection rules become
+//! `O(log B)` tree descents:
+//!
+//! * [`first_fit`](FitTree::first_fit) — the *earliest-opened* bin
+//!   with `gap ≥ s` (leftmost feasible leaf);
+//! * [`worst_fit`](FitTree::worst_fit) — the *lowest-level* feasible
+//!   bin (leftmost leaf attaining the maximum gap);
+//! * [`best_fit`](FitTree::best_fit) — the *highest-level* feasible
+//!   bin, answered from a companion ordered set keyed `(gap, id)`
+//!   (a tournament tree alone cannot answer "minimum gap ≥ s" in one
+//!   descent).
+//!
+//! Leaves are indexed by [`BinId`] directly — bin ids are assigned in
+//! opening order and never reused, so leaf order *is* opening order
+//! and "leftmost" *is* "earliest opened". Closed bins leave a
+//! tombstone leaf holding a negative sentinel gap that no query can
+//! match. The leaf array doubles geometrically as ids grow, so a run
+//! that opens `N` bins in total pays `O(log N)` per query and
+//! amortized `O(1)` growth per opening; `N` is bounded by the number
+//! of items, and the tree is `clear`ed between runs.
+//!
+//! All gaps are exact [`Rational`]s: feasibility decisions are
+//! bit-identical to the linear scans they replace.
+
+use crate::bin::BinId;
+use dbp_numeric::Rational;
+use std::collections::BTreeSet;
+
+/// Sentinel gap for tombstoned (closed) and never-opened leaves.
+/// Strictly below every real gap, so no feasibility query (`s ≥ 0`)
+/// ever selects one.
+const CLOSED: Rational = Rational::from_int(-1);
+
+/// Tournament (max-)tree over bin residual gaps, plus an ordered
+/// `(gap, id)` set for Best-Fit queries. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct FitTree {
+    /// Number of leaves (a power of two, or 0 before first use).
+    cap: usize,
+    /// 1-based flat tree: `tree[1]` is the root, leaves occupy
+    /// `tree[cap..2·cap]`; `tree[i]` is the max gap in the subtree.
+    tree: Vec<Rational>,
+    /// Live bins ordered by `(gap, id)`: Best Fit is the first entry
+    /// at or above `(s, BinId(0))`.
+    by_gap: BTreeSet<(Rational, BinId)>,
+}
+
+impl FitTree {
+    /// Creates an empty index.
+    pub fn new() -> FitTree {
+        FitTree::default()
+    }
+
+    /// Removes every bin (start of a new run).
+    pub fn clear(&mut self) {
+        self.cap = 0;
+        self.tree.clear();
+        self.by_gap.clear();
+    }
+
+    /// Number of live (open) bins in the index.
+    pub fn len(&self) -> usize {
+        self.by_gap.len()
+    }
+
+    /// `true` iff no bin is live.
+    pub fn is_empty(&self) -> bool {
+        self.by_gap.is_empty()
+    }
+
+    /// The residual gap of a live bin (`None` if closed or unknown).
+    pub fn gap(&self, id: BinId) -> Option<Rational> {
+        let i = id.index();
+        if i < self.cap && self.tree[self.cap + i] != CLOSED {
+            Some(self.tree[self.cap + i])
+        } else {
+            None
+        }
+    }
+
+    /// Grows the leaf array to cover `want` leaves, rebuilding the
+    /// internal max nodes.
+    fn grow(&mut self, want: usize) {
+        let mut cap = self.cap.max(1);
+        while cap < want {
+            cap *= 2;
+        }
+        if cap == self.cap {
+            return;
+        }
+        let mut tree = vec![CLOSED; 2 * cap];
+        if self.cap > 0 {
+            tree[cap..cap + self.cap].copy_from_slice(&self.tree[self.cap..2 * self.cap]);
+        }
+        for i in (1..cap).rev() {
+            tree[i] = tree[2 * i].max(tree[2 * i + 1]);
+        }
+        self.cap = cap;
+        self.tree = tree;
+    }
+
+    /// Re-establishes the max invariant on the path above leaf `i`.
+    fn pull_up(&mut self, mut i: usize) {
+        i = (self.cap + i) / 2;
+        while i >= 1 {
+            let m = self.tree[2 * i].max(self.tree[2 * i + 1]);
+            if self.tree[i] == m {
+                break;
+            }
+            self.tree[i] = m;
+            i /= 2;
+        }
+    }
+
+    /// Registers a freshly opened bin with the given residual gap.
+    ///
+    /// # Panics
+    /// Panics if `id` is already live (ids are never reused).
+    pub fn open(&mut self, id: BinId, gap: Rational) {
+        let i = id.index();
+        self.grow(i + 1);
+        assert!(
+            self.tree[self.cap + i] == CLOSED,
+            "bin {id} opened twice in FitTree"
+        );
+        self.tree[self.cap + i] = gap;
+        self.pull_up(i);
+        self.by_gap.insert((gap, id));
+    }
+
+    /// Shrinks a live bin's gap by `size` (an item was placed).
+    ///
+    /// # Panics
+    /// Panics if `id` is not live.
+    pub fn place(&mut self, id: BinId, size: Rational) {
+        let old = self.gap(id).expect("place() into a bin not in FitTree");
+        self.set_gap(id, old - size);
+    }
+
+    /// Sets a live bin's gap to an absolute value (an item departed
+    /// and the bin's level is known from the snapshot).
+    ///
+    /// # Panics
+    /// Panics if `id` is not live.
+    pub fn set_gap(&mut self, id: BinId, gap: Rational) {
+        let i = id.index();
+        let old = self.gap(id).expect("set_gap() on a bin not in FitTree");
+        if old == gap {
+            return;
+        }
+        self.by_gap.remove(&(old, id));
+        self.by_gap.insert((gap, id));
+        self.tree[self.cap + i] = gap;
+        self.pull_up(i);
+    }
+
+    /// Tombstones a closed bin.
+    ///
+    /// # Panics
+    /// Panics if `id` is not live.
+    pub fn close(&mut self, id: BinId) {
+        let i = id.index();
+        let old = self.gap(id).expect("close() of a bin not in FitTree");
+        self.by_gap.remove(&(old, id));
+        self.tree[self.cap + i] = CLOSED;
+        self.pull_up(i);
+    }
+
+    /// First Fit: the earliest-opened live bin with `gap ≥ size`.
+    pub fn first_fit(&self, size: Rational) -> Option<BinId> {
+        if self.cap == 0 || self.tree[1] < size {
+            return None;
+        }
+        let mut i = 1;
+        while i < self.cap {
+            i = if self.tree[2 * i] >= size {
+                2 * i
+            } else {
+                2 * i + 1
+            };
+        }
+        Some(BinId((i - self.cap) as u32))
+    }
+
+    /// Best Fit: the highest-level (smallest-gap) live bin with
+    /// `gap ≥ size`; ties broken toward the earliest-opened bin.
+    pub fn best_fit(&self, size: Rational) -> Option<BinId> {
+        self.by_gap
+            .range((size, BinId(u32::MIN))..)
+            .next()
+            .map(|&(_, id)| id)
+    }
+
+    /// Worst Fit: the lowest-level (largest-gap) live bin, provided
+    /// it can take `size`; ties broken toward the earliest-opened
+    /// bin (the leftmost leaf attaining the root's maximum).
+    pub fn worst_fit(&self, size: Rational) -> Option<BinId> {
+        if self.cap == 0 || self.tree[1] < size {
+            return None;
+        }
+        let max = self.tree[1];
+        let mut i = 1;
+        while i < self.cap {
+            i = if self.tree[2 * i] == max {
+                2 * i
+            } else {
+                2 * i + 1
+            };
+        }
+        Some(BinId((i - self.cap) as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_numeric::rat;
+
+    #[test]
+    fn empty_tree_answers_nothing() {
+        let t = FitTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.first_fit(rat(1, 2)), None);
+        assert_eq!(t.best_fit(rat(1, 2)), None);
+        assert_eq!(t.worst_fit(rat(1, 2)), None);
+        assert_eq!(t.gap(BinId(0)), None);
+    }
+
+    #[test]
+    fn selection_rules_agree_with_definitions() {
+        let mut t = FitTree::new();
+        // Gaps: b0=0.1, b1=0.5, b2=0.4, b3=0.5.
+        t.open(BinId(0), rat(1, 10));
+        t.open(BinId(1), rat(1, 2));
+        t.open(BinId(2), rat(2, 5));
+        t.open(BinId(3), rat(1, 2));
+        assert_eq!(t.len(), 4);
+        // size 0.3: earliest feasible is b1; tightest feasible is b2;
+        // roomiest is b1 (gap 0.5, tie with b3 → earliest).
+        assert_eq!(t.first_fit(rat(3, 10)), Some(BinId(1)));
+        assert_eq!(t.best_fit(rat(3, 10)), Some(BinId(2)));
+        assert_eq!(t.worst_fit(rat(3, 10)), Some(BinId(1)));
+        // size 0.05 fits everything: FF→b0, BF→b0 (tightest), WF→b1.
+        assert_eq!(t.first_fit(rat(1, 20)), Some(BinId(0)));
+        assert_eq!(t.best_fit(rat(1, 20)), Some(BinId(0)));
+        assert_eq!(t.worst_fit(rat(1, 20)), Some(BinId(1)));
+        // Nothing fits 0.6.
+        assert_eq!(t.first_fit(rat(3, 5)), None);
+        assert_eq!(t.best_fit(rat(3, 5)), None);
+        assert_eq!(t.worst_fit(rat(3, 5)), None);
+    }
+
+    #[test]
+    fn updates_and_closures_are_tracked() {
+        let mut t = FitTree::new();
+        t.open(BinId(0), rat(1, 2));
+        t.open(BinId(1), rat(1, 2));
+        t.place(BinId(0), rat(1, 4)); // b0 gap → 1/4
+        assert_eq!(t.gap(BinId(0)), Some(rat(1, 4)));
+        assert_eq!(t.first_fit(rat(1, 3)), Some(BinId(1)));
+        t.set_gap(BinId(0), rat(3, 4)); // departure grew the gap
+        assert_eq!(t.first_fit(rat(2, 3)), Some(BinId(0)));
+        t.close(BinId(0));
+        assert_eq!(t.gap(BinId(0)), None);
+        assert_eq!(t.first_fit(rat(1, 8)), Some(BinId(1)));
+        assert_eq!(t.len(), 1);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.first_fit(rat(1, 8)), None);
+    }
+
+    #[test]
+    fn exact_fill_boundary_is_inclusive() {
+        let mut t = FitTree::new();
+        t.open(BinId(0), rat(1, 4));
+        // gap == size is feasible (capacity is inclusive).
+        assert_eq!(t.first_fit(rat(1, 4)), Some(BinId(0)));
+        assert_eq!(t.best_fit(rat(1, 4)), Some(BinId(0)));
+        assert_eq!(t.worst_fit(rat(1, 4)), Some(BinId(0)));
+        t.place(BinId(0), rat(1, 4));
+        assert_eq!(t.gap(BinId(0)), Some(Rational::ZERO));
+        assert_eq!(t.first_fit(rat(1, 100)), None);
+    }
+
+    #[test]
+    fn growth_preserves_existing_leaves() {
+        let mut t = FitTree::new();
+        for k in 0..100u32 {
+            t.open(BinId(k), rat(1 + (k as i128 % 7), 10));
+        }
+        assert_eq!(t.len(), 100);
+        // Leftmost with gap ≥ 0.7: gaps cycle 1/10..7/10, so the
+        // first leaf holding 7/10 is id 6.
+        assert_eq!(t.first_fit(rat(7, 10)), Some(BinId(6)));
+        // Close the first fifty; queries shift right.
+        for k in 0..50u32 {
+            t.close(BinId(k));
+        }
+        assert_eq!(t.first_fit(rat(7, 10)), Some(BinId(55)));
+        assert_eq!(t.len(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "opened twice")]
+    fn double_open_panics() {
+        let mut t = FitTree::new();
+        t.open(BinId(0), rat(1, 2));
+        t.open(BinId(0), rat(1, 2));
+    }
+
+    /// Cross-check every query against a brute-force scan on a
+    /// deterministic pseudo-random churn sequence.
+    #[test]
+    fn matches_linear_scan_under_churn() {
+        let mut t = FitTree::new();
+        let mut live: Vec<(BinId, Rational)> = Vec::new();
+        let mut next = 0u32;
+        let mut state = 0x9E37u64;
+        let mut rng = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as i128
+        };
+        for step in 0..600 {
+            match rng() % 3 {
+                0 => {
+                    let gap = rat(rng() % 100, 100).abs();
+                    t.open(BinId(next), gap);
+                    live.push((BinId(next), gap));
+                    next += 1;
+                }
+                1 if !live.is_empty() => {
+                    let k = (rng().unsigned_abs() as usize) % live.len();
+                    let (id, _) = live.remove(k);
+                    t.close(id);
+                }
+                _ if !live.is_empty() => {
+                    let k = (rng().unsigned_abs() as usize) % live.len();
+                    let gap = rat(rng() % 100, 100).abs();
+                    live[k].1 = gap;
+                    t.set_gap(live[k].0, gap);
+                }
+                _ => {}
+            }
+            let s = rat(1 + rng().unsigned_abs() as i128 % 99, 100);
+            let ff = live
+                .iter()
+                .filter(|(_, g)| *g >= s)
+                .min_by_key(|(id, _)| *id)
+                .map(|&(id, _)| id);
+            let bf = live
+                .iter()
+                .filter(|(_, g)| *g >= s)
+                .min_by_key(|&&(id, g)| (g, id))
+                .map(|&(id, _)| id);
+            let wf = live
+                .iter()
+                .filter(|(_, g)| *g >= s)
+                .max_by(|a, b| (a.1, std::cmp::Reverse(a.0)).cmp(&(b.1, std::cmp::Reverse(b.0))))
+                .map(|&(id, _)| id);
+            assert_eq!(t.first_fit(s), ff, "first_fit diverged at step {step}");
+            assert_eq!(t.best_fit(s), bf, "best_fit diverged at step {step}");
+            assert_eq!(t.worst_fit(s), wf, "worst_fit diverged at step {step}");
+            assert_eq!(t.len(), live.len());
+        }
+    }
+}

@@ -60,25 +60,28 @@
 pub mod algo;
 pub mod bin;
 pub mod engine;
+pub mod fit_tree;
 pub mod item;
 pub mod observe;
 
 pub use algo::{
-    AnyFit, BestFit, DepartureAlignedFit, FirstFit, FitPolicy, HybridFirstFit, LastFit,
-    MarginalCostFit, NextFit, PackingAlgorithm, Placement, RandomFit, Scripted, WorstFit,
+    AnyFit, BestFit, BestFitFast, DepartureAlignedFit, FirstFit, FirstFitFast, FitPolicy,
+    HybridFirstFit, LastFit, MarginalCostFit, NextFit, PackingAlgorithm, Placement, RandomFit,
+    Scripted, WorstFit, WorstFitFast,
 };
 pub use bin::{BinId, BinSnapshot, OpenBin};
 pub use engine::{
     run_packing, run_packing_observed, BinRecord, PackingEngine, PackingError, PackingOutcome,
 };
+pub use fit_tree::FitTree;
 pub use item::{Instance, InstanceBuilder, InstanceError, InstanceStats, Item, ItemId};
 pub use observe::{EngineObserver, FanOut, NoopObserver};
 
 /// One-stop imports for downstream crates and examples.
 pub mod prelude {
     pub use crate::algo::{
-        BestFit, FirstFit, HybridFirstFit, LastFit, NextFit, PackingAlgorithm, Placement,
-        RandomFit, WorstFit,
+        BestFit, BestFitFast, FirstFit, FirstFitFast, HybridFirstFit, LastFit, NextFit,
+        PackingAlgorithm, Placement, RandomFit, WorstFit, WorstFitFast,
     };
     pub use crate::bin::{BinId, BinSnapshot, OpenBin};
     pub use crate::engine::{run_packing, run_packing_observed, PackingEngine, PackingOutcome};

@@ -1,0 +1,116 @@
+//! Equivalence of the tree-backed algorithms with their linear-scan
+//! references.
+//!
+//! `FirstFitFast` / `BestFitFast` / `WorstFitFast` answer placements
+//! from a `FitTree` index instead of scanning the snapshot; nothing
+//! about the *packing* may change. These properties replay random
+//! instances — dense with equal-time departure/arrival boundaries,
+//! exact fills, and mid-run bin closures — through both
+//! implementations and require placement-for-placement identical
+//! outcomes (assignments, per-bin histories, usage accounting, and
+//! peak concurrency; only the reported algorithm name differs).
+
+use dbp_core::prelude::*;
+use dbp_core::{PackingAlgorithm, PackingOutcome};
+use dbp_numeric::rat;
+use proptest::prelude::*;
+
+/// Strategy: a well-formed instance with up to 40 items.
+///
+/// Quarter-grid arrivals and durations force many simultaneous
+/// events (departure-before-arrival ties at equal timestamps); the
+/// size law mixes tiny and near-unit items so both the "fits
+/// somewhere" and "forces a new bin" branches fire constantly.
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    let item = (1i128..=8, 1i128..=8, 0i128..=60, 1i128..=20).prop_map(|(num, den, arr4, dur4)| {
+        let size = rat(num.min(den), den); // in (0, 1]
+        let arrival = rat(arr4, 4);
+        let duration = rat(dur4, 4);
+        (size, arrival, arrival + duration)
+    });
+    prop::collection::vec(item, 0..40)
+        .prop_map(|specs| Instance::new(specs).expect("strategy produces valid specs"))
+}
+
+/// Runs both implementations and checks every outcome field except
+/// the algorithm name.
+fn assert_equivalent(
+    inst: &Instance,
+    fast: &mut dyn PackingAlgorithm,
+    slow: &mut dyn PackingAlgorithm,
+) -> Result<(), TestCaseError> {
+    let f: PackingOutcome = run_packing(inst, fast).expect("fast run succeeds");
+    let s: PackingOutcome = run_packing(inst, slow).expect("reference run succeeds");
+    prop_assert_eq!(
+        f.assignments(),
+        s.assignments(),
+        "{} diverged from {}",
+        fast.name(),
+        slow.name()
+    );
+    prop_assert_eq!(f.bins(), s.bins());
+    prop_assert_eq!(f.total_usage(), s.total_usage());
+    prop_assert_eq!(f.max_open_bins(), s.max_open_bins());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn first_fit_fast_is_bit_identical(inst in instance_strategy()) {
+        assert_equivalent(&inst, &mut FirstFitFast::new(), &mut FirstFit::new())?;
+    }
+
+    #[test]
+    fn best_fit_fast_is_bit_identical(inst in instance_strategy()) {
+        assert_equivalent(&inst, &mut BestFitFast::new(), &mut BestFit::new())?;
+    }
+
+    #[test]
+    fn worst_fit_fast_is_bit_identical(inst in instance_strategy()) {
+        assert_equivalent(&inst, &mut WorstFitFast::new(), &mut WorstFit::new())?;
+    }
+
+    /// Reusing one fast-algorithm value across runs (engine calls
+    /// `reset`) must not leak index state between runs.
+    #[test]
+    fn fast_algorithms_reset_cleanly(inst in instance_strategy()) {
+        let mut ff = FirstFitFast::new();
+        let first = run_packing(&inst, &mut ff).unwrap();
+        let second = run_packing(&inst, &mut ff).unwrap();
+        prop_assert_eq!(first, second);
+    }
+}
+
+/// A deterministic adversarial sweep far bigger than the proptest
+/// cases: a staircase of overlapping large items (every bin is
+/// singleton, hundreds concurrently open) salted with small items
+/// that slot into earlier bins. This is exactly the Θ(n·B) shape the
+/// index exists for, so run it once at full size as a regression
+/// anchor.
+#[test]
+fn staircase_equivalence_at_scale() {
+    let n: i128 = 1500;
+    let window: i128 = 300;
+    let mut b = Instance::builder();
+    for i in 0..n {
+        let size = if i % 5 == 0 {
+            rat(11 + (i * 13) % 23, 100) // small: joins an earlier bin
+        } else {
+            rat(51 + (i * 7) % 49, 100) // large: forces its own bin
+        };
+        b = b.item(size, rat(i, 1), rat(i + window, 1));
+    }
+    let inst = b.build().unwrap();
+    let fast = run_packing(&inst, &mut FirstFitFast::new()).unwrap();
+    let slow = run_packing(&inst, &mut FirstFit::new()).unwrap();
+    assert_eq!(fast.assignments(), slow.assignments());
+    assert_eq!(fast.bins(), slow.bins());
+    assert_eq!(fast.total_usage(), slow.total_usage());
+    assert!(
+        fast.max_open_bins() >= window as usize / 2,
+        "staircase should keep hundreds of bins concurrently open, got {}",
+        fast.max_open_bins()
+    );
+}

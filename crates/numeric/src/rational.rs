@@ -235,7 +235,37 @@ impl Rational {
     }
 
     /// Checked addition; `None` on `i128` overflow.
+    ///
+    /// Hot-path structure: the engine adds item sizes to bin levels
+    /// and advances integer-ish clocks millions of times per sweep,
+    /// so the common shapes skip the generic double-gcd route:
+    ///
+    /// * equal denominators — one gcd of the summed numerator;
+    /// * an integer operand — **no** gcd at all: for reduced `a/d`,
+    ///   `gcd(a + k·d, d) = gcd(a, d) = 1`, so `(a + k·d)/d` is
+    ///   already in lowest terms.
     pub fn checked_add(self, rhs: Rational) -> Option<Rational> {
+        if self.den == rhs.den {
+            let num = self.num.checked_add(rhs.num)?;
+            if self.den == 1 {
+                return Some(Rational { num, den: 1 });
+            }
+            // g divides the (positive) denominator, so it fits i128
+            // even when `num` is i128::MIN.
+            let g = (gcd_u(num.unsigned_abs(), self.den as u128) as i128).max(1);
+            return Some(Rational {
+                num: num / g,
+                den: self.den / g,
+            });
+        }
+        if rhs.den == 1 {
+            let num = self.num.checked_add(rhs.num.checked_mul(self.den)?)?;
+            return Some(Rational { num, den: self.den });
+        }
+        if self.den == 1 {
+            let num = rhs.num.checked_add(self.num.checked_mul(rhs.den)?)?;
+            return Some(Rational { num, den: rhs.den });
+        }
         let g = gcd(self.den, rhs.den);
         let lhs_scale = rhs.den / g;
         let rhs_scale = self.den / g;
@@ -291,6 +321,12 @@ impl PartialOrd for Rational {
 impl Ord for Rational {
     #[inline]
     fn cmp(&self, other: &Self) -> Ordering {
+        // Equal (in particular unit) denominators: compare numerators
+        // directly — no multiplication, no overflow path. This is the
+        // dominant shape for engine clocks and level checks.
+        if self.den == other.den {
+            return self.num.cmp(&other.num);
+        }
         // a/b ? c/d  <=>  a*d ? c*b   (b, d > 0)
         let lhs = self.num.checked_mul(other.den);
         let rhs = other.num.checked_mul(self.den);
@@ -627,5 +663,45 @@ mod tests {
     #[test]
     fn to_f64_is_close() {
         assert!((Rational::new(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-15);
+    }
+
+    /// The add fast paths (equal denominators, integer operands) must
+    /// keep the reduced-form invariant bit-for-bit.
+    #[test]
+    fn add_fast_paths_stay_reduced() {
+        // Equal denominators that reduce after summing.
+        let r = Rational::new(1, 6) + Rational::new(1, 6);
+        assert_eq!((r.numer(), r.denom()), (1, 3));
+        let r = Rational::new(1, 2) + Rational::new(1, 2);
+        assert_eq!((r.numer(), r.denom()), (1, 1));
+        let r = Rational::new(-5, 6) + Rational::new(1, 6);
+        assert_eq!((r.numer(), r.denom()), (-2, 3));
+        // Integer + integer.
+        let r = Rational::from_int(3) + Rational::from_int(-7);
+        assert_eq!((r.numer(), r.denom()), (-4, 1));
+        // Integer + fraction (both orders): no renormalization needed.
+        let r = Rational::from_int(2) + Rational::new(3, 4);
+        assert_eq!((r.numer(), r.denom()), (11, 4));
+        let r = Rational::new(3, 4) + Rational::from_int(-1);
+        assert_eq!((r.numer(), r.denom()), (-1, 4));
+        // Subtraction rides the same paths via negation.
+        let r = Rational::new(5, 6) - Rational::new(1, 6);
+        assert_eq!((r.numer(), r.denom()), (2, 3));
+        // Cancellation to zero stays canonical 0/1.
+        let r = Rational::new(2, 7) - Rational::new(2, 7);
+        assert_eq!((r.numer(), r.denom()), (0, 1));
+    }
+
+    #[test]
+    fn cmp_fast_path_matches_generic() {
+        // Equal denominators (fast path) vs mixed (generic path).
+        assert!(Rational::new(3, 7) < Rational::new(4, 7));
+        assert!(Rational::new(-4, 7) < Rational::new(-3, 7));
+        assert_eq!(
+            Rational::new(4, 7).cmp(&Rational::new(4, 7)),
+            Ordering::Equal
+        );
+        assert!(Rational::from_int(3) < Rational::from_int(4));
+        assert!(Rational::new(1, 2) < Rational::new(2, 3));
     }
 }
