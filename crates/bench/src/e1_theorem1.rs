@@ -10,7 +10,7 @@
 
 use crate::table::{dec, Table};
 use dbp_analysis::measure_ratio;
-use dbp_core::{run_packing, FirstFitFast};
+use dbp_core::{run_packing_auto, TickPolicy};
 use dbp_numeric::{rat, Rational};
 use dbp_par::par_map;
 use dbp_simcore::SummaryStats;
@@ -54,7 +54,9 @@ pub fn run(mus: &[u32], n: usize, seeds_per_mu: u64) -> (Vec<MuRow>, Table) {
                 horizon: (rat(n as i128, 16) * mu_r).max(rat(n as i128, 8)),
             };
             let inst = wl.generate();
-            let out = run_packing(&inst, &mut FirstFitFast::new()).unwrap();
+            // Tick-compiled First Fit: bit-identical to the Rational
+            // engine, integer arithmetic on the hot path.
+            let out = run_packing_auto(&inst, TickPolicy::FirstFit).unwrap();
             let rep = measure_ratio(&inst, &out);
             let actual_mu = inst.mu().unwrap_or(Rational::ONE);
             let cert_bound = (actual_mu + Rational::from_int(3)) * inst.vol() + inst.span();

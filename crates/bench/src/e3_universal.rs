@@ -11,7 +11,7 @@
 
 use crate::table::{dec, Table};
 use dbp_analysis::measure_ratio;
-use dbp_core::run_packing;
+use dbp_core::{event_schedule, run_packing_scheduled};
 use dbp_numeric::Rational;
 use dbp_workloads::adversarial::universal_mu_pairs;
 
@@ -32,9 +32,11 @@ pub fn run(mus: &[u32], ks: &[u32]) -> (Vec<UniversalRow>, Table) {
     for &mu in mus {
         for &k in ks {
             let (inst, _pred) = universal_mu_pairs(k, mu, k.max(4));
+            // One schedule per instance, replayed by the whole lineup.
+            let schedule = event_schedule(&inst);
             let mut ratios = Vec::new();
             for mut algo in crate::algorithm_lineup() {
-                let out = run_packing(&inst, algo.as_mut()).unwrap();
+                let out = run_packing_scheduled(&inst, &schedule, algo.as_mut()).unwrap();
                 let rep = measure_ratio(&inst, &out);
                 let ratio = rep
                     .exact_ratio()

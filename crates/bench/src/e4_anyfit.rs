@@ -8,7 +8,9 @@
 
 use crate::table::{dec, Table};
 use dbp_analysis::measure_ratio;
-use dbp_core::{run_packing, BestFit, FirstFit, LastFit, PackingAlgorithm, WorstFit};
+use dbp_core::{
+    event_schedule, run_packing_scheduled, BestFit, FirstFit, LastFit, PackingAlgorithm, WorstFit,
+};
 
 use dbp_numeric::{rat, Rational};
 use dbp_workloads::adversarial::any_fit_ladder;
@@ -32,6 +34,9 @@ pub fn run(mus: &[u32], ns: &[u32]) -> (Vec<LadderRow>, Table) {
     for &mu in mus {
         for &n in ns {
             let (inst, _) = any_fit_ladder(n, mu);
+            // One schedule per ladder cell, replayed across the whole
+            // Any-Fit lineup — no per-algorithm heap rebuild.
+            let schedule = event_schedule(&inst);
             let mut ratios = Vec::new();
             let algos: Vec<Box<dyn PackingAlgorithm>> = vec![
                 Box::new(FirstFit::new()),
@@ -40,7 +45,7 @@ pub fn run(mus: &[u32], ns: &[u32]) -> (Vec<LadderRow>, Table) {
                 Box::new(LastFit::new()),
             ];
             for mut algo in algos {
-                let out = run_packing(&inst, algo.as_mut()).unwrap();
+                let out = run_packing_scheduled(&inst, &schedule, algo.as_mut()).unwrap();
                 let rep = measure_ratio(&inst, &out);
                 let ratio = rep
                     .exact_ratio()

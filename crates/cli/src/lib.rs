@@ -21,8 +21,9 @@
 use dbp_analysis::{certify_first_fit, measure_ratio, TheoremChain};
 use dbp_cloudsim::{simulate, simulate_observed, BillingModel};
 use dbp_core::{
-    run_packing, BestFit, BestFitFast, DepartureAlignedFit, FanOut, FirstFit, FirstFitFast,
-    HybridFirstFit, Instance, LastFit, NextFit, PackingAlgorithm, WorstFit, WorstFitFast,
+    run_packing, BestFit, BestFitFast, CompiledInstance, DepartureAlignedFit, FanOut, FirstFit,
+    FirstFitFast, HybridFirstFit, Instance, LastFit, NextFit, PackingAlgorithm, TickPolicy,
+    WorstFit, WorstFitFast,
 };
 use dbp_numeric::Rational;
 use dbp_obs::{chrome_trace, parse_jsonl, EngineMetrics, StepSeries, TraceRecorder};
@@ -128,6 +129,11 @@ COMMANDS:
             --algo NAME [--k K] [--mu M]
   opt       compute the exact repacking adversary OPT_total
             --trace FILE [--max-exact N]
+  tick      compile a trace onto its integer tick grid and replay it
+            on the integer engine (bit-identical to the exact engine,
+            Rational fallback when the grid overflows)
+            --trace FILE [--algo firstfit|bestfit|worstfit]
+            [--verify true|false]
   render    ASCII timeline of a packing
             --trace FILE [--algo NAME] [--width W]
   help      this text
@@ -192,6 +198,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "chain" => cmd_chain(&opts),
         "adaptive" => cmd_adaptive(&opts),
         "opt" => cmd_opt(&opts),
+        "tick" => cmd_tick(&opts),
         "render" => cmd_render(&opts),
         other => Err(err(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
@@ -540,6 +547,76 @@ fn cmd_opt(opts: &Opts) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn cmd_tick(opts: &Opts) -> Result<String, CliError> {
+    let (_, instance) = load(opts)?;
+    let name = opts.get("algo").unwrap_or("firstfit");
+    let policy = match name {
+        "firstfit" | "ff" => TickPolicy::FirstFit,
+        "bestfit" | "bf" => TickPolicy::BestFit,
+        "worstfit" | "wf" => TickPolicy::WorstFit,
+        other => {
+            return Err(err(format!(
+                "the tick engine supports firstfit|bestfit|worstfit, got `{other}`"
+            )))
+        }
+    };
+    let verify = opts.get("verify").unwrap_or("true") == "true";
+
+    let mut out = String::new();
+    let outcome = match CompiledInstance::compile(&instance) {
+        Ok(compiled) => {
+            out.push_str(&format!(
+                "compiled: {} items → {} events on the tick grid \
+                 (origin {}, time ×{}, size ×{})\n",
+                compiled.items().len(),
+                compiled.schedule().len(),
+                compiled.origin(),
+                compiled.time_scale(),
+                compiled.size_scale(),
+            ));
+            let outcome = compiled
+                .run(policy)
+                .map_err(|e| err(format!("tick replay failed: {e}")))?;
+            if verify {
+                // Replay the same stream on the exact engine and
+                // insist on bit-identical books.
+                let mut linear: Box<dyn PackingAlgorithm> = match policy {
+                    TickPolicy::FirstFit => Box::new(FirstFit::new()),
+                    TickPolicy::BestFit => Box::new(BestFit::new()),
+                    TickPolicy::WorstFit => Box::new(WorstFit::new()),
+                };
+                let exact = run_packing(&instance, linear.as_mut())
+                    .map_err(|e| err(format!("verification replay failed: {e}")))?;
+                if outcome == exact {
+                    out.push_str("verify: OK — bit-identical to the exact Rational engine\n");
+                } else {
+                    return Err(err(
+                        "verify: MISMATCH — tick outcome diverged from the exact engine"
+                            .to_string(),
+                    ));
+                }
+            }
+            outcome
+        }
+        Err(e) => {
+            out.push_str(&format!(
+                "compile: {e} — falling back to the exact Rational engine\n"
+            ));
+            dbp_core::run_packing_auto(&instance, policy)
+                .map_err(|e| err(format!("packing failed: {e}")))?
+        }
+    };
+    out.push_str(&format!(
+        "{}: {} items → {} bins (peak {} open), usage {}\n",
+        outcome.algorithm(),
+        instance.len(),
+        outcome.bins_opened(),
+        outcome.max_open_bins(),
+        outcome.total_usage(),
+    ));
+    Ok(out)
+}
+
 fn cmd_render(opts: &Opts) -> Result<String, CliError> {
     let (_, instance) = load(opts)?;
     let width = opts.u32_or("width", 72)? as usize;
@@ -744,6 +821,49 @@ mod tests {
         for f in [&path, &events, &metrics, &chrome] {
             std::fs::remove_file(f).unwrap();
         }
+    }
+
+    #[test]
+    fn tick_command_compiles_verifies_and_falls_back() {
+        let path = tmp("tick.json");
+        run(&args(&[
+            "generate", "--family", "random", "--n", "30", "--mu", "4", "--seed", "11", "--out",
+            &path,
+        ]))
+        .unwrap();
+        // Compiled replay, verified bit-identical against the exact
+        // engine, for every supported policy.
+        for algo in ["firstfit", "bestfit", "worstfit"] {
+            let out = run(&args(&["tick", "--trace", &path, "--algo", algo])).unwrap();
+            assert!(out.contains("compiled:"), "{out}");
+            assert!(out.contains("verify: OK"), "{out}");
+            assert!(out.contains("usage"), "{out}");
+        }
+        // --verify false skips the exact replay.
+        let quick = run(&args(&["tick", "--trace", &path, "--verify", "false"])).unwrap();
+        assert!(!quick.contains("verify:"), "{quick}");
+        // Unsupported algorithms are rejected up front.
+        let e = run(&args(&["tick", "--trace", &path, "--algo", "nextfit"])).unwrap_err();
+        assert!(e.0.contains("tick engine supports"), "{e}");
+        std::fs::remove_file(&path).unwrap();
+
+        // A trace whose denominator LCM blows the grid falls back to
+        // the Rational engine, transparently.
+        let coprime = Instance::builder()
+            .item(
+                Rational::new(1, 2),
+                Rational::new(1, 99991),
+                Rational::new(1, 99991) + Rational::new(1, 99989),
+            )
+            .build()
+            .unwrap();
+        let trace = Trace::from_instance("custom", "coprime prime denominators", &coprime);
+        let wide = tmp("tick-wide.json");
+        save_instance(Path::new(&wide), &trace).unwrap();
+        let out = run(&args(&["tick", "--trace", &wide])).unwrap();
+        assert!(out.contains("falling back"), "{out}");
+        assert!(out.contains("FirstFit"), "{out}");
+        std::fs::remove_file(&wide).unwrap();
     }
 
     #[test]

@@ -17,7 +17,7 @@ use crate::bin::{BinId, BinSnapshot, OpenBin};
 use crate::item::{Instance, ItemId};
 use crate::observe::{EngineObserver, NoopObserver};
 use dbp_numeric::{Interval, Rational};
-use dbp_simcore::{EventClass, EventQueue};
+use dbp_simcore::{EventClass, EventSchedule};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -155,6 +155,33 @@ impl PackingOutcome {
             packed / self.total_usage
         })
     }
+
+    /// Assembles an outcome from already-finalized parts. Used by the
+    /// tick engine (`crate::tick`), which keeps its books in machine
+    /// integers and converts back to exact `Rational`s only here.
+    pub(crate) fn from_parts(
+        algorithm: String,
+        bins: Vec<BinRecord>,
+        assignments: Vec<(ItemId, BinId)>,
+        total_usage: Rational,
+        max_open_bins: usize,
+    ) -> PackingOutcome {
+        PackingOutcome {
+            algorithm,
+            bins,
+            assignments,
+            total_usage,
+            max_open_bins,
+        }
+    }
+
+    /// Relabels the algorithm name (the tick fallback path runs a
+    /// `*Fast` algorithm but reports the canonical policy name so
+    /// both engines produce literally identical outcomes).
+    pub(crate) fn with_algorithm(mut self, algorithm: &str) -> PackingOutcome {
+        self.algorithm = algorithm.to_string();
+        self
+    }
 }
 
 /// Per-bin mutable bookkeeping while the run is live.
@@ -258,6 +285,12 @@ impl PackingEngine {
     }
 
     fn advance_bin_clock(open: &mut OpenBin, live: &mut LiveBin, t: Rational) {
+        // Equal-time event bursts hit the same bin repeatedly at one
+        // instant; the zero-length interval contributes nothing, so
+        // skip the Rational multiply (two gcd reductions) entirely.
+        if t == live.last_change {
+            return;
+        }
         live.level_integral += open.level * (t - live.last_change);
         live.last_change = t;
     }
@@ -458,10 +491,23 @@ impl PackingEngine {
     }
 }
 
-/// Payload of the replay event queue.
-enum Ev {
-    Arrive(ItemId),
-    Depart(ItemId),
+/// Builds the replay schedule of an instance: one arrival and one
+/// departure event per item, pre-sorted into engine firing order.
+///
+/// The order is the canonical `(time, class, seq)` contract of
+/// `dbp_simcore::EventQueue`: global time order; at equal times departures
+/// precede arrivals (half-open intervals); equal-time same-class
+/// events run in item order. Build it once per instance and replay it
+/// against any number of algorithms with
+/// [`run_packing_scheduled`] — a sweep over `k` algorithms pays one
+/// sort instead of `k` heap fills of `2n` entries each.
+pub fn event_schedule(instance: &Instance) -> EventSchedule<ItemId> {
+    let mut entries = Vec::with_capacity(instance.len() * 2);
+    for item in instance.items() {
+        entries.push((item.arrival(), EventClass::Arrival, item.id));
+        entries.push((item.departure(), EventClass::Departure, item.id));
+    }
+    EventSchedule::new(entries)
 }
 
 /// Replays a whole instance against an algorithm and returns the
@@ -488,22 +534,43 @@ pub fn run_packing_observed(
     algo: &mut dyn PackingAlgorithm,
     obs: &mut dyn EngineObserver,
 ) -> Result<PackingOutcome, PackingError> {
+    run_packing_scheduled_observed(instance, &event_schedule(instance), algo, obs)
+}
+
+/// [`run_packing`] over a prebuilt [`event_schedule`]: the caller
+/// owns the schedule and may replay it against many algorithms.
+///
+/// `schedule` must be the schedule of `instance` (or at least
+/// reference only its item ids in non-decreasing time order); a
+/// mismatched schedule surfaces as a normal [`PackingError`].
+pub fn run_packing_scheduled(
+    instance: &Instance,
+    schedule: &EventSchedule<ItemId>,
+    algo: &mut dyn PackingAlgorithm,
+) -> Result<PackingOutcome, PackingError> {
+    run_packing_scheduled_observed(instance, schedule, algo, &mut NoopObserver)
+}
+
+/// [`run_packing_scheduled`] with instrumentation.
+pub fn run_packing_scheduled_observed(
+    instance: &Instance,
+    schedule: &EventSchedule<ItemId>,
+    algo: &mut dyn PackingAlgorithm,
+    obs: &mut dyn EngineObserver,
+) -> Result<PackingOutcome, PackingError> {
     algo.reset();
-    let mut queue: EventQueue<Ev> = EventQueue::with_capacity(instance.len() * 2);
-    for item in instance.items() {
-        queue.schedule(item.arrival(), EventClass::Arrival, Ev::Arrive(item.id));
-        queue.schedule(item.departure(), EventClass::Departure, Ev::Depart(item.id));
-    }
     let mut engine = PackingEngine::new();
-    while let Some(ev) = queue.pop() {
-        match ev.payload {
-            Ev::Arrive(id) => {
+    for ev in schedule {
+        let id = ev.payload;
+        match ev.class {
+            EventClass::Arrival => {
                 let size = instance.item(id).size;
                 engine.arrive_observed(algo, obs, id, size, ev.time)?;
             }
-            Ev::Depart(id) => {
+            EventClass::Departure => {
                 engine.depart_observed(algo, obs, id, ev.time)?;
             }
+            EventClass::Control => {}
         }
     }
     engine.finish_observed(&algo.name(), obs)
@@ -671,6 +738,42 @@ mod tests {
         assert_eq!(out.max_open_bins(), 3);
         assert_eq!(out.bins_opened(), 4);
         assert_eq!(out.total_usage(), rat(7, 1));
+    }
+
+    #[test]
+    fn scheduled_replay_matches_run_packing_and_is_reusable() {
+        let i = inst(&[(1, 2, 0, 2), (1, 2, 1, 4), (1, 2, 6, 7), (2, 3, 0, 2)]);
+        let direct = run_packing(&i, &mut FirstFit::new()).unwrap();
+        let sched = event_schedule(&i);
+        assert_eq!(sched.len(), 2 * i.len());
+        let mut ff = FirstFit::new();
+        let first = run_packing_scheduled(&i, &sched, &mut ff).unwrap();
+        let second = run_packing_scheduled(&i, &sched, &mut ff).unwrap();
+        assert_eq!(first, direct);
+        assert_eq!(second, direct);
+    }
+
+    #[test]
+    fn equal_time_burst_keeps_exact_integral() {
+        // Five same-instant arrivals into one bin, staggered
+        // departures; the zero-length-interval fast path in
+        // advance_bin_clock must not disturb the level integral.
+        let i = inst(&[
+            (1, 10, 0, 1),
+            (1, 10, 0, 2),
+            (1, 10, 0, 2),
+            (1, 10, 0, 3),
+            (1, 10, 0, 3),
+        ]);
+        let out = run_packing(&i, &mut FirstFit::new()).unwrap();
+        assert_eq!(out.bins_opened(), 1);
+        // Level: 1/2 on [0,1), 2/5 on [1,2), 1/5 on [2,3).
+        assert_eq!(
+            out.bins()[0].level_integral,
+            rat(1, 2) + rat(2, 5) + rat(1, 5)
+        );
+        assert_eq!(out.bins()[0].peak_level, rat(1, 2));
+        assert_eq!(out.total_usage(), rat(3, 1));
     }
 
     #[test]

@@ -20,42 +20,67 @@
 //! Leaves are indexed by [`BinId`] directly — bin ids are assigned in
 //! opening order and never reused, so leaf order *is* opening order
 //! and "leftmost" *is* "earliest opened". Closed bins leave a
-//! tombstone leaf holding a negative sentinel gap that no query can
-//! match. The leaf array doubles geometrically as ids grow, so a run
-//! that opens `N` bins in total pays `O(log N)` per query and
-//! amortized `O(1)` growth per opening; `N` is bounded by the number
-//! of items, and the tree is `clear`ed between runs.
+//! tombstone leaf holding a sentinel gap that no query can match. The
+//! leaf array doubles geometrically as ids grow, so a run that opens
+//! `N` bins in total pays `O(log N)` per query and amortized `O(1)`
+//! growth per opening; `N` is bounded by the number of items, and the
+//! tree is `clear`ed between runs.
 //!
-//! All gaps are exact [`Rational`]s: feasibility decisions are
-//! bit-identical to the linear scans they replace.
+//! The tree is generic over its gap key through [`GapKey`]. The
+//! default, [`Rational`], keeps feasibility decisions bit-identical
+//! to the linear scans the fast algorithms replace; the tick engine
+//! (`crate::tick`) instantiates the same structure over `u64` keys —
+//! scaled gaps shifted by one so that `0` can serve as the tombstone
+//! — turning every comparison on the descent into a machine integer
+//! compare.
 
 use crate::bin::BinId;
 use dbp_numeric::Rational;
 use std::collections::BTreeSet;
+use std::ops::Sub;
 
-/// Sentinel gap for tombstoned (closed) and never-opened leaves.
-/// Strictly below every real gap, so no feasibility query (`s ≥ 0`)
-/// ever selects one.
-const CLOSED: Rational = Rational::from_int(-1);
+/// A totally ordered gap key with a sentinel strictly below every
+/// value a live bin can hold, used to tombstone closed leaves.
+pub trait GapKey: Copy + Ord {
+    /// Sentinel for tombstoned (closed) and never-opened leaves. No
+    /// feasibility query may ever pass a size at or below it.
+    const CLOSED: Self;
+}
+
+/// Exact rational gaps; real gaps are `≥ 0`, so `-1` tombstones.
+impl GapKey for Rational {
+    const CLOSED: Rational = Rational::from_int(-1);
+}
+
+/// Scaled integer gaps for the tick engine. Stored shifted by one
+/// (`key = gap + 1 ≥ 1`) so `0` is free for the tombstone; queries
+/// shift the size the same way, which preserves every comparison.
+impl GapKey for u64 {
+    const CLOSED: u64 = 0;
+}
 
 /// Tournament (max-)tree over bin residual gaps, plus an ordered
 /// `(gap, id)` set for Best-Fit queries. See the module docs.
 #[derive(Debug, Clone, Default)]
-pub struct FitTree {
+pub struct FitTree<V: GapKey = Rational> {
     /// Number of leaves (a power of two, or 0 before first use).
     cap: usize,
     /// 1-based flat tree: `tree[1]` is the root, leaves occupy
     /// `tree[cap..2·cap]`; `tree[i]` is the max gap in the subtree.
-    tree: Vec<Rational>,
+    tree: Vec<V>,
     /// Live bins ordered by `(gap, id)`: Best Fit is the first entry
     /// at or above `(s, BinId(0))`.
-    by_gap: BTreeSet<(Rational, BinId)>,
+    by_gap: BTreeSet<(V, BinId)>,
 }
 
-impl FitTree {
+impl<V: GapKey> FitTree<V> {
     /// Creates an empty index.
-    pub fn new() -> FitTree {
-        FitTree::default()
+    pub fn new() -> FitTree<V> {
+        FitTree {
+            cap: 0,
+            tree: Vec::new(),
+            by_gap: BTreeSet::new(),
+        }
     }
 
     /// Removes every bin (start of a new run).
@@ -76,9 +101,9 @@ impl FitTree {
     }
 
     /// The residual gap of a live bin (`None` if closed or unknown).
-    pub fn gap(&self, id: BinId) -> Option<Rational> {
+    pub fn gap(&self, id: BinId) -> Option<V> {
         let i = id.index();
-        if i < self.cap && self.tree[self.cap + i] != CLOSED {
+        if i < self.cap && self.tree[self.cap + i] != V::CLOSED {
             Some(self.tree[self.cap + i])
         } else {
             None
@@ -95,7 +120,7 @@ impl FitTree {
         if cap == self.cap {
             return;
         }
-        let mut tree = vec![CLOSED; 2 * cap];
+        let mut tree = vec![V::CLOSED; 2 * cap];
         if self.cap > 0 {
             tree[cap..cap + self.cap].copy_from_slice(&self.tree[self.cap..2 * self.cap]);
         }
@@ -123,11 +148,11 @@ impl FitTree {
     ///
     /// # Panics
     /// Panics if `id` is already live (ids are never reused).
-    pub fn open(&mut self, id: BinId, gap: Rational) {
+    pub fn open(&mut self, id: BinId, gap: V) {
         let i = id.index();
         self.grow(i + 1);
         assert!(
-            self.tree[self.cap + i] == CLOSED,
+            self.tree[self.cap + i] == V::CLOSED,
             "bin {id} opened twice in FitTree"
         );
         self.tree[self.cap + i] = gap;
@@ -139,7 +164,10 @@ impl FitTree {
     ///
     /// # Panics
     /// Panics if `id` is not live.
-    pub fn place(&mut self, id: BinId, size: Rational) {
+    pub fn place(&mut self, id: BinId, size: V)
+    where
+        V: Sub<Output = V>,
+    {
         let old = self.gap(id).expect("place() into a bin not in FitTree");
         self.set_gap(id, old - size);
     }
@@ -149,7 +177,7 @@ impl FitTree {
     ///
     /// # Panics
     /// Panics if `id` is not live.
-    pub fn set_gap(&mut self, id: BinId, gap: Rational) {
+    pub fn set_gap(&mut self, id: BinId, gap: V) {
         let i = id.index();
         let old = self.gap(id).expect("set_gap() on a bin not in FitTree");
         if old == gap {
@@ -169,12 +197,12 @@ impl FitTree {
         let i = id.index();
         let old = self.gap(id).expect("close() of a bin not in FitTree");
         self.by_gap.remove(&(old, id));
-        self.tree[self.cap + i] = CLOSED;
+        self.tree[self.cap + i] = V::CLOSED;
         self.pull_up(i);
     }
 
     /// First Fit: the earliest-opened live bin with `gap ≥ size`.
-    pub fn first_fit(&self, size: Rational) -> Option<BinId> {
+    pub fn first_fit(&self, size: V) -> Option<BinId> {
         if self.cap == 0 || self.tree[1] < size {
             return None;
         }
@@ -191,7 +219,7 @@ impl FitTree {
 
     /// Best Fit: the highest-level (smallest-gap) live bin with
     /// `gap ≥ size`; ties broken toward the earliest-opened bin.
-    pub fn best_fit(&self, size: Rational) -> Option<BinId> {
+    pub fn best_fit(&self, size: V) -> Option<BinId> {
         self.by_gap
             .range((size, BinId(u32::MIN))..)
             .next()
@@ -201,7 +229,7 @@ impl FitTree {
     /// Worst Fit: the lowest-level (largest-gap) live bin, provided
     /// it can take `size`; ties broken toward the earliest-opened
     /// bin (the leftmost leaf attaining the root's maximum).
-    pub fn worst_fit(&self, size: Rational) -> Option<BinId> {
+    pub fn worst_fit(&self, size: V) -> Option<BinId> {
         if self.cap == 0 || self.tree[1] < size {
             return None;
         }
@@ -313,6 +341,42 @@ mod tests {
         let mut t = FitTree::new();
         t.open(BinId(0), rat(1, 2));
         t.open(BinId(0), rat(1, 2));
+    }
+
+    /// The `u64` instantiation (shifted keys, tombstone `0`) answers
+    /// exactly like the `Rational` tree over the same scaled gaps.
+    #[test]
+    fn integer_keys_mirror_rational_keys() {
+        const SCALE: i128 = 20;
+        let gaps: [(u32, i128); 4] = [(0, 2), (1, 10), (2, 8), (3, 10)];
+        let mut rt: FitTree<Rational> = FitTree::new();
+        let mut it: FitTree<u64> = FitTree::new();
+        for &(id, g) in &gaps {
+            rt.open(BinId(id), rat(g, SCALE));
+            it.open(BinId(id), g as u64 + 1);
+        }
+        for s in 1..=SCALE {
+            let size = rat(s, SCALE);
+            assert_eq!(rt.first_fit(size), it.first_fit(s as u64 + 1));
+            assert_eq!(rt.best_fit(size), it.best_fit(s as u64 + 1));
+            assert_eq!(rt.worst_fit(size), it.worst_fit(s as u64 + 1));
+        }
+        // Churn: place, depart, close — shifted keys stay aligned.
+        rt.place(BinId(1), rat(4, SCALE));
+        it.place(BinId(1), 4);
+        assert_eq!(rt.gap(BinId(1)), Some(rat(6, SCALE)));
+        assert_eq!(it.gap(BinId(1)), Some(7));
+        rt.set_gap(BinId(0), rat(5, SCALE));
+        it.set_gap(BinId(0), 6);
+        rt.close(BinId(3));
+        it.close(BinId(3));
+        for s in 1..=SCALE {
+            let size = rat(s, SCALE);
+            assert_eq!(rt.first_fit(size), it.first_fit(s as u64 + 1));
+            assert_eq!(rt.best_fit(size), it.best_fit(s as u64 + 1));
+            assert_eq!(rt.worst_fit(size), it.worst_fit(s as u64 + 1));
+        }
+        assert_eq!(it.len(), 3);
     }
 
     /// Cross-check every query against a brute-force scan on a

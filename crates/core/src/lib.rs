@@ -36,6 +36,10 @@
 //!   Last Fit, Random Fit (the Any-Fit family, §I), **Next Fit**
 //!   (§VIII), and the size-classified **Hybrid First Fit** of
 //!   Li–Tang–Cai.
+//! * [`tick`] — the compile-then-run pipeline: instances rescaled to
+//!   `u64` ticks/units via denominator LCMs and replayed on a pure
+//!   integer engine, with bit-identical outcomes and automatic
+//!   fallback to the Rational engine on overflow.
 //!
 //! ## Quick example
 //!
@@ -63,6 +67,7 @@ pub mod engine;
 pub mod fit_tree;
 pub mod item;
 pub mod observe;
+pub mod tick;
 
 pub use algo::{
     AnyFit, BestFit, BestFitFast, DepartureAlignedFit, FirstFit, FirstFitFast, FitPolicy,
@@ -71,11 +76,15 @@ pub use algo::{
 };
 pub use bin::{BinId, BinSnapshot, OpenBin};
 pub use engine::{
-    run_packing, run_packing_observed, BinRecord, PackingEngine, PackingError, PackingOutcome,
+    event_schedule, run_packing, run_packing_observed, run_packing_scheduled,
+    run_packing_scheduled_observed, BinRecord, PackingEngine, PackingError, PackingOutcome,
 };
-pub use fit_tree::FitTree;
+pub use fit_tree::{FitTree, GapKey};
 pub use item::{Instance, InstanceBuilder, InstanceError, InstanceStats, Item, ItemId};
 pub use observe::{EngineObserver, FanOut, NoopObserver};
+pub use tick::{
+    run_packing_auto, run_packing_compiled, CompileError, CompiledInstance, TickEngine, TickPolicy,
+};
 
 /// One-stop imports for downstream crates and examples.
 pub mod prelude {
@@ -84,7 +93,11 @@ pub mod prelude {
         PackingAlgorithm, Placement, RandomFit, WorstFit, WorstFitFast,
     };
     pub use crate::bin::{BinId, BinSnapshot, OpenBin};
-    pub use crate::engine::{run_packing, run_packing_observed, PackingEngine, PackingOutcome};
+    pub use crate::engine::{
+        event_schedule, run_packing, run_packing_observed, run_packing_scheduled, PackingEngine,
+        PackingOutcome,
+    };
     pub use crate::item::{Instance, Item, ItemId};
     pub use crate::observe::{EngineObserver, NoopObserver};
+    pub use crate::tick::{run_packing_auto, CompiledInstance, TickPolicy};
 }

@@ -1,0 +1,732 @@
+//! Tick compilation: integer-arithmetic replay of exact instances.
+//!
+//! The Rational engine ([`crate::engine`]) keeps every book — bin
+//! levels, level integrals, usage periods — in exact `i128`
+//! fractions, paying gcd reductions on the hot path. Exactness does
+//! not require fractions at *runtime*: every concrete instance lies
+//! on a finite grid, namely the LCM of its timestamp denominators
+//! (for time) and of its size denominators (for size). Rescaling once
+//! onto that grid turns the whole replay into `u64`/`u128` machine
+//! arithmetic, and the final results convert back to the very same
+//! reduced `Rational`s the exact engine would have produced:
+//!
+//! * **times** become ticks `(t − t₀)·T` where `T` is the time LCM
+//!   and `t₀` the earliest arrival (subtracting `t₀` keeps negative
+//!   timestamps representable in unsigned ticks);
+//! * **sizes** become units `s·S` where `S` is the size LCM; the unit
+//!   bin capacity becomes the integer `S`;
+//! * **level integrals** accumulate as `Σ units·Δticks` in `u128` and
+//!   convert back as the exact fraction over `T·S`.
+//!
+//! Because the rescaling map is strictly monotone, every comparison
+//! an Any-Fit policy makes (feasibility `gap ≥ s`, Best-Fit minima,
+//! Worst-Fit maxima, tie-breaks on bin id) has the same answer in
+//! tick space as in rational space — so [`TickEngine`] produces
+//! **bit-identical** [`PackingOutcome`]s, which the `prop_tick`
+//! property suite asserts against both the linear-scan references and
+//! the `*Fast` tree algorithms.
+//!
+//! Compilation is checked end to end: if either LCM, any scaled
+//! quantity, or the tick horizon leaves the supported range (scales
+//! and horizon each capped at `u32::MAX`, which bounds every interim
+//! product below `u128`/`i128` limits), [`CompiledInstance::compile`]
+//! reports [`CompileError`] and [`run_packing_auto`] falls back to
+//! the exact Rational engine — same outcome, slower path.
+
+use crate::algo::PackingAlgorithm;
+use crate::bin::BinId;
+use crate::engine::{run_packing, BinRecord, PackingError, PackingOutcome};
+use crate::fit_tree::FitTree;
+use crate::item::{Instance, ItemId};
+use dbp_numeric::{checked_lcm, Interval, Rational};
+use dbp_simcore::EventClass;
+
+/// Hard cap on both LCM scales and the tick horizon. Keeping each
+/// factor below `2³²` bounds every product the engine forms:
+/// per-bin integrals by `capacity·horizon < 2⁶⁴` (fits `u128` and,
+/// converted, `i128`), and the conversion denominator `T·S < 2⁶⁴`.
+const MAX_SCALE: i128 = u32::MAX as i128;
+
+/// Why an instance could not be rescaled to tick space. Every variant
+/// routes [`run_packing_auto`] to the Rational fallback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompileError {
+    /// The LCM of timestamp denominators exceeds [`u32::MAX`].
+    TimeScaleOverflow,
+    /// The LCM of size denominators exceeds [`u32::MAX`].
+    SizeScaleOverflow,
+    /// A scaled timestamp exceeds the `u32::MAX` tick horizon.
+    TickOverflow,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::TimeScaleOverflow => write!(f, "time-denominator LCM out of range"),
+            CompileError::SizeScaleOverflow => write!(f, "size-denominator LCM out of range"),
+            CompileError::TickOverflow => write!(f, "scaled timestamp beyond the tick horizon"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// An item rescaled to integer ticks and size units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TickItem {
+    /// Size in units of `1/S` (always in `1..=capacity`).
+    pub size: u64,
+    /// Arrival tick, offset from the compile origin.
+    pub arrival: u64,
+    /// Departure tick (strictly greater than `arrival`).
+    pub departure: u64,
+}
+
+/// One pre-sorted replay event of a compiled instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TickEvent {
+    /// Firing tick.
+    pub tick: u64,
+    /// Departures before arrivals at equal ticks (half-open
+    /// intervals), exactly as in the Rational replay.
+    pub class: EventClass,
+    /// The item arriving or departing.
+    pub item: ItemId,
+}
+
+/// Which Any-Fit selection rule a [`TickEngine`] runs per arrival.
+///
+/// Names are the canonical algorithm names, so a tick outcome is
+/// literally identical — algorithm string included — to the
+/// corresponding linear-scan reference run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickPolicy {
+    /// Earliest-opened feasible bin.
+    FirstFit,
+    /// Highest-level (tightest) feasible bin, ties earliest-opened.
+    BestFit,
+    /// Lowest-level (roomiest) feasible bin, ties earliest-opened.
+    WorstFit,
+}
+
+impl TickPolicy {
+    /// Canonical algorithm name reported in the outcome.
+    pub fn name(self) -> &'static str {
+        match self {
+            TickPolicy::FirstFit => "FirstFit",
+            TickPolicy::BestFit => "BestFit",
+            TickPolicy::WorstFit => "WorstFit",
+        }
+    }
+
+    /// The tree-backed Rational algorithm used on the fallback path.
+    fn fast_algo(self) -> Box<dyn PackingAlgorithm> {
+        match self {
+            TickPolicy::FirstFit => Box::new(crate::algo::FirstFitFast::new()),
+            TickPolicy::BestFit => Box::new(crate::algo::BestFitFast::new()),
+            TickPolicy::WorstFit => Box::new(crate::algo::WorstFitFast::new()),
+        }
+    }
+}
+
+/// An instance rescaled onto its integer grid, with a pre-sorted
+/// replay schedule. Built once, replayed per algorithm.
+#[derive(Debug, Clone)]
+pub struct CompiledInstance {
+    origin: Rational,
+    time_scale: i128,
+    size_scale: i128,
+    capacity: u64,
+    items: Vec<TickItem>,
+    schedule: Vec<TickEvent>,
+}
+
+impl CompiledInstance {
+    /// Rescales `instance` to tick space, or reports why it does not
+    /// fit the supported integer range.
+    pub fn compile(instance: &Instance) -> Result<CompiledInstance, CompileError> {
+        let origin = instance
+            .items()
+            .iter()
+            .map(|it| it.arrival())
+            .min()
+            .unwrap_or(Rational::ZERO);
+        let mut time_scale: i128 = origin.denom();
+        let mut size_scale: i128 = 1;
+        for item in instance.items() {
+            time_scale = checked_lcm(time_scale, item.arrival().denom())
+                .filter(|&l| l <= MAX_SCALE)
+                .ok_or(CompileError::TimeScaleOverflow)?;
+            time_scale = checked_lcm(time_scale, item.departure().denom())
+                .filter(|&l| l <= MAX_SCALE)
+                .ok_or(CompileError::TimeScaleOverflow)?;
+            size_scale = checked_lcm(size_scale, item.size.denom())
+                .filter(|&l| l <= MAX_SCALE)
+                .ok_or(CompileError::SizeScaleOverflow)?;
+        }
+        let mut items = Vec::with_capacity(instance.len());
+        let mut entries = Vec::with_capacity(instance.len() * 2);
+        for item in instance.items() {
+            let arrival = (item.arrival() - origin)
+                .scaled_to(time_scale)
+                .filter(|&t| (0..=MAX_SCALE).contains(&t))
+                .ok_or(CompileError::TickOverflow)?;
+            let departure = (item.departure() - origin)
+                .scaled_to(time_scale)
+                .filter(|&t| (0..=MAX_SCALE).contains(&t))
+                .ok_or(CompileError::TickOverflow)?;
+            let size = item
+                .size
+                .scaled_to(size_scale)
+                .expect("size denominator divides the size LCM");
+            debug_assert!(size >= 1 && size <= size_scale, "validated size in (0,1]");
+            items.push(TickItem {
+                size: size as u64,
+                arrival: arrival as u64,
+                departure: departure as u64,
+            });
+            entries.push(TickEvent {
+                tick: arrival as u64,
+                class: EventClass::Arrival,
+                item: item.id,
+            });
+            entries.push(TickEvent {
+                tick: departure as u64,
+                class: EventClass::Departure,
+                item: item.id,
+            });
+        }
+        // Stable sort: full `(tick, class)` ties keep insertion (item)
+        // order — the same total order the seq-numbered heap produces.
+        entries.sort_by_key(|e| (e.tick, e.class));
+        Ok(CompiledInstance {
+            origin,
+            time_scale,
+            size_scale,
+            capacity: size_scale as u64,
+            items,
+            schedule: entries,
+        })
+    }
+
+    /// The timestamp subtracted before scaling (earliest arrival).
+    pub fn origin(&self) -> Rational {
+        self.origin
+    }
+
+    /// Ticks per time unit (`T`, the timestamp-denominator LCM).
+    pub fn time_scale(&self) -> i128 {
+        self.time_scale
+    }
+
+    /// Units per bin capacity (`S`, the size-denominator LCM).
+    pub fn size_scale(&self) -> i128 {
+        self.size_scale
+    }
+
+    /// The integer bin capacity (`== size_scale`).
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// The rescaled items, indexed by [`ItemId`].
+    pub fn items(&self) -> &[TickItem] {
+        &self.items
+    }
+
+    /// The pre-sorted replay schedule (two events per item).
+    pub fn schedule(&self) -> &[TickEvent] {
+        &self.schedule
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` iff the instance has no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Replays the schedule through a [`TickEngine`] under `policy`.
+    /// The schedule is borrowed, never rebuilt: a sweep calls this
+    /// once per algorithm on one compiled instance.
+    pub fn run(&self, policy: TickPolicy) -> Result<PackingOutcome, PackingError> {
+        let mut engine = TickEngine::new(self, policy);
+        for ev in &self.schedule {
+            match ev.class {
+                EventClass::Arrival => {
+                    engine.arrive(ev.item, self.items[ev.item.index()].size, ev.tick)?;
+                }
+                EventClass::Departure => {
+                    engine.depart(ev.item, ev.tick)?;
+                }
+                EventClass::Control => {}
+            }
+        }
+        engine.finish(policy.name())
+    }
+}
+
+/// Per-bin integer bookkeeping while a tick run is live.
+#[derive(Debug, Clone)]
+struct TickLive {
+    level: u64,
+    count: u32,
+    opened: u64,
+    items: Vec<ItemId>,
+    integral: u128,
+    peak: u64,
+    last_change: u64,
+}
+
+/// A closed bin's integer history, converted in `finish`.
+#[derive(Debug, Clone)]
+struct TickRecord {
+    id: BinId,
+    opened: u64,
+    closed: u64,
+    items: Vec<ItemId>,
+    integral: u128,
+    peak: u64,
+}
+
+/// The integer-arithmetic twin of [`crate::engine::PackingEngine`].
+///
+/// Mirrors the exact engine's semantics — duplicate and feasibility
+/// validation, time-regression checks, half-open interval
+/// tie-breaking, peak and integral tracking — but every book is a
+/// machine integer: levels and peaks in `u64`, level integrals in
+/// `u128`. Placement queries run on a [`FitTree`] over `u64` keys
+/// (`gap + 1`, `0` tombstoning closed bins), so the per-arrival
+/// descent compares plain integers instead of cross-multiplying
+/// fractions. Conversion back to exact [`Rational`]s happens once,
+/// in [`finish`](Self::finish).
+#[derive(Debug, Clone)]
+pub struct TickEngine {
+    policy: TickPolicy,
+    capacity: u64,
+    origin: Rational,
+    time_scale: i128,
+    size_scale: i128,
+    /// Bin state indexed by bin id (`None` once closed). Ids are
+    /// dense opening ranks, so no slot indirection is needed.
+    bins: Vec<Option<TickLive>>,
+    open_count: usize,
+    closed: Vec<TickRecord>,
+    /// item → (bin, size) for active items, sorted by item id.
+    active: Vec<(ItemId, BinId, u64)>,
+    assignments: Vec<(ItemId, BinId)>,
+    tree: FitTree<u64>,
+    now: Option<u64>,
+    max_open: usize,
+}
+
+impl TickEngine {
+    /// Creates an engine for one compiled instance under `policy`.
+    pub fn new(compiled: &CompiledInstance, policy: TickPolicy) -> TickEngine {
+        TickEngine {
+            policy,
+            capacity: compiled.capacity,
+            origin: compiled.origin,
+            time_scale: compiled.time_scale,
+            size_scale: compiled.size_scale,
+            bins: Vec::new(),
+            open_count: 0,
+            closed: Vec::new(),
+            active: Vec::new(),
+            assignments: Vec::new(),
+            tree: FitTree::new(),
+            now: None,
+            max_open: 0,
+        }
+    }
+
+    /// Converts a tick back to the exact original timestamp.
+    fn time_of(&self, tick: u64) -> Rational {
+        self.origin + Rational::new(tick as i128, self.time_scale)
+    }
+
+    /// Converts a unit count back to an exact size/level.
+    fn size_of(&self, units: u64) -> Rational {
+        Rational::new(units as i128, self.size_scale)
+    }
+
+    fn check_time(&mut self, tick: u64) -> Result<(), PackingError> {
+        if let Some(now) = self.now {
+            if tick < now {
+                return Err(PackingError::TimeRegression {
+                    now: self.time_of(now),
+                    event: self.time_of(tick),
+                });
+            }
+        }
+        self.now = Some(tick);
+        Ok(())
+    }
+
+    /// Number of currently open bins.
+    pub fn open_bins(&self) -> usize {
+        self.open_count
+    }
+
+    /// Number of currently active items.
+    pub fn active_items(&self) -> usize {
+        self.active.len()
+    }
+
+    #[inline]
+    fn advance_bin_clock(bin: &mut TickLive, tick: u64) {
+        // Same zero-length-interval skip as the Rational engine —
+        // here it saves a u128 multiply instead of two gcds.
+        if tick != bin.last_change {
+            bin.integral += bin.level as u128 * (tick - bin.last_change) as u128;
+            bin.last_change = tick;
+        }
+    }
+
+    /// Processes an arrival: queries the policy, validates the
+    /// placement, applies it. Returns the chosen bin.
+    pub fn arrive(&mut self, item: ItemId, size: u64, tick: u64) -> Result<BinId, PackingError> {
+        self.check_time(tick)?;
+        let active_pos = match self.active.binary_search_by(|(r, _, _)| r.cmp(&item)) {
+            Ok(_) => return Err(PackingError::DuplicateItem(item)),
+            Err(pos) => pos,
+        };
+        // Shifted-key queries: stored keys are `gap + 1`, so probe
+        // with `size + 1`; sizes are ≥ 1, so the probe is ≥ 2 and can
+        // never match a tombstone.
+        let chosen = match self.policy {
+            TickPolicy::FirstFit => self.tree.first_fit(size + 1),
+            TickPolicy::BestFit => self.tree.best_fit(size + 1),
+            TickPolicy::WorstFit => self.tree.worst_fit(size + 1),
+        };
+        let bin_id = match chosen {
+            Some(bin_id) => {
+                let bin = self.bins[bin_id.index()]
+                    .as_mut()
+                    .ok_or(PackingError::NoSuchBin(bin_id))?;
+                if bin.level + size > self.capacity {
+                    return Err(PackingError::Infeasible {
+                        bin: bin_id,
+                        level: Rational::new(bin.level as i128, self.size_scale),
+                        size: Rational::new(size as i128, self.size_scale),
+                    });
+                }
+                Self::advance_bin_clock(bin, tick);
+                bin.level += size;
+                bin.count += 1;
+                bin.items.push(item);
+                if bin.level > bin.peak {
+                    bin.peak = bin.level;
+                }
+                self.tree.place(bin_id, size);
+                bin_id
+            }
+            None => {
+                let bin_id = BinId(self.bins.len() as u32);
+                self.bins.push(Some(TickLive {
+                    level: size,
+                    count: 1,
+                    opened: tick,
+                    items: vec![item],
+                    integral: 0,
+                    peak: size,
+                    last_change: tick,
+                }));
+                self.tree.open(bin_id, self.capacity - size + 1);
+                self.open_count += 1;
+                self.max_open = self.max_open.max(self.open_count);
+                bin_id
+            }
+        };
+        self.active.insert(active_pos, (item, bin_id, size));
+        self.assignments.push((item, bin_id));
+        Ok(bin_id)
+    }
+
+    /// Processes a departure: removes the item from its bin, closing
+    /// the bin if it empties.
+    pub fn depart(&mut self, item: ItemId, tick: u64) -> Result<BinId, PackingError> {
+        self.check_time(tick)?;
+        let pos = self
+            .active
+            .binary_search_by(|(r, _, _)| r.cmp(&item))
+            .map_err(|_| PackingError::UnknownItem(item))?;
+        let (_, bin_id, size) = self.active.remove(pos);
+        let bin = self.bins[bin_id.index()]
+            .as_mut()
+            .expect("active item's bin must be open");
+        Self::advance_bin_clock(bin, tick);
+        bin.level -= size;
+        bin.count -= 1;
+        if bin.count == 0 {
+            debug_assert_eq!(bin.level, 0, "empty bin must have zero level");
+            let bin = self.bins[bin_id.index()].take().expect("bin checked open");
+            self.open_count -= 1;
+            self.tree.close(bin_id);
+            self.closed.push(TickRecord {
+                id: bin_id,
+                opened: bin.opened,
+                closed: tick,
+                items: bin.items,
+                integral: bin.integral,
+                peak: bin.peak,
+            });
+        } else {
+            let level = bin.level;
+            self.tree.set_gap(bin_id, self.capacity - level + 1);
+        }
+        Ok(bin_id)
+    }
+
+    /// Finalizes the run, converting every integer book back to the
+    /// exact `Rational` form of [`PackingOutcome`]. Fails if items
+    /// are still active.
+    pub fn finish(mut self, algorithm: &str) -> Result<PackingOutcome, PackingError> {
+        if !self.active.is_empty() {
+            return Err(PackingError::ItemsStillActive(self.active.len()));
+        }
+        debug_assert_eq!(self.open_count, 0);
+        self.closed.sort_by_key(|b| b.id);
+        self.assignments.sort_by_key(|&(r, _)| r);
+        let denom = self.time_scale * self.size_scale; // each ≤ 2³², product fits i128
+        let bins: Vec<BinRecord> = self
+            .closed
+            .iter()
+            .map(|rec| BinRecord {
+                id: rec.id,
+                usage: Interval::new(self.time_of(rec.opened), self.time_of(rec.closed)),
+                items: rec.items.clone(),
+                level_integral: Rational::new(rec.integral as i128, denom),
+                peak_level: self.size_of(rec.peak),
+            })
+            .collect();
+        let total_usage = bins.iter().map(|b| b.usage.len()).sum();
+        Ok(PackingOutcome::from_parts(
+            algorithm.to_string(),
+            bins,
+            self.assignments,
+            total_usage,
+            self.max_open,
+        ))
+    }
+}
+
+/// Runs `policy` over a prebuilt [`CompiledInstance`] (alias for
+/// [`CompiledInstance::run`], mirroring [`run_packing`]'s shape).
+pub fn run_packing_compiled(
+    compiled: &CompiledInstance,
+    policy: TickPolicy,
+) -> Result<PackingOutcome, PackingError> {
+    compiled.run(policy)
+}
+
+/// Compile-then-run with automatic fallback: replays on the integer
+/// [`TickEngine`] when the instance fits tick space, and otherwise on
+/// the exact Rational engine via the corresponding `*Fast` algorithm.
+/// Both paths return the same outcome bit for bit (algorithm name
+/// included), so callers never observe which engine ran.
+pub fn run_packing_auto(
+    instance: &Instance,
+    policy: TickPolicy,
+) -> Result<PackingOutcome, PackingError> {
+    match CompiledInstance::compile(instance) {
+        Ok(compiled) => compiled.run(policy),
+        Err(_) => {
+            let mut algo = policy.fast_algo();
+            Ok(run_packing(instance, algo.as_mut())?.with_algorithm(policy.name()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{BestFit, FirstFit, WorstFit};
+    use dbp_numeric::rat;
+
+    /// A churny scenario: mid-run closures, exact fills, equal-time
+    /// departure/arrival boundaries (mirrors `fast_fit::scenario`).
+    fn scenario() -> Instance {
+        Instance::builder()
+            .item(rat(7, 10), rat(0, 1), rat(10, 1))
+            .item(rat(2, 5), rat(0, 1), rat(6, 1))
+            .item(rat(9, 10), rat(0, 1), rat(1, 1))
+            .item(rat(1, 2), rat(1, 1), rat(10, 1))
+            .item(rat(3, 10), rat(2, 1), rat(10, 1))
+            .item(rat(3, 5), rat(6, 1), rat(10, 1))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn compile_rescales_onto_the_lcm_grid() {
+        let inst = Instance::builder()
+            .item(rat(1, 2), rat(1, 2), rat(7, 3)) // times on halves/thirds
+            .item(rat(2, 3), rat(5, 4), rat(3, 1))
+            .build()
+            .unwrap();
+        let c = CompiledInstance::compile(&inst).unwrap();
+        assert_eq!(c.origin(), rat(1, 2));
+        assert_eq!(c.time_scale(), 12); // lcm(2, 3, 4, 1)
+        assert_eq!(c.size_scale(), 6); // lcm(2, 3)
+        assert_eq!(c.capacity(), 6);
+        assert_eq!(
+            c.items(),
+            &[
+                TickItem {
+                    size: 3,
+                    arrival: 0,
+                    departure: 22
+                },
+                TickItem {
+                    size: 4,
+                    arrival: 9,
+                    departure: 30
+                },
+            ]
+        );
+        // Schedule: arrivals/departures in (tick, class) order.
+        let order: Vec<(u64, EventClass)> =
+            c.schedule().iter().map(|e| (e.tick, e.class)).collect();
+        assert_eq!(
+            order,
+            vec![
+                (0, EventClass::Arrival),
+                (9, EventClass::Arrival),
+                (22, EventClass::Departure),
+                (30, EventClass::Departure),
+            ]
+        );
+    }
+
+    #[test]
+    fn negative_timestamps_compile_via_the_origin_shift() {
+        let inst = Instance::builder()
+            .item(rat(1, 2), rat(-3, 2), rat(1, 1))
+            .item(rat(1, 2), rat(0, 1), rat(2, 1))
+            .build()
+            .unwrap();
+        let c = CompiledInstance::compile(&inst).unwrap();
+        assert_eq!(c.origin(), rat(-3, 2));
+        assert_eq!(c.items()[0].arrival, 0);
+        let out = c.run(TickPolicy::FirstFit).unwrap();
+        let reference = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn tick_runs_are_bit_identical_to_the_rational_engine() {
+        let inst = scenario();
+        for (policy, mut reference) in [
+            (
+                TickPolicy::FirstFit,
+                Box::new(FirstFit::new()) as Box<dyn PackingAlgorithm>,
+            ),
+            (TickPolicy::BestFit, Box::new(BestFit::new())),
+            (TickPolicy::WorstFit, Box::new(WorstFit::new())),
+        ] {
+            let compiled = CompiledInstance::compile(&inst).unwrap();
+            let tick = compiled.run(policy).unwrap();
+            let exact = run_packing(&inst, reference.as_mut()).unwrap();
+            assert_eq!(tick, exact, "{} diverged", policy.name());
+        }
+    }
+
+    #[test]
+    fn compiled_instance_is_reusable_across_policies_and_runs() {
+        let inst = scenario();
+        let compiled = CompiledInstance::compile(&inst).unwrap();
+        let a = compiled.run(TickPolicy::FirstFit).unwrap();
+        let b = compiled.run(TickPolicy::FirstFit).unwrap();
+        assert_eq!(a, b);
+        let bf = run_packing_compiled(&compiled, TickPolicy::BestFit).unwrap();
+        assert_eq!(bf, run_packing(&inst, &mut BestFit::new()).unwrap());
+    }
+
+    #[test]
+    fn oversized_denominators_refuse_to_compile() {
+        // Two coprime five-digit-squared denominators push the LCM
+        // past u32::MAX.
+        let huge_times = Instance::builder()
+            .item(rat(1, 2), rat(1, 99991), rat(2, 1))
+            .item(rat(1, 2), rat(1, 99989), rat(2, 1))
+            .build()
+            .unwrap();
+        assert_eq!(
+            CompiledInstance::compile(&huge_times).unwrap_err(),
+            CompileError::TimeScaleOverflow
+        );
+        let huge_sizes = Instance::builder()
+            .item(rat(1, 99991), rat(0, 1), rat(1, 1))
+            .item(rat(1, 99989), rat(0, 1), rat(1, 1))
+            .build()
+            .unwrap();
+        assert_eq!(
+            CompiledInstance::compile(&huge_sizes).unwrap_err(),
+            CompileError::SizeScaleOverflow
+        );
+        // Scales fit but the horizon does not: fractional grid times
+        // a five-billion-unit span.
+        let huge_span = Instance::builder()
+            .item(rat(1, 2), rat(0, 1), rat(5_000_000_000, 1))
+            .item(rat(1, 2), rat(1, 2), rat(1, 1))
+            .build()
+            .unwrap();
+        assert_eq!(
+            CompiledInstance::compile(&huge_span).unwrap_err(),
+            CompileError::TickOverflow
+        );
+    }
+
+    #[test]
+    fn auto_falls_back_to_the_rational_engine_on_overflow() {
+        let inst = Instance::builder()
+            .item(rat(1, 2), rat(1, 99991), rat(2, 1))
+            .item(rat(1, 2), rat(1, 99989), rat(2, 1))
+            .item(rat(1, 2), rat(1, 1), rat(3, 1))
+            .build()
+            .unwrap();
+        assert!(CompiledInstance::compile(&inst).is_err());
+        let auto = run_packing_auto(&inst, TickPolicy::FirstFit).unwrap();
+        let exact = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        assert_eq!(auto, exact); // same outcome, name included
+    }
+
+    #[test]
+    fn empty_instance_runs_to_an_empty_outcome() {
+        let inst = Instance::new(Vec::new()).unwrap();
+        let compiled = CompiledInstance::compile(&inst).unwrap();
+        assert!(compiled.is_empty());
+        let out = compiled.run(TickPolicy::FirstFit).unwrap();
+        assert_eq!(out.bins_opened(), 0);
+        assert_eq!(out.total_usage(), Rational::ZERO);
+        assert_eq!(out, run_packing(&inst, &mut FirstFit::new()).unwrap());
+    }
+
+    #[test]
+    fn tick_engine_validates_like_the_exact_engine() {
+        let inst = scenario();
+        let compiled = CompiledInstance::compile(&inst).unwrap();
+        let mut eng = TickEngine::new(&compiled, TickPolicy::FirstFit);
+        eng.arrive(ItemId(0), 5, 10).unwrap();
+        assert_eq!(
+            eng.arrive(ItemId(0), 5, 11),
+            Err(PackingError::DuplicateItem(ItemId(0)))
+        );
+        assert!(matches!(
+            eng.arrive(ItemId(1), 5, 3),
+            Err(PackingError::TimeRegression { .. })
+        ));
+        assert_eq!(
+            eng.depart(ItemId(9), 12),
+            Err(PackingError::UnknownItem(ItemId(9)))
+        );
+        assert_eq!(eng.open_bins(), 1);
+        assert_eq!(eng.active_items(), 1);
+        let err = eng.finish("FirstFit").unwrap_err();
+        assert_eq!(err, PackingError::ItemsStillActive(1));
+    }
+}

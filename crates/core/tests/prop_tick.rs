@@ -1,0 +1,196 @@
+//! Equivalence of the tick-compiled integer engine with the exact
+//! Rational engine.
+//!
+//! Tick compilation rescales an instance onto its denominator-LCM
+//! grid and replays it in pure `u64`/`u128` arithmetic; nothing about
+//! the *packing* may change. These properties replay random
+//! instances — dense with equal-time departure/arrival boundaries,
+//! exact fills, and mid-run bin closures — through the `TickEngine`
+//! and through both the linear-scan references and the tree-backed
+//! `*Fast` algorithms, and require **bit-identical** outcomes:
+//! assignments, per-bin usage intervals, exact level integrals and
+//! peaks, the `Σ_k |U_k|` objective, and peak concurrency. A separate
+//! property drives instances that cannot compile (oversized LCMs,
+//! out-of-range horizons) through `run_packing_auto` and asserts the
+//! Rational fallback is transparent.
+
+use dbp_core::prelude::*;
+use dbp_core::tick::{CompiledInstance, TickPolicy};
+use dbp_core::{PackingAlgorithm, PackingOutcome};
+use dbp_numeric::rat;
+use proptest::prelude::*;
+
+/// Strategy: a well-formed instance with up to 40 items on a mixed
+/// grid (halves..eighths for sizes, quarters for times), forcing many
+/// simultaneous events and nontrivial LCMs.
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    let item = (1i128..=8, 1i128..=8, 0i128..=60, 1i128..=20).prop_map(|(num, den, arr4, dur4)| {
+        let size = rat(num.min(den), den); // in (0, 1]
+        let arrival = rat(arr4, 4);
+        let duration = rat(dur4, 4);
+        (size, arrival, arrival + duration)
+    });
+    prop::collection::vec(item, 0..40)
+        .prop_map(|specs| Instance::new(specs).expect("strategy produces valid specs"))
+}
+
+/// Strategy: equal-timestamp bursts — every item arrives at one of
+/// only three instants and departs at one of three others, so the
+/// half-open tie-breaking (departures first, then arrivals in item
+/// order) decides nearly every placement.
+fn burst_strategy() -> impl Strategy<Value = Instance> {
+    let item = (1i128..=6, 0i128..=2, 0i128..=2).prop_map(|(num, slot, hold)| {
+        let size = rat(num, 6);
+        let arrival = rat(slot * 2, 1);
+        let departure = arrival + rat(2 * (hold + 1), 1);
+        (size, arrival, departure)
+    });
+    prop::collection::vec(item, 1..30)
+        .prop_map(|specs| Instance::new(specs).expect("strategy produces valid specs"))
+}
+
+/// Strategy: instances guaranteed to overflow tick compilation — a
+/// salted mix of normal items plus one item whose timestamp
+/// denominators are coprime five-digit primes (LCM far past the
+/// `u32::MAX` scale cap).
+fn overflow_strategy() -> impl Strategy<Value = Instance> {
+    instance_strategy().prop_map(|inst| {
+        let mut specs: Vec<_> = inst
+            .items()
+            .iter()
+            .map(|it| (it.size, it.arrival(), it.departure()))
+            .collect();
+        specs.push((rat(1, 2), rat(1, 99991), rat(1, 99991) + rat(1, 99989)));
+        Instance::new(specs).expect("overflow salt keeps specs valid")
+    })
+}
+
+/// Compiles and runs `policy`, then checks full outcome equality
+/// (name included) against the linear reference and field equality
+/// against the `*Fast` tree algorithm.
+fn assert_tick_equivalent(
+    inst: &Instance,
+    policy: TickPolicy,
+    linear: &mut dyn PackingAlgorithm,
+    fast: &mut dyn PackingAlgorithm,
+) -> Result<(), TestCaseError> {
+    let compiled = CompiledInstance::compile(inst).expect("strategy instances compile");
+    let tick: PackingOutcome = compiled.run(policy).expect("tick run succeeds");
+    let exact: PackingOutcome = run_packing(inst, linear).expect("reference run succeeds");
+    prop_assert_eq!(
+        &tick,
+        &exact,
+        "tick {} diverged from reference",
+        policy.name()
+    );
+    let tree: PackingOutcome = run_packing(inst, fast).expect("fast run succeeds");
+    prop_assert_eq!(tick.assignments(), tree.assignments());
+    prop_assert_eq!(tick.bins(), tree.bins());
+    prop_assert_eq!(tick.total_usage(), tree.total_usage());
+    prop_assert_eq!(tick.max_open_bins(), tree.max_open_bins());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn tick_first_fit_is_bit_identical(inst in instance_strategy()) {
+        assert_tick_equivalent(
+            &inst,
+            TickPolicy::FirstFit,
+            &mut FirstFit::new(),
+            &mut FirstFitFast::new(),
+        )?;
+    }
+
+    #[test]
+    fn tick_best_fit_is_bit_identical(inst in instance_strategy()) {
+        assert_tick_equivalent(
+            &inst,
+            TickPolicy::BestFit,
+            &mut BestFit::new(),
+            &mut BestFitFast::new(),
+        )?;
+    }
+
+    #[test]
+    fn tick_worst_fit_is_bit_identical(inst in instance_strategy()) {
+        assert_tick_equivalent(
+            &inst,
+            TickPolicy::WorstFit,
+            &mut WorstFit::new(),
+            &mut WorstFitFast::new(),
+        )?;
+    }
+
+    /// Equal-timestamp bursts: the integer engine must reproduce the
+    /// heap's departure-before-arrival, item-order tie-breaking.
+    #[test]
+    fn tick_handles_equal_time_bursts(inst in burst_strategy()) {
+        assert_tick_equivalent(
+            &inst,
+            TickPolicy::FirstFit,
+            &mut FirstFit::new(),
+            &mut FirstFitFast::new(),
+        )?;
+        assert_tick_equivalent(
+            &inst,
+            TickPolicy::BestFit,
+            &mut BestFit::new(),
+            &mut BestFitFast::new(),
+        )?;
+    }
+
+    /// Instances that refuse to compile run through the Rational
+    /// fallback — transparently, algorithm name included.
+    #[test]
+    fn auto_fallback_is_transparent(inst in overflow_strategy()) {
+        prop_assert!(CompiledInstance::compile(&inst).is_err());
+        for (policy, mut linear) in [
+            (TickPolicy::FirstFit, Box::new(FirstFit::new()) as Box<dyn PackingAlgorithm>),
+            (TickPolicy::BestFit, Box::new(BestFit::new())),
+            (TickPolicy::WorstFit, Box::new(WorstFit::new())),
+        ] {
+            let auto = run_packing_auto(&inst, policy).expect("fallback run succeeds");
+            let exact = run_packing(&inst, linear.as_mut()).expect("reference run succeeds");
+            prop_assert_eq!(auto, exact, "fallback {} diverged", policy.name());
+        }
+    }
+
+    /// `run_packing_auto` on compilable instances takes the tick path
+    /// and still equals the reference exactly.
+    #[test]
+    fn auto_takes_the_tick_path_when_possible(inst in instance_strategy()) {
+        prop_assert!(CompiledInstance::compile(&inst).is_ok());
+        let auto = run_packing_auto(&inst, TickPolicy::FirstFit).unwrap();
+        let exact = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        prop_assert_eq!(auto, exact);
+    }
+}
+
+/// Deterministic anchor at scale: the staircase instance keeps
+/// hundreds of bins concurrently open; the compiled replay must agree
+/// with the exact engine on every book.
+#[test]
+fn staircase_tick_equivalence_at_scale() {
+    let n: i128 = 1500;
+    let window: i128 = 300;
+    let mut b = Instance::builder();
+    for i in 0..n {
+        let size = if i % 5 == 0 {
+            rat(11 + (i * 13) % 23, 100)
+        } else {
+            rat(51 + (i * 7) % 49, 100)
+        };
+        b = b.item(size, rat(i, 1), rat(i + window, 1));
+    }
+    let inst = b.build().unwrap();
+    let compiled = CompiledInstance::compile(&inst).unwrap();
+    assert_eq!(compiled.time_scale(), 1);
+    assert_eq!(compiled.size_scale(), 100);
+    let tick = compiled.run(TickPolicy::FirstFit).unwrap();
+    let exact = run_packing(&inst, &mut FirstFit::new()).unwrap();
+    assert_eq!(tick, exact);
+    assert!(tick.max_open_bins() >= window as usize / 2);
+}

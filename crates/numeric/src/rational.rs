@@ -96,6 +96,28 @@ fn gcd(a: i128, b: i128) -> i128 {
     gcd_u(a as u128, b as u128) as i128
 }
 
+/// Checked least common multiple of two positive integers; `None` on
+/// `i128` overflow (or non-positive input).
+///
+/// This is the workhorse of tick compilation (`dbp-core::tick`): the
+/// LCM of every timestamp (resp. size) denominator in an instance is
+/// the common grid on which the whole instance becomes integral.
+///
+/// ```
+/// use dbp_numeric::checked_lcm;
+/// assert_eq!(checked_lcm(4, 6), Some(12));
+/// assert_eq!(checked_lcm(7, 13), Some(91));
+/// assert_eq!(checked_lcm(i128::MAX, 2), None); // would overflow
+/// assert_eq!(checked_lcm(0, 3), None);
+/// ```
+#[inline]
+pub fn checked_lcm(a: i128, b: i128) -> Option<i128> {
+    if a <= 0 || b <= 0 {
+        return None;
+    }
+    (a / gcd(a, b)).checked_mul(b)
+}
+
 impl Rational {
     /// The rational zero, `0/1`.
     pub const ZERO: Rational = Rational { num: 0, den: 1 };
@@ -275,6 +297,29 @@ impl Rational {
             .checked_add(rhs.num.checked_mul(rhs_scale)?)?;
         let den = self.den.checked_mul(lhs_scale)?;
         Some(Rational::new(num, den))
+    }
+
+    /// Rescales onto the integer grid `1/scale`: returns the integer
+    /// `k` with `self == k / scale`, or `None` when the value does
+    /// not lie on that grid (`scale` is not a multiple of the reduced
+    /// denominator) or the multiplication overflows.
+    ///
+    /// This is the exact conversion used by tick compilation: with
+    /// `scale` the LCM of all denominators in an instance, every
+    /// timestamp and size maps losslessly to machine integers.
+    ///
+    /// ```
+    /// use dbp_numeric::rat;
+    /// assert_eq!(rat(3, 4).scaled_to(12), Some(9));
+    /// assert_eq!(rat(-5, 2).scaled_to(6), Some(-15));
+    /// assert_eq!(rat(1, 3).scaled_to(8), None); // 8/3 not integral
+    /// ```
+    #[inline]
+    pub fn scaled_to(self, scale: i128) -> Option<i128> {
+        if scale <= 0 || scale % self.den != 0 {
+            return None;
+        }
+        self.num.checked_mul(scale / self.den)
     }
 
     /// Checked multiplication; `None` on `i128` overflow.
@@ -690,6 +735,34 @@ mod tests {
         // Cancellation to zero stays canonical 0/1.
         let r = Rational::new(2, 7) - Rational::new(2, 7);
         assert_eq!((r.numer(), r.denom()), (0, 1));
+    }
+
+    #[test]
+    fn lcm_and_grid_scaling() {
+        assert_eq!(checked_lcm(1, 1), Some(1));
+        assert_eq!(checked_lcm(4, 6), Some(12));
+        assert_eq!(checked_lcm(6, 4), Some(12));
+        assert_eq!(checked_lcm(12, 4), Some(12));
+        assert_eq!(checked_lcm(-3, 4), None);
+        assert_eq!(checked_lcm(i128::MAX, i128::MAX - 1), None);
+        // Folding denominators of a mixed-grid instance.
+        let scale = [2i128, 3, 4, 6]
+            .into_iter()
+            .try_fold(1i128, checked_lcm)
+            .unwrap();
+        assert_eq!(scale, 12);
+        for r in [
+            Rational::new(1, 2),
+            Rational::new(2, 3),
+            Rational::new(-7, 4),
+            Rational::new(5, 6),
+        ] {
+            let k = r.scaled_to(scale).unwrap();
+            assert_eq!(Rational::new(k, scale), r);
+        }
+        assert_eq!(Rational::new(1, 5).scaled_to(scale), None);
+        assert_eq!(Rational::new(1, 2).scaled_to(0), None);
+        assert_eq!(Rational::from_int(2).scaled_to(i128::MAX), None);
     }
 
     #[test]

@@ -19,13 +19,20 @@
 //!   `t` (a new item can reuse capacity freed at the same instant).
 //!   `seq` is the insertion sequence number, making the whole order
 //!   total and deterministic.
+//! * **Reusable schedules.** When the full event set is known up
+//!   front (instance replay), [`EventSchedule`] is a flat, pre-sorted
+//!   alternative to the heap with the *same* `(time, class, seq)`
+//!   contract: built once, replayed per algorithm at zero per-run
+//!   cost.
 //! * **Time-weighted statistics.** [`stats::TimeWeighted`] integrates
 //!   step functions of time exactly — this is how bin levels,
 //!   open-server counts and `∫ OPT(R,t) dt` style quantities are
 //!   accumulated.
 
 pub mod queue;
+pub mod schedule;
 pub mod stats;
 
 pub use queue::{EventClass, EventQueue, ScheduledEvent};
+pub use schedule::EventSchedule;
 pub use stats::{Counter, StepIntegrator, SummaryStats, TimeWeighted};

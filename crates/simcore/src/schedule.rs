@@ -1,0 +1,140 @@
+//! Pre-sorted, reusable event schedules.
+//!
+//! [`EventQueue`](crate::EventQueue) is the right tool when events
+//! are *discovered* during a run (control events, simulator
+//! follow-ups). Instance replay is different: the complete event set
+//! is known up front, and a sweep replays the *same* events once per
+//! algorithm. [`EventSchedule`] covers that case with a flat,
+//! pre-sorted `Vec` — built once with a single `O(n log n)` sort,
+//! then iterated any number of times with zero per-run allocation or
+//! heap sifting.
+//!
+//! The ordering contract is identical to the queue's: events fire in
+//! `(time, class, seq)` order, where `seq` is the insertion index.
+//! The `prop_simcore` property suite asserts pop-order parity between
+//! the two structures, many-way ties included, so a replay driven
+//! from a schedule is event-for-event identical to one driven from a
+//! freshly filled queue.
+
+use crate::queue::{EventClass, ScheduledEvent};
+use dbp_numeric::Rational;
+
+/// An immutable, pre-sorted sequence of events.
+///
+/// ```
+/// use dbp_simcore::{EventClass, EventSchedule};
+/// use dbp_numeric::rat;
+///
+/// let sched = EventSchedule::new(vec![
+///     (rat(2, 1), EventClass::Arrival, "arrive@2"),
+///     (rat(1, 1), EventClass::Arrival, "arrive@1"),
+///     (rat(2, 1), EventClass::Departure, "depart@2"),
+/// ]);
+/// let order: Vec<_> = sched.events().iter().map(|e| e.payload).collect();
+/// assert_eq!(order, ["arrive@1", "depart@2", "arrive@2"]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventSchedule<T> {
+    events: Vec<ScheduledEvent<T>>,
+}
+
+impl<T> EventSchedule<T> {
+    /// Builds a schedule from `(time, class, payload)` entries. Each
+    /// entry's `seq` is its position in `entries` — the same number
+    /// [`EventQueue::schedule`](crate::EventQueue::schedule) would
+    /// have assigned — so full ties resolve in insertion order.
+    pub fn new(entries: Vec<(Rational, EventClass, T)>) -> EventSchedule<T> {
+        let mut events: Vec<ScheduledEvent<T>> = entries
+            .into_iter()
+            .enumerate()
+            .map(|(seq, (time, class, payload))| ScheduledEvent {
+                time,
+                class,
+                seq: seq as u64,
+                payload,
+            })
+            .collect();
+        // Keys are unique (seq is), so an unstable sort is safe.
+        events.sort_unstable_by_key(|a| (a.time, a.class, a.seq));
+        EventSchedule { events }
+    }
+
+    /// The events in firing order.
+    pub fn events(&self) -> &[ScheduledEvent<T>] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` iff the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates the events in firing order.
+    pub fn iter(&self) -> std::slice::Iter<'_, ScheduledEvent<T>> {
+        self.events.iter()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a EventSchedule<T> {
+    type Item = &'a ScheduledEvent<T>;
+    type IntoIter = std::slice::Iter<'a, ScheduledEvent<T>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_numeric::rat;
+
+    #[test]
+    fn empty_schedule() {
+        let s: EventSchedule<()> = EventSchedule::new(Vec::new());
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn orders_by_time_class_seq() {
+        let s = EventSchedule::new(vec![
+            (rat(1, 1), EventClass::Arrival, "a@1"),
+            (rat(1, 1), EventClass::Control, "c@1"),
+            (rat(1, 1), EventClass::Departure, "d@1"),
+            (rat(1, 2), EventClass::Arrival, "a@.5"),
+        ]);
+        let order: Vec<_> = s.iter().map(|e| e.payload).collect();
+        assert_eq!(order, ["a@.5", "d@1", "a@1", "c@1"]);
+    }
+
+    #[test]
+    fn full_ties_keep_insertion_order() {
+        let s = EventSchedule::new(vec![
+            (rat(3, 1), EventClass::Arrival, 0),
+            (rat(3, 1), EventClass::Arrival, 1),
+            (rat(3, 1), EventClass::Arrival, 2),
+        ]);
+        let order: Vec<_> = s.iter().map(|e| e.payload).collect();
+        assert_eq!(order, [0, 1, 2]);
+        let seqs: Vec<_> = s.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, [0, 1, 2]);
+    }
+
+    #[test]
+    fn replay_is_repeatable() {
+        let s = EventSchedule::new(vec![
+            (rat(2, 1), EventClass::Departure, 'd'),
+            (rat(1, 1), EventClass::Arrival, 'a'),
+        ]);
+        let first: Vec<_> = s.iter().map(|e| (e.time, e.payload)).collect();
+        let second: Vec<_> = s.iter().map(|e| (e.time, e.payload)).collect();
+        assert_eq!(first, second);
+        assert_eq!(first, [(rat(1, 1), 'a'), (rat(2, 1), 'd')]);
+    }
+}

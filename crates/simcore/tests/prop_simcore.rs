@@ -1,7 +1,7 @@
 //! Property tests for the event queue and exact statistics.
 
 use dbp_numeric::{rat, Rational};
-use dbp_simcore::{EventClass, EventQueue, TimeWeighted};
+use dbp_simcore::{EventClass, EventQueue, EventSchedule, TimeWeighted};
 use proptest::prelude::*;
 
 fn class_strategy() -> impl Strategy<Value = EventClass> {
@@ -38,6 +38,38 @@ proptest! {
                 "order violated: {:?} then {:?}", w[0], w[1]
             );
         }
+    }
+
+    /// The flat [`EventSchedule`] pops events in exactly the same
+    /// `(time, class, seq)` order as the heap-backed [`EventQueue`]
+    /// when filled in the same insertion order. The narrow time range
+    /// with only a handful of denominators forces many-way equal-time
+    /// (and equal-class) ties, so the tie-breaking contract itself is
+    /// what gets exercised.
+    #[test]
+    fn schedule_matches_queue_order(
+        events in prop::collection::vec(((0i128..8, 1i128..4), class_strategy()), 0..80)
+    ) {
+        let mut q = EventQueue::new();
+        for (i, ((num, den), class)) in events.iter().enumerate() {
+            q.schedule(rat(*num, *den), *class, i);
+        }
+        let sched = EventSchedule::new(
+            events
+                .iter()
+                .enumerate()
+                .map(|(i, ((num, den), class))| (rat(*num, *den), *class, i))
+                .collect(),
+        );
+        let heap_order: Vec<(Rational, EventClass, u64, usize)> =
+            std::iter::from_fn(|| q.pop())
+                .map(|e| (e.time, e.class, e.seq, e.payload))
+                .collect();
+        let flat_order: Vec<(Rational, EventClass, u64, usize)> = sched
+            .iter()
+            .map(|e| (e.time, e.class, e.seq, e.payload))
+            .collect();
+        prop_assert_eq!(heap_order, flat_order);
     }
 
     /// Interleaved scheduling respects the no-past rule and keeps
