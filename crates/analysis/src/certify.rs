@@ -117,7 +117,8 @@ impl fmt::Display for CertReport {
 /// Runs First Fit on the instance and certifies everything, including
 /// the First-Fit-specific checks.
 pub fn certify_first_fit(instance: &Instance) -> CertReport {
-    let outcome = dbp_core::run_packing(instance, &mut FirstFit::new())
+    let outcome = dbp_core::Runner::new(instance)
+        .run(&mut FirstFit::new())
         .expect("First Fit never fails on a valid instance");
     certify_packing(instance, &outcome, true)
 }
@@ -541,7 +542,7 @@ mod tests {
             Box::new(WorstFit::new()),
             Box::new(NextFit::new()),
         ] {
-            let out = run_packing(&inst, algo.as_mut()).unwrap();
+            let out = Runner::new(&inst).run(algo.as_mut()).unwrap();
             let report = certify_packing(&inst, &out, false);
             assert!(report.all_passed(), "{report}");
         }
@@ -563,7 +564,7 @@ mod tests {
     #[test]
     fn empty_instance_report_is_empty() {
         let inst = Instance::new(vec![]).unwrap();
-        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let out = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
         let report = certify_packing(&inst, &out, true);
         assert!(report.checks.is_empty());
         assert!(report.all_passed());

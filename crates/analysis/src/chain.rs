@@ -55,7 +55,8 @@ impl TheoremChain {
     /// # Panics
     /// Panics on an empty instance.
     pub fn compute(instance: &Instance) -> TheoremChain {
-        let outcome = dbp_core::run_packing(instance, &mut FirstFit::new())
+        let outcome = dbp_core::Runner::new(instance)
+            .run(&mut FirstFit::new())
             .expect("First Fit succeeds on valid instances");
         TheoremChain::compute_for(instance, &outcome)
     }

@@ -502,7 +502,7 @@ mod tests {
             .item(rat(3, 4), rat(2, 1), rat(12, 1)) // b2: opens at 2
             .build()
             .unwrap();
-        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let out = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
         assert_eq!(out.bins_opened(), 3);
         let d = Decomposition::compute(&inst, &out);
         // b0: E_1 = U_1^- = 0 → V empty, W = [0,10).
@@ -526,7 +526,7 @@ mod tests {
             .item(rat(3, 4), rat(1, 1), rat(5, 1))
             .build()
             .unwrap();
-        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let out = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
         let d = Decomposition::compute(&inst, &out);
         // b1's V = [1,5); no small items → x_0 = V, all h.
         let b1 = &d.bins[1];
@@ -547,7 +547,7 @@ mod tests {
             .item(rat(2, 5), rat(16, 1), rat(18, 1)) // small, b1 much later
             .build()
             .unwrap();
-        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let out = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
         // smalls 1,2 (levels .4/.8) then close; item 3 reuses... b1
         // closes at t=3, so item3 opens b2 (b0 is too full: .9+.4>1).
         assert_eq!(out.bins_opened(), 3);
@@ -582,7 +582,7 @@ mod tests {
             .item(rat(2, 5), rat(1, 1), rat(3, 1)) // small s1 (dur 2): b0? 0.9+0.4>1 → own bin
             .build()
             .unwrap();
-        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let out = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
         let d = Decomposition::compute(&inst, &out);
         // d_max = 4, d_min = 2, µ = 2.
         assert_eq!(d.mu, rat(2, 1));
@@ -615,7 +615,7 @@ mod tests {
             .item(rat(1, 4), rat(1, 1), rat(3, 1))
             .build()
             .unwrap();
-        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let out = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
         let w = Interval::new(rat(0, 1), rat(2, 1));
         // demand = 1/2·2 + 1/4·1 = 5/4.
         assert_eq!(demand_over(&inst, &out, BinId(0), &w), rat(5, 4));
@@ -651,7 +651,7 @@ mod tests {
             .build()
             .unwrap();
         let mut algo = Scripted::new(vec![0, 0, 0, 0, 1, 1, 1, 2]);
-        let out = run_packing(&inst, &mut algo).unwrap();
+        let out = Runner::new(&inst).run(&mut algo).unwrap();
         assert_eq!(out.bins_opened(), 3);
         let d = Decomposition::compute(&inst, &out);
         assert_eq!(d.mu, rat(2, 1));
@@ -717,7 +717,7 @@ mod tests {
             .build()
             .unwrap();
         let mut script = dbp_core::Scripted::new(vec![0, 0, 1, 2]);
-        let out = run_packing(&inst, &mut script).unwrap();
+        let out = Runner::new(&inst).run(&mut script).unwrap();
 
         let sound = Decomposition::compute_with(&inst, &out, WindowRule::MuPlusOne);
         assert_eq!(sound.mu, rat(4, 1));

@@ -110,7 +110,7 @@ mod tests {
             .item(rat(1, 2), rat(0, 1), rat(2, 1))
             .build()
             .unwrap();
-        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let out = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
         let rep = measure_ratio(&inst, &out);
         assert_eq!(rep.exact_ratio(), Some(rat(1, 1)));
         assert!(rep.within_theorem1());
@@ -131,7 +131,7 @@ mod tests {
                 .item(rat(1, n), rat(0, 1), rat(mu, 1));
         }
         let inst = b.build().unwrap();
-        let out = run_packing(&inst, &mut NextFit::new()).unwrap();
+        let out = Runner::new(&inst).run(&mut NextFit::new()).unwrap();
         let rep = measure_ratio(&inst, &out);
         assert_eq!(rep.cost, rat(12, 1));
         assert_eq!(rep.exact_ratio(), Some(rat(12, 5)));
@@ -141,7 +141,7 @@ mod tests {
     #[test]
     fn empty_instance_has_no_ratio() {
         let inst = Instance::new(vec![]).unwrap();
-        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let out = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
         let rep = measure_ratio(&inst, &out);
         assert_eq!(rep.ratio_upper, None);
         assert!(rep.within_theorem1());
@@ -153,7 +153,7 @@ mod tests {
             .map(|k| (rat(2, 5), rat(k, 1), rat(k + 3, 1)))
             .collect();
         let inst = Instance::new(specs).unwrap();
-        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let out = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
         let solver = ExactBinPacking::new();
         let exact = measure_ratio_with(&inst, &out, &solver, OptConfig::default());
         let capped = measure_ratio_with(&inst, &out, &solver, OptConfig { max_exact_items: 2 });

@@ -48,7 +48,7 @@ proptest! {
             Box::new(RandomFit::seeded(11)),
             Box::new(HybridFirstFit::classic()),
         ] {
-            let out = run_packing(&inst, algo.as_mut()).unwrap();
+            let out = Runner::new(&inst).run(algo.as_mut()).unwrap();
             let report = certify_packing(&inst, &out, false);
             prop_assert!(report.all_passed(), "{report}");
         }
@@ -82,7 +82,7 @@ proptest! {
     /// ratio API rather than the certificate).
     #[test]
     fn measured_ratio_respects_theorem1(inst in instance_strategy(16)) {
-        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let out = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
         let rep = measure_ratio(&inst, &out);
         if let (Some(ratio), Some(bound)) = (rep.exact_ratio(), rep.theorem1_bound()) {
             prop_assert!(
@@ -191,7 +191,7 @@ mod adversary_props {
                 Box::new(BestFit::new()),
                 Box::new(NextFit::new()),
             ] {
-                let out = run_packing(&inst, algo.as_mut()).unwrap();
+                let out = Runner::new(&inst).run(algo.as_mut()).unwrap();
                 prop_assert!(
                     out.total_usage() >= opt.upper.min(opt.lower),
                     "{} beat the adversary", out.algorithm()

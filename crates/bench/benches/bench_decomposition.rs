@@ -10,7 +10,7 @@ fn bench_decomposition(c: &mut Criterion) {
     let mut group = c.benchmark_group("decomposition");
     for n in [50usize, 200, 800] {
         let inst = RandomWorkload::with_mu(n, rat(4, 1), 11).generate();
-        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let out = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
         group.bench_with_input(
             BenchmarkId::new("compute", n),
             &(&inst, &out),

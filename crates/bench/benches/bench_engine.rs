@@ -18,7 +18,8 @@ fn bench_engine(c: &mut Criterion) {
         group.throughput(Throughput::Elements(2 * n as u64)); // arrivals + departures
         group.bench_with_input(BenchmarkId::new(label, n), &inst, |b, inst| {
             b.iter(|| {
-                run_packing(inst, &mut FirstFit::new())
+                Runner::new(inst)
+                    .run(&mut FirstFit::new())
                     .unwrap()
                     .bins_opened()
             });
@@ -30,7 +31,8 @@ fn bench_engine(c: &mut Criterion) {
             &inst,
             |b, inst| {
                 b.iter(|| {
-                    run_packing(inst, &mut FirstFitFast::new())
+                    Runner::new(inst)
+                        .run(&mut FirstFitFast::new())
                         .unwrap()
                         .bins_opened()
                 });

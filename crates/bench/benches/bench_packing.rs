@@ -30,7 +30,7 @@ fn bench_packing(c: &mut Criterion) {
         for mut algo in algorithms() {
             let name = algo.name();
             group.bench_with_input(BenchmarkId::new(name, n), &inst, |b, inst| {
-                b.iter(|| run_packing(inst, algo.as_mut()).unwrap().total_usage());
+                b.iter(|| Runner::new(inst).run(algo.as_mut()).unwrap().total_usage());
             });
         }
     }

@@ -1,81 +1,89 @@
-//! Compares two `BENCH_engine_throughput.json` snapshots and fails
-//! (exit 1) when any gated throughput metric in the fresh run drops
-//! more than 30% below the committed baseline.
+//! Compares committed `BENCH_*.json` snapshots against fresh runs and
+//! fails (exit 1) on a throughput regression.
 //!
-//! Usage: `perf_check <baseline.json> <fresh.json> [--tolerance 0.70]`
+//! Usage: `perf_check <baseline.json> <fresh.json> [more pairs …]
+//!         [--tolerance 0.70]`
 //!
-//! Two metrics are gated: `events_per_sec` (the parallel replay
-//! headline) and `compiled_events_per_sec` (the single-threaded
-//! tick-engine replay rate). A metric missing from the *baseline* is
-//! skipped with a warning — older baselines predate the tick path —
-//! while a metric missing from the *fresh* snapshot is a hard failure:
-//! the benchmark stopped reporting something it is supposed to gate.
+//! Files are consumed in baseline/fresh pairs; each pair is gated on
+//! the metrics its experiment declares:
 //!
-//! The tolerance is the fraction of the baseline the fresh run must
-//! reach — 0.70 means "no more than a 30% regression". CI runners are
-//! noisy, so the gate is deliberately loose: it exists to catch
-//! order-of-magnitude slips (an accidental `O(B)` scan back in the
-//! hot path), not 5% jitter.
+//! * `engine_throughput` — `events_per_sec` (the parallel replay
+//!   headline) and `compiled_events_per_sec` (the single-threaded
+//!   tick-engine replay rate);
+//! * `stream` — `stream_events_per_sec` (one-event-at-a-time
+//!   sessions), plus an **absolute** floor: the fresh snapshot's
+//!   `stream_vs_batch_ratio` must reach the tolerance, i.e. streaming
+//!   sessions keep ≥70% of the batch tick rate *measured in the same
+//!   run* — a machine-independent contract, not a baseline diff.
+//!
+//! A metric missing from the *baseline* is skipped with a warning —
+//! older baselines predate newer metrics — while a metric missing
+//! from the *fresh* snapshot is a hard failure: the benchmark stopped
+//! reporting something it is supposed to gate.
+//!
+//! The tolerance is the fraction of the baseline (or of the batch
+//! rate, for the ratio gate) the fresh run must reach — 0.70 means
+//! "no more than a 30% shortfall". CI runners are noisy, so the gate
+//! is deliberately loose: it exists to catch order-of-magnitude slips
+//! (an accidental `O(B)` scan back in the hot path), not 5% jitter.
 
 use serde::Value;
 use std::process::ExitCode;
 
-/// Throughput metrics the gate enforces, in report order.
-const GATED_METRICS: &[&str] = &["events_per_sec", "compiled_events_per_sec"];
+/// Baseline-relative throughput metrics gated per experiment.
+fn gated_metrics(experiment: &str) -> &'static [&'static str] {
+    match experiment {
+        "engine_throughput" => &["events_per_sec", "compiled_events_per_sec"],
+        "stream" => &["stream_events_per_sec"],
+        _ => &[],
+    }
+}
 
-fn load_metrics(path: &str) -> Result<Value, String> {
+struct Snapshot {
+    experiment: String,
+    metrics: Value,
+}
+
+fn load(path: &str) -> Result<Snapshot, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let json = serde_json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
-    json.get("metrics")
+    let experiment = json
+        .get("experiment")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("{path} has no experiment name"))?
+        .to_string();
+    let metrics = json
+        .get("metrics")
         .cloned()
-        .ok_or_else(|| format!("{path} has no metrics object"))
+        .ok_or_else(|| format!("{path} has no metrics object"))?;
+    Ok(Snapshot {
+        experiment,
+        metrics,
+    })
 }
 
 fn metric(metrics: &Value, name: &str) -> Option<f64> {
     metrics.get(name).and_then(Value::as_f64)
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut tolerance = 0.70f64;
-    let mut files = Vec::new();
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        if a == "--tolerance" {
-            match it.next().and_then(|t| t.parse().ok()) {
-                Some(t) => tolerance = t,
-                None => {
-                    eprintln!("--tolerance needs a numeric argument");
-                    return ExitCode::FAILURE;
-                }
-            }
-        } else {
-            files.push(a.clone());
-        }
-    }
-    let [baseline, fresh] = files.as_slice() else {
-        eprintln!("usage: perf_check <baseline.json> <fresh.json> [--tolerance 0.70]");
-        return ExitCode::FAILURE;
-    };
-
-    let (base, new) = match (load_metrics(baseline), load_metrics(fresh)) {
-        (Ok(b), Ok(f)) => (b, f),
-        (b, f) => {
-            for err in [b.err(), f.err()].into_iter().flatten() {
-                eprintln!("perf_check: {err}");
-            }
-            return ExitCode::FAILURE;
-        }
-    };
-
-    let mut failed = false;
+/// Gates one baseline/fresh pair. Returns `(gated, failed)`: how many
+/// checks ran and whether any failed.
+fn check_pair(base: &Snapshot, fresh: &Snapshot, tolerance: f64) -> (usize, bool) {
     let mut gated = 0usize;
-    for &name in GATED_METRICS {
-        let Some(base_eps) = metric(&base, name) else {
-            println!("perf_check: baseline has no metrics.{name} — skipping (pre-tick baseline?)");
+    let mut failed = false;
+    if base.experiment != fresh.experiment {
+        eprintln!(
+            "perf_check: experiment mismatch — baseline `{}`, fresh `{}`",
+            base.experiment, fresh.experiment
+        );
+        return (0, true);
+    }
+    for &name in gated_metrics(&base.experiment) {
+        let Some(base_eps) = metric(&base.metrics, name) else {
+            println!("perf_check: baseline has no metrics.{name} — skipping (older baseline?)");
             continue;
         };
-        let Some(fresh_eps) = metric(&new, name) else {
+        let Some(fresh_eps) = metric(&fresh.metrics, name) else {
             eprintln!("perf_check: fresh snapshot dropped metrics.{name} — failing");
             failed = true;
             continue;
@@ -97,8 +105,79 @@ fn main() -> ExitCode {
             println!("perf_check: {name} OK ({pct:.1}% of baseline)");
         }
     }
+    // Same-run absolute gate: streaming sessions must keep pace with
+    // the batch engine regardless of what machine the baseline saw.
+    if fresh.experiment == "stream" {
+        match metric(&fresh.metrics, "stream_vs_batch_ratio") {
+            Some(ratio) => {
+                gated += 1;
+                println!("stream_vs_batch_ratio: {ratio:.3} (floor {tolerance:.2}, same-run)");
+                if ratio < tolerance {
+                    eprintln!(
+                        "perf_check: REGRESSION — streaming sessions at {:.1}% of the \
+                         batch tick rate (floor {:.0}%)",
+                        100.0 * ratio,
+                        100.0 * tolerance
+                    );
+                    failed = true;
+                } else {
+                    println!("perf_check: stream_vs_batch_ratio OK");
+                }
+            }
+            None => {
+                eprintln!("perf_check: stream snapshot has no stream_vs_batch_ratio — failing");
+                failed = true;
+            }
+        }
+    }
+    (gated, failed)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tolerance = 0.70f64;
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--tolerance" {
+            match it.next().and_then(|t| t.parse().ok()) {
+                Some(t) => tolerance = t,
+                None => {
+                    eprintln!("--tolerance needs a numeric argument");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            files.push(a.clone());
+        }
+    }
+    if files.is_empty() || files.len() % 2 != 0 {
+        eprintln!(
+            "usage: perf_check <baseline.json> <fresh.json> [more pairs …] [--tolerance 0.70]"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    let mut gated = 0usize;
+    for pair in files.chunks(2) {
+        let (base, fresh) = match (load(&pair[0]), load(&pair[1])) {
+            (Ok(b), Ok(f)) => (b, f),
+            (b, f) => {
+                for err in [b.err(), f.err()].into_iter().flatten() {
+                    eprintln!("perf_check: {err}");
+                }
+                failed = true;
+                continue;
+            }
+        };
+        println!("== {} ==", base.experiment);
+        let (pair_gated, pair_failed) = check_pair(&base, &fresh, tolerance);
+        gated += pair_gated;
+        failed |= pair_failed;
+    }
     if gated == 0 && !failed {
-        eprintln!("perf_check: no gated metric present in the baseline — nothing was checked");
+        eprintln!("perf_check: no gated metric present in any baseline — nothing was checked");
         return ExitCode::FAILURE;
     }
     if failed {

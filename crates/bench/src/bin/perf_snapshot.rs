@@ -1,7 +1,7 @@
 //! Writes `BENCH_<experiment>.json` perf snapshots into `results/`
 //! (or the directory given as the first argument).
 //!
-//! Four snapshots:
+//! Five snapshots:
 //! * `BENCH_e1_theorem1.json` — wall time + result metrics of a
 //!   reduced Theorem 1 sweep (the flagship experiment);
 //! * `BENCH_engine_throughput.json` — the pure engine sweep, now
@@ -16,6 +16,10 @@
 //!   workload shape, the compile cost, the tick replay rate, the
 //!   exact Rational replay rate on the *same* instances, and the
 //!   speedup. Outcomes are asserted bit-identical while measuring;
+//! * `BENCH_stream.json` — streaming-session overhead: the snapshot-2
+//!   batch replayed through one-event-at-a-time `Session`s (tick and
+//!   exact) against the batch tick rate measured in the same run,
+//!   with `stream_vs_batch_ratio` as the gated headline;
 //! * `BENCH_fit_scaling.json` — the concurrency scaling series: a
 //!   staircase workload holding `B ∈ {100, 1000, 10000}` bins open
 //!   at once, replayed through the linear-scan `FirstFit` and the
@@ -26,10 +30,13 @@
 //! quick local runs.
 
 use dbp_bench::perf::measure;
+use dbp_core::session::{Event, Session, TickGrid};
 use dbp_core::{
-    run_packing, CompiledInstance, FirstFit, FirstFitFast, Instance, PackingAlgorithm, TickPolicy,
+    event_schedule, CompiledInstance, FirstFit, FirstFitFast, Instance, PackingAlgorithm, Runner,
+    TickPolicy,
 };
 use dbp_numeric::rat;
+use dbp_simcore::EventClass;
 use dbp_workloads::RandomWorkload;
 use serde::Value;
 use std::path::Path;
@@ -55,7 +62,7 @@ fn staircase(n: i128, window: i128) -> Instance {
 /// Replays `inst` through `algo`, returning events/second.
 fn throughput(inst: &Instance, algo: &mut dyn PackingAlgorithm) -> (f64, usize) {
     let start = Instant::now();
-    let out = run_packing(inst, algo).expect("replay succeeds");
+    let out = Runner::new(inst).run(algo).expect("replay succeeds");
     let secs = start.elapsed().as_secs_f64();
     ((2 * inst.len()) as f64 / secs, out.max_open_bins())
 }
@@ -75,7 +82,47 @@ fn tick_replay_rate(compiled: &[CompiledInstance], events: i128) -> f64 {
 fn rational_replay_rate(insts: &[Instance], events: i128) -> f64 {
     let start = Instant::now();
     for inst in insts {
-        run_packing(inst, &mut FirstFitFast::new()).expect("replay succeeds");
+        Runner::new(inst)
+            .run(&mut FirstFitFast::new())
+            .expect("replay succeeds");
+    }
+    events as f64 / start.elapsed().as_secs_f64()
+}
+
+/// The canonical wire stream of an instance, rendered as session
+/// events (the batch engine's own order).
+fn events_of(inst: &Instance) -> Vec<Event> {
+    event_schedule(inst)
+        .iter()
+        .map(|entry| match entry.class {
+            EventClass::Arrival => Event::Arrive {
+                id: entry.payload,
+                size: inst.item(entry.payload).size,
+                time: entry.time,
+            },
+            EventClass::Departure => Event::Depart {
+                id: entry.payload,
+                time: entry.time,
+            },
+            EventClass::Control => unreachable!("instances schedule no control events"),
+        })
+        .collect()
+}
+
+/// Single-threaded streaming-session rate over pre-rendered event
+/// streams, in events/second. `grids[i]`, when present, puts session
+/// `i` on the integer tick engine; checkpoint journaling is off so
+/// the timer sees engine work, not bookkeeping.
+fn stream_rate(streams: &[Vec<Event>], grids: &[Option<TickGrid>], events: i128) -> f64 {
+    let start = Instant::now();
+    for (events_i, grid) in streams.iter().zip(grids) {
+        let mut builder = Session::builder(FirstFitFast::new()).without_checkpoints();
+        if let Some(grid) = grid {
+            builder = builder.grid(*grid);
+        }
+        let mut session = builder.build().expect("session builds");
+        session.ingest(events_i).expect("canonical stream is valid");
+        session.finish().expect("finish succeeds");
     }
     events as f64 / start.elapsed().as_secs_f64()
 }
@@ -174,7 +221,7 @@ fn main() {
             // The whole point of the tick path: same bits, less time.
             for (inst, c) in insts.iter().zip(&compiled) {
                 let tick = c.run(TickPolicy::FirstFit).unwrap();
-                let exact = run_packing(inst, &mut FirstFit::new()).unwrap();
+                let exact = Runner::new(inst).run(&mut FirstFit::new()).unwrap();
                 assert_eq!(tick, exact, "tick outcome diverged on {label}");
             }
             let speedup = tick_eps / rational_eps;
@@ -197,6 +244,49 @@ fn main() {
     let snap = snap
         .with_metric("algorithms", Value::Str("FirstFit vs TickEngine".into()))
         .with_metric("series", Value::Array(series));
+    let path = snap.write_to(dir).expect("write snapshot");
+    println!("wrote {} ({:.1} ms)", path.display(), snap.wall_ms());
+
+    // Snapshot 4: streaming-session overhead. The same 64×200 batch
+    // from snapshot 2 is replayed three ways in one run — the batch
+    // tick engine, tick-backed sessions fed one event at a time, and
+    // exact sessions — so `stream_vs_batch_ratio` compares numbers
+    // from the same machine under the same load. Event streams and
+    // grids are rendered outside the timers (wire decoding is the
+    // producer's cost, not the session's). The streaming contract in
+    // CI: sessions keep at least 70% of the batch tick rate
+    // (perf_check gates the ratio and the absolute rate).
+    let streams: Vec<Vec<Event>> = insts.iter().map(events_of).collect();
+    let grids: Vec<Option<TickGrid>> = insts
+        .iter()
+        .map(|inst| Some(TickGrid::for_instance(inst).expect("random workloads compile")))
+        .collect();
+    let no_grids: Vec<Option<TickGrid>> = vec![None; insts.len()];
+    let (rates, snap) = measure("stream", || {
+        let batch_eps = tick_replay_rate(&compiled, total_events);
+        let stream_eps = stream_rate(&streams, &grids, total_events);
+        let exact_stream_eps = stream_rate(&streams, &no_grids, total_events);
+        (batch_eps, stream_eps, exact_stream_eps)
+    });
+    let (batch_eps, stream_eps, exact_stream_eps) = rates;
+    let ratio = stream_eps / batch_eps;
+    println!(
+        "  stream: batch tick={batch_eps:>12.0} ev/s session tick={stream_eps:>12.0} ev/s \
+         ({:.0}% of batch) exact session={exact_stream_eps:>12.0} ev/s",
+        100.0 * ratio
+    );
+    let snap = snap
+        .with_metric("algorithm", Value::Str("Session(FirstFitFast)".into()))
+        .with_metric("instances", Value::Int(instances as i128))
+        .with_metric("items_per_instance", Value::Int(items_each as i128))
+        .with_metric("engine_events", Value::Int(total_events))
+        .with_metric("batch_tick_events_per_sec", Value::Float(batch_eps))
+        .with_metric("stream_events_per_sec", Value::Float(stream_eps))
+        .with_metric(
+            "stream_exact_events_per_sec",
+            Value::Float(exact_stream_eps),
+        )
+        .with_metric("stream_vs_batch_ratio", Value::Float(ratio));
     let path = snap.write_to(dir).expect("write snapshot");
     println!("wrote {} ({:.1} ms)", path.display(), snap.wall_ms());
 

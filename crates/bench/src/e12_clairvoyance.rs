@@ -16,7 +16,7 @@
 
 use crate::table::{dec, Table};
 use dbp_analysis::measure_ratio;
-use dbp_core::{run_packing, DepartureAlignedFit, FirstFit};
+use dbp_core::{DepartureAlignedFit, FirstFit, Runner};
 use dbp_numeric::{rat, Rational};
 use dbp_workloads::adversarial::universal_mu_pairs;
 use dbp_workloads::RandomWorkload;
@@ -41,9 +41,9 @@ pub fn run(mus: &[u32], k: u32, n: usize, seeds: u64) -> (Vec<ClairvoyanceRow>, 
     let mut rows = Vec::new();
     for &mu in mus {
         let (gadget, _) = universal_mu_pairs(k, mu, k.max(4));
-        let ff_out = run_packing(&gadget, &mut FirstFit::new()).unwrap();
+        let ff_out = Runner::new(&gadget).run(&mut FirstFit::new()).unwrap();
         let mut cv = DepartureAlignedFit::new(&gadget);
-        let cv_out = run_packing(&gadget, &mut cv).unwrap();
+        let cv_out = Runner::new(&gadget).run(&mut cv).unwrap();
         let ff_gadget = measure_ratio(&gadget, &ff_out).exact_ratio().unwrap();
         let cv_gadget = measure_ratio(&gadget, &cv_out).exact_ratio().unwrap();
 
@@ -52,9 +52,9 @@ pub fn run(mus: &[u32], k: u32, n: usize, seeds: u64) -> (Vec<ClairvoyanceRow>, 
         let mut count = 0usize;
         for seed in 0..seeds {
             let inst = RandomWorkload::with_sharp_mu(n, rat(mu as i128, 1), seed).generate();
-            let ff = run_packing(&inst, &mut FirstFit::new()).unwrap();
+            let ff = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
             let mut cv = DepartureAlignedFit::new(&inst);
-            let cvo = run_packing(&inst, &mut cv).unwrap();
+            let cvo = Runner::new(&inst).run(&mut cv).unwrap();
             let ff_rep = measure_ratio(&inst, &ff);
             let cv_rep = measure_ratio(&inst, &cvo);
             if let (Some(a), Some(b)) = (ff_rep.exact_ratio(), cv_rep.exact_ratio()) {

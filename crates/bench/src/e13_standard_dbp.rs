@@ -12,7 +12,8 @@
 use crate::table::{dec, Table};
 use dbp_analysis::optimal::{opt_profile, OptConfig};
 use dbp_analysis::ExactBinPacking;
-use dbp_core::{event_schedule, run_packing_scheduled};
+use dbp_core::event_schedule;
+use dbp_core::Runner;
 use dbp_numeric::{rat, Rational};
 use dbp_workloads::RandomWorkload;
 
@@ -46,7 +47,10 @@ pub fn run(mus: &[u32], n: usize, seeds: u64) -> (Vec<StandardDbpRow>, Table) {
             // One schedule per seed, replayed by the whole lineup.
             let schedule = event_schedule(&inst);
             for mut algo in crate::algorithm_lineup() {
-                let out = run_packing_scheduled(&inst, &schedule, algo.as_mut()).unwrap();
+                let out = Runner::new(&inst)
+                    .schedule(&schedule)
+                    .run(algo.as_mut())
+                    .unwrap();
                 let usage_ratio = (out.total_usage() / opt_usage).to_f64();
                 let peak_ratio = out.max_open_bins() as f64 / opt_peak as f64;
                 match acc

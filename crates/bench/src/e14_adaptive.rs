@@ -12,7 +12,7 @@
 
 use crate::table::{dec, Table};
 use dbp_analysis::measure_ratio;
-use dbp_core::run_packing;
+use dbp_core::Runner;
 use dbp_numeric::Rational;
 use dbp_workloads::adaptive::{play, KeepSmallestAdversary};
 
@@ -39,7 +39,7 @@ pub fn run(mus: &[u32], k: u32) -> (Vec<AdaptiveRow>, Table) {
             let mut adversary = KeepSmallestAdversary::new(k, mu);
             let result = play(&mut adversary, algo.as_mut(), 100_000).expect("game is feasible");
             // Price the realized instance with the exact adversary.
-            let rerun = run_packing(&result.instance, algo.as_mut()).unwrap();
+            let rerun = Runner::new(&result.instance).run(algo.as_mut()).unwrap();
             debug_assert_eq!(rerun.total_usage(), result.algorithm_cost);
             let rep = measure_ratio(&result.instance, &rerun);
             rows.push(AdaptiveRow {

@@ -10,7 +10,7 @@
 
 use crate::table::{dec, Table};
 use dbp_analysis::measure_ratio;
-use dbp_core::{run_packing, FirstFit, NextFit};
+use dbp_core::{FirstFit, NextFit, Runner};
 use dbp_numeric::Rational;
 use dbp_workloads::adversarial::{next_fit_pairs, next_fit_paper_formula};
 
@@ -39,8 +39,8 @@ pub fn run(ns: &[u32], mus: &[u32]) -> (Vec<NextFitRow>, Table) {
     for &mu in mus {
         for &n in ns {
             let (inst, pred) = next_fit_pairs(n, mu);
-            let nf = run_packing(&inst, &mut NextFit::new()).unwrap();
-            let ff = run_packing(&inst, &mut FirstFit::new()).unwrap();
+            let nf = Runner::new(&inst).run(&mut NextFit::new()).unwrap();
+            let ff = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
             let rep = measure_ratio(&inst, &nf);
             let opt = rep.opt_lower;
             assert_eq!(nf.total_usage(), pred.algorithm_cost, "NF prediction");

@@ -11,7 +11,8 @@
 
 use crate::table::{dec, Table};
 use dbp_analysis::measure_ratio;
-use dbp_core::{event_schedule, run_packing_scheduled};
+use dbp_core::event_schedule;
+use dbp_core::Runner;
 use dbp_numeric::Rational;
 use dbp_workloads::adversarial::universal_mu_pairs;
 
@@ -36,7 +37,10 @@ pub fn run(mus: &[u32], ks: &[u32]) -> (Vec<UniversalRow>, Table) {
             let schedule = event_schedule(&inst);
             let mut ratios = Vec::new();
             for mut algo in crate::algorithm_lineup() {
-                let out = run_packing_scheduled(&inst, &schedule, algo.as_mut()).unwrap();
+                let out = Runner::new(&inst)
+                    .schedule(&schedule)
+                    .run(algo.as_mut())
+                    .unwrap();
                 let rep = measure_ratio(&inst, &out);
                 let ratio = rep
                     .exact_ratio()

@@ -8,9 +8,7 @@
 
 use crate::table::{dec, Table};
 use dbp_analysis::measure_ratio;
-use dbp_core::{
-    event_schedule, run_packing_scheduled, BestFit, FirstFit, LastFit, PackingAlgorithm, WorstFit,
-};
+use dbp_core::{event_schedule, BestFit, FirstFit, LastFit, PackingAlgorithm, Runner, WorstFit};
 
 use dbp_numeric::{rat, Rational};
 use dbp_workloads::adversarial::any_fit_ladder;
@@ -45,7 +43,10 @@ pub fn run(mus: &[u32], ns: &[u32]) -> (Vec<LadderRow>, Table) {
                 Box::new(LastFit::new()),
             ];
             for mut algo in algos {
-                let out = run_packing_scheduled(&inst, &schedule, algo.as_mut()).unwrap();
+                let out = Runner::new(&inst)
+                    .schedule(&schedule)
+                    .run(algo.as_mut())
+                    .unwrap();
                 let rep = measure_ratio(&inst, &out);
                 let ratio = rep
                     .exact_ratio()

@@ -12,7 +12,7 @@
 
 use crate::table::{dec, Table};
 use dbp_analysis::measure_ratio;
-use dbp_core::{run_packing, BestFit, FirstFit};
+use dbp_core::{BestFit, FirstFit, Runner};
 use dbp_numeric::Rational;
 use dbp_workloads::adversarial::best_fit_scatter;
 
@@ -41,8 +41,8 @@ pub fn run(mus: &[u32], ks: &[u32]) -> (Vec<ScatterRow>, Table) {
     for &mu in mus {
         for &k in ks {
             let (inst, pred) = best_fit_scatter(k, mu);
-            let bf = run_packing(&inst, &mut BestFit::new()).unwrap();
-            let ff = run_packing(&inst, &mut FirstFit::new()).unwrap();
+            let bf = Runner::new(&inst).run(&mut BestFit::new()).unwrap();
+            let ff = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
             let rep_bf = measure_ratio(&inst, &bf);
             let rep_ff = measure_ratio(&inst, &ff);
             assert_eq!(bf.total_usage(), pred.algorithm_cost, "BF prediction");

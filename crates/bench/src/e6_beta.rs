@@ -9,7 +9,8 @@
 
 use crate::table::{dec, Table};
 use dbp_analysis::measure_ratio;
-use dbp_core::{run_packing, FirstFit};
+use dbp_core::FirstFit;
+use dbp_core::Runner;
 use dbp_numeric::{rat, Rational};
 use dbp_par::par_map;
 use dbp_workloads::RandomWorkload;
@@ -42,7 +43,7 @@ pub fn run(betas: &[u32], mus: &[u32], n: usize, seeds: u64) -> (Vec<BetaRow>, T
                 let inst = RandomWorkload::with_sharp_mu(n, mu_r, seed)
                     .capped_sizes(beta)
                     .generate();
-                let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+                let out = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
                 measure_ratio(&inst, &out).exact_ratio()
             });
             let mut max_ratio = Rational::ZERO;

@@ -13,7 +13,7 @@
 
 use crate::table::{dec, Table};
 use dbp_analysis::measure_ratio;
-use dbp_core::{run_packing, FirstFit, HybridFirstFit};
+use dbp_core::{FirstFit, HybridFirstFit, Runner};
 use dbp_numeric::{rat, Rational};
 use dbp_workloads::adversarial::universal_mu_pairs;
 use dbp_workloads::RandomWorkload;
@@ -40,8 +40,10 @@ pub fn run(mus: &[u32], k: u32, n: usize, seeds: u64) -> (Vec<HybridRow>, Table)
     let mut rows = Vec::new();
     for &mu in mus {
         let (gadget, _) = universal_mu_pairs(k, mu, k.max(4));
-        let ff_out = run_packing(&gadget, &mut FirstFit::new()).unwrap();
-        let hff_out = run_packing(&gadget, &mut HybridFirstFit::classic()).unwrap();
+        let ff_out = Runner::new(&gadget).run(&mut FirstFit::new()).unwrap();
+        let hff_out = Runner::new(&gadget)
+            .run(&mut HybridFirstFit::classic())
+            .unwrap();
         let ff_rep = measure_ratio(&gadget, &ff_out);
         let hff_rep = measure_ratio(&gadget, &hff_out);
 
@@ -50,8 +52,10 @@ pub fn run(mus: &[u32], k: u32, n: usize, seeds: u64) -> (Vec<HybridRow>, Table)
         let mut count = 0.0f64;
         for seed in 0..seeds {
             let inst = RandomWorkload::with_sharp_mu(n, rat(mu as i128, 1), seed).generate();
-            let ff = run_packing(&inst, &mut FirstFit::new()).unwrap();
-            let hff = run_packing(&inst, &mut HybridFirstFit::classic()).unwrap();
+            let ff = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
+            let hff = Runner::new(&inst)
+                .run(&mut HybridFirstFit::classic())
+                .unwrap();
             let lb = dbp_analysis::profile_lower_bound(&inst);
             if lb.is_positive() {
                 ff_acc += (ff.total_usage() / lb).to_f64();

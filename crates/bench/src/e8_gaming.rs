@@ -34,7 +34,10 @@ pub fn run(loads: &[u32], seed: u64) -> (Vec<GamingRow>, Table) {
         let trace = cfg.generate();
         let mut reports = Vec::new();
         for mut algo in crate::algorithm_lineup() {
-            let report = simulate(&trace.instance, algo.as_mut(), BillingModel::hourly()).unwrap();
+            let report = simulate(&trace.instance)
+                .billing(BillingModel::hourly())
+                .run(algo.as_mut())
+                .unwrap();
             reports.push(report);
         }
         rows.push(GamingRow {

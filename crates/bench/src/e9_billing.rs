@@ -47,7 +47,10 @@ pub fn run(seed: u64) -> (Vec<BillingRow>, Table) {
     let mut rows = Vec::new();
     for billing in billings {
         for mut algo in crate::algorithm_lineup() {
-            let rep = simulate(&trace.instance, algo.as_mut(), billing).unwrap();
+            let rep = simulate(&trace.instance)
+                .billing(billing)
+                .run(algo.as_mut())
+                .unwrap();
             rows.push(BillingRow {
                 billing: billing.to_string(),
                 algorithm: rep.algorithm.clone(),

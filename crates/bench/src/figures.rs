@@ -12,7 +12,9 @@ use dbp_numeric::rat;
 const WIDTH: usize = 72;
 
 fn ff(inst: &Instance) -> PackingOutcome {
-    run_packing(inst, &mut FirstFit::new()).expect("valid instance")
+    Runner::new(inst)
+        .run(&mut FirstFit::new())
+        .expect("valid instance")
 }
 
 /// Figure 1 — the span of an item list: three items, one temporal
@@ -57,7 +59,9 @@ pub fn fig2_usage_periods() -> String {
 pub fn fig3_selection() -> String {
     let inst = selection_instance();
     let mut script = dbp_core::Scripted::new(vec![0, 0, 0, 0, 1, 1, 1, 1, 1]);
-    let out = run_packing(&inst, &mut script).expect("scripted packing is feasible");
+    let out = Runner::new(&inst)
+        .run(&mut script)
+        .expect("scripted packing is feasible");
     format!(
         "Figure 3: item selection and l/h period split over V_k\n\n{}",
         dbp_viz::subperiods(&inst, &out, WIDTH)
@@ -84,7 +88,9 @@ pub fn fig4_supplier() -> String {
         .build()
         .unwrap();
     let mut script = dbp_core::Scripted::new(vec![0, 0, 0, 0, 1, 1, 1, 2]);
-    let out = run_packing(&inst, &mut script).expect("scripted packing is feasible");
+    let out = Runner::new(&inst)
+        .run(&mut script)
+        .expect("scripted packing is feasible");
     format!(
         "Figure 4: supplier bins and supplier periods (single + consolidated)\n\n{}",
         dbp_viz::subperiods(&inst, &out, WIDTH)
@@ -99,7 +105,9 @@ pub fn fig4_supplier() -> String {
 pub fn fig5_case3() -> String {
     let inst = cross_bin_instance();
     let mut script = dbp_core::Scripted::new(vec![0, 0, 0, 0, 1, 2]);
-    let out = run_packing(&inst, &mut script).expect("scripted packing is feasible");
+    let out = Runner::new(&inst)
+        .run(&mut script)
+        .expect("scripted packing is feasible");
     format!(
         "Figure 5: Case 3 — l-subperiods from different bins sharing a supplier\n\n{}",
         dbp_viz::subperiods(&inst, &out, WIDTH)
@@ -127,7 +135,9 @@ pub fn fig6_case4() -> String {
         .build()
         .unwrap();
     let mut script = dbp_core::Scripted::new(vec![0, 0, 0, 0, 1, 2, 2, 2]);
-    let out = run_packing(&inst, &mut script).expect("scripted packing is feasible");
+    let out = Runner::new(&inst)
+        .run(&mut script)
+        .expect("scripted packing is feasible");
     format!(
         "Figure 6: Case 4 — consolidated follower in a different bin\n\n{}",
         dbp_viz::subperiods(&inst, &out, WIDTH)

@@ -19,11 +19,11 @@
 //! printer.
 
 use dbp_analysis::{certify_first_fit, measure_ratio, TheoremChain};
-use dbp_cloudsim::{simulate, simulate_observed, BillingModel};
+use dbp_cloudsim::{simulate, BillingModel};
 use dbp_core::{
-    run_packing, BestFit, BestFitFast, CompiledInstance, DepartureAlignedFit, FanOut, FirstFit,
-    FirstFitFast, HybridFirstFit, Instance, LastFit, NextFit, PackingAlgorithm, TickPolicy,
-    WorstFit, WorstFitFast,
+    BestFit, BestFitFast, CompiledInstance, DepartureAlignedFit, FanOut, FirstFit, FirstFitFast,
+    HybridFirstFit, Instance, LastFit, NextFit, PackingAlgorithm, Runner, TickPolicy, WorstFit,
+    WorstFitFast,
 };
 use dbp_numeric::Rational;
 use dbp_obs::{chrome_trace, parse_jsonl, EngineMetrics, StepSeries, TraceRecorder};
@@ -134,6 +134,17 @@ COMMANDS:
             Rational fallback when the grid overflows)
             --trace FILE [--algo firstfit|bestfit|worstfit]
             [--verify true|false]
+  stream    drive a live streaming session from JSONL events
+            ({\"arrive\":{\"id\":..,\"size\":..,\"time\":..}} /
+             {\"depart\":{\"id\":..,\"time\":..}}, one per line)
+            [--input FILE]   read events from FILE (default: stdin)
+            [--algo NAME] [--backend auto|exact|tick] [--grid T,S]
+            [--shards N]     shard by item id across N sessions
+            [--strict true|false]  abort vs skip bad lines (default skip)
+            [--report-every N]     print live metrics every N events
+            [--checkpoint FILE]    save a resumable snapshot if the
+                                   stream ends with items still active
+            [--resume FILE]        continue from a saved snapshot
   render    ASCII timeline of a packing
             --trace FILE [--algo NAME] [--width W]
   help      this text
@@ -199,6 +210,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "adaptive" => cmd_adaptive(&opts),
         "opt" => cmd_opt(&opts),
         "tick" => cmd_tick(&opts),
+        "stream" => cmd_stream(&opts),
         "render" => cmd_render(&opts),
         other => Err(err(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
@@ -279,13 +291,14 @@ fn cmd_pack(opts: &Opts) -> Result<String, CliError> {
 
     let mut recorder = TraceRecorder::new();
     let mut metrics = EngineMetrics::new();
-    let report = if observing {
-        let mut fan = FanOut::new(vec![&mut recorder, &mut metrics]);
-        simulate_observed(&instance, algo.as_mut(), billing, &mut fan)
-    } else {
-        simulate(&instance, algo.as_mut(), billing)
+    let mut fan = FanOut::new(vec![&mut recorder, &mut metrics]);
+    let mut sim = simulate(&instance).billing(billing);
+    if observing {
+        sim = sim.observer(&mut fan);
     }
-    .map_err(|e| err(format!("packing failed: {e}")))?;
+    let report = sim
+        .run(algo.as_mut())
+        .map_err(|e| err(format!("packing failed: {e}")))?;
 
     let mut out = String::new();
     out.push_str(&format!(
@@ -428,7 +441,9 @@ fn cmd_compare(opts: &Opts) -> Result<String, CliError> {
     let mut rows: Vec<(String, Rational, Rational, usize)> = Vec::new();
     for name in names {
         let mut algo = make_algo(name)?;
-        let rep = simulate(&instance, algo.as_mut(), billing)
+        let rep = simulate(&instance)
+            .billing(billing)
+            .run(algo.as_mut())
             .map_err(|e| err(format!("{name} failed: {e}")))?;
         rows.push((
             rep.algorithm.clone(),
@@ -490,7 +505,8 @@ fn cmd_adaptive(opts: &Opts) -> Result<String, CliError> {
     let mut adversary = dbp_workloads::adaptive::KeepSmallestAdversary::new(k, mu);
     let result = dbp_workloads::adaptive::play(&mut adversary, algo.as_mut(), 1_000_000)
         .map_err(|e| err(format!("game failed: {e}")))?;
-    let rerun = run_packing(&result.instance, algo.as_mut())
+    let rerun = Runner::new(&result.instance)
+        .run(algo.as_mut())
         .map_err(|e| err(format!("replay failed: {e}")))?;
     let rep = measure_ratio(&result.instance, &rerun);
     let mut out = format!(
@@ -523,7 +539,8 @@ fn cmd_opt(opts: &Opts) -> Result<String, CliError> {
             max_exact_items: max_exact,
         },
     );
-    let ff = run_packing(&instance, &mut FirstFit::new())
+    let ff = Runner::new(&instance)
+        .run(&mut FirstFit::new())
         .map_err(|e| err(format!("packing failed: {e}")))?;
     let rep = measure_ratio(&instance, &ff);
     let mut out = String::new();
@@ -585,7 +602,8 @@ fn cmd_tick(opts: &Opts) -> Result<String, CliError> {
                     TickPolicy::BestFit => Box::new(BestFit::new()),
                     TickPolicy::WorstFit => Box::new(WorstFit::new()),
                 };
-                let exact = run_packing(&instance, linear.as_mut())
+                let exact = Runner::new(&instance)
+                    .run(linear.as_mut())
                     .map_err(|e| err(format!("verification replay failed: {e}")))?;
                 if outcome == exact {
                     out.push_str("verify: OK — bit-identical to the exact Rational engine\n");
@@ -602,7 +620,13 @@ fn cmd_tick(opts: &Opts) -> Result<String, CliError> {
             out.push_str(&format!(
                 "compile: {e} — falling back to the exact Rational engine\n"
             ));
-            dbp_core::run_packing_auto(&instance, policy)
+            let mut linear: Box<dyn PackingAlgorithm> = match policy {
+                TickPolicy::FirstFit => Box::new(FirstFit::new()),
+                TickPolicy::BestFit => Box::new(BestFit::new()),
+                TickPolicy::WorstFit => Box::new(WorstFit::new()),
+            };
+            Runner::new(&instance)
+                .run(linear.as_mut())
                 .map_err(|e| err(format!("packing failed: {e}")))?
         }
     };
@@ -617,12 +641,281 @@ fn cmd_tick(opts: &Opts) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Parses one JSONL line into a stream event. Returns `None` for
+/// blank lines and comments.
+fn parse_stream_line(line: &str) -> Option<Result<StreamCliEvent, String>> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return None;
+    }
+    Some(serde_json::from_str::<StreamCliEvent>(trimmed).map_err(|e| e.to_string()))
+}
+
+type StreamCliEvent = dbp_core::session::Event;
+
+fn cmd_stream(opts: &Opts) -> Result<String, CliError> {
+    use dbp_core::session::{Backend, Session, SessionSnapshot, TickGrid};
+    use dbp_par::Fleet;
+
+    let strict = opts.get("strict").unwrap_or("false") == "true";
+    let report_every = opts.u64_or("report-every", 0)? as usize;
+    let shards = opts.u32_or("shards", 1)? as usize;
+    let algo_name = opts.get("algo").unwrap_or("firstfit");
+    let backend = match opts.get("backend").unwrap_or("auto") {
+        "auto" => Backend::Auto,
+        "exact" => Backend::Exact,
+        "tick" => Backend::Tick,
+        other => return Err(err(format!("unknown backend `{other}` (auto|exact|tick)"))),
+    };
+    let grid = match opts.get("grid") {
+        None => None,
+        Some(spec) => {
+            let (t, s) = spec
+                .split_once(',')
+                .ok_or_else(|| err(format!("--grid expects `T,S`, got `{spec}`")))?;
+            let parse = |v: &str, what: &str| {
+                v.trim()
+                    .parse::<u32>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| err(format!("--grid {what} scale `{v}` is not a positive u32")))
+            };
+            Some(TickGrid::new(parse(t, "time")?, parse(s, "size")?))
+        }
+    };
+
+    // Events come from --input FILE, or stdin when absent.
+    let text = match opts.get("input") {
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| err(format!("cannot read `{path}`: {e}")))?
+        }
+        None => {
+            use std::io::Read;
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| err(format!("cannot read stdin: {e}")))?;
+            buf
+        }
+    };
+
+    let mut out = String::new();
+    let mut skipped = 0usize;
+
+    if shards > 1 {
+        // Sharded ingestion: route by item id across a fleet.
+        if opts.get("resume").is_some() || opts.get("checkpoint").is_some() {
+            return Err(err("--shards does not combine with --resume/--checkpoint \
+                 (checkpoint shards individually via the library API)"
+                .to_string()));
+        }
+        let mut sessions = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let mut builder = Session::builder(make_algo(algo_name)?).backend(backend);
+            if let Some(g) = grid {
+                builder = builder.grid(g);
+            }
+            sessions.push(
+                builder
+                    .build()
+                    .map_err(|e| err(format!("cannot build session: {e}")))?,
+            );
+        }
+        let mut fleet = Fleet::new(sessions);
+        let mut ingested = 0usize;
+        for (lineno, line) in text.lines().enumerate() {
+            let Some(parsed) = parse_stream_line(line) else {
+                continue;
+            };
+            let event = match parsed {
+                Ok(event) => event,
+                Err(e) if strict => {
+                    return Err(err(format!("line {}: bad event: {e}", lineno + 1)))
+                }
+                Err(e) => {
+                    out.push_str(&format!("line {}: skipped bad event: {e}\n", lineno + 1));
+                    skipped += 1;
+                    continue;
+                }
+            };
+            let shard = event.id().index() % shards;
+            if let Err(errors) = fleet.dispatch(&[(shard, event)]) {
+                let e = &errors[0];
+                if strict {
+                    return Err(err(format!(
+                        "line {}: shard {} rejected event: {}",
+                        lineno + 1,
+                        e.shard,
+                        e.error
+                    )));
+                }
+                out.push_str(&format!(
+                    "line {}: shard {} rejected event: {} — skipped\n",
+                    lineno + 1,
+                    e.shard,
+                    e.error
+                ));
+                skipped += 1;
+                continue;
+            }
+            ingested += 1;
+            if report_every > 0 && ingested.is_multiple_of(report_every) {
+                let m = fleet.metrics();
+                let open: usize = m.iter().map(|m| m.open_bins).sum();
+                let active: usize = m.iter().map(|m| m.active_items).sum();
+                out.push_str(&format!(
+                    "events {ingested}: {open} open bins, {active} active items across {shards} shards\n"
+                ));
+            }
+        }
+        let metrics = fleet.metrics();
+        let active: usize = metrics.iter().map(|m| m.active_items).sum();
+        if active > 0 {
+            out.push_str(&format!(
+                "stream ended with {active} items still active across {shards} shards\n"
+            ));
+            for (s, m) in metrics.iter().enumerate() {
+                out.push_str(&format!(
+                    "  shard {s}: {} events, {} active, {} open bins, usage {}\n",
+                    m.events, m.active_items, m.open_bins, m.usage_time
+                ));
+            }
+        } else {
+            let outcomes = fleet
+                .finish()
+                .map_err(|e| err(format!("shard {} failed to finish: {}", e.shard, e.error)))?;
+            for (s, o) in outcomes.iter().enumerate() {
+                out.push_str(&format!(
+                    "shard {s}: {} → {} bins (peak {} open), usage {}\n",
+                    o.algorithm(),
+                    o.bins_opened(),
+                    o.max_open_bins(),
+                    o.total_usage()
+                ));
+            }
+            let total: dbp_numeric::Rational = outcomes.iter().map(|o| o.total_usage()).sum();
+            out.push_str(&format!("fleet usage {total}\n"));
+        }
+        if skipped > 0 {
+            out.push_str(&format!("skipped {skipped} events\n"));
+        }
+        return Ok(out);
+    }
+
+    // Single-session ingestion, with optional checkpoint/resume.
+    let mut session = match opts.get("resume") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| err(format!("cannot read checkpoint `{path}`: {e}")))?;
+            let snapshot: SessionSnapshot = serde_json::from_str(&text)
+                .map_err(|e| err(format!("bad checkpoint `{path}`: {e}")))?;
+            let session = Session::resume(&snapshot)
+                .map_err(|e| err(format!("cannot resume `{path}`: {e}")))?;
+            out.push_str(&format!(
+                "resumed {} at {} ({} events)\n",
+                session.algorithm(),
+                session
+                    .now()
+                    .map_or_else(|| "start".to_string(), |t| t.to_string()),
+                snapshot.events.len()
+            ));
+            session
+        }
+        None => {
+            let mut builder = Session::builder(make_algo(algo_name)?).backend(backend);
+            if let Some(g) = grid {
+                builder = builder.grid(g);
+            }
+            builder
+                .build()
+                .map_err(|e| err(format!("cannot build session: {e}")))?
+        }
+    };
+
+    let mut ingested = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let Some(parsed) = parse_stream_line(line) else {
+            continue;
+        };
+        let result = match parsed {
+            Ok(event) => session.apply(&event).map(|_| ()),
+            Err(e) if strict => return Err(err(format!("line {}: bad event: {e}", lineno + 1))),
+            Err(e) => {
+                out.push_str(&format!("line {}: skipped bad event: {e}\n", lineno + 1));
+                skipped += 1;
+                continue;
+            }
+        };
+        if let Err(e) = result {
+            if strict {
+                return Err(err(format!("line {}: rejected event: {e}", lineno + 1)));
+            }
+            out.push_str(&format!(
+                "line {}: rejected event: {e} — skipped\n",
+                lineno + 1
+            ));
+            skipped += 1;
+            continue;
+        }
+        ingested += 1;
+        if report_every > 0 && ingested.is_multiple_of(report_every) {
+            let m = session.metrics();
+            out.push_str(&format!(
+                "events {}: {} open bins, {} active items, load {}, usage {}\n",
+                m.events, m.open_bins, m.active_items, m.load, m.usage_time
+            ));
+        }
+    }
+
+    let metrics = session.metrics();
+    if metrics.active_items > 0 {
+        out.push_str(&format!(
+            "stream ended with {} items still active ({} open bins, usage {} so far)\n",
+            metrics.active_items, metrics.open_bins, metrics.usage_time
+        ));
+        if let Some(path) = opts.get("checkpoint") {
+            let snapshot = session
+                .snapshot()
+                .map_err(|e| err(format!("cannot checkpoint: {e}")))?;
+            let json = serde_json::to_string(&snapshot)
+                .map_err(|e| err(format!("cannot encode checkpoint: {e}")))?;
+            std::fs::write(path, json).map_err(|e| err(format!("cannot write `{path}`: {e}")))?;
+            out.push_str(&format!("checkpoint written to {path}\n"));
+        } else {
+            out.push_str("pass --checkpoint FILE to save and resume later\n");
+        }
+    } else {
+        let tick = session.tick_active();
+        let outcome = session
+            .finish()
+            .map_err(|e| err(format!("finish failed: {e}")))?;
+        out.push_str(&format!(
+            "{}: {} events → {} bins (peak {} open), usage {}{}\n",
+            outcome.algorithm(),
+            metrics.events,
+            outcome.bins_opened(),
+            outcome.max_open_bins(),
+            outcome.total_usage(),
+            if tick { " [tick engine]" } else { "" }
+        ));
+        if let Some(path) = opts.get("checkpoint") {
+            let _ = path;
+            out.push_str("stream complete — no checkpoint needed\n");
+        }
+    }
+    if skipped > 0 {
+        out.push_str(&format!("skipped {skipped} events\n"));
+    }
+    Ok(out)
+}
+
 fn cmd_render(opts: &Opts) -> Result<String, CliError> {
     let (_, instance) = load(opts)?;
     let width = opts.u32_or("width", 72)? as usize;
     let mut algo = make_algo_for(opts.get("algo").unwrap_or("firstfit"), &instance)?;
-    let outcome =
-        run_packing(&instance, algo.as_mut()).map_err(|e| err(format!("packing failed: {e}")))?;
+    let outcome = Runner::new(&instance)
+        .run(algo.as_mut())
+        .map_err(|e| err(format!("packing failed: {e}")))?;
     let mut out = String::new();
     out.push_str(&dbp_viz::timeline(&instance, width));
     out.push('\n');
@@ -907,6 +1200,121 @@ mod tests {
         let hourly = run(&args(&["pack", "--trace", &path, "--billing", "hourly"])).unwrap();
         assert!(cont.contains("billed"));
         assert!(hourly.contains("quantized"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// A well-formed four-event JSONL stream: two items into one bin.
+    const STREAM_JSONL: &str = r#"
+{"arrive": {"id": 0, "size": {"num": 1, "den": 2}, "time": {"num": 0, "den": 1}}}
+{"arrive": {"id": 1, "size": {"num": 1, "den": 3}, "time": {"num": 1, "den": 1}}}
+{"depart": {"id": 0, "time": {"num": 2, "den": 1}}}
+{"depart": {"id": 1, "time": {"num": 3, "den": 1}}}
+"#;
+
+    #[test]
+    fn stream_command_runs_a_full_session() {
+        let path = tmp("stream.jsonl");
+        std::fs::write(&path, STREAM_JSONL).unwrap();
+        let out = run(&args(&["stream", "--input", &path, "--report-every", "2"])).unwrap();
+        assert!(out.contains("FirstFit"), "{out}");
+        assert!(out.contains("1 bins"), "{out}");
+        assert!(out.contains("usage 3"), "{out}");
+        assert!(out.contains("events 2:"), "{out}"); // live metrics line
+
+        // With a declared grid the integer engine takes the stream.
+        let ticked = run(&args(&["stream", "--input", &path, "--grid", "1,6"])).unwrap();
+        assert!(ticked.contains("[tick engine]"), "{ticked}");
+        assert!(ticked.contains("usage 3"), "{ticked}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stream_malformed_lines_skip_or_abort() {
+        let path = tmp("stream-bad.jsonl");
+        std::fs::write(
+            &path,
+            "{\"arrive\": {\"id\": 0, \"size\": {\"num\": 1, \"den\": 2}, \"time\": {\"num\": 0, \"den\": 1}}}\n\
+             this is not json\n\
+             {\"depart\": {\"id\": 0, \"time\": {\"num\": 1, \"den\": 1}}}\n",
+        )
+        .unwrap();
+        // Default: skip with a line-numbered note, still finish.
+        let out = run(&args(&["stream", "--input", &path])).unwrap();
+        assert!(out.contains("line 2: skipped bad event"), "{out}");
+        assert!(out.contains("skipped 1 events"), "{out}");
+        assert!(out.contains("usage 1"), "{out}");
+        // Strict: abort with the line number, as an error not a panic.
+        let e = run(&args(&["stream", "--input", &path, "--strict", "true"])).unwrap_err();
+        assert!(e.0.contains("line 2"), "{e}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stream_rejected_events_are_line_numbered() {
+        let path = tmp("stream-reject.jsonl");
+        std::fs::write(
+            &path,
+            "{\"arrive\": {\"id\": 0, \"size\": {\"num\": 1, \"den\": 2}, \"time\": {\"num\": 5, \"den\": 1}}}\n\
+             {\"arrive\": {\"id\": 1, \"size\": {\"num\": 1, \"den\": 2}, \"time\": {\"num\": 3, \"den\": 1}}}\n\
+             {\"depart\": {\"id\": 0, \"time\": {\"num\": 9, \"den\": 1}}}\n",
+        )
+        .unwrap();
+        let out = run(&args(&["stream", "--input", &path])).unwrap();
+        assert!(out.contains("line 2: rejected event"), "{out}");
+        assert!(out.contains("usage 4"), "{out}");
+        let e = run(&args(&["stream", "--input", &path, "--strict", "true"])).unwrap_err();
+        assert!(e.0.contains("line 2"), "{e}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stream_checkpoint_resume_round_trip() {
+        let first = tmp("stream-ckpt-1.jsonl");
+        let rest = tmp("stream-ckpt-2.jsonl");
+        let ckpt = tmp("stream.ckpt");
+        std::fs::write(
+            &first,
+            "{\"arrive\": {\"id\": 0, \"size\": {\"num\": 1, \"den\": 2}, \"time\": {\"num\": 0, \"den\": 1}}}\n\
+             {\"arrive\": {\"id\": 1, \"size\": {\"num\": 1, \"den\": 3}, \"time\": {\"num\": 1, \"den\": 1}}}\n",
+        )
+        .unwrap();
+        std::fs::write(
+            &rest,
+            "{\"depart\": {\"id\": 0, \"time\": {\"num\": 2, \"den\": 1}}}\n\
+             {\"depart\": {\"id\": 1, \"time\": {\"num\": 3, \"den\": 1}}}\n",
+        )
+        .unwrap();
+        let out = run(&args(&["stream", "--input", &first, "--checkpoint", &ckpt])).unwrap();
+        assert!(out.contains("2 items still active"), "{out}");
+        assert!(out.contains("checkpoint written"), "{out}");
+        let out = run(&args(&["stream", "--input", &rest, "--resume", &ckpt])).unwrap();
+        assert!(out.contains("resumed FirstFit"), "{out}");
+        assert!(out.contains("usage 3"), "{out}");
+        for p in [&first, &rest, &ckpt] {
+            std::fs::remove_file(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn stream_shards_split_by_item_id() {
+        let path = tmp("stream-shards.jsonl");
+        std::fs::write(&path, STREAM_JSONL).unwrap();
+        let out = run(&args(&["stream", "--input", &path, "--shards", "2"])).unwrap();
+        assert!(out.contains("shard 0:"), "{out}");
+        assert!(out.contains("shard 1:"), "{out}");
+        assert!(out.contains("fleet usage 4"), "{out}");
+        // Checkpointing a sharded stream is rejected up front.
+        let e = run(&args(&[
+            "stream",
+            "--input",
+            &path,
+            "--shards",
+            "2",
+            "--checkpoint",
+            "/tmp/x",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("--shards"), "{e}");
         std::fs::remove_file(&path).unwrap();
     }
 }

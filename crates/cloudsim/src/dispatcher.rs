@@ -4,85 +4,125 @@
 //! the job's resource demand is the item size, its lifetime the item
 //! interval, a server a unit bin. Dispatch is migration-free and
 //! online — exactly the packing engine's contract — so the simulator
-//! replays the stream through [`dbp_core::run_packing`] and derives
-//! the billing and fleet reports from the outcome.
+//! replays the stream through a [`dbp_core::session::Runner`] and
+//! derives the billing and fleet reports from the outcome.
+//!
+//! [`simulate`] is a builder: configure billing, an observer, and an
+//! engine backend, then [`run`](Simulation::run) a dispatch
+//! algorithm. Live streaming sessions produce the same reports via
+//! [`CostReport::from_outcome`] on their finished outcome.
 
 use crate::billing::BillingModel;
-use crate::report::{CostReport, ServerRecord};
-use dbp_core::{EngineObserver, Instance, NoopObserver, PackingAlgorithm, PackingError};
-use dbp_numeric::Rational;
+use crate::report::CostReport;
+use dbp_core::session::{Backend, Runner, SessionError};
+use dbp_core::{EngineObserver, Instance, PackingAlgorithm, PackingError};
 
-/// Replays the job stream `jobs` against `algo` under `billing`.
-pub fn simulate(
-    jobs: &Instance,
-    algo: &mut dyn PackingAlgorithm,
-    billing: BillingModel,
-) -> Result<CostReport, PackingError> {
-    simulate_observed(jobs, algo, billing, &mut NoopObserver)
+/// Starts a dispatch simulation over the job stream `jobs`.
+///
+/// Defaults: [`BillingModel::Continuous`], no observer,
+/// [`Backend::Auto`] (the engine picks the integer tick path when the
+/// algorithm and stream allow it — outcomes are identical either
+/// way).
+///
+/// ```
+/// use dbp_cloudsim::prelude::*;
+/// use dbp_core::prelude::*;
+/// use dbp_numeric::rat;
+///
+/// let jobs = Instance::builder()
+///     .item(rat(1, 2), rat(0, 1), rat(60, 1))
+///     .build()
+///     .unwrap();
+/// let report = simulate(&jobs)
+///     .billing(BillingModel::hourly())
+///     .run(&mut FirstFit::new())
+///     .unwrap();
+/// assert_eq!(report.billed_time, rat(60, 1));
+/// ```
+pub fn simulate(jobs: &Instance) -> Simulation<'_> {
+    Simulation {
+        jobs,
+        billing: BillingModel::Continuous,
+        observer: None,
+        backend: Backend::Auto,
+    }
 }
 
-/// [`simulate`] with an [`EngineObserver`] attached to the underlying
-/// packing run — every dispatch decision streams through `observer`
-/// before the report is assembled.
+/// A configured-but-not-yet-run dispatch simulation. Built by
+/// [`simulate`]; consumed by [`run`](Simulation::run).
+pub struct Simulation<'a> {
+    jobs: &'a Instance,
+    billing: BillingModel,
+    observer: Option<&'a mut dyn EngineObserver>,
+    backend: Backend,
+}
+
+impl<'a> Simulation<'a> {
+    /// Sets the billing model applied per server rental.
+    pub fn billing(mut self, billing: BillingModel) -> Simulation<'a> {
+        self.billing = billing;
+        self
+    }
+
+    /// Attaches an [`EngineObserver`]: every dispatch decision
+    /// streams through it before the report is assembled. Observed
+    /// runs always use the exact engine.
+    pub fn observer(mut self, observer: &'a mut dyn EngineObserver) -> Simulation<'a> {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Pins the engine backend (see [`Backend`]); [`Backend::Auto`]
+    /// by default.
+    pub fn backend(mut self, backend: Backend) -> Simulation<'a> {
+        self.backend = backend;
+        self
+    }
+
+    /// Replays the job stream against `algo` and assembles the
+    /// [`CostReport`].
+    pub fn run(self, algo: &mut dyn PackingAlgorithm) -> Result<CostReport, SessionError> {
+        let mut runner = Runner::new(self.jobs).backend(self.backend);
+        if let Some(observer) = self.observer {
+            runner = runner.observer(observer);
+        }
+        let outcome = runner.run(algo)?;
+        Ok(CostReport::from_outcome(
+            &outcome,
+            self.jobs.len(),
+            self.billing,
+        ))
+    }
+}
+
+/// Pre-builder entry point, kept as a thin shim.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `simulate(jobs).billing(b).observer(obs).run(algo)`"
+)]
 pub fn simulate_observed(
     jobs: &Instance,
     algo: &mut dyn PackingAlgorithm,
     billing: BillingModel,
     observer: &mut dyn EngineObserver,
 ) -> Result<CostReport, PackingError> {
-    let outcome = dbp_core::run_packing_observed(jobs, algo, observer)?;
-
-    let mut servers = Vec::with_capacity(outcome.bins().len());
-    let mut billed_total = Rational::ZERO;
-    for bin in outcome.bins() {
-        let billed = billing.bill(bin.usage.len());
-        billed_total += billed;
-        servers.push(ServerRecord {
-            server: bin.id.0,
-            rental: bin.usage,
-            billed,
-            jobs: bin.items.len(),
-            mean_utilization: bin.mean_level().unwrap_or(Rational::ZERO),
-        });
-    }
-
-    // Open-server step series from rental endpoints (ends before
-    // starts at equal times, matching half-open rentals).
-    let mut events: Vec<(Rational, i32)> = Vec::with_capacity(servers.len() * 2);
-    for s in &servers {
-        events.push((s.rental.lo(), 1));
-        events.push((s.rental.hi(), -1));
-    }
-    events.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
-    let mut open_series: Vec<(Rational, usize)> = Vec::new();
-    let mut open = 0i64;
-    for (t, delta) in events {
-        open += i64::from(delta);
-        match open_series.last_mut() {
-            Some((last_t, count)) if *last_t == t => *count = open as usize,
-            _ => open_series.push((t, open as usize)),
-        }
-    }
-
-    Ok(CostReport {
-        algorithm: outcome.algorithm().to_string(),
-        billing,
-        jobs: jobs.len(),
-        servers_used: outcome.bins_opened(),
-        peak_servers: outcome.max_open_bins(),
-        usage_time: outcome.total_usage(),
-        billed_time: billed_total,
-        utilization: outcome.utilization(),
-        servers,
-        open_series,
-    })
+    simulate(jobs)
+        .billing(billing)
+        .observer(observer)
+        .backend(Backend::Exact)
+        .run(algo)
+        .map_err(|e| match e {
+            SessionError::Packing(e) => e,
+            other => unreachable!("exact batch replay surfaces only packing errors: {other}"),
+        })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use dbp_core::prelude::*;
-    use dbp_numeric::rat;
+    use dbp_core::session::Session;
+    use dbp_numeric::{rat, Rational};
 
     fn jobs() -> Instance {
         // Times in minutes. Three jobs over ~2 hours.
@@ -96,7 +136,7 @@ mod tests {
 
     #[test]
     fn continuous_billing_matches_usage() {
-        let r = simulate(&jobs(), &mut FirstFit::new(), BillingModel::Continuous).unwrap();
+        let r = simulate(&jobs()).run(&mut FirstFit::new()).unwrap();
         assert_eq!(r.billed_time, r.usage_time);
         assert_eq!(r.billing_overhead(), Some(rat(1, 1)));
         assert_eq!(r.jobs, 3);
@@ -106,7 +146,10 @@ mod tests {
     fn hourly_billing_rounds_each_rental() {
         // FF: jobs 1+2 share server A ([0,90), 90 min → 120 billed);
         // job 3 (3/4) needs server B ([30,100), 70 min → 120 billed).
-        let r = simulate(&jobs(), &mut FirstFit::new(), BillingModel::hourly()).unwrap();
+        let r = simulate(&jobs())
+            .billing(BillingModel::hourly())
+            .run(&mut FirstFit::new())
+            .unwrap();
         assert_eq!(r.servers_used, 2);
         assert_eq!(r.usage_time, rat(160, 1));
         assert_eq!(r.billed_time, rat(240, 1));
@@ -119,13 +162,61 @@ mod tests {
 
     #[test]
     fn open_series_tracks_fleet() {
-        let r = simulate(&jobs(), &mut FirstFit::new(), BillingModel::Continuous).unwrap();
+        let r = simulate(&jobs()).run(&mut FirstFit::new()).unwrap();
         assert_eq!(r.open_at(rat(-1, 1)), 0);
         assert_eq!(r.open_at(rat(0, 1)), 1);
         assert_eq!(r.open_at(rat(40, 1)), 2);
         assert_eq!(r.open_at(rat(95, 1)), 1);
         assert_eq!(r.open_at(rat(100, 1)), 0);
         assert_eq!(r.peak_servers, 2);
+    }
+
+    #[test]
+    fn backends_agree_on_the_bill() {
+        let exact = simulate(&jobs())
+            .billing(BillingModel::hourly())
+            .backend(Backend::Exact)
+            .run(&mut FirstFitFast::new())
+            .unwrap();
+        let auto = simulate(&jobs())
+            .billing(BillingModel::hourly())
+            .run(&mut FirstFitFast::new())
+            .unwrap();
+        assert_eq!(exact, auto);
+    }
+
+    #[test]
+    fn live_session_reports_the_same_bill() {
+        // Stream the same jobs through a Session and bill its
+        // outcome: identical report to the batch simulation.
+        let batch = simulate(&jobs())
+            .billing(BillingModel::hourly())
+            .run(&mut FirstFit::new())
+            .unwrap();
+        let mut session = Session::builder(FirstFit::new()).build().unwrap();
+        session.arrive(ItemId(0), rat(1, 2), rat(0, 1)).unwrap();
+        session.arrive(ItemId(1), rat(1, 2), rat(20, 1)).unwrap();
+        session.arrive(ItemId(2), rat(3, 4), rat(30, 1)).unwrap();
+        session.depart(ItemId(0), rat(50, 1)).unwrap();
+        session.depart(ItemId(1), rat(90, 1)).unwrap();
+        session.depart(ItemId(2), rat(100, 1)).unwrap();
+        let outcome = session.finish().unwrap();
+        let live = CostReport::from_outcome(&outcome, 3, BillingModel::hourly());
+        assert_eq!(live, batch);
+    }
+
+    #[test]
+    fn deprecated_observed_shim_still_works() {
+        let mut obs = NoopObserver;
+        #[allow(deprecated)]
+        let r = simulate_observed(
+            &jobs(),
+            &mut FirstFit::new(),
+            BillingModel::hourly(),
+            &mut obs,
+        )
+        .unwrap();
+        assert_eq!(r.billed_time, rat(240, 1));
     }
 
     #[test]
@@ -137,8 +228,14 @@ mod tests {
             .item(rat(1, 2), rat(40, 1), rat(55, 1))
             .build()
             .unwrap();
-        let ff = simulate(&stream, &mut FirstFit::new(), BillingModel::hourly()).unwrap();
-        let nf = simulate(&stream, &mut NextFit::new(), BillingModel::hourly()).unwrap();
+        let ff = simulate(&stream)
+            .billing(BillingModel::hourly())
+            .run(&mut FirstFit::new())
+            .unwrap();
+        let nf = simulate(&stream)
+            .billing(BillingModel::hourly())
+            .run(&mut NextFit::new())
+            .unwrap();
         // Both dispatch everything; cost comparison is meaningful.
         assert_eq!(ff.jobs, nf.jobs);
         assert!(ff.billed_time <= nf.billed_time, "FF should not lose here");
@@ -147,7 +244,10 @@ mod tests {
     #[test]
     fn empty_stream_yields_idle_report() {
         let empty = Instance::new(vec![]).unwrap();
-        let r = simulate(&empty, &mut FirstFit::new(), BillingModel::hourly()).unwrap();
+        let r = simulate(&empty)
+            .billing(BillingModel::hourly())
+            .run(&mut FirstFit::new())
+            .unwrap();
         assert_eq!(r.servers_used, 0);
         assert_eq!(r.billed_time, Rational::ZERO);
         assert_eq!(r.billing_overhead(), None);
@@ -167,7 +267,7 @@ mod tests {
             .item(rat(1, 1), rat(10, 1), rat(20, 1))
             .build()
             .unwrap();
-        let r = simulate(&stream, &mut FirstFit::new(), BillingModel::Continuous).unwrap();
+        let r = simulate(&stream).run(&mut FirstFit::new()).unwrap();
         assert_eq!(r.servers_used, 2);
         assert_eq!(r.peak_servers, 1);
         assert_eq!(
@@ -185,7 +285,7 @@ mod tests {
     fn degenerate_outcomes_utilization_and_mean_level() {
         // Empty run: no usage, so utilization is undefined.
         let empty = Instance::new(vec![]).unwrap();
-        let out = dbp_core::run_packing(&empty, &mut FirstFit::new()).unwrap();
+        let out = Runner::new(&empty).run(&mut FirstFit::new()).unwrap();
         assert_eq!(out.utilization(), None);
         assert!(out.bins().is_empty());
 
@@ -195,7 +295,7 @@ mod tests {
             .item(rat(1, 3), rat(0, 1), rat(7, 1))
             .build()
             .unwrap();
-        let out = dbp_core::run_packing(&single, &mut FirstFit::new()).unwrap();
+        let out = Runner::new(&single).run(&mut FirstFit::new()).unwrap();
         assert_eq!(out.bins().len(), 1);
         assert_eq!(out.bins()[0].mean_level(), Some(rat(1, 3)));
         assert_eq!(out.utilization(), Some(rat(1, 3)));
@@ -205,7 +305,7 @@ mod tests {
             .item(rat(1, 1), rat(0, 1), rat(5, 1))
             .build()
             .unwrap();
-        let out = dbp_core::run_packing(&full, &mut FirstFit::new()).unwrap();
+        let out = Runner::new(&full).run(&mut FirstFit::new()).unwrap();
         assert_eq!(out.utilization(), Some(Rational::ONE));
         assert_eq!(out.bins()[0].mean_level(), Some(Rational::ONE));
     }
@@ -215,12 +315,10 @@ mod tests {
         // Smoke: a day of synthetic cloud gaming dispatches cleanly
         // and produces a sane bill.
         let trace = dbp_workloads::GamingConfig::default().generate();
-        let r = simulate(
-            &trace.instance,
-            &mut FirstFit::new(),
-            BillingModel::hourly(),
-        )
-        .unwrap();
+        let r = simulate(&trace.instance)
+            .billing(BillingModel::hourly())
+            .run(&mut FirstFit::new())
+            .unwrap();
         assert_eq!(r.jobs, trace.instance.len());
         assert!(r.billed_time >= r.usage_time);
         assert!(r.utilization.unwrap() <= Rational::ONE);

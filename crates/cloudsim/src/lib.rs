@@ -30,7 +30,10 @@
 //!     .item(rat(1, 2), rat(10, 1), rat(70, 1))
 //!     .build()
 //!     .unwrap();
-//! let report = simulate(&jobs, &mut FirstFit::new(), BillingModel::hourly()).unwrap();
+//! let report = simulate(&jobs)
+//!     .billing(BillingModel::hourly())
+//!     .run(&mut FirstFit::new())
+//!     .unwrap();
 //! assert_eq!(report.servers_used, 1);
 //! assert_eq!(report.usage_time, rat(70, 1));      // one server, 70 min
 //! assert_eq!(report.billed_time, rat(120, 1));    // rounded to 2 hours
@@ -41,12 +44,14 @@ pub mod dispatcher;
 pub mod report;
 
 pub use billing::BillingModel;
-pub use dispatcher::{simulate, simulate_observed};
+#[allow(deprecated)] // compat re-export; gone next release
+pub use dispatcher::simulate_observed;
+pub use dispatcher::{simulate, Simulation};
 pub use report::{CostReport, ServerRecord};
 
 /// One-stop imports.
 pub mod prelude {
     pub use crate::billing::BillingModel;
-    pub use crate::dispatcher::{simulate, simulate_observed};
+    pub use crate::dispatcher::{simulate, Simulation};
     pub use crate::report::CostReport;
 }

@@ -1,6 +1,7 @@
 //! Cost and fleet reporting.
 
 use crate::billing::BillingModel;
+use dbp_core::PackingOutcome;
 use dbp_numeric::{Interval, Rational};
 use serde::Serialize;
 
@@ -46,6 +47,61 @@ pub struct CostReport {
 }
 
 impl CostReport {
+    /// Assembles the report from a finished packing outcome — batch
+    /// ([`crate::dispatcher::simulate`]) and live streaming sessions
+    /// ([`dbp_core::session::Session::finish`]) alike. `jobs` is the
+    /// number of jobs dispatched over the run.
+    pub fn from_outcome(
+        outcome: &PackingOutcome,
+        jobs: usize,
+        billing: BillingModel,
+    ) -> CostReport {
+        let mut servers = Vec::with_capacity(outcome.bins().len());
+        let mut billed_total = Rational::ZERO;
+        for bin in outcome.bins() {
+            let billed = billing.bill(bin.usage.len());
+            billed_total += billed;
+            servers.push(ServerRecord {
+                server: bin.id.0,
+                rental: bin.usage,
+                billed,
+                jobs: bin.items.len(),
+                mean_utilization: bin.mean_level().unwrap_or(Rational::ZERO),
+            });
+        }
+
+        // Open-server step series from rental endpoints (ends before
+        // starts at equal times, matching half-open rentals).
+        let mut events: Vec<(Rational, i32)> = Vec::with_capacity(servers.len() * 2);
+        for s in &servers {
+            events.push((s.rental.lo(), 1));
+            events.push((s.rental.hi(), -1));
+        }
+        events.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut open_series: Vec<(Rational, usize)> = Vec::new();
+        let mut open = 0i64;
+        for (t, delta) in events {
+            open += i64::from(delta);
+            match open_series.last_mut() {
+                Some((last_t, count)) if *last_t == t => *count = open as usize,
+                _ => open_series.push((t, open as usize)),
+            }
+        }
+
+        CostReport {
+            algorithm: outcome.algorithm().to_string(),
+            billing,
+            jobs,
+            servers_used: outcome.bins_opened(),
+            peak_servers: outcome.max_open_bins(),
+            usage_time: outcome.total_usage(),
+            billed_time: billed_total,
+            utilization: outcome.utilization(),
+            servers,
+            open_series,
+        }
+    }
+
     /// Billing overhead factor `billed/usage` (`None` for an idle
     /// run).
     pub fn billing_overhead(&self) -> Option<Rational> {

@@ -13,13 +13,21 @@
 
 use super::{ArrivalView, PackingAlgorithm, Placement};
 use crate::bin::{BinSnapshot, OpenBin};
+use crate::tick::TickPolicy;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 /// Selection rule among the open bins that can accommodate the item.
-pub trait FitPolicy {
+/// (`Send` because [`PackingAlgorithm`] requires it of `AnyFit`.)
+pub trait FitPolicy: Send {
     /// Static display name of the resulting algorithm.
     fn policy_name(&self) -> &'static str;
+
+    /// The equivalent integer-engine policy, if one exists (see
+    /// [`PackingAlgorithm::tick_policy`]).
+    fn tick_policy(&self) -> Option<TickPolicy> {
+        None
+    }
 
     /// Picks one bin given the full snapshot `open` and the indices
     /// `feasible` of the bins that can take the item (guaranteed
@@ -79,6 +87,10 @@ impl<P: FitPolicy> PackingAlgorithm for AnyFit<P> {
         }
         Placement::Existing(self.policy.select(arrival, open, &self.scratch).id)
     }
+
+    fn tick_policy(&self) -> Option<TickPolicy> {
+        self.policy.tick_policy()
+    }
 }
 
 /// First Fit: the earliest-opened feasible bin (paper §III.B).
@@ -86,6 +98,9 @@ impl<P: FitPolicy> PackingAlgorithm for AnyFit<P> {
 pub struct EarliestOpened;
 
 impl FitPolicy for EarliestOpened {
+    fn tick_policy(&self) -> Option<TickPolicy> {
+        Some(TickPolicy::FirstFit)
+    }
     fn policy_name(&self) -> &'static str {
         "FirstFit"
     }
@@ -100,6 +115,9 @@ impl FitPolicy for EarliestOpened {
 pub struct HighestLevel;
 
 impl FitPolicy for HighestLevel {
+    fn tick_policy(&self) -> Option<TickPolicy> {
+        Some(TickPolicy::BestFit)
+    }
     fn policy_name(&self) -> &'static str {
         "BestFit"
     }
@@ -121,6 +139,9 @@ impl FitPolicy for HighestLevel {
 pub struct LowestLevel;
 
 impl FitPolicy for LowestLevel {
+    fn tick_policy(&self) -> Option<TickPolicy> {
+        Some(TickPolicy::WorstFit)
+    }
     fn policy_name(&self) -> &'static str {
         "WorstFit"
     }
@@ -251,8 +272,8 @@ impl RandomFit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::run_packing;
     use crate::item::{Instance, ItemId};
+    use crate::session::Runner;
     use crate::BinId;
     use dbp_numeric::rat;
 
@@ -271,7 +292,7 @@ mod tests {
     #[test]
     fn first_fit_takes_earliest() {
         // At t=2: b0=0.7, b1=0.4 (b2 closed at t=1). Probe 0.5 fits only b1.
-        let out = run_packing(&steady(), &mut FirstFit::new()).unwrap();
+        let out = Runner::new(&steady()).run(&mut FirstFit::new()).unwrap();
         assert_eq!(out.bin_of(ItemId(3)), Some(BinId(1)));
     }
 
@@ -283,7 +304,7 @@ mod tests {
             .item(rat(7, 10), rat(0, 1), rat(10, 1))
             .build()
             .unwrap();
-        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let out = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
         assert_eq!(out.bins_opened(), 1);
         assert_eq!(out.bins()[0].peak_level, rat(1, 1));
     }
@@ -329,11 +350,11 @@ mod tests {
             .build()
             .unwrap();
         let mut rf = RandomFit::seeded(42);
-        let a = run_packing(&inst, &mut rf).unwrap();
-        let b = run_packing(&inst, &mut rf).unwrap(); // reset() restores the seed
+        let a = Runner::new(&inst).run(&mut rf).unwrap();
+        let b = Runner::new(&inst).run(&mut rf).unwrap(); // reset() restores the seed
         assert_eq!(a.assignments(), b.assignments());
         // A different seed may choose differently but must stay valid.
-        let c = run_packing(&inst, &mut RandomFit::seeded(1)).unwrap();
+        let c = Runner::new(&inst).run(&mut RandomFit::seeded(1)).unwrap();
         assert_eq!(c.assignments().len(), 6);
     }
 
@@ -347,11 +368,11 @@ mod tests {
             .build()
             .unwrap();
         for out in [
-            run_packing(&inst, &mut FirstFit::new()).unwrap(),
-            run_packing(&inst, &mut BestFit::new()).unwrap(),
-            run_packing(&inst, &mut WorstFit::new()).unwrap(),
-            run_packing(&inst, &mut LastFit::new()).unwrap(),
-            run_packing(&inst, &mut RandomFit::seeded(3)).unwrap(),
+            Runner::new(&inst).run(&mut FirstFit::new()).unwrap(),
+            Runner::new(&inst).run(&mut BestFit::new()).unwrap(),
+            Runner::new(&inst).run(&mut WorstFit::new()).unwrap(),
+            Runner::new(&inst).run(&mut LastFit::new()).unwrap(),
+            Runner::new(&inst).run(&mut RandomFit::seeded(3)).unwrap(),
         ] {
             assert_eq!(
                 out.bins_opened(),

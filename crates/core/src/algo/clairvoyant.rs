@@ -200,7 +200,7 @@ impl PackingAlgorithm for MarginalCostFit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::run_packing;
+    use crate::session::Runner;
     use crate::FirstFit;
     use dbp_numeric::rat;
 
@@ -220,9 +220,9 @@ mod tests {
     #[test]
     fn clairvoyance_beats_first_fit_on_the_gadget() {
         let inst = pair_gadget(8, 6);
-        let ff = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let ff = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
         let mut cv = DepartureAlignedFit::new(&inst);
-        let aligned = run_packing(&inst, &mut cv).unwrap();
+        let aligned = Runner::new(&inst).run(&mut cv).unwrap();
         assert!(
             aligned.total_usage() < ff.total_usage(),
             "aligned {} !< FF {}",
@@ -244,10 +244,10 @@ mod tests {
             .item(rat(1, 2), rat(0, 1), rat(9, 1))
             .build()
             .unwrap();
-        let ff = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let ff = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
         assert_eq!(ff.total_usage(), rat(18, 1));
         let mut cv = DepartureAlignedFit::new(&inst);
-        let aligned = run_packing(&inst, &mut cv).unwrap();
+        let aligned = Runner::new(&inst).run(&mut cv).unwrap();
         assert_eq!(aligned.total_usage(), rat(10, 1));
     }
 
@@ -261,7 +261,7 @@ mod tests {
             .build()
             .unwrap();
         let mut cv = DepartureAlignedFit::new(&inst);
-        let out = run_packing(&inst, &mut cv).unwrap();
+        let out = Runner::new(&inst).run(&mut cv).unwrap();
         assert_eq!(out.assignments().len(), 4);
         assert!(out.total_usage() >= inst.span());
     }
@@ -278,7 +278,7 @@ mod tests {
             .build()
             .unwrap();
         let mut mc = MarginalCostFit::new(&inst);
-        let out = run_packing(&inst, &mut mc).unwrap();
+        let out = Runner::new(&inst).run(&mut mc).unwrap();
         assert_eq!(out.bin_of(ItemId(1)), out.bin_of(ItemId(0)));
         // extension 8 < duration 10 → joins too.
         assert_eq!(out.bin_of(ItemId(2)), out.bin_of(ItemId(0)));
@@ -294,7 +294,7 @@ mod tests {
             .build()
             .unwrap();
         let mut mc = MarginalCostFit::new(&inst);
-        let out = run_packing(&inst, &mut mc).unwrap();
+        let out = Runner::new(&inst).run(&mut mc).unwrap();
         // Item 1: extension 9 < duration 10, joins; bin stays open to 10.
         assert_eq!(out.bins_opened(), 1);
         // Compare a case where opening wins: extension == duration.
@@ -305,7 +305,7 @@ mod tests {
             .build()
             .unwrap();
         let mut mc2 = MarginalCostFit::new(&inst2);
-        let out2 = run_packing(&inst2, &mut mc2).unwrap();
+        let out2 = Runner::new(&inst2).run(&mut mc2).unwrap();
         assert_eq!(out2.bins_opened(), 1);
     }
 
@@ -319,11 +319,11 @@ mod tests {
         // exactly where First Fit does. Knowing departures is only
         // worth something if the *rule* exploits them non-myopically.
         let inst = pair_gadget(10, 8);
-        let ff = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let ff = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
         let mut al = DepartureAlignedFit::new(&inst);
-        let aligned = run_packing(&inst, &mut al).unwrap();
+        let aligned = Runner::new(&inst).run(&mut al).unwrap();
         let mut mc = MarginalCostFit::new(&inst);
-        let marginal = run_packing(&inst, &mut mc).unwrap();
+        let marginal = Runner::new(&inst).run(&mut mc).unwrap();
         assert!(aligned.total_usage() < ff.total_usage());
         assert_eq!(marginal.total_usage(), ff.total_usage());
     }
@@ -332,8 +332,8 @@ mod tests {
     fn reset_allows_reuse() {
         let inst = pair_gadget(4, 3);
         let mut cv = DepartureAlignedFit::new(&inst);
-        let a = run_packing(&inst, &mut cv).unwrap();
-        let b = run_packing(&inst, &mut cv).unwrap();
+        let a = Runner::new(&inst).run(&mut cv).unwrap();
+        let b = Runner::new(&inst).run(&mut cv).unwrap();
         assert_eq!(a, b);
     }
 }

@@ -24,13 +24,18 @@ use super::{ArrivalView, PackingAlgorithm, Placement};
 use crate::bin::{BinId, BinSnapshot};
 use crate::fit_tree::FitTree;
 use crate::item::ItemId;
+use crate::tick::TickPolicy;
 use dbp_numeric::Rational;
 use std::marker::PhantomData;
 
 /// Which `FitTree` query a [`TreeFit`] instance runs per arrival.
-pub trait TreeRule {
+/// (`Send` because [`PackingAlgorithm`] requires it of `TreeFit`.)
+pub trait TreeRule: Send {
     /// Static display name of the resulting algorithm.
     const NAME: &'static str;
+    /// The equivalent integer-engine policy (see
+    /// [`PackingAlgorithm::tick_policy`]).
+    const TICK: TickPolicy;
     /// Selects a feasible bin for `size`, or `None` to open.
     fn query(tree: &FitTree, size: Rational) -> Option<BinId>;
 }
@@ -40,6 +45,7 @@ pub trait TreeRule {
 pub struct EarliestFeasible;
 
 impl TreeRule for EarliestFeasible {
+    const TICK: TickPolicy = TickPolicy::FirstFit;
     const NAME: &'static str = "FirstFitFast";
     fn query(tree: &FitTree, size: Rational) -> Option<BinId> {
         tree.first_fit(size)
@@ -51,6 +57,7 @@ impl TreeRule for EarliestFeasible {
 pub struct TightestFeasible;
 
 impl TreeRule for TightestFeasible {
+    const TICK: TickPolicy = TickPolicy::BestFit;
     const NAME: &'static str = "BestFitFast";
     fn query(tree: &FitTree, size: Rational) -> Option<BinId> {
         tree.best_fit(size)
@@ -62,6 +69,7 @@ impl TreeRule for TightestFeasible {
 pub struct RoomiestFeasible;
 
 impl TreeRule for RoomiestFeasible {
+    const TICK: TickPolicy = TickPolicy::WorstFit;
     const NAME: &'static str = "WorstFitFast";
     fn query(tree: &FitTree, size: Rational) -> Option<BinId> {
         tree.worst_fit(size)
@@ -136,6 +144,10 @@ impl<R: TreeRule> PackingAlgorithm for TreeFit<R> {
     fn on_bin_closed(&mut self, bin: BinId, _time: Rational) {
         self.tree.close(bin);
     }
+
+    fn tick_policy(&self) -> Option<TickPolicy> {
+        Some(R::TICK)
+    }
 }
 
 /// Tree-backed First Fit (see [`EarliestFeasible`]).
@@ -149,8 +161,8 @@ pub type WorstFitFast = TreeFit<RoomiestFeasible>;
 mod tests {
     use super::*;
     use crate::algo::{BestFit, FirstFit, WorstFit};
-    use crate::engine::run_packing;
     use crate::item::Instance;
+    use crate::session::Runner;
     use dbp_numeric::rat;
 
     /// A churny scenario: mid-run closures, exact fills, equal-time
@@ -170,8 +182,8 @@ mod tests {
     #[test]
     fn fast_first_fit_matches_reference() {
         let inst = scenario();
-        let fast = run_packing(&inst, &mut FirstFitFast::new()).unwrap();
-        let slow = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let fast = Runner::new(&inst).run(&mut FirstFitFast::new()).unwrap();
+        let slow = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
         assert_eq!(fast.assignments(), slow.assignments());
         assert_eq!(fast.bins(), slow.bins());
         assert_eq!(fast.total_usage(), slow.total_usage());
@@ -181,11 +193,11 @@ mod tests {
     #[test]
     fn fast_best_and_worst_match_reference() {
         let inst = scenario();
-        let bf_fast = run_packing(&inst, &mut BestFitFast::new()).unwrap();
-        let bf = run_packing(&inst, &mut BestFit::new()).unwrap();
+        let bf_fast = Runner::new(&inst).run(&mut BestFitFast::new()).unwrap();
+        let bf = Runner::new(&inst).run(&mut BestFit::new()).unwrap();
         assert_eq!(bf_fast.assignments(), bf.assignments());
-        let wf_fast = run_packing(&inst, &mut WorstFitFast::new()).unwrap();
-        let wf = run_packing(&inst, &mut WorstFit::new()).unwrap();
+        let wf_fast = Runner::new(&inst).run(&mut WorstFitFast::new()).unwrap();
+        let wf = Runner::new(&inst).run(&mut WorstFit::new()).unwrap();
         assert_eq!(wf_fast.assignments(), wf.assignments());
     }
 
@@ -193,8 +205,8 @@ mod tests {
     fn reuse_across_runs_via_reset() {
         let inst = scenario();
         let mut ff = FirstFitFast::new();
-        let a = run_packing(&inst, &mut ff).unwrap();
-        let b = run_packing(&inst, &mut ff).unwrap(); // reset() clears the tree
+        let a = Runner::new(&inst).run(&mut ff).unwrap();
+        let b = Runner::new(&inst).run(&mut ff).unwrap(); // reset() clears the tree
         assert_eq!(a, b);
         assert!(ff.tree().is_empty()); // everything departed and closed
     }

@@ -130,8 +130,8 @@ impl PackingAlgorithm for HybridFirstFit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::run_packing;
     use crate::item::Instance;
+    use crate::session::Runner;
     use crate::{BinId, ItemId};
     use dbp_numeric::rat;
 
@@ -180,9 +180,11 @@ mod tests {
             .item(rat(3, 5), rat(0, 1), rat(2, 1))
             .build()
             .unwrap();
-        let ff = run_packing(&inst, &mut crate::FirstFit::new()).unwrap();
+        let ff = Runner::new(&inst).run(&mut crate::FirstFit::new()).unwrap();
         assert_eq!(ff.bins_opened(), 1);
-        let hff = run_packing(&inst, &mut HybridFirstFit::classic()).unwrap();
+        let hff = Runner::new(&inst)
+            .run(&mut HybridFirstFit::classic())
+            .unwrap();
         assert_eq!(hff.bins_opened(), 2);
         assert_ne!(
             hff.bin_of(ItemId(0)).unwrap(),
@@ -200,7 +202,9 @@ mod tests {
             .item(rat(1, 5), rat(3, 1), rat(4, 1)) // fits pool bin 0 again
             .build()
             .unwrap();
-        let out = run_packing(&inst, &mut HybridFirstFit::classic()).unwrap();
+        let out = Runner::new(&inst)
+            .run(&mut HybridFirstFit::classic())
+            .unwrap();
         assert_eq!(out.bins_opened(), 2);
         assert_eq!(out.bin_of(ItemId(0)), Some(BinId(0)));
         assert_eq!(out.bin_of(ItemId(1)), Some(BinId(0)));
@@ -216,7 +220,7 @@ mod tests {
             .build()
             .unwrap();
         let mut hff = HybridFirstFit::classic();
-        let out = run_packing(&inst, &mut hff).unwrap();
+        let out = Runner::new(&inst).run(&mut hff).unwrap();
         assert_eq!(out.bins_opened(), 2);
         // Internal map drained by close notifications.
         assert!(hff.bin_class.is_empty());
@@ -229,8 +233,8 @@ mod tests {
             .build()
             .unwrap();
         let mut hff = HybridFirstFit::classic();
-        let _ = run_packing(&inst, &mut hff).unwrap();
-        let again = run_packing(&inst, &mut hff).unwrap();
+        let _ = Runner::new(&inst).run(&mut hff).unwrap();
+        let again = Runner::new(&inst).run(&mut hff).unwrap();
         assert_eq!(again.bins_opened(), 1);
     }
 }

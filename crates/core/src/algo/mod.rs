@@ -34,6 +34,7 @@ pub use scripted::Scripted;
 
 use crate::bin::{BinId, BinSnapshot};
 use crate::item::ItemId;
+use crate::tick::TickPolicy;
 use dbp_numeric::Rational;
 
 /// What an algorithm sees when an item arrives: size and time, never
@@ -62,7 +63,11 @@ pub enum Placement {
 /// Implementations must be deterministic given their own state (the
 /// randomized [`RandomFit`] derives all randomness from a stored
 /// seed, restored by [`reset`](Self::reset)).
-pub trait PackingAlgorithm {
+///
+/// `Send` is a supertrait: algorithms are plain owned data, and the
+/// bound is what lets a [`crate::session::Session`] holding one be
+/// dispatched across the worker threads of a sharded fleet.
+pub trait PackingAlgorithm: Send {
     /// Human-readable name (appears in reports and outcomes).
     fn name(&self) -> String;
 
@@ -94,13 +99,99 @@ pub trait PackingAlgorithm {
 
     /// Notification that a bin emptied and closed.
     fn on_bin_closed(&mut self, _bin: BinId, _time: Rational) {}
+
+    /// The integer-engine policy this algorithm is equivalent to, if
+    /// any. First/Best/Worst Fit (linear and tree-backed alike)
+    /// return their [`TickPolicy`]; everything else returns `None`
+    /// and always runs on the exact Rational engine. Backend
+    /// selection in [`crate::session::Runner`] and
+    /// [`crate::session::Session`] keys off this — never off the
+    /// algorithm's name.
+    fn tick_policy(&self) -> Option<TickPolicy> {
+        None
+    }
+}
+
+// A mutable reference is itself a packing algorithm: this is what
+// lets the unified `Runner` drive a caller-owned algorithm through a
+// `Session` (which stores its algorithm boxed) without taking
+// ownership.
+impl<T: PackingAlgorithm + ?Sized> PackingAlgorithm for &mut T {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn reset(&mut self) {
+        (**self).reset();
+    }
+    fn place(&mut self, arrival: &ArrivalView, bins: &BinSnapshot<'_>) -> Placement {
+        (**self).place(arrival, bins)
+    }
+    fn on_placed(&mut self, item: ItemId, bin: BinId, new_bin: bool, time: Rational) {
+        (**self).on_placed(item, bin, new_bin, time);
+    }
+    fn on_departure(&mut self, item: ItemId, bin: BinId, time: Rational, bins: &BinSnapshot<'_>) {
+        (**self).on_departure(item, bin, time, bins);
+    }
+    fn on_bin_closed(&mut self, bin: BinId, time: Rational) {
+        (**self).on_bin_closed(bin, time);
+    }
+    fn tick_policy(&self) -> Option<TickPolicy> {
+        (**self).tick_policy()
+    }
+}
+
+// A boxed algorithm is one too: `algo::by_name` hands out
+// `Box<dyn PackingAlgorithm>`, which `Session::resume` feeds straight
+// back into the builder.
+impl<T: PackingAlgorithm + ?Sized> PackingAlgorithm for Box<T> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn reset(&mut self) {
+        (**self).reset();
+    }
+    fn place(&mut self, arrival: &ArrivalView, bins: &BinSnapshot<'_>) -> Placement {
+        (**self).place(arrival, bins)
+    }
+    fn on_placed(&mut self, item: ItemId, bin: BinId, new_bin: bool, time: Rational) {
+        (**self).on_placed(item, bin, new_bin, time);
+    }
+    fn on_departure(&mut self, item: ItemId, bin: BinId, time: Rational, bins: &BinSnapshot<'_>) {
+        (**self).on_departure(item, bin, time, bins);
+    }
+    fn on_bin_closed(&mut self, bin: BinId, time: Rational) {
+        (**self).on_bin_closed(bin, time);
+    }
+    fn tick_policy(&self) -> Option<TickPolicy> {
+        (**self).tick_policy()
+    }
+}
+
+/// Constructs a zoo algorithm from its canonical
+/// [`name`](PackingAlgorithm::name), or `None` for names that are
+/// unknown or not reconstructible from the name alone (`RandomFit`
+/// needs its seed, `Scripted` its script, the clairvoyant algorithms
+/// their instance). This is how [`crate::session::Session::resume`]
+/// rebuilds the algorithm recorded in a checkpoint.
+pub fn by_name(name: &str) -> Option<Box<dyn PackingAlgorithm>> {
+    Some(match name {
+        "FirstFit" => Box::new(FirstFit::new()),
+        "BestFit" => Box::new(BestFit::new()),
+        "WorstFit" => Box::new(WorstFit::new()),
+        "LastFit" => Box::new(LastFit::new()),
+        "FirstFitFast" => Box::new(FirstFitFast::new()),
+        "BestFitFast" => Box::new(BestFitFast::new()),
+        "WorstFitFast" => Box::new(WorstFitFast::new()),
+        "NextFit" => Box::new(NextFit::new()),
+        _ => return None,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::run_packing;
     use crate::item::Instance;
+    use crate::session::Runner;
     use dbp_numeric::rat;
 
     /// The shared scenario: bins end up at distinct levels so each
@@ -123,10 +214,10 @@ mod tests {
     #[test]
     fn algorithms_produce_valid_distinct_packings() {
         let inst = scenario();
-        let ff = run_packing(&inst, &mut FirstFit::new()).unwrap();
-        let bf = run_packing(&inst, &mut BestFit::new()).unwrap();
-        let wf = run_packing(&inst, &mut WorstFit::new()).unwrap();
-        let nf = run_packing(&inst, &mut NextFit::new()).unwrap();
+        let ff = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
+        let bf = Runner::new(&inst).run(&mut BestFit::new()).unwrap();
+        let wf = Runner::new(&inst).run(&mut WorstFit::new()).unwrap();
+        let nf = Runner::new(&inst).run(&mut NextFit::new()).unwrap();
         // All pack 4 items.
         for out in [&ff, &bf, &wf, &nf] {
             assert_eq!(out.assignments().len(), 4);

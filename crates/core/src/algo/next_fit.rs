@@ -79,8 +79,8 @@ impl PackingAlgorithm for NextFit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::run_packing;
     use crate::item::Instance;
+    use crate::session::Runner;
     use dbp_numeric::rat;
 
     #[test]
@@ -92,7 +92,7 @@ mod tests {
             .item(rat(1, 4), rat(3, 1), rat(10, 1))
             .build()
             .unwrap();
-        let out = run_packing(&inst, &mut NextFit::new()).unwrap();
+        let out = Runner::new(&inst).run(&mut NextFit::new()).unwrap();
         assert_eq!(out.bins_opened(), 1);
     }
 
@@ -109,11 +109,11 @@ mod tests {
             // unavailable; must go to the available b1 (level 3/5 → 4/5).
             .build()
             .unwrap();
-        let out = run_packing(&inst, &mut NextFit::new()).unwrap();
+        let out = Runner::new(&inst).run(&mut NextFit::new()).unwrap();
         assert_eq!(out.bins_opened(), 2);
         assert_eq!(out.bin_of(crate::ItemId(3)), Some(crate::BinId(1)));
         // First Fit, by contrast, reuses b0.
-        let ff = run_packing(&inst, &mut crate::FirstFit::new()).unwrap();
+        let ff = Runner::new(&inst).run(&mut crate::FirstFit::new()).unwrap();
         assert_eq!(ff.bin_of(crate::ItemId(3)), Some(crate::BinId(0)));
     }
 
@@ -124,7 +124,7 @@ mod tests {
             .item(rat(1, 2), rat(2, 1), rat(3, 1)) // must open b1
             .build()
             .unwrap();
-        let out = run_packing(&inst, &mut NextFit::new()).unwrap();
+        let out = Runner::new(&inst).run(&mut NextFit::new()).unwrap();
         assert_eq!(out.bins_opened(), 2);
         assert_eq!(out.total_usage(), rat(2, 1));
     }
@@ -144,7 +144,7 @@ mod tests {
                 .item(rat(1, 3), rat(0, 1), mu);
         }
         let inst = b.build().unwrap();
-        let out = run_packing(&inst, &mut NextFit::new()).unwrap();
+        let out = Runner::new(&inst).run(&mut NextFit::new()).unwrap();
         assert_eq!(out.bins_opened(), 3);
         assert_eq!(out.total_usage(), rat(6, 1)); // n·µ = 3·2
     }
@@ -156,8 +156,8 @@ mod tests {
             .item(rat(1, 2), rat(0, 1), rat(1, 1))
             .build()
             .unwrap();
-        let _ = run_packing(&inst, &mut nf).unwrap();
+        let _ = Runner::new(&inst).run(&mut nf).unwrap();
         assert_eq!(nf.available_bin(), None); // closed at end of run
-        let _ = run_packing(&inst, &mut nf).unwrap(); // reset + rerun ok
+        let _ = Runner::new(&inst).run(&mut nf).unwrap(); // reset + rerun ok
     }
 }

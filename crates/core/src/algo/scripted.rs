@@ -71,8 +71,8 @@ impl PackingAlgorithm for Scripted {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::run_packing;
     use crate::item::Instance;
+    use crate::session::Runner;
     use dbp_numeric::rat;
 
     #[test]
@@ -84,7 +84,9 @@ mod tests {
             .build()
             .unwrap();
         // First Fit would use one bin; the script demands two.
-        let out = run_packing(&inst, &mut Scripted::new(vec![0, 1, 0])).unwrap();
+        let out = Runner::new(&inst)
+            .run(&mut Scripted::new(vec![0, 1, 0]))
+            .unwrap();
         assert_eq!(out.bins_opened(), 2);
         assert_eq!(out.bin_of(ItemId(0)), out.bin_of(ItemId(2)));
         assert_ne!(out.bin_of(ItemId(0)), out.bin_of(ItemId(1)));
@@ -97,7 +99,9 @@ mod tests {
             .item(rat(1, 2), rat(2, 1), rat(3, 1)) // label 0 again, after close
             .build()
             .unwrap();
-        let out = run_packing(&inst, &mut Scripted::new(vec![0, 0])).unwrap();
+        let out = Runner::new(&inst)
+            .run(&mut Scripted::new(vec![0, 0]))
+            .unwrap();
         assert_eq!(out.bins_opened(), 2);
     }
 
@@ -108,8 +112,13 @@ mod tests {
             .item(rat(2, 3), rat(0, 1), rat(2, 1))
             .build()
             .unwrap();
-        let err = run_packing(&inst, &mut Scripted::new(vec![0, 0])).unwrap_err();
-        assert!(matches!(err, crate::PackingError::Infeasible { .. }));
+        let err = Runner::new(&inst)
+            .run(&mut Scripted::new(vec![0, 0]))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::SessionError::Packing(crate::PackingError::Infeasible { .. })
+        ));
     }
 
     #[test]

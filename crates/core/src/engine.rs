@@ -184,14 +184,16 @@ impl PackingOutcome {
     }
 }
 
-/// Per-bin mutable bookkeeping while the run is live.
+/// Per-bin mutable bookkeeping while the run is live. `pub(crate)`
+/// so the tick engine can hand its integer books over to an exact
+/// engine when a streaming session leaves the tick grid.
 #[derive(Debug, Clone)]
-struct LiveBin {
-    opened_at: Rational,
-    items: Vec<ItemId>,
-    level_integral: Rational,
-    peak_level: Rational,
-    last_change: Rational,
+pub(crate) struct LiveBin {
+    pub(crate) opened_at: Rational,
+    pub(crate) items: Vec<ItemId>,
+    pub(crate) level_integral: Rational,
+    pub(crate) peak_level: Rational,
+    pub(crate) last_change: Rational,
 }
 
 /// Sentinel slot for a bin that is not (or no longer) open.
@@ -221,6 +223,9 @@ pub struct PackingEngine {
     next_bin: u32,
     now: Option<Rational>,
     max_open: usize,
+    /// Running `Σ |U_k|` over the *closed* bins, maintained
+    /// incrementally so live metrics never rescan the records.
+    closed_usage: Rational,
 }
 
 impl Default for PackingEngine {
@@ -242,6 +247,48 @@ impl PackingEngine {
             next_bin: 0,
             now: None,
             max_open: 0,
+            closed_usage: Rational::ZERO,
+        }
+    }
+
+    /// Reassembles a mid-run engine from explicit books. This is the
+    /// hand-over point of the tick-to-exact promotion: a streaming
+    /// session that leaves its tick grid converts the integer books
+    /// back to exact `Rational`s and continues here, bit-identically.
+    ///
+    /// `open`/`live` must be parallel and sorted by bin id, `active`
+    /// sorted by item id, and ids dense opening ranks below
+    /// `next_bin`.
+    #[allow(clippy::too_many_arguments)] // the books are one atomic hand-over, not an API
+    pub(crate) fn from_books(
+        open: Vec<OpenBin>,
+        live: Vec<LiveBin>,
+        closed: Vec<BinRecord>,
+        active: Vec<(ItemId, BinId, Rational)>,
+        assignments: Vec<(ItemId, BinId)>,
+        next_bin: u32,
+        now: Option<Rational>,
+        max_open: usize,
+    ) -> PackingEngine {
+        debug_assert_eq!(open.len(), live.len());
+        debug_assert!(open.windows(2).all(|w| w[0].id < w[1].id));
+        debug_assert!(active.windows(2).all(|w| w[0].0 < w[1].0));
+        let mut slot_of = vec![NO_SLOT; next_bin as usize];
+        for (slot, bin) in open.iter().enumerate() {
+            slot_of[bin.id.index()] = slot as u32;
+        }
+        let closed_usage = closed.iter().map(|b| b.usage.len()).sum();
+        PackingEngine {
+            open,
+            live,
+            closed,
+            active,
+            assignments,
+            slot_of,
+            next_bin,
+            now,
+            max_open,
+            closed_usage,
         }
     }
 
@@ -272,6 +319,45 @@ impl PackingEngine {
     /// Snapshot of the open bins (what an algorithm would see).
     pub fn snapshot(&self) -> BinSnapshot<'_> {
         BinSnapshot::new(&self.open)
+    }
+
+    /// `true` iff `item` arrived and has not departed.
+    pub fn is_active(&self, item: ItemId) -> bool {
+        self.active
+            .binary_search_by(|(r, _, _)| r.cmp(&item))
+            .is_ok()
+    }
+
+    /// Total level across the open bins (the current load).
+    pub fn load(&self) -> Rational {
+        self.open.iter().map(|b| b.level).sum()
+    }
+
+    /// Number of bins ever opened.
+    pub fn bins_opened(&self) -> usize {
+        self.next_bin as usize
+    }
+
+    /// Peak number of simultaneously open bins so far.
+    pub fn peak_open_bins(&self) -> usize {
+        self.max_open
+    }
+
+    /// Usage time `Σ_k |U_k|` accrued so far: closed bins contribute
+    /// their full usage period, open bins the span from their opening
+    /// to the engine clock. This is the run's objective-to-date and
+    /// what a live session reports as accumulated usage.
+    pub fn usage_accrued(&self) -> Rational {
+        let now = match self.now {
+            Some(t) => t,
+            None => return Rational::ZERO,
+        };
+        self.closed_usage
+            + self
+                .live
+                .iter()
+                .map(|l| now - l.opened_at)
+                .sum::<Rational>()
     }
 
     fn check_time(&mut self, t: Rational) -> Result<(), PackingError> {
@@ -439,9 +525,11 @@ impl PackingEngine {
                 self.slot_of[b.id.index()] -= 1;
             }
             debug_assert!(open.level.is_zero(), "empty bin must have zero level");
+            let usage = Interval::new(live.opened_at, time);
+            self.closed_usage += usage.len();
             self.closed.push(BinRecord {
                 id: open.id,
-                usage: Interval::new(live.opened_at, time),
+                usage,
                 items: live.items,
                 level_integral: live.level_integral,
                 peak_level: live.peak_level,
@@ -510,6 +598,27 @@ pub fn event_schedule(instance: &Instance) -> EventSchedule<ItemId> {
     EventSchedule::new(entries)
 }
 
+/// Exact-engine batch replay behind the deprecated `run_packing*`
+/// shims: one [`crate::session::Runner`] invocation, unwrapped back
+/// to the legacy [`PackingError`] (the exact batch path can surface
+/// nothing else).
+pub(crate) fn runner_exact(
+    instance: &Instance,
+    schedule: Option<&EventSchedule<ItemId>>,
+    algo: &mut dyn PackingAlgorithm,
+    obs: &mut dyn EngineObserver,
+) -> Result<PackingOutcome, PackingError> {
+    use crate::session::{Backend, Runner, SessionError};
+    let mut runner = Runner::new(instance).backend(Backend::Exact).observer(obs);
+    if let Some(schedule) = schedule {
+        runner = runner.schedule(schedule);
+    }
+    runner.run(algo).map_err(|e| match e {
+        SessionError::Packing(e) => e,
+        other => unreachable!("exact batch replay surfaces only packing errors: {other}"),
+    })
+}
+
 /// Replays a whole instance against an algorithm and returns the
 /// completed outcome.
 ///
@@ -518,23 +627,30 @@ pub fn event_schedule(instance: &Instance) -> EventSchedule<ItemId> {
 /// run in item order — this is what makes adversarial constructions
 /// like §VIII's "let n pairs of items arrive in sequence"
 /// deterministic.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `dbp_core::session::Runner::new(i).run(algo)`"
+)]
 pub fn run_packing(
     instance: &Instance,
     algo: &mut dyn PackingAlgorithm,
 ) -> Result<PackingOutcome, PackingError> {
-    run_packing_observed(instance, algo, &mut NoopObserver)
+    runner_exact(instance, None, algo, &mut NoopObserver)
 }
 
 /// [`run_packing`] with instrumentation: every engine event is also
 /// reported to `obs` (see [`EngineObserver`] for the exact firing
-/// points). The unobserved wrapper routes through the zero-sized
-/// [`NoopObserver`], so plain callers pay nothing.
+/// points).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `dbp_core::session::Runner::new(i).observer(obs).run(algo)`"
+)]
 pub fn run_packing_observed(
     instance: &Instance,
     algo: &mut dyn PackingAlgorithm,
     obs: &mut dyn EngineObserver,
 ) -> Result<PackingOutcome, PackingError> {
-    run_packing_scheduled_observed(instance, &event_schedule(instance), algo, obs)
+    runner_exact(instance, None, algo, obs)
 }
 
 /// [`run_packing`] over a prebuilt [`event_schedule`]: the caller
@@ -543,43 +659,37 @@ pub fn run_packing_observed(
 /// `schedule` must be the schedule of `instance` (or at least
 /// reference only its item ids in non-decreasing time order); a
 /// mismatched schedule surfaces as a normal [`PackingError`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `dbp_core::session::Runner::new(i).schedule(s).run(algo)`"
+)]
 pub fn run_packing_scheduled(
     instance: &Instance,
     schedule: &EventSchedule<ItemId>,
     algo: &mut dyn PackingAlgorithm,
 ) -> Result<PackingOutcome, PackingError> {
-    run_packing_scheduled_observed(instance, schedule, algo, &mut NoopObserver)
+    runner_exact(instance, Some(schedule), algo, &mut NoopObserver)
 }
 
 /// [`run_packing_scheduled`] with instrumentation.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `dbp_core::session::Runner::new(i).schedule(s).observer(obs).run(algo)`"
+)]
 pub fn run_packing_scheduled_observed(
     instance: &Instance,
     schedule: &EventSchedule<ItemId>,
     algo: &mut dyn PackingAlgorithm,
     obs: &mut dyn EngineObserver,
 ) -> Result<PackingOutcome, PackingError> {
-    algo.reset();
-    let mut engine = PackingEngine::new();
-    for ev in schedule {
-        let id = ev.payload;
-        match ev.class {
-            EventClass::Arrival => {
-                let size = instance.item(id).size;
-                engine.arrive_observed(algo, obs, id, size, ev.time)?;
-            }
-            EventClass::Departure => {
-                engine.depart_observed(algo, obs, id, ev.time)?;
-            }
-            EventClass::Control => {}
-        }
-    }
-    engine.finish_observed(&algo.name(), obs)
+    runner_exact(instance, Some(schedule), algo, obs)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::algo::FirstFit;
+    use crate::session::Runner;
     use dbp_numeric::rat;
 
     fn inst(specs: &[(i128, i128, i128, i128)]) -> Instance {
@@ -596,7 +706,7 @@ mod tests {
     #[test]
     fn single_item_single_bin() {
         let i = inst(&[(1, 2, 0, 3)]);
-        let out = run_packing(&i, &mut FirstFit::new()).unwrap();
+        let out = Runner::new(&i).run(&mut FirstFit::new()).unwrap();
         assert_eq!(out.bins_opened(), 1);
         assert_eq!(out.total_usage(), rat(3, 1));
         assert_eq!(out.max_open_bins(), 1);
@@ -615,7 +725,7 @@ mod tests {
         // bins never reopen, First Fit must open a NEW bin for item 1.
         // Two bins, usage 1 each.
         let i = inst(&[(1, 1, 0, 1), (1, 1, 1, 2)]);
-        let out = run_packing(&i, &mut FirstFit::new()).unwrap();
+        let out = Runner::new(&i).run(&mut FirstFit::new()).unwrap();
         assert_eq!(out.bins_opened(), 2);
         assert_eq!(out.total_usage(), rat(2, 1));
         assert_eq!(out.max_open_bins(), 1);
@@ -624,7 +734,7 @@ mod tests {
     #[test]
     fn capacity_forces_second_bin() {
         let i = inst(&[(2, 3, 0, 2), (2, 3, 0, 2)]);
-        let out = run_packing(&i, &mut FirstFit::new()).unwrap();
+        let out = Runner::new(&i).run(&mut FirstFit::new()).unwrap();
         assert_eq!(out.bins_opened(), 2);
         assert_eq!(out.total_usage(), rat(4, 1));
         assert_eq!(out.max_open_bins(), 2);
@@ -637,7 +747,7 @@ mod tests {
         // Two items in one bin with staggered intervals, then a late
         // item reopening a fresh bin after everything closed.
         let i = inst(&[(1, 2, 0, 2), (1, 2, 1, 4), (1, 2, 6, 7)]);
-        let out = run_packing(&i, &mut FirstFit::new()).unwrap();
+        let out = Runner::new(&i).run(&mut FirstFit::new()).unwrap();
         assert_eq!(out.bins_opened(), 2);
         let b0 = &out.bins()[0];
         let b1 = &out.bins()[1];
@@ -665,10 +775,10 @@ mod tests {
             }
         }
         let i = inst(&[(2, 3, 0, 2), (2, 3, 0, 2)]);
-        let err = run_packing(&i, &mut Stubborn).unwrap_err();
+        let err = Runner::new(&i).run(&mut Stubborn).unwrap_err();
         assert!(matches!(
             err,
-            PackingError::Infeasible { bin: BinId(0), .. }
+            crate::session::SessionError::Packing(PackingError::Infeasible { bin: BinId(0), .. })
         ));
     }
 
@@ -688,8 +798,11 @@ mod tests {
             }
         }
         let i = inst(&[(1, 2, 0, 1), (1, 2, 2, 3)]);
-        let err = run_packing(&i, &mut Ghost).unwrap_err();
-        assert_eq!(err, PackingError::NoSuchBin(BinId(0)));
+        let err = Runner::new(&i).run(&mut Ghost).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::session::SessionError::Packing(PackingError::NoSuchBin(BinId(0)))
+        ));
     }
 
     #[test]
@@ -734,7 +847,7 @@ mod tests {
     fn max_open_bins_counts_concurrency() {
         // Three simultaneous full-size items: three bins at once.
         let i = inst(&[(1, 1, 0, 2), (1, 1, 0, 2), (1, 1, 0, 2), (1, 1, 3, 4)]);
-        let out = run_packing(&i, &mut FirstFit::new()).unwrap();
+        let out = Runner::new(&i).run(&mut FirstFit::new()).unwrap();
         assert_eq!(out.max_open_bins(), 3);
         assert_eq!(out.bins_opened(), 4);
         assert_eq!(out.total_usage(), rat(7, 1));
@@ -743,12 +856,12 @@ mod tests {
     #[test]
     fn scheduled_replay_matches_run_packing_and_is_reusable() {
         let i = inst(&[(1, 2, 0, 2), (1, 2, 1, 4), (1, 2, 6, 7), (2, 3, 0, 2)]);
-        let direct = run_packing(&i, &mut FirstFit::new()).unwrap();
+        let direct = Runner::new(&i).run(&mut FirstFit::new()).unwrap();
         let sched = event_schedule(&i);
         assert_eq!(sched.len(), 2 * i.len());
         let mut ff = FirstFit::new();
-        let first = run_packing_scheduled(&i, &sched, &mut ff).unwrap();
-        let second = run_packing_scheduled(&i, &sched, &mut ff).unwrap();
+        let first = Runner::new(&i).schedule(&sched).run(&mut ff).unwrap();
+        let second = Runner::new(&i).schedule(&sched).run(&mut ff).unwrap();
         assert_eq!(first, direct);
         assert_eq!(second, direct);
     }
@@ -765,7 +878,7 @@ mod tests {
             (1, 10, 0, 3),
             (1, 10, 0, 3),
         ]);
-        let out = run_packing(&i, &mut FirstFit::new()).unwrap();
+        let out = Runner::new(&i).run(&mut FirstFit::new()).unwrap();
         assert_eq!(out.bins_opened(), 1);
         // Level: 1/2 on [0,1), 2/5 on [1,2), 1/5 on [2,3).
         assert_eq!(
@@ -779,7 +892,7 @@ mod tests {
     #[test]
     fn outcome_assignment_lookup() {
         let i = inst(&[(1, 2, 0, 2), (1, 2, 0, 2), (1, 2, 0, 2)]);
-        let out = run_packing(&i, &mut FirstFit::new()).unwrap();
+        let out = Runner::new(&i).run(&mut FirstFit::new()).unwrap();
         assert_eq!(out.bin_of(ItemId(0)), Some(BinId(0)));
         assert_eq!(out.bin_of(ItemId(1)), Some(BinId(0)));
         assert_eq!(out.bin_of(ItemId(2)), Some(BinId(1)));

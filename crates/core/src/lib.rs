@@ -41,6 +41,11 @@
 //!   integer engine, with bit-identical outcomes and automatic
 //!   fallback to the Rational engine on overflow.
 //!
+//! * [`session`] — streaming online sessions (incremental ingestion
+//!   with live metrics and journal checkpoints) and the unified
+//!   batch [`session::Runner`] that replaced the `run_packing*`
+//!   free-function family.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -55,10 +60,20 @@
 //!     .build()
 //!     .unwrap();
 //!
-//! let outcome = run_packing(&instance, &mut FirstFit::new()).unwrap();
+//! let outcome = Runner::new(&instance).run(&mut FirstFit::new()).unwrap();
 //! // First Fit packs everything into one bin, open for [0, 4).
 //! assert_eq!(outcome.bins().len(), 1);
 //! assert_eq!(outcome.total_usage(), rat(4, 1));
+//!
+//! // The same run, streamed one event at a time:
+//! let mut session = Session::builder(FirstFit::new()).build().unwrap();
+//! session.arrive(ItemId(0), rat(1, 2), rat(0, 1)).unwrap();
+//! session.arrive(ItemId(2), rat(1, 4), rat(0, 1)).unwrap();
+//! session.arrive(ItemId(1), rat(1, 4), rat(1, 1)).unwrap();
+//! session.depart(ItemId(0), rat(2, 1)).unwrap();
+//! session.depart(ItemId(1), rat(3, 1)).unwrap();
+//! session.depart(ItemId(2), rat(4, 1)).unwrap();
+//! assert_eq!(session.finish().unwrap(), outcome);
 //! ```
 
 pub mod algo;
@@ -67,6 +82,7 @@ pub mod engine;
 pub mod fit_tree;
 pub mod item;
 pub mod observe;
+pub mod session;
 pub mod tick;
 
 pub use algo::{
@@ -75,16 +91,21 @@ pub use algo::{
     Scripted, WorstFit, WorstFitFast,
 };
 pub use bin::{BinId, BinSnapshot, OpenBin};
+pub use engine::{event_schedule, BinRecord, PackingEngine, PackingError, PackingOutcome};
+#[allow(deprecated)] // compat re-exports; gone next release
 pub use engine::{
-    event_schedule, run_packing, run_packing_observed, run_packing_scheduled,
-    run_packing_scheduled_observed, BinRecord, PackingEngine, PackingError, PackingOutcome,
+    run_packing, run_packing_observed, run_packing_scheduled, run_packing_scheduled_observed,
 };
 pub use fit_tree::{FitTree, GapKey};
 pub use item::{Instance, InstanceBuilder, InstanceError, InstanceStats, Item, ItemId};
 pub use observe::{EngineObserver, FanOut, NoopObserver};
-pub use tick::{
-    run_packing_auto, run_packing_compiled, CompileError, CompiledInstance, TickEngine, TickPolicy,
+pub use session::{
+    Backend, BatchError, Event, Runner, Session, SessionBuilder, SessionError, SessionMetrics,
+    SessionSnapshot, TickGrid,
 };
+#[allow(deprecated)] // compat re-export; gone next release
+pub use tick::run_packing_auto;
+pub use tick::{run_packing_compiled, CompileError, CompiledInstance, TickEngine, TickPolicy};
 
 /// One-stop imports for downstream crates and examples.
 pub mod prelude {
@@ -93,11 +114,13 @@ pub mod prelude {
         PackingAlgorithm, Placement, RandomFit, WorstFit, WorstFitFast,
     };
     pub use crate::bin::{BinId, BinSnapshot, OpenBin};
-    pub use crate::engine::{
-        event_schedule, run_packing, run_packing_observed, run_packing_scheduled, PackingEngine,
-        PackingOutcome,
-    };
+    pub use crate::engine::{event_schedule, PackingEngine, PackingOutcome};
+    #[allow(deprecated)] // compat re-exports; gone next release
+    pub use crate::engine::{run_packing, run_packing_observed, run_packing_scheduled};
     pub use crate::item::{Instance, Item, ItemId};
     pub use crate::observe::{EngineObserver, NoopObserver};
-    pub use crate::tick::{run_packing_auto, CompiledInstance, TickPolicy};
+    pub use crate::session::{Backend, Event, Runner, Session, SessionError, TickGrid};
+    #[allow(deprecated)] // compat re-export; gone next release
+    pub use crate::tick::run_packing_auto;
+    pub use crate::tick::{CompiledInstance, TickPolicy};
 }

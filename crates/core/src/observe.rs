@@ -40,7 +40,12 @@ use dbp_numeric::Rational;
 /// Invalid events (duplicate arrivals, infeasible placements, …) are
 /// *not* observed: the engine reports them as errors before any
 /// callback fires, so an observer only ever sees the legal history.
-pub trait EngineObserver {
+///
+/// `Send` is a supertrait for the same reason as on
+/// [`crate::algo::PackingAlgorithm`]: an observer attached to a
+/// [`crate::session::Session`] travels with it when a sharded fleet
+/// dispatches sessions across worker threads.
+pub trait EngineObserver: Send {
     /// An arrival is about to be offered to the algorithm. `bins` is
     /// exactly what the algorithm will see.
     fn on_arrival(&mut self, arrival: &ArrivalView, bins: &BinSnapshot<'_>) {
@@ -172,8 +177,8 @@ impl EngineObserver for FanOut<'_> {
 mod tests {
     use super::*;
     use crate::algo::FirstFit;
-    use crate::engine::run_packing_observed;
     use crate::item::Instance;
+    use crate::session::Runner;
     use dbp_numeric::rat;
 
     /// Counts callback invocations.
@@ -227,7 +232,10 @@ mod tests {
     #[test]
     fn every_event_is_observed_once() {
         let mut tally = Tally::default();
-        let out = run_packing_observed(&sample(), &mut FirstFit::new(), &mut tally).unwrap();
+        let out = Runner::new(&sample())
+            .observer(&mut tally)
+            .run(&mut FirstFit::new())
+            .unwrap();
         assert_eq!(tally.arrivals, 3);
         assert_eq!(tally.placements, 3);
         assert_eq!(tally.departures, 3);
@@ -242,7 +250,10 @@ mod tests {
         let mut b = Tally::default();
         {
             let mut fan = FanOut::new(vec![&mut a, &mut b]);
-            run_packing_observed(&sample(), &mut FirstFit::new(), &mut fan).unwrap();
+            Runner::new(&sample())
+                .observer(&mut fan)
+                .run(&mut FirstFit::new())
+                .unwrap();
         }
         assert_eq!(a.arrivals, 3);
         assert_eq!(b.arrivals, 3);
@@ -252,9 +263,13 @@ mod tests {
 
     #[test]
     fn observed_and_unobserved_runs_agree() {
-        let plain = crate::engine::run_packing(&sample(), &mut FirstFit::new()).unwrap();
-        let observed =
-            run_packing_observed(&sample(), &mut FirstFit::new(), &mut NoopObserver).unwrap();
+        let plain = crate::session::Runner::new(&sample())
+            .run(&mut FirstFit::new())
+            .unwrap();
+        let observed = Runner::new(&sample())
+            .observer(&mut NoopObserver)
+            .run(&mut FirstFit::new())
+            .unwrap();
         assert_eq!(plain, observed);
     }
 }

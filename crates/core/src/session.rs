@@ -1,0 +1,1503 @@
+//! Streaming online sessions and the unified batch runner.
+//!
+//! Batch replay ([`Runner`], formerly the `run_packing*` family)
+//! knows every event up front; a *session* ingests them one at a
+//! time, the way a live cloud allocator sees jobs: an arrival carries
+//! only the item's size — its departure is revealed by a later
+//! departure event. A [`Session`] wraps an engine, an algorithm, and
+//! an optional observer behind one incremental API:
+//!
+//! * [`arrive`](Session::arrive) / [`depart`](Session::depart) /
+//!   [`ingest`](Session::ingest) — feed events in non-decreasing time
+//!   order; violations of the online contract (time regression,
+//!   duplicate arrivals, unknown departures, a departure *after* an
+//!   arrival at the same instant) are typed [`SessionError`]s that
+//!   leave the session untouched.
+//! * [`metrics`](Session::metrics) — live counters: open bins, load,
+//!   usage time accrued so far, peak concurrency.
+//! * [`snapshot`](Session::snapshot) / [`Session::resume`] —
+//!   journal-based checkpointing: a snapshot records the
+//!   configuration plus every applied event, and resuming replays
+//!   them into an equivalent session.
+//! * [`finish`](Session::finish) — drains into the same
+//!   [`PackingOutcome`] the batch path produces, **bit-identical**
+//!   to [`Runner`] on the same event order.
+//!
+//! ## Backends
+//!
+//! [`Backend::Auto`] (the default) runs on the integer
+//! [`TickEngine`] when the session has a declared [`TickGrid`], the
+//! algorithm has an integer-engine equivalent
+//! ([`PackingAlgorithm::tick_policy`]), and no observer is attached;
+//! otherwise it runs on the exact Rational engine. If a streamed
+//! event ever leaves the declared grid, the tick books are promoted
+//! to exact Rationals mid-run and the session continues — callers
+//! never observe which engine ran. [`Backend::Tick`] makes off-grid
+//! events a typed error instead; [`Backend::Exact`] forces the
+//! Rational engine.
+//!
+//! ```
+//! use dbp_core::session::Session;
+//! use dbp_core::{FirstFit, ItemId};
+//! use dbp_numeric::rat;
+//!
+//! let mut s = Session::builder(FirstFit::new()).build().unwrap();
+//! s.arrive(ItemId(0), rat(1, 2), rat(0, 1)).unwrap();
+//! s.arrive(ItemId(1), rat(3, 4), rat(1, 1)).unwrap();
+//! assert_eq!(s.metrics().open_bins, 2);
+//! s.depart(ItemId(0), rat(2, 1)).unwrap();
+//! s.depart(ItemId(1), rat(3, 1)).unwrap();
+//! let out = s.finish().unwrap();
+//! assert_eq!(out.total_usage(), rat(2, 1) + rat(2, 1));
+//! ```
+
+use crate::algo::{by_name, PackingAlgorithm};
+use crate::bin::BinId;
+use crate::engine::{event_schedule, PackingEngine, PackingError, PackingOutcome};
+use crate::item::{Instance, ItemId};
+use crate::observe::{EngineObserver, NoopObserver};
+use crate::tick::{CompileError, CompiledInstance, TickEngine, TickPolicy};
+use dbp_numeric::Rational;
+use dbp_simcore::{EventClass, EventSchedule, StreamEvent};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One wire event of a session's stream, keyed by [`ItemId`].
+pub type Event = StreamEvent<ItemId>;
+
+/// Which engine a session or runner should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Backend {
+    /// Integer tick engine when possible (declared grid, tick-capable
+    /// algorithm, no observer), exact Rational engine otherwise —
+    /// with transparent mid-run promotion if a streamed event leaves
+    /// the grid. Outcomes never depend on which engine ran.
+    #[default]
+    Auto,
+    /// Always the exact Rational engine.
+    Exact,
+    /// Strictly the integer tick engine: building fails if the
+    /// configuration cannot run on it, and off-grid events are
+    /// [`SessionError::OffGrid`] instead of a silent fallback.
+    Tick,
+}
+
+/// The integer grid a streaming session declares up front: the
+/// analogue of the LCM scales [`CompiledInstance::compile`] derives
+/// from a complete instance.
+///
+/// `time_scale` is the number of ticks per time unit, `size_scale`
+/// the number of units per bin capacity. An event is *on the grid*
+/// when its timestamp (relative to the session's first event) is an
+/// integer number of ticks within the `u32::MAX` horizon and, for
+/// arrivals, its size is an integer number of units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TickGrid {
+    /// Ticks per time unit (`≥ 1`).
+    pub time_scale: u32,
+    /// Units per bin capacity (`≥ 1`).
+    pub size_scale: u32,
+}
+
+impl TickGrid {
+    /// A grid with `time_scale` ticks per time unit and `size_scale`
+    /// units per bin capacity. Both must be nonzero.
+    pub fn new(time_scale: u32, size_scale: u32) -> TickGrid {
+        assert!(time_scale >= 1, "time_scale must be >= 1");
+        assert!(size_scale >= 1, "size_scale must be >= 1");
+        TickGrid {
+            time_scale,
+            size_scale,
+        }
+    }
+
+    /// The exact grid of a complete instance (its denominator LCMs),
+    /// or the reason the instance does not fit tick space.
+    pub fn for_instance(instance: &Instance) -> Result<TickGrid, CompileError> {
+        let compiled = CompiledInstance::compile(instance)?;
+        Ok(TickGrid {
+            time_scale: compiled.time_scale() as u32,
+            size_scale: compiled.size_scale() as u32,
+        })
+    }
+
+    /// Size in units, if `size` lies on the size grid.
+    fn units_of(self, size: Rational) -> Option<u64> {
+        // Sizes are pre-validated in (0, 1], so an on-grid size is
+        // automatically in 1..=size_scale.
+        size.scaled_to(self.size_scale as i128).map(|u| u as u64)
+    }
+
+    /// Tick of `t` relative to `origin`, if on the time grid and
+    /// within the horizon. Callers guarantee `t >= origin`
+    /// (monotonicity), so the result is non-negative.
+    fn tick_of(self, origin: Rational, t: Rational) -> Option<u64> {
+        (t - origin)
+            .scaled_to(self.time_scale as i128)
+            .filter(|&tick| (0..=u32::MAX as i128).contains(&tick))
+            .map(|tick| tick as u64)
+    }
+
+    /// `true` iff `t` itself lies on the time grid (used for the
+    /// first event, which fixes the session origin).
+    fn aligned(self, t: Rational) -> bool {
+        t.scaled_to(self.time_scale as i128).is_some()
+    }
+}
+
+/// Errors surfaced by sessions and the unified [`Runner`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// An engine-level rejection (time regression, duplicate arrival,
+    /// unknown departure, infeasible placement, …).
+    Packing(PackingError),
+    /// The instance handed to a strict-tick [`Runner`] does not fit
+    /// tick space.
+    Compile(CompileError),
+    /// [`Backend::Tick`] was requested but the configuration cannot
+    /// run on the integer engine (no grid, no tick-capable algorithm,
+    /// or an observer is attached).
+    TickUnavailable(&'static str),
+    /// A streamed event left the declared [`TickGrid`] under strict
+    /// [`Backend::Tick`].
+    OffGrid {
+        /// Which quantity was off the grid (`"time"` or `"size"`).
+        what: &'static str,
+        /// The offending value.
+        value: Rational,
+    },
+    /// A departure was submitted after an arrival at the same
+    /// instant. Intervals are half-open, so the engine's canonical
+    /// order processes all departures of an instant before its
+    /// arrivals; accepting the reverse would silently diverge from
+    /// the batch replay.
+    DepartureAfterArrival {
+        /// The shared timestamp.
+        time: Rational,
+    },
+    /// An arriving item's size is outside `(0, 1]`.
+    InvalidSize {
+        /// The arriving item.
+        id: ItemId,
+        /// The rejected size.
+        size: Rational,
+    },
+    /// [`Session::resume`] could not reconstruct the checkpointed
+    /// algorithm from its name (seeded, scripted, and
+    /// instance-dependent algorithms need
+    /// [`Session::resume_with`]).
+    UnknownAlgorithm(String),
+    /// [`Session::resume_with`] was handed an algorithm whose name
+    /// does not match the checkpoint.
+    AlgorithmMismatch {
+        /// Name recorded in the snapshot.
+        expected: String,
+        /// Name of the supplied algorithm.
+        got: String,
+    },
+    /// [`Session::snapshot`] on a session built with
+    /// [`SessionBuilder::without_checkpoints`].
+    CheckpointsDisabled,
+    /// An event was routed to a shard a multi-session driver does not
+    /// have (sharded fleets live in `dbp-par`; the variant lives here
+    /// so fleet rejections stay inside the one typed error space).
+    UnknownShard {
+        /// The requested shard.
+        shard: usize,
+        /// How many shards exist.
+        shards: usize,
+    },
+}
+
+impl From<PackingError> for SessionError {
+    fn from(e: PackingError) -> SessionError {
+        SessionError::Packing(e)
+    }
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Packing(e) => write!(f, "{e}"),
+            SessionError::Compile(e) => write!(f, "tick compilation failed: {e}"),
+            SessionError::TickUnavailable(why) => {
+                write!(f, "tick backend unavailable: {why}")
+            }
+            SessionError::OffGrid { what, value } => {
+                write!(f, "{what} {value} off the declared tick grid")
+            }
+            SessionError::DepartureAfterArrival { time } => write!(
+                f,
+                "departure after an arrival at the same instant {time} \
+                 (half-open intervals: submit departures first)"
+            ),
+            SessionError::InvalidSize { id, size } => {
+                write!(f, "item {id}: size {size} outside (0, 1]")
+            }
+            SessionError::UnknownAlgorithm(name) => {
+                write!(f, "cannot reconstruct algorithm `{name}` from its name")
+            }
+            SessionError::AlgorithmMismatch { expected, got } => {
+                write!(f, "checkpoint records algorithm `{expected}`, got `{got}`")
+            }
+            SessionError::CheckpointsDisabled => {
+                write!(f, "session was built without checkpoint support")
+            }
+            SessionError::UnknownShard { shard, shards } => {
+                write!(f, "no shard {shard} in a fleet of {shards}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// A batched-ingestion failure: events before `index` were applied,
+/// the event at `index` was rejected, nothing after it was touched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchError {
+    /// Index of the rejected event within the submitted batch.
+    pub index: usize,
+    /// Why it was rejected.
+    pub error: SessionError,
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event {}: {}", self.index, self.error)
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// Live counters of a running session (see [`Session::metrics`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionMetrics {
+    /// Session clock (time of the last applied event).
+    pub now: Option<Rational>,
+    /// Total events applied.
+    pub events: u64,
+    /// Arrivals applied.
+    pub arrivals: u64,
+    /// Departures applied.
+    pub departures: u64,
+    /// Currently open bins.
+    pub open_bins: usize,
+    /// Currently active items.
+    pub active_items: usize,
+    /// Bins ever opened.
+    pub bins_opened: usize,
+    /// Peak number of simultaneously open bins so far.
+    pub peak_open_bins: usize,
+    /// Total level across the open bins (current load).
+    pub load: Rational,
+    /// Usage time `Σ_k |U_k|` accrued so far: closed bins fully, open
+    /// bins up to the session clock. The objective-to-date.
+    pub usage_time: Rational,
+}
+
+/// A journal checkpoint of a session: its configuration plus every
+/// applied event, in order. Serializable through the workspace data
+/// model; [`Session::resume`] replays it into an equivalent session.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionSnapshot {
+    /// Name of the session's algorithm.
+    pub algorithm: String,
+    /// The backend the session was built with (the *request*, not the
+    /// engine currently in use — replaying the same events through
+    /// the same request reproduces any promotion deterministically).
+    pub backend: Backend,
+    /// The declared tick grid, if any.
+    pub grid: Option<TickGrid>,
+    /// Every applied event, in application order.
+    pub events: Vec<Event>,
+}
+
+/// The engine a session is currently running on.
+enum Core {
+    /// Exact Rational engine.
+    Exact(PackingEngine),
+    /// Tick backend selected but no event applied yet: the engine is
+    /// created at the first event, whose timestamp fixes the origin.
+    TickIdle,
+    /// Live integer engine.
+    Tick(TickEngine),
+}
+
+/// Where the next event must be dispatched (computed with the books
+/// borrowed immutably, so promotion can mutate the session freely).
+enum Route {
+    /// Exact engine, as-is.
+    Exact,
+    /// First event of a tick session: build the engine at this
+    /// origin.
+    TickFirst {
+        /// Size in units (0 for departures, unused).
+        units: u64,
+    },
+    /// Live tick engine.
+    Tick {
+        /// Event tick relative to the session origin.
+        tick: u64,
+        /// Size in units (0 for departures, unused).
+        units: u64,
+    },
+    /// The event is off the grid: promote to exact (or error under
+    /// strict tick).
+    Promote {
+        /// Which quantity was off the grid.
+        what: &'static str,
+        /// The offending value.
+        value: Rational,
+    },
+}
+
+/// Configures and builds a [`Session`] (see [`Session::builder`]).
+pub struct SessionBuilder<'s> {
+    algo: Box<dyn PackingAlgorithm + 's>,
+    observer: Option<&'s mut dyn EngineObserver>,
+    backend: Backend,
+    grid: Option<TickGrid>,
+    journal: bool,
+}
+
+impl<'s> SessionBuilder<'s> {
+    /// Attaches a passive observer. Observers see every engine event;
+    /// they force the exact Rational engine (the integer engine has
+    /// no instrumentation hooks).
+    pub fn observer(mut self, obs: &'s mut dyn EngineObserver) -> SessionBuilder<'s> {
+        self.observer = Some(obs);
+        self
+    }
+
+    /// Selects the engine policy (default [`Backend::Auto`]).
+    pub fn backend(mut self, backend: Backend) -> SessionBuilder<'s> {
+        self.backend = backend;
+        self
+    }
+
+    /// Declares the integer grid for the tick backend. Without a
+    /// grid, [`Backend::Auto`] always runs exact and
+    /// [`Backend::Tick`] fails to build.
+    pub fn grid(mut self, grid: TickGrid) -> SessionBuilder<'s> {
+        self.grid = Some(grid);
+        self
+    }
+
+    /// Disables the event journal. Saves one `Vec` push per event on
+    /// the hot path; [`Session::snapshot`] becomes
+    /// [`SessionError::CheckpointsDisabled`].
+    pub fn without_checkpoints(mut self) -> SessionBuilder<'s> {
+        self.journal = false;
+        self
+    }
+
+    /// Resolves the backend and builds the session. Fails only for
+    /// [`Backend::Tick`] configurations that cannot run on the
+    /// integer engine.
+    pub fn build(mut self) -> Result<Session<'s>, SessionError> {
+        let name = self.algo.name();
+        self.algo.reset();
+        let policy = self.algo.tick_policy();
+        let (core, tick_policy) = match self.backend {
+            Backend::Exact => (Core::Exact(PackingEngine::new()), None),
+            Backend::Auto => {
+                if policy.is_some() && self.grid.is_some() && self.observer.is_none() {
+                    (Core::TickIdle, policy)
+                } else {
+                    (Core::Exact(PackingEngine::new()), None)
+                }
+            }
+            Backend::Tick => {
+                if self.observer.is_some() {
+                    return Err(SessionError::TickUnavailable(
+                        "observers require the exact engine",
+                    ));
+                }
+                let p = policy.ok_or(SessionError::TickUnavailable(
+                    "algorithm has no integer-engine equivalent",
+                ))?;
+                if self.grid.is_none() {
+                    return Err(SessionError::TickUnavailable("no tick grid declared"));
+                }
+                (Core::TickIdle, Some(p))
+            }
+        };
+        Ok(Session {
+            algo: self.algo,
+            observer: self.observer,
+            noop: NoopObserver,
+            backend: self.backend,
+            strict: self.backend == Backend::Tick,
+            grid: self.grid,
+            tick_policy,
+            core,
+            origin: None,
+            name,
+            now: None,
+            arrival_at_now: false,
+            journal: self.journal.then(Vec::new),
+            arrivals: 0,
+            departures: 0,
+        })
+    }
+}
+
+/// An incremental online packing session: the streaming counterpart
+/// of the batch [`Runner`], producing bit-identical outcomes on the
+/// same event order. See the [module docs](self) for the contract.
+pub struct Session<'s> {
+    algo: Box<dyn PackingAlgorithm + 's>,
+    observer: Option<&'s mut dyn EngineObserver>,
+    noop: NoopObserver,
+    backend: Backend,
+    strict: bool,
+    grid: Option<TickGrid>,
+    /// `Some` while the session may run (or is running) on the tick
+    /// engine; cleared permanently on promotion.
+    tick_policy: Option<TickPolicy>,
+    core: Core,
+    /// Timestamp of the first event (tick sessions only).
+    origin: Option<Rational>,
+    name: String,
+    now: Option<Rational>,
+    /// `true` while an arrival has been applied at the current
+    /// instant (rejects misordered equal-time departures).
+    arrival_at_now: bool,
+    journal: Option<Vec<Event>>,
+    arrivals: u64,
+    departures: u64,
+}
+
+impl fmt::Debug for Session<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("algorithm", &self.name)
+            .field("backend", &self.backend)
+            .field("tick_active", &self.tick_active())
+            .field("now", &self.now)
+            .field("arrivals", &self.arrivals)
+            .field("departures", &self.departures)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'s> Session<'s> {
+    /// Starts configuring a session around `algo`.
+    pub fn builder(algo: impl PackingAlgorithm + 's) -> SessionBuilder<'s> {
+        SessionBuilder {
+            algo: Box::new(algo),
+            observer: None,
+            backend: Backend::Auto,
+            grid: None,
+            journal: true,
+        }
+    }
+
+    /// Rebuilds a session from a checkpoint by reconstructing the
+    /// algorithm from its recorded name and replaying the journal.
+    /// Fails with [`SessionError::UnknownAlgorithm`] for algorithms
+    /// that need external state ([`Session::resume_with`] covers
+    /// those).
+    pub fn resume(snapshot: &SessionSnapshot) -> Result<Session<'static>, SessionError> {
+        let algo = by_name(&snapshot.algorithm)
+            .ok_or_else(|| SessionError::UnknownAlgorithm(snapshot.algorithm.clone()))?;
+        Self::replay(snapshot, algo)
+    }
+
+    /// [`Session::resume`] with a caller-supplied algorithm (for
+    /// seeded, scripted, or instance-dependent algorithms the name
+    /// alone cannot reconstruct). The algorithm's name must match the
+    /// checkpoint.
+    pub fn resume_with<'a>(
+        snapshot: &SessionSnapshot,
+        algo: impl PackingAlgorithm + 'a,
+    ) -> Result<Session<'a>, SessionError> {
+        if algo.name() != snapshot.algorithm {
+            return Err(SessionError::AlgorithmMismatch {
+                expected: snapshot.algorithm.clone(),
+                got: algo.name(),
+            });
+        }
+        Self::replay(snapshot, algo)
+    }
+
+    fn replay<'a>(
+        snapshot: &SessionSnapshot,
+        algo: impl PackingAlgorithm + 'a,
+    ) -> Result<Session<'a>, SessionError> {
+        let mut builder = Session::builder(algo).backend(snapshot.backend);
+        if let Some(grid) = snapshot.grid {
+            builder = builder.grid(grid);
+        }
+        let mut session = builder.build()?;
+        // Journaled events were all applied once, so replay cannot
+        // fail on a well-formed snapshot; corrupt ones surface the
+        // offending event's error.
+        session.ingest(&snapshot.events).map_err(|e| e.error)?;
+        Ok(session)
+    }
+
+    /// The algorithm's name (as reported in the final outcome).
+    pub fn algorithm(&self) -> &str {
+        &self.name
+    }
+
+    /// The backend the session was built with (the request;
+    /// [`tick_active`](Self::tick_active) tells which engine is
+    /// actually running).
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// `true` while the session is on (or still headed for) the
+    /// integer tick engine.
+    pub fn tick_active(&self) -> bool {
+        !matches!(self.core, Core::Exact(_))
+    }
+
+    /// Session clock: time of the last applied event.
+    pub fn now(&self) -> Option<Rational> {
+        self.now
+    }
+
+    /// `true` iff `id` has arrived and not departed.
+    pub fn is_active(&self, id: ItemId) -> bool {
+        match &self.core {
+            Core::Exact(e) => e.is_active(id),
+            Core::Tick(e) => e.is_active(id),
+            Core::TickIdle => false,
+        }
+    }
+
+    /// Monotone-clock check shared by both event kinds.
+    fn check_monotone(&self, t: Rational) -> Result<(), SessionError> {
+        if let Some(now) = self.now {
+            if t < now {
+                return Err(SessionError::Packing(PackingError::TimeRegression {
+                    now,
+                    event: t,
+                }));
+            }
+        }
+        Ok(())
+    }
+
+    /// Plans the dispatch of an event at `t` (size `Some` for
+    /// arrivals) without mutating anything.
+    fn route(&self, t: Rational, size: Option<Rational>) -> Route {
+        let grid = match self.grid {
+            Some(g) => g,
+            None => return Route::Exact,
+        };
+        match &self.core {
+            Core::Exact(_) => Route::Exact,
+            Core::TickIdle => {
+                if !grid.aligned(t) {
+                    return Route::Promote {
+                        what: "time",
+                        value: t,
+                    };
+                }
+                let units = match size {
+                    Some(s) => match grid.units_of(s) {
+                        Some(u) => u,
+                        None => {
+                            return Route::Promote {
+                                what: "size",
+                                value: s,
+                            }
+                        }
+                    },
+                    None => 0,
+                };
+                Route::TickFirst { units }
+            }
+            Core::Tick(_) => {
+                let origin = self.origin.expect("live tick engine has an origin");
+                let tick = match grid.tick_of(origin, t) {
+                    Some(tick) => tick,
+                    None => {
+                        return Route::Promote {
+                            what: "time",
+                            value: t,
+                        }
+                    }
+                };
+                let units = match size {
+                    Some(s) => match grid.units_of(s) {
+                        Some(u) => u,
+                        None => {
+                            return Route::Promote {
+                                what: "size",
+                                value: s,
+                            }
+                        }
+                    },
+                    None => 0,
+                };
+                Route::Tick { tick, units }
+            }
+        }
+    }
+
+    /// Converts the tick books to exact Rationals and continues on
+    /// the exact engine (the `Backend::Auto` off-grid path).
+    fn promote(&mut self) {
+        let core = std::mem::replace(&mut self.core, Core::TickIdle);
+        let engine = match core {
+            // No event applied yet: the original algorithm is still
+            // fresh, keep driving it directly.
+            Core::TickIdle => PackingEngine::new(),
+            // Mid-run: the tick engine embodied the policy and never
+            // drove the stored algorithm, so its state (e.g. a
+            // `*Fast` tree) is stale. Swap in the stateless linear
+            // equivalent, which decides correctly from any books.
+            Core::Tick(engine) => {
+                let policy = self.tick_policy.expect("tick core implies a policy");
+                self.algo = policy.linear_algo();
+                engine.into_exact()
+            }
+            Core::Exact(engine) => engine,
+        };
+        self.core = Core::Exact(engine);
+        self.tick_policy = None;
+    }
+
+    /// Applies an arrival: `id` of `size` at time `t`. Returns the
+    /// bin the item was placed into.
+    pub fn arrive(
+        &mut self,
+        id: ItemId,
+        size: Rational,
+        t: Rational,
+    ) -> Result<BinId, SessionError> {
+        self.check_monotone(t)?;
+        if !size.is_positive() || size > Rational::ONE {
+            return Err(SessionError::InvalidSize { id, size });
+        }
+        if self.is_active(id) {
+            return Err(SessionError::Packing(PackingError::DuplicateItem(id)));
+        }
+        let mut route = self.route(t, Some(size));
+        if let Route::Promote { what, value } = route {
+            if self.strict {
+                return Err(SessionError::OffGrid { what, value });
+            }
+            self.promote();
+            route = Route::Exact;
+        }
+        let bin = match route {
+            Route::Exact => {
+                let Core::Exact(engine) = &mut self.core else {
+                    unreachable!("exact route implies exact core");
+                };
+                let obs: &mut dyn EngineObserver = match self.observer.as_deref_mut() {
+                    Some(o) => o,
+                    None => &mut self.noop,
+                };
+                engine.arrive_observed(self.algo.as_mut(), obs, id, size, t)?
+            }
+            Route::TickFirst { units } => {
+                let grid = self.grid.expect("tick route implies a grid");
+                let policy = self.tick_policy.expect("tick route implies a policy");
+                let mut engine = TickEngine::with_grid(
+                    policy,
+                    t,
+                    grid.time_scale as i128,
+                    grid.size_scale as i128,
+                );
+                let bin = engine.arrive(id, units, 0)?;
+                self.origin = Some(t);
+                self.core = Core::Tick(engine);
+                bin
+            }
+            Route::Tick { tick, units } => {
+                let Core::Tick(engine) = &mut self.core else {
+                    unreachable!("tick route implies tick core");
+                };
+                engine.arrive(id, units, tick)?
+            }
+            Route::Promote { .. } => unreachable!("promotion handled above"),
+        };
+        self.now = Some(t);
+        self.arrival_at_now = true;
+        self.arrivals += 1;
+        if let Some(journal) = &mut self.journal {
+            journal.push(StreamEvent::Arrive { id, size, time: t });
+        }
+        Ok(bin)
+    }
+
+    /// Applies a departure of `id` at time `t`. Returns the bin the
+    /// item left.
+    pub fn depart(&mut self, id: ItemId, t: Rational) -> Result<BinId, SessionError> {
+        self.check_monotone(t)?;
+        if self.now == Some(t) && self.arrival_at_now {
+            return Err(SessionError::DepartureAfterArrival { time: t });
+        }
+        if !self.is_active(id) {
+            return Err(SessionError::Packing(PackingError::UnknownItem(id)));
+        }
+        let mut route = self.route(t, None);
+        if let Route::Promote { what, value } = route {
+            if self.strict {
+                return Err(SessionError::OffGrid { what, value });
+            }
+            self.promote();
+            route = Route::Exact;
+        }
+        let bin = match route {
+            Route::Exact => {
+                let Core::Exact(engine) = &mut self.core else {
+                    unreachable!("exact route implies exact core");
+                };
+                let obs: &mut dyn EngineObserver = match self.observer.as_deref_mut() {
+                    Some(o) => o,
+                    None => &mut self.noop,
+                };
+                engine.depart_observed(self.algo.as_mut(), obs, id, t)?
+            }
+            Route::Tick { tick, .. } => {
+                let Core::Tick(engine) = &mut self.core else {
+                    unreachable!("tick route implies tick core");
+                };
+                engine.depart(id, tick)?
+            }
+            // An active-item pre-check passed, so at least one event
+            // was applied and the core cannot be idle.
+            Route::TickFirst { .. } => unreachable!("departure into an idle session"),
+            Route::Promote { .. } => unreachable!("promotion handled above"),
+        };
+        self.now = Some(t);
+        self.arrival_at_now = false;
+        self.departures += 1;
+        if let Some(journal) = &mut self.journal {
+            journal.push(StreamEvent::Depart { id, time: t });
+        }
+        Ok(bin)
+    }
+
+    /// Applies one wire event.
+    pub fn apply(&mut self, event: &Event) -> Result<BinId, SessionError> {
+        match *event {
+            StreamEvent::Arrive { id, size, time } => self.arrive(id, size, time),
+            StreamEvent::Depart { id, time } => self.depart(id, time),
+        }
+    }
+
+    /// Applies a batch of events in order. On failure, events before
+    /// the reported index were applied and nothing after it was
+    /// touched.
+    pub fn ingest(&mut self, events: &[Event]) -> Result<(), BatchError> {
+        for (index, event) in events.iter().enumerate() {
+            self.apply(event)
+                .map_err(|error| BatchError { index, error })?;
+        }
+        Ok(())
+    }
+
+    /// Live counters: clock, event tallies, open bins, load, and the
+    /// usage time accrued so far.
+    pub fn metrics(&self) -> SessionMetrics {
+        let (open_bins, active_items, bins_opened, peak_open_bins, load, usage_time) =
+            match &self.core {
+                Core::Exact(e) => (
+                    e.open_bins(),
+                    e.active_items(),
+                    e.bins_opened(),
+                    e.peak_open_bins(),
+                    e.load(),
+                    e.usage_accrued(),
+                ),
+                Core::Tick(e) => (
+                    e.open_bins(),
+                    e.active_items(),
+                    e.bins_opened(),
+                    e.peak_open_bins(),
+                    e.load(),
+                    e.usage_accrued(),
+                ),
+                Core::TickIdle => (0, 0, 0, 0, Rational::ZERO, Rational::ZERO),
+            };
+        SessionMetrics {
+            now: self.now,
+            events: self.arrivals + self.departures,
+            arrivals: self.arrivals,
+            departures: self.departures,
+            open_bins,
+            active_items,
+            bins_opened,
+            peak_open_bins,
+            load,
+            usage_time,
+        }
+    }
+
+    /// Checkpoints the session: configuration plus the full event
+    /// journal. Fails if the session was built
+    /// [`without_checkpoints`](SessionBuilder::without_checkpoints).
+    pub fn snapshot(&self) -> Result<SessionSnapshot, SessionError> {
+        let journal = self
+            .journal
+            .as_ref()
+            .ok_or(SessionError::CheckpointsDisabled)?;
+        Ok(SessionSnapshot {
+            algorithm: self.name.clone(),
+            backend: self.backend,
+            grid: self.grid,
+            events: journal.clone(),
+        })
+    }
+
+    /// Finalizes the session into the same [`PackingOutcome`] the
+    /// batch path produces. Fails with
+    /// [`PackingError::ItemsStillActive`] while items remain active.
+    pub fn finish(self) -> Result<PackingOutcome, SessionError> {
+        let Session {
+            core,
+            observer,
+            mut noop,
+            name,
+            ..
+        } = self;
+        match core {
+            Core::Exact(engine) => {
+                let obs: &mut dyn EngineObserver = match observer {
+                    Some(o) => o,
+                    None => &mut noop,
+                };
+                Ok(engine.finish_observed(&name, obs)?)
+            }
+            Core::Tick(engine) => Ok(engine.finish(&name)?),
+            // No event was ever applied: an empty run.
+            Core::TickIdle => {
+                let obs: &mut dyn EngineObserver = match observer {
+                    Some(o) => o,
+                    None => &mut noop,
+                };
+                Ok(PackingEngine::new().finish_observed(&name, obs)?)
+            }
+        }
+    }
+}
+
+/// The unified batch entry point: replays a complete [`Instance`]
+/// through a [`Session`], replacing the `run_packing*` free-function
+/// family with one builder.
+///
+/// ```
+/// use dbp_core::session::Runner;
+/// use dbp_core::{FirstFit, Instance};
+/// use dbp_numeric::rat;
+///
+/// let instance = Instance::builder()
+///     .item(rat(1, 2), rat(0, 1), rat(2, 1))
+///     .item(rat(3, 4), rat(1, 1), rat(3, 1))
+///     .build()
+///     .unwrap();
+/// let out = Runner::new(&instance).run(&mut FirstFit::new()).unwrap();
+/// assert_eq!(out.bins_opened(), 2);
+/// ```
+///
+/// With [`Backend::Auto`] (the default) the run is dispatched to the
+/// integer tick engine whenever the algorithm has an integer
+/// equivalent, the instance compiles, and no observer is attached —
+/// the outcome is bit-identical either way, algorithm name included.
+pub struct Runner<'a> {
+    instance: &'a Instance,
+    schedule: Option<&'a EventSchedule<ItemId>>,
+    observer: Option<&'a mut dyn EngineObserver>,
+    backend: Backend,
+}
+
+impl<'a> Runner<'a> {
+    /// A runner over `instance` with defaults: fresh schedule, no
+    /// observer, [`Backend::Auto`].
+    pub fn new(instance: &'a Instance) -> Runner<'a> {
+        Runner {
+            instance,
+            schedule: None,
+            observer: None,
+            backend: Backend::Auto,
+        }
+    }
+
+    /// Replays a caller-owned prebuilt schedule (one
+    /// [`event_schedule`] shared across many runs) instead of
+    /// rebuilding it. The schedule must belong to this instance.
+    pub fn schedule(mut self, schedule: &'a EventSchedule<ItemId>) -> Runner<'a> {
+        self.schedule = Some(schedule);
+        self
+    }
+
+    /// Attaches a passive observer (forces the exact engine).
+    pub fn observer(mut self, obs: &'a mut dyn EngineObserver) -> Runner<'a> {
+        self.observer = Some(obs);
+        self
+    }
+
+    /// Selects the engine policy (default [`Backend::Auto`]).
+    pub fn backend(mut self, backend: Backend) -> Runner<'a> {
+        self.backend = backend;
+        self
+    }
+
+    /// Runs `algo` over the instance and returns the completed
+    /// outcome.
+    pub fn run(self, algo: &mut dyn PackingAlgorithm) -> Result<PackingOutcome, SessionError> {
+        match self.backend {
+            Backend::Tick => {
+                if self.observer.is_some() {
+                    return Err(SessionError::TickUnavailable(
+                        "observers require the exact engine",
+                    ));
+                }
+                let policy = algo.tick_policy().ok_or(SessionError::TickUnavailable(
+                    "algorithm has no integer-engine equivalent",
+                ))?;
+                let compiled =
+                    CompiledInstance::compile(self.instance).map_err(SessionError::Compile)?;
+                algo.reset();
+                Self::run_compiled(&compiled, policy, algo)
+            }
+            Backend::Auto => {
+                if let (Some(policy), None) = (algo.tick_policy(), self.observer.as_ref()) {
+                    if let Ok(compiled) = CompiledInstance::compile(self.instance) {
+                        algo.reset();
+                        return Self::run_compiled(&compiled, policy, algo);
+                    }
+                }
+                self.run_exact(algo)
+            }
+            Backend::Exact => self.run_exact(algo),
+        }
+    }
+
+    /// The batch tick path: replay the pre-compiled schedule on the
+    /// integer engine. Relabeled with the driven algorithm's own name
+    /// so a `FirstFitFast` run reports `FirstFitFast` on both
+    /// engines.
+    fn run_compiled(
+        compiled: &CompiledInstance,
+        policy: TickPolicy,
+        algo: &mut dyn PackingAlgorithm,
+    ) -> Result<PackingOutcome, SessionError> {
+        let name = algo.name();
+        Ok(compiled.run(policy)?.with_algorithm(&name))
+    }
+
+    /// The exact path: drive a (journal-free) streaming session with
+    /// the batch schedule.
+    fn run_exact(self, algo: &mut dyn PackingAlgorithm) -> Result<PackingOutcome, SessionError> {
+        let built;
+        let schedule = match self.schedule {
+            Some(s) => s,
+            None => {
+                built = event_schedule(self.instance);
+                &built
+            }
+        };
+        let mut builder = Session::builder(algo)
+            .backend(Backend::Exact)
+            .without_checkpoints();
+        if let Some(obs) = self.observer {
+            builder = builder.observer(obs);
+        }
+        let mut session = builder.build()?;
+        for ev in schedule {
+            match ev.class {
+                EventClass::Arrival => {
+                    let size = self.instance.item(ev.payload).size;
+                    session.arrive(ev.payload, size, ev.time)?;
+                }
+                EventClass::Departure => {
+                    session.depart(ev.payload, ev.time)?;
+                }
+                EventClass::Control => {}
+            }
+        }
+        session.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{BestFitFast, FirstFit, FirstFitFast, RandomFit};
+    use dbp_numeric::rat;
+
+    /// Mid-run closures, exact fills, equal-time boundaries.
+    fn scenario() -> Instance {
+        Instance::builder()
+            .item(rat(7, 10), rat(0, 1), rat(10, 1))
+            .item(rat(2, 5), rat(0, 1), rat(6, 1))
+            .item(rat(9, 10), rat(0, 1), rat(1, 1))
+            .item(rat(1, 2), rat(1, 1), rat(10, 1))
+            .item(rat(3, 10), rat(2, 1), rat(10, 1))
+            .item(rat(3, 5), rat(6, 1), rat(10, 1))
+            .build()
+            .unwrap()
+    }
+
+    /// The batch schedule of `instance` as a stream event list.
+    fn events_of(instance: &Instance) -> Vec<Event> {
+        let schedule = event_schedule(instance);
+        schedule
+            .iter()
+            .map(|ev| match ev.class {
+                EventClass::Arrival => StreamEvent::Arrive {
+                    id: ev.payload,
+                    size: instance.item(ev.payload).size,
+                    time: ev.time,
+                },
+                EventClass::Departure => StreamEvent::Depart {
+                    id: ev.payload,
+                    time: ev.time,
+                },
+                EventClass::Control => unreachable!("schedules carry no control events"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streamed_session_matches_batch_runner() {
+        let inst = scenario();
+        let batch = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
+        let mut session = Session::builder(FirstFit::new()).build().unwrap();
+        session.ingest(&events_of(&inst)).unwrap();
+        assert_eq!(session.finish().unwrap(), batch);
+    }
+
+    #[test]
+    fn tick_hot_path_engages_and_matches_exact() {
+        let inst = scenario();
+        let grid = TickGrid::for_instance(&inst).unwrap();
+        let exact = Runner::new(&inst)
+            .backend(Backend::Exact)
+            .run(&mut FirstFitFast::new())
+            .unwrap();
+        let mut session = Session::builder(FirstFitFast::new())
+            .grid(grid)
+            .build()
+            .unwrap();
+        assert!(session.tick_active());
+        session.ingest(&events_of(&inst)).unwrap();
+        assert!(session.tick_active());
+        assert_eq!(session.finish().unwrap(), exact);
+    }
+
+    #[test]
+    fn off_grid_event_promotes_transparently() {
+        let inst = scenario();
+        // A unit grid: the integer timestamps of `scenario` fit, the
+        // half-integer event below does not.
+        let grid = TickGrid::new(1, 10);
+        let exact = {
+            let mut s = Session::builder(FirstFitFast::new())
+                .backend(Backend::Exact)
+                .build()
+                .unwrap();
+            s.ingest(&events_of(&inst)).unwrap();
+            s.arrive(ItemId(9), rat(1, 2), rat(21, 2)).unwrap();
+            s.depart(ItemId(9), rat(11, 1)).unwrap();
+            s.finish().unwrap()
+        };
+        let mut s = Session::builder(FirstFitFast::new())
+            .grid(grid)
+            .build()
+            .unwrap();
+        s.ingest(&events_of(&inst)).unwrap();
+        assert!(s.tick_active());
+        s.arrive(ItemId(9), rat(1, 2), rat(21, 2)).unwrap();
+        assert!(!s.tick_active());
+        s.depart(ItemId(9), rat(11, 1)).unwrap();
+        assert_eq!(s.finish().unwrap(), exact);
+    }
+
+    #[test]
+    fn mid_run_promotion_preserves_live_metrics() {
+        // Promote while bins are open and compare every counter
+        // against an exact-only twin.
+        let grid = TickGrid::new(1, 4);
+        let mut tick = Session::builder(FirstFit::new())
+            .grid(grid)
+            .build()
+            .unwrap();
+        let mut exact = Session::builder(FirstFit::new())
+            .backend(Backend::Exact)
+            .build()
+            .unwrap();
+        let feed = [
+            StreamEvent::Arrive {
+                id: ItemId(0),
+                size: rat(3, 4),
+                time: rat(0, 1),
+            },
+            StreamEvent::Arrive {
+                id: ItemId(1),
+                size: rat(1, 2),
+                time: rat(1, 1),
+            },
+            StreamEvent::Depart {
+                id: ItemId(0),
+                time: rat(2, 1),
+            },
+            // Off-grid time: forces the promotion.
+            StreamEvent::Arrive {
+                id: ItemId(2),
+                size: rat(1, 4),
+                time: rat(5, 2),
+            },
+        ];
+        tick.ingest(&feed).unwrap();
+        exact.ingest(&feed).unwrap();
+        assert!(!tick.tick_active());
+        assert_eq!(tick.metrics(), exact.metrics());
+        let drain = [
+            StreamEvent::Depart {
+                id: ItemId(1),
+                time: rat(3, 1),
+            },
+            StreamEvent::Depart {
+                id: ItemId(2),
+                time: rat(4, 1),
+            },
+        ];
+        tick.ingest(&drain).unwrap();
+        exact.ingest(&drain).unwrap();
+        assert_eq!(tick.metrics(), exact.metrics());
+        assert_eq!(tick.finish().unwrap(), exact.finish().unwrap());
+    }
+
+    #[test]
+    fn strict_tick_rejects_off_grid_events() {
+        let grid = TickGrid::new(1, 2);
+        let mut s = Session::builder(FirstFit::new())
+            .backend(Backend::Tick)
+            .grid(grid)
+            .build()
+            .unwrap();
+        s.arrive(ItemId(0), rat(1, 2), rat(0, 1)).unwrap();
+        assert_eq!(
+            s.arrive(ItemId(1), rat(1, 2), rat(1, 2)),
+            Err(SessionError::OffGrid {
+                what: "time",
+                value: rat(1, 2)
+            })
+        );
+        assert_eq!(
+            s.arrive(ItemId(1), rat(1, 3), rat(1, 1)),
+            Err(SessionError::OffGrid {
+                what: "size",
+                value: rat(1, 3)
+            })
+        );
+        // Still on the tick engine and still usable on-grid.
+        assert!(s.tick_active());
+        s.arrive(ItemId(1), rat(1, 2), rat(1, 1)).unwrap();
+    }
+
+    #[test]
+    fn strict_tick_rejects_incapable_configurations() {
+        assert_eq!(
+            Session::builder(FirstFit::new())
+                .backend(Backend::Tick)
+                .build()
+                .unwrap_err(),
+            SessionError::TickUnavailable("no tick grid declared")
+        );
+        assert_eq!(
+            Session::builder(RandomFit::seeded(7))
+                .backend(Backend::Tick)
+                .grid(TickGrid::new(1, 2))
+                .build()
+                .unwrap_err(),
+            SessionError::TickUnavailable("algorithm has no integer-engine equivalent")
+        );
+        let mut obs = NoopObserver;
+        assert_eq!(
+            Session::builder(FirstFit::new())
+                .backend(Backend::Tick)
+                .grid(TickGrid::new(1, 2))
+                .observer(&mut obs)
+                .build()
+                .unwrap_err(),
+            SessionError::TickUnavailable("observers require the exact engine")
+        );
+    }
+
+    #[test]
+    fn online_contract_violations_are_typed_and_harmless() {
+        let mut s = Session::builder(FirstFit::new()).build().unwrap();
+        s.arrive(ItemId(0), rat(1, 2), rat(1, 1)).unwrap();
+        // Time regression.
+        assert_eq!(
+            s.arrive(ItemId(1), rat(1, 2), rat(0, 1)),
+            Err(SessionError::Packing(PackingError::TimeRegression {
+                now: rat(1, 1),
+                event: rat(0, 1)
+            }))
+        );
+        // Duplicate arrival.
+        assert_eq!(
+            s.arrive(ItemId(0), rat(1, 4), rat(2, 1)),
+            Err(SessionError::Packing(PackingError::DuplicateItem(ItemId(
+                0
+            ))))
+        );
+        // Unknown departure.
+        assert_eq!(
+            s.depart(ItemId(9), rat(2, 1)),
+            Err(SessionError::Packing(PackingError::UnknownItem(ItemId(9))))
+        );
+        // Departure after an arrival at the same instant.
+        assert_eq!(
+            s.depart(ItemId(0), rat(1, 1)),
+            Err(SessionError::DepartureAfterArrival { time: rat(1, 1) })
+        );
+        // Size outside (0, 1].
+        assert_eq!(
+            s.arrive(ItemId(1), rat(3, 2), rat(2, 1)),
+            Err(SessionError::InvalidSize {
+                id: ItemId(1),
+                size: rat(3, 2)
+            })
+        );
+        // None of the rejections perturbed the books.
+        let m = s.metrics();
+        assert_eq!((m.events, m.arrivals, m.active_items), (1, 1, 1));
+        // Same-instant departure is fine once time advances, and
+        // departure-then-arrival at one instant is the canonical
+        // half-open order.
+        s.depart(ItemId(0), rat(2, 1)).unwrap();
+        s.arrive(ItemId(1), rat(1, 2), rat(2, 1)).unwrap();
+        s.depart(ItemId(1), rat(3, 1)).unwrap();
+        s.finish().unwrap();
+    }
+
+    #[test]
+    fn rejected_events_stay_out_of_the_journal() {
+        let mut s = Session::builder(FirstFit::new()).build().unwrap();
+        s.arrive(ItemId(0), rat(1, 2), rat(0, 1)).unwrap();
+        let _ = s.arrive(ItemId(0), rat(1, 2), rat(1, 1));
+        let _ = s.depart(ItemId(5), rat(1, 1));
+        let snap = s.snapshot().unwrap();
+        assert_eq!(snap.events.len(), 1);
+        let resumed = Session::resume(&snap).unwrap();
+        assert_eq!(resumed.metrics(), s.metrics());
+    }
+
+    #[test]
+    fn live_metrics_track_the_run() {
+        let mut s = Session::builder(FirstFit::new()).build().unwrap();
+        assert_eq!(s.metrics().usage_time, Rational::ZERO);
+        s.arrive(ItemId(0), rat(1, 2), rat(0, 1)).unwrap();
+        s.arrive(ItemId(1), rat(3, 4), rat(0, 1)).unwrap();
+        let m = s.metrics();
+        assert_eq!(m.open_bins, 2);
+        assert_eq!(m.load, rat(5, 4));
+        assert_eq!(m.usage_time, Rational::ZERO);
+        s.depart(ItemId(0), rat(2, 1)).unwrap();
+        let m = s.metrics();
+        assert_eq!(m.open_bins, 1);
+        assert_eq!(m.active_items, 1);
+        assert_eq!(m.load, rat(3, 4));
+        // Bin 0 closed with usage 2; bin 1 open since 0, now = 2.
+        assert_eq!(m.usage_time, rat(4, 1));
+        s.depart(ItemId(1), rat(3, 1)).unwrap();
+        let m = s.metrics();
+        assert_eq!(m.usage_time, rat(5, 1));
+        assert_eq!(m.peak_open_bins, 2);
+        assert_eq!(m.bins_opened, 2);
+        let out = s.finish().unwrap();
+        assert_eq!(out.total_usage(), rat(5, 1));
+    }
+
+    #[test]
+    fn tick_and_exact_metrics_agree_mid_run() {
+        let inst = scenario();
+        let grid = TickGrid::for_instance(&inst).unwrap();
+        let events = events_of(&inst);
+        let mut tick = Session::builder(FirstFitFast::new())
+            .grid(grid)
+            .build()
+            .unwrap();
+        let mut exact = Session::builder(FirstFitFast::new())
+            .backend(Backend::Exact)
+            .build()
+            .unwrap();
+        for ev in &events {
+            tick.apply(ev).unwrap();
+            exact.apply(ev).unwrap();
+            assert_eq!(tick.metrics(), exact.metrics());
+        }
+        assert!(tick.tick_active());
+    }
+
+    #[test]
+    fn snapshot_resume_round_trips_mid_run() {
+        let inst = scenario();
+        let events = events_of(&inst);
+        for cut in 0..=events.len() {
+            let mut s = Session::builder(BestFitFast::new()).build().unwrap();
+            s.ingest(&events[..cut]).unwrap();
+            let snap = s.snapshot().unwrap();
+            // The snapshot survives the serde data model.
+            let snap = SessionSnapshot::from_value(&snap.to_value()).unwrap();
+            let mut resumed = Session::resume(&snap).unwrap();
+            assert_eq!(resumed.metrics(), s.metrics());
+            resumed.ingest(&events[cut..]).unwrap();
+            s.ingest(&events[cut..]).unwrap();
+            assert_eq!(resumed.finish().unwrap(), s.finish().unwrap());
+        }
+    }
+
+    #[test]
+    fn resume_guards_algorithm_identity() {
+        let mut s = Session::builder(RandomFit::seeded(42)).build().unwrap();
+        s.arrive(ItemId(0), rat(1, 2), rat(0, 1)).unwrap();
+        let snap = s.snapshot().unwrap();
+        // RandomFit is not reconstructible from its name alone…
+        assert_eq!(
+            Session::resume(&snap).unwrap_err(),
+            SessionError::UnknownAlgorithm("RandomFit".into())
+        );
+        // …but resumes with the matching seeded value.
+        let resumed = Session::resume_with(&snap, RandomFit::seeded(42)).unwrap();
+        assert_eq!(resumed.metrics(), s.metrics());
+        assert_eq!(
+            Session::resume_with(&snap, FirstFit::new()).unwrap_err(),
+            SessionError::AlgorithmMismatch {
+                expected: "RandomFit".into(),
+                got: "FirstFit".into()
+            }
+        );
+    }
+
+    #[test]
+    fn checkpoints_can_be_disabled() {
+        let s = Session::builder(FirstFit::new())
+            .without_checkpoints()
+            .build()
+            .unwrap();
+        assert_eq!(s.snapshot().unwrap_err(), SessionError::CheckpointsDisabled);
+    }
+
+    #[test]
+    fn observers_see_the_streamed_run() {
+        struct Count(usize);
+        impl EngineObserver for Count {
+            fn on_arrival(
+                &mut self,
+                _: &crate::algo::ArrivalView,
+                _: &crate::bin::BinSnapshot<'_>,
+            ) {
+                self.0 += 1;
+            }
+        }
+        let inst = scenario();
+        let mut count = Count(0);
+        let mut s = Session::builder(FirstFit::new())
+            .observer(&mut count)
+            .grid(TickGrid::for_instance(&inst).unwrap())
+            .build()
+            .unwrap();
+        // The observer forces the exact engine even with a grid.
+        assert!(!s.tick_active());
+        s.ingest(&events_of(&inst)).unwrap();
+        s.finish().unwrap();
+        assert_eq!(count.0, inst.len());
+    }
+
+    #[test]
+    fn finish_rejects_active_items_and_empty_runs_succeed() {
+        let mut s = Session::builder(FirstFit::new()).build().unwrap();
+        s.arrive(ItemId(0), rat(1, 2), rat(0, 1)).unwrap();
+        assert_eq!(
+            s.finish().unwrap_err(),
+            SessionError::Packing(PackingError::ItemsStillActive(1))
+        );
+        let empty = Session::builder(FirstFit::new()).build().unwrap();
+        let out = empty.finish().unwrap();
+        assert_eq!(out.bins_opened(), 0);
+        assert_eq!(out.algorithm(), "FirstFit");
+        // Tick-idle sessions drain to the same empty outcome.
+        let idle = Session::builder(FirstFit::new())
+            .grid(TickGrid::new(1, 2))
+            .build()
+            .unwrap();
+        assert_eq!(idle.finish().unwrap(), out);
+    }
+
+    #[test]
+    fn runner_matches_the_legacy_entry_points() {
+        let inst = scenario();
+        #[allow(deprecated)]
+        let legacy = crate::engine::run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let auto = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
+        let exact = Runner::new(&inst)
+            .backend(Backend::Exact)
+            .run(&mut FirstFit::new())
+            .unwrap();
+        let tick = Runner::new(&inst)
+            .backend(Backend::Tick)
+            .run(&mut FirstFit::new())
+            .unwrap();
+        assert_eq!(auto, legacy);
+        assert_eq!(exact, legacy);
+        assert_eq!(tick, legacy);
+        // Prebuilt schedules and fast algorithms agree too, name
+        // included.
+        let sched = event_schedule(&inst);
+        let fast = Runner::new(&inst)
+            .schedule(&sched)
+            .run(&mut FirstFitFast::new())
+            .unwrap();
+        assert_eq!(fast.algorithm(), "FirstFitFast");
+        assert_eq!(fast.bins(), legacy.bins());
+        assert_eq!(fast.assignments(), legacy.assignments());
+    }
+
+    #[test]
+    fn runner_strict_tick_reports_typed_failures() {
+        let inst = scenario();
+        assert_eq!(
+            Runner::new(&inst)
+                .backend(Backend::Tick)
+                .run(&mut RandomFit::seeded(1))
+                .unwrap_err(),
+            SessionError::TickUnavailable("algorithm has no integer-engine equivalent")
+        );
+        let huge = Instance::builder()
+            .item(rat(1, 2), rat(1, 99991), rat(2, 1))
+            .item(rat(1, 2), rat(1, 99989), rat(2, 1))
+            .build()
+            .unwrap();
+        assert_eq!(
+            Runner::new(&huge)
+                .backend(Backend::Tick)
+                .run(&mut FirstFit::new())
+                .unwrap_err(),
+            SessionError::Compile(CompileError::TimeScaleOverflow)
+        );
+        // Auto degrades to the exact engine instead.
+        let auto = Runner::new(&huge).run(&mut FirstFit::new()).unwrap();
+        assert_eq!(auto.bins_opened(), 1);
+    }
+
+    #[test]
+    fn runner_auto_promotes_nothing_it_should_not() {
+        // An observer must force the exact engine under Auto.
+        struct Fail;
+        impl EngineObserver for Fail {}
+        let inst = scenario();
+        let mut obs = Fail;
+        let observed = Runner::new(&inst)
+            .observer(&mut obs)
+            .run(&mut FirstFit::new())
+            .unwrap();
+        let plain = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
+        assert_eq!(observed, plain);
+    }
+}

@@ -35,7 +35,7 @@
 
 use crate::algo::PackingAlgorithm;
 use crate::bin::BinId;
-use crate::engine::{run_packing, BinRecord, PackingError, PackingOutcome};
+use crate::engine::{BinRecord, PackingError, PackingOutcome};
 use crate::fit_tree::FitTree;
 use crate::item::{Instance, ItemId};
 use dbp_numeric::{checked_lcm, Interval, Rational};
@@ -125,6 +125,18 @@ impl TickPolicy {
             TickPolicy::FirstFit => Box::new(crate::algo::FirstFitFast::new()),
             TickPolicy::BestFit => Box::new(crate::algo::BestFitFast::new()),
             TickPolicy::WorstFit => Box::new(crate::algo::WorstFitFast::new()),
+        }
+    }
+
+    /// The linear-scan Rational algorithm equivalent to this policy.
+    /// Unlike the `*Fast` variants these are stateless, so they make
+    /// correct decisions from *any* engine state — which is what the
+    /// tick-to-exact promotion of a streaming session needs.
+    pub(crate) fn linear_algo(self) -> Box<dyn PackingAlgorithm> {
+        match self {
+            TickPolicy::FirstFit => Box::new(crate::algo::FirstFit::new()),
+            TickPolicy::BestFit => Box::new(crate::algo::BestFit::new()),
+            TickPolicy::WorstFit => Box::new(crate::algo::WorstFit::new()),
         }
     }
 }
@@ -321,17 +333,46 @@ pub struct TickEngine {
     tree: FitTree<u64>,
     now: Option<u64>,
     max_open: usize,
+    /// Current total level across open bins, in units.
+    level_total: u64,
+    /// `Σ (closed − opened)` ticks over the closed bins.
+    closed_ticks: u128,
+    /// `Σ opened` ticks over the *open* bins (incremented on open,
+    /// decremented on close); with `open_count · now` this yields the
+    /// open bins' accrued usage without a scan.
+    open_opened_sum: u128,
 }
 
 impl TickEngine {
     /// Creates an engine for one compiled instance under `policy`.
     pub fn new(compiled: &CompiledInstance, policy: TickPolicy) -> TickEngine {
+        Self::with_grid(
+            policy,
+            compiled.origin,
+            compiled.time_scale,
+            compiled.size_scale,
+        )
+    }
+
+    /// Creates an engine on an explicit grid: `time_scale` ticks per
+    /// time unit, `size_scale` units per bin capacity, timestamps
+    /// measured from `origin`. This is the streaming entry point — a
+    /// session declares the grid up front instead of compiling a
+    /// complete instance.
+    pub(crate) fn with_grid(
+        policy: TickPolicy,
+        origin: Rational,
+        time_scale: i128,
+        size_scale: i128,
+    ) -> TickEngine {
+        debug_assert!((1..=MAX_SCALE).contains(&time_scale));
+        debug_assert!((1..=MAX_SCALE).contains(&size_scale));
         TickEngine {
             policy,
-            capacity: compiled.capacity,
-            origin: compiled.origin,
-            time_scale: compiled.time_scale,
-            size_scale: compiled.size_scale,
+            capacity: size_scale as u64,
+            origin,
+            time_scale,
+            size_scale,
             bins: Vec::new(),
             open_count: 0,
             closed: Vec::new(),
@@ -340,6 +381,9 @@ impl TickEngine {
             tree: FitTree::new(),
             now: None,
             max_open: 0,
+            level_total: 0,
+            closed_ticks: 0,
+            open_opened_sum: 0,
         }
     }
 
@@ -374,6 +418,45 @@ impl TickEngine {
     /// Number of currently active items.
     pub fn active_items(&self) -> usize {
         self.active.len()
+    }
+
+    /// `true` iff `item` arrived and has not departed.
+    pub fn is_active(&self, item: ItemId) -> bool {
+        self.active
+            .binary_search_by(|(r, _, _)| r.cmp(&item))
+            .is_ok()
+    }
+
+    /// Engine clock as an exact timestamp.
+    pub fn now(&self) -> Option<Rational> {
+        self.now.map(|t| self.time_of(t))
+    }
+
+    /// Total level across the open bins (the current load), exact.
+    pub fn load(&self) -> Rational {
+        self.size_of(self.level_total)
+    }
+
+    /// Number of bins ever opened.
+    pub fn bins_opened(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Peak number of simultaneously open bins so far.
+    pub fn peak_open_bins(&self) -> usize {
+        self.max_open
+    }
+
+    /// Usage time `Σ_k |U_k|` accrued so far (closed bins fully, open
+    /// bins up to the engine clock), exact. Mirrors
+    /// [`crate::engine::PackingEngine::usage_accrued`].
+    pub fn usage_accrued(&self) -> Rational {
+        let now = match self.now {
+            Some(t) => t,
+            None => return Rational::ZERO,
+        };
+        let open_ticks = self.open_count as u128 * now as u128 - self.open_opened_sum;
+        Rational::new((self.closed_ticks + open_ticks) as i128, self.time_scale)
     }
 
     #[inline]
@@ -437,10 +520,12 @@ impl TickEngine {
                 }));
                 self.tree.open(bin_id, self.capacity - size + 1);
                 self.open_count += 1;
+                self.open_opened_sum += tick as u128;
                 self.max_open = self.max_open.max(self.open_count);
                 bin_id
             }
         };
+        self.level_total += size;
         self.active.insert(active_pos, (item, bin_id, size));
         self.assignments.push((item, bin_id));
         Ok(bin_id)
@@ -455,6 +540,7 @@ impl TickEngine {
             .binary_search_by(|(r, _, _)| r.cmp(&item))
             .map_err(|_| PackingError::UnknownItem(item))?;
         let (_, bin_id, size) = self.active.remove(pos);
+        self.level_total -= size;
         let bin = self.bins[bin_id.index()]
             .as_mut()
             .expect("active item's bin must be open");
@@ -465,6 +551,8 @@ impl TickEngine {
             debug_assert_eq!(bin.level, 0, "empty bin must have zero level");
             let bin = self.bins[bin_id.index()].take().expect("bin checked open");
             self.open_count -= 1;
+            self.open_opened_sum -= bin.opened as u128;
+            self.closed_ticks += (tick - bin.opened) as u128;
             self.tree.close(bin_id);
             self.closed.push(TickRecord {
                 id: bin_id,
@@ -479,6 +567,90 @@ impl TickEngine {
             self.tree.set_gap(bin_id, self.capacity - level + 1);
         }
         Ok(bin_id)
+    }
+
+    /// Converts the live integer books back to exact `Rational`s and
+    /// hands them to a [`crate::engine::PackingEngine`], mid-run.
+    ///
+    /// This is the tick-to-exact *promotion* behind `Backend::Auto`
+    /// streaming sessions: when an event leaves the declared grid,
+    /// the session continues on the exact engine from precisely the
+    /// state the integer replay reached. Every conversion below is
+    /// the inverse of the compile-time rescaling, so the promoted
+    /// engine's books are bit-identical to what an exact engine fed
+    /// the same prefix would hold.
+    pub(crate) fn into_exact(self) -> crate::engine::PackingEngine {
+        use crate::bin::OpenBin;
+        use crate::engine::LiveBin;
+        let denom = self.time_scale * self.size_scale;
+        // One consumed-flag per active entry: an id may recur in a
+        // bin's item log (depart, then re-arrive), but at most one
+        // occurrence is active — the *latest* one, which is the
+        // occurrence the exact engine would hold in `contents`.
+        let mut consumed = vec![false; self.active.len()];
+        let mut open = Vec::with_capacity(self.open_count);
+        let mut live = Vec::with_capacity(self.open_count);
+        for (idx, slot) in self.bins.iter().enumerate() {
+            let Some(bin) = slot else { continue };
+            let bin_id = BinId(idx as u32);
+            let mut picked: Vec<(ItemId, u64)> = Vec::with_capacity(bin.count as usize);
+            for &item in bin.items.iter().rev() {
+                if picked.len() == bin.count as usize {
+                    break;
+                }
+                if let Ok(pos) = self.active.binary_search_by(|(r, _, _)| r.cmp(&item)) {
+                    let (_, b, units) = self.active[pos];
+                    if b == bin_id && !consumed[pos] {
+                        consumed[pos] = true;
+                        picked.push((item, units));
+                    }
+                }
+            }
+            picked.reverse();
+            open.push(OpenBin {
+                id: bin_id,
+                opened_at: self.time_of(bin.opened),
+                level: self.size_of(bin.level),
+                contents: picked
+                    .iter()
+                    .map(|&(item, units)| (item, self.size_of(units)))
+                    .collect(),
+            });
+            live.push(LiveBin {
+                opened_at: self.time_of(bin.opened),
+                items: bin.items.clone(),
+                level_integral: Rational::new(bin.integral as i128, denom),
+                peak_level: self.size_of(bin.peak),
+                last_change: self.time_of(bin.last_change),
+            });
+        }
+        let closed = self
+            .closed
+            .iter()
+            .map(|rec| BinRecord {
+                id: rec.id,
+                usage: Interval::new(self.time_of(rec.opened), self.time_of(rec.closed)),
+                items: rec.items.clone(),
+                level_integral: Rational::new(rec.integral as i128, denom),
+                peak_level: self.size_of(rec.peak),
+            })
+            .collect();
+        let active = self
+            .active
+            .iter()
+            .map(|&(item, bin, units)| (item, bin, self.size_of(units)))
+            .collect();
+        let now = self.now.map(|t| self.time_of(t));
+        crate::engine::PackingEngine::from_books(
+            open,
+            live,
+            closed,
+            active,
+            self.assignments,
+            self.bins.len() as u32,
+            now,
+            self.max_open,
+        )
     }
 
     /// Finalizes the run, converting every integer book back to the
@@ -515,7 +687,9 @@ impl TickEngine {
 }
 
 /// Runs `policy` over a prebuilt [`CompiledInstance`] (alias for
-/// [`CompiledInstance::run`], mirroring [`run_packing`]'s shape).
+/// [`CompiledInstance::run`], mirroring the legacy `run_packing`
+/// shims' shape; batch callers normally go through
+/// [`crate::session::Runner`]).
 pub fn run_packing_compiled(
     compiled: &CompiledInstance,
     policy: TickPolicy,
@@ -528,6 +702,10 @@ pub fn run_packing_compiled(
 /// the exact Rational engine via the corresponding `*Fast` algorithm.
 /// Both paths return the same outcome bit for bit (algorithm name
 /// included), so callers never observe which engine ran.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `dbp_core::session::Runner` with `Backend::Auto` and a policy algorithm"
+)]
 pub fn run_packing_auto(
     instance: &Instance,
     policy: TickPolicy,
@@ -536,7 +714,13 @@ pub fn run_packing_auto(
         Ok(compiled) => compiled.run(policy),
         Err(_) => {
             let mut algo = policy.fast_algo();
-            Ok(run_packing(instance, algo.as_mut())?.with_algorithm(policy.name()))
+            let out = crate::engine::runner_exact(
+                instance,
+                None,
+                algo.as_mut(),
+                &mut crate::observe::NoopObserver,
+            )?;
+            Ok(out.with_algorithm(policy.name()))
         }
     }
 }
@@ -545,6 +729,7 @@ pub fn run_packing_auto(
 mod tests {
     use super::*;
     use crate::algo::{BestFit, FirstFit, WorstFit};
+    use crate::session::Runner;
     use dbp_numeric::rat;
 
     /// A churny scenario: mid-run closures, exact fills, equal-time
@@ -613,7 +798,7 @@ mod tests {
         assert_eq!(c.origin(), rat(-3, 2));
         assert_eq!(c.items()[0].arrival, 0);
         let out = c.run(TickPolicy::FirstFit).unwrap();
-        let reference = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let reference = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
         assert_eq!(out, reference);
     }
 
@@ -630,7 +815,7 @@ mod tests {
         ] {
             let compiled = CompiledInstance::compile(&inst).unwrap();
             let tick = compiled.run(policy).unwrap();
-            let exact = run_packing(&inst, reference.as_mut()).unwrap();
+            let exact = Runner::new(&inst).run(reference.as_mut()).unwrap();
             assert_eq!(tick, exact, "{} diverged", policy.name());
         }
     }
@@ -643,7 +828,7 @@ mod tests {
         let b = compiled.run(TickPolicy::FirstFit).unwrap();
         assert_eq!(a, b);
         let bf = run_packing_compiled(&compiled, TickPolicy::BestFit).unwrap();
-        assert_eq!(bf, run_packing(&inst, &mut BestFit::new()).unwrap());
+        assert_eq!(bf, Runner::new(&inst).run(&mut BestFit::new()).unwrap());
     }
 
     #[test]
@@ -682,6 +867,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // compat-shim coverage: the legacy auto entry point
     fn auto_falls_back_to_the_rational_engine_on_overflow() {
         let inst = Instance::builder()
             .item(rat(1, 2), rat(1, 99991), rat(2, 1))
@@ -691,7 +877,7 @@ mod tests {
             .unwrap();
         assert!(CompiledInstance::compile(&inst).is_err());
         let auto = run_packing_auto(&inst, TickPolicy::FirstFit).unwrap();
-        let exact = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let exact = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
         assert_eq!(auto, exact); // same outcome, name included
     }
 
@@ -703,7 +889,7 @@ mod tests {
         let out = compiled.run(TickPolicy::FirstFit).unwrap();
         assert_eq!(out.bins_opened(), 0);
         assert_eq!(out.total_usage(), Rational::ZERO);
-        assert_eq!(out, run_packing(&inst, &mut FirstFit::new()).unwrap());
+        assert_eq!(out, Runner::new(&inst).run(&mut FirstFit::new()).unwrap());
     }
 
     #[test]

@@ -43,7 +43,7 @@ fn algorithms() -> Vec<Box<dyn PackingAlgorithm>> {
 /// Replays `inst` with `algo` and checks the universal outcome
 /// invariants shared by all algorithms.
 fn check_universal(inst: &Instance, algo: &mut dyn PackingAlgorithm) -> PackingOutcome {
-    let out = run_packing(inst, algo).unwrap_or_else(|e| {
+    let out = Runner::new(inst).run(algo).unwrap_or_else(|e| {
         panic!("{} failed on valid instance: {e}", algo.name());
     });
 
@@ -160,7 +160,7 @@ proptest! {
             Box::new(LastFit::new()),
             Box::new(RandomFit::seeded(7)),
         ] {
-            let out = run_packing(&inst, algo.as_mut()).unwrap();
+            let out = Runner::new(&inst).run(algo.as_mut()).unwrap();
             for bin in out.bins() {
                 let opener = bin.items[0];
                 let t = inst.item(opener).arrival();
@@ -197,7 +197,7 @@ proptest! {
     fn first_fit_chooses_earliest_feasible(inst in instance_strategy()) {
         // Sharper FF-specific check: each item went to the
         // earliest-opened bin that had room at its arrival.
-        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let out = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
         for item in inst.items() {
             let chosen = out.bin_of(item.id).unwrap();
             let t = item.arrival();
@@ -229,8 +229,8 @@ proptest! {
     #[test]
     fn runs_are_deterministic(inst in instance_strategy()) {
         for mut algo in algorithms() {
-            let a = run_packing(&inst, algo.as_mut()).unwrap();
-            let b = run_packing(&inst, algo.as_mut()).unwrap();
+            let a = Runner::new(&inst).run(algo.as_mut()).unwrap();
+            let b = Runner::new(&inst).run(algo.as_mut()).unwrap();
             prop_assert_eq!(a, b);
         }
     }
@@ -245,16 +245,16 @@ proptest! {
         dt in -20i128..=20,
     ) {
         let c = rat(c_num, c_den);
-        let base = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let base = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
 
         let scaled = inst.scaled_time(c);
-        let scaled_out = run_packing(&scaled, &mut FirstFit::new()).unwrap();
+        let scaled_out = Runner::new(&scaled).run(&mut FirstFit::new()).unwrap();
         prop_assert_eq!(scaled_out.assignments(), base.assignments());
         prop_assert_eq!(scaled_out.total_usage(), base.total_usage() * c);
         prop_assert_eq!(scaled.mu(), inst.mu());
 
         let moved = inst.translated(rat(dt, 1));
-        let moved_out = run_packing(&moved, &mut FirstFit::new()).unwrap();
+        let moved_out = Runner::new(&moved).run(&mut FirstFit::new()).unwrap();
         prop_assert_eq!(moved_out.assignments(), base.assignments());
         prop_assert_eq!(moved_out.total_usage(), base.total_usage());
     }
@@ -264,16 +264,16 @@ proptest! {
     #[test]
     fn concatenation_is_additive(a in instance_strategy(), b in instance_strategy()) {
         let joined = a.then(&b, Rational::ONE);
-        let cost_a = run_packing(&a, &mut FirstFit::new()).unwrap().total_usage();
-        let cost_b = run_packing(&b, &mut FirstFit::new()).unwrap().total_usage();
-        let cost_joined = run_packing(&joined, &mut FirstFit::new()).unwrap().total_usage();
+        let cost_a = Runner::new(&a).run(&mut FirstFit::new()).unwrap().total_usage();
+        let cost_b = Runner::new(&b).run(&mut FirstFit::new()).unwrap().total_usage();
+        let cost_joined = Runner::new(&joined).run(&mut FirstFit::new()).unwrap().total_usage();
         prop_assert_eq!(cost_joined, cost_a + cost_b);
     }
 
     #[test]
     fn hybrid_pools_are_class_pure(inst in instance_strategy()) {
         let mut hff = HybridFirstFit::classic();
-        let out = run_packing(&inst, &mut hff).unwrap();
+        let out = Runner::new(&inst).run(&mut hff).unwrap();
         for bin in out.bins() {
             let classes: Vec<usize> = bin
                 .items

@@ -39,8 +39,8 @@ fn assert_equivalent(
     fast: &mut dyn PackingAlgorithm,
     slow: &mut dyn PackingAlgorithm,
 ) -> Result<(), TestCaseError> {
-    let f: PackingOutcome = run_packing(inst, fast).expect("fast run succeeds");
-    let s: PackingOutcome = run_packing(inst, slow).expect("reference run succeeds");
+    let f: PackingOutcome = Runner::new(inst).run(fast).expect("fast run succeeds");
+    let s: PackingOutcome = Runner::new(inst).run(slow).expect("reference run succeeds");
     prop_assert_eq!(
         f.assignments(),
         s.assignments(),
@@ -77,8 +77,8 @@ proptest! {
     #[test]
     fn fast_algorithms_reset_cleanly(inst in instance_strategy()) {
         let mut ff = FirstFitFast::new();
-        let first = run_packing(&inst, &mut ff).unwrap();
-        let second = run_packing(&inst, &mut ff).unwrap();
+        let first = Runner::new(&inst).run(&mut ff).unwrap();
+        let second = Runner::new(&inst).run(&mut ff).unwrap();
         prop_assert_eq!(first, second);
     }
 }
@@ -103,8 +103,8 @@ fn staircase_equivalence_at_scale() {
         b = b.item(size, rat(i, 1), rat(i + window, 1));
     }
     let inst = b.build().unwrap();
-    let fast = run_packing(&inst, &mut FirstFitFast::new()).unwrap();
-    let slow = run_packing(&inst, &mut FirstFit::new()).unwrap();
+    let fast = Runner::new(&inst).run(&mut FirstFitFast::new()).unwrap();
+    let slow = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
     assert_eq!(fast.assignments(), slow.assignments());
     assert_eq!(fast.bins(), slow.bins());
     assert_eq!(fast.total_usage(), slow.total_usage());

@@ -76,14 +76,16 @@ fn assert_tick_equivalent(
 ) -> Result<(), TestCaseError> {
     let compiled = CompiledInstance::compile(inst).expect("strategy instances compile");
     let tick: PackingOutcome = compiled.run(policy).expect("tick run succeeds");
-    let exact: PackingOutcome = run_packing(inst, linear).expect("reference run succeeds");
+    let exact: PackingOutcome = Runner::new(inst)
+        .run(linear)
+        .expect("reference run succeeds");
     prop_assert_eq!(
         &tick,
         &exact,
         "tick {} diverged from reference",
         policy.name()
     );
-    let tree: PackingOutcome = run_packing(inst, fast).expect("fast run succeeds");
+    let tree: PackingOutcome = Runner::new(inst).run(fast).expect("fast run succeeds");
     prop_assert_eq!(tick.assignments(), tree.assignments());
     prop_assert_eq!(tick.bins(), tree.bins());
     prop_assert_eq!(tick.total_usage(), tree.total_usage());
@@ -152,8 +154,9 @@ proptest! {
             (TickPolicy::BestFit, Box::new(BestFit::new())),
             (TickPolicy::WorstFit, Box::new(WorstFit::new())),
         ] {
+            #[allow(deprecated)] // compat-shim coverage: the legacy auto entry point
             let auto = run_packing_auto(&inst, policy).expect("fallback run succeeds");
-            let exact = run_packing(&inst, linear.as_mut()).expect("reference run succeeds");
+            let exact = Runner::new(&inst).run(linear.as_mut()).expect("reference run succeeds");
             prop_assert_eq!(auto, exact, "fallback {} diverged", policy.name());
         }
     }
@@ -163,8 +166,9 @@ proptest! {
     #[test]
     fn auto_takes_the_tick_path_when_possible(inst in instance_strategy()) {
         prop_assert!(CompiledInstance::compile(&inst).is_ok());
+        #[allow(deprecated)] // compat-shim coverage: the legacy auto entry point
         let auto = run_packing_auto(&inst, TickPolicy::FirstFit).unwrap();
-        let exact = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let exact = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
         prop_assert_eq!(auto, exact);
     }
 }
@@ -190,7 +194,7 @@ fn staircase_tick_equivalence_at_scale() {
     assert_eq!(compiled.time_scale(), 1);
     assert_eq!(compiled.size_scale(), 100);
     let tick = compiled.run(TickPolicy::FirstFit).unwrap();
-    let exact = run_packing(&inst, &mut FirstFit::new()).unwrap();
+    let exact = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
     assert_eq!(tick, exact);
     assert!(tick.max_open_bins() >= window as usize / 2);
 }

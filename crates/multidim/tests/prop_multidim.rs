@@ -43,7 +43,7 @@ proptest! {
     /// d = 1 ⇒ vector First Fit ≡ scalar First Fit, exactly.
     #[test]
     fn d1_equivalence(inst in scalar_instance_strategy()) {
-        let scalar = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let scalar = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
         let lifted = MdInstance::from_scalar(&inst);
         let vector = run_md_packing(&lifted, &mut MdFirstFit::new()).unwrap();
         prop_assert_eq!(scalar.assignments(), vector.assignments());

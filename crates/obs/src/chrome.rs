@@ -111,7 +111,7 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Value {
 mod tests {
     use super::*;
     use crate::trace::TraceRecorder;
-    use dbp_core::{run_packing_observed, FirstFit, Instance};
+    use dbp_core::{FirstFit, Instance, Runner};
     use dbp_numeric::rat;
 
     #[test]
@@ -122,7 +122,10 @@ mod tests {
             .build()
             .unwrap();
         let mut rec = TraceRecorder::new();
-        let out = run_packing_observed(&jobs, &mut FirstFit::new(), &mut rec).unwrap();
+        let out = Runner::new(&jobs)
+            .observer(&mut rec)
+            .run(&mut FirstFit::new())
+            .unwrap();
         let doc = chrome_trace(rec.events());
         let events = doc.get("traceEvents").unwrap().as_array().unwrap();
         let ph = |p: &str| {

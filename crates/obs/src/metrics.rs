@@ -357,7 +357,7 @@ impl EngineObserver for EngineMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dbp_core::{run_packing_observed, FirstFit, Instance};
+    use dbp_core::{FirstFit, Instance, Runner};
     use dbp_numeric::rat;
 
     #[test]
@@ -404,7 +404,10 @@ mod tests {
             .build()
             .unwrap();
         let mut em = EngineMetrics::new();
-        let out = run_packing_observed(&jobs, &mut FirstFit::new(), &mut em).unwrap();
+        let out = Runner::new(&jobs)
+            .observer(&mut em)
+            .run(&mut FirstFit::new())
+            .unwrap();
         let m = em.registry();
         assert_eq!(m.counter("arrivals"), 3);
         assert_eq!(m.counter("departures"), 3);

@@ -191,7 +191,7 @@ fn check_usize(field: &'static str, derived: usize, reported: usize) -> Result<(
 mod tests {
     use super::*;
     use crate::trace::{events_to_jsonl, parse_jsonl, TraceRecorder};
-    use dbp_core::{run_packing_observed, BestFit, FirstFit, Instance, PackingAlgorithm};
+    use dbp_core::{BestFit, FirstFit, Instance, PackingAlgorithm, Runner};
     use dbp_numeric::rat;
 
     fn sample() -> Instance {
@@ -206,7 +206,7 @@ mod tests {
 
     fn run(algo: &mut dyn PackingAlgorithm) -> (Vec<TraceEvent>, dbp_core::PackingOutcome) {
         let mut rec = TraceRecorder::new();
-        let out = run_packing_observed(&sample(), algo, &mut rec).unwrap();
+        let out = Runner::new(&sample()).observer(&mut rec).run(algo).unwrap();
         (rec.into_events(), out)
     }
 

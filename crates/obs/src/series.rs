@@ -163,7 +163,7 @@ impl StepSeries {
 mod tests {
     use super::*;
     use crate::trace::TraceRecorder;
-    use dbp_core::{run_packing_observed, FirstFit, Instance};
+    use dbp_core::{FirstFit, Instance, Runner};
     use dbp_numeric::rat;
 
     fn traced(specs: &[(i128, i128, i128, i128)]) -> (StepSeries, dbp_core::PackingOutcome) {
@@ -175,7 +175,10 @@ mod tests {
         )
         .unwrap();
         let mut rec = TraceRecorder::new();
-        let out = run_packing_observed(&instance, &mut FirstFit::new(), &mut rec).unwrap();
+        let out = Runner::new(&instance)
+            .observer(&mut rec)
+            .run(&mut FirstFit::new())
+            .unwrap();
         (StepSeries::from_events(rec.events()), out)
     }
 

@@ -297,7 +297,7 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dbp_core::{run_packing_observed, FirstFit, Instance};
+    use dbp_core::{FirstFit, Instance, Runner};
     use dbp_numeric::rat;
 
     fn sample() -> Instance {
@@ -311,7 +311,10 @@ mod tests {
 
     fn record() -> (Vec<TraceEvent>, dbp_core::PackingOutcome) {
         let mut rec = TraceRecorder::new();
-        let out = run_packing_observed(&sample(), &mut FirstFit::new(), &mut rec).unwrap();
+        let out = Runner::new(&sample())
+            .observer(&mut rec)
+            .run(&mut FirstFit::new())
+            .unwrap();
         (rec.into_events(), out)
     }
 

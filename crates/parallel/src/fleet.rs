@@ -1,0 +1,516 @@
+//! Sharded multi-tenant streaming: a fleet of independent sessions.
+//!
+//! A [`Fleet`] owns `N` independent [`Session`]s (shards) — e.g. one
+//! per tenant, availability zone, or server pool — and dispatches
+//! batched events to them on the crate's scoped worker threads. Each
+//! shard's events are always applied **by a single worker, in batch
+//! order**, so every shard's packing is exactly what a standalone
+//! session fed the same subsequence would produce: parallelism never
+//! changes results, only wall-clock time.
+//!
+//! Work distribution is the same fetch-add claim queue as
+//! [`crate::par_map`]: workers claim whole shard batches, so a fleet
+//! with a few hot shards and many idle ones load-balances without any
+//! cross-shard locking on the hot path.
+//!
+//! ```
+//! use dbp_core::prelude::*;
+//! use dbp_core::FirstFit;
+//! use dbp_numeric::rat;
+//! use dbp_par::Fleet;
+//!
+//! let mut fleet = Fleet::homogeneous(2, || FirstFit::new()).unwrap();
+//! fleet
+//!     .dispatch(&[
+//!         (0, Event::Arrive { id: ItemId(0), size: rat(1, 2), time: rat(0, 1) }),
+//!         (1, Event::Arrive { id: ItemId(0), size: rat(1, 3), time: rat(0, 1) }),
+//!         (0, Event::Depart { id: ItemId(0), time: rat(1, 1) }),
+//!         (1, Event::Depart { id: ItemId(0), time: rat(2, 1) }),
+//!     ])
+//!     .unwrap();
+//! let outcomes = fleet.finish().unwrap();
+//! assert_eq!(outcomes[0].total_usage(), rat(1, 1));
+//! assert_eq!(outcomes[1].total_usage(), rat(2, 1));
+//! ```
+
+use dbp_core::session::{Event, Session, SessionError, SessionMetrics};
+use dbp_core::{PackingAlgorithm, PackingOutcome};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A rejected event, located by shard and by its index in the
+/// dispatched batch.
+#[derive(Debug)]
+pub struct FleetError {
+    /// Shard whose session rejected the event.
+    pub shard: usize,
+    /// Index of the offending event in the dispatched slice.
+    pub index: usize,
+    /// The session's typed rejection.
+    pub error: SessionError,
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shard {} rejected event #{}: {}",
+            self.shard, self.index, self.error
+        )
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// `N` independent streaming sessions driven as one unit.
+///
+/// Shards are fully isolated: each has its own algorithm state, bins,
+/// clock, and journal. The fleet adds routing ([`Fleet::dispatch`]
+/// (Self::dispatch) takes `(shard, event)` pairs), parallel batch
+/// application, aggregated [`metrics`](Self::metrics), and a
+/// collective [`finish`](Self::finish).
+pub struct Fleet<'s> {
+    shards: Vec<Session<'s>>,
+}
+
+impl fmt::Debug for Fleet<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Fleet")
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'s> Fleet<'s> {
+    /// Assembles a fleet from already-built sessions (shard `i` is
+    /// `sessions[i]`). Use this for heterogeneous fleets — different
+    /// algorithms, backends, or grids per shard.
+    pub fn new(sessions: Vec<Session<'s>>) -> Fleet<'s> {
+        Fleet { shards: sessions }
+    }
+
+    /// Builds `n` shards running identical fresh algorithms with
+    /// default session settings.
+    pub fn homogeneous<A, F>(n: usize, mut make: F) -> Result<Fleet<'s>, SessionError>
+    where
+        A: PackingAlgorithm + 's,
+        F: FnMut() -> A,
+    {
+        let shards = (0..n)
+            .map(|_| Session::builder(make()).build())
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Fleet { shards })
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// `true` for a fleet with no shards.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Read access to one shard's session.
+    ///
+    /// # Panics
+    /// If `shard` is out of range.
+    pub fn session(&self, shard: usize) -> &Session<'s> {
+        &self.shards[shard]
+    }
+
+    /// Mutable access to one shard's session, for driving a single
+    /// shard directly (`arrive`/`depart`/`snapshot`).
+    ///
+    /// # Panics
+    /// If `shard` is out of range.
+    pub fn session_mut(&mut self, shard: usize) -> &mut Session<'s> {
+        &mut self.shards[shard]
+    }
+
+    /// Applies a batch of routed events, in parallel across shards.
+    ///
+    /// Events for the same shard are applied in slice order by a
+    /// single worker; events for different shards are independent, so
+    /// their relative order is irrelevant. A shard that rejects an
+    /// event stops processing *its* remaining events (the rejection
+    /// leaves that session unchanged, like any [`Session`] error);
+    /// other shards are unaffected and keep going. Errors come back
+    /// sorted by shard id, so failures are deterministic too.
+    ///
+    /// Routing is validated up front: an out-of-range shard id
+    /// ([`SessionError::UnknownShard`]) aborts the whole dispatch
+    /// before *any* event is applied, so a typo'd route never leaves
+    /// the batch half-ingested.
+    pub fn dispatch(&mut self, events: &[(usize, Event)]) -> Result<(), Vec<FleetError>> {
+        // Validate routing first: a typo'd shard id should not leave
+        // half the batch applied.
+        let routing: Vec<FleetError> = events
+            .iter()
+            .enumerate()
+            .filter(|(_, (shard, _))| *shard >= self.shards.len())
+            .map(|(index, (shard, _))| FleetError {
+                shard: *shard,
+                index,
+                error: SessionError::UnknownShard {
+                    shard: *shard,
+                    shards: self.shards.len(),
+                },
+            })
+            .collect();
+        if !routing.is_empty() {
+            return Err(routing);
+        }
+
+        // Group per shard: (shard, ordered event indices).
+        let mut batches: Vec<(usize, Vec<usize>)> = Vec::new();
+        {
+            let mut slot: Vec<Option<usize>> = vec![None; self.shards.len()];
+            for (index, (shard, _)) in events.iter().enumerate() {
+                match slot[*shard] {
+                    Some(b) => batches[b].1.push(index),
+                    None => {
+                        slot[*shard] = Some(batches.len());
+                        batches.push((*shard, vec![index]));
+                    }
+                }
+            }
+        }
+
+        // One mutex per *touched* shard. Uncontended by construction —
+        // every shard batch is claimed exactly once — the lock is just
+        // the safe handoff of `&mut Session` to whichever worker
+        // claimed it.
+        let mut errors: Vec<FleetError> = Vec::new();
+        {
+            let sessions: Vec<Mutex<(&mut Session<'s>, Vec<usize>)>> = {
+                let mut picked: Vec<(usize, Vec<usize>)> = batches;
+                picked.sort_unstable_by_key(|(shard, _)| *shard);
+                let mut out = Vec::with_capacity(picked.len());
+                let mut rest = self.shards.as_mut_slice();
+                let mut offset = 0usize;
+                for (shard, indices) in picked {
+                    let (_, tail) = rest.split_at_mut(shard - offset);
+                    let (head, tail) = tail.split_at_mut(1);
+                    out.push(Mutex::new((&mut head[0], indices)));
+                    rest = tail;
+                    offset = shard + 1;
+                }
+                out
+            };
+
+            let threads = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .clamp(1, sessions.len().max(1));
+            let next = AtomicUsize::new(0);
+            let sink = Mutex::new(&mut errors);
+
+            crossbeam::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|_| loop {
+                        let b = next.fetch_add(1, Ordering::Relaxed);
+                        if b >= sessions.len() {
+                            break;
+                        }
+                        let mut guard = sessions[b].lock().unwrap();
+                        let (ref mut session, ref indices) = *guard;
+                        let shard_errors: Vec<FleetError> = run_shard(session, indices, events);
+                        if !shard_errors.is_empty() {
+                            sink.lock().unwrap().extend(shard_errors);
+                        }
+                    });
+                }
+            })
+            .expect("fleet worker panicked");
+        }
+
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            errors.sort_by_key(|e| (e.shard, e.index));
+            Err(errors)
+        }
+    }
+
+    /// Routes a flat event stream through `router` and dispatches it:
+    /// `router` maps each event to its shard.
+    pub fn dispatch_routed<F>(&mut self, events: &[Event], router: F) -> Result<(), Vec<FleetError>>
+    where
+        F: Fn(&Event) -> usize,
+    {
+        let routed: Vec<(usize, Event)> = events.iter().map(|e| (router(e), *e)).collect();
+        self.dispatch(&routed)
+    }
+
+    /// Live per-shard metrics, indexed by shard.
+    pub fn metrics(&self) -> Vec<SessionMetrics> {
+        self.shards.iter().map(Session::metrics).collect()
+    }
+
+    /// Finishes every shard, returning per-shard outcomes in shard
+    /// order. The first shard still holding active items fails the
+    /// whole fleet (matching [`Session::finish`]).
+    pub fn finish(self) -> Result<Vec<PackingOutcome>, FleetError> {
+        self.shards
+            .into_iter()
+            .enumerate()
+            .map(|(shard, session)| {
+                session.finish().map_err(|error| FleetError {
+                    shard,
+                    index: 0,
+                    error,
+                })
+            })
+            .collect()
+    }
+}
+
+/// Applies one shard's events in order, stopping at the first
+/// rejection.
+fn run_shard(
+    session: &mut Session<'_>,
+    indices: &[usize],
+    events: &[(usize, Event)],
+) -> Vec<FleetError> {
+    for &index in indices {
+        let (shard, ref event) = events[index];
+        if let Err(error) = session.apply(event) {
+            return vec![FleetError {
+                shard,
+                index,
+                error,
+            }];
+        }
+    }
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_core::session::Backend;
+    use dbp_core::{FirstFit, ItemId, NextFit, Runner};
+    use dbp_numeric::rat;
+
+    fn arrive(id: u32, num: i128, den: i128, t: i128) -> Event {
+        Event::Arrive {
+            id: ItemId(id),
+            size: rat(num, den),
+            time: rat(t, 1),
+        }
+    }
+
+    fn depart(id: u32, t: i128) -> Event {
+        Event::Depart {
+            id: ItemId(id),
+            time: rat(t, 1),
+        }
+    }
+
+    /// A deterministic multi-shard stream: shard s gets items with
+    /// sizes cycling 1/2, 1/3, 1/4 and lifetimes staggered by shard.
+    fn stream(shards: usize, per_shard: u32) -> Vec<(usize, Event)> {
+        let mut events = Vec::new();
+        for s in 0..shards {
+            for i in 0..per_shard {
+                let t = i as i128;
+                events.push((s, arrive(i, 1, 2 + ((i as i128 + s as i128) % 3), t)));
+                events.push((s, depart(i, t + 2 + s as i128)));
+            }
+        }
+        // Per shard the order must stay time-sorted; across shards we
+        // interleave to exercise the claim queue.
+        events.sort_by_key(|(shard, e)| (e.time(), *shard));
+        events
+    }
+
+    #[test]
+    fn fleet_matches_standalone_sessions() {
+        let shards = 4;
+        let events = stream(shards, 24);
+        let mut fleet = Fleet::homogeneous(shards, FirstFit::new).unwrap();
+        fleet.dispatch(&events).unwrap();
+        let outcomes = fleet.finish().unwrap();
+
+        for (s, outcome) in outcomes.iter().enumerate() {
+            let mut solo = Session::builder(FirstFit::new()).build().unwrap();
+            for (shard, event) in &events {
+                if *shard == s {
+                    solo.apply(event).unwrap();
+                }
+            }
+            assert_eq!(outcome, &solo.finish().unwrap(), "shard {s}");
+        }
+    }
+
+    #[test]
+    fn dispatch_is_deterministic_across_repeats() {
+        let events = stream(8, 16);
+        let run = || {
+            let mut fleet = Fleet::homogeneous(8, FirstFit::new).unwrap();
+            fleet.dispatch(&events).unwrap();
+            fleet.finish().unwrap()
+        };
+        let first = run();
+        for _ in 0..4 {
+            assert_eq!(run(), first);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_shards_keep_their_algorithms() {
+        let mut fleet = Fleet::new(vec![
+            Session::builder(FirstFit::new()).build().unwrap(),
+            Session::builder(NextFit::new()).build().unwrap(),
+        ]);
+        assert_eq!(fleet.session(0).algorithm(), "FirstFit");
+        assert_eq!(fleet.session(1).algorithm(), "NextFit");
+        fleet
+            .dispatch(&[
+                (0, arrive(0, 1, 2, 0)),
+                (1, arrive(0, 1, 2, 0)),
+                (0, depart(0, 3)),
+                (1, depart(0, 3)),
+            ])
+            .unwrap();
+        let m = fleet.metrics();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].events, 2);
+        assert_eq!(m[1].events, 2);
+        fleet.finish().unwrap();
+    }
+
+    #[test]
+    fn bad_routing_aborts_before_any_event_applies() {
+        let mut fleet = Fleet::homogeneous(2, FirstFit::new).unwrap();
+        let errs = fleet
+            .dispatch(&[(0, arrive(0, 1, 2, 0)), (7, arrive(1, 1, 2, 0))])
+            .unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].shard, 7);
+        assert_eq!(errs[0].index, 1);
+        assert!(matches!(
+            errs[0].error,
+            SessionError::UnknownShard {
+                shard: 7,
+                shards: 2
+            }
+        ));
+        // Nothing was applied, including to the valid shard 0.
+        assert_eq!(fleet.metrics()[0].events, 0);
+    }
+
+    #[test]
+    fn shard_failure_is_isolated_and_located() {
+        let mut fleet = Fleet::homogeneous(3, FirstFit::new).unwrap();
+        let errs = fleet
+            .dispatch(&[
+                (0, arrive(0, 1, 2, 0)),
+                (1, arrive(0, 1, 2, 5)),
+                (1, arrive(1, 1, 2, 3)), // time regression on shard 1
+                (1, arrive(2, 1, 2, 9)), // never applied
+                (2, arrive(0, 1, 2, 0)),
+            ])
+            .unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert_eq!((errs[0].shard, errs[0].index), (1, 2));
+        // Healthy shards absorbed their events; the failed shard kept
+        // its pre-rejection state and stopped there.
+        let m = fleet.metrics();
+        assert_eq!(m[0].events, 1);
+        assert_eq!(m[1].events, 1);
+        assert_eq!(m[2].events, 1);
+    }
+
+    #[test]
+    fn routed_dispatch_by_item_id() {
+        let mut fleet = Fleet::homogeneous(2, FirstFit::new).unwrap();
+        let events = vec![
+            arrive(0, 1, 2, 0),
+            arrive(1, 1, 2, 0),
+            depart(0, 1),
+            depart(1, 2),
+        ];
+        fleet
+            .dispatch_routed(&events, |e| e.id().0 as usize % 2)
+            .unwrap();
+        let outcomes = fleet.finish().unwrap();
+        assert_eq!(outcomes[0].total_usage(), rat(1, 1));
+        assert_eq!(outcomes[1].total_usage(), rat(2, 1));
+    }
+
+    #[test]
+    fn tick_shards_match_exact_shards() {
+        // Integer-friendly stream: Auto sessions engage the tick path
+        // and must agree with Exact sessions shard for shard.
+        let events = stream(3, 12);
+        let mut auto = Fleet::homogeneous(3, FirstFit::new).unwrap();
+        let mut exact = Fleet::new(
+            (0..3)
+                .map(|_| {
+                    Session::builder(FirstFit::new())
+                        .backend(Backend::Exact)
+                        .build()
+                        .unwrap()
+                })
+                .collect(),
+        );
+        auto.dispatch(&events).unwrap();
+        exact.dispatch(&events).unwrap();
+        assert_eq!(auto.finish().unwrap(), exact.finish().unwrap());
+    }
+
+    #[test]
+    fn empty_fleet_and_empty_dispatch() {
+        let mut none = Fleet::homogeneous(0, FirstFit::new).unwrap();
+        assert!(none.is_empty());
+        none.dispatch(&[]).unwrap();
+        assert!(none.finish().unwrap().is_empty());
+
+        let mut idle = Fleet::homogeneous(2, FirstFit::new).unwrap();
+        idle.dispatch(&[]).unwrap();
+        let outcomes = idle.finish().unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes.iter().all(|o| o.bins().is_empty()));
+    }
+
+    #[test]
+    fn single_shard_fleet_equals_batch_runner() {
+        use dbp_core::Instance;
+        let instance = Instance::builder()
+            .item(rat(1, 2), rat(0, 1), rat(2, 1))
+            .item(rat(2, 3), rat(1, 1), rat(3, 1))
+            .item(rat(1, 4), rat(1, 1), rat(4, 1))
+            .build()
+            .unwrap();
+        let schedule = dbp_core::event_schedule(&instance);
+        let events: Vec<(usize, Event)> = schedule
+            .iter()
+            .map(|entry| {
+                let item = instance.item(entry.payload);
+                (
+                    0usize,
+                    match entry.class {
+                        dbp_simcore::EventClass::Departure => Event::Depart {
+                            id: item.id,
+                            time: entry.time,
+                        },
+                        _ => Event::Arrive {
+                            id: item.id,
+                            size: item.size,
+                            time: entry.time,
+                        },
+                    },
+                )
+            })
+            .collect();
+        let mut fleet = Fleet::homogeneous(1, FirstFit::new).unwrap();
+        fleet.dispatch(&events).unwrap();
+        let fleet_outcome = fleet.finish().unwrap().remove(0);
+        let batch = Runner::new(&instance).run(&mut FirstFit::new()).unwrap();
+        assert_eq!(fleet_outcome, batch);
+    }
+}

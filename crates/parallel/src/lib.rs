@@ -19,6 +19,15 @@
 //! let squares = dbp_par::par_map(&[1u64, 2, 3, 4], |&x| x * x);
 //! assert_eq!(squares, vec![1, 4, 9, 16]);
 //! ```
+//!
+//! The [`fleet`] module extends the same worker model from
+//! independent *cells* to independent *streaming sessions*: a sharded
+//! [`Fleet`] of `dbp-core` sessions fed batched events with
+//! deterministic per-shard results.
+
+pub mod fleet;
+
+pub use fleet::{Fleet, FleetError};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 

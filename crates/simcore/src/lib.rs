@@ -24,6 +24,11 @@
 //!   alternative to the heap with the *same* `(time, class, seq)`
 //!   contract: built once, replayed per algorithm at zero per-run
 //!   cost.
+//! * **Streaming events.** When the event set is *not* known up
+//!   front (live ingestion), [`StreamEvent`] is the wire type: an
+//!   arrival carries only the item's size and time — never its
+//!   departure — matching the online model the packing layer
+//!   enforces.
 //! * **Time-weighted statistics.** [`stats::TimeWeighted`] integrates
 //!   step functions of time exactly — this is how bin levels,
 //!   open-server counts and `∫ OPT(R,t) dt` style quantities are
@@ -32,7 +37,9 @@
 pub mod queue;
 pub mod schedule;
 pub mod stats;
+pub mod stream;
 
 pub use queue::{EventClass, EventQueue, ScheduledEvent};
 pub use schedule::EventSchedule;
 pub use stats::{Counter, StepIntegrator, SummaryStats, TimeWeighted};
+pub use stream::StreamEvent;

@@ -1,0 +1,171 @@
+//! Streaming event types for online ingestion.
+//!
+//! Batch replay knows the full event set up front and pre-sorts it
+//! ([`crate::EventSchedule`]); a *streaming* consumer sees events one
+//! at a time, in the order the outside world produces them. A
+//! [`StreamEvent`] is one such wire event: an arrival carrying the
+//! item's size, or a departure. Departure times are never attached to
+//! arrivals — the online contract of the MinUsageTime DBP model is
+//! that an item's departure is revealed only by its departure event.
+//!
+//! The payload type `T` identifies the item (the packing layer uses
+//! its `ItemId`). Events serialize through the workspace `serde`
+//! stand-in as externally-tagged objects —
+//! `{"arrive": {"id": …, "size": …, "time": …}}` /
+//! `{"depart": {"id": …, "time": …}}` — which is also the JSONL line
+//! format the CLI `stream` command consumes.
+
+use dbp_numeric::Rational;
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// One wire event of an online arrival/departure stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamEvent<T> {
+    /// An item arrives with `size` at `time`; its departure is
+    /// unknown until a matching [`Depart`](Self::Depart) shows up.
+    Arrive {
+        /// Item identifier.
+        id: T,
+        /// Item size (the packing layer expects it in `(0, 1]`).
+        size: Rational,
+        /// Arrival time.
+        time: Rational,
+    },
+    /// The item identified by `id` departs at `time`.
+    Depart {
+        /// Item identifier.
+        id: T,
+        /// Departure time.
+        time: Rational,
+    },
+}
+
+impl<T: Copy> StreamEvent<T> {
+    /// The event's item identifier.
+    pub fn id(&self) -> T {
+        match *self {
+            StreamEvent::Arrive { id, .. } | StreamEvent::Depart { id, .. } => id,
+        }
+    }
+
+    /// The event's timestamp.
+    pub fn time(&self) -> Rational {
+        match *self {
+            StreamEvent::Arrive { time, .. } | StreamEvent::Depart { time, .. } => time,
+        }
+    }
+
+    /// `true` for an arrival.
+    pub fn is_arrival(&self) -> bool {
+        matches!(self, StreamEvent::Arrive { .. })
+    }
+}
+
+// The vendored `serde_derive` does not handle generic types, so the
+// externally-tagged enum encoding is written out by hand.
+impl<T: Serialize> Serialize for StreamEvent<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            StreamEvent::Arrive { id, size, time } => Value::Object(vec![(
+                "arrive".to_string(),
+                Value::Object(vec![
+                    ("id".to_string(), id.to_value()),
+                    ("size".to_string(), size.to_value()),
+                    ("time".to_string(), time.to_value()),
+                ]),
+            )]),
+            StreamEvent::Depart { id, time } => Value::Object(vec![(
+                "depart".to_string(),
+                Value::Object(vec![
+                    ("id".to_string(), id.to_value()),
+                    ("time".to_string(), time.to_value()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for StreamEvent<T> {
+    fn from_value(v: &Value) -> Result<StreamEvent<T>, Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| Error::custom("stream event: expected an object"))?;
+        let [(tag, body)] = obj else {
+            return Err(Error::custom(
+                "stream event: expected exactly one of `arrive`/`depart`",
+            ));
+        };
+        let field = |name: &str| -> Result<&Value, Error> {
+            body.as_object()
+                .and_then(|fields| fields.iter().find_map(|(k, v)| (k == name).then_some(v)))
+                .ok_or_else(|| Error::custom(format!("stream event: missing field `{name}`")))
+        };
+        match tag.as_str() {
+            "arrive" => Ok(StreamEvent::Arrive {
+                id: T::from_value(field("id")?)?,
+                size: Rational::from_value(field("size")?)?,
+                time: Rational::from_value(field("time")?)?,
+            }),
+            "depart" => Ok(StreamEvent::Depart {
+                id: T::from_value(field("id")?)?,
+                time: Rational::from_value(field("time")?)?,
+            }),
+            other => Err(Error::custom(format!(
+                "stream event: unknown tag `{other}` (expected `arrive` or `depart`)"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_numeric::rat;
+
+    #[test]
+    fn accessors_expose_id_time_kind() {
+        let a = StreamEvent::Arrive {
+            id: 3u32,
+            size: rat(1, 2),
+            time: rat(5, 1),
+        };
+        let d = StreamEvent::Depart {
+            id: 3u32,
+            time: rat(7, 1),
+        };
+        assert_eq!(a.id(), 3);
+        assert_eq!(a.time(), rat(5, 1));
+        assert!(a.is_arrival());
+        assert_eq!(d.id(), 3);
+        assert_eq!(d.time(), rat(7, 1));
+        assert!(!d.is_arrival());
+    }
+
+    #[test]
+    fn events_round_trip_through_the_data_model() {
+        let events = vec![
+            StreamEvent::Arrive {
+                id: 0u32,
+                size: rat(3, 10),
+                time: rat(-1, 2),
+            },
+            StreamEvent::Depart {
+                id: 0u32,
+                time: rat(9, 4),
+            },
+        ];
+        for ev in &events {
+            let back = StreamEvent::<u32>::from_value(&ev.to_value()).unwrap();
+            assert_eq!(back, *ev);
+        }
+    }
+
+    #[test]
+    fn malformed_values_are_typed_errors() {
+        assert!(StreamEvent::<u32>::from_value(&Value::Int(3)).is_err());
+        let unknown = Value::Object(vec![("jump".into(), Value::Object(vec![]))]);
+        assert!(StreamEvent::<u32>::from_value(&unknown).is_err());
+        let missing = Value::Object(vec![("arrive".into(), Value::Object(vec![]))]);
+        assert!(StreamEvent::<u32>::from_value(&missing).is_err());
+    }
+}

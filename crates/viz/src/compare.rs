@@ -74,7 +74,7 @@ mod tests {
     #[test]
     fn gadget_comparison_shows_divergence() {
         let (inst, _) = next_fit_pairs(6, 4);
-        let nf = run_packing(&inst, &mut NextFit::new()).unwrap();
+        let nf = Runner::new(&inst).run(&mut NextFit::new()).unwrap();
         let s = comparison(&inst, &nf, 48);
         // Next Fit holds 6 bins open for the whole horizon; the
         // adversary drops to 1 after t = 1.
@@ -91,7 +91,7 @@ mod tests {
             .item(rat(1, 2), rat(0, 1), rat(4, 1))
             .build()
             .unwrap();
-        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let out = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
         let s = comparison(&inst, &out, 24);
         let lines: Vec<&str> = s.lines().collect();
         let alg: String = lines[0].chars().skip(5).take(24).collect();
@@ -103,7 +103,7 @@ mod tests {
     fn dense_fleets_saturate_to_plus() {
         let specs: Vec<_> = (0..12).map(|_| (rat(1, 1), rat(0, 1), rat(1, 1))).collect();
         let inst = Instance::new(specs).unwrap();
-        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let out = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
         let s = comparison(&inst, &out, 16);
         assert!(s.contains('+'), "{s}");
     }

@@ -82,7 +82,7 @@ mod tests {
             .item(rat(1, 1), rat(0, 1), rat(4, 1))
             .build()
             .unwrap();
-        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let out = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
         let s = levels(&inst, &out, 16);
         assert!(s.contains('█'));
         assert!(s.contains("mean 1.00"));
@@ -94,7 +94,7 @@ mod tests {
             .item(rat(1, 2), rat(0, 1), rat(4, 1))
             .build()
             .unwrap();
-        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let out = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
         let s = levels(&inst, &out, 16);
         // ⌈8·(1/2)⌉ = 4 → '▄'.
         assert!(s.contains('▄'), "{s}");
@@ -108,7 +108,7 @@ mod tests {
             .item(rat(1, 2), rat(3, 1), rat(4, 1))
             .build()
             .unwrap();
-        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let out = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
         let s = levels(&inst, &out, 16);
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 3); // two bins + axis
@@ -124,7 +124,7 @@ mod tests {
             .item(rat(3, 4), rat(4, 1), rat(8, 1))
             .build()
             .unwrap();
-        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let out = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
         let s = levels(&inst, &out, 16);
         // First half at 1/4 (block 2 = ▂), second half full (█).
         assert!(s.contains('▂'), "{s}");

@@ -174,7 +174,7 @@ mod tests {
             .item(rat(2, 5), rat(1, 1), rat(3, 1))
             .build()
             .unwrap();
-        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let out = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
         (inst, out)
     }
 
@@ -223,7 +223,7 @@ mod tests {
     fn empty_instance_renders_gracefully() {
         let inst = Instance::new(vec![]).unwrap();
         assert!(timeline(&inst, 40).contains("empty"));
-        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let out = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
         assert!(
             usage(&inst, &out, 40).contains("empty") || usage(&inst, &out, 40).contains("no bins")
         );

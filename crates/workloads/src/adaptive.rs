@@ -270,7 +270,7 @@ mod tests {
     use super::*;
     use dbp_analysis::measure_ratio;
     use dbp_core::{
-        run_packing, BestFit, DepartureAlignedFit, FirstFit, HybridFirstFit, NextFit, WorstFit,
+        BestFit, DepartureAlignedFit, FirstFit, HybridFirstFit, NextFit, Runner, WorstFit,
     };
 
     #[test]
@@ -293,7 +293,7 @@ mod tests {
                 "algorithm should pay kµ"
             );
             // Realized instance prices close to µ against exact OPT.
-            let rerun = run_packing(&result.instance, algo.as_mut()).unwrap();
+            let rerun = Runner::new(&result.instance).run(algo.as_mut()).unwrap();
             assert_eq!(
                 rerun.total_usage(),
                 result.algorithm_cost,
@@ -315,7 +315,9 @@ mod tests {
         let result = play(&mut adv, &mut hff, 10_000).unwrap();
         // Large bins contain no small item → everything there departs
         // at 1; only the shared tiny bin lives to µ.
-        let rerun = run_packing(&result.instance, &mut HybridFirstFit::classic()).unwrap();
+        let rerun = Runner::new(&result.instance)
+            .run(&mut HybridFirstFit::classic())
+            .unwrap();
         let rep = measure_ratio(&result.instance, &rerun);
         let ratio = rep.exact_ratio().or(rep.ratio_upper).unwrap();
         assert!(ratio < rat(3, 2), "HFF should escape, got {ratio}");
@@ -331,7 +333,7 @@ mod tests {
         let mut probe = FirstFit::new();
         let result = play(&mut adv, &mut probe, 10_000).unwrap();
         let mut cv = DepartureAlignedFit::new(&result.instance);
-        let out = run_packing(&result.instance, &mut cv).unwrap();
+        let out = Runner::new(&result.instance).run(&mut cv).unwrap();
         assert!(
             out.total_usage() < result.algorithm_cost,
             "clairvoyant {} !< online {}",

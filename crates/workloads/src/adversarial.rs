@@ -236,7 +236,7 @@ mod tests {
         for (n, mu) in [(4u32, 3u32), (6, 2), (5, 4)] {
             let (inst, pred) = next_fit_pairs(n, mu);
             assert_eq!(inst.mu(), Some(pred.mu));
-            let out = run_packing(&inst, &mut NextFit::new()).unwrap();
+            let out = Runner::new(&inst).run(&mut NextFit::new()).unwrap();
             assert_eq!(out.total_usage(), pred.algorithm_cost, "n={n} µ={mu}");
             assert_eq!(out.bins_opened(), n as usize);
             let rep = measure_ratio(&inst, &out);
@@ -271,7 +271,7 @@ mod tests {
             Box::new(WorstFit::new()),
             Box::new(NextFit::new()),
         ] {
-            let out = run_packing(&inst, algo.as_mut()).unwrap();
+            let out = Runner::new(&inst).run(algo.as_mut()).unwrap();
             assert_eq!(
                 out.total_usage(),
                 pred.algorithm_cost,
@@ -280,12 +280,14 @@ mod tests {
             );
         }
         // Hybrid First Fit defeats the gadget.
-        let hff = run_packing(&inst, &mut HybridFirstFit::classic()).unwrap();
+        let hff = Runner::new(&inst)
+            .run(&mut HybridFirstFit::classic())
+            .unwrap();
         assert!(hff.total_usage() < pred.algorithm_cost);
         // k larges (one bin each, duration 1) + 1 tiny bin (duration µ).
         assert_eq!(hff.total_usage(), rat(8, 1) + rat(4, 1));
         // Exact adversary matches the prediction.
-        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let out = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
         let rep = measure_ratio(&inst, &out);
         assert_eq!(rep.opt_lower, pred.opt_cost);
     }
@@ -300,7 +302,7 @@ mod tests {
             Box::new(LastFit::new()),
             Box::new(RandomFit::seeded(5)),
         ] {
-            let out = run_packing(&inst, algo.as_mut()).unwrap();
+            let out = Runner::new(&inst).run(algo.as_mut()).unwrap();
             assert_eq!(out.bins_opened(), 6, "{}", out.algorithm());
             assert_eq!(
                 out.total_usage(),
@@ -309,7 +311,7 @@ mod tests {
                 out.algorithm()
             );
         }
-        let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let out = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
         let rep = measure_ratio(&inst, &out);
         assert_eq!(rep.opt_lower, pred.opt_cost, "adversary cost");
         // Measured ratio matches the closed form exactly and sits
@@ -338,8 +340,8 @@ mod tests {
     #[test]
     fn scatter_separates_best_fit_from_first_fit() {
         let (inst, pred) = best_fit_scatter(8, 6);
-        let bf = run_packing(&inst, &mut BestFit::new()).unwrap();
-        let ff = run_packing(&inst, &mut FirstFit::new()).unwrap();
+        let bf = Runner::new(&inst).run(&mut BestFit::new()).unwrap();
+        let ff = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
         // BF scatters probes into fresh bins: k bins × µ.
         assert_eq!(bf.total_usage(), pred.algorithm_cost);
         assert_eq!(bf.bins_opened(), 8);

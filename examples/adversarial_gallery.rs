@@ -14,7 +14,7 @@ use mindbp::workloads::adversarial::{
 fn main() {
     println!("§VIII — Next Fit pair gadget (n = 16, µ = 4)");
     let (inst, pred) = next_fit_pairs(16, 4);
-    let nf = run_packing(&inst, &mut NextFit::new()).unwrap();
+    let nf = Runner::new(&inst).run(&mut NextFit::new()).unwrap();
     let rep = measure_ratio(&inst, &nf);
     println!(
         "  predicted NF cost {} / OPT {}",
@@ -36,7 +36,7 @@ fn main() {
         Box::new(NextFit::new()),
         Box::new(HybridFirstFit::classic()),
     ] {
-        let out = run_packing(&inst, algo.as_mut()).unwrap();
+        let out = Runner::new(&inst).run(algo.as_mut()).unwrap();
         let rep = measure_ratio(&inst, &out);
         println!(
             "  {:<20} cost {:>4} ratio {}",
@@ -52,7 +52,7 @@ fn main() {
 
     println!("\nAny-Fit gap-ladder (n = 10, µ = 3): forced ratio → µ+1");
     let (inst, pred) = any_fit_ladder(10, 3);
-    let out = run_packing(&inst, &mut WorstFit::new()).unwrap();
+    let out = Runner::new(&inst).run(&mut WorstFit::new()).unwrap();
     let rep = measure_ratio(&inst, &out);
     println!(
         "  WorstFit cost {} vs OPT {} → ratio {} (predicted {}, limit µ+1 = {})",
@@ -65,8 +65,8 @@ fn main() {
 
     println!("\nBest Fit scatter gadget (k = 10, µ = 8): BF scatters, FF is optimal");
     let (inst, pred) = best_fit_scatter(10, 8);
-    let bf = run_packing(&inst, &mut BestFit::new()).unwrap();
-    let ff = run_packing(&inst, &mut FirstFit::new()).unwrap();
+    let bf = Runner::new(&inst).run(&mut BestFit::new()).unwrap();
+    let ff = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
     let rep_bf = measure_ratio(&inst, &bf);
     let rep_ff = measure_ratio(&inst, &ff);
     println!(
@@ -81,6 +81,6 @@ fn main() {
 
     println!("\nthe §VIII gadget, as a picture (Next Fit fleet vs OPT over time):");
     let (inst, _) = next_fit_pairs(8, 4);
-    let nf = run_packing(&inst, &mut NextFit::new()).unwrap();
+    let nf = Runner::new(&inst).run(&mut NextFit::new()).unwrap();
     println!("{}", mindbp::viz::comparison(&inst, &nf, 64));
 }

@@ -25,7 +25,7 @@ fn main() {
         inst.span()
     );
 
-    let outcome = run_packing(&inst, &mut FirstFit::new()).unwrap();
+    let outcome = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
     println!("{}", mindbp::viz::usage(&inst, &outcome, 72));
     println!("{}", mindbp::viz::subperiods(&inst, &outcome, 72));
 

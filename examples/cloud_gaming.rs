@@ -41,7 +41,10 @@ fn main() {
         Box::new(NextFit::new()),
         Box::new(HybridFirstFit::classic()),
     ] {
-        let rep = simulate(inst, algo.as_mut(), BillingModel::hourly()).expect("dispatch");
+        let rep = simulate(inst)
+            .billing(BillingModel::hourly())
+            .run(algo.as_mut())
+            .expect("dispatch");
         println!(
             "{:<20} servers={:<4} peak={:<3} usage={:>8.1}h billed={:>7.1}h util={:.2}",
             rep.algorithm,
@@ -60,7 +63,10 @@ fn main() {
     }
 
     // Fleet size over the day for First Fit, hour by hour.
-    let rep = simulate(inst, &mut FirstFit::new(), BillingModel::hourly()).unwrap();
+    let rep = simulate(inst)
+        .billing(BillingModel::hourly())
+        .run(&mut FirstFit::new())
+        .unwrap();
     println!("\nFirst Fit fleet size by hour:");
     for hour in 0..cfg.horizon_hours {
         let open = rep.open_at(rat((hour * 60 + 30) as i128, 1));

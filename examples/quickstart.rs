@@ -29,7 +29,9 @@ fn main() {
         Box::new(BestFit::new()),
         Box::new(NextFit::new()),
     ] {
-        let outcome = run_packing(&jobs, algo.as_mut()).expect("packing succeeds");
+        let outcome = Runner::new(&jobs)
+            .run(algo.as_mut())
+            .expect("packing succeeds");
         let report = measure_ratio(&jobs, &outcome);
         println!(
             "{:<10} bins={} usage={} ratio={}",
@@ -44,7 +46,7 @@ fn main() {
     }
 
     // The packing itself, bin by bin.
-    let outcome = run_packing(&jobs, &mut FirstFit::new()).unwrap();
+    let outcome = Runner::new(&jobs).run(&mut FirstFit::new()).unwrap();
     println!("\nFirst Fit packing:");
     for bin in outcome.bins() {
         println!(

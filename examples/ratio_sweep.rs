@@ -21,7 +21,7 @@ fn main() {
     for mu in mus {
         let ratios = mindbp::par::par_map(&seeds, |&seed| {
             let inst = RandomWorkload::with_sharp_mu(48, rat(mu as i128, 1), seed).generate();
-            let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+            let out = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
             measure_ratio(&inst, &out).exact_ratio()
         });
         let measured: Vec<Rational> = ratios.into_iter().flatten().collect();

@@ -7,7 +7,7 @@
 
 use mindbp::core::algo::ArrivalView;
 use mindbp::core::observe::FanOut;
-use mindbp::core::{run_packing_observed, BinId, BinSnapshot, EngineObserver, FirstFit};
+use mindbp::core::{BinId, BinSnapshot, EngineObserver, FirstFit};
 use mindbp::numeric::{rat, Rational};
 use mindbp::obs::{verify, StepSeries, TraceRecorder};
 use mindbp::prelude::*;
@@ -68,7 +68,10 @@ fn main() {
     let mut recorder = TraceRecorder::new();
     let outcome = {
         let mut fan = FanOut::new(vec![&mut narrator, &mut recorder]);
-        run_packing_observed(&jobs, &mut FirstFit::new(), &mut fan).expect("packing succeeds")
+        Runner::new(&jobs)
+            .observer(&mut fan)
+            .run(&mut FirstFit::new())
+            .expect("packing succeeds")
     };
 
     // The trace is a complete, exact record of the run: the replay

@@ -17,7 +17,7 @@ fn theorem1_on_adversarial_families() {
             universal_mu_pairs(10, mu, 10),
             any_fit_ladder(10, mu),
         ] {
-            let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+            let out = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
             let rep = measure_ratio(&inst, &out);
             let bound = rep.theorem1_bound().unwrap();
             let ratio = rep.exact_ratio().or(rep.ratio_upper).unwrap();
@@ -36,7 +36,7 @@ fn lower_bound_ordering() {
 
     // Universal family at large k: ratio close to µ.
     let (inst, _) = universal_mu_pairs(14, mu, 14);
-    let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+    let out = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
     let universal = measure_ratio(&inst, &out).exact_ratio().unwrap();
     // kµ/(k+µ−1) with k = 14, µ = 6 is 84/19 ≈ 4.42 — already most of
     // the way to µ.
@@ -48,7 +48,7 @@ fn lower_bound_ordering() {
 
     // Ladder at the same scale: strictly stronger (→ µ+1).
     let (inst, _) = any_fit_ladder(14, mu);
-    let out = run_packing(&inst, &mut FirstFit::new()).unwrap();
+    let out = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
     let ladder = measure_ratio(&inst, &out).exact_ratio().unwrap();
     assert!(
         ladder > universal,
@@ -102,7 +102,7 @@ fn costs_always_dominate_the_adversary() {
             Box::new(NextFit::new()),
             Box::new(HybridFirstFit::classic()),
         ] {
-            let out = run_packing(&inst, algo.as_mut()).unwrap();
+            let out = Runner::new(&inst).run(algo.as_mut()).unwrap();
             assert!(
                 out.total_usage() >= opt.lower,
                 "{} beat the adversary",
@@ -121,7 +121,7 @@ fn section8_ratio_bracket() {
     let mut prev = Rational::ZERO;
     for n in [4u32, 8, 16, 32, 64] {
         let (inst, pred) = next_fit_pairs(n, mu);
-        let out = run_packing(&inst, &mut NextFit::new()).unwrap();
+        let out = Runner::new(&inst).run(&mut NextFit::new()).unwrap();
         let rep = measure_ratio(&inst, &out);
         let ratio = rep.exact_ratio().unwrap();
         let paper = mindbp::workloads::adversarial::next_fit_paper_formula(n, mu);

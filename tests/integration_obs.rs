@@ -2,7 +2,8 @@
 //! a metrics snapshot, and the replay verifier reconstructs the
 //! packing outcome from the trace **bit-for-bit**.
 
-use mindbp::core::{run_packing, FirstFit};
+use dbp_core::Runner;
+use mindbp::core::FirstFit;
 use mindbp::obs::{parse_jsonl, verify, StepSeries};
 use mindbp::workloads::load_instance;
 use std::path::Path;
@@ -47,7 +48,7 @@ fn cli_trace_replays_bit_identically() {
 
     // Re-run the same instance through the engine directly…
     let (_, instance) = load_instance(Path::new(&workload)).unwrap();
-    let outcome = run_packing(&instance, &mut FirstFit::new()).unwrap();
+    let outcome = Runner::new(&instance).run(&mut FirstFit::new()).unwrap();
 
     // …and check the CLI-emitted trace reconstructs the outcome
     // exactly: same total usage (as an exact rational), same peak.

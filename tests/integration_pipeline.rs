@@ -26,7 +26,7 @@ fn random_workloads_flow_through_the_whole_stack() {
     for seed in 0..8 {
         let inst = RandomWorkload::with_mu(60, rat(6, 1), seed).generate();
         for mut algo in lineup() {
-            let out = run_packing(&inst, algo.as_mut()).unwrap();
+            let out = Runner::new(&inst).run(algo.as_mut()).unwrap();
             // Cost dominated by the certified lower bound.
             assert!(out.total_usage() >= opt_lower_bound(&inst));
             // Structural certification holds for every algorithm.
@@ -61,15 +61,21 @@ fn cloudsim_agrees_with_core_accounting() {
     }
     .generate();
     let inst = &trace.instance;
-    let outcome = run_packing(inst, &mut FirstFit::new()).unwrap();
-    let report = simulate(inst, &mut FirstFit::new(), BillingModel::Continuous).unwrap();
+    let outcome = Runner::new(inst).run(&mut FirstFit::new()).unwrap();
+    let report = simulate(inst)
+        .billing(BillingModel::Continuous)
+        .run(&mut FirstFit::new())
+        .unwrap();
     // Same dispatch, same books.
     assert_eq!(report.usage_time, outcome.total_usage());
     assert_eq!(report.billed_time, outcome.total_usage());
     assert_eq!(report.servers_used, outcome.bins_opened());
     assert_eq!(report.peak_servers, outcome.max_open_bins());
     // Quantized billing only ever adds cost.
-    let hourly = simulate(inst, &mut FirstFit::new(), BillingModel::hourly()).unwrap();
+    let hourly = simulate(inst)
+        .billing(BillingModel::hourly())
+        .run(&mut FirstFit::new())
+        .unwrap();
     assert!(hourly.billed_time >= report.billed_time);
     assert_eq!(hourly.usage_time, report.usage_time);
 }
@@ -77,7 +83,7 @@ fn cloudsim_agrees_with_core_accounting() {
 #[test]
 fn traces_round_trip_and_reproduce_results() {
     let inst = RandomWorkload::with_sharp_mu(40, rat(5, 1), 77).generate();
-    let before = run_packing(&inst, &mut FirstFit::new()).unwrap();
+    let before = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
 
     let dir = std::env::temp_dir().join("mindbp-integration");
     std::fs::create_dir_all(&dir).unwrap();
@@ -88,7 +94,7 @@ fn traces_round_trip_and_reproduce_results() {
     std::fs::remove_file(&path).unwrap();
 
     assert_eq!(inst, inst2);
-    let after = run_packing(&inst2, &mut FirstFit::new()).unwrap();
+    let after = Runner::new(&inst2).run(&mut FirstFit::new()).unwrap();
     assert_eq!(before, after, "replay from disk must be identical");
 }
 
@@ -97,7 +103,7 @@ fn ratio_reports_are_internally_consistent() {
     for seed in [1u64, 9, 23] {
         let inst = RandomWorkload::with_mu(30, rat(3, 1), seed).generate();
         for mut algo in lineup() {
-            let out = run_packing(&inst, algo.as_mut()).unwrap();
+            let out = Runner::new(&inst).run(algo.as_mut()).unwrap();
             let rep = measure_ratio(&inst, &out);
             assert!(rep.opt_lower <= rep.opt_upper);
             if let (Some(lo), Some(hi)) = (rep.ratio_lower, rep.ratio_upper) {
@@ -120,14 +126,16 @@ fn parallel_sweep_matches_serial() {
         .iter()
         .map(|&s| {
             let inst = RandomWorkload::with_mu(40, rat(4, 1), s).generate();
-            run_packing(&inst, &mut FirstFit::new())
+            Runner::new(&inst)
+                .run(&mut FirstFit::new())
                 .unwrap()
                 .total_usage()
         })
         .collect();
     let parallel = mindbp::par::par_map(&seeds, |&s| {
         let inst = RandomWorkload::with_mu(40, rat(4, 1), s).generate();
-        run_packing(&inst, &mut FirstFit::new())
+        Runner::new(&inst)
+            .run(&mut FirstFit::new())
             .unwrap()
             .total_usage()
     });
