@@ -14,7 +14,14 @@
 //!   sessions), plus an **absolute** floor: the fresh snapshot's
 //!   `stream_vs_batch_ratio` must reach the tolerance, i.e. streaming
 //!   sessions keep ≥70% of the batch tick rate *measured in the same
-//!   run* — a machine-independent contract, not a baseline diff.
+//!   run* — a machine-independent contract, not a baseline diff;
+//! * `obs_overhead` — absolute same-run floors only: the fresh
+//!   snapshot's `observed_vs_unobserved_ratio` (a ring-buffered
+//!   `TelemetrySink` on the engine's observer hooks — the sense of
+//!   `arrive_observed`) must reach 0.85, and its
+//!   `full_stack_vs_unobserved_ratio` (sink **plus** the session's
+//!   exact `vol`/`span` stream accounting) must reach 0.70. Both
+//!   floors are fixed, independent of `--tolerance`.
 //!
 //! A metric missing from the *baseline* is skipped with a warning —
 //! older baselines predate newer metrics — while a metric missing
@@ -30,11 +37,23 @@
 use serde::Value;
 use std::process::ExitCode;
 
+/// Fixed same-run floor for `observed_vs_unobserved_ratio`: an
+/// attached trace sink may cost at most 15% of streaming throughput.
+const OBS_OVERHEAD_FLOOR: f64 = 0.85;
+
+/// Fixed same-run floor for `full_stack_vs_unobserved_ratio`: the
+/// sink plus exact `vol`/`span` session accounting may cost at most
+/// 30% — the exact-arithmetic lower-bound watchdog is pricier than
+/// pure observation, and gated separately so neither hides in the
+/// other.
+const OBS_FULL_STACK_FLOOR: f64 = 0.70;
+
 /// Baseline-relative throughput metrics gated per experiment.
 fn gated_metrics(experiment: &str) -> &'static [&'static str] {
     match experiment {
         "engine_throughput" => &["events_per_sec", "compiled_events_per_sec"],
         "stream" => &["stream_events_per_sec"],
+        "obs_overhead" => &[],
         _ => &[],
     }
 }
@@ -127,6 +146,36 @@ fn check_pair(base: &Snapshot, fresh: &Snapshot, tolerance: f64) -> (usize, bool
             None => {
                 eprintln!("perf_check: stream snapshot has no stream_vs_batch_ratio — failing");
                 failed = true;
+            }
+        }
+    }
+    // Same-run absolute gates: observation must stay cheap. The
+    // floors are fixed, independent of the baseline tolerance.
+    if fresh.experiment == "obs_overhead" {
+        for (name, floor) in [
+            ("observed_vs_unobserved_ratio", OBS_OVERHEAD_FLOOR),
+            ("full_stack_vs_unobserved_ratio", OBS_FULL_STACK_FLOOR),
+        ] {
+            match metric(&fresh.metrics, name) {
+                Some(ratio) => {
+                    gated += 1;
+                    println!("{name}: {ratio:.3} (floor {floor:.2}, same-run)");
+                    if ratio < floor {
+                        eprintln!(
+                            "perf_check: REGRESSION — {name} at {:.1}% of the unobserved \
+                             rate (floor {:.0}%)",
+                            100.0 * ratio,
+                            100.0 * floor
+                        );
+                        failed = true;
+                    } else {
+                        println!("perf_check: {name} OK");
+                    }
+                }
+                None => {
+                    eprintln!("perf_check: obs_overhead snapshot has no {name} — failing");
+                    failed = true;
+                }
             }
         }
     }

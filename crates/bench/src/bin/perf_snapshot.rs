@@ -1,7 +1,7 @@
 //! Writes `BENCH_<experiment>.json` perf snapshots into `results/`
 //! (or the directory given as the first argument).
 //!
-//! Five snapshots:
+//! Six snapshots:
 //! * `BENCH_e1_theorem1.json` — wall time + result metrics of a
 //!   reduced Theorem 1 sweep (the flagship experiment);
 //! * `BENCH_engine_throughput.json` — the pure engine sweep, now
@@ -20,6 +20,13 @@
 //!   batch replayed through one-event-at-a-time `Session`s (tick and
 //!   exact) against the batch tick rate measured in the same run,
 //!   with `stream_vs_batch_ratio` as the gated headline;
+//! * `BENCH_obs_overhead.json` — observability overhead: the same
+//!   exact-session replay bare, observed (a ring-buffered
+//!   `TelemetrySink` on the engine's observer hooks), with stream
+//!   telemetry (exact `vol`/`span` accounting), and with the full
+//!   stack, measured as interleaved best-of rounds. `perf_check`
+//!   gates `observed_vs_unobserved_ratio ≥ 0.85` and
+//!   `full_stack_vs_unobserved_ratio ≥ 0.70`, same-run;
 //! * `BENCH_fit_scaling.json` — the concurrency scaling series: a
 //!   staircase workload holding `B ∈ {100, 1000, 10000}` bins open
 //!   at once, replayed through the linear-scan `FirstFit` and the
@@ -36,6 +43,7 @@ use dbp_core::{
     TickPolicy,
 };
 use dbp_numeric::rat;
+use dbp_obs::TelemetrySink;
 use dbp_simcore::EventClass;
 use dbp_workloads::RandomWorkload;
 use serde::Value;
@@ -125,6 +133,44 @@ fn stream_rate(streams: &[Vec<Event>], grids: &[Option<TickGrid>], events: i128)
         session.finish().expect("finish succeeds");
     }
     events as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Batch passes per timed window of the observability-overhead
+/// comparison. Kept at one ~20 ms pass: shorter windows give a
+/// contention burst fewer chances to contaminate *every* window of
+/// an arm, which matters more than per-window averaging here.
+const OBS_REPS: usize = 1;
+
+/// Interleaved best-of rounds per arm. CI boxes are often a single
+/// shared core, so any window can be slowed by unrelated load — but
+/// contention is one-sided (it only ever *slows* a run), which makes
+/// the per-arm maximum over many short interleaved rounds the robust
+/// estimator for a ratio gate.
+const OBS_ROUNDS: usize = 16;
+
+/// Streaming replay rate of one `OBS_REPS`-pass window over the
+/// batch, with optional stream telemetry (`vol`/`span` accounting)
+/// and an optional ring-buffered [`TelemetrySink`] watching every
+/// engine event. Exact engine on every arm of the comparison —
+/// observers force it anyway.
+fn observed_stream_rate(streams: &[Vec<Event>], events: i128, telemetry: bool, sink: bool) -> f64 {
+    let start = Instant::now();
+    for _ in 0..OBS_REPS {
+        for events_i in streams {
+            let mut ring = TelemetrySink::new().ring(256);
+            let mut builder = Session::builder(FirstFitFast::new()).without_checkpoints();
+            if telemetry {
+                builder = builder.telemetry();
+            }
+            if sink {
+                builder = builder.observer(&mut ring);
+            }
+            let mut session = builder.build().expect("session builds");
+            session.ingest(events_i).expect("canonical stream is valid");
+            session.finish().expect("finish succeeds");
+        }
+    }
+    (events * OBS_REPS as i128) as f64 / start.elapsed().as_secs_f64()
 }
 
 fn main() {
@@ -287,6 +333,56 @@ fn main() {
             Value::Float(exact_stream_eps),
         )
         .with_metric("stream_vs_batch_ratio", Value::Float(ratio));
+    let path = snap.write_to(dir).expect("write snapshot");
+    println!("wrote {} ({:.1} ms)", path.display(), snap.wall_ms());
+
+    // Snapshot 5: observability overhead. The exact-session replay
+    // from snapshot 4 runs four ways — bare, *observed* (a
+    // ring-buffered TelemetrySink on the engine's observer hooks, the
+    // sense of `arrive_observed`), telemetry only (the session's
+    // exact vol/span accounting), and the full stack (both) — in
+    // interleaved best-of rounds, so the gated ratios compare
+    // same-machine, same-load numbers and the breakdown shows where
+    // any regression lives. The contract (perf_check, same-run): an
+    // attached sink keeps ≥ 85% of the unobserved rate, and the full
+    // pipeline keeps ≥ 70%.
+    let (rates, snap) = measure("obs_overhead", || {
+        // [(telemetry, sink)]: unobserved, observed, telemetry, full.
+        let arms = [(false, false), (false, true), (true, false), (true, true)];
+        let mut best = [0f64; 4];
+        for _ in 0..OBS_ROUNDS {
+            for (i, &(telemetry, sink)) in arms.iter().enumerate() {
+                let rate = observed_stream_rate(&streams, total_events, telemetry, sink);
+                best[i] = best[i].max(rate);
+            }
+        }
+        best
+    });
+    let [unobserved_eps, observed_eps, telemetry_eps, full_eps] = rates;
+    let ratio = observed_eps / unobserved_eps;
+    let full_ratio = full_eps / unobserved_eps;
+    println!(
+        "  obs: unobserved={unobserved_eps:>12.0} ev/s observed={observed_eps:>12.0} ev/s \
+         ({:.0}% kept) telemetry={telemetry_eps:>12.0} ev/s full={full_eps:>12.0} ev/s \
+         ({:.0}% kept)",
+        100.0 * ratio,
+        100.0 * full_ratio
+    );
+    let snap = snap
+        .with_metric(
+            "algorithm",
+            Value::Str("Session(FirstFitFast)+TelemetrySink".into()),
+        )
+        .with_metric("instances", Value::Int(instances as i128))
+        .with_metric("items_per_instance", Value::Int(items_each as i128))
+        .with_metric("engine_events", Value::Int(total_events * OBS_REPS as i128))
+        .with_metric("best_of_rounds", Value::Int(OBS_ROUNDS as i128))
+        .with_metric("unobserved_events_per_sec", Value::Float(unobserved_eps))
+        .with_metric("observed_events_per_sec", Value::Float(observed_eps))
+        .with_metric("telemetry_only_events_per_sec", Value::Float(telemetry_eps))
+        .with_metric("full_stack_events_per_sec", Value::Float(full_eps))
+        .with_metric("observed_vs_unobserved_ratio", Value::Float(ratio))
+        .with_metric("full_stack_vs_unobserved_ratio", Value::Float(full_ratio));
     let path = snap.write_to(dir).expect("write snapshot");
     println!("wrote {} ({:.1} ms)", path.display(), snap.wall_ms());
 

@@ -16,7 +16,10 @@
 //! The library entry point [`run`] takes the argument vector and
 //! returns the rendered output (or a typed error), so the whole CLI
 //! is unit-testable without spawning processes; `main.rs` is a thin
-//! printer.
+//! printer. [`run_to`] additionally takes a *progress* writer —
+//! live report lines, skip/reject notices, and watchdog alerts go
+//! there (the binary wires it to stderr), while final summaries
+//! stay on stdout so pipelines stay clean.
 
 use dbp_analysis::{certify_first_fit, measure_ratio, TheoremChain};
 use dbp_cloudsim::{simulate, BillingModel};
@@ -26,7 +29,10 @@ use dbp_core::{
     WorstFitFast,
 };
 use dbp_numeric::Rational;
-use dbp_obs::{chrome_trace, parse_jsonl, EngineMetrics, StepSeries, TraceRecorder};
+use dbp_obs::{
+    chrome_trace, parse_jsonl, set_ratio_gauge, telemetry_registry, EngineMetrics, MetricsRegistry,
+    MetricsServer, StepSeries, TraceRecorder, Watchdog,
+};
 use dbp_workloads::adversarial::{
     any_fit_ladder, best_fit_scatter, next_fit_pairs, universal_mu_pairs,
 };
@@ -141,10 +147,19 @@ COMMANDS:
             [--algo NAME] [--backend auto|exact|tick] [--grid T,S]
             [--shards N]     shard by item id across N sessions
             [--strict true|false]  abort vs skip bad lines (default skip)
-            [--report-every N]     print live metrics every N events
+            [--report-every N]     live metrics every N events (stderr)
             [--checkpoint FILE]    save a resumable snapshot if the
                                    stream ends with items still active
             [--resume FILE]        continue from a saved snapshot
+            [--watchdog R|off]     alert when usage/max(vol,span)
+                                   exceeds R (a/b or integer; default
+                                   auto: estimated µ + 4, Theorem 1)
+            [--prom-out FILE]      write a final OpenMetrics page
+            [--prom-listen ADDR]   serve live OpenMetrics over HTTP
+                                   (e.g. 127.0.0.1:9184) while the
+                                   stream runs
+            [--prom-linger-ms N]   keep the endpoint up N ms after
+                                   the stream ends (default 0)
   render    ASCII timeline of a packing
             --trace FILE [--algo NAME] [--width W]
   help      this text
@@ -193,8 +208,18 @@ fn load(opts: &Opts) -> Result<(Trace, Instance), CliError> {
 }
 
 /// Executes an argument vector (without the program name), returning
-/// the output text.
+/// the output text. Progress lines are discarded; use [`run_to`] to
+/// capture them.
 pub fn run(args: &[String]) -> Result<String, CliError> {
+    run_to(args, &mut std::io::sink())
+}
+
+/// [`run`] with an explicit progress writer. Live report lines,
+/// per-line skip/reject notices, and watchdog alerts are written to
+/// `progress` as they happen; the returned string holds the final
+/// summary. The `mindbp` binary passes stderr, so `--report-every`
+/// output never corrupts piped stdout.
+pub fn run_to(args: &[String], progress: &mut dyn std::io::Write) -> Result<String, CliError> {
     let Some(command) = args.first() else {
         return Ok(USAGE.to_string());
     };
@@ -210,7 +235,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "adaptive" => cmd_adaptive(&opts),
         "opt" => cmd_opt(&opts),
         "tick" => cmd_tick(&opts),
-        "stream" => cmd_stream(&opts),
+        "stream" => cmd_stream(&opts, progress),
         "render" => cmd_render(&opts),
         other => Err(err(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
@@ -653,7 +678,179 @@ fn parse_stream_line(line: &str) -> Option<Result<StreamCliEvent, String>> {
 
 type StreamCliEvent = dbp_core::session::Event;
 
-fn cmd_stream(opts: &Opts) -> Result<String, CliError> {
+/// Parses `a/b` or a bare integer into an exact [`Rational`].
+fn parse_rational(spec: &str) -> Result<Rational, CliError> {
+    let (num, den) = match spec.split_once('/') {
+        Some((n, d)) => (n, d),
+        None => (spec, "1"),
+    };
+    let n: i128 = num
+        .trim()
+        .parse()
+        .map_err(|_| err(format!("`{spec}` is not a rational (a/b or integer)")))?;
+    let d: i128 = den
+        .trim()
+        .parse()
+        .ok()
+        .filter(|&d| d > 0)
+        .ok_or_else(|| err(format!("`{spec}` needs a positive denominator")))?;
+    Ok(Rational::new(n, d))
+}
+
+/// Folds per-shard stream metrics into one fleet-wide view: counts,
+/// load, and usage add; `vol`/`span` add (the sum is a lower bound on
+/// the sum of per-shard optima — the baseline independently packed
+/// shards compete against); lifetimes take the componentwise extreme.
+fn fold_stream_metrics(
+    per_shard: &[dbp_core::session::SessionMetrics],
+) -> dbp_core::session::SessionMetrics {
+    let seeded = !per_shard.is_empty();
+    let mut folded = dbp_core::session::SessionMetrics {
+        now: None,
+        events: 0,
+        arrivals: 0,
+        departures: 0,
+        open_bins: 0,
+        active_items: 0,
+        bins_opened: 0,
+        peak_open_bins: 0,
+        load: Rational::ZERO,
+        usage_time: Rational::ZERO,
+        vol: seeded.then_some(Rational::ZERO),
+        span: seeded.then_some(Rational::ZERO),
+        min_lifetime: None,
+        max_lifetime: None,
+    };
+    let add = |a: Option<Rational>, b: Option<Rational>| match (a, b) {
+        (Some(x), Some(y)) => Some(x + y),
+        _ => None,
+    };
+    for m in per_shard {
+        folded.now = match (folded.now, m.now) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        folded.events += m.events;
+        folded.arrivals += m.arrivals;
+        folded.departures += m.departures;
+        folded.open_bins += m.open_bins;
+        folded.active_items += m.active_items;
+        folded.bins_opened += m.bins_opened;
+        folded.peak_open_bins += m.peak_open_bins;
+        folded.load += m.load;
+        folded.usage_time += m.usage_time;
+        folded.vol = add(folded.vol, m.vol);
+        folded.span = add(folded.span, m.span);
+        folded.min_lifetime = match (folded.min_lifetime, m.min_lifetime) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        folded.max_lifetime = match (folded.max_lifetime, m.max_lifetime) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+    folded
+}
+
+/// The stream command's telemetry fan-out: an optional live scrape
+/// endpoint, an optional final OpenMetrics file, and a lower-bound
+/// watchdog. All three feed off the session's stream telemetry.
+struct StreamTelemetry {
+    watchdog: Option<Watchdog>,
+    server: Option<MetricsServer>,
+    prom_out: Option<String>,
+    linger_ms: u64,
+}
+
+impl StreamTelemetry {
+    fn from_opts(opts: &Opts, progress: &mut dyn std::io::Write) -> Result<Self, CliError> {
+        let watchdog = match opts.get("watchdog") {
+            None => Some(Watchdog::new()),
+            Some("off") => None,
+            Some(spec) => Some(Watchdog::with_threshold(
+                parse_rational(spec).map_err(|e| err(format!("--watchdog: {e}")))?,
+            )),
+        };
+        let server = match opts.get("prom-listen") {
+            None => None,
+            Some(addr) => {
+                let server = MetricsServer::start(addr)
+                    .map_err(|e| err(format!("cannot serve metrics on `{addr}`: {e}")))?;
+                let _ = writeln!(
+                    progress,
+                    "metrics: serving OpenMetrics on http://{}/metrics",
+                    server.local_addr()
+                );
+                Some(server)
+            }
+        };
+        Ok(StreamTelemetry {
+            watchdog,
+            server,
+            prom_out: opts.get("prom-out").map(str::to_string),
+            linger_ms: opts.u64_or("prom-linger-ms", 0)?,
+        })
+    }
+
+    /// Whether per-event metric checks are worth computing at all.
+    fn live(&self) -> bool {
+        self.watchdog.is_some() || self.server.is_some()
+    }
+
+    /// Whether a scrape endpoint is up (publishing has a consumer).
+    fn serving(&self) -> bool {
+        self.server.is_some()
+    }
+
+    /// Runs the watchdog against the current stream metrics, writing
+    /// any alert to the progress stream as it fires.
+    fn watch(
+        &mut self,
+        metrics: &dbp_core::session::SessionMetrics,
+        progress: &mut dyn std::io::Write,
+    ) {
+        if let Some(dog) = &mut self.watchdog {
+            if let Some(alert) = dog.check(metrics) {
+                let _ = writeln!(progress, "watchdog: {alert}");
+            }
+        }
+    }
+
+    /// Pushes a fresh registry to the scrape endpoint, ratio gauge
+    /// included.
+    fn publish(&self, mut registry: MetricsRegistry) {
+        if let Some(server) = &self.server {
+            set_ratio_gauge(&mut registry);
+            *server.registry().lock().unwrap_or_else(|e| e.into_inner()) = registry;
+        }
+    }
+
+    /// Final exposition: write `--prom-out`, publish the last page,
+    /// linger for late scrapes, then shut the endpoint down.
+    fn finish(mut self, mut registry: MetricsRegistry, out: &mut String) -> Result<(), CliError> {
+        set_ratio_gauge(&mut registry);
+        if let Some(path) = &self.prom_out {
+            std::fs::write(path, registry.to_openmetrics())
+                .map_err(|e| err(format!("cannot write `{path}`: {e}")))?;
+            out.push_str(&format!("metrics: OpenMetrics page → {path}\n"));
+        }
+        if let Some(server) = self.server.take() {
+            *server.registry().lock().unwrap_or_else(|e| e.into_inner()) = registry;
+            out.push_str(&format!(
+                "metrics: served on http://{}/metrics\n",
+                server.local_addr()
+            ));
+            if self.linger_ms > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(self.linger_ms));
+            }
+            server.stop();
+        }
+        Ok(())
+    }
+}
+
+fn cmd_stream(opts: &Opts, progress: &mut dyn std::io::Write) -> Result<String, CliError> {
     use dbp_core::session::{Backend, Session, SessionSnapshot, TickGrid};
     use dbp_par::Fleet;
 
@@ -701,6 +898,7 @@ fn cmd_stream(opts: &Opts) -> Result<String, CliError> {
 
     let mut out = String::new();
     let mut skipped = 0usize;
+    let mut telemetry = StreamTelemetry::from_opts(opts, progress)?;
 
     if shards > 1 {
         // Sharded ingestion: route by item id across a fleet.
@@ -711,7 +909,9 @@ fn cmd_stream(opts: &Opts) -> Result<String, CliError> {
         }
         let mut sessions = Vec::with_capacity(shards);
         for _ in 0..shards {
-            let mut builder = Session::builder(make_algo(algo_name)?).backend(backend);
+            let mut builder = Session::builder(make_algo(algo_name)?)
+                .backend(backend)
+                .telemetry();
             if let Some(g) = grid {
                 builder = builder.grid(g);
             }
@@ -733,7 +933,7 @@ fn cmd_stream(opts: &Opts) -> Result<String, CliError> {
                     return Err(err(format!("line {}: bad event: {e}", lineno + 1)))
                 }
                 Err(e) => {
-                    out.push_str(&format!("line {}: skipped bad event: {e}\n", lineno + 1));
+                    let _ = writeln!(progress, "line {}: skipped bad event: {e}", lineno + 1);
                     skipped += 1;
                     continue;
                 }
@@ -749,26 +949,36 @@ fn cmd_stream(opts: &Opts) -> Result<String, CliError> {
                         e.error
                     )));
                 }
-                out.push_str(&format!(
-                    "line {}: shard {} rejected event: {} — skipped\n",
+                let _ = writeln!(
+                    progress,
+                    "line {}: shard {} rejected event: {} — skipped",
                     lineno + 1,
                     e.shard,
                     e.error
-                ));
+                );
                 skipped += 1;
                 continue;
             }
             ingested += 1;
-            if report_every > 0 && ingested.is_multiple_of(report_every) {
+            if telemetry.live() {
+                telemetry.watch(&fold_stream_metrics(&fleet.metrics()), progress);
+            }
+            let report_due = report_every > 0 && ingested.is_multiple_of(report_every);
+            if report_due {
                 let m = fleet.metrics();
                 let open: usize = m.iter().map(|m| m.open_bins).sum();
                 let active: usize = m.iter().map(|m| m.active_items).sum();
-                out.push_str(&format!(
-                    "events {ingested}: {open} open bins, {active} active items across {shards} shards\n"
-                ));
+                let _ = writeln!(
+                    progress,
+                    "events {ingested}: {open} open bins, {active} active items across {shards} shards"
+                );
+            }
+            if telemetry.serving() && (report_due || ingested.is_multiple_of(256)) {
+                telemetry.publish(fleet.merged_metrics());
             }
         }
         let metrics = fleet.metrics();
+        let registry = fleet.merged_metrics();
         let active: usize = metrics.iter().map(|m| m.active_items).sum();
         if active > 0 {
             out.push_str(&format!(
@@ -799,6 +1009,7 @@ fn cmd_stream(opts: &Opts) -> Result<String, CliError> {
         if skipped > 0 {
             out.push_str(&format!("skipped {skipped} events\n"));
         }
+        telemetry.finish(registry, &mut out)?;
         return Ok(out);
     }
 
@@ -822,7 +1033,9 @@ fn cmd_stream(opts: &Opts) -> Result<String, CliError> {
             session
         }
         None => {
-            let mut builder = Session::builder(make_algo(algo_name)?).backend(backend);
+            let mut builder = Session::builder(make_algo(algo_name)?)
+                .backend(backend)
+                .telemetry();
             if let Some(g) = grid {
                 builder = builder.grid(g);
             }
@@ -841,7 +1054,7 @@ fn cmd_stream(opts: &Opts) -> Result<String, CliError> {
             Ok(event) => session.apply(&event).map(|_| ()),
             Err(e) if strict => return Err(err(format!("line {}: bad event: {e}", lineno + 1))),
             Err(e) => {
-                out.push_str(&format!("line {}: skipped bad event: {e}\n", lineno + 1));
+                let _ = writeln!(progress, "line {}: skipped bad event: {e}", lineno + 1);
                 skipped += 1;
                 continue;
             }
@@ -850,24 +1063,34 @@ fn cmd_stream(opts: &Opts) -> Result<String, CliError> {
             if strict {
                 return Err(err(format!("line {}: rejected event: {e}", lineno + 1)));
             }
-            out.push_str(&format!(
-                "line {}: rejected event: {e} — skipped\n",
+            let _ = writeln!(
+                progress,
+                "line {}: rejected event: {e} — skipped",
                 lineno + 1
-            ));
+            );
             skipped += 1;
             continue;
         }
         ingested += 1;
-        if report_every > 0 && ingested.is_multiple_of(report_every) {
+        if telemetry.live() {
+            telemetry.watch(&session.metrics(), progress);
+        }
+        let report_due = report_every > 0 && ingested.is_multiple_of(report_every);
+        if report_due {
             let m = session.metrics();
-            out.push_str(&format!(
-                "events {}: {} open bins, {} active items, load {}, usage {}\n",
+            let _ = writeln!(
+                progress,
+                "events {}: {} open bins, {} active items, load {}, usage {}",
                 m.events, m.open_bins, m.active_items, m.load, m.usage_time
-            ));
+            );
+        }
+        if telemetry.serving() && (report_due || ingested.is_multiple_of(256)) {
+            telemetry.publish(telemetry_registry(&session.metrics()));
         }
     }
 
     let metrics = session.metrics();
+    let registry = telemetry_registry(&metrics);
     if metrics.active_items > 0 {
         out.push_str(&format!(
             "stream ended with {} items still active ({} open bins, usage {} so far)\n",
@@ -906,6 +1129,7 @@ fn cmd_stream(opts: &Opts) -> Result<String, CliError> {
     if skipped > 0 {
         out.push_str(&format!("skipped {skipped} events\n"));
     }
+    telemetry.finish(registry, &mut out)?;
     Ok(out)
 }
 
@@ -1211,15 +1435,25 @@ mod tests {
 {"depart": {"id": 1, "time": {"num": 3, "den": 1}}}
 "#;
 
+    /// Runs with a captured progress stream; returns (result, progress).
+    fn run_capturing(a: &[&str]) -> (Result<String, CliError>, String) {
+        let mut buf = Vec::new();
+        let result = run_to(&args(a), &mut buf);
+        (result, String::from_utf8(buf).unwrap())
+    }
+
     #[test]
     fn stream_command_runs_a_full_session() {
         let path = tmp("stream.jsonl");
         std::fs::write(&path, STREAM_JSONL).unwrap();
-        let out = run(&args(&["stream", "--input", &path, "--report-every", "2"])).unwrap();
+        let (out, progress) = run_capturing(&["stream", "--input", &path, "--report-every", "2"]);
+        let out = out.unwrap();
         assert!(out.contains("FirstFit"), "{out}");
         assert!(out.contains("1 bins"), "{out}");
         assert!(out.contains("usage 3"), "{out}");
-        assert!(out.contains("events 2:"), "{out}"); // live metrics line
+        // Live metrics lines ride the progress stream, not stdout.
+        assert!(progress.contains("events 2:"), "{progress}");
+        assert!(!out.contains("events 2:"), "{out}");
 
         // With a declared grid the integer engine takes the stream.
         let ticked = run(&args(&["stream", "--input", &path, "--grid", "1,6"])).unwrap();
@@ -1238,9 +1472,11 @@ mod tests {
              {\"depart\": {\"id\": 0, \"time\": {\"num\": 1, \"den\": 1}}}\n",
         )
         .unwrap();
-        // Default: skip with a line-numbered note, still finish.
-        let out = run(&args(&["stream", "--input", &path])).unwrap();
-        assert!(out.contains("line 2: skipped bad event"), "{out}");
+        // Default: skip with a line-numbered note, still finish. The
+        // note goes to progress; the summary count stays on stdout.
+        let (out, progress) = run_capturing(&["stream", "--input", &path]);
+        let out = out.unwrap();
+        assert!(progress.contains("line 2: skipped bad event"), "{progress}");
         assert!(out.contains("skipped 1 events"), "{out}");
         assert!(out.contains("usage 1"), "{out}");
         // Strict: abort with the line number, as an error not a panic.
@@ -1259,11 +1495,149 @@ mod tests {
              {\"depart\": {\"id\": 0, \"time\": {\"num\": 9, \"den\": 1}}}\n",
         )
         .unwrap();
-        let out = run(&args(&["stream", "--input", &path])).unwrap();
-        assert!(out.contains("line 2: rejected event"), "{out}");
+        let (out, progress) = run_capturing(&["stream", "--input", &path]);
+        let out = out.unwrap();
+        assert!(progress.contains("line 2: rejected event"), "{progress}");
         assert!(out.contains("usage 4"), "{out}");
         let e = run(&args(&["stream", "--input", &path, "--strict", "true"])).unwrap_err();
         assert!(e.0.contains("line 2"), "{e}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stream_prom_out_writes_an_openmetrics_page() {
+        let path = tmp("stream-prom.jsonl");
+        let page = tmp("stream-prom.txt");
+        std::fs::write(&path, STREAM_JSONL).unwrap();
+        let out = run(&args(&["stream", "--input", &path, "--prom-out", &page])).unwrap();
+        assert!(out.contains("OpenMetrics page"), "{out}");
+        let text = std::fs::read_to_string(&page).unwrap();
+        assert!(text.contains("dbp_events_total 4"), "{text}");
+        // usage 3 over lower bound max(vol 5/3, span 3) = 3 → ratio 1.
+        assert!(text.contains("dbp_ratio_upper_estimate 1\n"), "{text}");
+        assert!(text.ends_with("# EOF\n"), "{text}");
+
+        // Sharded: the merged fleet registry feeds the same page.
+        let sharded = run(&args(&[
+            "stream",
+            "--input",
+            &path,
+            "--shards",
+            "2",
+            "--prom-out",
+            &page,
+        ]))
+        .unwrap();
+        assert!(sharded.contains("fleet usage 4"), "{sharded}");
+        let text = std::fs::read_to_string(&page).unwrap();
+        assert!(text.contains("dbp_events_total 4"), "{text}");
+        assert!(text.ends_with("# EOF\n"), "{text}");
+        for f in [&path, &page] {
+            std::fs::remove_file(f).unwrap();
+        }
+    }
+
+    #[test]
+    fn stream_watchdog_alerts_ride_the_progress_stream() {
+        let path = tmp("stream-dog.jsonl");
+        std::fs::write(&path, STREAM_JSONL).unwrap();
+        // The session's live ratio reaches 1; a threshold of 1/2
+        // must trip the watchdog exactly once (edge-triggered).
+        let (out, progress) = run_capturing(&["stream", "--input", &path, "--watchdog", "1/2"]);
+        let out = out.unwrap();
+        assert!(progress.contains("watchdog:"), "{progress}");
+        assert_eq!(progress.matches("watchdog:").count(), 1, "{progress}");
+        assert!(!out.contains("watchdog:"), "{out}");
+        // `--watchdog off` silences it; garbage is rejected up front.
+        let (_, quiet) = run_capturing(&["stream", "--input", &path, "--watchdog", "off"]);
+        assert!(!quiet.contains("watchdog:"), "{quiet}");
+        let e = run(&args(&["stream", "--input", &path, "--watchdog", "fast"])).unwrap_err();
+        assert!(e.0.contains("--watchdog"), "{e}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// A `Write` that appends to a shared buffer, so a test can watch
+    /// another thread's progress stream live.
+    #[derive(Clone)]
+    struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn stream_prom_listen_serves_scrapes_while_lingering() {
+        use std::io::{Read as _, Write as _};
+
+        let path = tmp("stream-listen.jsonl");
+        std::fs::write(&path, STREAM_JSONL).unwrap();
+        let shared = SharedBuf(Default::default());
+        let progress = shared.clone();
+        let cli_args = args(&[
+            "stream",
+            "--input",
+            &path,
+            "--prom-listen",
+            "127.0.0.1:0",
+            "--prom-linger-ms",
+            "4000",
+        ]);
+        let worker = std::thread::spawn(move || {
+            let mut progress = progress;
+            run_to(&cli_args, &mut progress)
+        });
+
+        // The progress stream announces the bound address up front.
+        let addr = {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            loop {
+                let text = String::from_utf8(shared.0.lock().unwrap().clone()).unwrap();
+                if let Some(rest) = text.split("http://").nth(1) {
+                    break rest.split("/metrics").next().unwrap().to_string();
+                }
+                assert!(std::time::Instant::now() < deadline, "no address: {text}");
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        };
+
+        // Scrape during the linger window, retrying until the final
+        // registry (published at stream end) is visible.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let response = loop {
+            let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+            stream
+                .write_all(b"GET /metrics HTTP/1.1\r\nHost: test\r\n\r\n")
+                .unwrap();
+            let mut response = String::new();
+            stream.read_to_string(&mut response).unwrap();
+            if response.contains("dbp_ratio_upper_estimate") {
+                break response;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "stale page: {response}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+        assert!(
+            response.contains(dbp_obs::OPENMETRICS_CONTENT_TYPE),
+            "{response}"
+        );
+        assert!(response.contains("dbp_events_total 4"), "{response}");
+        assert!(
+            response.contains("dbp_ratio_upper_estimate 1"),
+            "{response}"
+        );
+        assert!(response.trim_end().ends_with("# EOF"), "{response}");
+
+        let out = worker.join().unwrap().unwrap();
+        assert!(out.contains("metrics: served on"), "{out}");
         std::fs::remove_file(&path).unwrap();
     }
 

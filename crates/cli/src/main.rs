@@ -2,7 +2,9 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match mindbp_cli::run(&args) {
+    // Live progress (report lines, skip notices, watchdog alerts)
+    // goes to stderr; only the final summary lands on stdout.
+    match mindbp_cli::run_to(&args, &mut std::io::stderr()) {
         Ok(output) => print!("{output}"),
         Err(e) => {
             eprintln!("error: {e}");

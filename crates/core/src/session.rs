@@ -294,6 +294,218 @@ pub struct SessionMetrics {
     /// Usage time `Σ_k |U_k|` accrued so far: closed bins fully, open
     /// bins up to the session clock. The objective-to-date.
     pub usage_time: Rational,
+    /// Workload volume `vol(R) = Σᵢ sᵢ·lenᵢ = ∫ load dt` accrued so
+    /// far (Proposition 1 lower bound on OPT). `None` unless the
+    /// session was built with
+    /// [`telemetry`](SessionBuilder::telemetry).
+    #[serde(default)]
+    pub vol: Option<Rational>,
+    /// Busy time `span(R)` — total time with at least one active item
+    /// — accrued so far (Proposition 2 lower bound on OPT). `None`
+    /// unless telemetry is enabled.
+    #[serde(default)]
+    pub span: Option<Rational>,
+    /// Shortest completed item lifetime so far (`None` until an item
+    /// departs, or without telemetry).
+    #[serde(default)]
+    pub min_lifetime: Option<Rational>,
+    /// Longest completed item lifetime so far (`None` until an item
+    /// departs, or without telemetry).
+    #[serde(default)]
+    pub max_lifetime: Option<Rational>,
+}
+
+impl SessionMetrics {
+    /// The paper's lower bound on the optimum for the stream so far:
+    /// `max(vol(R), span(R))` (Propositions 1–2). `None` without
+    /// telemetry.
+    pub fn lower_bound(&self) -> Option<Rational> {
+        match (self.vol, self.span) {
+            (Some(v), Some(s)) => Some(v.max(s)),
+            _ => None,
+        }
+    }
+
+    /// Estimated `µ = max duration / min duration` over *completed*
+    /// items. `None` until at least one item has departed (the online
+    /// contract makes every lifetime positive, so the quotient is
+    /// well-defined).
+    pub fn mu_estimate(&self) -> Option<Rational> {
+        match (self.min_lifetime, self.max_lifetime) {
+            (Some(lo), Some(hi)) if lo.is_positive() => Some(hi / lo),
+            _ => None,
+        }
+    }
+
+    /// Live *upper estimate* of the competitive ratio:
+    /// `usage_time / max(vol, span)`. Since `OPT ≥ max(vol, span)`,
+    /// the true ratio `usage/OPT` is at most this value. `None`
+    /// without telemetry or while the lower bound is still zero.
+    pub fn ratio_upper_estimate(&self) -> Option<Rational> {
+        let bound = self.lower_bound()?;
+        bound.is_positive().then(|| self.usage_time / bound)
+    }
+}
+
+/// Incremental `vol(R)`/`span(R)` accounting over the event stream
+/// (engine-independent, so it works on every backend — including
+/// tick, which observers cannot watch).
+///
+/// The accounting is *deferred* so the per-event hot path does no
+/// exact arithmetic: `vol(R) = Σᵢ sᵢ·lenᵢ` accrues one multiply per
+/// **departure** (not a `load·dt` integration per event), and
+/// `span(R)` accrues only at busy/idle **transitions**. The live
+/// contributions of still-active items are folded in on demand by
+/// [`vol_at`](Self::vol_at)/[`span_at`](Self::span_at) — both exact,
+/// since Rational addition is associative and commutative the totals
+/// are bit-identical to eager integration.
+#[derive(Debug, Clone, Default)]
+struct Telemetry {
+    /// Start of the current busy segment (`Some` while items are
+    /// active).
+    busy_since: Option<Rational>,
+    active: usize,
+    /// `Σ s·len` over completed items that has been *folded*: bucket
+    /// overflow spill plus the exact slow path. The live total is
+    /// this plus the [`vol_buckets`](Self::vol_buckets) sums.
+    vol: Rational,
+    /// Unreduced per-denominator sums of `s·len` products: the
+    /// product `(a/b)·(e/f)` lands in bucket `b·f` as a plain integer
+    /// add of `a·e` — no gcd on the departure hot path. Folding a
+    /// bucket reduces once; since exact addition is associative and
+    /// commutative the folded total is bit-identical to eager
+    /// accumulation.
+    vol_buckets: Vec<(i128, i128)>,
+    /// Total length of *closed* busy segments.
+    span: Rational,
+    items: std::collections::HashMap<ItemId, (Rational, Rational), BuildIdHasher>,
+    min_lifetime: Option<Rational>,
+    max_lifetime: Option<Rational>,
+}
+
+/// Multiply-mix hasher for the telemetry item map: `ItemId` keys are
+/// single integers, and the default SipHash shows up in per-event
+/// stream profiles. Not DoS-hardened — fine for session-internal
+/// bookkeeping keyed by the caller's own item ids.
+#[derive(Debug, Clone, Default)]
+struct IdHasher(u64);
+
+type BuildIdHasher = std::hash::BuildHasherDefault<IdHasher>;
+
+impl std::hash::Hasher for IdHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        // Fibonacci-style multiply, then fold the high bits down so
+        // both the bucket index (low bits) and the control byte (high
+        // bits) see the mix.
+        let h = (self.0 ^ u64::from(n)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 32);
+    }
+}
+
+impl Telemetry {
+    fn on_arrival(&mut self, id: ItemId, size: Rational, t: Rational) {
+        if self.active == 0 {
+            self.busy_since = Some(t);
+        }
+        self.items.insert(id, (t, size));
+        self.active += 1;
+    }
+
+    /// Caps the bucket list: more distinct denominators than this and
+    /// the oldest bucket is folded into [`vol`](Self::vol) to make
+    /// room. Grid-based workloads see a handful of denominators.
+    const MAX_VOL_BUCKETS: usize = 32;
+
+    /// Accrues one completed item's `s·len` into the denominator
+    /// buckets without reducing; overflow falls back to the exact
+    /// reduced path.
+    fn accrue_vol(&mut self, size: Rational, lifetime: Rational) {
+        let (num, den) = match (
+            size.numer().checked_mul(lifetime.numer()),
+            size.denom().checked_mul(lifetime.denom()),
+        ) {
+            (Some(num), Some(den)) => (num, den),
+            _ => {
+                self.vol += size * lifetime;
+                return;
+            }
+        };
+        if let Some(slot) = self.vol_buckets.iter_mut().find(|(d, _)| *d == den) {
+            match slot.1.checked_add(num) {
+                Some(sum) => slot.1 = sum,
+                None => {
+                    self.vol += Rational::new(slot.1, den);
+                    slot.1 = num;
+                }
+            }
+            return;
+        }
+        if self.vol_buckets.len() == Self::MAX_VOL_BUCKETS {
+            let (d, n) = self.vol_buckets.remove(0);
+            self.vol += Rational::new(n, d);
+        }
+        self.vol_buckets.push((den, num));
+    }
+
+    fn on_departure(&mut self, id: ItemId, t: Rational) {
+        if let Some((t0, size)) = self.items.remove(&id) {
+            // The same-instant ordering contract makes lifetimes
+            // strictly positive, so µ̂ never divides by zero.
+            let lifetime = t - t0;
+            self.accrue_vol(size, lifetime);
+            self.min_lifetime = Some(match self.min_lifetime {
+                Some(lo) => lo.min(lifetime),
+                None => lifetime,
+            });
+            self.max_lifetime = Some(match self.max_lifetime {
+                Some(hi) => hi.max(lifetime),
+                None => lifetime,
+            });
+            self.active -= 1;
+            if self.active == 0 {
+                if let Some(since) = self.busy_since.take() {
+                    self.span += t - since;
+                }
+            }
+        }
+    }
+
+    /// `vol(R)` up to `now`: completed items (folded spill plus the
+    /// denominator buckets) plus the partial `s·(now − t₀)` of every
+    /// still-active item.
+    fn vol_at(&self, now: Option<Rational>) -> Rational {
+        let mut vol = self.vol;
+        for &(den, num) in &self.vol_buckets {
+            vol += Rational::new(num, den);
+        }
+        if let Some(now) = now {
+            for &(t0, size) in self.items.values() {
+                vol += size * (now - t0);
+            }
+        }
+        vol
+    }
+
+    /// `span(R)` up to `now`: closed busy segments plus the running
+    /// one.
+    fn span_at(&self, now: Option<Rational>) -> Rational {
+        match (self.busy_since, now) {
+            (Some(since), Some(now)) => self.span + (now - since),
+            _ => self.span,
+        }
+    }
 }
 
 /// A journal checkpoint of a session: its configuration plus every
@@ -309,6 +521,11 @@ pub struct SessionSnapshot {
     pub backend: Backend,
     /// The declared tick grid, if any.
     pub grid: Option<TickGrid>,
+    /// Whether the session tracked stream telemetry
+    /// ([`SessionBuilder::telemetry`]); resuming replays it so the
+    /// `vol`/`span` accounting continues seamlessly.
+    #[serde(default)]
+    pub telemetry: bool,
     /// Every applied event, in application order.
     pub events: Vec<Event>,
 }
@@ -359,6 +576,7 @@ pub struct SessionBuilder<'s> {
     backend: Backend,
     grid: Option<TickGrid>,
     journal: bool,
+    telemetry: bool,
 }
 
 impl<'s> SessionBuilder<'s> {
@@ -389,6 +607,23 @@ impl<'s> SessionBuilder<'s> {
     /// [`SessionError::CheckpointsDisabled`].
     pub fn without_checkpoints(mut self) -> SessionBuilder<'s> {
         self.journal = false;
+        self
+    }
+
+    /// Enables stream telemetry: incremental `vol(R)` and `span(R)`
+    /// accounting plus completed-item lifetime extremes, surfaced
+    /// through [`Session::metrics`] (`vol`, `span`, `min_lifetime`,
+    /// `max_lifetime` and the derived
+    /// [`lower_bound`](SessionMetrics::lower_bound) /
+    /// [`ratio_upper_estimate`](SessionMetrics::ratio_upper_estimate)).
+    ///
+    /// Telemetry is stream-derived, not an observer — it works on
+    /// **every** backend, including the integer tick engine, and does
+    /// not force the exact engine. Off by default: it costs a hash-map
+    /// insert/remove plus a handful of exact multiplications per
+    /// event.
+    pub fn telemetry(mut self) -> SessionBuilder<'s> {
+        self.telemetry = true;
         self
     }
 
@@ -437,6 +672,7 @@ impl<'s> SessionBuilder<'s> {
             now: None,
             arrival_at_now: false,
             journal: self.journal.then(Vec::new),
+            telemetry: self.telemetry.then(Telemetry::default),
             arrivals: 0,
             departures: 0,
         })
@@ -465,6 +701,7 @@ pub struct Session<'s> {
     /// instant (rejects misordered equal-time departures).
     arrival_at_now: bool,
     journal: Option<Vec<Event>>,
+    telemetry: Option<Telemetry>,
     arrivals: u64,
     departures: u64,
 }
@@ -491,6 +728,7 @@ impl<'s> Session<'s> {
             backend: Backend::Auto,
             grid: None,
             journal: true,
+            telemetry: false,
         }
     }
 
@@ -529,6 +767,9 @@ impl<'s> Session<'s> {
         let mut builder = Session::builder(algo).backend(snapshot.backend);
         if let Some(grid) = snapshot.grid {
             builder = builder.grid(grid);
+        }
+        if snapshot.telemetry {
+            builder = builder.telemetry();
         }
         let mut session = builder.build()?;
         // Journaled events were all applied once, so replay cannot
@@ -723,6 +964,9 @@ impl<'s> Session<'s> {
         self.now = Some(t);
         self.arrival_at_now = true;
         self.arrivals += 1;
+        if let Some(tele) = &mut self.telemetry {
+            tele.on_arrival(id, size, t);
+        }
         if let Some(journal) = &mut self.journal {
             journal.push(StreamEvent::Arrive { id, size, time: t });
         }
@@ -772,6 +1016,9 @@ impl<'s> Session<'s> {
         self.now = Some(t);
         self.arrival_at_now = false;
         self.departures += 1;
+        if let Some(tele) = &mut self.telemetry {
+            tele.on_departure(id, t);
+        }
         if let Some(journal) = &mut self.journal {
             journal.push(StreamEvent::Depart { id, time: t });
         }
@@ -820,6 +1067,7 @@ impl<'s> Session<'s> {
                 ),
                 Core::TickIdle => (0, 0, 0, 0, Rational::ZERO, Rational::ZERO),
             };
+        let tele = self.telemetry.as_ref();
         SessionMetrics {
             now: self.now,
             events: self.arrivals + self.departures,
@@ -831,6 +1079,10 @@ impl<'s> Session<'s> {
             peak_open_bins,
             load,
             usage_time,
+            vol: tele.map(|t| t.vol_at(self.now)),
+            span: tele.map(|t| t.span_at(self.now)),
+            min_lifetime: tele.and_then(|t| t.min_lifetime),
+            max_lifetime: tele.and_then(|t| t.max_lifetime),
         }
     }
 
@@ -846,6 +1098,7 @@ impl<'s> Session<'s> {
             algorithm: self.name.clone(),
             backend: self.backend,
             grid: self.grid,
+            telemetry: self.telemetry.is_some(),
             events: journal.clone(),
         })
     }
@@ -1499,5 +1752,86 @@ mod tests {
             .unwrap();
         let plain = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
         assert_eq!(observed, plain);
+    }
+
+    #[test]
+    fn telemetry_tracks_vol_span_and_lifetimes() {
+        let mut s = Session::builder(FirstFit::new())
+            .telemetry()
+            .build()
+            .unwrap();
+        // Item 0: size 1/2 over [0, 4]; item 1: size 1/4 over [1, 2];
+        // idle gap (4, 6); item 2: size 1/2 over [6, 7].
+        s.arrive(ItemId(0), rat(1, 2), rat(0, 1)).unwrap();
+        s.arrive(ItemId(1), rat(1, 4), rat(1, 1)).unwrap();
+        s.depart(ItemId(1), rat(2, 1)).unwrap();
+        s.depart(ItemId(0), rat(4, 1)).unwrap();
+        s.arrive(ItemId(2), rat(1, 2), rat(6, 1)).unwrap();
+        s.depart(ItemId(2), rat(7, 1)).unwrap();
+        let m = s.metrics();
+        // vol = Σ sᵢ·lenᵢ = 1/2·4 + 1/4·1 + 1/2·1 = 11/4.
+        assert_eq!(m.vol, Some(rat(11, 4)));
+        // span = |[0,4] ∪ [6,7]| = 5 (the idle gap does not count).
+        assert_eq!(m.span, Some(rat(5, 1)));
+        assert_eq!(m.min_lifetime, Some(rat(1, 1)));
+        assert_eq!(m.max_lifetime, Some(rat(4, 1)));
+        assert_eq!(m.lower_bound(), Some(rat(5, 1)));
+        assert_eq!(m.mu_estimate(), Some(rat(4, 1)));
+        // One bin the whole busy time: usage = 5, ratio estimate 1.
+        assert_eq!(m.ratio_upper_estimate(), Some(rat(1, 1)));
+        s.finish().unwrap();
+    }
+
+    #[test]
+    fn telemetry_is_backend_independent_and_resumes() {
+        let inst = scenario();
+        let events = events_of(&inst);
+        let grid = TickGrid::for_instance(&inst).unwrap();
+        let mut exact = Session::builder(FirstFit::new())
+            .backend(Backend::Exact)
+            .telemetry()
+            .build()
+            .unwrap();
+        exact.ingest(&events).unwrap();
+        let mut tick = Session::builder(FirstFitFast::new())
+            .grid(grid)
+            .telemetry()
+            .build()
+            .unwrap();
+        tick.ingest(&events).unwrap();
+        assert!(tick.tick_active());
+        let (me, mt) = (exact.metrics(), tick.metrics());
+        // Stream-derived telemetry cannot depend on the engine.
+        assert_eq!(me.vol, mt.vol);
+        assert_eq!(me.span, mt.span);
+        assert_eq!(me.min_lifetime, mt.min_lifetime);
+        assert_eq!(me.max_lifetime, mt.max_lifetime);
+        assert!(me.vol.is_some() && me.vol.unwrap().is_positive());
+        assert!(me.ratio_upper_estimate().unwrap() >= Rational::ONE);
+        // Resuming a telemetry session keeps the accounting running.
+        let cut = events.len() / 2;
+        let mut first = Session::builder(FirstFit::new())
+            .telemetry()
+            .build()
+            .unwrap();
+        first.ingest(&events[..cut]).unwrap();
+        let snap = first.snapshot().unwrap();
+        assert!(snap.telemetry);
+        let mut resumed = Session::resume(&snap).unwrap();
+        resumed.ingest(&events[cut..]).unwrap();
+        assert_eq!(resumed.metrics(), me);
+    }
+
+    #[test]
+    fn telemetry_off_leaves_metrics_none() {
+        let mut s = Session::builder(FirstFit::new()).build().unwrap();
+        s.arrive(ItemId(0), rat(1, 2), rat(0, 1)).unwrap();
+        s.depart(ItemId(0), rat(1, 1)).unwrap();
+        let m = s.metrics();
+        assert_eq!(m.vol, None);
+        assert_eq!(m.span, None);
+        assert_eq!(m.lower_bound(), None);
+        assert_eq!(m.mu_estimate(), None);
+        assert_eq!(m.ratio_upper_estimate(), None);
     }
 }

@@ -274,6 +274,7 @@ fn resume_rejects_unknown_and_mismatched_algorithms() {
         algorithm: "NoSuchFit".to_string(),
         backend: Backend::Auto,
         grid: None,
+        telemetry: false,
         events: Vec::new(),
     };
     assert_eq!(

@@ -345,7 +345,11 @@ impl Rational {
         .max(1);
         let num = (self.num / g1).checked_mul(rhs.num / g2)?;
         let den = (self.den / g2).checked_mul(rhs.den / g1)?;
-        Some(Rational::new(num, den))
+        // Already in lowest terms: a prime dividing `den` divides
+        // `b/g2` or `d/g1`, each coprime to both numerator factors —
+        // so the `Rational::new` normalization gcd would be 1.
+        debug_assert_eq!(gcd_u(num.unsigned_abs(), den as u128), 1);
+        Some(Rational { num, den })
     }
 }
 

@@ -50,12 +50,18 @@
 
 pub mod chrome;
 pub mod metrics;
+pub mod openmetrics;
 pub mod replay;
 pub mod series;
+pub mod sink;
 pub mod trace;
+pub mod watchdog;
 
 pub use chrome::chrome_trace;
-pub use metrics::{EngineMetrics, Histogram, MetricsRegistry};
+pub use metrics::{set_ratio_gauge, telemetry_registry, EngineMetrics, Histogram, MetricsRegistry};
+pub use openmetrics::{MetricsServer, OPENMETRICS_CONTENT_TYPE};
 pub use replay::{replay, verify, ReplayError, ReplaySummary};
 pub use series::{SeriesPoint, SeriesSummary, StepSeries};
+pub use sink::TelemetrySink;
 pub use trace::{events_to_jsonl, parse_jsonl, TraceEvent, TraceRecorder};
+pub use watchdog::{Watchdog, WatchdogAlert};

@@ -1,24 +1,55 @@
 //! The metrics registry and the engine metrics observer.
 //!
 //! [`MetricsRegistry`] is a small, dependency-free metrics surface:
-//! monotone counters, last-write-wins gauges, exact time-weighted
-//! signals (on [`dbp_simcore::TimeWeighted`]), and log₂-bucketed
-//! histograms for wall-clock and scan-length samples. Everything
-//! snapshots to a single JSON object with stable key order, so
-//! snapshots diff cleanly across runs.
+//! monotone counters, last-write-wins gauges, exact rational totals,
+//! exact time-weighted signals (on [`dbp_simcore::TimeWeighted`]),
+//! and log₂-bucketed histograms for wall-clock and scan-length
+//! samples. Everything snapshots to a single JSON object with stable
+//! key order, so snapshots diff cleanly across runs.
+//!
+//! Registries are **mergeable** ([`MetricsRegistry::merge`]): every
+//! section has a lawful fold (counters and totals add, gauges resolve
+//! last-write-wins by a process-wide write stamp, histogram buckets
+//! add, time-weighted signals stitch), so per-shard registries from a
+//! `dbp_par::Fleet` collapse into one fleet-wide registry whose
+//! snapshot is byte-identical to merging the shards in any order.
 //!
 //! [`EngineMetrics`] is an [`EngineObserver`] that populates a
 //! registry with the standard engine signals: event counts and
 //! events/sec, placement scan lengths, bins opened vs reused, and the
-//! time-weighted open-bin count.
+//! time-weighted open-bin count. [`telemetry_registry`] renders a
+//! session's stream-derived [`SessionMetrics`] — including the
+//! paper's `vol(R)`/`span(R)` lower-bound trackers — into a registry
+//! built purely from merge-safe sections.
 
 use dbp_core::algo::ArrivalView;
+use dbp_core::session::SessionMetrics;
 use dbp_core::{BinId, BinRecord, BinSnapshot, EngineObserver, ItemId, PackingOutcome};
 use dbp_numeric::Rational;
 use dbp_simcore::TimeWeighted;
 use serde::Value;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Process-wide logical clock stamping every gauge write, so
+/// last-write-wins stays well-defined when gauges from *different*
+/// registries (e.g. per-shard collectors) are merged. Starts at 1 so
+/// stamp 0 can never win against a real write.
+static GAUGE_CLOCK: AtomicU64 = AtomicU64::new(1);
+
+fn gauge_stamp() -> u64 {
+    GAUGE_CLOCK.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A gauge value plus the process-wide write stamp that orders it
+/// against writes in other registries. The stamp never appears in
+/// snapshots — it exists only to resolve merges.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Gauge {
+    value: f64,
+    stamp: u64,
+}
 
 /// Log₂-bucketed histogram of non-negative `f64` samples.
 ///
@@ -61,14 +92,54 @@ impl Histogram {
         self.count
     }
 
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
     /// Mean sample (`None` when empty).
     pub fn mean(&self) -> Option<f64> {
         (self.count > 0).then(|| self.sum / self.count as f64)
     }
 
+    /// Smallest sample (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
     /// Largest sample (`None` when empty).
     pub fn max(&self) -> Option<f64> {
         (self.count > 0).then_some(self.max)
+    }
+
+    /// The populated log₂ buckets as `(upper_bound, count)` pairs in
+    /// ascending bound order: bucket exponent `i` covers samples
+    /// `≤ 2^i` (and bucket 0 covers `[0, 1]`).
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.buckets.iter().map(|(b, n)| (2f64.powi(*b as i32), *n))
+    }
+
+    /// Merges `other` into `self`: counts, sums, and per-bucket tallies
+    /// add; extremes combine. The merged histogram is exactly what
+    /// observing both sample streams into one histogram would have
+    /// produced — `merge(H(A), H(B)) = H(A ∪ B)` — so the fold is
+    /// commutative and associative.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        for (bucket, n) in &other.buckets {
+            *self.buckets.entry(*bucket).or_insert(0) += n;
+        }
     }
 
     fn snapshot(&self) -> Value {
@@ -85,20 +156,23 @@ impl Histogram {
         Value::Object(vec![
             ("count".into(), Value::Int(self.count as i128)),
             ("sum".into(), Value::Float(self.sum)),
-            ("min".into(), Value::Float(self.min)),
-            ("max".into(), Value::Float(self.max)),
+            // An empty histogram has no extremes: emit `null`, not a
+            // fabricated 0.0 (mirrors `mean`).
+            ("min".into(), self.min().map_or(Value::Null, Value::Float)),
+            ("max".into(), self.max().map_or(Value::Null, Value::Float)),
             ("mean".into(), self.mean().map_or(Value::Null, Value::Float)),
             ("buckets".into(), Value::Array(buckets)),
         ])
     }
 }
 
-/// Counters, gauges, time-weighted signals, and histograms under
-/// string names, with a deterministic JSON snapshot.
+/// Counters, gauges, exact totals, time-weighted signals, and
+/// histograms under string names, with a deterministic JSON snapshot.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
     counters: BTreeMap<String, u64>,
-    gauges: BTreeMap<String, f64>,
+    gauges: BTreeMap<String, Gauge>,
+    totals: BTreeMap<String, Rational>,
     weighted: BTreeMap<String, TimeWeighted>,
     histograms: BTreeMap<String, Histogram>,
 }
@@ -124,14 +198,42 @@ impl MetricsRegistry {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
-    /// Sets gauge `name` (last write wins).
+    /// Sets gauge `name` (last write wins, ordered by a process-wide
+    /// write stamp so the rule survives cross-registry merges).
     pub fn set_gauge(&mut self, name: &str, value: f64) {
-        self.gauges.insert(name.to_string(), value);
+        self.gauges.insert(
+            name.to_string(),
+            Gauge {
+                value,
+                stamp: gauge_stamp(),
+            },
+        );
     }
 
     /// Current value of a gauge.
     pub fn gauge(&self, name: &str) -> Option<f64> {
-        self.gauges.get(name).copied()
+        self.gauges.get(name).map(|g| g.value)
+    }
+
+    /// Adds `delta` to the exact rational total `name` (starting from
+    /// zero). Totals are the registry's *additive exact* section —
+    /// `vol(R)`, `span(R)`, usage time — and fold across shards
+    /// without rounding.
+    pub fn add_total(&mut self, name: &str, delta: Rational) {
+        *self
+            .totals
+            .entry(name.to_string())
+            .or_insert(Rational::ZERO) += delta;
+    }
+
+    /// Overwrites the exact rational total `name`.
+    pub fn set_total(&mut self, name: &str, value: Rational) {
+        self.totals.insert(name.to_string(), value);
+    }
+
+    /// The exact total `name`, if set.
+    pub fn total(&self, name: &str) -> Option<Rational> {
+        self.totals.get(name).copied()
     }
 
     /// Updates the exact time-weighted signal `name` to `value` at
@@ -164,6 +266,31 @@ impl MetricsRegistry {
         self.histograms.get(name)
     }
 
+    /// All counters, in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All gauges, in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
+        self.gauges.iter().map(|(k, g)| (k.as_str(), g.value))
+    }
+
+    /// All exact totals, in name order.
+    pub fn totals(&self) -> impl Iterator<Item = (&str, Rational)> + '_ {
+        self.totals.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All time-weighted signals, in name order.
+    pub fn weighted(&self) -> impl Iterator<Item = (&str, &TimeWeighted)> + '_ {
+        self.weighted.iter().map(|(k, w)| (k.as_str(), w))
+    }
+
+    /// All histograms, in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(k, h)| (k.as_str(), h))
+    }
+
     /// Times `f`, recording the wall-clock duration in nanoseconds
     /// into histogram `name`, and returns `f`'s result.
     pub fn time<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
@@ -173,9 +300,53 @@ impl MetricsRegistry {
         out
     }
 
+    /// Merges `other` into `self`, section by section, under each
+    /// section's fold law:
+    ///
+    /// * **counters** and **totals** add (exactly, for totals);
+    /// * **gauges** resolve last-write-wins by the process-wide write
+    ///   stamp (ties keep `self`'s value, so repeated merges are
+    ///   stable);
+    /// * **histograms** add per-bucket ([`Histogram::merge`]);
+    /// * **time-weighted signals** stitch under zero-extension
+    ///   ([`TimeWeighted::merge`]) — integrals add exactly.
+    ///
+    /// The fold is commutative and associative up to gauge
+    /// tie-breaking, so a fleet can merge shard registries in any
+    /// order and snapshot the same bytes.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, g) in &other.gauges {
+            match self.gauges.get_mut(name) {
+                Some(mine) if mine.stamp >= g.stamp => {}
+                Some(mine) => *mine = *g,
+                None => {
+                    self.gauges.insert(name.clone(), *g);
+                }
+            }
+        }
+        for (name, v) in &other.totals {
+            *self.totals.entry(name.clone()).or_insert(Rational::ZERO) += *v;
+        }
+        for (name, w) in &other.weighted {
+            match self.weighted.get_mut(name) {
+                Some(mine) => mine.merge(w),
+                None => {
+                    self.weighted.insert(name.clone(), w.clone());
+                }
+            }
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
     /// Snapshots everything into one JSON object:
-    /// `{counters, gauges, time_weighted, histograms}` with sorted
-    /// keys throughout.
+    /// `{counters, gauges, totals, time_weighted, histograms}` with
+    /// sorted keys throughout. Totals serialize as exact `{num, den}`
+    /// pairs; gauge write stamps never appear.
     pub fn snapshot(&self) -> Value {
         let counters = self
             .counters
@@ -185,7 +356,12 @@ impl MetricsRegistry {
         let gauges = self
             .gauges
             .iter()
-            .map(|(k, v)| (k.clone(), Value::Float(*v)))
+            .map(|(k, g)| (k.clone(), Value::Float(g.value)))
+            .collect();
+        let totals = self
+            .totals
+            .iter()
+            .map(|(k, v)| (k.clone(), serde_json::to_value(v)))
             .collect();
         let weighted = self
             .weighted
@@ -214,6 +390,7 @@ impl MetricsRegistry {
         Value::Object(vec![
             ("counters".into(), Value::Object(counters)),
             ("gauges".into(), Value::Object(gauges)),
+            ("totals".into(), Value::Object(totals)),
             ("time_weighted".into(), Value::Object(weighted)),
             ("histograms".into(), Value::Object(histograms)),
         ])
@@ -223,6 +400,69 @@ impl MetricsRegistry {
     pub fn to_json_pretty(&self) -> String {
         serde_json::to_string_pretty(&self.snapshot()).expect("snapshot always serializes")
     }
+}
+
+/// Renders a session's stream-derived counters into a registry built
+/// purely from merge-safe sections, so per-shard registries fold into
+/// a fleet view with [`MetricsRegistry::merge`]:
+///
+/// * counters `arrivals`, `departures`, `events`, `bins_opened`,
+///   `open_bins`, `active_items` — additive across shards;
+/// * exact totals `load` and `usage_time`, plus `vol` and `span` when
+///   the session tracks telemetry (see
+///   `SessionBuilder::telemetry`) — the Propositions 1–2
+///   lower-bound numerators, additive because each shard's optimum is
+///   bounded below by its own `max(vol, span)`;
+/// * histogram `peak_open_bins` with one sample per session, so the
+///   merged `max` is the fleet-wide peak and `count` the shard count.
+///
+/// Deliberately **no gauges**: gauges resolve last-write-wins, which
+/// would make a fleet fold depend on merge order. Derived gauges
+/// (e.g. the live competitive-ratio estimate) belong on the *merged*
+/// registry — see [`set_ratio_gauge`].
+pub fn telemetry_registry(m: &SessionMetrics) -> MetricsRegistry {
+    let mut r = MetricsRegistry::new();
+    r.inc_by("arrivals", m.arrivals);
+    r.inc_by("departures", m.departures);
+    r.inc_by("events", m.events);
+    r.inc_by("bins_opened", m.bins_opened as u64);
+    r.inc_by("open_bins", m.open_bins as u64);
+    r.inc_by("active_items", m.active_items as u64);
+    r.add_total("load", m.load);
+    r.add_total("usage_time", m.usage_time);
+    if let Some(vol) = m.vol {
+        r.add_total("vol", vol);
+    }
+    if let Some(span) = m.span {
+        r.add_total("span", span);
+    }
+    r.observe("peak_open_bins", m.peak_open_bins as f64);
+    r
+}
+
+/// Computes the live competitive-ratio upper estimate
+/// `usage_time / max(vol, span)` from the registry's exact totals and
+/// publishes it as gauge `ratio_upper_estimate` (plus `lower_bound`,
+/// the `max(vol, span)` denominator, as a float gauge). No-op while
+/// the lower bound is still zero or the totals are absent.
+///
+/// Call this on a *merged* registry: `vol` and `span` totals are
+/// per-shard lower bounds summed, so the gauge estimates the fleet's
+/// usage against the sum of per-shard optima.
+pub fn set_ratio_gauge(registry: &mut MetricsRegistry) {
+    let (Some(usage), Some(vol), Some(span)) = (
+        registry.total("usage_time"),
+        registry.total("vol"),
+        registry.total("span"),
+    ) else {
+        return;
+    };
+    let bound = vol.max(span);
+    if !bound.is_positive() {
+        return;
+    }
+    registry.set_gauge("lower_bound", bound.to_f64());
+    registry.set_gauge("ratio_upper_estimate", (usage / bound).to_f64());
 }
 
 /// An [`EngineObserver`] that fills a [`MetricsRegistry`] with the
@@ -373,6 +613,54 @@ mod tests {
         assert_eq!(h.buckets.get(&0), Some(&2));
         assert_eq!(h.buckets.get(&2), Some(&1));
         assert_eq!(h.buckets.get(&7), Some(&1));
+        let bounds: Vec<(f64, u64)> = h.buckets().collect();
+        assert_eq!(bounds, vec![(1.0, 2), (4.0, 1), (128.0, 1)]);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_has_null_extremes() {
+        // Regression: an empty histogram used to fabricate
+        // `min: 0.0` / `max: 0.0`; like `mean`, they must be `null`.
+        let h = Histogram::default();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        let snap = h.snapshot();
+        assert_eq!(snap.get("min"), Some(&Value::Null));
+        assert_eq!(snap.get("max"), Some(&Value::Null));
+        assert_eq!(snap.get("mean"), Some(&Value::Null));
+        assert_eq!(snap.get("count"), Some(&Value::Int(0)));
+        // One observation makes them real numbers again.
+        let mut h = h;
+        h.observe(2.5);
+        let snap = h.snapshot();
+        assert_eq!(snap.get("min"), Some(&Value::Float(2.5)));
+        assert_eq!(snap.get("max"), Some(&Value::Float(2.5)));
+    }
+
+    #[test]
+    fn histogram_merge_equals_union_of_streams() {
+        let (a_samples, b_samples) = ([0.5, 3.0, 700.0], [1.0, 3.5, 0.25, 9e9]);
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut union = Histogram::default();
+        for v in a_samples {
+            a.observe(v);
+            union.observe(v);
+        }
+        for v in b_samples {
+            b.observe(v);
+            union.observe(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.snapshot(), union.snapshot());
+        // Merging an empty histogram is the identity, both ways.
+        let mut left = a.clone();
+        left.merge(&Histogram::default());
+        assert_eq!(left.snapshot(), a.snapshot());
+        let mut right = Histogram::default();
+        right.merge(&a);
+        assert_eq!(right.snapshot(), a.snapshot());
     }
 
     #[test]
@@ -381,18 +669,69 @@ mod tests {
         m.inc("a");
         m.inc_by("a", 2);
         m.set_gauge("g", 1.5);
+        m.add_total("vol", rat(1, 3));
+        m.add_total("vol", rat(1, 6));
         m.track("w", rat(0, 1), rat(1, 1));
         m.track("w", rat(2, 1), rat(3, 1));
         let answer = m.time("t_ns", || 7);
         assert_eq!(answer, 7);
         assert_eq!(m.counter("a"), 3);
         assert_eq!(m.gauge("g"), Some(1.5));
+        assert_eq!(m.total("vol"), Some(rat(1, 2)));
         assert_eq!(m.tracked("w").unwrap().integral(), rat(2, 1));
         let snap = m.snapshot();
         assert_eq!(snap.get("counters").unwrap().get("a"), Some(&Value::Int(3)));
         assert!(snap.get("histograms").unwrap().get("t_ns").is_some());
+        // Totals serialize as exact {num, den} pairs.
+        let vol = snap.get("totals").unwrap().get("vol").unwrap();
+        assert_eq!(vol.get("num").unwrap().as_int(), Some(1));
+        assert_eq!(vol.get("den").unwrap().as_int(), Some(2));
         // Snapshot text parses back as JSON.
         assert!(serde_json::parse(&m.to_json_pretty()).is_ok());
+    }
+
+    #[test]
+    fn registry_merge_folds_every_section() {
+        let mut a = MetricsRegistry::new();
+        a.inc_by("events", 3);
+        a.add_total("usage_time", rat(5, 2));
+        a.observe("peak", 4.0);
+        a.track("open", rat(0, 1), rat(2, 1));
+        a.set_gauge("ratio", 1.0);
+        let mut b = MetricsRegistry::new();
+        b.inc_by("events", 2);
+        b.inc("departures");
+        b.add_total("usage_time", rat(1, 2));
+        b.observe("peak", 9.0);
+        b.track("open", rat(0, 1), rat(1, 1));
+        b.set_gauge("ratio", 2.0); // later write stamp: wins the merge
+
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.counter("events"), 5);
+        assert_eq!(merged.counter("departures"), 1);
+        assert_eq!(merged.total("usage_time"), Some(rat(3, 1)));
+        assert_eq!(merged.histogram("peak").unwrap().max(), Some(9.0));
+        assert_eq!(merged.gauge("ratio"), Some(2.0));
+        assert_eq!(merged.tracked("open").unwrap().current(), rat(3, 1));
+
+        // Merge order cannot change the snapshot bytes.
+        let mut flipped = b.clone();
+        flipped.merge(&a);
+        assert_eq!(flipped.to_json_pretty(), merged.to_json_pretty());
+    }
+
+    #[test]
+    fn ratio_gauge_derives_from_exact_totals() {
+        let mut r = MetricsRegistry::new();
+        set_ratio_gauge(&mut r); // no totals: no-op
+        assert_eq!(r.gauge("ratio_upper_estimate"), None);
+        r.add_total("usage_time", rat(9, 1));
+        r.add_total("vol", rat(3, 1));
+        r.add_total("span", rat(4, 1));
+        set_ratio_gauge(&mut r);
+        assert_eq!(r.gauge("lower_bound"), Some(4.0));
+        assert_eq!(r.gauge("ratio_upper_estimate"), Some(2.25));
     }
 
     #[test]

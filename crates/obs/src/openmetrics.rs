@@ -1,0 +1,312 @@
+//! OpenMetrics text exposition and a std-only scrape endpoint.
+//!
+//! [`MetricsRegistry::to_openmetrics`] renders a registry in the
+//! [OpenMetrics text format] (the Prometheus exposition format), and
+//! [`MetricsServer`] serves it over HTTP from a plain
+//! `std::net::TcpListener` — no HTTP framework, no new dependencies.
+//! All metric names are prefixed `dbp_` and sanitized to the
+//! OpenMetrics charset.
+//!
+//! Section mapping:
+//!
+//! * counters → `counter` families, suffixed `_total`;
+//! * gauges and exact totals → `gauge` families (totals are rendered
+//!   as their `f64` value; the exact `{num, den}` form lives in the
+//!   JSON snapshot);
+//! * time-weighted signals → two gauges, `<name>_current` and
+//!   `<name>_integral`;
+//! * histograms → a `histogram` family with cumulative
+//!   `_bucket{le="..."}` counts (log₂ bounds), a `+Inf` bucket, and
+//!   `_sum`/`_count`.
+//!
+//! The page ends with the mandatory `# EOF` terminator.
+//!
+//! [OpenMetrics text format]: https://prometheus.io/docs/specs/om/open_metrics_spec/
+
+use crate::metrics::MetricsRegistry;
+use std::fmt::Write as _;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The HTTP `Content-Type` of an OpenMetrics text page.
+pub const OPENMETRICS_CONTENT_TYPE: &str =
+    "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
+/// Maps a registry name into the OpenMetrics charset
+/// (`[a-zA-Z0-9_:]`, non-digit first) under the `dbp_` prefix.
+fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("dbp_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders an `f64` the way the exposition format expects: `+Inf`,
+/// `-Inf`, `NaN`, or shortest-exact decimal.
+fn number(v: f64) -> String {
+    if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+impl MetricsRegistry {
+    /// Renders the registry as an OpenMetrics text page (see the
+    /// [module docs](self) for the section mapping). The output is
+    /// deterministic: families appear in registry name order.
+    pub fn to_openmetrics(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in self.counters() {
+            let n = metric_name(name);
+            let _ = writeln!(out, "# TYPE {n} counter");
+            let _ = writeln!(out, "{n}_total {value}");
+        }
+        for (name, value) in self.gauges() {
+            let n = metric_name(name);
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {}", number(value));
+        }
+        for (name, value) in self.totals() {
+            let n = metric_name(name);
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {}", number(value.to_f64()));
+        }
+        for (name, w) in self.weighted() {
+            let n = metric_name(name);
+            let _ = writeln!(out, "# TYPE {n}_current gauge");
+            let _ = writeln!(out, "{n}_current {}", number(w.current().to_f64()));
+            let _ = writeln!(out, "# TYPE {n}_integral gauge");
+            let _ = writeln!(out, "{n}_integral {}", number(w.integral().to_f64()));
+        }
+        for (name, h) in self.histograms() {
+            let n = metric_name(name);
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let mut cumulative = 0u64;
+            for (le, count) in h.buckets() {
+                cumulative += count;
+                let _ = writeln!(out, "{n}_bucket{{le=\"{}\"}} {cumulative}", number(le));
+            }
+            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count());
+            let _ = writeln!(out, "{n}_sum {}", number(h.sum()));
+            let _ = writeln!(out, "{n}_count {}", h.count());
+        }
+        out.push_str("# EOF\n");
+        out
+    }
+}
+
+/// A minimal scrape endpoint: serves the current contents of a shared
+/// [`MetricsRegistry`] as an OpenMetrics page on every HTTP request.
+///
+/// Built on a non-blocking `std::net::TcpListener` polled by one
+/// background thread; any request path gets the metrics page (real
+/// scrapers use `/metrics`, but there is nothing else to route).
+/// Update the registry through [`registry`](Self::registry); stop and
+/// join with [`stop`](Self::stop).
+///
+/// ```
+/// use dbp_obs::{MetricsRegistry, MetricsServer};
+///
+/// let server = MetricsServer::start("127.0.0.1:0").unwrap();
+/// server.registry().lock().unwrap().inc("scrapes_ready");
+/// let addr = server.local_addr();
+/// // … point a scraper at http://{addr}/metrics …
+/// server.stop();
+/// # let _ = addr;
+/// ```
+pub struct MetricsServer {
+    registry: Arc<Mutex<MetricsRegistry>>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9184"`; port 0 picks a free
+    /// port) and starts serving an initially empty registry.
+    pub fn start(addr: impl ToSocketAddrs) -> io::Result<MetricsServer> {
+        Self::start_with(Arc::new(Mutex::new(MetricsRegistry::new())), addr)
+    }
+
+    /// [`start`](Self::start) with a caller-shared registry.
+    pub fn start_with(
+        registry: Arc<Mutex<MetricsRegistry>>,
+        addr: impl ToSocketAddrs,
+    ) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let registry = Arc::clone(&registry);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("dbp-metrics".into())
+                .spawn(move || serve(listener, registry, stop))?
+        };
+        Ok(MetricsServer {
+            registry,
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The served registry; lock it to update what scrapes see.
+    pub fn registry(&self) -> &Arc<Mutex<MetricsRegistry>> {
+        &self.registry
+    }
+
+    /// Signals the serving thread to exit and joins it.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Accept loop: poll the non-blocking listener, answer each request
+/// with the current metrics page, exit when `stop` flips.
+fn serve(listener: TcpListener, registry: Arc<Mutex<MetricsRegistry>>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Per-request errors (closed sockets, torn writes)
+                // only lose that one scrape.
+                let _ = answer(stream, &registry);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Reads one HTTP request (just far enough to consume the header
+/// block) and writes the metrics page as an HTTP/1.1 response.
+fn answer(
+    mut stream: std::net::TcpStream,
+    registry: &Arc<Mutex<MetricsRegistry>>,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    let mut buf = [0u8; 1024];
+    let mut header = Vec::new();
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        header.extend_from_slice(&buf[..n]);
+        if header.windows(4).any(|w| w == b"\r\n\r\n") || header.len() > 16 * 1024 {
+            break;
+        }
+    }
+    let body = registry
+        .lock()
+        .map(|r| r.to_openmetrics())
+        .unwrap_or_else(|e| e.into_inner().to_openmetrics());
+    let response = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: {OPENMETRICS_CONTENT_TYPE}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_numeric::rat;
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut r = MetricsRegistry::new();
+        r.inc_by("events", 42);
+        r.set_gauge("ratio_upper_estimate", 1.25);
+        r.add_total("vol", rat(7, 2));
+        r.track("open_bins", rat(0, 1), rat(2, 1));
+        r.track("open_bins", rat(3, 1), rat(1, 1));
+        r.observe("scan length", 3.0);
+        r.observe("scan length", 9.0);
+        r
+    }
+
+    #[test]
+    fn exposition_renders_every_section_and_terminates() {
+        let text = sample_registry().to_openmetrics();
+        assert!(text.contains("# TYPE dbp_events counter\ndbp_events_total 42\n"));
+        assert!(
+            text.contains("# TYPE dbp_ratio_upper_estimate gauge\ndbp_ratio_upper_estimate 1.25\n")
+        );
+        assert!(text.contains("dbp_vol 3.5\n"));
+        assert!(text.contains("dbp_open_bins_current 1\n"));
+        assert!(text.contains("dbp_open_bins_integral 6\n"));
+        // Name sanitization: the space becomes an underscore.
+        assert!(text.contains("# TYPE dbp_scan_length histogram"));
+        // Cumulative buckets: 3.0 ≤ 4, 9.0 ≤ 16.
+        assert!(text.contains("dbp_scan_length_bucket{le=\"4\"} 1\n"));
+        assert!(text.contains("dbp_scan_length_bucket{le=\"16\"} 2\n"));
+        assert!(text.contains("dbp_scan_length_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("dbp_scan_length_sum 12\n"));
+        assert!(text.contains("dbp_scan_length_count 2\n"));
+        assert!(text.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn scrape_endpoint_serves_the_live_registry() {
+        let server = MetricsServer::start("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        server.registry().lock().unwrap().merge(&sample_registry());
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: test\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(response.contains(OPENMETRICS_CONTENT_TYPE));
+        assert!(response.contains("dbp_events_total 42"));
+        assert!(response.trim_end().ends_with("# EOF"));
+        // Updates between scrapes are visible.
+        server.registry().lock().unwrap().inc("events");
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: test\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.contains("dbp_events_total 43"));
+        server.stop();
+    }
+}

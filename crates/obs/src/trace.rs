@@ -121,6 +121,94 @@ impl TraceEvent {
             TraceEvent::RunFinished { .. } => "run_finished",
         }
     }
+
+    /// The [`Arrival`](Self::Arrival) event of an
+    /// [`EngineObserver::on_arrival`] callback.
+    pub fn from_arrival(arrival: &ArrivalView, bins: &BinSnapshot<'_>) -> TraceEvent {
+        TraceEvent::Arrival {
+            t: arrival.time,
+            item: arrival.item,
+            size: arrival.size,
+            open_bins: bins.len(),
+        }
+    }
+
+    /// The [`Placement`](Self::Placement) event of an
+    /// [`EngineObserver::on_placement`] callback, with the scan
+    /// statistics materialized from the pre-placement snapshot.
+    pub fn from_placement(
+        arrival: &ArrivalView,
+        bins: &BinSnapshot<'_>,
+        chosen: BinId,
+        opened_new: bool,
+    ) -> TraceEvent {
+        Self::from_placement_reusing(arrival, bins, chosen, opened_new, Vec::new())
+    }
+
+    /// [`from_placement`](Self::from_placement) writing the rejected
+    /// set into a recycled buffer (cleared here) — lets a bounded
+    /// sink hand evicted events' allocations back to the scanner
+    /// instead of allocating per placement.
+    pub(crate) fn from_placement_reusing(
+        arrival: &ArrivalView,
+        bins: &BinSnapshot<'_>,
+        chosen: BinId,
+        opened_new: bool,
+        mut rejected: Vec<BinId>,
+    ) -> TraceEvent {
+        rejected.clear();
+        let scanned = scan_stats_into(bins, arrival.size, chosen, opened_new, &mut rejected);
+        TraceEvent::Placement {
+            t: arrival.time,
+            item: arrival.item,
+            size: arrival.size,
+            bin: chosen,
+            opened_new,
+            scanned,
+            rejected,
+        }
+    }
+
+    /// The [`BinOpened`](Self::BinOpened) event of an
+    /// [`EngineObserver::on_bin_opened`] callback.
+    pub fn from_bin_opened(bin: BinId, time: Rational) -> TraceEvent {
+        TraceEvent::BinOpened { t: time, bin }
+    }
+
+    /// The [`Departure`](Self::Departure) event of an
+    /// [`EngineObserver::on_departure`] callback.
+    pub fn from_departure(item: ItemId, bin: BinId, size: Rational, time: Rational) -> TraceEvent {
+        TraceEvent::Departure {
+            t: time,
+            item,
+            bin,
+            size,
+        }
+    }
+
+    /// The [`BinClosed`](Self::BinClosed) event of an
+    /// [`EngineObserver::on_bin_closed`] callback.
+    pub fn from_bin_closed(record: &BinRecord) -> TraceEvent {
+        TraceEvent::BinClosed {
+            t: record.usage.hi(),
+            bin: record.id,
+            opened_at: record.usage.lo(),
+            level_integral: record.level_integral,
+            peak_level: record.peak_level,
+            items: record.items.len(),
+        }
+    }
+
+    /// The [`RunFinished`](Self::RunFinished) event of an
+    /// [`EngineObserver::on_run_finished`] callback.
+    pub fn from_run_finished(outcome: &PackingOutcome) -> TraceEvent {
+        TraceEvent::RunFinished {
+            algorithm: outcome.algorithm().to_string(),
+            total_usage: outcome.total_usage(),
+            max_open_bins: outcome.max_open_bins(),
+            bins_opened: outcome.bins_opened(),
+        }
+    }
 }
 
 /// Computes the scan statistics for a placement from the
@@ -128,26 +216,35 @@ impl TraceEvent {
 /// inspects before resolving, and which of those cannot hold the
 /// item. Algorithm-agnostic — derived from engine state, not from the
 /// algorithm's private bookkeeping.
-fn scan_stats(
+fn scan_stats_into(
     bins: &BinSnapshot<'_>,
     size: Rational,
     chosen: BinId,
     opened_new: bool,
-) -> (usize, Vec<BinId>) {
-    let scanned = if opened_new {
-        bins.len()
-    } else {
-        bins.open_bins()
-            .iter()
-            .position(|b| b.id == chosen)
-            .map_or(bins.len(), |p| p + 1)
-    };
-    let rejected = bins.open_bins()[..scanned]
-        .iter()
-        .filter(|b| !b.fits(size))
-        .map(|b| b.id)
-        .collect();
-    (scanned, rejected)
+    rejected: &mut Vec<BinId>,
+) -> usize {
+    // One forward pass: stop at the chosen bin (it fits — the engine
+    // validated the placement before observing it), collecting the
+    // non-fitting bins seen on the way. `level + size ≤ 1` is checked
+    // as `level ≤ 1 − size`: the budget is subtracted once per scan,
+    // leaving only a gcd-free `Ord` comparison per bin.
+    let open = bins.open_bins();
+    let budget = Rational::ONE - size;
+    for (i, b) in open.iter().enumerate() {
+        if !opened_new && b.id == chosen {
+            return i + 1;
+        }
+        if b.level > budget {
+            if rejected.is_empty() {
+                // One exact allocation instead of doubling growth —
+                // every remaining scanned bin could be a reject, and
+                // a fresh-bin decision rejects most of the line.
+                rejected.reserve(open.len() - i);
+            }
+            rejected.push(b.id);
+        }
+    }
+    open.len()
 }
 
 /// An [`EngineObserver`] that records every event as a
@@ -202,12 +299,7 @@ impl TraceRecorder {
 
 impl EngineObserver for TraceRecorder {
     fn on_arrival(&mut self, arrival: &ArrivalView, bins: &BinSnapshot<'_>) {
-        self.events.push(TraceEvent::Arrival {
-            t: arrival.time,
-            item: arrival.item,
-            size: arrival.size,
-            open_bins: bins.len(),
-        });
+        self.events.push(TraceEvent::from_arrival(arrival, bins));
     }
 
     fn on_placement(
@@ -217,20 +309,13 @@ impl EngineObserver for TraceRecorder {
         chosen: BinId,
         opened_new: bool,
     ) {
-        let (scanned, rejected) = scan_stats(bins, arrival.size, chosen, opened_new);
-        self.events.push(TraceEvent::Placement {
-            t: arrival.time,
-            item: arrival.item,
-            size: arrival.size,
-            bin: chosen,
-            opened_new,
-            scanned,
-            rejected,
-        });
+        self.events.push(TraceEvent::from_placement(
+            arrival, bins, chosen, opened_new,
+        ));
     }
 
     fn on_bin_opened(&mut self, bin: BinId, time: Rational) {
-        self.events.push(TraceEvent::BinOpened { t: time, bin });
+        self.events.push(TraceEvent::from_bin_opened(bin, time));
     }
 
     fn on_departure(
@@ -241,32 +326,16 @@ impl EngineObserver for TraceRecorder {
         time: Rational,
         _bins: &BinSnapshot<'_>,
     ) {
-        self.events.push(TraceEvent::Departure {
-            t: time,
-            item,
-            bin,
-            size,
-        });
+        self.events
+            .push(TraceEvent::from_departure(item, bin, size, time));
     }
 
     fn on_bin_closed(&mut self, record: &BinRecord) {
-        self.events.push(TraceEvent::BinClosed {
-            t: record.usage.hi(),
-            bin: record.id,
-            opened_at: record.usage.lo(),
-            level_integral: record.level_integral,
-            peak_level: record.peak_level,
-            items: record.items.len(),
-        });
+        self.events.push(TraceEvent::from_bin_closed(record));
     }
 
     fn on_run_finished(&mut self, outcome: &PackingOutcome) {
-        self.events.push(TraceEvent::RunFinished {
-            algorithm: outcome.algorithm().to_string(),
-            total_usage: outcome.total_usage(),
-            max_open_bins: outcome.max_open_bins(),
-            bins_opened: outcome.bins_opened(),
-        });
+        self.events.push(TraceEvent::from_run_finished(outcome));
     }
 }
 
@@ -378,5 +447,54 @@ mod tests {
     fn parse_reports_bad_lines() {
         let err = parse_jsonl("{\"BinOpened\":{}}\nnot json\n").unwrap_err();
         assert!(err.contains("line 1") || err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn parse_errors_name_the_exact_line_past_blanks() {
+        // Valid line, blank line, then garbage: the error must point
+        // at physical line 3, not the second parsed event.
+        let good = serde_json::to_string(&TraceEvent::BinOpened {
+            t: rat(1, 1),
+            bin: BinId(0),
+        })
+        .unwrap();
+        let text = format!("{good}\n\n{{\"Departure\": 7}}\n");
+        let err = parse_jsonl(&text).unwrap_err();
+        assert!(err.starts_with("line 3: "), "{err}");
+        // Truncated JSON is also a line-numbered error, not a panic.
+        let err = parse_jsonl("{\"BinOpened\":{\"t\":").unwrap_err();
+        assert!(err.starts_with("line 1: "), "{err}");
+    }
+
+    #[test]
+    fn extreme_rational_timestamps_round_trip_and_verify() {
+        // Timestamps with huge numerators and non-unit denominators
+        // (coprime, near the i128-safe range for exact integration)
+        // must survive write → parse → replay-verify bit-exactly.
+        let big = 1_000_000_000_000_000_003i128; // prime
+        let inst = Instance::builder()
+            .item(rat(999_999_999_999_999_999, big), rat(big, 7), rat(big, 5))
+            .item(rat(1, big), rat(big, 7), rat(big, 6))
+            .build()
+            .unwrap();
+        let mut rec = TraceRecorder::new();
+        let out = Runner::new(&inst)
+            .observer(&mut rec)
+            .run(&mut FirstFit::new())
+            .unwrap();
+        let events = rec.into_events();
+        let parsed = parse_jsonl(&events_to_jsonl(&events)).unwrap();
+        assert_eq!(parsed, events);
+        // The parsed trace replays against the outcome bit-for-bit.
+        crate::verify(&parsed, &out).unwrap();
+        // And the exotic timestamps really did make the round trip.
+        let t0 = parsed
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::Arrival { t, .. } => Some(*t),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(t0, rat(big, 7));
     }
 }

@@ -1,0 +1,232 @@
+//! The lower-bound watchdog: a live competitive-ratio SLO check.
+//!
+//! Propositions 1–2 of the paper bound the optimum from below:
+//! `OPT ≥ max(vol(R), span(R))`, both computable *online* from the
+//! event stream (see `SessionBuilder::telemetry`). So
+//! `usage / max(vol, span)` is a certified **upper estimate** of the
+//! achieved competitive ratio at any instant — if it is small, the
+//! packing is provably close to optimal, no matter what the adversary
+//! still has queued. Theorem 1 guarantees First Fit stays within
+//! `µ + 4` (µ = max/min item duration ratio), which is the watchdog's
+//! default alarm threshold, with µ estimated from completed items.
+//!
+//! [`Watchdog::check`] is edge-triggered: it fires once when the
+//! estimate first exceeds the threshold, re-arms when it drops back
+//! under, and stays quiet in between — so a long excursion produces
+//! one alert, not one per event.
+
+use dbp_core::session::SessionMetrics;
+use dbp_numeric::Rational;
+use serde::Serialize;
+use std::fmt;
+
+/// The paper's additive constant in the Theorem 1 envelope `µ + 4`.
+const THEOREM1_SLACK: Rational = Rational::from_int(4);
+
+/// A structured alarm: the ratio estimate crossed the threshold.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct WatchdogAlert {
+    /// Session clock when the alert fired.
+    pub at: Option<Rational>,
+    /// The offending `usage / max(vol, span)` estimate.
+    pub ratio: Rational,
+    /// The threshold it exceeded.
+    pub threshold: Rational,
+    /// `vol(R)` at the alert.
+    pub vol: Rational,
+    /// `span(R)` at the alert.
+    pub span: Rational,
+    /// Usage time accrued at the alert.
+    pub usage: Rational,
+}
+
+impl fmt::Display for WatchdogAlert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ratio estimate {} exceeds threshold {} (usage {}, vol {}, span {})",
+            self.ratio.to_f64(),
+            self.threshold.to_f64(),
+            self.usage.to_f64(),
+            self.vol.to_f64(),
+            self.span.to_f64(),
+        )
+    }
+}
+
+/// How the watchdog picks its alarm threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Threshold {
+    /// The paper's envelope `µ̂ + 4`, µ̂ estimated from completed
+    /// items ([`SessionMetrics::mu_estimate`]). Silent until the
+    /// first departure makes µ̂ well-defined.
+    Theorem1,
+    /// A fixed caller-chosen bound.
+    Fixed(Rational),
+}
+
+/// Watches a stream's [`SessionMetrics`] and raises a structured
+/// [`WatchdogAlert`] when the live competitive-ratio upper estimate
+/// exceeds the threshold (see the [module docs](self)).
+///
+/// Requires metrics from a session built with telemetry enabled;
+/// without `vol`/`span` the watchdog has no lower bound and stays
+/// silent.
+#[derive(Debug, Clone)]
+pub struct Watchdog {
+    threshold: Threshold,
+    /// `true` while the estimate is above threshold (suppresses
+    /// repeat alerts until it re-arms).
+    tripped: bool,
+    last: Option<WatchdogAlert>,
+}
+
+impl Default for Watchdog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Watchdog {
+    /// A watchdog on the paper's `µ̂ + 4` envelope.
+    pub fn new() -> Watchdog {
+        Watchdog {
+            threshold: Threshold::Theorem1,
+            tripped: false,
+            last: None,
+        }
+    }
+
+    /// A watchdog with a fixed threshold.
+    pub fn with_threshold(threshold: Rational) -> Watchdog {
+        Watchdog {
+            threshold: Threshold::Fixed(threshold),
+            tripped: false,
+            last: None,
+        }
+    }
+
+    /// The threshold the next check will compare against, if it is
+    /// determined yet (`None` while `µ̂ + 4` awaits a first completed
+    /// item).
+    pub fn threshold_for(&self, m: &SessionMetrics) -> Option<Rational> {
+        match self.threshold {
+            Threshold::Fixed(t) => Some(t),
+            Threshold::Theorem1 => m.mu_estimate().map(|mu| mu + THEOREM1_SLACK),
+        }
+    }
+
+    /// The most recent alert, if any fired so far.
+    pub fn last_alert(&self) -> Option<&WatchdogAlert> {
+        self.last.as_ref()
+    }
+
+    /// Evaluates the metrics; returns the alert on the **rising
+    /// edge** (estimate crosses above threshold), `None` otherwise.
+    /// Dropping back under the threshold re-arms the watchdog.
+    pub fn check(&mut self, m: &SessionMetrics) -> Option<&WatchdogAlert> {
+        let (Some(ratio), Some(threshold)) = (m.ratio_upper_estimate(), self.threshold_for(m))
+        else {
+            return None;
+        };
+        if ratio <= threshold {
+            self.tripped = false;
+            return None;
+        }
+        if self.tripped {
+            return None;
+        }
+        self.tripped = true;
+        self.last = Some(WatchdogAlert {
+            at: m.now,
+            ratio,
+            threshold,
+            vol: m.vol.unwrap_or(Rational::ZERO),
+            span: m.span.unwrap_or(Rational::ZERO),
+            usage: m.usage_time,
+        });
+        self.last.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_numeric::rat;
+
+    fn metrics(usage: Rational, vol: Rational, span: Rational) -> SessionMetrics {
+        SessionMetrics {
+            now: Some(rat(1, 1)),
+            events: 2,
+            arrivals: 1,
+            departures: 1,
+            open_bins: 1,
+            active_items: 0,
+            bins_opened: 1,
+            peak_open_bins: 1,
+            load: Rational::ZERO,
+            usage_time: usage,
+            vol: Some(vol),
+            span: Some(span),
+            min_lifetime: Some(rat(1, 2)),
+            max_lifetime: Some(rat(3, 2)),
+        }
+    }
+
+    #[test]
+    fn fires_once_on_the_rising_edge_and_rearms() {
+        let mut dog = Watchdog::with_threshold(rat(2, 1));
+        // Ratio 9/4 > 2: fires.
+        let alert = dog
+            .check(&metrics(rat(9, 1), rat(4, 1), rat(3, 1)))
+            .cloned();
+        let alert = alert.unwrap();
+        assert_eq!(alert.ratio, rat(9, 4));
+        assert_eq!(alert.threshold, rat(2, 1));
+        assert_eq!(alert.vol, rat(4, 1));
+        // Still above: suppressed.
+        assert!(dog
+            .check(&metrics(rat(10, 1), rat(4, 1), rat(3, 1)))
+            .is_none());
+        // Back under: re-arms silently…
+        assert!(dog
+            .check(&metrics(rat(7, 1), rat(4, 1), rat(3, 1)))
+            .is_none());
+        // …and fires again on the next excursion.
+        assert!(dog
+            .check(&metrics(rat(9, 1), rat(4, 1), rat(3, 1)))
+            .is_some());
+        assert_eq!(dog.last_alert().unwrap().usage, rat(9, 1));
+    }
+
+    #[test]
+    fn theorem1_threshold_is_mu_hat_plus_four() {
+        let mut dog = Watchdog::new();
+        let m = metrics(rat(9, 1), rat(1, 1), rat(1, 1));
+        // µ̂ = (3/2)/(1/2) = 3 → threshold 7; ratio 9 > 7.
+        assert_eq!(dog.threshold_for(&m), Some(rat(7, 1)));
+        let alert = dog.check(&m).unwrap();
+        assert_eq!(alert.threshold, rat(7, 1));
+        // Serializes as a structured event.
+        let json = serde_json::to_string(alert).unwrap();
+        assert!(json.contains("\"threshold\""), "{json}");
+    }
+
+    #[test]
+    fn silent_without_telemetry_or_completed_items() {
+        let mut dog = Watchdog::new();
+        let mut m = metrics(rat(9, 1), rat(1, 1), rat(1, 1));
+        m.vol = None;
+        m.span = None;
+        assert!(dog.check(&m).is_none());
+        // Telemetry on but no departures yet: µ̂ undefined, the
+        // Theorem 1 watchdog waits.
+        let mut m = metrics(rat(9, 1), rat(1, 1), rat(1, 1));
+        m.min_lifetime = None;
+        m.max_lifetime = None;
+        assert!(dog.check(&m).is_none());
+        // A fixed-threshold watchdog needs no µ̂.
+        let mut fixed = Watchdog::with_threshold(rat(2, 1));
+        assert!(fixed.check(&m).is_some());
+    }
+}

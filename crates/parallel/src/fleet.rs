@@ -35,9 +35,11 @@
 
 use dbp_core::session::{Event, Session, SessionError, SessionMetrics};
 use dbp_core::{PackingAlgorithm, PackingOutcome};
+use dbp_obs::{telemetry_registry, MetricsRegistry};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// A rejected event, located by shard and by its index in the
 /// dispatched batch.
@@ -72,6 +74,10 @@ impl std::error::Error for FleetError {}
 /// collective [`finish`](Self::finish).
 pub struct Fleet<'s> {
     shards: Vec<Session<'s>>,
+    /// Wall-clock dispatch statistics (worker batches, dispatch
+    /// latency). Kept separate from `merged_metrics`, which must
+    /// stay deterministic.
+    runtime: MetricsRegistry,
 }
 
 impl fmt::Debug for Fleet<'_> {
@@ -87,7 +93,10 @@ impl<'s> Fleet<'s> {
     /// `sessions[i]`). Use this for heterogeneous fleets — different
     /// algorithms, backends, or grids per shard.
     pub fn new(sessions: Vec<Session<'s>>) -> Fleet<'s> {
-        Fleet { shards: sessions }
+        Fleet {
+            shards: sessions,
+            runtime: MetricsRegistry::new(),
+        }
     }
 
     /// Builds `n` shards running identical fresh algorithms with
@@ -100,7 +109,7 @@ impl<'s> Fleet<'s> {
         let shards = (0..n)
             .map(|_| Session::builder(make()).build())
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Fleet { shards })
+        Ok(Fleet::new(shards))
     }
 
     /// Number of shards.
@@ -184,6 +193,8 @@ impl<'s> Fleet<'s> {
         // the safe handoff of `&mut Session` to whichever worker
         // claimed it.
         let mut errors: Vec<FleetError> = Vec::new();
+        let mut batch_stats: Vec<(usize, u128)> = Vec::new();
+        let dispatch_started = Instant::now();
         {
             let sessions: Vec<Mutex<(&mut Session<'s>, Vec<usize>)>> = {
                 let mut picked: Vec<(usize, Vec<usize>)> = batches;
@@ -207,6 +218,7 @@ impl<'s> Fleet<'s> {
                 .clamp(1, sessions.len().max(1));
             let next = AtomicUsize::new(0);
             let sink = Mutex::new(&mut errors);
+            let stats = Mutex::new(&mut batch_stats);
 
             crossbeam::thread::scope(|scope| {
                 for _ in 0..threads {
@@ -217,7 +229,10 @@ impl<'s> Fleet<'s> {
                         }
                         let mut guard = sessions[b].lock().unwrap();
                         let (ref mut session, ref indices) = *guard;
+                        let started = Instant::now();
                         let shard_errors: Vec<FleetError> = run_shard(session, indices, events);
+                        let busy_ns = started.elapsed().as_nanos();
+                        stats.lock().unwrap().push((indices.len(), busy_ns));
                         if !shard_errors.is_empty() {
                             sink.lock().unwrap().extend(shard_errors);
                         }
@@ -225,6 +240,21 @@ impl<'s> Fleet<'s> {
                 }
             })
             .expect("fleet worker panicked");
+        }
+
+        // Absorb the worker reports (what `par_map_report` returns
+        // standalone) into the fleet's runtime registry.
+        self.runtime.inc("dispatches");
+        self.runtime
+            .inc_by("dispatched_events", events.len() as u64);
+        self.runtime.observe(
+            "dispatch_wall_ns",
+            dispatch_started.elapsed().as_nanos() as f64,
+        );
+        for (batch_events, busy_ns) in batch_stats {
+            self.runtime
+                .observe("shard_batch_events", batch_events as f64);
+            self.runtime.observe("shard_batch_busy_ns", busy_ns as f64);
         }
 
         if errors.is_empty() {
@@ -248,6 +278,43 @@ impl<'s> Fleet<'s> {
     /// Live per-shard metrics, indexed by shard.
     pub fn metrics(&self) -> Vec<SessionMetrics> {
         self.shards.iter().map(Session::metrics).collect()
+    }
+
+    /// Folds every shard's stream-derived metrics into one
+    /// fleet-wide [`MetricsRegistry`] via
+    /// [`telemetry_registry`] + [`MetricsRegistry::merge`].
+    ///
+    /// The result is **deterministic**: it depends only on the events
+    /// each shard has absorbed, never on worker scheduling or merge
+    /// order — counters and exact totals add, the `peak_open_bins`
+    /// histogram takes one sample per shard. For a single-shard
+    /// fleet it is exactly the standalone session's registry; for `N`
+    /// shards it equals merging the `N` standalone registries in any
+    /// order. The `vol`/`span` totals (present when the shard
+    /// sessions enable `SessionBuilder::telemetry`) sum the
+    /// per-shard lower bounds, so `usage_time / max(vol, span)` on
+    /// the merged registry (see `dbp_obs::set_ratio_gauge`) gauges
+    /// the fleet against the sum of per-shard optima — the right
+    /// baseline for a fleet that packs shards independently.
+    ///
+    /// Wall-clock dispatch statistics live in
+    /// [`runtime_metrics`](Self::runtime_metrics) instead, precisely
+    /// because they are *not* deterministic.
+    pub fn merged_metrics(&self) -> MetricsRegistry {
+        let mut merged = MetricsRegistry::new();
+        for shard in &self.shards {
+            merged.merge(&telemetry_registry(&shard.metrics()));
+        }
+        merged
+    }
+
+    /// Wall-clock dispatch statistics: counters `dispatches` /
+    /// `dispatched_events`, histograms `dispatch_wall_ns`,
+    /// `shard_batch_events`, and `shard_batch_busy_ns` (one sample
+    /// per claimed shard batch — the fleet-side analogue of
+    /// [`crate::par_map_report`]'s `WorkerReport`).
+    pub fn runtime_metrics(&self) -> &MetricsRegistry {
+        &self.runtime
     }
 
     /// Finishes every shard, returning per-shard outcomes in shard
@@ -461,6 +528,56 @@ mod tests {
         auto.dispatch(&events).unwrap();
         exact.dispatch(&events).unwrap();
         assert_eq!(auto.finish().unwrap(), exact.finish().unwrap());
+    }
+
+    #[test]
+    fn merged_metrics_fold_matches_standalone_registries() {
+        let shards = 3;
+        let events = stream(shards, 10);
+        let mut fleet = Fleet::new(
+            (0..shards)
+                .map(|_| {
+                    Session::builder(FirstFit::new())
+                        .telemetry()
+                        .build()
+                        .unwrap()
+                })
+                .collect(),
+        );
+        fleet.dispatch(&events).unwrap();
+        let merged = fleet.merged_metrics();
+
+        // The fold equals merging standalone per-shard registries.
+        let mut expected = dbp_obs::MetricsRegistry::new();
+        for s in 0..shards {
+            let mut solo = Session::builder(FirstFit::new())
+                .telemetry()
+                .build()
+                .unwrap();
+            for (shard, event) in &events {
+                if *shard == s {
+                    solo.apply(event).unwrap();
+                }
+            }
+            expected.merge(&dbp_obs::telemetry_registry(&solo.metrics()));
+        }
+        assert_eq!(merged.to_json_pretty(), expected.to_json_pretty());
+
+        // Additive sections really did add across shards.
+        assert_eq!(merged.counter("events"), events.len() as u64);
+        assert!(merged.total("vol").unwrap().is_positive());
+        assert_eq!(
+            merged.histogram("peak_open_bins").unwrap().count(),
+            shards as u64
+        );
+        // Dispatch statistics live in the runtime registry only.
+        assert_eq!(fleet.runtime_metrics().counter("dispatches"), 1);
+        assert_eq!(
+            fleet.runtime_metrics().counter("dispatched_events"),
+            events.len() as u64
+        );
+        assert_eq!(merged.counter("dispatches"), 0);
+        fleet.finish().unwrap();
     }
 
     #[test]

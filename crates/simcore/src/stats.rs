@@ -119,6 +119,46 @@ impl TimeWeighted {
     pub fn elapsed(&self) -> Rational {
         self.last_t - self.start
     }
+
+    /// `true` once [`finish`](Self::finish) closed the window.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Merges `other` into `self` under **zero-extension** semantics:
+    /// each signal is treated as `0` outside its own observation
+    /// window, and the merged tracker summarizes the pointwise sum.
+    ///
+    /// The merge is commutative and associative, and the additive
+    /// aggregates are *exact*:
+    ///
+    /// * `integral` adds — `∫(v₁+v₂) dt = ∫v₁ dt + ∫v₂ dt`, so
+    ///   per-shard usage integrals fold into the fleet total without
+    ///   rounding;
+    /// * the window stitches: `start = min`, `last_t = max`;
+    /// * the current value sums over the signals whose window reaches
+    ///   the merged clock (a signal that stopped earlier contributes
+    ///   its zero extension);
+    /// * `finished` only when both inputs are.
+    ///
+    /// `max`/`min` are summarized as the componentwise extremes — a
+    /// lower bound on the sum's true maximum (and an upper bound on
+    /// its minimum) when the windows overlap, since the pointwise
+    /// extremes of a sum are not recoverable from two summaries.
+    pub fn merge(&mut self, other: &TimeWeighted) {
+        use std::cmp::Ordering;
+        self.integral += other.integral;
+        self.last_v = match self.last_t.cmp(&other.last_t) {
+            Ordering::Less => other.last_v,
+            Ordering::Equal => self.last_v + other.last_v,
+            Ordering::Greater => self.last_v,
+        };
+        self.start = self.start.min(other.start);
+        self.last_t = self.last_t.max(other.last_t);
+        self.max_v = self.max_v.max(other.max_v);
+        self.min_v = self.min_v.min(other.min_v);
+        self.finished = self.finished && other.finished;
+    }
 }
 
 /// Integrates an integer-valued step function given as explicit
@@ -327,6 +367,68 @@ mod tests {
     fn empty_window_has_no_average() {
         let w = TimeWeighted::starting_at(rat(3, 1), rat(9, 1));
         assert_eq!(w.time_average(), None);
+    }
+
+    #[test]
+    fn merge_adds_integrals_and_stitches_windows() {
+        // Overlapping windows: [0, 4] at value 2, [1, 6] at value 3.
+        let mut a = TimeWeighted::starting_at(rat(0, 1), rat(2, 1));
+        a.set(rat(4, 1), rat(0, 1)); // ∫ = 8
+        let mut b = TimeWeighted::starting_at(rat(1, 1), rat(3, 1));
+        b.set(rat(6, 1), rat(1, 1)); // ∫ = 15
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.integral(), rat(23, 1));
+        assert_eq!(merged.elapsed(), rat(6, 1));
+        // `b` alone reaches the merged clock, so its value carries.
+        assert_eq!(merged.current(), rat(1, 1));
+        assert_eq!(merged.max(), rat(3, 1));
+        assert_eq!(merged.min(), rat(0, 1));
+        // Commutative.
+        let mut swapped = b.clone();
+        swapped.merge(&a);
+        assert_eq!(swapped, merged);
+    }
+
+    #[test]
+    fn merge_sums_current_values_on_equal_clocks() {
+        let mut a = TimeWeighted::starting_at(rat(0, 1), rat(1, 1));
+        a.set(rat(2, 1), rat(5, 1));
+        let mut b = TimeWeighted::starting_at(rat(0, 1), rat(2, 1));
+        b.set(rat(2, 1), rat(7, 1));
+        a.merge(&b);
+        assert_eq!(a.current(), rat(12, 1));
+        assert_eq!(a.integral(), rat(6, 1)); // 1*2 + 2*2
+        assert!(!a.is_finished());
+    }
+
+    #[test]
+    fn merge_is_associative_and_tracks_finished() {
+        let tracker = |t0: i128, v: i128, t1: i128, fin: bool| {
+            let mut w = TimeWeighted::starting_at(rat(t0, 1), rat(v, 1));
+            w.set(rat(t1, 1), rat(v + 1, 1));
+            if fin {
+                w.finish(rat(t1 + 1, 1));
+            }
+            w
+        };
+        let (a, b, c) = (
+            tracker(0, 1, 3, true),
+            tracker(1, 4, 5, true),
+            tracker(2, 2, 9, false),
+        );
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+        assert!(!left.is_finished()); // c never finished
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert!(ab.is_finished());
     }
 
     #[test]

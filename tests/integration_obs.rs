@@ -87,3 +87,79 @@ fn cli_trace_replays_bit_identically() {
         std::fs::remove_file(f).unwrap();
     }
 }
+
+#[test]
+fn live_session_telemetry_pipeline_is_bounded_and_lossless() {
+    use mindbp::core::session::{Event, Session};
+    use mindbp::core::{event_schedule, FirstFitFast};
+    use mindbp::numeric::rat;
+    use mindbp::obs::{
+        parse_jsonl, set_ratio_gauge, telemetry_registry, verify, TelemetrySink, Watchdog,
+    };
+    use mindbp::simcore::EventClass;
+    use mindbp::workloads::RandomWorkload;
+
+    let instance = RandomWorkload::with_mu(80, rat(4, 1), 7).generate();
+    let events: Vec<Event> = event_schedule(&instance)
+        .iter()
+        .map(|e| match e.class {
+            EventClass::Arrival => Event::Arrive {
+                id: e.payload,
+                size: instance.item(e.payload).size,
+                time: e.time,
+            },
+            EventClass::Departure => Event::Depart {
+                id: e.payload,
+                time: e.time,
+            },
+            EventClass::Control => unreachable!(),
+        })
+        .collect();
+
+    // Stream the whole instance through a live session with stream
+    // telemetry on and a small bounded sink spilling every event.
+    let spill_path = tmp("live-spill.jsonl");
+    let mut sink = TelemetrySink::new()
+        .ring(16)
+        .spill(std::fs::File::create(&spill_path).unwrap());
+    let mut session = Session::builder(FirstFitFast::new())
+        .telemetry()
+        .observer(&mut sink)
+        .build()
+        .unwrap();
+    session.ingest(&events).unwrap();
+    let metrics = session.metrics();
+    let outcome = session.finish().unwrap();
+    sink.flush();
+
+    // The ring stayed bounded while the spill stayed lossless: the
+    // JSONL file replays against the outcome bit-for-bit even though
+    // only the 16 most recent events are held in memory.
+    assert_eq!(sink.recent().count(), 16);
+    assert_eq!(sink.evicted(), sink.kept() - 16);
+    assert_eq!(sink.kept(), sink.seen());
+    assert!(sink.spill_error().is_none());
+    let trace = parse_jsonl(&std::fs::read_to_string(&spill_path).unwrap()).unwrap();
+    assert_eq!(sink.spilled_lines() as usize, trace.len());
+    let summary = verify(&trace, &outcome).unwrap();
+    assert_eq!(summary.total_usage, outcome.total_usage());
+    assert_eq!(summary.max_open_bins, outcome.max_open_bins());
+
+    // Session telemetry feeds the lower-bound machinery: vol/span are
+    // genuine lower bounds, so the live ratio upper estimate is ≥ 1,
+    // and a deliberately tight watchdog threshold trips on it.
+    let ratio = metrics.ratio_upper_estimate().unwrap();
+    assert!(ratio >= rat(1, 1));
+    let mut dog = Watchdog::with_threshold(rat(1, 1000));
+    assert!(dog.check(&metrics).is_some());
+
+    // The same metrics render as a valid OpenMetrics page with the
+    // ratio gauge the scrape endpoint publishes.
+    let mut registry = telemetry_registry(&metrics);
+    set_ratio_gauge(&mut registry);
+    let page = registry.to_openmetrics();
+    assert!(page.contains("dbp_ratio_upper_estimate"), "{page}");
+    assert!(page.ends_with("# EOF\n"), "{page}");
+
+    std::fs::remove_file(&spill_path).unwrap();
+}
