@@ -21,7 +21,13 @@
 //!   `arrive_observed`) must reach 0.85, and its
 //!   `full_stack_vs_unobserved_ratio` (sink **plus** the session's
 //!   exact `vol`/`span` stream accounting) must reach 0.70. Both
-//!   floors are fixed, independent of `--tolerance`.
+//!   floors are fixed, independent of `--tolerance`;
+//! * `profile` — absolute same-run floors only, same shape: the
+//!   fresh snapshot's `detached_vs_unobserved_ratio` (an inert probe
+//!   on the session's `&mut dyn` phase hook) must reach 0.95 — the
+//!   hook is supposed to be free when nobody listens — and its
+//!   `attached_vs_unobserved_ratio` (a live `Profiler` timing every
+//!   phase and histogramming every probe) must reach 0.70.
 //!
 //! A metric missing from the *baseline* is skipped with a warning —
 //! older baselines predate newer metrics — while a metric missing
@@ -48,12 +54,40 @@ const OBS_OVERHEAD_FLOOR: f64 = 0.85;
 /// other.
 const OBS_FULL_STACK_FLOOR: f64 = 0.70;
 
+/// Fixed same-run floor for `detached_vs_unobserved_ratio`: with no
+/// live listener, the engines' phase hooks must be free — an inert
+/// probe behind the session's `&mut dyn` dispatch may cost at most
+/// 5% against the bare replay.
+const PROFILE_DETACHED_FLOOR: f64 = 0.95;
+
+/// Fixed same-run floor for `attached_vs_unobserved_ratio`: a live
+/// `Profiler` — monotonic-clock spans around every phase, probe
+/// histograms on every event — may cost at most 30% of the exact
+/// engine's replay rate.
+const PROFILE_ATTACHED_FLOOR: f64 = 0.70;
+
 /// Baseline-relative throughput metrics gated per experiment.
 fn gated_metrics(experiment: &str) -> &'static [&'static str] {
     match experiment {
         "engine_throughput" => &["events_per_sec", "compiled_events_per_sec"],
         "stream" => &["stream_events_per_sec"],
-        "obs_overhead" => &[],
+        "obs_overhead" | "profile" => &[],
+        _ => &[],
+    }
+}
+
+/// Same-run absolute ratio floors gated per experiment, independent
+/// of `--tolerance` and of the baseline snapshot.
+fn same_run_floors(experiment: &str) -> &'static [(&'static str, f64)] {
+    match experiment {
+        "obs_overhead" => &[
+            ("observed_vs_unobserved_ratio", OBS_OVERHEAD_FLOOR),
+            ("full_stack_vs_unobserved_ratio", OBS_FULL_STACK_FLOOR),
+        ],
+        "profile" => &[
+            ("detached_vs_unobserved_ratio", PROFILE_DETACHED_FLOOR),
+            ("attached_vs_unobserved_ratio", PROFILE_ATTACHED_FLOOR),
+        ],
         _ => &[],
     }
 }
@@ -149,33 +183,32 @@ fn check_pair(base: &Snapshot, fresh: &Snapshot, tolerance: f64) -> (usize, bool
             }
         }
     }
-    // Same-run absolute gates: observation must stay cheap. The
-    // floors are fixed, independent of the baseline tolerance.
-    if fresh.experiment == "obs_overhead" {
-        for (name, floor) in [
-            ("observed_vs_unobserved_ratio", OBS_OVERHEAD_FLOOR),
-            ("full_stack_vs_unobserved_ratio", OBS_FULL_STACK_FLOOR),
-        ] {
-            match metric(&fresh.metrics, name) {
-                Some(ratio) => {
-                    gated += 1;
-                    println!("{name}: {ratio:.3} (floor {floor:.2}, same-run)");
-                    if ratio < floor {
-                        eprintln!(
-                            "perf_check: REGRESSION — {name} at {:.1}% of the unobserved \
-                             rate (floor {:.0}%)",
-                            100.0 * ratio,
-                            100.0 * floor
-                        );
-                        failed = true;
-                    } else {
-                        println!("perf_check: {name} OK");
-                    }
-                }
-                None => {
-                    eprintln!("perf_check: obs_overhead snapshot has no {name} — failing");
+    // Same-run absolute gates: observation and profiling must stay
+    // cheap. The floors are fixed, independent of the baseline
+    // tolerance.
+    for &(name, floor) in same_run_floors(&fresh.experiment) {
+        match metric(&fresh.metrics, name) {
+            Some(ratio) => {
+                gated += 1;
+                println!("{name}: {ratio:.3} (floor {floor:.2}, same-run)");
+                if ratio < floor {
+                    eprintln!(
+                        "perf_check: REGRESSION — {name} at {:.1}% of the unobserved \
+                         rate (floor {:.0}%)",
+                        100.0 * ratio,
+                        100.0 * floor
+                    );
                     failed = true;
+                } else {
+                    println!("perf_check: {name} OK");
                 }
+            }
+            None => {
+                eprintln!(
+                    "perf_check: {} snapshot has no {name} — failing",
+                    fresh.experiment
+                );
+                failed = true;
             }
         }
     }

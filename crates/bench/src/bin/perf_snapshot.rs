@@ -1,7 +1,7 @@
 //! Writes `BENCH_<experiment>.json` perf snapshots into `results/`
 //! (or the directory given as the first argument).
 //!
-//! Six snapshots:
+//! Seven snapshots:
 //! * `BENCH_e1_theorem1.json` — wall time + result metrics of a
 //!   reduced Theorem 1 sweep (the flagship experiment);
 //! * `BENCH_engine_throughput.json` — the pure engine sweep, now
@@ -27,23 +27,38 @@
 //!   stack, measured as interleaved best-of rounds. `perf_check`
 //!   gates `observed_vs_unobserved_ratio ≥ 0.85` and
 //!   `full_stack_vs_unobserved_ratio ≥ 0.70`, same-run;
+//! * `BENCH_profile.json` — the in-engine profiler, two questions in
+//!   one file. *Where does the time go*: the staircase series
+//!   replayed with a [`Profiler`] attached on both fit paths — the
+//!   exact engine's `Θ(n·B)` linear `FirstFit` scan and the
+//!   `Backend::Auto` tick path — recording per-phase self-time
+//!   shares and the per-arrival probe histograms (bins scanned, tree
+//!   descent depth, gcd steps). *What does asking cost*: interleaved
+//!   best-of rounds of the same replay bare, with a detached (inert)
+//!   probe on the session's `&mut dyn` hook, and with a live
+//!   profiler. `perf_check` gates the same-run ratios
+//!   `detached_vs_unobserved_ratio ≥ 0.95` and
+//!   `attached_vs_unobserved_ratio ≥ 0.70`;
 //! * `BENCH_fit_scaling.json` — the concurrency scaling series: a
 //!   staircase workload holding `B ∈ {100, 1000, 10000}` bins open
-//!   at once, replayed through the linear-scan `FirstFit` and the
-//!   `FitTree`-indexed `FirstFitFast`, recording both throughputs and
-//!   the speedup. This is the `Θ(n·B)` vs `O(n log B)` separation.
+//!   at once, replayed through the exact engine's linear-scan
+//!   `FirstFit` and the `Backend::Auto` route every untraced run
+//!   takes (`FirstFitFast`, tick-compiled, adaptive linear→`FitTree`
+//!   scan), recording both throughputs and the speedup. This is the
+//!   `Θ(n·B)` vs `O(n log B)` separation.
 //!
-//! Pass `--skip-scaling` to omit the (slower) scaling series, e.g. in
-//! quick local runs.
+//! Pass `--skip-scaling` to omit the (slower) scaling series and
+//! trim the profile share series to `B = 100`, e.g. in quick local
+//! runs.
 
 use dbp_bench::perf::measure;
-use dbp_core::session::{Event, Session, TickGrid};
+use dbp_core::session::{Backend, Event, Session, TickGrid};
 use dbp_core::{
-    event_schedule, CompiledInstance, FirstFit, FirstFitFast, Instance, PackingAlgorithm, Runner,
-    TickPolicy,
+    event_schedule, CompiledInstance, FirstFit, FirstFitFast, Instance, NoopProbe,
+    PackingAlgorithm, PhaseProbe, ProbeCounter, Runner, TickPolicy,
 };
 use dbp_numeric::rat;
-use dbp_obs::TelemetrySink;
+use dbp_obs::{Profiler, TelemetrySink};
 use dbp_simcore::EventClass;
 use dbp_workloads::RandomWorkload;
 use serde::Value;
@@ -67,10 +82,18 @@ fn staircase(n: i128, window: i128) -> Instance {
     b.build().expect("staircase is well-formed")
 }
 
-/// Replays `inst` through `algo`, returning events/second.
-fn throughput(inst: &Instance, algo: &mut dyn PackingAlgorithm) -> (f64, usize) {
+/// Replays `inst` through `algo` on an explicit backend, returning
+/// events/second and the peak open-bin count.
+fn backend_throughput(
+    inst: &Instance,
+    backend: Backend,
+    algo: &mut dyn PackingAlgorithm,
+) -> (f64, usize) {
     let start = Instant::now();
-    let out = Runner::new(inst).run(algo).expect("replay succeeds");
+    let out = Runner::new(inst)
+        .backend(backend)
+        .run(algo)
+        .expect("replay succeeds");
     let secs = start.elapsed().as_secs_f64();
     ((2 * inst.len()) as f64 / secs, out.max_open_bins())
 }
@@ -171,6 +194,82 @@ fn observed_stream_rate(streams: &[Vec<Event>], events: i128, telemetry: bool, s
         }
     }
     (events * OBS_REPS as i128) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Interleaved best-of rounds per profiler cost arm — same
+/// single-core-CI reasoning as [`OBS_ROUNDS`].
+const PROF_ROUNDS: usize = 16;
+
+/// Interleaved best-of rounds per fit-scaling arm. Fewer than the
+/// cost arms: the `B = 10000` exact linear replay is seconds, not
+/// milliseconds, and the speedup it anchors is orders of magnitude —
+/// round-to-round jitter cannot flip its direction.
+const FIT_ROUNDS: usize = 3;
+
+/// One profiled replay of `inst`: runs `algo` on `backend` with a
+/// fresh [`Profiler`] attached and renders the attribution — phase
+/// self-time shares and the per-arrival probe histograms — as one
+/// JSON series entry.
+fn profiled_entry(
+    inst: &Instance,
+    bins: i128,
+    arm: &str,
+    backend: Backend,
+    algo: &mut dyn PackingAlgorithm,
+) -> Value {
+    let mut prof = Profiler::new();
+    let start = Instant::now();
+    let out = Runner::new(inst)
+        .backend(backend)
+        .probe(&mut prof)
+        .run(algo)
+        .expect("profiled replay succeeds");
+    let eps = (2 * inst.len()) as f64 / start.elapsed().as_secs_f64();
+    let shares: Vec<(String, Value)> = prof
+        .phase_shares()
+        .iter()
+        .map(|(p, s)| (p.name().to_string(), Value::Float(*s)))
+        .collect();
+    let fit_scan_share = shares
+        .iter()
+        .find(|(n, _)| n == "fit_scan")
+        .and_then(|(_, v)| v.as_f64())
+        .unwrap_or(0.0);
+    let probes: Vec<(String, Value)> = ProbeCounter::ALL
+        .iter()
+        .map(|&c| {
+            let h = prof.counter(c);
+            (
+                c.name().to_string(),
+                Value::Object(vec![
+                    ("samples".into(), Value::Int(h.count() as i128)),
+                    ("mean".into(), Value::Float(h.mean().unwrap_or(0.0))),
+                    ("max".into(), Value::Float(h.max().unwrap_or(0.0))),
+                ]),
+            )
+        })
+        .collect();
+    println!(
+        "  profile: B={bins:>6} {arm:<12} {eps:>12.0} ev/s \
+         fit_scan={:>5.1}% bins_scanned≈{:>7.1} tree_depth≈{:>5.1}",
+        100.0 * fit_scan_share,
+        prof.counter(ProbeCounter::BinsScanned)
+            .mean()
+            .unwrap_or(0.0),
+        prof.counter(ProbeCounter::TreeDepth).mean().unwrap_or(0.0),
+    );
+    Value::Object(vec![
+        ("target_bins".into(), Value::Int(bins)),
+        ("items".into(), Value::Int(inst.len() as i128)),
+        ("arm".into(), Value::Str(arm.into())),
+        (
+            "max_open_bins".into(),
+            Value::Int(out.max_open_bins() as i128),
+        ),
+        ("events_per_sec".into(), Value::Float(eps)),
+        ("phase_shares".into(), Value::Object(shares)),
+        ("probes".into(), Value::Object(probes)),
+    ])
 }
 
 fn main() {
@@ -386,38 +485,192 @@ fn main() {
     let path = snap.write_to(dir).expect("write snapshot");
     println!("wrote {} ({:.1} ms)", path.display(), snap.wall_ms());
 
+    // Snapshot 6: the in-engine profiler. The share series answers
+    // "where does the time go" — the staircase replayed with a
+    // Profiler attached on both fit paths, per concurrency level.
+    // The cost arms answer "what does asking cost" — one staircase
+    // replayed bare, with a detached (inert) probe on the session's
+    // `&mut dyn` hook, and with a live profiler, as interleaved
+    // best-of rounds on the exact engine, where per-event scan work
+    // is the profiler's actual audience. perf_check gates the
+    // same-run ratios: detached ≥ 0.95, attached ≥ 0.70. The tick
+    // path's equivalents ride along ungated for the record — its
+    // per-event work is tens of nanoseconds, so a live every-event
+    // profiler dominates it by construction.
+    let profile_bins: &[i128] = if skip_scaling {
+        println!("profile: share series trimmed to B=100 (--skip-scaling)");
+        &[100]
+    } else {
+        &[100, 1000, 10_000]
+    };
+    let (payload, snap) = measure("profile", || {
+        let mut series = Vec::new();
+        for &bins in profile_bins {
+            let n = (2 * bins).max(5000);
+            let inst = staircase(n, bins);
+            series.push(profiled_entry(
+                &inst,
+                bins,
+                "linear_exact",
+                Backend::Exact,
+                &mut FirstFit::new(),
+            ));
+            series.push(profiled_entry(
+                &inst,
+                bins,
+                "auto_tick",
+                Backend::Auto,
+                &mut FirstFitFast::new(),
+            ));
+        }
+        // Cost arms, exact engine: [bare, detached, attached].
+        let cost_inst = staircase(5000, 256);
+        let cost_events = (2 * cost_inst.len()) as f64;
+        let mut exact_best = [0f64; 3];
+        let mut tick_best = [0f64; 3];
+        let compiled_cost = CompiledInstance::compile(&cost_inst).expect("staircase compiles");
+        for _ in 0..PROF_ROUNDS {
+            for (i, best) in exact_best.iter_mut().enumerate() {
+                let mut noop = NoopProbe;
+                let mut prof = Profiler::new();
+                let start = Instant::now();
+                let mut runner = Runner::new(&cost_inst).backend(Backend::Exact);
+                match i {
+                    1 => runner = runner.probe(&mut noop),
+                    2 => runner = runner.probe(&mut prof),
+                    _ => {}
+                }
+                runner.run(&mut FirstFit::new()).expect("replay succeeds");
+                *best = best.max(cost_events / start.elapsed().as_secs_f64());
+            }
+            // Tick equivalents on the pre-compiled schedule, through
+            // the same `&mut dyn` hook the session uses.
+            for (i, best) in tick_best.iter_mut().enumerate() {
+                let mut noop = NoopProbe;
+                let mut prof = Profiler::new();
+                let start = Instant::now();
+                match i {
+                    1 => {
+                        compiled_cost
+                            .run_probed::<dyn PhaseProbe>(TickPolicy::FirstFit, &mut noop)
+                            .expect("tick replay succeeds");
+                    }
+                    2 => {
+                        compiled_cost
+                            .run_probed::<dyn PhaseProbe>(TickPolicy::FirstFit, &mut prof)
+                            .expect("tick replay succeeds");
+                    }
+                    _ => {
+                        compiled_cost
+                            .run(TickPolicy::FirstFit)
+                            .expect("tick replay succeeds");
+                    }
+                }
+                *best = best.max(cost_events / start.elapsed().as_secs_f64());
+            }
+        }
+        (series, exact_best, tick_best)
+    });
+    let (series, exact_best, tick_best) = payload;
+    let [unobserved_eps, detached_eps, attached_eps] = exact_best;
+    let [tick_bare_eps, tick_detached_eps, tick_attached_eps] = tick_best;
+    let detached_ratio = detached_eps / unobserved_eps;
+    let attached_ratio = attached_eps / unobserved_eps;
+    println!(
+        "  profile cost: bare={unobserved_eps:>12.0} ev/s detached={detached_eps:>12.0} ev/s \
+         ({:.0}% kept) attached={attached_eps:>12.0} ev/s ({:.0}% kept)",
+        100.0 * detached_ratio,
+        100.0 * attached_ratio
+    );
+    let snap = snap
+        .with_metric(
+            "algorithm",
+            Value::Str("Runner(FirstFit, exact)+Profiler".into()),
+        )
+        .with_metric("cost_items", Value::Int(5000))
+        .with_metric("cost_window", Value::Int(256))
+        .with_metric("best_of_rounds", Value::Int(PROF_ROUNDS as i128))
+        .with_metric("series", Value::Array(series))
+        .with_metric("unobserved_events_per_sec", Value::Float(unobserved_eps))
+        .with_metric("detached_events_per_sec", Value::Float(detached_eps))
+        .with_metric("attached_events_per_sec", Value::Float(attached_eps))
+        .with_metric("detached_vs_unobserved_ratio", Value::Float(detached_ratio))
+        .with_metric("attached_vs_unobserved_ratio", Value::Float(attached_ratio))
+        .with_metric(
+            "tick_unobserved_events_per_sec",
+            Value::Float(tick_bare_eps),
+        )
+        .with_metric(
+            "tick_detached_events_per_sec",
+            Value::Float(tick_detached_eps),
+        )
+        .with_metric(
+            "tick_attached_events_per_sec",
+            Value::Float(tick_attached_eps),
+        )
+        .with_metric(
+            "tick_detached_vs_unobserved_ratio",
+            Value::Float(tick_detached_eps / tick_bare_eps),
+        )
+        .with_metric(
+            "tick_attached_vs_unobserved_ratio",
+            Value::Float(tick_attached_eps / tick_bare_eps),
+        );
+    let path = snap.write_to(dir).expect("write snapshot");
+    println!("wrote {} ({:.1} ms)", path.display(), snap.wall_ms());
+
     if skip_scaling {
         println!("skipping BENCH_fit_scaling.json (--skip-scaling)");
         return;
     }
 
-    // Snapshot 4: linear vs tree scaling over concurrent-bin count.
+    // Snapshot 7: linear vs tree scaling over concurrent-bin count.
+    // The linear arm is the exact engine's Θ(n·B) `FirstFit` scan;
+    // the auto arm is the route every untraced run takes —
+    // `Backend::Auto` compiles to ticks and scans adaptively
+    // (linear order under `SCAN_CROSSOVER` open bins, `FitTree`
+    // above). Interleaved best-of rounds, same reasoning as the obs
+    // arms.
     let (series, snap) = measure("fit_scaling", || {
         let mut series = Vec::new();
         for &bins in &[100i128, 1000, 10_000] {
             let n = (2 * bins).max(5000);
             let inst = staircase(n, bins);
-            let (fast_eps, max_open) = throughput(&inst, &mut FirstFitFast::new());
-            let (linear_eps, _) = throughput(&inst, &mut FirstFit::new());
-            let speedup = fast_eps / linear_eps;
+            let mut linear_best = 0f64;
+            let mut auto_best = 0f64;
+            let mut max_open = 0usize;
+            for _ in 0..FIT_ROUNDS {
+                let (auto_eps, open) =
+                    backend_throughput(&inst, Backend::Auto, &mut FirstFitFast::new());
+                let (linear_eps, _) =
+                    backend_throughput(&inst, Backend::Exact, &mut FirstFit::new());
+                auto_best = auto_best.max(auto_eps);
+                linear_best = linear_best.max(linear_eps);
+                max_open = open;
+            }
+            let speedup = auto_best / linear_best;
             println!(
                 "  B={bins:>6} n={n:>6} max_open={max_open:>6} \
-                 linear={linear_eps:>12.0} ev/s fast={fast_eps:>12.0} ev/s ({speedup:.1}x)"
+                 linear={linear_best:>12.0} ev/s auto={auto_best:>12.0} ev/s ({speedup:.1}x)"
             );
             series.push(Value::Object(vec![
                 ("target_bins".into(), Value::Int(bins)),
                 ("items".into(), Value::Int(n)),
                 ("engine_events".into(), Value::Int(2 * n)),
                 ("max_open_bins".into(), Value::Int(max_open as i128)),
-                ("linear_events_per_sec".into(), Value::Float(linear_eps)),
-                ("fast_events_per_sec".into(), Value::Float(fast_eps)),
+                ("linear_events_per_sec".into(), Value::Float(linear_best)),
+                ("auto_events_per_sec".into(), Value::Float(auto_best)),
                 ("speedup".into(), Value::Float(speedup)),
             ]));
         }
         series
     });
     let snap = snap
-        .with_metric("algorithms", Value::Str("FirstFit vs FirstFitFast".into()))
+        .with_metric(
+            "algorithms",
+            Value::Str("FirstFit(exact) vs FirstFitFast(auto)".into()),
+        )
+        .with_metric("best_of_rounds", Value::Int(FIT_ROUNDS as i128))
         .with_metric("series", Value::Array(series));
     let path = snap.write_to(dir).expect("write snapshot");
     println!("wrote {} ({:.1} ms)", path.display(), snap.wall_ms());

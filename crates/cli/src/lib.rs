@@ -24,14 +24,14 @@
 use dbp_analysis::{certify_first_fit, measure_ratio, TheoremChain};
 use dbp_cloudsim::{simulate, BillingModel};
 use dbp_core::{
-    BestFit, BestFitFast, CompiledInstance, DepartureAlignedFit, FanOut, FirstFit, FirstFitFast,
-    HybridFirstFit, Instance, LastFit, NextFit, PackingAlgorithm, Runner, TickPolicy, WorstFit,
-    WorstFitFast,
+    Backend, BestFit, BestFitFast, CompiledInstance, DepartureAlignedFit, FanOut, FirstFit,
+    FirstFitFast, HybridFirstFit, Instance, LastFit, NextFit, PackingAlgorithm, Runner, TickPolicy,
+    WorstFit, WorstFitFast,
 };
 use dbp_numeric::Rational;
 use dbp_obs::{
-    chrome_trace, parse_jsonl, set_ratio_gauge, telemetry_registry, EngineMetrics, MetricsRegistry,
-    MetricsServer, StepSeries, TraceRecorder, Watchdog,
+    chrome_trace, chrome_trace_with_spans, parse_jsonl, set_ratio_gauge, telemetry_registry,
+    EngineMetrics, MetricsRegistry, MetricsServer, Profiler, StepSeries, TraceRecorder, Watchdog,
 };
 use dbp_workloads::adversarial::{
     any_fit_ladder, best_fit_scatter, next_fit_pairs, universal_mu_pairs,
@@ -140,6 +140,16 @@ COMMANDS:
             Rational fallback when the grid overflows)
             --trace FILE [--algo firstfit|bestfit|worstfit]
             [--verify true|false]
+  profile   replay a trace under the in-engine profiler: phase-share
+            table (where the cycles go), per-arrival scan/descent/gcd
+            work, flamegraph and Chrome exports
+            --trace FILE [--algo NAME] [--backend auto|exact|tick]
+            [--sample N]      clock-time every N-th event (default 1)
+            [--folded FILE]   write inferno folded stacks
+                              (flamegraph.pl / inferno-flamegraph)
+            [--chrome FILE]   write a Chrome trace with profiler spans
+                              (attaches a recorder: exact engine)
+            [--metrics FILE]  write the profile metrics registry JSON
   stream    drive a live streaming session from JSONL events
             ({\"arrive\":{\"id\":..,\"size\":..,\"time\":..}} /
              {\"depart\":{\"id\":..,\"time\":..}}, one per line)
@@ -235,6 +245,7 @@ pub fn run_to(args: &[String], progress: &mut dyn std::io::Write) -> Result<Stri
         "adaptive" => cmd_adaptive(&opts),
         "opt" => cmd_opt(&opts),
         "tick" => cmd_tick(&opts),
+        "profile" => cmd_profile(&opts),
         "stream" => cmd_stream(&opts, progress),
         "render" => cmd_render(&opts),
         other => Err(err(format!("unknown command `{other}`\n\n{USAGE}"))),
@@ -663,6 +674,63 @@ fn cmd_tick(opts: &Opts) -> Result<String, CliError> {
         outcome.max_open_bins(),
         outcome.total_usage(),
     ));
+    Ok(out)
+}
+
+fn cmd_profile(opts: &Opts) -> Result<String, CliError> {
+    let (_, instance) = load(opts)?;
+    let name = opts.get("algo").unwrap_or("firstfit");
+    let mut algo = make_algo_for(name, &instance)?;
+    let backend = match opts.get("backend").unwrap_or("auto") {
+        "auto" => Backend::Auto,
+        "exact" => Backend::Exact,
+        "tick" => Backend::Tick,
+        other => return Err(err(format!("unknown backend `{other}`"))),
+    };
+    let sample = opts.u64_or("sample", 1)?;
+    let folded_out = opts.get("folded");
+    let chrome_out = opts.get("chrome");
+    let metrics_out = opts.get("metrics");
+
+    let mut prof = Profiler::new().with_sampling(sample);
+    let mut recorder = TraceRecorder::new();
+    let mut runner = Runner::new(&instance).backend(backend).probe(&mut prof);
+    // The Chrome export wants the bin tracks alongside the profiler
+    // spans, and recording those takes an observer — which forces
+    // the exact engine (and is rejected by --backend tick).
+    if chrome_out.is_some() {
+        runner = runner.observer(&mut recorder);
+    }
+    let outcome = runner
+        .run(algo.as_mut())
+        .map_err(|e| err(format!("profiled run failed: {e}")))?;
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{}: {} items → {} bins (peak {} open), usage {}\n",
+        outcome.algorithm(),
+        instance.len(),
+        outcome.bins_opened(),
+        outcome.max_open_bins(),
+        outcome.total_usage(),
+    ));
+    out.push_str(&prof.report());
+
+    if let Some(path) = folded_out {
+        write_file(path, &prof.folded())?;
+        out.push_str(&format!("folded: flamegraph stacks → {path}\n"));
+    }
+    if let Some(path) = chrome_out {
+        let doc = chrome_trace_with_spans(recorder.events(), prof.chrome_events());
+        let text =
+            serde_json::to_string(&doc).map_err(|e| err(format!("chrome export failed: {e}")))?;
+        write_file(path, &text)?;
+        out.push_str(&format!("chrome: trace with profiler spans → {path}\n"));
+    }
+    if let Some(path) = metrics_out {
+        write_file(path, &prof.to_registry().to_json_pretty())?;
+        out.push_str(&format!("metrics: profile registry → {path}\n"));
+    }
     Ok(out)
 }
 
@@ -1381,6 +1449,87 @@ mod tests {
         assert!(out.contains("falling back"), "{out}");
         assert!(out.contains("FirstFit"), "{out}");
         std::fs::remove_file(&wide).unwrap();
+    }
+
+    #[test]
+    fn profile_command_reports_shares_and_writes_exports() {
+        let path = tmp("profile.json");
+        run(&args(&[
+            "generate", "--family", "random", "--n", "40", "--mu", "4", "--seed", "3", "--out",
+            &path,
+        ]))
+        .unwrap();
+        let folded = tmp("profile.folded");
+        let chrome = tmp("profile-chrome.json");
+        let metrics = tmp("profile-metrics.json");
+        let out = run(&args(&[
+            "profile",
+            "--trace",
+            &path,
+            "--algo",
+            "firstfit-fast",
+            "--folded",
+            &folded,
+            "--chrome",
+            &chrome,
+            "--metrics",
+            &metrics,
+        ]))
+        .unwrap();
+        assert!(out.contains("FirstFitFast"), "{out}");
+        assert!(out.contains("profile: 80 events"), "{out}");
+        assert!(out.contains("fit_scan"), "{out}");
+        assert!(out.contains("departure_drain"), "{out}");
+        // The folded file is `stack weight` lines rooted at "engine".
+        let stacks = std::fs::read_to_string(&folded).unwrap();
+        assert!(stacks.lines().all(|l| l.starts_with("engine;")), "{stacks}");
+        assert!(stacks
+            .lines()
+            .all(|l| l.rsplit(' ').next().unwrap().parse::<u64>().is_ok()));
+        // The chrome doc holds both bin tracks (pid 1) and profiler
+        // spans (pid 2).
+        let doc = serde_json::parse(&std::fs::read_to_string(&chrome).unwrap()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let pid = |p: i128| {
+            events
+                .iter()
+                .filter(|e| e.get("pid").and_then(serde_json::Value::as_int) == Some(p))
+                .count()
+        };
+        assert!(pid(1) > 0 && pid(2) > 0);
+        // The metrics registry carries the profile families.
+        let reg = std::fs::read_to_string(&metrics).unwrap();
+        assert!(reg.contains("profile_fit_scan_self_ns"), "{reg}");
+        // firstfit-fast answers placements from the tree index.
+        assert!(reg.contains("probe_tree_depth"), "{reg}");
+
+        // Sampling and strict backends work; tick + --chrome is the
+        // observer conflict the runner reports.
+        let sampled = run(&args(&[
+            "profile",
+            "--trace",
+            &path,
+            "--backend",
+            "tick",
+            "--sample",
+            "4",
+        ]))
+        .unwrap();
+        assert!(sampled.contains("20 sampled"), "{sampled}");
+        let e = run(&args(&[
+            "profile",
+            "--trace",
+            &path,
+            "--backend",
+            "tick",
+            "--chrome",
+            &chrome,
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("exact engine"), "{e}");
+        for f in [&path, &folded, &chrome, &metrics] {
+            std::fs::remove_file(f).unwrap();
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use super::{ArrivalView, PackingAlgorithm, Placement};
 use crate::bin::{BinSnapshot, OpenBin};
+use crate::probe::ProbeCounter;
 use crate::tick::TickPolicy;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -52,6 +53,9 @@ pub struct AnyFit<P> {
     /// Scratch buffer reused across arrivals to avoid per-event
     /// allocation in hot sweeps.
     scratch: Vec<usize>,
+    /// Open bins examined by the most recent `place` (probe
+    /// accounting; one integer store per arrival).
+    last_scanned: u64,
 }
 
 impl<P: FitPolicy> AnyFit<P> {
@@ -60,6 +64,7 @@ impl<P: FitPolicy> AnyFit<P> {
         AnyFit {
             policy,
             scratch: Vec::new(),
+            last_scanned: 0,
         }
     }
 }
@@ -72,11 +77,13 @@ impl<P: FitPolicy> PackingAlgorithm for AnyFit<P> {
     fn reset(&mut self) {
         self.policy.reset_policy();
         self.scratch.clear();
+        self.last_scanned = 0;
     }
 
     fn place(&mut self, arrival: &ArrivalView, bins: &BinSnapshot<'_>) -> Placement {
         self.scratch.clear();
         let open = bins.open_bins();
+        self.last_scanned = open.len() as u64;
         for (i, b) in open.iter().enumerate() {
             if b.fits(arrival.size) {
                 self.scratch.push(i);
@@ -90,6 +97,10 @@ impl<P: FitPolicy> PackingAlgorithm for AnyFit<P> {
 
     fn tick_policy(&self) -> Option<TickPolicy> {
         self.policy.tick_policy()
+    }
+
+    fn probe_sample(&self) -> Option<(ProbeCounter, u64)> {
+        Some((ProbeCounter::BinsScanned, self.last_scanned))
     }
 }
 

@@ -24,6 +24,7 @@ use super::{ArrivalView, PackingAlgorithm, Placement};
 use crate::bin::{BinId, BinSnapshot};
 use crate::fit_tree::FitTree;
 use crate::item::ItemId;
+use crate::probe::ProbeCounter;
 use crate::tick::TickPolicy;
 use dbp_numeric::Rational;
 use std::marker::PhantomData;
@@ -36,8 +37,14 @@ pub trait TreeRule: Send {
     /// The equivalent integer-engine policy (see
     /// [`PackingAlgorithm::tick_policy`]).
     const TICK: TickPolicy;
+    /// Selects a feasible bin for `size` (or `None` to open) plus the
+    /// number of tree nodes the query visited (probe accounting).
+    fn query_counted(tree: &FitTree, size: Rational) -> (Option<BinId>, u32);
+
     /// Selects a feasible bin for `size`, or `None` to open.
-    fn query(tree: &FitTree, size: Rational) -> Option<BinId>;
+    fn query(tree: &FitTree, size: Rational) -> Option<BinId> {
+        Self::query_counted(tree, size).0
+    }
 }
 
 /// First Fit rule: earliest-opened feasible bin.
@@ -47,8 +54,8 @@ pub struct EarliestFeasible;
 impl TreeRule for EarliestFeasible {
     const TICK: TickPolicy = TickPolicy::FirstFit;
     const NAME: &'static str = "FirstFitFast";
-    fn query(tree: &FitTree, size: Rational) -> Option<BinId> {
-        tree.first_fit(size)
+    fn query_counted(tree: &FitTree, size: Rational) -> (Option<BinId>, u32) {
+        tree.first_fit_counted(size)
     }
 }
 
@@ -59,8 +66,8 @@ pub struct TightestFeasible;
 impl TreeRule for TightestFeasible {
     const TICK: TickPolicy = TickPolicy::BestFit;
     const NAME: &'static str = "BestFitFast";
-    fn query(tree: &FitTree, size: Rational) -> Option<BinId> {
-        tree.best_fit(size)
+    fn query_counted(tree: &FitTree, size: Rational) -> (Option<BinId>, u32) {
+        tree.best_fit_counted(size)
     }
 }
 
@@ -71,8 +78,8 @@ pub struct RoomiestFeasible;
 impl TreeRule for RoomiestFeasible {
     const TICK: TickPolicy = TickPolicy::WorstFit;
     const NAME: &'static str = "WorstFitFast";
-    fn query(tree: &FitTree, size: Rational) -> Option<BinId> {
-        tree.worst_fit(size)
+    fn query_counted(tree: &FitTree, size: Rational) -> (Option<BinId>, u32) {
+        tree.worst_fit_counted(size)
     }
 }
 
@@ -83,6 +90,9 @@ pub struct TreeFit<R: TreeRule> {
     /// Size of the arrival whose placement decision is in flight
     /// (set by `place`, consumed by `on_placed`).
     pending: Option<Rational>,
+    /// Tree nodes visited by the most recent `place` query (probe
+    /// accounting; one integer store per arrival).
+    last_depth: u64,
     _rule: PhantomData<R>,
 }
 
@@ -92,6 +102,7 @@ impl<R: TreeRule> TreeFit<R> {
         TreeFit {
             tree: FitTree::new(),
             pending: None,
+            last_depth: 0,
             _rule: PhantomData,
         }
     }
@@ -110,11 +121,14 @@ impl<R: TreeRule> PackingAlgorithm for TreeFit<R> {
     fn reset(&mut self) {
         self.tree.clear();
         self.pending = None;
+        self.last_depth = 0;
     }
 
     fn place(&mut self, arrival: &ArrivalView, _bins: &BinSnapshot<'_>) -> Placement {
         self.pending = Some(arrival.size);
-        match R::query(&self.tree, arrival.size) {
+        let (hit, depth) = R::query_counted(&self.tree, arrival.size);
+        self.last_depth = depth as u64;
+        match hit {
             Some(bin) => Placement::Existing(bin),
             None => Placement::OpenNew,
         }
@@ -147,6 +161,10 @@ impl<R: TreeRule> PackingAlgorithm for TreeFit<R> {
 
     fn tick_policy(&self) -> Option<TickPolicy> {
         Some(R::TICK)
+    }
+
+    fn probe_sample(&self) -> Option<(ProbeCounter, u64)> {
+        Some((ProbeCounter::TreeDepth, self.last_depth))
     }
 }
 

@@ -34,6 +34,7 @@ pub use scripted::Scripted;
 
 use crate::bin::{BinId, BinSnapshot};
 use crate::item::ItemId;
+use crate::probe::ProbeCounter;
 use crate::tick::TickPolicy;
 use dbp_numeric::Rational;
 
@@ -110,6 +111,18 @@ pub trait PackingAlgorithm: Send {
     fn tick_policy(&self) -> Option<TickPolicy> {
         None
     }
+
+    /// Algorithmic work spent on the **most recent**
+    /// [`place`](Self::place) decision, as a probe counter sample —
+    /// bins examined for linear scanners, tree descent depth for
+    /// index-backed ones. `None` (the default) for algorithms that
+    /// do not account their scans. Queried by the engine only when a
+    /// profiling probe is attached ([`crate::probe::PhaseProbe`]), so
+    /// implementations may keep the bookkeeping unconditionally cheap
+    /// (a single stored integer).
+    fn probe_sample(&self) -> Option<(ProbeCounter, u64)> {
+        None
+    }
 }
 
 // A mutable reference is itself a packing algorithm: this is what
@@ -138,6 +151,9 @@ impl<T: PackingAlgorithm + ?Sized> PackingAlgorithm for &mut T {
     fn tick_policy(&self) -> Option<TickPolicy> {
         (**self).tick_policy()
     }
+    fn probe_sample(&self) -> Option<(ProbeCounter, u64)> {
+        (**self).probe_sample()
+    }
 }
 
 // A boxed algorithm is one too: `algo::by_name` hands out
@@ -164,6 +180,9 @@ impl<T: PackingAlgorithm + ?Sized> PackingAlgorithm for Box<T> {
     }
     fn tick_policy(&self) -> Option<TickPolicy> {
         (**self).tick_policy()
+    }
+    fn probe_sample(&self) -> Option<(ProbeCounter, u64)> {
+        (**self).probe_sample()
     }
 }
 

@@ -16,6 +16,7 @@ use crate::algo::{ArrivalView, PackingAlgorithm, Placement};
 use crate::bin::{BinId, BinSnapshot, OpenBin};
 use crate::item::{Instance, ItemId};
 use crate::observe::{EngineObserver, NoopObserver};
+use crate::probe::{EventKind, NoopProbe, Phase, PhaseProbe};
 use dbp_numeric::{Interval, Rational};
 use dbp_simcore::{EventClass, EventSchedule};
 use serde::{Deserialize, Serialize};
@@ -404,6 +405,24 @@ impl PackingEngine {
         size: Rational,
         time: Rational,
     ) -> Result<BinId, PackingError> {
+        self.arrive_probed(algo, obs, &mut NoopProbe, item, size, time)
+    }
+
+    /// [`arrive_observed`](Self::arrive_observed) with profiling:
+    /// `probe` brackets the event's phases and receives the
+    /// algorithm's scan-work sample. Generic so the detached
+    /// ([`NoopProbe`]) instantiation monomorphizes to the exact
+    /// uninstrumented machine code.
+    pub fn arrive_probed<P: PhaseProbe + ?Sized>(
+        &mut self,
+        algo: &mut dyn PackingAlgorithm,
+        obs: &mut dyn EngineObserver,
+        probe: &mut P,
+        item: ItemId,
+        size: Rational,
+        time: Rational,
+    ) -> Result<BinId, PackingError> {
+        probe.event(EventKind::Arrival);
         self.check_time(time)?;
         // `active` is sorted by item id: one binary search both
         // rejects duplicates and yields the insertion point reused
@@ -415,9 +434,19 @@ impl PackingEngine {
         let arrival = ArrivalView { item, size, time };
         let placement = {
             let snap = BinSnapshot::new(&self.open);
+            probe.enter(Phase::ObserverDispatch);
             obs.on_arrival(&arrival, &snap);
-            algo.place(&arrival, &snap)
+            probe.exit(Phase::ObserverDispatch);
+            probe.enter(Phase::FitScan);
+            let placement = algo.place(&arrival, &snap);
+            probe.exit(Phase::FitScan);
+            placement
         };
+        if probe.is_active() {
+            if let Some((counter, n)) = algo.probe_sample() {
+                probe.count(counter, n);
+            }
+        }
         let (bin_id, new_bin) = match placement {
             Placement::Existing(bin_id) => {
                 let idx = self.slot(bin_id).ok_or(PackingError::NoSuchBin(bin_id))?;
@@ -430,25 +459,34 @@ impl PackingEngine {
                 }
                 {
                     let snap = BinSnapshot::new(&self.open);
+                    probe.enter(Phase::ObserverDispatch);
                     obs.on_placement(&arrival, &snap, bin_id, false);
+                    probe.exit(Phase::ObserverDispatch);
                 }
+                probe.enter(Phase::PlacementCommit);
                 let (open, live) = (&mut self.open[idx], &mut self.live[idx]);
+                probe.enter(Phase::ClockAdvance);
                 Self::advance_bin_clock(open, live, time);
+                probe.exit(Phase::ClockAdvance);
                 open.level += size;
                 open.contents.push((item, size));
                 live.items.push(item);
                 if open.level > live.peak_level {
                     live.peak_level = open.level;
                 }
+                probe.exit(Phase::PlacementCommit);
                 (bin_id, false)
             }
             Placement::OpenNew => {
                 let bin_id = BinId(self.next_bin);
                 {
                     let snap = BinSnapshot::new(&self.open);
+                    probe.enter(Phase::ObserverDispatch);
                     obs.on_placement(&arrival, &snap, bin_id, true);
+                    obs.on_bin_opened(bin_id, time);
+                    probe.exit(Phase::ObserverDispatch);
                 }
-                obs.on_bin_opened(bin_id, time);
+                probe.enter(Phase::PlacementCommit);
                 self.next_bin += 1;
                 debug_assert_eq!(self.slot_of.len(), bin_id.index());
                 self.slot_of.push(self.open.len() as u32);
@@ -466,12 +504,17 @@ impl PackingEngine {
                     last_change: time,
                 });
                 self.max_open = self.max_open.max(self.open.len());
+                probe.exit(Phase::PlacementCommit);
                 (bin_id, true)
             }
         };
+        probe.enter(Phase::PlacementCommit);
         self.active.insert(active_pos, (item, bin_id, size));
         self.assignments.push((item, bin_id));
+        probe.exit(Phase::PlacementCommit);
+        probe.enter(Phase::TreeSync);
         algo.on_placed(item, bin_id, new_bin, time);
+        probe.exit(Phase::TreeSync);
         Ok(bin_id)
     }
 
@@ -496,16 +539,36 @@ impl PackingEngine {
         item: ItemId,
         time: Rational,
     ) -> Result<BinId, PackingError> {
+        self.depart_probed(algo, obs, &mut NoopProbe, item, time)
+    }
+
+    /// [`depart_observed`](Self::depart_observed) with profiling; see
+    /// [`arrive_probed`](Self::arrive_probed) for the probe contract.
+    pub fn depart_probed<P: PhaseProbe + ?Sized>(
+        &mut self,
+        algo: &mut dyn PackingAlgorithm,
+        obs: &mut dyn EngineObserver,
+        probe: &mut P,
+        item: ItemId,
+        time: Rational,
+    ) -> Result<BinId, PackingError> {
+        probe.event(EventKind::Departure);
         self.check_time(time)?;
-        let pos = self
-            .active
-            .binary_search_by(|(r, _, _)| r.cmp(&item))
-            .map_err(|_| PackingError::UnknownItem(item))?;
+        probe.enter(Phase::DepartureDrain);
+        let pos = match self.active.binary_search_by(|(r, _, _)| r.cmp(&item)) {
+            Ok(pos) => pos,
+            Err(_) => {
+                probe.exit(Phase::DepartureDrain);
+                return Err(PackingError::UnknownItem(item));
+            }
+        };
         let (_, bin_id, size) = self.active.remove(pos);
         let idx = self.slot(bin_id).expect("active item's bin must be open");
         {
             let (open, live) = (&mut self.open[idx], &mut self.live[idx]);
+            probe.enter(Phase::ClockAdvance);
             Self::advance_bin_clock(open, live, time);
+            probe.exit(Phase::ClockAdvance);
             open.level -= size;
             let in_bin = open
                 .contents
@@ -535,13 +598,22 @@ impl PackingEngine {
                 peak_level: live.peak_level,
             });
         }
+        probe.exit(Phase::DepartureDrain);
         {
             let snap = BinSnapshot::new(&self.open);
+            probe.enter(Phase::ObserverDispatch);
             obs.on_departure(item, bin_id, size, time, &snap);
+            probe.exit(Phase::ObserverDispatch);
+            probe.enter(Phase::TreeSync);
             algo.on_departure(item, bin_id, time, &snap);
+            probe.exit(Phase::TreeSync);
             if closed_now {
+                probe.enter(Phase::ObserverDispatch);
                 obs.on_bin_closed(self.closed.last().expect("bin record just pushed"));
+                probe.exit(Phase::ObserverDispatch);
+                probe.enter(Phase::TreeSync);
                 algo.on_bin_closed(bin_id, time);
+                probe.exit(Phase::TreeSync);
             }
         }
         Ok(bin_id)

@@ -203,18 +203,29 @@ impl<V: GapKey> FitTree<V> {
 
     /// First Fit: the earliest-opened live bin with `gap ≥ size`.
     pub fn first_fit(&self, size: V) -> Option<BinId> {
+        self.first_fit_counted(size).0
+    }
+
+    /// [`first_fit`](Self::first_fit) plus the number of tree nodes
+    /// the descent visited (root check counts as 1). The counter is a
+    /// register increment, so callers that discard it (the plain
+    /// query) pay nothing after inlining; profiling probes read it as
+    /// the per-arrival descent depth.
+    pub fn first_fit_counted(&self, size: V) -> (Option<BinId>, u32) {
         if self.cap == 0 || self.tree[1] < size {
-            return None;
+            return (None, 1);
         }
         let mut i = 1;
+        let mut depth = 1u32;
         while i < self.cap {
             i = if self.tree[2 * i] >= size {
                 2 * i
             } else {
                 2 * i + 1
             };
+            depth += 1;
         }
-        Some(BinId((i - self.cap) as u32))
+        (Some(BinId((i - self.cap) as u32)), depth)
     }
 
     /// Best Fit: the highest-level (smallest-gap) live bin with
@@ -226,23 +237,37 @@ impl<V: GapKey> FitTree<V> {
             .map(|&(_, id)| id)
     }
 
+    /// [`best_fit`](Self::best_fit) with a descent count of 1 (the
+    /// ordered-set range lookup is one probe from the caller's view).
+    pub fn best_fit_counted(&self, size: V) -> (Option<BinId>, u32) {
+        (self.best_fit(size), 1)
+    }
+
     /// Worst Fit: the lowest-level (largest-gap) live bin, provided
     /// it can take `size`; ties broken toward the earliest-opened
     /// bin (the leftmost leaf attaining the root's maximum).
     pub fn worst_fit(&self, size: V) -> Option<BinId> {
+        self.worst_fit_counted(size).0
+    }
+
+    /// [`worst_fit`](Self::worst_fit) plus the descent node count
+    /// (see [`first_fit_counted`](Self::first_fit_counted)).
+    pub fn worst_fit_counted(&self, size: V) -> (Option<BinId>, u32) {
         if self.cap == 0 || self.tree[1] < size {
-            return None;
+            return (None, 1);
         }
         let max = self.tree[1];
         let mut i = 1;
+        let mut depth = 1u32;
         while i < self.cap {
             i = if self.tree[2 * i] == max {
                 2 * i
             } else {
                 2 * i + 1
             };
+            depth += 1;
         }
-        Some(BinId((i - self.cap) as u32))
+        (Some(BinId((i - self.cap) as u32)), depth)
     }
 }
 
@@ -333,6 +358,23 @@ mod tests {
         }
         assert_eq!(t.first_fit(rat(7, 10)), Some(BinId(55)));
         assert_eq!(t.len(), 50);
+    }
+
+    #[test]
+    fn counted_queries_report_descent_depth() {
+        let mut t = FitTree::new();
+        for k in 0..5u32 {
+            t.open(BinId(k), rat(1, 2));
+        }
+        // cap grew to 8: a full descent visits root + 3 levels.
+        let (hit, depth) = t.first_fit_counted(rat(1, 4));
+        assert_eq!(hit, Some(BinId(0)));
+        assert_eq!(depth, 4);
+        assert_eq!(t.worst_fit_counted(rat(1, 4)), (Some(BinId(0)), 4));
+        assert_eq!(t.best_fit_counted(rat(1, 4)), (Some(BinId(0)), 1));
+        // Infeasible queries stop at the root.
+        assert_eq!(t.first_fit_counted(rat(3, 4)), (None, 1));
+        assert_eq!(t.worst_fit_counted(rat(3, 4)), (None, 1));
     }
 
     #[test]

@@ -31,6 +31,10 @@
 //! * [`observe`] — passive instrumentation hooks
 //!   ([`observe::EngineObserver`]) through which tracing and metrics
 //!   (the `dbp-obs` crate) watch a run without influencing it.
+//! * [`probe`] — zero-cost self-profiling hooks
+//!   ([`probe::PhaseProbe`]): phase-attributed span timing and
+//!   per-arrival scan/descent work counts on **both** engines, with
+//!   the detached path compiling to nothing.
 //! * [`algo`] — the algorithm zoo: **First Fit** (the paper's
 //!   subject, Theorem 1: `(µ+4)`-competitive), Best Fit, Worst Fit,
 //!   Last Fit, Random Fit (the Any-Fit family, §I), **Next Fit**
@@ -82,6 +86,7 @@ pub mod engine;
 pub mod fit_tree;
 pub mod item;
 pub mod observe;
+pub mod probe;
 pub mod session;
 pub mod tick;
 
@@ -99,13 +104,16 @@ pub use engine::{
 pub use fit_tree::{FitTree, GapKey};
 pub use item::{Instance, InstanceBuilder, InstanceError, InstanceStats, Item, ItemId};
 pub use observe::{EngineObserver, FanOut, NoopObserver};
+pub use probe::{EventKind, NoopProbe, Phase, PhaseProbe, ProbeCounter};
 pub use session::{
     Backend, BatchError, Event, Runner, Session, SessionBuilder, SessionError, SessionMetrics,
     SessionSnapshot, TickGrid,
 };
 #[allow(deprecated)] // compat re-export; gone next release
 pub use tick::run_packing_auto;
-pub use tick::{run_packing_compiled, CompileError, CompiledInstance, TickEngine, TickPolicy};
+pub use tick::{
+    run_packing_compiled, CompileError, CompiledInstance, TickEngine, TickPolicy, SCAN_CROSSOVER,
+};
 
 /// One-stop imports for downstream crates and examples.
 pub mod prelude {
@@ -119,6 +127,7 @@ pub mod prelude {
     pub use crate::engine::{run_packing, run_packing_observed, run_packing_scheduled};
     pub use crate::item::{Instance, Item, ItemId};
     pub use crate::observe::{EngineObserver, NoopObserver};
+    pub use crate::probe::{NoopProbe, Phase, PhaseProbe, ProbeCounter};
     pub use crate::session::{Backend, Event, Runner, Session, SessionError, TickGrid};
     #[allow(deprecated)] // compat re-export; gone next release
     pub use crate::tick::run_packing_auto;

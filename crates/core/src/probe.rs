@@ -1,0 +1,296 @@
+//! Zero-cost self-profiling hooks for the engine hot paths.
+//!
+//! A [`PhaseProbe`] is the profiling counterpart of
+//! [`crate::observe::EngineObserver`]: a passive hook the engines
+//! call around a **fixed enum of hot-path phases** ([`Phase`]) and
+//! feed per-arrival algorithmic work counts ([`ProbeCounter`]).
+//! Unlike observers, probes carry no packing semantics — they never
+//! see items, bins, or snapshots — so attaching one does **not**
+//! force the exact engine: the integer [`crate::tick::TickEngine`]
+//! reports the same phases.
+//!
+//! ## Zero cost when detached
+//!
+//! Every entry point that accepts a probe is generic over
+//! `P: PhaseProbe + ?Sized`; the unattached paths pass the zero-sized
+//! [`NoopProbe`], whose empty inline methods monomorphize to nothing
+//! (the same discipline as the allocation-free unobserved
+//! [`crate::observe::NoopObserver`] path). Work that exists only to
+//! feed the probe — e.g. asking the algorithm for its
+//! [`probe_sample`](crate::algo::PackingAlgorithm::probe_sample) —
+//! is guarded by [`PhaseProbe::is_active`], which `NoopProbe` pins to
+//! `false` so the guard and its body constant-fold away. The
+//! `profile` arm of the perf snapshot harness measures exactly this
+//! contract.
+//!
+//! ## Phase discipline
+//!
+//! Phases may nest (an engine phase around a tree-sync phase);
+//! [`enter`](PhaseProbe::enter)/[`exit`](PhaseProbe::exit) calls are
+//! always balanced and well-bracketed per engine, which is what lets
+//! a profiler maintain a folded call stack for flamegraph export.
+//! [`event`](PhaseProbe::event) brackets one whole engine event
+//! (arrival or departure) and is where sampling profilers decide
+//! whether to pay for clock reads on this event.
+
+/// One hot-path phase of an engine event. The set is fixed and small
+/// so probes can use flat arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Phase {
+    /// Removing a departing item from the active books (binary search
+    /// plus the ordered-vector shifts).
+    DepartureDrain = 0,
+    /// The algorithm's placement decision for an arrival: the FF/BF/WF
+    /// scan or the `FitTree` descent.
+    FitScan = 1,
+    /// Committing a validated placement into the engine books
+    /// (levels, contents, assignment records, open-bin tracking).
+    PlacementCommit = 2,
+    /// Maintaining the `FitTree`/gap index after a placement,
+    /// departure, or bin close.
+    TreeSync = 3,
+    /// Observer callbacks (`EngineObserver` dispatch).
+    ObserverDispatch = 4,
+    /// Advancing a bin's usage clock (the level-integral update).
+    ClockAdvance = 5,
+}
+
+impl Phase {
+    /// Number of phases (array dimension for flat probe state).
+    pub const COUNT: usize = 6;
+
+    /// Every phase, in `repr` order.
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::DepartureDrain,
+        Phase::FitScan,
+        Phase::PlacementCommit,
+        Phase::TreeSync,
+        Phase::ObserverDispatch,
+        Phase::ClockAdvance,
+    ];
+
+    /// Stable snake_case name (metric names, folded stacks).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::DepartureDrain => "departure_drain",
+            Phase::FitScan => "fit_scan",
+            Phase::PlacementCommit => "placement_commit",
+            Phase::TreeSync => "tree_sync",
+            Phase::ObserverDispatch => "observer_dispatch",
+            Phase::ClockAdvance => "clock_advance",
+        }
+    }
+
+    /// Flat index (`repr` value).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Per-arrival algorithmic work counters — the probe-count accounting
+/// the paper's scan analysis is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum ProbeCounter {
+    /// Open bins examined by a linear Any-Fit scan.
+    BinsScanned = 0,
+    /// Nodes visited by a `FitTree` descent (best-fit map lookups
+    /// count as depth 1).
+    TreeDepth = 1,
+    /// Euclidean remainder steps spent in `Rational` gcds
+    /// (`dbp_numeric::gcd_stats`), attributed per event.
+    GcdSteps = 2,
+}
+
+impl ProbeCounter {
+    /// Number of counters (array dimension for flat probe state).
+    pub const COUNT: usize = 3;
+
+    /// Every counter, in `repr` order.
+    pub const ALL: [ProbeCounter; ProbeCounter::COUNT] = [
+        ProbeCounter::BinsScanned,
+        ProbeCounter::TreeDepth,
+        ProbeCounter::GcdSteps,
+    ];
+
+    /// Stable snake_case name (metric names).
+    pub fn name(self) -> &'static str {
+        match self {
+            ProbeCounter::BinsScanned => "bins_scanned",
+            ProbeCounter::TreeDepth => "tree_depth",
+            ProbeCounter::GcdSteps => "gcd_steps",
+        }
+    }
+
+    /// Flat index (`repr` value).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// What kind of engine event a [`PhaseProbe::event`] bracket covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// An item arrival (placement decision included).
+    Arrival,
+    /// An item departure (bin close included, if one happens).
+    Departure,
+}
+
+/// Passive profiling hook. All methods default to no-ops so a probe
+/// implements only what it samples; every call site is generic, so
+/// the [`NoopProbe`] instantiation compiles to nothing.
+pub trait PhaseProbe: Send {
+    /// `true` for real probes. Engines use this to skip work that
+    /// exists only to feed the probe (e.g. querying the algorithm's
+    /// scan statistics); `NoopProbe` keeps the default `false` so
+    /// those branches constant-fold away.
+    #[inline]
+    fn is_active(&self) -> bool {
+        false
+    }
+
+    /// An engine event (arrival or departure) is starting. Sampling
+    /// profilers decide here whether to time this event's phases.
+    #[inline]
+    fn event(&mut self, kind: EventKind) {
+        let _ = kind;
+    }
+
+    /// The phase `phase` begins. Always balanced by [`exit`](Self::exit);
+    /// phases nest well-bracketed.
+    #[inline]
+    fn enter(&mut self, phase: Phase) {
+        let _ = phase;
+    }
+
+    /// The innermost open phase (`phase`) ends.
+    #[inline]
+    fn exit(&mut self, phase: Phase) {
+        let _ = phase;
+    }
+
+    /// `n` units of algorithmic work of kind `counter` were spent on
+    /// the current event.
+    #[inline]
+    fn count(&mut self, counter: ProbeCounter, n: u64) {
+        let _ = (counter, n);
+    }
+}
+
+/// The do-nothing probe behind every unattached entry point.
+/// Zero-sized; all methods inherit the empty defaults, so the
+/// monomorphized detached path is byte-identical to having no hooks
+/// at all.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopProbe;
+
+impl PhaseProbe for NoopProbe {}
+
+// `&mut P` is a probe too: engines take `&mut P` at their entry
+// points and re-borrow internally, and sessions store
+// `Option<&mut dyn PhaseProbe>`.
+impl<P: PhaseProbe + ?Sized> PhaseProbe for &mut P {
+    #[inline]
+    fn is_active(&self) -> bool {
+        (**self).is_active()
+    }
+    #[inline]
+    fn event(&mut self, kind: EventKind) {
+        (**self).event(kind);
+    }
+    #[inline]
+    fn enter(&mut self, phase: Phase) {
+        (**self).enter(phase);
+    }
+    #[inline]
+    fn exit(&mut self, phase: Phase) {
+        (**self).exit(phase);
+    }
+    #[inline]
+    fn count(&mut self, counter: ProbeCounter, n: u64) {
+        (**self).count(counter, n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Records the call sequence, for bracketing checks.
+    #[derive(Default)]
+    pub(crate) struct ScriptProbe {
+        pub(crate) log: Vec<String>,
+    }
+
+    impl PhaseProbe for ScriptProbe {
+        fn is_active(&self) -> bool {
+            true
+        }
+        fn event(&mut self, kind: EventKind) {
+            self.log.push(format!("event:{kind:?}"));
+        }
+        fn enter(&mut self, phase: Phase) {
+            self.log.push(format!("+{}", phase.name()));
+        }
+        fn exit(&mut self, phase: Phase) {
+            self.log.push(format!("-{}", phase.name()));
+        }
+        fn count(&mut self, counter: ProbeCounter, n: u64) {
+            self.log.push(format!("#{}={n}", counter.name()));
+        }
+    }
+
+    #[test]
+    fn enums_have_stable_flat_indices() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        for (i, c) in ProbeCounter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        assert_eq!(Phase::ALL.len(), Phase::COUNT);
+        assert_eq!(ProbeCounter::ALL.len(), ProbeCounter::COUNT);
+    }
+
+    #[test]
+    fn names_are_snake_case_and_distinct() {
+        let names: Vec<_> = Phase::ALL.iter().map(|p| p.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+        for n in names {
+            assert!(n.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn noop_probe_is_inert_and_inactive() {
+        let mut p = NoopProbe;
+        assert!(!p.is_active());
+        p.event(EventKind::Arrival);
+        p.enter(Phase::FitScan);
+        p.count(ProbeCounter::BinsScanned, 3);
+        p.exit(Phase::FitScan);
+        // And through a mutable reference (the engine-internal shape).
+        let r = &mut p;
+        assert!(!r.is_active());
+    }
+
+    #[test]
+    fn script_probe_sees_calls_through_dyn() {
+        let mut s = ScriptProbe::default();
+        let d: &mut dyn PhaseProbe = &mut s;
+        d.event(EventKind::Departure);
+        d.enter(Phase::DepartureDrain);
+        d.exit(Phase::DepartureDrain);
+        assert_eq!(
+            s.log,
+            vec!["event:Departure", "+departure_drain", "-departure_drain"]
+        );
+    }
+}

@@ -56,6 +56,7 @@ use crate::bin::BinId;
 use crate::engine::{event_schedule, PackingEngine, PackingError, PackingOutcome};
 use crate::item::{Instance, ItemId};
 use crate::observe::{EngineObserver, NoopObserver};
+use crate::probe::PhaseProbe;
 use crate::tick::{CompileError, CompiledInstance, TickEngine, TickPolicy};
 use dbp_numeric::Rational;
 use dbp_simcore::{EventClass, EventSchedule, StreamEvent};
@@ -573,6 +574,7 @@ enum Route {
 pub struct SessionBuilder<'s> {
     algo: Box<dyn PackingAlgorithm + 's>,
     observer: Option<&'s mut dyn EngineObserver>,
+    probe: Option<&'s mut dyn PhaseProbe>,
     backend: Backend,
     grid: Option<TickGrid>,
     journal: bool,
@@ -585,6 +587,15 @@ impl<'s> SessionBuilder<'s> {
     /// no instrumentation hooks).
     pub fn observer(mut self, obs: &'s mut dyn EngineObserver) -> SessionBuilder<'s> {
         self.observer = Some(obs);
+        self
+    }
+
+    /// Attaches a [`PhaseProbe`] for self-profiling. Unlike observers
+    /// probes are wired into **both** engines, so attaching one does
+    /// not change which backend runs — outcomes stay bit-identical to
+    /// an unprobed session.
+    pub fn probe(mut self, probe: &'s mut dyn PhaseProbe) -> SessionBuilder<'s> {
+        self.probe = Some(probe);
         self
     }
 
@@ -661,6 +672,7 @@ impl<'s> SessionBuilder<'s> {
         Ok(Session {
             algo: self.algo,
             observer: self.observer,
+            probe: self.probe,
             noop: NoopObserver,
             backend: self.backend,
             strict: self.backend == Backend::Tick,
@@ -685,6 +697,7 @@ impl<'s> SessionBuilder<'s> {
 pub struct Session<'s> {
     algo: Box<dyn PackingAlgorithm + 's>,
     observer: Option<&'s mut dyn EngineObserver>,
+    probe: Option<&'s mut dyn PhaseProbe>,
     noop: NoopObserver,
     backend: Backend,
     strict: bool,
@@ -725,6 +738,7 @@ impl<'s> Session<'s> {
         SessionBuilder {
             algo: Box::new(algo),
             observer: None,
+            probe: None,
             backend: Backend::Auto,
             grid: None,
             journal: true,
@@ -937,7 +951,10 @@ impl<'s> Session<'s> {
                     Some(o) => o,
                     None => &mut self.noop,
                 };
-                engine.arrive_observed(self.algo.as_mut(), obs, id, size, t)?
+                match self.probe.as_deref_mut() {
+                    Some(p) => engine.arrive_probed(self.algo.as_mut(), obs, p, id, size, t)?,
+                    None => engine.arrive_observed(self.algo.as_mut(), obs, id, size, t)?,
+                }
             }
             Route::TickFirst { units } => {
                 let grid = self.grid.expect("tick route implies a grid");
@@ -948,7 +965,10 @@ impl<'s> Session<'s> {
                     grid.time_scale as i128,
                     grid.size_scale as i128,
                 );
-                let bin = engine.arrive(id, units, 0)?;
+                let bin = match self.probe.as_deref_mut() {
+                    Some(p) => engine.arrive_probed(p, id, units, 0)?,
+                    None => engine.arrive(id, units, 0)?,
+                };
                 self.origin = Some(t);
                 self.core = Core::Tick(engine);
                 bin
@@ -957,7 +977,10 @@ impl<'s> Session<'s> {
                 let Core::Tick(engine) = &mut self.core else {
                     unreachable!("tick route implies tick core");
                 };
-                engine.arrive(id, units, tick)?
+                match self.probe.as_deref_mut() {
+                    Some(p) => engine.arrive_probed(p, id, units, tick)?,
+                    None => engine.arrive(id, units, tick)?,
+                }
             }
             Route::Promote { .. } => unreachable!("promotion handled above"),
         };
@@ -1000,13 +1023,19 @@ impl<'s> Session<'s> {
                     Some(o) => o,
                     None => &mut self.noop,
                 };
-                engine.depart_observed(self.algo.as_mut(), obs, id, t)?
+                match self.probe.as_deref_mut() {
+                    Some(p) => engine.depart_probed(self.algo.as_mut(), obs, p, id, t)?,
+                    None => engine.depart_observed(self.algo.as_mut(), obs, id, t)?,
+                }
             }
             Route::Tick { tick, .. } => {
                 let Core::Tick(engine) = &mut self.core else {
                     unreachable!("tick route implies tick core");
                 };
-                engine.depart(id, tick)?
+                match self.probe.as_deref_mut() {
+                    Some(p) => engine.depart_probed(p, id, tick)?,
+                    None => engine.depart(id, tick)?,
+                }
             }
             // An active-item pre-check passed, so at least one event
             // was applied and the core cannot be idle.
@@ -1161,6 +1190,7 @@ pub struct Runner<'a> {
     instance: &'a Instance,
     schedule: Option<&'a EventSchedule<ItemId>>,
     observer: Option<&'a mut dyn EngineObserver>,
+    probe: Option<&'a mut dyn PhaseProbe>,
     backend: Backend,
 }
 
@@ -1172,6 +1202,7 @@ impl<'a> Runner<'a> {
             instance,
             schedule: None,
             observer: None,
+            probe: None,
             backend: Backend::Auto,
         }
     }
@@ -1187,6 +1218,15 @@ impl<'a> Runner<'a> {
     /// Attaches a passive observer (forces the exact engine).
     pub fn observer(mut self, obs: &'a mut dyn EngineObserver) -> Runner<'a> {
         self.observer = Some(obs);
+        self
+    }
+
+    /// Attaches a self-profiling [`PhaseProbe`]. Probes run on both
+    /// engines, so unlike [`observer`](Runner::observer) this does
+    /// not change how [`Backend::Auto`] dispatches, and outcomes are
+    /// bit-identical to an unprobed run.
+    pub fn probe(mut self, probe: &'a mut dyn PhaseProbe) -> Runner<'a> {
+        self.probe = Some(probe);
         self
     }
 
@@ -1212,13 +1252,13 @@ impl<'a> Runner<'a> {
                 let compiled =
                     CompiledInstance::compile(self.instance).map_err(SessionError::Compile)?;
                 algo.reset();
-                Self::run_compiled(&compiled, policy, algo)
+                Self::run_compiled(&compiled, policy, algo, self.probe)
             }
             Backend::Auto => {
                 if let (Some(policy), None) = (algo.tick_policy(), self.observer.as_ref()) {
                     if let Ok(compiled) = CompiledInstance::compile(self.instance) {
                         algo.reset();
-                        return Self::run_compiled(&compiled, policy, algo);
+                        return Self::run_compiled(&compiled, policy, algo, self.probe);
                     }
                 }
                 self.run_exact(algo)
@@ -1235,9 +1275,14 @@ impl<'a> Runner<'a> {
         compiled: &CompiledInstance,
         policy: TickPolicy,
         algo: &mut dyn PackingAlgorithm,
+        probe: Option<&mut dyn PhaseProbe>,
     ) -> Result<PackingOutcome, SessionError> {
         let name = algo.name();
-        Ok(compiled.run(policy)?.with_algorithm(&name))
+        let outcome = match probe {
+            Some(p) => compiled.run_probed(policy, p)?,
+            None => compiled.run(policy)?,
+        };
+        Ok(outcome.with_algorithm(&name))
     }
 
     /// The exact path: drive a (journal-free) streaming session with
@@ -1256,6 +1301,9 @@ impl<'a> Runner<'a> {
             .without_checkpoints();
         if let Some(obs) = self.observer {
             builder = builder.observer(obs);
+        }
+        if let Some(p) = self.probe {
+            builder = builder.probe(p);
         }
         let mut session = builder.build()?;
         for ev in schedule {

@@ -38,6 +38,7 @@ use crate::bin::BinId;
 use crate::engine::{BinRecord, PackingError, PackingOutcome};
 use crate::fit_tree::FitTree;
 use crate::item::{Instance, ItemId};
+use crate::probe::{EventKind, NoopProbe, Phase, PhaseProbe, ProbeCounter};
 use dbp_numeric::{checked_lcm, Interval, Rational};
 use dbp_simcore::EventClass;
 
@@ -46,6 +47,14 @@ use dbp_simcore::EventClass;
 /// per-bin integrals by `capacity·horizon < 2⁶⁴` (fits `u128` and,
 /// converted, `i128`), and the conversion denominator `T·S < 2⁶⁴`.
 const MAX_SCALE: i128 = u32::MAX as i128;
+
+/// Open-bin count above which a [`TickEngine`] switches its placement
+/// scan from a plain linear sweep to the [`FitTree`] index. Below
+/// this, a branchy cache-resident sweep over a handful of `u64` gaps
+/// beats the tree's `BTreeSet` churn on every open/close/departure;
+/// the `profile` perf-snapshot arm measures the regime boundary (see
+/// `results/BENCH_profile.json`).
+pub const SCAN_CROSSOVER: usize = 64;
 
 /// Why an instance could not be rescaled to tick space. Every variant
 /// routes [`run_packing_auto`] to the Rational fallback.
@@ -265,14 +274,31 @@ impl CompiledInstance {
     /// The schedule is borrowed, never rebuilt: a sweep calls this
     /// once per algorithm on one compiled instance.
     pub fn run(&self, policy: TickPolicy) -> Result<PackingOutcome, PackingError> {
+        self.run_probed(policy, &mut NoopProbe)
+    }
+
+    /// [`run`](Self::run) with a profiling probe bracketing every
+    /// event's phases (see [`PhaseProbe`]). The detached
+    /// ([`NoopProbe`]) instantiation is what [`run`](Self::run)
+    /// monomorphizes to, at zero cost.
+    pub fn run_probed<P: PhaseProbe + ?Sized>(
+        &self,
+        policy: TickPolicy,
+        probe: &mut P,
+    ) -> Result<PackingOutcome, PackingError> {
         let mut engine = TickEngine::new(self, policy);
         for ev in &self.schedule {
             match ev.class {
                 EventClass::Arrival => {
-                    engine.arrive(ev.item, self.items[ev.item.index()].size, ev.tick)?;
+                    engine.arrive_probed(
+                        probe,
+                        ev.item,
+                        self.items[ev.item.index()].size,
+                        ev.tick,
+                    )?;
                 }
                 EventClass::Departure => {
-                    engine.depart(ev.item, ev.tick)?;
+                    engine.depart_probed(probe, ev.item, ev.tick)?;
                 }
                 EventClass::Control => {}
             }
@@ -304,17 +330,39 @@ struct TickRecord {
     peak: u64,
 }
 
+/// How a [`TickEngine`] answers placement queries. Starts [`Linear`]
+/// (no index maintenance at all) and switches permanently to [`Tree`]
+/// the first time the open-bin count exceeds [`SCAN_CROSSOVER`] —
+/// gaps are derivable from the live levels, so the [`FitTree`] is
+/// rebuilt deterministically at the switch. Both modes implement the
+/// exact same selection and tie-break rules, so the mode is invisible
+/// in outcomes.
+///
+/// [`Linear`]: ScanMode::Linear
+/// [`Tree`]: ScanMode::Tree
+#[derive(Debug, Clone)]
+enum ScanMode {
+    /// Sweep the open bins in id order. `order` holds the open bin
+    /// ids ascending — new ids only ever grow, so a push keeps it
+    /// sorted, and a close is one binary-search removal (`O(open)`,
+    /// the same class as the sweep itself).
+    Linear { order: Vec<u32> },
+    /// Query the [`FitTree`] (`O(log B)` descents).
+    Tree,
+}
+
 /// The integer-arithmetic twin of [`crate::engine::PackingEngine`].
 ///
 /// Mirrors the exact engine's semantics — duplicate and feasibility
 /// validation, time-regression checks, half-open interval
 /// tie-breaking, peak and integral tracking — but every book is a
 /// machine integer: levels and peaks in `u64`, level integrals in
-/// `u128`. Placement queries run on a [`FitTree`] over `u64` keys
-/// (`gap + 1`, `0` tombstoning closed bins), so the per-arrival
-/// descent compares plain integers instead of cross-multiplying
-/// fractions. Conversion back to exact [`Rational`]s happens once,
-/// in [`finish`](Self::finish).
+/// `u128`. Placement queries run as a linear sweep while few bins are
+/// open and on a [`FitTree`] over `u64` keys (`gap + 1`, `0`
+/// tombstoning closed bins) above [`SCAN_CROSSOVER`], so the
+/// per-arrival decision always costs machine-integer compares at the
+/// winning regime's rate. Conversion back to exact [`Rational`]s
+/// happens once, in [`finish`](Self::finish).
 #[derive(Debug, Clone)]
 pub struct TickEngine {
     policy: TickPolicy,
@@ -330,6 +378,8 @@ pub struct TickEngine {
     /// item → (bin, size) for active items, sorted by item id.
     active: Vec<(ItemId, BinId, u64)>,
     assignments: Vec<(ItemId, BinId)>,
+    scan: ScanMode,
+    /// Placement index; empty until `scan` switches to `Tree`.
     tree: FitTree<u64>,
     now: Option<u64>,
     max_open: usize,
@@ -378,6 +428,7 @@ impl TickEngine {
             closed: Vec::new(),
             active: Vec::new(),
             assignments: Vec::new(),
+            scan: ScanMode::Linear { order: Vec::new() },
             tree: FitTree::new(),
             now: None,
             max_open: 0,
@@ -469,22 +520,120 @@ impl TickEngine {
         }
     }
 
+    /// Answers a placement query by sweeping `order` (the open bins
+    /// in id order) with the exact selection and tie-break rules of
+    /// the tree queries: FF takes the first feasible id, BF the
+    /// smallest feasible gap (ties earliest id), WF the largest gap
+    /// if feasible (ties earliest id). Also returns the number of
+    /// bins examined (probe accounting; FF stops at its hit).
+    fn linear_select(&self, size: u64, order: &[u32]) -> (Option<BinId>, u64) {
+        let gap = |id: u32| {
+            let bin = self.bins[id as usize]
+                .as_ref()
+                .expect("scan order holds only open bins");
+            self.capacity - bin.level
+        };
+        match self.policy {
+            TickPolicy::FirstFit => {
+                let mut scanned = 0u64;
+                for &id in order {
+                    scanned += 1;
+                    if gap(id) >= size {
+                        return (Some(BinId(id)), scanned);
+                    }
+                }
+                (None, scanned)
+            }
+            TickPolicy::BestFit => {
+                let mut best: Option<(u64, u32)> = None;
+                for &id in order {
+                    let g = gap(id);
+                    // Strict `<` keeps the earliest id on gap ties.
+                    if g >= size && best.is_none_or(|(bg, _)| g < bg) {
+                        best = Some((g, id));
+                    }
+                }
+                (best.map(|(_, id)| BinId(id)), order.len() as u64)
+            }
+            TickPolicy::WorstFit => {
+                let mut roomiest: Option<(u64, u32)> = None;
+                for &id in order {
+                    let g = gap(id);
+                    // Strict `>` keeps the earliest id on gap ties.
+                    if roomiest.is_none_or(|(bg, _)| g > bg) {
+                        roomiest = Some((g, id));
+                    }
+                }
+                match roomiest {
+                    Some((g, id)) if g >= size => (Some(BinId(id)), order.len() as u64),
+                    _ => (None, order.len() as u64),
+                }
+            }
+        }
+    }
+
+    /// One-way switch from linear scanning to the [`FitTree`]: the
+    /// index is rebuilt from the live bins' gaps (which fully
+    /// determine it), and every later query descends the tree.
+    fn promote_to_tree(&mut self) {
+        self.tree.clear();
+        for (idx, slot) in self.bins.iter().enumerate() {
+            if let Some(bin) = slot {
+                self.tree
+                    .open(BinId(idx as u32), self.capacity - bin.level + 1);
+            }
+        }
+        self.scan = ScanMode::Tree;
+    }
+
     /// Processes an arrival: queries the policy, validates the
     /// placement, applies it. Returns the chosen bin.
     pub fn arrive(&mut self, item: ItemId, size: u64, tick: u64) -> Result<BinId, PackingError> {
+        self.arrive_probed(&mut NoopProbe, item, size, tick)
+    }
+
+    /// [`arrive`](Self::arrive) with a profiling probe (phase spans
+    /// plus the bins-examined / descent-depth sample). The detached
+    /// [`NoopProbe`] instantiation monomorphizes to the plain
+    /// [`arrive`](Self::arrive) machine code.
+    pub fn arrive_probed<P: PhaseProbe + ?Sized>(
+        &mut self,
+        probe: &mut P,
+        item: ItemId,
+        size: u64,
+        tick: u64,
+    ) -> Result<BinId, PackingError> {
+        probe.event(EventKind::Arrival);
         self.check_time(tick)?;
         let active_pos = match self.active.binary_search_by(|(r, _, _)| r.cmp(&item)) {
             Ok(_) => return Err(PackingError::DuplicateItem(item)),
             Err(pos) => pos,
         };
-        // Shifted-key queries: stored keys are `gap + 1`, so probe
-        // with `size + 1`; sizes are ≥ 1, so the probe is ≥ 2 and can
-        // never match a tombstone.
-        let chosen = match self.policy {
-            TickPolicy::FirstFit => self.tree.first_fit(size + 1),
-            TickPolicy::BestFit => self.tree.best_fit(size + 1),
-            TickPolicy::WorstFit => self.tree.worst_fit(size + 1),
+        probe.enter(Phase::FitScan);
+        let chosen = match &self.scan {
+            ScanMode::Linear { order } => {
+                let (hit, scanned) = self.linear_select(size, order);
+                if probe.is_active() {
+                    probe.count(ProbeCounter::BinsScanned, scanned);
+                }
+                hit
+            }
+            // Shifted-key queries: stored keys are `gap + 1`, so
+            // probe with `size + 1`; sizes are ≥ 1, so the probe is
+            // ≥ 2 and can never match a tombstone.
+            ScanMode::Tree => {
+                let (hit, depth) = match self.policy {
+                    TickPolicy::FirstFit => self.tree.first_fit_counted(size + 1),
+                    TickPolicy::BestFit => self.tree.best_fit_counted(size + 1),
+                    TickPolicy::WorstFit => self.tree.worst_fit_counted(size + 1),
+                };
+                if probe.is_active() {
+                    probe.count(ProbeCounter::TreeDepth, depth as u64);
+                }
+                hit
+            }
         };
+        probe.exit(Phase::FitScan);
         let bin_id = match chosen {
             Some(bin_id) => {
                 let bin = self.bins[bin_id.index()]
@@ -497,18 +646,27 @@ impl TickEngine {
                         size: Rational::new(size as i128, self.size_scale),
                     });
                 }
+                probe.enter(Phase::PlacementCommit);
+                probe.enter(Phase::ClockAdvance);
                 Self::advance_bin_clock(bin, tick);
+                probe.exit(Phase::ClockAdvance);
                 bin.level += size;
                 bin.count += 1;
                 bin.items.push(item);
                 if bin.level > bin.peak {
                     bin.peak = bin.level;
                 }
-                self.tree.place(bin_id, size);
+                probe.exit(Phase::PlacementCommit);
+                probe.enter(Phase::TreeSync);
+                if let ScanMode::Tree = self.scan {
+                    self.tree.place(bin_id, size);
+                }
+                probe.exit(Phase::TreeSync);
                 bin_id
             }
             None => {
                 let bin_id = BinId(self.bins.len() as u32);
+                probe.enter(Phase::PlacementCommit);
                 self.bins.push(Some(TickLive {
                     level: size,
                     count: 1,
@@ -518,42 +676,78 @@ impl TickEngine {
                     peak: size,
                     last_change: tick,
                 }));
-                self.tree.open(bin_id, self.capacity - size + 1);
                 self.open_count += 1;
                 self.open_opened_sum += tick as u128;
                 self.max_open = self.max_open.max(self.open_count);
+                probe.exit(Phase::PlacementCommit);
+                probe.enter(Phase::TreeSync);
+                let crossed = match &mut self.scan {
+                    ScanMode::Linear { order } => {
+                        order.push(bin_id.0); // ids ascend: stays sorted
+                        self.open_count > SCAN_CROSSOVER
+                    }
+                    ScanMode::Tree => {
+                        self.tree.open(bin_id, self.capacity - size + 1);
+                        false
+                    }
+                };
+                if crossed {
+                    self.promote_to_tree();
+                }
+                probe.exit(Phase::TreeSync);
                 bin_id
             }
         };
+        probe.enter(Phase::PlacementCommit);
         self.level_total += size;
         self.active.insert(active_pos, (item, bin_id, size));
         self.assignments.push((item, bin_id));
+        probe.exit(Phase::PlacementCommit);
         Ok(bin_id)
     }
 
     /// Processes a departure: removes the item from its bin, closing
     /// the bin if it empties.
     pub fn depart(&mut self, item: ItemId, tick: u64) -> Result<BinId, PackingError> {
+        self.depart_probed(&mut NoopProbe, item, tick)
+    }
+
+    /// [`depart`](Self::depart) with a profiling probe; see
+    /// [`arrive_probed`](Self::arrive_probed) for the probe contract.
+    pub fn depart_probed<P: PhaseProbe + ?Sized>(
+        &mut self,
+        probe: &mut P,
+        item: ItemId,
+        tick: u64,
+    ) -> Result<BinId, PackingError> {
+        probe.event(EventKind::Departure);
         self.check_time(tick)?;
-        let pos = self
-            .active
-            .binary_search_by(|(r, _, _)| r.cmp(&item))
-            .map_err(|_| PackingError::UnknownItem(item))?;
+        probe.enter(Phase::DepartureDrain);
+        let pos = match self.active.binary_search_by(|(r, _, _)| r.cmp(&item)) {
+            Ok(pos) => pos,
+            Err(_) => {
+                probe.exit(Phase::DepartureDrain);
+                return Err(PackingError::UnknownItem(item));
+            }
+        };
         let (_, bin_id, size) = self.active.remove(pos);
         self.level_total -= size;
         let bin = self.bins[bin_id.index()]
             .as_mut()
             .expect("active item's bin must be open");
+        probe.enter(Phase::ClockAdvance);
         Self::advance_bin_clock(bin, tick);
+        probe.exit(Phase::ClockAdvance);
         bin.level -= size;
         bin.count -= 1;
-        if bin.count == 0 {
+        let closed_now = bin.count == 0;
+        let new_level = bin.level;
+        if closed_now {
             debug_assert_eq!(bin.level, 0, "empty bin must have zero level");
             let bin = self.bins[bin_id.index()].take().expect("bin checked open");
             self.open_count -= 1;
             self.open_opened_sum -= bin.opened as u128;
             self.closed_ticks += (tick - bin.opened) as u128;
-            self.tree.close(bin_id);
             self.closed.push(TickRecord {
                 id: bin_id,
                 opened: bin.opened,
@@ -562,10 +756,29 @@ impl TickEngine {
                 integral: bin.integral,
                 peak: bin.peak,
             });
-        } else {
-            let level = bin.level;
-            self.tree.set_gap(bin_id, self.capacity - level + 1);
         }
+        probe.exit(Phase::DepartureDrain);
+        probe.enter(Phase::TreeSync);
+        match &mut self.scan {
+            ScanMode::Linear { order } => {
+                if closed_now {
+                    let at = order
+                        .binary_search(&bin_id.0)
+                        .expect("closed bin in scan order");
+                    order.remove(at);
+                }
+                // Still-open bins need no upkeep: the sweep reads
+                // gaps straight off the live levels.
+            }
+            ScanMode::Tree => {
+                if closed_now {
+                    self.tree.close(bin_id);
+                } else {
+                    self.tree.set_gap(bin_id, self.capacity - new_level + 1);
+                }
+            }
+        }
+        probe.exit(Phase::TreeSync);
         Ok(bin_id)
     }
 
@@ -890,6 +1103,50 @@ mod tests {
         assert_eq!(out.bins_opened(), 0);
         assert_eq!(out.total_usage(), Rational::ZERO);
         assert_eq!(out, Runner::new(&inst).run(&mut FirstFit::new()).unwrap());
+    }
+
+    /// A wide staircase that pushes the open-bin count well past
+    /// [`SCAN_CROSSOVER`]: the engine must switch from the linear
+    /// sweep to the rebuilt tree mid-run without any outcome drift
+    /// against the exact Rational engine, for every policy.
+    #[test]
+    fn adaptive_scan_crossover_is_invisible_in_outcomes() {
+        let mut b = Instance::builder();
+        let window = 3 * SCAN_CROSSOVER as i128;
+        for i in 0..(5 * SCAN_CROSSOVER as i128) {
+            let size = if i % 5 == 0 {
+                rat(11 + (i * 13) % 23, 100)
+            } else {
+                rat(51 + (i * 7) % 49, 100)
+            };
+            b = b.item(size, rat(i, 1), rat(i + window, 1));
+        }
+        let inst = b.build().unwrap();
+        let compiled = CompiledInstance::compile(&inst).unwrap();
+        for (policy, mut reference) in [
+            (
+                TickPolicy::FirstFit,
+                Box::new(FirstFit::new()) as Box<dyn PackingAlgorithm>,
+            ),
+            (TickPolicy::BestFit, Box::new(BestFit::new())),
+            (TickPolicy::WorstFit, Box::new(WorstFit::new())),
+        ] {
+            let tick = compiled.run(policy).unwrap();
+            assert!(
+                tick.max_open_bins() > SCAN_CROSSOVER,
+                "scenario must cross the scan threshold"
+            );
+            let exact = Runner::new(&inst)
+                .backend(crate::session::Backend::Exact)
+                .run(reference.as_mut())
+                .unwrap();
+            assert_eq!(
+                tick,
+                exact,
+                "{} diverged across the crossover",
+                policy.name()
+            );
+        }
     }
 
     #[test]

@@ -78,14 +78,63 @@ impl From<Rational> for RawRational {
     }
 }
 
+/// Optional accounting of Euclidean-gcd work, for profilers.
+///
+/// The engines' exact hot paths spend a measurable share of their
+/// cycles inside [`Rational`] normalization; counting gcd calls and
+/// remainder steps attributes that cost without sampling. Off by
+/// default: disabled, the only overhead on the gcd path is one
+/// relaxed atomic load and a predicted-not-taken branch, which is
+/// present on both sides of any before/after comparison and therefore
+/// cancels out of the overhead gates.
+pub mod gcd_stats {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    static CALLS: AtomicU64 = AtomicU64::new(0);
+    static STEPS: AtomicU64 = AtomicU64::new(0);
+
+    /// Starts counting gcd calls and remainder steps process-wide.
+    pub fn enable() {
+        ENABLED.store(true, Ordering::Relaxed);
+    }
+
+    /// Stops counting (the tallies are kept until [`reset`]).
+    pub fn disable() {
+        ENABLED.store(false, Ordering::Relaxed);
+    }
+
+    /// Clears both tallies.
+    pub fn reset() {
+        CALLS.store(0, Ordering::Relaxed);
+        STEPS.store(0, Ordering::Relaxed);
+    }
+
+    /// `(calls, remainder_steps)` accumulated while enabled.
+    pub fn snapshot() -> (u64, u64) {
+        (CALLS.load(Ordering::Relaxed), STEPS.load(Ordering::Relaxed))
+    }
+
+    #[inline]
+    pub(crate) fn record(steps: u32) {
+        if ENABLED.load(Ordering::Relaxed) {
+            CALLS.fetch_add(1, Ordering::Relaxed);
+            STEPS.fetch_add(u64::from(steps), Ordering::Relaxed);
+        }
+    }
+}
+
 /// Greatest common divisor of two unsigned integers.
 #[inline]
 fn gcd_u(mut a: u128, mut b: u128) -> u128 {
+    let mut steps = 0u32;
     while b != 0 {
         let t = a % b;
         a = b;
         b = t;
+        steps += 1;
     }
+    gcd_stats::record(steps);
     a
 }
 
@@ -767,6 +816,21 @@ mod tests {
         assert_eq!(Rational::new(1, 5).scaled_to(scale), None);
         assert_eq!(Rational::new(1, 2).scaled_to(0), None);
         assert_eq!(Rational::from_int(2).scaled_to(i128::MAX), None);
+    }
+
+    #[test]
+    fn gcd_stats_count_only_while_enabled() {
+        gcd_stats::reset();
+        let _ = Rational::new(6, 4);
+        assert_eq!(gcd_stats::snapshot(), (0, 0), "disabled: nothing counted");
+        gcd_stats::enable();
+        let _ = Rational::new(1071, 462); // Euclid's classic: 3 remainder steps
+        let (calls, steps) = gcd_stats::snapshot();
+        gcd_stats::disable();
+        assert!(calls >= 1);
+        assert!(steps >= 3);
+        gcd_stats::reset();
+        assert_eq!(gcd_stats::snapshot(), (0, 0));
     }
 
     #[test]

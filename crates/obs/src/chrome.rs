@@ -107,6 +107,25 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Value {
     ])
 }
 
+/// [`chrome_trace`] plus extra pre-built trace events — the
+/// profiler's phase spans (`Profiler::chrome_events`), which live on
+/// their own process id so Perfetto shows bin tracks (simulated time)
+/// and profiler spans (wall time) side by side without colliding.
+pub fn chrome_trace_with_spans(events: &[TraceEvent], extra: Vec<Value>) -> Value {
+    let mut doc = chrome_trace(events);
+    if let Value::Object(fields) = &mut doc {
+        for (key, value) in fields.iter_mut() {
+            if key.as_str() == "traceEvents" {
+                if let Value::Array(list) = value {
+                    list.extend(extra);
+                }
+                break;
+            }
+        }
+    }
+    doc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -18,8 +18,15 @@
 //!   time-weighted signals, and wall-clock histograms (events/sec,
 //!   placement scan length, bins opened/reused), snapshotting to
 //!   deterministic JSON.
+//! * [`Profiler`] — the in-engine self-profiler: attaches through
+//!   `Runner::probe`/`SessionBuilder::probe` (both engines, outcomes
+//!   bit-identical), attributes wall time to the engine's hot-path
+//!   phases, histograms per-arrival scan/descent/gcd work, and
+//!   exports phase-share tables, folded flamegraph stacks, and
+//!   Chrome spans.
 //! * [`chrome_trace`] — exports a trace in Chrome trace-event format,
-//!   so a run opens directly in Perfetto.
+//!   so a run opens directly in Perfetto
+//!   ([`chrome_trace_with_spans`] merges profiler spans in).
 //! * [`replay()`]/[`verify`] — re-derive `total_usage` and
 //!   `max_open_bins` from the raw event log and check them against
 //!   the [`PackingOutcome`](dbp_core::PackingOutcome) **bit-for-bit**,
@@ -51,15 +58,17 @@
 pub mod chrome;
 pub mod metrics;
 pub mod openmetrics;
+pub mod prof;
 pub mod replay;
 pub mod series;
 pub mod sink;
 pub mod trace;
 pub mod watchdog;
 
-pub use chrome::chrome_trace;
+pub use chrome::{chrome_trace, chrome_trace_with_spans};
 pub use metrics::{set_ratio_gauge, telemetry_registry, EngineMetrics, Histogram, MetricsRegistry};
 pub use openmetrics::{MetricsServer, OPENMETRICS_CONTENT_TYPE};
+pub use prof::Profiler;
 pub use replay::{replay, verify, ReplayError, ReplaySummary};
 pub use series::{SeriesPoint, SeriesSummary, StepSeries};
 pub use sink::TelemetrySink;

@@ -266,6 +266,17 @@ impl MetricsRegistry {
         self.histograms.get(name)
     }
 
+    /// Merges a prebuilt histogram into `name` under the same fold
+    /// law as [`merge`](Self::merge) — how externally-accumulated
+    /// sample streams (e.g. a profiler's work counters) enter a
+    /// registry without replaying every sample.
+    pub fn merge_histogram(&mut self, name: &str, h: &Histogram) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .merge(h);
+    }
+
     /// All counters, in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
         self.counters.iter().map(|(k, v)| (k.as_str(), *v))

@@ -112,10 +112,12 @@ impl MetricsRegistry {
 /// [`MetricsRegistry`] as an OpenMetrics page on every HTTP request.
 ///
 /// Built on a non-blocking `std::net::TcpListener` polled by one
-/// background thread; any request path gets the metrics page (real
-/// scrapers use `/metrics`, but there is nothing else to route).
-/// Update the registry through [`registry`](Self::registry); stop and
-/// join with [`stop`](Self::stop).
+/// background thread. `GET /metrics` serves the page, `HEAD /metrics`
+/// its headers alone, and every other path is `404 Not Found` — so a
+/// misconfigured scrape job fails loudly instead of silently
+/// ingesting the page under the wrong path. Update the registry
+/// through [`registry`](Self::registry); stop and join with
+/// [`stop`](Self::stop).
 ///
 /// ```
 /// use dbp_obs::{MetricsRegistry, MetricsServer};
@@ -213,7 +215,9 @@ fn serve(listener: TcpListener, registry: Arc<Mutex<MetricsRegistry>>, stop: Arc
 }
 
 /// Reads one HTTP request (just far enough to consume the header
-/// block) and writes the metrics page as an HTTP/1.1 response.
+/// block), routes on the request line, and writes an HTTP/1.1
+/// response: the metrics page for `GET /metrics`, headers only for
+/// `HEAD /metrics`, `404 Not Found` for every other path.
 fn answer(
     mut stream: std::net::TcpStream,
     registry: &Arc<Mutex<MetricsRegistry>>,
@@ -232,15 +236,39 @@ fn answer(
             break;
         }
     }
-    let body = registry
-        .lock()
-        .map(|r| r.to_openmetrics())
-        .unwrap_or_else(|e| e.into_inner().to_openmetrics());
-    let response = format!(
-        "HTTP/1.1 200 OK\r\nContent-Type: {OPENMETRICS_CONTENT_TYPE}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    );
+    let request_line = String::from_utf8_lossy(&header);
+    let mut parts = request_line.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("GET");
+    let target = parts.next().unwrap_or("/metrics");
+    // Route on the path alone; scrapers may append query parameters.
+    let path = target.split(['?', '#']).next().unwrap_or(target);
+    let head_only = method.eq_ignore_ascii_case("HEAD");
+    let response = if path == "/metrics" {
+        let body = registry
+            .lock()
+            .map(|r| r.to_openmetrics())
+            .unwrap_or_else(|e| e.into_inner().to_openmetrics());
+        let mut r = format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: {OPENMETRICS_CONTENT_TYPE}\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        );
+        if !head_only {
+            r.push_str(&body);
+        }
+        r
+    } else {
+        let body = "not found; metrics are at /metrics\n";
+        let mut r = format!(
+            "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain; charset=utf-8\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        );
+        if !head_only {
+            r.push_str(body);
+        }
+        r
+    };
     stream.write_all(response.as_bytes())?;
     stream.flush()
 }
@@ -307,6 +335,51 @@ mod tests {
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
         assert!(response.contains("dbp_events_total 43"));
+        server.stop();
+    }
+
+    fn request(addr: std::net::SocketAddr, line: &str) -> String {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("{line}\r\nHost: test\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn unknown_paths_get_404_and_head_gets_headers_only() {
+        let server = MetricsServer::start("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        server.registry().lock().unwrap().merge(&sample_registry());
+
+        let missing = request(addr, "GET /metricz HTTP/1.1");
+        assert!(missing.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(!missing.contains("dbp_events_total"));
+        let root = request(addr, "GET / HTTP/1.1");
+        assert!(root.starts_with("HTTP/1.1 404 Not Found\r\n"));
+
+        // HEAD: status line and headers, no body after the blank line.
+        let head = request(addr, "HEAD /metrics HTTP/1.1");
+        assert!(head.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(head.contains(OPENMETRICS_CONTENT_TYPE));
+        let body = head.split("\r\n\r\n").nth(1).unwrap_or("");
+        assert!(body.is_empty());
+        // The advertised length still matches what GET would send.
+        let page_len = server
+            .registry()
+            .lock()
+            .unwrap()
+            .to_openmetrics()
+            .len()
+            .to_string();
+        assert!(head.contains(&format!("Content-Length: {page_len}")));
+
+        // Query strings do not defeat the route.
+        let with_query = request(addr, "GET /metrics?format=openmetrics HTTP/1.1");
+        assert!(with_query.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(with_query.contains("dbp_events_total 42"));
         server.stop();
     }
 }
