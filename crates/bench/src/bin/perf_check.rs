@@ -27,7 +27,13 @@
 //!   on the session's `&mut dyn` phase hook) must reach 0.95 — the
 //!   hook is supposed to be free when nobody listens — and its
 //!   `attached_vs_unobserved_ratio` (a live `Profiler` timing every
-//!   phase and histogramming every probe) must reach 0.70.
+//!   phase and histogramming every probe) must reach 0.70;
+//! * `fit_scaling` — one absolute same-run floor: the fresh
+//!   snapshot's `chunked_vs_scalar_scan_ratio` (the 8-lane chunked
+//!   First Fit gap sweep against its per-slot scalar reference on a
+//!   full-depth `B = 100` scan, measured back-to-back) must reach
+//!   1.0 — the vectorized kernel must never lose to the loop it
+//!   replaced.
 //!
 //! A metric missing from the *baseline* is skipped with a warning —
 //! older baselines predate newer metrics — while a metric missing
@@ -66,6 +72,12 @@ const PROFILE_DETACHED_FLOOR: f64 = 0.95;
 /// engine's replay rate.
 const PROFILE_ATTACHED_FLOOR: f64 = 0.70;
 
+/// Fixed same-run floor for `chunked_vs_scalar_scan_ratio`: the
+/// chunked (autovectorizing) First Fit gap sweep must at least match
+/// its scalar reference on a full-depth scan — anything below parity
+/// means the vectorized kernel stopped vectorizing.
+const SCAN_CHUNKED_FLOOR: f64 = 1.0;
+
 /// Baseline-relative throughput metrics gated per experiment.
 fn gated_metrics(experiment: &str) -> &'static [&'static str] {
     match experiment {
@@ -88,6 +100,7 @@ fn same_run_floors(experiment: &str) -> &'static [(&'static str, f64)] {
             ("detached_vs_unobserved_ratio", PROFILE_DETACHED_FLOOR),
             ("attached_vs_unobserved_ratio", PROFILE_ATTACHED_FLOOR),
         ],
+        "fit_scaling" => &[("chunked_vs_scalar_scan_ratio", SCAN_CHUNKED_FLOOR)],
         _ => &[],
     }
 }
@@ -193,8 +206,8 @@ fn check_pair(base: &Snapshot, fresh: &Snapshot, tolerance: f64) -> (usize, bool
                 println!("{name}: {ratio:.3} (floor {floor:.2}, same-run)");
                 if ratio < floor {
                     eprintln!(
-                        "perf_check: REGRESSION — {name} at {:.1}% of the unobserved \
-                         rate (floor {:.0}%)",
+                        "perf_check: REGRESSION — {name} at {:.1}% of its same-run \
+                         reference rate (floor {:.0}%)",
                         100.0 * ratio,
                         100.0 * floor
                     );

@@ -28,7 +28,7 @@ use dbp_core::{
     FirstFitFast, HybridFirstFit, Instance, LastFit, NextFit, PackingAlgorithm, Runner, TickPolicy,
     WorstFit, WorstFitFast,
 };
-use dbp_numeric::Rational;
+use dbp_numeric::{rat, Rational};
 use dbp_obs::{
     chrome_trace, chrome_trace_with_spans, parse_jsonl, set_ratio_gauge, telemetry_registry,
     EngineMetrics, MetricsRegistry, MetricsServer, Profiler, StepSeries, TraceRecorder, Watchdog,
@@ -144,6 +144,11 @@ COMMANDS:
             table (where the cycles go), per-arrival scan/descent/gcd
             work, flamegraph and Chrome exports
             --trace FILE [--algo NAME] [--backend auto|exact|tick]
+            [--burst N]       profile a built-in equal-tick burst
+                              workload instead of a trace (32 waves
+                              of N simultaneous arrivals, waves
+                              overlapping so departure and arrival
+                              bursts share ticks; --trace not needed)
             [--sample N]      clock-time every N-th event (default 1)
             [--folded FILE]   write inferno folded stacks
                               (flamegraph.pl / inferno-flamegraph)
@@ -677,8 +682,39 @@ fn cmd_tick(opts: &Opts) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Synthetic workload for `profile --burst N`: 32 waves of `n`
+/// arrivals sharing one integer instant, every wave departing —
+/// again simultaneously — three instants later, so wave `w + 3`'s
+/// arrival burst lands on the same tick as wave `w`'s departure
+/// burst. This is exactly the shape the tick engine's equal-tick
+/// burst batching targets, with the staircase size mix (4 of 5 items
+/// above half capacity) forcing bin churn inside each burst.
+fn burst_workload(n: usize) -> Result<Instance, CliError> {
+    const WAVES: i128 = 32;
+    let mut b = Instance::builder();
+    for wave in 0..WAVES {
+        for j in 0..n as i128 {
+            let size = if j % 5 == 0 {
+                rat(11 + (j * 13) % 23, 100)
+            } else {
+                rat(51 + (j * 7) % 49, 100)
+            };
+            b = b.item(size, rat(wave, 1), rat(wave + 3, 1));
+        }
+    }
+    b.build()
+        .map_err(|e| err(format!("burst workload invalid: {e}")))
+}
+
 fn cmd_profile(opts: &Opts) -> Result<String, CliError> {
-    let (_, instance) = load(opts)?;
+    let burst = opts.u64_or("burst", 0)?;
+    let (burst_note, instance) = if burst > 0 {
+        let inst = burst_workload(burst as usize)?;
+        let note = format!("workload: synthetic equal-tick bursts (32 waves x {burst} arrivals)\n");
+        (note, inst)
+    } else {
+        (String::new(), load(opts)?.1)
+    };
     let name = opts.get("algo").unwrap_or("firstfit");
     let mut algo = make_algo_for(name, &instance)?;
     let backend = match opts.get("backend").unwrap_or("auto") {
@@ -705,7 +741,7 @@ fn cmd_profile(opts: &Opts) -> Result<String, CliError> {
         .run(algo.as_mut())
         .map_err(|e| err(format!("profiled run failed: {e}")))?;
 
-    let mut out = String::new();
+    let mut out = burst_note;
     out.push_str(&format!(
         "{}: {} items → {} bins (peak {} open), usage {}\n",
         outcome.algorithm(),
@@ -1449,6 +1485,27 @@ mod tests {
         assert!(out.contains("falling back"), "{out}");
         assert!(out.contains("FirstFit"), "{out}");
         std::fs::remove_file(&wide).unwrap();
+    }
+
+    #[test]
+    fn profile_burst_generates_its_own_workload() {
+        // No --trace: --burst synthesizes 32 waves × 6 arrivals whose
+        // departure and arrival bursts share ticks.
+        let out = run(&args(&[
+            "profile",
+            "--burst",
+            "6",
+            "--algo",
+            "firstfit-fast",
+        ]))
+        .unwrap();
+        assert!(out.contains("equal-tick bursts"), "{out}");
+        assert!(out.contains("192 items"), "{out}");
+        assert!(out.contains("profile: 384 events"), "{out}");
+        assert!(out.contains("fit_scan"), "{out}");
+        // Without --burst the trace is still required.
+        let e = run(&args(&["profile", "--algo", "firstfit-fast"])).unwrap_err();
+        assert!(e.0.contains("--trace"), "{e}");
     }
 
     #[test]

@@ -361,13 +361,17 @@ impl PackingEngine {
                 .sum::<Rational>()
     }
 
-    fn check_time(&mut self, t: Rational) -> Result<(), PackingError> {
+    /// Validates the clock without committing it: rejected events
+    /// must leave the engine untouched (sessions rely on this to keep
+    /// their journal replay bit-identical to the live run), so
+    /// callers advance `self.now` only after the whole event is
+    /// validated.
+    fn check_time(&self, t: Rational) -> Result<(), PackingError> {
         if let Some(now) = self.now {
             if t < now {
                 return Err(PackingError::TimeRegression { now, event: t });
             }
         }
-        self.now = Some(t);
         Ok(())
     }
 
@@ -431,6 +435,7 @@ impl PackingEngine {
             Ok(_) => return Err(PackingError::DuplicateItem(item)),
             Err(pos) => pos,
         };
+        self.now = Some(time);
         let arrival = ArrivalView { item, size, time };
         let placement = {
             let snap = BinSnapshot::new(&self.open);
@@ -562,6 +567,7 @@ impl PackingEngine {
                 return Err(PackingError::UnknownItem(item));
             }
         };
+        self.now = Some(time);
         let (_, bin_id, size) = self.active.remove(pos);
         let idx = self.slot(bin_id).expect("active item's bin must be open");
         {

@@ -1,0 +1,55 @@
+//! Multiply-mix hashing for id-keyed session maps.
+//!
+//! Item and bin identifiers are single `u32`s minted by the caller or
+//! by the engine itself, and the maps keyed by them sit on per-event
+//! hot paths (the streaming active set, the tick engine's tree-mode
+//! slot lookup, stream telemetry). The default SipHash shows up in
+//! per-event profiles, so those maps use this Fibonacci-style
+//! multiply mix instead. Not DoS-hardened — fine for engine-internal
+//! bookkeeping keyed by ids the engine already trusts.
+
+/// One-shot multiply-mix hasher for single-integer keys.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct IdHasher(u64);
+
+/// `BuildHasher` for [`IdHasher`]-backed maps.
+pub(crate) type BuildIdHasher = std::hash::BuildHasherDefault<IdHasher>;
+
+impl std::hash::Hasher for IdHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        // Fibonacci-style multiply, then fold the high bits down so
+        // both the bucket index (low bits) and the control byte (high
+        // bits) see the mix.
+        let h = (self.0 ^ u64::from(n)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 32);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn id_map_round_trips() {
+        let mut map: HashMap<u32, u64, BuildIdHasher> = HashMap::default();
+        for i in 0..10_000u32 {
+            map.insert(i, u64::from(i) * 3);
+        }
+        for i in 0..10_000u32 {
+            assert_eq!(map.get(&i), Some(&(u64::from(i) * 3)));
+        }
+    }
+}

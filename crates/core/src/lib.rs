@@ -44,6 +44,9 @@
 //!   `u64` ticks/units via denominator LCMs and replayed on a pure
 //!   integer engine, with bit-identical outcomes and automatic
 //!   fallback to the Rational engine on overflow.
+//! * [`scan`] — the chunked (autovectorizing) residual-gap sweeps
+//!   the tick engine's sub-crossover linear mode runs, with their
+//!   per-slot scalar references.
 //!
 //! * [`session`] — streaming online sessions (incremental ingestion
 //!   with live metrics and journal checkpoints) and the unified
@@ -84,9 +87,11 @@ pub mod algo;
 pub mod bin;
 pub mod engine;
 pub mod fit_tree;
+mod hash;
 pub mod item;
 pub mod observe;
 pub mod probe;
+pub mod scan;
 pub mod session;
 pub mod tick;
 

@@ -54,6 +54,7 @@
 use crate::algo::{by_name, PackingAlgorithm};
 use crate::bin::BinId;
 use crate::engine::{event_schedule, PackingEngine, PackingError, PackingOutcome};
+use crate::hash::BuildIdHasher;
 use crate::item::{Instance, ItemId};
 use crate::observe::{EngineObserver, NoopObserver};
 use crate::probe::PhaseProbe;
@@ -127,16 +128,6 @@ impl TickGrid {
         // Sizes are pre-validated in (0, 1], so an on-grid size is
         // automatically in 1..=size_scale.
         size.scaled_to(self.size_scale as i128).map(|u| u as u64)
-    }
-
-    /// Tick of `t` relative to `origin`, if on the time grid and
-    /// within the horizon. Callers guarantee `t >= origin`
-    /// (monotonicity), so the result is non-negative.
-    fn tick_of(self, origin: Rational, t: Rational) -> Option<u64> {
-        (t - origin)
-            .scaled_to(self.time_scale as i128)
-            .filter(|&tick| (0..=u32::MAX as i128).contains(&tick))
-            .map(|tick| tick as u64)
     }
 
     /// `true` iff `t` itself lies on the time grid (used for the
@@ -384,37 +375,6 @@ struct Telemetry {
     max_lifetime: Option<Rational>,
 }
 
-/// Multiply-mix hasher for the telemetry item map: `ItemId` keys are
-/// single integers, and the default SipHash shows up in per-event
-/// stream profiles. Not DoS-hardened — fine for session-internal
-/// bookkeeping keyed by the caller's own item ids.
-#[derive(Debug, Clone, Default)]
-struct IdHasher(u64);
-
-type BuildIdHasher = std::hash::BuildHasherDefault<IdHasher>;
-
-impl std::hash::Hasher for IdHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
-        }
-    }
-
-    #[inline]
-    fn write_u32(&mut self, n: u32) {
-        // Fibonacci-style multiply, then fold the high bits down so
-        // both the bucket index (low bits) and the control byte (high
-        // bits) see the mix.
-        let h = (self.0 ^ u64::from(n)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        self.0 = h ^ (h >> 32);
-    }
-}
-
 impl Telemetry {
     fn on_arrival(&mut self, id: ItemId, size: Rational, t: Rational) {
         if self.active == 0 {
@@ -532,6 +492,11 @@ pub struct SessionSnapshot {
 }
 
 /// The engine a session is currently running on.
+// Not boxed: a session owns exactly one `Core` (never collections of
+// them), so the variant size gap costs a few hundred bytes per
+// session, while boxing would put a pointer hop on the per-event hot
+// path.
+#[allow(clippy::large_enum_variant)]
 enum Core {
     /// Exact Rational engine.
     Exact(PackingEngine),
@@ -679,7 +644,9 @@ impl<'s> SessionBuilder<'s> {
             grid: self.grid,
             tick_policy,
             core,
-            origin: None,
+            origin_ticks: None,
+            time_quot_memo: (0, 0),
+            size_quot_memo: (0, 0),
             name,
             now: None,
             arrival_at_now: false,
@@ -706,8 +673,19 @@ pub struct Session<'s> {
     /// engine; cleared permanently on promotion.
     tick_policy: Option<TickPolicy>,
     core: Core,
-    /// Timestamp of the first event (tick sessions only).
-    origin: Option<Rational>,
+    /// First event's timestamp on the tick grid (tick sessions
+    /// only): `origin.scaled_to(time_scale)`, cached so the per-event
+    /// time conversion is one `scaled_to` plus an integer subtract
+    /// instead of a full `Rational` subtraction.
+    origin_ticks: Option<i128>,
+    /// One-entry divisor memos — `(den, scale / den)` for the last
+    /// on-grid denominator seen on each axis. Streams overwhelmingly
+    /// reuse a handful of denominators, so the per-event grid
+    /// conversion usually replaces a hardware division with a
+    /// compare plus a multiply. `(0, _)` is the empty memo: reduced
+    /// denominators are always positive.
+    time_quot_memo: (i128, i128),
+    size_quot_memo: (i128, i128),
     name: String,
     now: Option<Rational>,
     /// `true` while an arrival has been applied at the current
@@ -826,6 +804,7 @@ impl<'s> Session<'s> {
     }
 
     /// Monotone-clock check shared by both event kinds.
+    #[inline]
     fn check_monotone(&self, t: Rational) -> Result<(), SessionError> {
         if let Some(now) = self.now {
             if t < now {
@@ -838,9 +817,38 @@ impl<'s> Session<'s> {
         Ok(())
     }
 
+    /// Integer `value.scaled_to(scale)` through a one-entry divisor
+    /// memo; `None` when `value` is off the `1/scale` grid. Off-grid
+    /// denominators are not memoized — they promote the session, so
+    /// each is seen at most once.
+    #[inline]
+    fn memo_scaled(memo: &mut (i128, i128), value: Rational, scale: i128) -> Option<i128> {
+        debug_assert!(
+            (1..=u32::MAX as i128).contains(&scale),
+            "grid scales are u32-bounded"
+        );
+        let den = value.denom();
+        if memo.0 != den {
+            if scale % den != 0 {
+                return None;
+            }
+            *memo = (den, scale / den);
+        }
+        // The quotient is below 2^32 (grid scales are u32-bounded),
+        // so any numerator below 2^63 multiplies without overflow on
+        // the inlined 128-bit product — `checked_mul` is a libcall on
+        // x86-64 and this sits on the per-event streaming path.
+        let num = value.numer();
+        if num.unsigned_abs() < 1 << 63 {
+            return Some(num * memo.1);
+        }
+        num.checked_mul(memo.1)
+    }
+
     /// Plans the dispatch of an event at `t` (size `Some` for
-    /// arrivals) without mutating anything.
-    fn route(&self, t: Rational, size: Option<Rational>) -> Route {
+    /// arrivals); only the divisor memos are mutated.
+    #[inline]
+    fn route(&mut self, t: Rational, size: Option<Rational>) -> Route {
         let grid = match self.grid {
             Some(g) => g,
             None => return Route::Exact,
@@ -869,10 +877,19 @@ impl<'s> Session<'s> {
                 Route::TickFirst { units }
             }
             Core::Tick(_) => {
-                let origin = self.origin.expect("live tick engine has an origin");
-                let tick = match grid.tick_of(origin, t) {
-                    Some(tick) => tick,
-                    None => {
+                let origin = self
+                    .origin_ticks
+                    .expect("live tick engine has an origin tick");
+                // Monotonicity (checked before routing) puts `t` at
+                // or after the origin, so the offset is non-negative.
+                let on_grid =
+                    Self::memo_scaled(&mut self.time_quot_memo, t, grid.time_scale as i128);
+                let tick = match on_grid {
+                    Some(on_grid) if on_grid - origin <= u32::MAX as i128 => {
+                        debug_assert!(on_grid >= origin, "events routed before the origin");
+                        (on_grid - origin) as u64
+                    }
+                    _ => {
                         return Route::Promote {
                             what: "time",
                             value: t,
@@ -880,8 +897,14 @@ impl<'s> Session<'s> {
                     }
                 };
                 let units = match size {
-                    Some(s) => match grid.units_of(s) {
-                        Some(u) => u,
+                    // Sizes are pre-validated in (0, 1], so an
+                    // on-grid size is automatically in 1..=size_scale.
+                    Some(s) => match Self::memo_scaled(
+                        &mut self.size_quot_memo,
+                        s,
+                        grid.size_scale as i128,
+                    ) {
+                        Some(u) => u as u64,
                         None => {
                             return Route::Promote {
                                 what: "size",
@@ -928,14 +951,50 @@ impl<'s> Session<'s> {
         t: Rational,
     ) -> Result<BinId, SessionError> {
         self.check_monotone(t)?;
-        if !size.is_positive() || size > Rational::ONE {
+        // `0 < size <= 1` via raw parts: denominators are positive,
+        // so `size <= 1  <=>  num <= den` — two integer compares, no
+        // cross-multiplication on the per-event path.
+        if size.numer() <= 0 || size.numer() > size.denom() {
             return Err(SessionError::InvalidSize { id, size });
         }
-        if self.is_active(id) {
-            return Err(SessionError::Packing(PackingError::DuplicateItem(id)));
+        // Hot path: a live tick engine fed an on-grid event. The
+        // conversion and dispatch run straight through here; the
+        // general `Route` machinery below only handles the cold
+        // cases (exact core, first event, off-grid promotion).
+        if let (Core::Tick(_), Some(grid)) = (&self.core, self.grid) {
+            let origin = self
+                .origin_ticks
+                .expect("a live tick engine always has an origin tick");
+            let on_grid = Self::memo_scaled(&mut self.time_quot_memo, t, grid.time_scale as i128);
+            let units = Self::memo_scaled(&mut self.size_quot_memo, size, grid.size_scale as i128);
+            if let (Some(on_grid), Some(units)) = (on_grid, units) {
+                if on_grid - origin <= u32::MAX as i128 {
+                    debug_assert!(
+                        on_grid >= origin,
+                        "monotone events never precede the origin"
+                    );
+                    let tick = (on_grid - origin) as u64;
+                    let Core::Tick(engine) = &mut self.core else {
+                        unreachable!("core variant checked above");
+                    };
+                    let bin = match self.probe.as_deref_mut() {
+                        Some(p) => engine.arrive_probed(p, id, units as u64, tick)?,
+                        None => engine.arrive(id, units as u64, tick)?,
+                    };
+                    self.note_arrival(id, size, t);
+                    return Ok(bin);
+                }
+            }
         }
+        // Duplicate arrivals surface from the engines themselves on
+        // the on-grid paths (both validate before dispatching to any
+        // observer); only the off-grid arm needs the explicit check,
+        // to keep `DuplicateItem` ranked above off-grid handling.
         let mut route = self.route(t, Some(size));
         if let Route::Promote { what, value } = route {
+            if self.is_active(id) {
+                return Err(SessionError::Packing(PackingError::DuplicateItem(id)));
+            }
             if self.strict {
                 return Err(SessionError::OffGrid { what, value });
             }
@@ -969,7 +1028,9 @@ impl<'s> Session<'s> {
                     Some(p) => engine.arrive_probed(p, id, units, 0)?,
                     None => engine.arrive(id, units, 0)?,
                 };
-                self.origin = Some(t);
+                // `route` only returns `TickFirst` after
+                // `grid.aligned(t)`, so the origin is on the grid.
+                self.origin_ticks = t.scaled_to(grid.time_scale as i128);
                 self.core = Core::Tick(engine);
                 bin
             }
@@ -984,6 +1045,14 @@ impl<'s> Session<'s> {
             }
             Route::Promote { .. } => unreachable!("promotion handled above"),
         };
+        self.note_arrival(id, size, t);
+        Ok(bin)
+    }
+
+    /// Post-event bookkeeping shared by every successful arrival:
+    /// clock commit, counters, telemetry, and the replay journal.
+    #[inline]
+    fn note_arrival(&mut self, id: ItemId, size: Rational, t: Rational) {
         self.now = Some(t);
         self.arrival_at_now = true;
         self.arrivals += 1;
@@ -993,7 +1062,6 @@ impl<'s> Session<'s> {
         if let Some(journal) = &mut self.journal {
             journal.push(StreamEvent::Arrive { id, size, time: t });
         }
-        Ok(bin)
     }
 
     /// Applies a departure of `id` at time `t`. Returns the bin the
@@ -1003,11 +1071,41 @@ impl<'s> Session<'s> {
         if self.now == Some(t) && self.arrival_at_now {
             return Err(SessionError::DepartureAfterArrival { time: t });
         }
-        if !self.is_active(id) {
-            return Err(SessionError::Packing(PackingError::UnknownItem(id)));
+        // Hot path: live tick engine, on-grid departure — mirrors the
+        // fused arrival path above.
+        if let (Core::Tick(_), Some(grid)) = (&self.core, self.grid) {
+            let origin = self
+                .origin_ticks
+                .expect("a live tick engine always has an origin tick");
+            if let Some(on_grid) =
+                Self::memo_scaled(&mut self.time_quot_memo, t, grid.time_scale as i128)
+            {
+                if on_grid - origin <= u32::MAX as i128 {
+                    debug_assert!(
+                        on_grid >= origin,
+                        "monotone events never precede the origin"
+                    );
+                    let tick = (on_grid - origin) as u64;
+                    let Core::Tick(engine) = &mut self.core else {
+                        unreachable!("core variant checked above");
+                    };
+                    let bin = match self.probe.as_deref_mut() {
+                        Some(p) => engine.depart_probed(p, id, tick)?,
+                        None => engine.depart(id, tick)?,
+                    };
+                    self.note_departure(id, t);
+                    return Ok(bin);
+                }
+            }
         }
+        // Unknown departures surface from the engines themselves on
+        // the on-grid paths; only the off-grid arm needs the explicit
+        // check, to keep `UnknownItem` ranked above off-grid handling.
         let mut route = self.route(t, None);
         if let Route::Promote { what, value } = route {
+            if !self.is_active(id) {
+                return Err(SessionError::Packing(PackingError::UnknownItem(id)));
+            }
             if self.strict {
                 return Err(SessionError::OffGrid { what, value });
             }
@@ -1037,11 +1135,20 @@ impl<'s> Session<'s> {
                     None => engine.depart(id, tick)?,
                 }
             }
-            // An active-item pre-check passed, so at least one event
-            // was applied and the core cannot be idle.
-            Route::TickFirst { .. } => unreachable!("departure into an idle session"),
+            // Nothing has arrived yet, so the departing item cannot
+            // be active.
+            Route::TickFirst { .. } => {
+                return Err(SessionError::Packing(PackingError::UnknownItem(id)));
+            }
             Route::Promote { .. } => unreachable!("promotion handled above"),
         };
+        self.note_departure(id, t);
+        Ok(bin)
+    }
+
+    /// Post-event bookkeeping shared by every successful departure.
+    #[inline]
+    fn note_departure(&mut self, id: ItemId, t: Rational) {
         self.now = Some(t);
         self.arrival_at_now = false;
         self.departures += 1;
@@ -1051,7 +1158,6 @@ impl<'s> Session<'s> {
         if let Some(journal) = &mut self.journal {
             journal.push(StreamEvent::Depart { id, time: t });
         }
-        Ok(bin)
     }
 
     /// Applies one wire event.

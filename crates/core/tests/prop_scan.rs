@@ -1,0 +1,63 @@
+//! Equivalence of the chunked (autovectorizing) residual-gap scans
+//! with their per-slot scalar references.
+//!
+//! The [`dbp_core::scan`] sweeps process gaps eight lanes at a time
+//! with branchless min/max folds; the `*_scalar` functions are the
+//! obviously-correct one-slot-at-a-time definitions. Every policy
+//! must agree with its reference on both the hit/miss decision and
+//! the *position* — First Fit's lowest index, Best Fit's
+//! tightest-then-lowest, Worst Fit's widest-then-lowest — across
+//! ragged lengths (remainder lanes), saturated arrays, and dense tie
+//! plateaus.
+
+use dbp_core::scan;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Uniform random gaps at ragged lengths around the 8-lane chunk
+    /// boundary.
+    #[test]
+    fn chunked_scans_match_scalar_references(
+        gaps in prop::collection::vec(0u64..=256, 0..=67),
+        size in 1u64..=256,
+    ) {
+        prop_assert_eq!(
+            scan::first_fit(&gaps, size),
+            scan::first_fit_scalar(&gaps, size)
+        );
+        prop_assert_eq!(
+            scan::best_fit(&gaps, size),
+            scan::best_fit_scalar(&gaps, size)
+        );
+        prop_assert_eq!(
+            scan::worst_fit(&gaps, size),
+            scan::worst_fit_scalar(&gaps, size)
+        );
+    }
+
+    /// Tie-heavy arrays: gaps drawn from a three-value alphabet so
+    /// equal-gap plateaus span whole chunks, stressing the
+    /// lowest-index tie-break inside and across lanes.
+    #[test]
+    fn chunked_scans_break_ties_like_scalar(
+        picks in prop::collection::vec(0usize..3, 0..=67),
+        size in 1u64..=8,
+    ) {
+        let alphabet = [3u64, 8, 20];
+        let gaps: Vec<u64> = picks.iter().map(|&p| alphabet[p]).collect();
+        prop_assert_eq!(
+            scan::first_fit(&gaps, size),
+            scan::first_fit_scalar(&gaps, size)
+        );
+        prop_assert_eq!(
+            scan::best_fit(&gaps, size),
+            scan::best_fit_scalar(&gaps, size)
+        );
+        prop_assert_eq!(
+            scan::worst_fit(&gaps, size),
+            scan::worst_fit_scalar(&gaps, size)
+        );
+    }
+}

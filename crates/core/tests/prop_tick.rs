@@ -15,9 +15,10 @@
 //! Rational fallback is transparent.
 
 use dbp_core::prelude::*;
-use dbp_core::tick::{CompiledInstance, TickPolicy};
-use dbp_core::{PackingAlgorithm, PackingOutcome};
+use dbp_core::tick::{CompiledInstance, TickEngine, TickPolicy};
+use dbp_core::{PackingAlgorithm, PackingError, PackingOutcome};
 use dbp_numeric::rat;
+use dbp_simcore::EventClass;
 use proptest::prelude::*;
 
 /// Strategy: a well-formed instance with up to 40 items on a mixed
@@ -63,6 +64,48 @@ fn overflow_strategy() -> impl Strategy<Value = Instance> {
         specs.push((rat(1, 2), rat(1, 99991), rat(1, 99991) + rat(1, 99989)));
         Instance::new(specs).expect("overflow salt keeps specs valid")
     })
+}
+
+/// Strategy: forced-overflow bursts — every size exceeds half a bin,
+/// so each arrival in a shared-instant burst must open a fresh bin.
+/// With a small crossover override the linear→tree scan promotion
+/// then fires *inside* an arrival burst.
+fn overflow_burst_strategy() -> impl Strategy<Value = Instance> {
+    let item = (1i128..=9, 0i128..=1, 1i128..=2).prop_map(|(n, wave, hold)| {
+        let size = rat(9 + n, 18); // in (1/2, 1]
+        let arrival = rat(wave * 4, 1);
+        (size, arrival, arrival + rat(4 * hold, 1))
+    });
+    prop::collection::vec(item, 1..32)
+        .prop_map(|specs| Instance::new(specs).expect("strategy produces valid specs"))
+}
+
+/// Replays `compiled` through the *public per-event* API — one
+/// `arrive`/`depart` call per schedule entry, in schedule order —
+/// bypassing the burst batching that [`CompiledInstance::run`] does
+/// internally, then finishes.
+fn replay_per_event(
+    compiled: &CompiledInstance,
+    policy: TickPolicy,
+    crossover: Option<usize>,
+) -> Result<PackingOutcome, PackingError> {
+    let mut eng = TickEngine::new(compiled, policy);
+    if let Some(c) = crossover {
+        eng.set_scan_crossover(c);
+    }
+    let items = compiled.items();
+    for ev in compiled.schedule() {
+        match ev.class {
+            EventClass::Arrival => {
+                eng.arrive(ev.item, items[ev.item.index()].size, ev.tick)?;
+            }
+            EventClass::Departure => {
+                eng.depart(ev.item, ev.tick)?;
+            }
+            EventClass::Control => {}
+        }
+    }
+    eng.finish(policy.name())
 }
 
 /// Compiles and runs `policy`, then checks full outcome equality
@@ -159,6 +202,152 @@ proptest! {
             let exact = Runner::new(&inst).run(linear.as_mut()).expect("reference run succeeds");
             prop_assert_eq!(auto, exact, "fallback {} diverged", policy.name());
         }
+    }
+
+    /// The batched replay (one clock check and one bookkeeping flush
+    /// per equal-tick burst) must be bit-identical to naive per-event
+    /// application through the public API — including across
+    /// departure-before-arrival ties at shared instants.
+    #[test]
+    fn batched_bursts_match_per_event_replay(inst in burst_strategy()) {
+        let compiled = CompiledInstance::compile(&inst).expect("burst instances compile");
+        for policy in [TickPolicy::FirstFit, TickPolicy::BestFit, TickPolicy::WorstFit] {
+            let batched = compiled.run(policy).expect("batched run succeeds");
+            let stepped =
+                replay_per_event(&compiled, policy, None).expect("per-event run succeeds");
+            prop_assert_eq!(
+                batched,
+                stepped,
+                "{} batched/per-event drift",
+                policy.name()
+            );
+        }
+    }
+
+    /// Mixed-grid instances through the same batched-vs-per-event
+    /// lens: ragged tick spacing, partial fills, mid-run closures.
+    #[test]
+    fn batched_bursts_match_per_event_on_mixed_grids(inst in instance_strategy()) {
+        let compiled = CompiledInstance::compile(&inst).expect("strategy instances compile");
+        for policy in [TickPolicy::FirstFit, TickPolicy::BestFit, TickPolicy::WorstFit] {
+            let batched = compiled.run(policy).expect("batched run succeeds");
+            let stepped =
+                replay_per_event(&compiled, policy, None).expect("per-event run succeeds");
+            prop_assert_eq!(
+                batched,
+                stepped,
+                "{} batched/per-event drift",
+                policy.name()
+            );
+        }
+    }
+
+    /// Forced-overflow bursts with a tiny crossover: the linear→tree
+    /// promotion fires in the middle of an arrival burst and must be
+    /// invisible — batched, per-event, and exact Rational replays all
+    /// agree bit-for-bit.
+    #[test]
+    fn crossover_promotion_mid_burst_is_invisible(
+        inst in overflow_burst_strategy(),
+        crossover in 0usize..=8,
+    ) {
+        let compiled = CompiledInstance::compile(&inst).expect("burst instances compile");
+        for (policy, mut reference) in [
+            (TickPolicy::FirstFit, Box::new(FirstFit::new()) as Box<dyn PackingAlgorithm>),
+            (TickPolicy::BestFit, Box::new(BestFit::new())),
+            (TickPolicy::WorstFit, Box::new(WorstFit::new())),
+        ] {
+            let batched = compiled
+                .run_with_crossover(policy, crossover)
+                .expect("batched run succeeds");
+            let stepped = replay_per_event(&compiled, policy, Some(crossover))
+                .expect("per-event run succeeds");
+            prop_assert_eq!(
+                &batched,
+                &stepped,
+                "{} batched/per-event drift at crossover {}",
+                policy.name(),
+                crossover
+            );
+            let exact = Runner::new(&inst)
+                .backend(Backend::Exact)
+                .run(reference.as_mut())
+                .expect("reference run succeeds");
+            prop_assert_eq!(
+                &batched,
+                &exact,
+                "{} diverged from exact at crossover {}",
+                policy.name(),
+                crossover
+            );
+        }
+    }
+
+    /// Faulty event streams fail identically whatever the scan mode:
+    /// a duplicate arrival, an unknown departure, or a clock
+    /// regression injected after a valid prefix must surface the same
+    /// error from a forced-linear and a forced-tree engine.
+    #[test]
+    fn engine_errors_are_scan_mode_invariant(
+        inst in burst_strategy(),
+        cut in 0usize..=60,
+        fault in 0u8..3,
+    ) {
+        let compiled = CompiledInstance::compile(&inst).expect("burst instances compile");
+        let items = compiled.items();
+        let schedule = compiled.schedule();
+        let cut = cut.min(schedule.len());
+        let mut linear = TickEngine::new(&compiled, TickPolicy::FirstFit);
+        linear.set_scan_crossover(usize::MAX);
+        let mut tree = TickEngine::new(&compiled, TickPolicy::FirstFit);
+        tree.set_scan_crossover(0);
+        let mut active: Vec<ItemId> = Vec::new();
+        let mut last_tick = 0u64;
+        for ev in &schedule[..cut] {
+            match ev.class {
+                EventClass::Arrival => {
+                    let size = items[ev.item.index()].size;
+                    linear.arrive(ev.item, size, ev.tick).expect("valid prefix");
+                    tree.arrive(ev.item, size, ev.tick).expect("valid prefix");
+                    active.push(ev.item);
+                }
+                EventClass::Departure => {
+                    linear.depart(ev.item, ev.tick).expect("valid prefix");
+                    tree.depart(ev.item, ev.tick).expect("valid prefix");
+                    active.retain(|&i| i != ev.item);
+                }
+                EventClass::Control => {}
+            }
+            last_tick = ev.tick;
+        }
+        let fresh = ItemId(compiled.len() as u32 + 7);
+        // Degrade to the always-available fault when the prefix lacks
+        // the precondition (an active item / a nonzero clock).
+        let (lin_err, tree_err) = match fault {
+            0 if !active.is_empty() => {
+                let dup = active[0];
+                (
+                    linear.arrive(dup, 1, last_tick).unwrap_err(),
+                    tree.arrive(dup, 1, last_tick).unwrap_err(),
+                )
+            }
+            2 if last_tick > 0 => (
+                linear.arrive(fresh, 1, last_tick - 1).unwrap_err(),
+                tree.arrive(fresh, 1, last_tick - 1).unwrap_err(),
+            ),
+            _ => (
+                linear.depart(fresh, last_tick).unwrap_err(),
+                tree.depart(fresh, last_tick).unwrap_err(),
+            ),
+        };
+        prop_assert_eq!(&lin_err, &tree_err, "scan modes disagreed on the error");
+        let expected_kind = matches!(
+            lin_err,
+            PackingError::DuplicateItem(_)
+                | PackingError::UnknownItem(_)
+                | PackingError::TimeRegression { .. }
+        );
+        prop_assert!(expected_kind, "unexpected error kind: {:?}", lin_err);
     }
 
     /// `run_packing_auto` on compilable instances takes the tick path

@@ -125,9 +125,48 @@ pub mod gcd_stats {
 }
 
 /// Greatest common divisor of two unsigned integers.
+///
+/// Euclid's remainder sequence, with the loop dropping to `u64`
+/// operands as soon as both fit: 128-bit remainders lower to the
+/// `__umodti3` software-division libcall, which dominates reduction
+/// cost, while practically every value the engines reduce (grid
+/// denominators, ticks, level integrals) fits 64 bits and takes
+/// hardware division — or, for the power-of-two operands binary
+/// grids produce, no division at all (see [`gcd_u64`]).
 #[inline]
 fn gcd_u(mut a: u128, mut b: u128) -> u128 {
+    const W: u128 = u64::MAX as u128;
     let mut steps = 0u32;
+    while b != 0 {
+        if a <= W && b <= W {
+            return u128::from(gcd_u64(a as u64, b as u64, steps));
+        }
+        let t = a % b;
+        a = b;
+        b = t;
+        steps += 1;
+    }
+    gcd_stats::record(steps);
+    a
+}
+
+/// The 64-bit tail of [`gcd_u`], continuing its step count. Two
+/// division-free shortcuts ahead of the remainder loop: a zero
+/// operand (the gcd is the other operand), and a power-of-two
+/// operand — ubiquitous on binary tick grids — where the gcd is the
+/// largest shared power of two, one mask and shift. Shortcut
+/// reductions record zero remainder steps: no division ran.
+#[inline]
+fn gcd_u64(a: u64, b: u64, steps: u32) -> u64 {
+    if a == 0 || b == 0 {
+        gcd_stats::record(steps);
+        return a | b;
+    }
+    if (a & (a - 1)) == 0 || (b & (b - 1)) == 0 {
+        gcd_stats::record(steps);
+        return 1 << a.trailing_zeros().min(b.trailing_zeros());
+    }
+    let (mut a, mut b, mut steps) = (a, b, steps);
     while b != 0 {
         let t = a % b;
         a = b;
@@ -188,6 +227,25 @@ impl Rational {
         let negative = (num < 0) != (den < 0);
         let n = num.unsigned_abs();
         let d = den.unsigned_abs();
+        const W: u128 = u64::MAX as u128;
+        if n <= W && d <= W {
+            // Hardware-division path: covers every tick-grid
+            // conversion (numerators bounded by capacity·horizon).
+            let g = gcd_u64(n as u64, d as u64, 0).max(1);
+            if g == 1 {
+                // Already reduced — skip both normalization divides.
+                let n = n as i128;
+                return Rational {
+                    num: if negative { -n } else { n },
+                    den: d as i128,
+                };
+            }
+            let n = (n as u64 / g) as i128;
+            return Rational {
+                num: if negative { -n } else { n },
+                den: (d as u64 / g) as i128,
+            };
+        }
         let g = gcd_u(n, d).max(1);
         let n = n / g;
         let d = d / g;
@@ -365,7 +423,28 @@ impl Rational {
     /// ```
     #[inline]
     pub fn scaled_to(self, scale: i128) -> Option<i128> {
-        if scale <= 0 || scale % self.den != 0 {
+        if scale <= 0 {
+            return None;
+        }
+        // u64 fast path: tick grids are `u32`-bounded and reduced
+        // denominators are positive, so the divisibility check and
+        // quotient almost always fit one native division instead of
+        // two software `i128` ones — this sits on the streaming
+        // session's per-event path.
+        if let (Ok(s), Ok(d)) = (u64::try_from(scale), u64::try_from(self.den)) {
+            if s % d != 0 {
+                return None;
+            }
+            let quot = (s / d) as i128;
+            // quot < 2^64, so any numerator below 2^63 multiplies
+            // without overflow on the inlined 128-bit product;
+            // `checked_mul` (a libcall on x86-64) covers the rest.
+            if self.num.unsigned_abs() < 1 << 63 {
+                return Some(self.num * quot);
+            }
+            return self.num.checked_mul(quot);
+        }
+        if scale % self.den != 0 {
             return None;
         }
         self.num.checked_mul(scale / self.den)
@@ -426,6 +505,19 @@ impl Ord for Rational {
             return self.num.cmp(&other.num);
         }
         // a/b ? c/d  <=>  a*d ? c*b   (b, d > 0)
+        //
+        // When every magnitude is below 2^63 the cross products stay
+        // below 2^126 and the plain (inlined) 128-bit multiply cannot
+        // overflow — `checked_mul` is a libcall on x86-64 and this
+        // comparison sits on streaming per-event paths.
+        const HALF: u128 = 1 << 63;
+        if self.num.unsigned_abs() < HALF
+            && other.num.unsigned_abs() < HALF
+            && (self.den as u128) < HALF
+            && (other.den as u128) < HALF
+        {
+            return (self.num * other.den).cmp(&(other.num * self.den));
+        }
         let lhs = self.num.checked_mul(other.den);
         let rhs = other.num.checked_mul(self.den);
         match (lhs, rhs) {
