@@ -7,7 +7,14 @@
 //!
 //! * [`solver`] — an exact branch-and-bound solver for classical bin
 //!   packing (`OPT(R, t)` is a bin packing instance at each time
-//!   point).
+//!   point), front-ending the integer kernel with a lock-sharded,
+//!   grid-canonical memo.
+//! * [`units`] — tick-compilation of size multisets to `u32` units on
+//!   the denominator-LCM grid, and the gcd-canonical memo key.
+//! * [`bb`] — the integer branch-and-bound kernel: Martello–Toth
+//!   L2/L3 dual-feasible bounds, dominance reduction, FFD +
+//!   local-search incumbent, budgeted best-fit-ordered DFS with warm
+//!   starts.
 //! * [`optimal`] — the offline adversary with repacking:
 //!   `OPT_total(R) = ∫ OPT(R, t) dt`, computed exactly via the
 //!   event-interval decomposition (the profile is piecewise
@@ -24,6 +31,7 @@
 //!   Lemmas 1–2 and the Theorem 1 inequality chain, checked on
 //!   concrete instances in exact arithmetic.
 
+pub mod bb;
 pub mod bounds;
 pub mod certify;
 pub mod chain;
@@ -31,11 +39,14 @@ pub mod decomposition;
 pub mod optimal;
 pub mod ratio;
 pub mod solver;
+pub mod units;
 
+pub use bb::BbOutcome;
 pub use bounds::{opt_lower_bound, profile_lower_bound};
 pub use certify::{certify_first_fit, certify_packing, CertReport, CheckResult};
 pub use chain::{ChainStep, TheoremChain};
 pub use decomposition::{BinDecomp, Decomposition, LGroup, Subperiod, WindowRule};
-pub use optimal::{opt_profile, opt_total, OptProfile, OptTotal};
-pub use ratio::{measure_ratio, RatioReport};
-pub use solver::ExactBinPacking;
+pub use optimal::{opt_profile, opt_total, opt_total_exact, OptConfig, OptProfile, OptTotal};
+pub use ratio::{measure_ratio, measure_ratio_with, RatioReport};
+pub use solver::{reference_min_bins, ExactBinPacking};
+pub use units::{compile_sizes, UnitKey, UnitSizes};

@@ -6,30 +6,83 @@
 //! and hence `OPT(R, t)` — is constant, so the integral is a finite
 //! sum over the event-interval profile.
 //!
-//! Each interval's `OPT(R, t)` is an exact bin packing solve
-//! ([`crate::solver::ExactBinPacking`]). For large active sets the
-//! solve can be disabled via [`OptConfig::max_exact_items`]; the
-//! profile then falls back to the certified sandwich
-//! `max(⌈L⌉, big) ≤ OPT ≤ FFD`, and the result is returned as a
-//! bracket instead of an exact value.
+//! The profile is computed **incrementally**: adjacent intervals
+//! differ by the handful of arrivals/departures at their shared
+//! boundary, so instead of re-filtering and re-solving each interval
+//! from scratch the sweep
+//!
+//! 1. tick-compiles every size to `u32` units once
+//!    ([`crate::units`]), and maintains the active multiset by
+//!    sorted-insert/remove per event;
+//! 2. carries the previous interval's optimal **packing** across the
+//!    boundary (departures delete an occurrence from its bin,
+//!    arrivals first-fit in) as the warm-start incumbent, and its
+//!    lower bound minus the departure count as a floor — removing an
+//!    item lowers `OPT` by at most one, adding never lowers it — so
+//!    most intervals certify without expanding a single search node;
+//! 3. shards the interval list into fixed-size chunks solved in
+//!    parallel on [`dbp_par::par_map`], all feeding the solver's
+//!    lock-sharded memo (chunking is by a fixed constant, so the
+//!    segmentation — and with it every exact value — is independent
+//!    of the worker count).
+//!
+//! Each interval's `OPT(R, t)` is solved exactly up to
+//! [`OptConfig::max_exact_items`] active items within
+//! [`OptConfig::node_budget`] search nodes; beyond either limit the
+//! segment degrades to the certified sandwich
+//! `max(floor, L3) ≤ OPT ≤ best packing found`, and the total becomes
+//! a bracket instead of an exact value. (Under budget truncation
+//! only, concurrent chunks may upgrade a bracket to an exact value
+//! through the shared memo depending on timing; exact values
+//! themselves are unique, so exactly-solved profiles are always
+//! bit-reproducible.)
 
+use crate::bb::{ffd_pack, improve_pack, lower_bound_l3_units};
 use crate::solver::{first_fit_decreasing, lower_bound_l2, ExactBinPacking};
+use crate::units::common_scale;
 use dbp_core::Instance;
 use dbp_numeric::{Interval, Rational};
+use dbp_par::par_map;
+
+/// Intervals per parallel work item. A fixed constant (not a
+/// thread-count function) so profiles are machine-independent; 32
+/// amortizes the cold solve at each chunk head over a long
+/// warm-started run while still feeding every worker on mid-size
+/// profiles.
+const CHUNK_INTERVALS: usize = 32;
 
 /// Tuning knobs for the adversary computation.
 #[derive(Debug, Clone, Copy)]
 pub struct OptConfig {
     /// Maximum active-set size for which an exact solve is attempted;
-    /// larger sets use the `L2`/FFD sandwich. The default (28) solves
-    /// typical event intervals in microseconds–milliseconds.
+    /// larger sets use the `L3`/FFD sandwich. The default (200) is
+    /// backed by the warm-started incremental kernel — the seed
+    /// solver's default was 28.
     pub max_exact_items: usize,
+    /// Branch-and-bound node budget per interval; on exhaustion the
+    /// segment degrades to a certified bracket. Warm-started interval
+    /// solves almost never expand nodes at all, so the default
+    /// (200 000) is rarely touched outside adversarial multisets.
+    pub node_budget: u64,
+}
+
+impl OptConfig {
+    /// The config with everything default except the exact-solve
+    /// item cap — the common adjustment (struct-literal updates of
+    /// single fields don't survive config growth).
+    pub fn with_max_exact(max_exact_items: usize) -> OptConfig {
+        OptConfig {
+            max_exact_items,
+            ..OptConfig::default()
+        }
+    }
 }
 
 impl Default for OptConfig {
     fn default() -> OptConfig {
         OptConfig {
-            max_exact_items: 28,
+            max_exact_items: 200,
+            node_budget: 200_000,
         }
     }
 }
@@ -70,6 +123,16 @@ impl OptProfile {
     pub fn peak_upper(&self) -> usize {
         self.segments.iter().map(|s| s.upper).max().unwrap_or(0)
     }
+
+    /// Segments solved exactly, as a fraction of all segments
+    /// (1.0 for an empty profile).
+    pub fn exact_fraction(&self) -> f64 {
+        if self.segments.is_empty() {
+            return 1.0;
+        }
+        let exact = self.segments.iter().filter(|s| s.is_exact()).count();
+        exact as f64 / self.segments.len() as f64
+    }
 }
 
 /// `OPT_total(R)` as an exact value or a certified bracket.
@@ -93,8 +156,255 @@ impl OptTotal {
     }
 }
 
+/// One event interval of a chunk: its window plus the boundary delta
+/// (in units) transforming the previous interval's active multiset
+/// into this one's. Chunk-head intervals carry the delta already
+/// folded into the head snapshot.
+struct IntervalDelta {
+    window: Interval,
+    add: Vec<u32>,
+    remove: Vec<u32>,
+}
+
+/// A contiguous run of intervals solved sequentially by one worker:
+/// the active multiset at its first interval plus per-interval
+/// deltas.
+struct Chunk {
+    head: Vec<u32>,
+    intervals: Vec<IntervalDelta>,
+}
+
 /// Computes the `OPT(R, t)` profile over the packing period.
 pub fn opt_profile(instance: &Instance, solver: &ExactBinPacking, config: OptConfig) -> OptProfile {
+    let times = instance.event_times();
+    if times.len() < 2 {
+        return OptProfile {
+            segments: Vec::new(),
+        };
+    }
+    let sizes: Vec<Rational> = instance.items().iter().map(|r| r.size).collect();
+    let Some(scale) = common_scale(&sizes) else {
+        return opt_profile_rational(instance, solver, config);
+    };
+    let capacity = scale as u32;
+
+    // One event sweep builds every chunk: items enter at their
+    // arrival boundary and leave at their departure boundary, so the
+    // active multiset is maintained incrementally instead of
+    // re-filtered per interval (the seed pipeline's O(n²) term).
+    let mut by_arrival: Vec<(Rational, u32)> = instance
+        .items()
+        .iter()
+        .map(|r| {
+            (
+                r.arrival(),
+                r.size.scaled_to(scale).expect("scale is the LCM") as u32,
+            )
+        })
+        .collect();
+    by_arrival.sort_unstable_by_key(|a| a.0);
+    let mut by_departure: Vec<(Rational, u32)> = instance
+        .items()
+        .iter()
+        .map(|r| {
+            (
+                r.departure(),
+                r.size.scaled_to(scale).expect("scale is the LCM") as u32,
+            )
+        })
+        .collect();
+    by_departure.sort_unstable_by_key(|a| a.0);
+
+    let mut chunks: Vec<Chunk> = Vec::new();
+    let mut cur: Vec<u32> = Vec::new();
+    let (mut ai, mut di) = (0usize, 0usize);
+    for (j, w) in times.windows(2).enumerate() {
+        let t = w[0];
+        let mut remove = Vec::new();
+        let mut add = Vec::new();
+        while di < by_departure.len() && by_departure[di].0 == t {
+            remove.push(by_departure[di].1);
+            di += 1;
+        }
+        while ai < by_arrival.len() && by_arrival[ai].0 == t {
+            add.push(by_arrival[ai].1);
+            ai += 1;
+        }
+        for &u in &remove {
+            remove_unit(&mut cur, u);
+        }
+        for &u in &add {
+            insert_unit(&mut cur, u);
+        }
+        let window = Interval::new(w[0], w[1]);
+        if j % CHUNK_INTERVALS == 0 {
+            chunks.push(Chunk {
+                head: cur.clone(),
+                intervals: vec![IntervalDelta {
+                    window,
+                    add: Vec::new(),
+                    remove: Vec::new(),
+                }],
+            });
+        } else {
+            chunks
+                .last_mut()
+                .expect("j=0 opened a chunk")
+                .intervals
+                .push(IntervalDelta {
+                    window,
+                    add,
+                    remove,
+                });
+        }
+    }
+
+    let segments: Vec<Vec<OptSegment>> = if chunks.len() == 1 {
+        vec![solve_chunk(&chunks[0], capacity, solver, config)]
+    } else {
+        par_map(&chunks, |chunk| {
+            solve_chunk(chunk, capacity, solver, config)
+        })
+    };
+    OptProfile {
+        segments: segments.into_iter().flatten().collect(),
+    }
+}
+
+/// Inserts one occurrence into a sorted-decreasing multiset.
+fn insert_unit(cur: &mut Vec<u32>, u: u32) {
+    let pos = cur.partition_point(|&x| x > u);
+    cur.insert(pos, u);
+}
+
+/// Removes one occurrence from a sorted-decreasing multiset.
+fn remove_unit(cur: &mut Vec<u32>, u: u32) {
+    let pos = cur.partition_point(|&x| x > u);
+    debug_assert!(cur.get(pos) == Some(&u), "departing item must be active");
+    cur.remove(pos);
+}
+
+/// Solves one chunk sequentially, threading the warm-start packing
+/// and lower-bound floor across its intervals.
+fn solve_chunk(
+    chunk: &Chunk,
+    capacity: u32,
+    solver: &ExactBinPacking,
+    config: OptConfig,
+) -> Vec<OptSegment> {
+    let mut segments = Vec::with_capacity(chunk.intervals.len());
+    let mut cur = chunk.head.clone();
+    // The warm packing is maintained as a *valid* packing of `cur`
+    // at all times: departures delete an occurrence from its bin,
+    // arrivals first-fit into spare capacity or open a bin. Its bin
+    // count is an upper bound; `prev_lower − departures` is a floor.
+    let mut warm: Vec<Vec<u32>> = Vec::new();
+    let mut prev_lower: Option<usize> = None;
+    for (j, iv) in chunk.intervals.iter().enumerate() {
+        if j > 0 {
+            for &u in &iv.remove {
+                remove_unit(&mut cur, u);
+                warm_remove(&mut warm, u);
+            }
+            for &u in &iv.add {
+                insert_unit(&mut cur, u);
+                warm_insert(&mut warm, u, capacity);
+            }
+        } else {
+            // Chunk head: deltas are folded into the snapshot; the
+            // warm packing starts as plain FFD of it.
+            warm = ffd_pack(&cur, capacity);
+            improve_pack(&mut warm, capacity);
+        }
+        if cur.is_empty() {
+            // The adversary closes everything during gaps.
+            warm.clear();
+            prev_lower = Some(0);
+            continue;
+        }
+        let floor = prev_lower
+            .map(|p| p.saturating_sub(iv.remove.len()))
+            .unwrap_or(0);
+        // Temporal-coherence fast path: the carried floor already
+        // meets the patched packing, so the interval is certified
+        // exact without touching the solver or the memo. (Arrivals
+        // keep the floor; when First Fit absorbs them into spare
+        // capacity, the sandwich closes by itself.)
+        if !warm.is_empty() && floor >= warm.len() {
+            debug_assert!(
+                floor == warm.len(),
+                "floor can never exceed a valid packing"
+            );
+            prev_lower = Some(warm.len());
+            segments.push(OptSegment {
+                window: iv.window,
+                lower: warm.len(),
+                upper: warm.len(),
+            });
+            continue;
+        }
+        let (lower, upper) = if cur.len() > config.max_exact_items {
+            // Sandwich mode: certified bounds, no search.
+            let lower = floor.max(lower_bound_l3_units(&cur, capacity));
+            let mut pk = ffd_pack(&cur, capacity);
+            improve_pack(&mut pk, capacity);
+            if pk.len() < warm.len() || warm.is_empty() {
+                warm = pk;
+            }
+            (lower, warm.len())
+        } else {
+            let warm_hint = (!warm.is_empty()).then_some(warm.as_slice());
+            let out = solver.solve_units(&cur, capacity, warm_hint, floor, config.node_budget);
+            if !out.packing.is_empty() {
+                warm = out.packing;
+            }
+            (out.lower, out.upper)
+        };
+        prev_lower = Some(lower);
+        segments.push(OptSegment {
+            window: iv.window,
+            lower,
+            upper,
+        });
+    }
+    segments
+}
+
+/// Deletes one occurrence of `u` from the packing.
+fn warm_remove(warm: &mut Vec<Vec<u32>>, u: u32) {
+    for b in 0..warm.len() {
+        if let Some(i) = warm[b].iter().position(|&x| x == u) {
+            warm[b].swap_remove(i);
+            if warm[b].is_empty() {
+                warm.swap_remove(b);
+            }
+            return;
+        }
+    }
+    debug_assert!(false, "departing item must be in the warm packing");
+}
+
+/// First Fit for `u` into the packing.
+fn warm_insert(warm: &mut Vec<Vec<u32>>, u: u32, capacity: u32) {
+    for bin in warm.iter_mut() {
+        let level: u64 = bin.iter().map(|&x| x as u64).sum();
+        if level + u as u64 <= capacity as u64 {
+            bin.push(u);
+            return;
+        }
+    }
+    warm.push(vec![u]);
+}
+
+/// The seed per-interval pipeline, kept for size multisets too fine
+/// for any `u32` grid: re-filter the active set per interval and
+/// solve through [`ExactBinPacking::min_bins`] (which itself falls
+/// back to `Rational` search for such sets).
+fn opt_profile_rational(
+    instance: &Instance,
+    solver: &ExactBinPacking,
+    config: OptConfig,
+) -> OptProfile {
     let times = instance.event_times();
     let mut segments = Vec::new();
     let mut active_sizes: Vec<Rational> = Vec::new();
@@ -109,7 +419,7 @@ pub fn opt_profile(instance: &Instance, solver: &ExactBinPacking, config: OptCon
                 .map(|r| r.size),
         );
         if active_sizes.is_empty() {
-            continue; // adversary closes everything during gaps
+            continue;
         }
         let (lower, upper) = if active_sizes.len() <= config.max_exact_items {
             let exact = solver.min_bins(&active_sizes);
@@ -198,6 +508,7 @@ mod tests {
         assert_eq!(p.segments.len(), 2); // the [1,10) gap is skipped
         assert_eq!(p.peak_lower(), 1);
         assert_eq!(p.peak_upper(), 1);
+        assert_eq!(p.exact_fraction(), 1.0);
     }
 
     #[test]
@@ -225,7 +536,7 @@ mod tests {
         let specs: Vec<_> = (0..6).map(|_| (2, 5, 0, 2)).collect();
         let i = inst(&specs);
         let solver = ExactBinPacking::new();
-        let capped = opt_total(&i, &solver, OptConfig { max_exact_items: 4 });
+        let capped = opt_total(&i, &solver, OptConfig::with_max_exact(4));
         let exact = opt_total(&i, &solver, OptConfig::default());
         assert!(exact.is_exact());
         assert!(capped.lower <= exact.lower);
@@ -235,9 +546,93 @@ mod tests {
     }
 
     #[test]
+    fn bracket_mode_under_node_budget() {
+        // A zero node budget forces every nontrivial search to stop
+        // at its bounds; the bracket must still contain the truth.
+        let specs: Vec<_> = (1..=12).map(|k| (k, 25, 0, 2)).collect();
+        let i = inst(&specs);
+        let solver = ExactBinPacking::new();
+        let exact = opt_total(&i, &solver, OptConfig::default());
+        assert!(exact.is_exact());
+        let solver2 = ExactBinPacking::new();
+        let starved = opt_total(
+            &i,
+            &solver2,
+            OptConfig {
+                node_budget: 0,
+                ..OptConfig::default()
+            },
+        );
+        assert!(starved.lower <= exact.lower);
+        assert!(starved.upper >= exact.upper);
+    }
+
+    #[test]
     fn profile_peaks_track_standard_dbp() {
         let i = inst(&[(1, 1, 0, 2), (1, 1, 1, 3), (1, 1, 2, 4)]);
         let p = opt_profile(&i, &ExactBinPacking::new(), OptConfig::default());
         assert_eq!(p.peak_lower(), 2);
+    }
+
+    #[test]
+    fn incremental_profile_matches_per_interval_solves() {
+        // The warm-started sweep must agree segment for segment with
+        // independent from-scratch solves of each interval.
+        let specs: &[(i128, i128, i128, i128)] = &[
+            (1, 2, 0, 5),
+            (1, 3, 1, 4),
+            (2, 3, 2, 6),
+            (1, 4, 3, 7),
+            (3, 4, 0, 2),
+            (1, 6, 4, 8),
+            (5, 6, 5, 9),
+            (1, 2, 6, 9),
+        ];
+        let i = inst(specs);
+        let p = opt_profile(&i, &ExactBinPacking::new(), OptConfig::default());
+        let times = i.event_times();
+        let solver = ExactBinPacking::new();
+        let mut k = 0;
+        for w in times.windows(2) {
+            let active: Vec<Rational> = i
+                .items()
+                .iter()
+                .filter(|r| r.active_at(w[0]))
+                .map(|r| r.size)
+                .collect();
+            if active.is_empty() {
+                continue;
+            }
+            let opt = solver.min_bins(&active);
+            assert_eq!(p.segments[k].window, Interval::new(w[0], w[1]));
+            assert_eq!(p.segments[k].lower, opt, "window {k}");
+            assert_eq!(p.segments[k].upper, opt, "window {k}");
+            k += 1;
+        }
+        assert_eq!(k, p.segments.len());
+    }
+
+    #[test]
+    fn long_profile_spans_multiple_chunks() {
+        // > CHUNK_INTERVALS windows so the parallel path and the
+        // chunk-head cold start both execute.
+        let specs: Vec<_> = (0..80i128)
+            .map(|k| (1 + (k % 7), 8, k, k + 3 + (k % 5)))
+            .collect();
+        let i = inst(&specs);
+        let p = opt_profile(&i, &ExactBinPacking::new(), OptConfig::default());
+        assert!(p.segments.len() > CHUNK_INTERVALS);
+        assert!((p.exact_fraction() - 1.0).abs() < 1e-12);
+        // Agreement with the integral recomputed per interval.
+        let solver = ExactBinPacking::new();
+        for seg in &p.segments {
+            let active: Vec<Rational> = i
+                .items()
+                .iter()
+                .filter(|r| r.active_at(seg.window.lo()))
+                .map(|r| r.size)
+                .collect();
+            assert_eq!(seg.lower, solver.min_bins(&active));
+        }
     }
 }

@@ -156,7 +156,7 @@ mod tests {
         let out = Runner::new(&inst).run(&mut FirstFit::new()).unwrap();
         let solver = ExactBinPacking::new();
         let exact = measure_ratio_with(&inst, &out, &solver, OptConfig::default());
-        let capped = measure_ratio_with(&inst, &out, &solver, OptConfig { max_exact_items: 2 });
+        let capped = measure_ratio_with(&inst, &out, &solver, OptConfig::with_max_exact(2));
         let e = exact.exact_ratio().unwrap();
         assert!(capped.ratio_lower.unwrap() <= e);
         assert!(capped.ratio_upper.unwrap() >= e);

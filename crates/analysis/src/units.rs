@@ -1,0 +1,140 @@
+//! Tick-compiling size multisets onto a common integer grid.
+//!
+//! The exact adversary solves a bin packing instance per event
+//! interval; doing that on `Vec<Rational>` multisets pays i128
+//! arithmetic, gcd normalization and 16-byte hashing on every touch.
+//! Exactly as `dbp_core::tick` rescales a whole instance onto integer
+//! ticks, this module rescales a *size multiset* onto the grid
+//! `1/scale`, with `scale` the LCM of the reduced denominators: every
+//! size becomes a `u32` number of **units** and the bin capacity
+//! becomes `scale` units. The branch-and-bound kernel ([`crate::bb`])
+//! then runs on machine integers end to end, and memo keys become
+//! gcd-canonical `u32` vectors ([`UnitKey`]) that rationally-equal
+//! multisets share by construction.
+
+use dbp_numeric::{checked_lcm, gcd128, Rational};
+
+/// Largest representable grid: sizes must fit `u32` units so levels
+/// and gaps stay in `u32` and sums in `u64` (mirrors
+/// `dbp_core::tick`'s `MAX_SCALE`).
+pub const MAX_UNIT_SCALE: i128 = u32::MAX as i128;
+
+/// A size multiset compiled to integer units.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitSizes {
+    /// Item sizes in units, sorted decreasing.
+    pub units: Vec<u32>,
+    /// Bin capacity in units (the compilation scale).
+    pub capacity: u32,
+}
+
+/// The common grid for a family of sizes: the LCM of their reduced
+/// denominators, or `None` when it exceeds [`MAX_UNIT_SCALE`] (the
+/// caller falls back to exact `Rational` arithmetic).
+pub fn common_scale(sizes: &[Rational]) -> Option<i128> {
+    let mut scale = 1i128;
+    for s in sizes {
+        scale = checked_lcm(scale, s.denom())?;
+        if scale > MAX_UNIT_SCALE {
+            return None;
+        }
+    }
+    Some(scale)
+}
+
+/// Compiles `sizes` (each in `(0, 1]`) onto their common grid.
+/// Returns `None` when no `u32` grid exists.
+pub fn compile_sizes(sizes: &[Rational]) -> Option<UnitSizes> {
+    let scale = common_scale(sizes)?;
+    let mut units: Vec<u32> = sizes
+        .iter()
+        .map(|s| {
+            let u = s.scaled_to(scale).expect("scale is the denominator LCM");
+            debug_assert!(u > 0 && u <= scale);
+            u as u32
+        })
+        .collect();
+    units.sort_unstable_by(|a, b| b.cmp(a));
+    Some(UnitSizes {
+        units,
+        capacity: scale as u32,
+    })
+}
+
+/// A canonical, hash-cheap memo key for a compiled size multiset.
+///
+/// Canonical means: units sorted decreasing **and** jointly reduced
+/// by `gcd(capacity, gcd(units))`, so the same rational multiset
+/// always maps to the same key no matter how its inputs were written
+/// (`[1/2]` in a grid-4 instance and `[2/4]` in a grid-8 instance
+/// both compile to `units=[1], capacity=2`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct UnitKey {
+    /// Canonical unit sizes, sorted decreasing.
+    pub units: Vec<u32>,
+    /// Canonical capacity.
+    pub capacity: u32,
+}
+
+impl UnitKey {
+    /// Canonicalizes a sorted-decreasing unit multiset.
+    pub fn new(mut units: Vec<u32>, capacity: u32) -> UnitKey {
+        debug_assert!(units.windows(2).all(|w| w[0] >= w[1]), "units sorted desc");
+        let mut g = capacity as i128;
+        for &u in &units {
+            if g == 1 {
+                break;
+            }
+            g = gcd128(g, u as i128);
+        }
+        if g > 1 {
+            let g = g as u32;
+            for u in &mut units {
+                *u /= g;
+            }
+            return UnitKey {
+                units,
+                capacity: capacity / g,
+            };
+        }
+        UnitKey { units, capacity }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_numeric::rat;
+
+    #[test]
+    fn compile_is_exact_and_sorted() {
+        let c = compile_sizes(&[rat(1, 2), rat(1, 3), rat(5, 6)]).unwrap();
+        assert_eq!(c.capacity, 6);
+        assert_eq!(c.units, vec![5, 3, 2]);
+    }
+
+    #[test]
+    fn rationally_equal_multisets_share_a_key() {
+        // 1/2 on a /2 grid and 2/4 written with denominator 4 reduce
+        // to the same Rational, but even *different grids* carrying
+        // the same multiset canonicalize identically.
+        let a = compile_sizes(&[rat(1, 2), rat(1, 4)]).unwrap();
+        let b = compile_sizes(&[rat(2, 4), rat(2, 8)]).unwrap();
+        let ka = UnitKey::new(a.units, a.capacity);
+        let kb = UnitKey::new(b.units, b.capacity);
+        assert_eq!(ka, kb);
+        // And a coarser multiple-of-everything grid also collapses.
+        let kc = UnitKey::new(vec![8, 4], 16);
+        assert_eq!(ka, kc);
+        assert_eq!(ka.capacity, 4);
+        assert_eq!(ka.units, vec![2, 1]);
+    }
+
+    #[test]
+    fn oversized_scale_falls_back() {
+        // Two large coprime denominators overflow the u32 grid.
+        let p = (1i128 << 31) - 1; // Mersenne prime 2147483647
+        assert_eq!(common_scale(&[rat(1, p), rat(1, p - 1)]), None);
+        assert!(compile_sizes(&[rat(1, p), rat(1, p - 1)]).is_none());
+    }
+}

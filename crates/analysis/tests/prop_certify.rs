@@ -206,7 +206,7 @@ mod adversary_props {
             let solver = ExactBinPacking::new();
             let exact = opt_total(&inst, &solver, OptConfig::default());
             prop_assume!(exact.is_exact());
-            let capped = opt_total(&inst, &solver, OptConfig { max_exact_items: 3 });
+            let capped = opt_total(&inst, &solver, OptConfig::with_max_exact(3));
             prop_assert!(capped.lower <= exact.lower);
             prop_assert!(capped.upper >= exact.upper);
         }

@@ -1,0 +1,128 @@
+//! Property-based validation of the incremental branch-and-bound
+//! adversary against the seed `Rational` reference pipeline.
+//!
+//! Three contracts:
+//!
+//! * **bit equality** — on every multiset the seed solver could
+//!   handle, the integer kernel returns the *same number* (both are
+//!   exact solvers, so equality is the whole correctness story);
+//! * **the sandwich** — on larger multisets, the kernel's answer
+//!   stays inside `⌈L2⌉ ≤ OPT ≤ FFD`, the certified bracket the
+//!   bounds machinery promises;
+//! * **warm = cold** — along full event profiles, the warm-started
+//!   incremental sweep reports exactly what independent from-scratch
+//!   solves of each interval report: temporal coherence is an
+//!   optimization, never an answer change.
+
+use dbp_analysis::bb;
+use dbp_analysis::solver::{first_fit_decreasing, lower_bound_l2};
+use dbp_analysis::units::compile_sizes;
+use dbp_analysis::{opt_profile, reference_min_bins, ExactBinPacking, OptConfig};
+use dbp_core::Instance;
+use dbp_numeric::{rat, Rational};
+use proptest::prelude::*;
+
+/// Random size multisets on mixed small-denominator grids — the
+/// inputs both solvers accept, with plenty of duplicate sizes.
+fn sizes_strategy(max_items: usize) -> impl Strategy<Value = Vec<Rational>> {
+    let size = (1i128..=12, 1i128..=12).prop_map(|(num, den)| rat(num.min(den), den));
+    prop::collection::vec(size, 1..max_items)
+}
+
+/// Random instances shaped like the E1 workloads: grid sizes,
+/// quarter-tick arrivals, durations spanning µ ≤ 8.
+fn instance_strategy(max_items: usize) -> impl Strategy<Value = Instance> {
+    let item = (1i128..=8, 1i128..=8, 0i128..=40, 1i128..=32).prop_map(|(num, den, arr4, dur4)| {
+        let size = rat(num.min(den), den);
+        let arrival = rat(arr4, 4);
+        let duration = rat(dur4, 4);
+        (size, arrival, arrival + duration)
+    });
+    prop::collection::vec(item, 1..max_items)
+        .prop_map(|specs| Instance::new(specs).expect("valid specs"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The integer kernel and the seed `Rational` search are both
+    /// exact, so they must agree bit for bit wherever the seed runs.
+    #[test]
+    fn kernel_matches_reference_bit_for_bit(sizes in sizes_strategy(20)) {
+        let solver = ExactBinPacking::new();
+        let new = solver.min_bins(&sizes);
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let reference = reference_min_bins(&sorted);
+        prop_assert_eq!(new, reference);
+    }
+
+    /// On multisets past the seed solver's comfort zone, the kernel's
+    /// answer must sit inside the certified `⌈L2⌉ ≤ OPT ≤ FFD`
+    /// sandwich — and its own reported bracket must contain it.
+    #[test]
+    fn kernel_respects_the_l2_ffd_sandwich(sizes in sizes_strategy(60)) {
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let l2 = lower_bound_l2(&sorted);
+        let ffd = first_fit_decreasing(&sorted);
+        let solver = ExactBinPacking::new();
+        let opt = solver.min_bins(&sizes);
+        prop_assert!(l2 <= opt, "L2 = {} exceeds OPT = {}", l2, opt);
+        prop_assert!(opt <= ffd, "OPT = {} exceeds FFD = {}", opt, ffd);
+        // The unit kernel's own lower bounds are also valid: L3 ≥ L2
+        // by construction and never above OPT.
+        if let Some(units) = compile_sizes(&sizes) {
+            let l3 = bb::lower_bound_l3_units(&units.units, units.capacity);
+            prop_assert!(l3 >= l2);
+            prop_assert!(l3 <= opt);
+        }
+    }
+
+    /// Temporal coherence changes nothing: the warm-started chunked
+    /// sweep equals independent cold solves on every interval of a
+    /// random event profile.
+    #[test]
+    fn warm_profile_equals_cold_interval_solves(inst in instance_strategy(24)) {
+        let profile = opt_profile(&inst, &ExactBinPacking::new(), OptConfig::default());
+        let cold = ExactBinPacking::new();
+        let times = inst.event_times();
+        let mut k = 0usize;
+        for w in times.windows(2) {
+            let active: Vec<Rational> = inst
+                .items()
+                .iter()
+                .filter(|r| r.active_at(w[0]))
+                .map(|r| r.size)
+                .collect();
+            if active.is_empty() {
+                continue;
+            }
+            let opt = cold.min_bins(&active);
+            prop_assert!(k < profile.segments.len(), "profile too short");
+            prop_assert_eq!(profile.segments[k].lower, opt, "window {}", k);
+            prop_assert_eq!(profile.segments[k].upper, opt, "window {}", k);
+            k += 1;
+        }
+        prop_assert_eq!(k, profile.segments.len(), "profile too long");
+    }
+
+    /// The kernel's packing is a *witness*: bins respect capacity and
+    /// the multiset packed is exactly the multiset asked about.
+    #[test]
+    fn packing_is_a_valid_witness(sizes in sizes_strategy(24)) {
+        let Some(units) = compile_sizes(&sizes) else {
+            return Ok(());
+        };
+        let out = bb::pack(&units.units, units.capacity, None, 0, u64::MAX);
+        prop_assert!(out.is_exact());
+        prop_assert_eq!(out.packing.len(), out.upper);
+        let mut packed: Vec<u32> = out.packing.iter().flatten().copied().collect();
+        packed.sort_unstable_by(|a, b| b.cmp(a));
+        prop_assert_eq!(packed, units.units.clone());
+        for bin in &out.packing {
+            let level: u64 = bin.iter().map(|&u| u as u64).sum();
+            prop_assert!(level <= units.capacity as u64);
+        }
+    }
+}

@@ -1,4 +1,4 @@
-//! Runs every experiment (E1–E14) and figure (F1–F6) in sequence,
+//! Runs every experiment (E1–E15) and figure (F1–F6) in sequence,
 //! printing each table — the one-command regeneration of
 //! EXPERIMENTS.md. Pass `--quick` for smaller sweeps.
 
@@ -53,6 +53,16 @@ fn main() {
         dbp_bench::e13_standard_dbp::run(&[1, 2, 4, 8], n, seeds / 2).1
     );
     println!("{}", dbp_bench::e14_adaptive::run(&[2, 4, 8, 16], 12).1);
+    println!(
+        "{}",
+        dbp_bench::e15_exact_adversary::run(
+            &[2, 4, 8],
+            if quick { 60 } else { 200 },
+            16,
+            seeds / 2
+        )
+        .1
+    );
 
     println!("{}", dbp_bench::figures::fig1_span());
     println!("{}", dbp_bench::figures::fig2_usage_periods());

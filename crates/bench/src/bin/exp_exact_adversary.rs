@@ -1,0 +1,12 @@
+//! E15: adversarial instance search vs random worst case, per µ.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (iterations, random_n, random_seeds) = if quick { (60, 16, 8) } else { (300, 24, 24) };
+    let mus: &[u32] = if quick {
+        &[2, 4, 8]
+    } else {
+        &[1, 2, 3, 4, 6, 8, 12, 16]
+    };
+    let (_, table) = dbp_bench::e15_exact_adversary::run(mus, iterations, random_n, random_seeds);
+    println!("{table}");
+}

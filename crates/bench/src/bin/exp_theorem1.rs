@@ -1,5 +1,9 @@
 //! E1: Theorem 1 — First Fit ratio vs the (µ+4) bound.
+//!
+//! 250 items per instance = 500-event profiles, solved *exactly* by
+//! the incremental warm-started adversary (the seed solver capped
+//! exact E1 at 60 items).
 fn main() {
-    let (_, table) = dbp_bench::e1_theorem1::run(&[1, 2, 4, 8, 16], 60, 24);
+    let (_, table) = dbp_bench::e1_theorem1::run(&[1, 2, 4, 8, 16], 250, 24);
     println!("{table}");
 }

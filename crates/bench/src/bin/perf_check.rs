@@ -33,7 +33,14 @@
 //!   First Fit gap sweep against its per-slot scalar reference on a
 //!   full-depth `B = 100` scan, measured back-to-back) must reach
 //!   1.0 — the vectorized kernel must never lose to the loop it
-//!   replaced.
+//!   replaced;
+//! * `opt_solver` — `intervals_per_sec` (the incremental
+//!   branch-and-bound adversary's interval-solve rate) against the
+//!   baseline, plus an **absolute** same-run floor: the fresh
+//!   snapshot's `speedup_vs_seed` (the same profiles re-solved
+//!   through the seed per-interval `Rational` pipeline, measured in
+//!   the same run) must reach 10× — the incremental kernel must stay
+//!   an order of magnitude ahead of the solver it replaced.
 //!
 //! A metric missing from the *baseline* is skipped with a warning —
 //! older baselines predate newer metrics — while a metric missing
@@ -78,11 +85,18 @@ const PROFILE_ATTACHED_FLOOR: f64 = 0.70;
 /// means the vectorized kernel stopped vectorizing.
 const SCAN_CHUNKED_FLOOR: f64 = 1.0;
 
+/// Fixed same-run floor for `speedup_vs_seed`: the incremental
+/// warm-started branch-and-bound adversary must solve event-interval
+/// profiles at least 10× faster than the seed per-interval `Rational`
+/// pipeline re-measured in the same run.
+const OPT_SOLVER_SPEEDUP_FLOOR: f64 = 10.0;
+
 /// Baseline-relative throughput metrics gated per experiment.
 fn gated_metrics(experiment: &str) -> &'static [&'static str] {
     match experiment {
         "engine_throughput" => &["events_per_sec", "compiled_events_per_sec"],
         "stream" => &["stream_events_per_sec"],
+        "opt_solver" => &["intervals_per_sec"],
         "obs_overhead" | "profile" => &[],
         _ => &[],
     }
@@ -101,6 +115,7 @@ fn same_run_floors(experiment: &str) -> &'static [(&'static str, f64)] {
             ("attached_vs_unobserved_ratio", PROFILE_ATTACHED_FLOOR),
         ],
         "fit_scaling" => &[("chunked_vs_scalar_scan_ratio", SCAN_CHUNKED_FLOOR)],
+        "opt_solver" => &[("speedup_vs_seed", OPT_SOLVER_SPEEDUP_FLOOR)],
         _ => &[],
     }
 }

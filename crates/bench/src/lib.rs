@@ -25,6 +25,7 @@
 //! | E12 | [`e12_clairvoyance`] | value-of-information ablation |
 //! | E13 | [`e13_standard_dbp`] | usage-time vs standard-DBP peak objective |
 //! | E14 | [`e14_adaptive`] | adaptive lower-bound game |
+//! | E15 | [`e15_exact_adversary`] | adversarial search vs random worst case |
 //! | F1–F6 | [`figures`] | the paper's illustrative figures |
 
 pub mod e10_certify;
@@ -32,6 +33,7 @@ pub mod e11_multidim;
 pub mod e12_clairvoyance;
 pub mod e13_standard_dbp;
 pub mod e14_adaptive;
+pub mod e15_exact_adversary;
 pub mod e1_theorem1;
 pub mod e2_nextfit;
 pub mod e3_universal;

@@ -133,8 +133,11 @@ COMMANDS:
             --trace FILE
   adaptive  play the keep-smallest adversary game against an algorithm
             --algo NAME [--k K] [--mu M]
-  opt       compute the exact repacking adversary OPT_total
-            --trace FILE [--max-exact N]
+  opt       compute the exact repacking adversary OPT_total via the
+            incremental warm-started branch-and-bound sweep
+            --trace FILE [--max-exact N]  exact-solve cap (default 200)
+            [--budget N]  search-node budget per interval
+                          (default 200000; exhaustion → bracket)
   tick      compile a trace onto its integer tick grid and replay it
             on the integer engine (bit-identical to the exact engine,
             Rational fallback when the grid overflows)
@@ -571,15 +574,23 @@ fn cmd_adaptive(opts: &Opts) -> Result<String, CliError> {
 
 fn cmd_opt(opts: &Opts) -> Result<String, CliError> {
     let (_, instance) = load(opts)?;
-    let max_exact = opts.u32_or("max-exact", 28)? as usize;
+    let config = dbp_analysis::optimal::OptConfig {
+        max_exact_items: opts.u32_or("max-exact", 200)? as usize,
+        node_budget: opts.u64_or("budget", 200_000)?,
+    };
     let solver = dbp_analysis::ExactBinPacking::new();
-    let opt = dbp_analysis::optimal::opt_total(
-        &instance,
-        &solver,
-        dbp_analysis::optimal::OptConfig {
-            max_exact_items: max_exact,
-        },
-    );
+    let profile = dbp_analysis::optimal::opt_profile(&instance, &solver, config);
+    let opt = {
+        use dbp_numeric::Rational;
+        let mut lower = Rational::ZERO;
+        let mut upper = Rational::ZERO;
+        for seg in &profile.segments {
+            let len = seg.window.len();
+            lower += Rational::from_int(seg.lower as i128) * len;
+            upper += Rational::from_int(seg.upper as i128) * len;
+        }
+        dbp_analysis::OptTotal { lower, upper }
+    };
     let ff = Runner::new(&instance)
         .run(&mut FirstFit::new())
         .map_err(|e| err(format!("packing failed: {e}")))?;
@@ -592,6 +603,14 @@ fn cmd_opt(opts: &Opts) -> Result<String, CliError> {
             opt.lower, opt.upper
         )),
     }
+    out.push_str(&format!(
+        "intervals = {} ({} exact, peak OPT ∈ [{}, {}], memo entries: {})\n",
+        profile.segments.len(),
+        profile.segments.iter().filter(|s| s.is_exact()).count(),
+        profile.peak_lower(),
+        profile.peak_upper(),
+        solver.memo_len(),
+    ));
     out.push_str(&format!("FirstFit  = {}\n", ff.total_usage()));
     if let Some(r) = rep.exact_ratio() {
         out.push_str(&format!(

@@ -51,7 +51,7 @@ use crate::hash::BuildIdHasher;
 use crate::item::{Instance, ItemId};
 use crate::probe::{EventKind, NoopProbe, Phase, PhaseProbe, ProbeCounter};
 use crate::scan;
-use dbp_numeric::{checked_lcm, Interval, Rational};
+use dbp_numeric::{checked_lcm, gcd128, Interval, Rational};
 use dbp_simcore::EventClass;
 use std::collections::HashMap;
 
@@ -1248,14 +1248,30 @@ impl TickEngine {
         let mut closed = std::mem::take(&mut self.closed);
         closed.sort_by_key(|b| b.id);
         self.assignments.sort_by_key(|&(r, _)| r);
-        let denom = self.time_scale * self.size_scale; // each ≤ 2³², product fits i128
+        // Both scales ≤ 2³², so the product fits i128. Every
+        // `integral/denom` shares whatever factor the whole batch
+        // shares with the grid denominator (usually most of `T·S` —
+        // integrals are sums of `level·Δtick` products on the same
+        // grid), so that factor is divided out once, here, and the
+        // per-bin `Rational::new` reduction runs on pre-shrunk
+        // operands. `Rational::new` always reduces fully, so the
+        // results are bit-identical to the unbatched form.
+        let denom = self.time_scale * self.size_scale;
+        let mut shared = denom;
+        for rec in &closed {
+            if shared == 1 {
+                break;
+            }
+            shared = gcd128(rec.integral as i128, shared);
+        }
+        let shared_denom = denom / shared;
         let bins: Vec<BinRecord> = closed
             .into_iter()
             .map(|rec| BinRecord {
                 id: rec.id,
                 usage: Interval::new(self.time_of(rec.opened), self.time_of(rec.closed)),
                 items: rec.items,
-                level_integral: Rational::new(rec.integral as i128, denom),
+                level_integral: Rational::new(rec.integral as i128 / shared, shared_denom),
                 peak_level: self.size_of(rec.peak),
             })
             .collect();

@@ -36,7 +36,7 @@ pub mod rational;
 pub mod set;
 
 pub use interval::Interval;
-pub use rational::{checked_lcm, gcd_stats, ParseRationalError, Rational};
+pub use rational::{checked_lcm, gcd128, gcd_stats, ParseRationalError, Rational};
 pub use set::IntervalSet;
 
 /// Convenience constructor: `rat(n, d)` builds `n/d`.

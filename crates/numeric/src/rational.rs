@@ -206,6 +206,28 @@ pub fn checked_lcm(a: i128, b: i128) -> Option<i128> {
     (a / gcd(a, b)).checked_mul(b)
 }
 
+/// Greatest common divisor of two non-negative integers
+/// (`gcd128(a, 0) = a`, `gcd128(0, 0) = 0`).
+///
+/// The public face of the reduction kernel behind [`Rational::new`]
+/// (same shortcuts, same [`gcd_stats`] accounting), for callers that
+/// batch-reduce families of fractions sharing a denominator — e.g.
+/// the tick engine's `finish`, which extracts the common factor of
+/// every per-bin integral once instead of re-deriving it per bin.
+///
+/// ```
+/// use dbp_numeric::gcd128;
+/// assert_eq!(gcd128(12, 18), 6);
+/// assert_eq!(gcd128(7, 0), 7);
+/// ```
+///
+/// # Panics
+/// Debug-panics on negative input.
+#[inline]
+pub fn gcd128(a: i128, b: i128) -> i128 {
+    gcd(a, b)
+}
+
 impl Rational {
     /// The rational zero, `0/1`.
     pub const ZERO: Rational = Rational { num: 0, den: 1 };

@@ -16,6 +16,9 @@
 //! * [`random`] — seeded random workloads with controllable arrival
 //!   process, duration spread (hence `µ`) and size distribution, all
 //!   in exact rationals.
+//! * [`search`] — adversarial instance *search*: simulated annealing
+//!   over concrete instances with the certified measured `FF / OPT`
+//!   ratio as objective, warm-started from the §VIII gadgets.
 //! * [`gaming`] — a synthetic cloud-gaming session workload (the
 //!   paper's motivating application): Poisson-ish session arrivals
 //!   with diurnal modulation, heavy-tailed play durations, per-title
@@ -26,6 +29,7 @@ pub mod adaptive;
 pub mod adversarial;
 pub mod gaming;
 pub mod random;
+pub mod search;
 pub mod traces;
 
 pub use adaptive::{play, AdaptiveAdversary, GameResult, GameView, KeepSmallestAdversary, Move};
@@ -34,4 +38,5 @@ pub use adversarial::{
 };
 pub use gaming::{GamingConfig, TitleClass};
 pub use random::RandomWorkload;
+pub use search::{anneal_first_fit, random_max_ratio, SearchConfig, SearchReport};
 pub use traces::{load_instance, save_instance, Trace};

@@ -70,13 +70,7 @@ fn adversary_brackets_are_nested() {
         assert!(profile_lb <= exact.lower);
         let mut prev = (Rational::ZERO, exact.upper + Rational::ONE);
         for cap in [0usize, 2, 6, 12, 28] {
-            let bracket = opt_total(
-                &inst,
-                &solver,
-                OptConfig {
-                    max_exact_items: cap,
-                },
-            );
+            let bracket = opt_total(&inst, &solver, OptConfig::with_max_exact(cap));
             assert!(bracket.lower <= exact.lower, "cap {cap}");
             assert!(bracket.upper >= exact.upper, "cap {cap}");
             // Brackets tighten (weakly) as the cap rises.
