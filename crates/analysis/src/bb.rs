@@ -118,7 +118,7 @@ pub fn lower_bound_l2_units(units_desc: &[u32], capacity: u32) -> usize {
 const L3_TRUNCATIONS: usize = 24;
 
 /// Martello–Toth `L3`: the maximum of [`lower_bound_l2_units`] over
-/// the full set and its prefixes with the 1..=[`L3_TRUNCATIONS`]
+/// the full set and its prefixes with the `1..=L3_TRUNCATIONS`
 /// smallest items discarded (a subset's optimum never exceeds the
 /// full set's, so every prefix bound is valid for the whole).
 pub fn lower_bound_l3_units(units_desc: &[u32], capacity: u32) -> usize {

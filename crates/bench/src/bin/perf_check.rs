@@ -34,6 +34,10 @@
 //!   full-depth `B = 100` scan, measured back-to-back) must reach
 //!   1.0 — the vectorized kernel must never lose to the loop it
 //!   replaced;
+//! * `server` — `server_events_per_sec` (aggregate wire-protocol
+//!   placement throughput across the loadgen's client threads and
+//!   tenants; the recorded p50/p99 placement latencies ride along
+//!   uncompared — latency floors are machine noise on shared CI);
 //! * `opt_solver` — `intervals_per_sec` (the incremental
 //!   branch-and-bound adversary's interval-solve rate) against the
 //!   baseline, plus an **absolute** same-run floor: the fresh
@@ -96,6 +100,7 @@ fn gated_metrics(experiment: &str) -> &'static [&'static str] {
     match experiment {
         "engine_throughput" => &["events_per_sec", "compiled_events_per_sec"],
         "stream" => &["stream_events_per_sec"],
+        "server" => &["server_events_per_sec"],
         "opt_solver" => &["intervals_per_sec"],
         "obs_overhead" | "profile" => &[],
         _ => &[],

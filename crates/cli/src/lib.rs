@@ -178,6 +178,17 @@ COMMANDS:
                                    stream runs
             [--prom-linger-ms N]   keep the endpoint up N ms after
                                    the stream ends (default 0)
+  serve     run the multi-tenant allocation daemon (dbp-server):
+            length-prefixed JSONL frames, synchronous placement,
+            journal-backed crash recovery, OpenMetrics exposition
+            [--listen ADDR]      wire address (default 127.0.0.1:9500)
+            [--metrics ADDR]     serve /metrics on ADDR (off by default)
+            [--journal-dir DIR]  journal every tenant for crash
+                                 recovery; restart resumes verbatim
+            [--token SECRET]     require one shared auth token
+            [--max-bins N] [--max-items N] [--max-eps N]
+                                 per-tenant quotas (default unlimited)
+            stops on a wire `shutdown` frame
   render    ASCII timeline of a packing
             --trace FILE [--algo NAME] [--width W]
   help      this text
@@ -255,6 +266,7 @@ pub fn run_to(args: &[String], progress: &mut dyn std::io::Write) -> Result<Stri
         "tick" => cmd_tick(&opts),
         "profile" => cmd_profile(&opts),
         "stream" => cmd_stream(&opts, progress),
+        "serve" => cmd_serve(&opts, progress),
         "render" => cmd_render(&opts),
         other => Err(err(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
@@ -789,14 +801,12 @@ fn cmd_profile(opts: &Opts) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// Parses one JSONL line into a stream event. Returns `None` for
-/// blank lines and comments.
+/// Parses one JSONL line into a stream event via the shared wire
+/// schema (`dbp-proto`): versioned `{"v":1,...}` lines and legacy
+/// untagged ones both parse. Returns `None` for blank lines and
+/// comments.
 fn parse_stream_line(line: &str) -> Option<Result<StreamCliEvent, String>> {
-    let trimmed = line.trim();
-    if trimmed.is_empty() || trimmed.starts_with('#') {
-        return None;
-    }
-    Some(serde_json::from_str::<StreamCliEvent>(trimmed).map_err(|e| e.to_string()))
+    dbp_proto::parse_event_line(line)
 }
 
 type StreamCliEvent = dbp_core::session::Event;
@@ -818,62 +828,6 @@ fn parse_rational(spec: &str) -> Result<Rational, CliError> {
         .filter(|&d| d > 0)
         .ok_or_else(|| err(format!("`{spec}` needs a positive denominator")))?;
     Ok(Rational::new(n, d))
-}
-
-/// Folds per-shard stream metrics into one fleet-wide view: counts,
-/// load, and usage add; `vol`/`span` add (the sum is a lower bound on
-/// the sum of per-shard optima — the baseline independently packed
-/// shards compete against); lifetimes take the componentwise extreme.
-fn fold_stream_metrics(
-    per_shard: &[dbp_core::session::SessionMetrics],
-) -> dbp_core::session::SessionMetrics {
-    let seeded = !per_shard.is_empty();
-    let mut folded = dbp_core::session::SessionMetrics {
-        now: None,
-        events: 0,
-        arrivals: 0,
-        departures: 0,
-        open_bins: 0,
-        active_items: 0,
-        bins_opened: 0,
-        peak_open_bins: 0,
-        load: Rational::ZERO,
-        usage_time: Rational::ZERO,
-        vol: seeded.then_some(Rational::ZERO),
-        span: seeded.then_some(Rational::ZERO),
-        min_lifetime: None,
-        max_lifetime: None,
-    };
-    let add = |a: Option<Rational>, b: Option<Rational>| match (a, b) {
-        (Some(x), Some(y)) => Some(x + y),
-        _ => None,
-    };
-    for m in per_shard {
-        folded.now = match (folded.now, m.now) {
-            (Some(a), Some(b)) => Some(a.max(b)),
-            (a, b) => a.or(b),
-        };
-        folded.events += m.events;
-        folded.arrivals += m.arrivals;
-        folded.departures += m.departures;
-        folded.open_bins += m.open_bins;
-        folded.active_items += m.active_items;
-        folded.bins_opened += m.bins_opened;
-        folded.peak_open_bins += m.peak_open_bins;
-        folded.load += m.load;
-        folded.usage_time += m.usage_time;
-        folded.vol = add(folded.vol, m.vol);
-        folded.span = add(folded.span, m.span);
-        folded.min_lifetime = match (folded.min_lifetime, m.min_lifetime) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        };
-        folded.max_lifetime = match (folded.max_lifetime, m.max_lifetime) {
-            (Some(a), Some(b)) => Some(a.max(b)),
-            (a, b) => a.or(b),
-        };
-    }
-    folded
 }
 
 /// The stream command's telemetry fan-out: an optional live scrape
@@ -1084,7 +1038,7 @@ fn cmd_stream(opts: &Opts, progress: &mut dyn std::io::Write) -> Result<String, 
             }
             ingested += 1;
             if telemetry.live() {
-                telemetry.watch(&fold_stream_metrics(&fleet.metrics()), progress);
+                telemetry.watch(&fleet.folded_metrics(), progress);
             }
             let report_due = report_every > 0 && ingested.is_multiple_of(report_every);
             if report_due {
@@ -1141,7 +1095,7 @@ fn cmd_stream(opts: &Opts, progress: &mut dyn std::io::Write) -> Result<String, 
         Some(path) => {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| err(format!("cannot read checkpoint `{path}`: {e}")))?;
-            let snapshot: SessionSnapshot = serde_json::from_str(&text)
+            let snapshot: SessionSnapshot = dbp_proto::checkpoint_from_json(&text)
                 .map_err(|e| err(format!("bad checkpoint `{path}`: {e}")))?;
             let session = Session::resume(&snapshot)
                 .map_err(|e| err(format!("cannot resume `{path}`: {e}")))?;
@@ -1223,8 +1177,7 @@ fn cmd_stream(opts: &Opts, progress: &mut dyn std::io::Write) -> Result<String, 
             let snapshot = session
                 .snapshot()
                 .map_err(|e| err(format!("cannot checkpoint: {e}")))?;
-            let json = serde_json::to_string(&snapshot)
-                .map_err(|e| err(format!("cannot encode checkpoint: {e}")))?;
+            let json = dbp_proto::checkpoint_to_json(&snapshot);
             std::fs::write(path, json).map_err(|e| err(format!("cannot write `{path}`: {e}")))?;
             out.push_str(&format!("checkpoint written to {path}\n"));
         } else {
@@ -1254,6 +1207,46 @@ fn cmd_stream(opts: &Opts, progress: &mut dyn std::io::Write) -> Result<String, 
     }
     telemetry.finish(registry, &mut out)?;
     Ok(out)
+}
+
+/// `mindbp serve` — run the multi-tenant allocation daemon in the
+/// foreground until a wire `shutdown` frame stops it.
+fn cmd_serve(opts: &Opts, progress: &mut dyn std::io::Write) -> Result<String, CliError> {
+    use dbp_server::{DbpServer, Quotas, ServerConfig, TokenPolicy};
+
+    let config = ServerConfig {
+        listen: opts.get("listen").unwrap_or("127.0.0.1:9500").to_string(),
+        metrics: opts.get("metrics").map(str::to_string),
+        auth: match opts.get("token") {
+            Some(secret) => TokenPolicy::Shared(secret.to_string()),
+            None => TokenPolicy::Open,
+        },
+        quotas: {
+            let quota = |name| opts.get(name).map(|_| opts.u64_or(name, 0)).transpose();
+            Quotas {
+                max_open_bins: quota("max-bins")?,
+                max_active_items: quota("max-items")?,
+                max_events_per_sec: quota("max-eps")?,
+            }
+        },
+        journal_dir: opts.get("journal-dir").map(std::path::PathBuf::from),
+        ..ServerConfig::default()
+    };
+    let durable = config.journal_dir.is_some();
+
+    let server = DbpServer::start(config).map_err(|e| err(format!("cannot start daemon: {e}")))?;
+    let _ = writeln!(progress, "serving on {}", server.local_addr());
+    if let Some(addr) = server.metrics_addr() {
+        let _ = writeln!(progress, "metrics on http://{addr}/metrics");
+    }
+    if durable {
+        let _ = writeln!(
+            progress,
+            "journaling tenants; restart resumes them verbatim"
+        );
+    }
+    server.wait();
+    Ok("daemon stopped by wire shutdown\n".to_string())
 }
 
 fn cmd_render(opts: &Opts) -> Result<String, CliError> {

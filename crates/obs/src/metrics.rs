@@ -354,6 +354,53 @@ impl MetricsRegistry {
         }
     }
 
+    /// Merges `other` into `self` with every metric name prefixed by
+    /// `prefix`, under the same per-section fold laws as
+    /// [`merge`](Self::merge).
+    ///
+    /// This is how a multi-tenant exposition page stays *lawful*: each
+    /// tenant's registry lands under its own namespace
+    /// (`tenant_acme_dbp_events_total`, ...), so tenants can never
+    /// alias each other's series, while the un-prefixed server-wide
+    /// aggregate remains a plain [`merge`](Self::merge) of the same
+    /// inputs.
+    pub fn merge_prefixed(&mut self, prefix: &str, other: &MetricsRegistry) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(format!("{prefix}{name}")).or_insert(0) += v;
+        }
+        for (name, g) in &other.gauges {
+            let key = format!("{prefix}{name}");
+            match self.gauges.get_mut(&key) {
+                Some(mine) if mine.stamp >= g.stamp => {}
+                Some(mine) => *mine = *g,
+                None => {
+                    self.gauges.insert(key, *g);
+                }
+            }
+        }
+        for (name, v) in &other.totals {
+            *self
+                .totals
+                .entry(format!("{prefix}{name}"))
+                .or_insert(Rational::ZERO) += *v;
+        }
+        for (name, w) in &other.weighted {
+            let key = format!("{prefix}{name}");
+            match self.weighted.get_mut(&key) {
+                Some(mine) => mine.merge(w),
+                None => {
+                    self.weighted.insert(key, w.clone());
+                }
+            }
+        }
+        for (name, h) in &other.histograms {
+            self.histograms
+                .entry(format!("{prefix}{name}"))
+                .or_default()
+                .merge(h);
+        }
+    }
+
     /// Snapshots everything into one JSON object:
     /// `{counters, gauges, totals, time_weighted, histograms}` with
     /// sorted keys throughout. Totals serialize as exact `{num, den}`
@@ -626,6 +673,38 @@ mod tests {
         assert_eq!(h.buckets.get(&7), Some(&1));
         let bounds: Vec<(f64, u64)> = h.buckets().collect();
         assert_eq!(bounds, vec![(1.0, 2), (4.0, 1), (128.0, 1)]);
+    }
+
+    #[test]
+    fn merge_prefixed_namespaces_every_section() {
+        let mut tenant = MetricsRegistry::new();
+        tenant.inc_by("dbp_events_total", 5);
+        tenant.set_gauge("dbp_open_bins", 3.0);
+        tenant.add_total("dbp_usage_time", rat(7, 2));
+        tenant.track("dbp_load", rat(0, 1), rat(1, 2));
+        tenant.observe("dbp_latency", 2.0);
+
+        let mut page = MetricsRegistry::new();
+        page.inc_by("tenant_acme_dbp_events_total", 1);
+        page.merge_prefixed("tenant_acme_", &tenant);
+
+        assert_eq!(page.counter("tenant_acme_dbp_events_total"), 6);
+        assert_eq!(page.gauge("tenant_acme_dbp_open_bins"), Some(3.0));
+        assert_eq!(page.total("tenant_acme_dbp_usage_time"), Some(rat(7, 2)));
+        assert!(page.tracked("tenant_acme_dbp_load").is_some());
+        assert_eq!(
+            page.histogram("tenant_acme_dbp_latency").unwrap().count(),
+            1
+        );
+        // Nothing leaked into the un-prefixed namespace.
+        assert_eq!(page.counter("dbp_events_total"), 0);
+        assert!(page.gauge("dbp_open_bins").is_none());
+
+        // Prefixed merge folds exactly like a plain merge of renamed
+        // inputs: merging twice doubles counters, keeps gauges.
+        page.merge_prefixed("tenant_acme_", &tenant);
+        assert_eq!(page.counter("tenant_acme_dbp_events_total"), 11);
+        assert_eq!(page.gauge("tenant_acme_dbp_open_bins"), Some(3.0));
     }
 
     #[test]

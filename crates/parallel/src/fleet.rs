@@ -34,7 +34,8 @@
 //! ```
 
 use dbp_core::session::{Event, Session, SessionError, SessionMetrics};
-use dbp_core::{PackingAlgorithm, PackingOutcome};
+use dbp_core::{BinId, PackingAlgorithm, PackingOutcome};
+use dbp_numeric::Rational;
 use dbp_obs::{telemetry_registry, MetricsRegistry};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -154,6 +155,16 @@ impl<'s> Fleet<'s> {
     /// before *any* event is applied, so a typo'd route never leaves
     /// the batch half-ingested.
     pub fn dispatch(&mut self, events: &[(usize, Event)]) -> Result<(), Vec<FleetError>> {
+        self.dispatch_inner(events, None)
+    }
+
+    /// Shared dispatch machinery: when `placements` is given, every
+    /// applied event's returned bin is recorded at its batch index.
+    fn dispatch_inner(
+        &mut self,
+        events: &[(usize, Event)],
+        placements: Option<&Mutex<Vec<BinId>>>,
+    ) -> Result<(), Vec<FleetError>> {
         // Validate routing first: a typo'd shard id should not leave
         // half the batch applied.
         let routing: Vec<FleetError> = events
@@ -230,7 +241,8 @@ impl<'s> Fleet<'s> {
                         let mut guard = sessions[b].lock().unwrap();
                         let (ref mut session, ref indices) = *guard;
                         let started = Instant::now();
-                        let shard_errors: Vec<FleetError> = run_shard(session, indices, events);
+                        let shard_errors: Vec<FleetError> =
+                            run_shard(session, indices, events, placements);
                         let busy_ns = started.elapsed().as_nanos();
                         stats.lock().unwrap().push((indices.len(), busy_ns));
                         if !shard_errors.is_empty() {
@@ -275,9 +287,96 @@ impl<'s> Fleet<'s> {
         self.dispatch(&routed)
     }
 
+    /// Like [`dispatch`](Self::dispatch), but returns every event's
+    /// placement decision: `result[i]` is the [`BinId`] the session
+    /// returned for `events[i]` — the assigned bin for an arrival, the
+    /// (possibly closed) bin the item vacated for a departure.
+    ///
+    /// Bin ids are **shard-local**: shard 0's bin 0 and shard 1's
+    /// bin 0 are different physical bins. Callers multiplexing shards
+    /// behind one namespace (e.g. a server answering per-event
+    /// placement frames) pair each id with the shard they routed to.
+    ///
+    /// Error semantics match [`dispatch`](Self::dispatch) exactly: on
+    /// `Err`, each failing shard applied the events before its
+    /// reported index and nothing after, and no placements are
+    /// returned.
+    pub fn dispatch_with_bins(
+        &mut self,
+        events: &[(usize, Event)],
+    ) -> Result<Vec<BinId>, Vec<FleetError>> {
+        let placements = Mutex::new(vec![BinId(0); events.len()]);
+        self.dispatch_inner(events, Some(&placements))?;
+        Ok(placements.into_inner().unwrap())
+    }
+
     /// Live per-shard metrics, indexed by shard.
     pub fn metrics(&self) -> Vec<SessionMetrics> {
         self.shards.iter().map(Session::metrics).collect()
+    }
+
+    /// Folds every shard's live [`SessionMetrics`] into one
+    /// fleet-wide view, under the natural per-field law: event
+    /// tallies, open bins, load, and usage add; `now` takes the
+    /// furthest shard clock; lifetime extremes take min/max;
+    /// `vol`/`span` add when every shard tracks them (any shard
+    /// without telemetry makes them `None`, matching a single
+    /// session without telemetry). `peak_open_bins` adds — the sum
+    /// of per-shard peaks is the honest fleet-wide capacity bound,
+    /// since shards pack independently and their peaks need not
+    /// coincide in time.
+    ///
+    /// Deterministic like [`merged_metrics`](Self::merged_metrics):
+    /// depends only on what each shard absorbed, not on scheduling.
+    pub fn folded_metrics(&self) -> SessionMetrics {
+        let per_shard = self.metrics();
+        let seeded = !per_shard.is_empty();
+        let mut folded = SessionMetrics {
+            now: None,
+            events: 0,
+            arrivals: 0,
+            departures: 0,
+            open_bins: 0,
+            active_items: 0,
+            bins_opened: 0,
+            peak_open_bins: 0,
+            load: Rational::ZERO,
+            usage_time: Rational::ZERO,
+            vol: seeded.then_some(Rational::ZERO),
+            span: seeded.then_some(Rational::ZERO),
+            min_lifetime: None,
+            max_lifetime: None,
+        };
+        let add = |a: Option<Rational>, b: Option<Rational>| match (a, b) {
+            (Some(x), Some(y)) => Some(x + y),
+            _ => None,
+        };
+        for m in &per_shard {
+            folded.now = match (folded.now, m.now) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            };
+            folded.events += m.events;
+            folded.arrivals += m.arrivals;
+            folded.departures += m.departures;
+            folded.open_bins += m.open_bins;
+            folded.active_items += m.active_items;
+            folded.bins_opened += m.bins_opened;
+            folded.peak_open_bins += m.peak_open_bins;
+            folded.load += m.load;
+            folded.usage_time += m.usage_time;
+            folded.vol = add(folded.vol, m.vol);
+            folded.span = add(folded.span, m.span);
+            folded.min_lifetime = match (folded.min_lifetime, m.min_lifetime) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            folded.max_lifetime = match (folded.max_lifetime, m.max_lifetime) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        folded
     }
 
     /// Folds every shard's stream-derived metrics into one
@@ -336,23 +435,50 @@ impl<'s> Fleet<'s> {
 }
 
 /// Applies one shard's events in order, stopping at the first
-/// rejection.
+/// rejection. When `placements` is given, each applied event's bin
+/// lands at its batch index — a single lock per shard batch, not per
+/// event, keeps the hot path cheap.
 fn run_shard(
     session: &mut Session<'_>,
     indices: &[usize],
     events: &[(usize, Event)],
+    placements: Option<&Mutex<Vec<BinId>>>,
 ) -> Vec<FleetError> {
-    for &index in indices {
+    let mut local: Vec<BinId> = Vec::new();
+    if placements.is_some() {
+        local.reserve(indices.len());
+    }
+    for (n, &index) in indices.iter().enumerate() {
         let (shard, ref event) = events[index];
-        if let Err(error) = session.apply(event) {
-            return vec![FleetError {
-                shard,
-                index,
-                error,
-            }];
+        match session.apply(event) {
+            Ok(bin) => {
+                if placements.is_some() {
+                    local.push(bin);
+                }
+            }
+            Err(error) => {
+                if let Some(sink) = placements {
+                    flush_placements(sink, &indices[..n], &local);
+                }
+                return vec![FleetError {
+                    shard,
+                    index,
+                    error,
+                }];
+            }
         }
     }
+    if let Some(sink) = placements {
+        flush_placements(sink, indices, &local);
+    }
     Vec::new()
+}
+
+fn flush_placements(sink: &Mutex<Vec<BinId>>, indices: &[usize], bins: &[BinId]) {
+    let mut out = sink.lock().unwrap();
+    for (&index, &bin) in indices.iter().zip(bins) {
+        out[index] = bin;
+    }
 }
 
 #[cfg(test)]
@@ -577,6 +703,89 @@ mod tests {
             events.len() as u64
         );
         assert_eq!(merged.counter("dispatches"), 0);
+        fleet.finish().unwrap();
+    }
+
+    #[test]
+    fn dispatch_with_bins_matches_standalone_placements() {
+        let shards = 3;
+        let events = stream(shards, 16);
+        let mut fleet = Fleet::homogeneous(shards, FirstFit::new).unwrap();
+        let bins = fleet.dispatch_with_bins(&events).unwrap();
+        assert_eq!(bins.len(), events.len());
+
+        // Each shard's placement sequence equals a standalone session
+        // fed the same subsequence.
+        for s in 0..shards {
+            let mut solo = Session::builder(FirstFit::new()).build().unwrap();
+            for (i, (shard, event)) in events.iter().enumerate() {
+                if *shard == s {
+                    assert_eq!(solo.apply(event).unwrap(), bins[i], "event {i}");
+                }
+            }
+        }
+        fleet.finish().unwrap();
+    }
+
+    #[test]
+    fn dispatch_with_bins_error_semantics_match_dispatch() {
+        let batch = vec![
+            (0usize, arrive(0, 1, 2, 0)),
+            (1, arrive(0, 1, 2, 5)),
+            (1, arrive(1, 1, 2, 3)), // time regression on shard 1
+            (2, arrive(0, 1, 2, 0)),
+        ];
+        let mut fleet = Fleet::homogeneous(3, FirstFit::new).unwrap();
+        let errs = fleet.dispatch_with_bins(&batch).unwrap_err();
+        assert_eq!((errs[0].shard, errs[0].index), (1, 2));
+        // Same partial-application behavior as `dispatch`.
+        let m = fleet.metrics();
+        assert_eq!((m[0].events, m[1].events, m[2].events), (1, 1, 1));
+    }
+
+    #[test]
+    fn folded_metrics_aggregate_the_shard_views() {
+        let shards = 3;
+        let events = stream(shards, 10);
+        let mut fleet = Fleet::new(
+            (0..shards)
+                .map(|_| {
+                    Session::builder(FirstFit::new())
+                        .telemetry()
+                        .build()
+                        .unwrap()
+                })
+                .collect::<Vec<_>>(),
+        );
+        fleet.dispatch(&events).unwrap();
+        let folded = fleet.folded_metrics();
+        let per_shard = fleet.metrics();
+
+        assert_eq!(folded.events as usize, events.len());
+        assert_eq!(
+            folded.arrivals,
+            per_shard.iter().map(|m| m.arrivals).sum::<u64>()
+        );
+        assert_eq!(
+            folded.usage_time,
+            per_shard
+                .iter()
+                .fold(rat(0, 1), |acc, m| acc + m.usage_time)
+        );
+        assert_eq!(folded.now, per_shard.iter().filter_map(|m| m.now).max());
+        // Telemetry on every shard => folded vol/span are summed.
+        assert_eq!(
+            folded.vol.unwrap(),
+            per_shard
+                .iter()
+                .fold(rat(0, 1), |acc, m| acc + m.vol.unwrap())
+        );
+
+        // An empty fleet folds to the zero view with no telemetry.
+        let empty = Fleet::homogeneous(0, FirstFit::new).unwrap();
+        let zero = empty.folded_metrics();
+        assert_eq!(zero.events, 0);
+        assert_eq!(zero.vol, None);
         fleet.finish().unwrap();
     }
 

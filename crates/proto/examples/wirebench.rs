@@ -1,0 +1,78 @@
+//! Quick wire-codec microbenchmark: encode/decode cost per event for
+//! the batch request and bins response frames. Run with
+//! `cargo run --release -p dbp-proto --example wirebench`.
+
+use dbp_numeric::rat;
+use dbp_proto::{BinId, Event, ItemId, Request, Response};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+fn main() {
+    let events: Vec<Event> = (0..1024u32)
+        .map(|k| {
+            if k % 2 == 0 {
+                Event::Arrive {
+                    id: ItemId(k),
+                    size: rat(1 + (k as i128 % 64), 128),
+                    time: rat(k as i128 / 8, 1),
+                }
+            } else {
+                Event::Depart {
+                    id: ItemId(k / 2),
+                    time: rat(k as i128 / 8, 1),
+                }
+            }
+        })
+        .collect();
+    let request = Request::Batch(events.clone());
+    let iters = 200;
+
+    let t0 = Instant::now();
+    let mut json = String::new();
+    for _ in 0..iters {
+        json = serde_json::to_string(&request.to_value()).unwrap();
+    }
+    let enc = t0.elapsed().as_secs_f64();
+    println!(
+        "encode batch: {:.2}us/event ({} bytes/frame)",
+        enc / iters as f64 / 1024.0 * 1e6,
+        json.len()
+    );
+
+    let t0 = Instant::now();
+    let mut parsed = None;
+    for _ in 0..iters {
+        let value = serde_json::from_str(&json).unwrap();
+        parsed = Some(Request::from_value(&value).unwrap());
+    }
+    let dec = t0.elapsed().as_secs_f64();
+    println!(
+        "decode batch: {:.2}us/event (roundtrip ok: {})",
+        dec / iters as f64 / 1024.0 * 1e6,
+        matches!(parsed, Some(Request::Batch(ref b)) if *b == events),
+    );
+
+    let bins = Response::Bins((0..1024).map(|k| BinId(k % 37)).collect());
+    let t0 = Instant::now();
+    let mut json = String::new();
+    for _ in 0..iters {
+        json = serde_json::to_string(&bins.to_value()).unwrap();
+    }
+    let enc = t0.elapsed().as_secs_f64();
+    println!(
+        "encode bins: {:.2}us/event ({} bytes/frame)",
+        enc / iters as f64 / 1024.0 * 1e6,
+        json.len()
+    );
+
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let value = serde_json::from_str(&json).unwrap();
+        let _ = Response::from_value(&value).unwrap();
+    }
+    let dec = t0.elapsed().as_secs_f64();
+    println!(
+        "decode bins: {:.2}us/event",
+        dec / iters as f64 / 1024.0 * 1e6
+    );
+}

@@ -1,0 +1,411 @@
+//! Canonical-bytes fast path for the hot wire frames.
+//!
+//! The generic codec routes every frame through a [`serde::Value`]
+//! tree — an allocation per key and per node, which costs microseconds
+//! per event and caps a single-core server near 300k placements/sec.
+//! The placement hot path (event and batch requests, bin and bins
+//! responses) therefore has a second implementation here: writers that
+//! emit the *byte-identical* canonical encoding directly into a reused
+//! buffer, and a strict recursive-descent parser that matches exactly
+//! those bytes.
+//!
+//! Any deviation from canonical form — whitespace, reordered keys,
+//! leading zeros, an unnormalized rational — makes the fast parser
+//! return `None`, and the caller falls back to the generic `Value`
+//! path. The wire *format* is therefore unchanged: this module is an
+//! optimization, not a dialect. Byte-equality of the two encoders and
+//! agreement of the two parsers are enforced by the unit tests below
+//! and by the property tests in `tests/prop_wire.rs`.
+
+use crate::frame::{Request, Response};
+use crate::{BinId, Event, ItemId};
+use dbp_numeric::Rational;
+
+/// Appends the canonical `{"v":1,"arrive":{...}}` /
+/// `{"v":1,"depart":{...}}` single-event request frame — byte-identical
+/// to `serde_json::to_string(&Request::Event(ev).to_value())`.
+pub fn write_event_request(buf: &mut Vec<u8>, ev: &Event) {
+    buf.extend_from_slice(b"{\"v\":1,");
+    push_tagged_event(buf, ev);
+    buf.push(b'}');
+}
+
+/// Appends the canonical `{"v":1,"batch":[...]}` request frame —
+/// byte-identical to the generic encoding of `Request::Batch`.
+pub fn write_batch_request(buf: &mut Vec<u8>, events: &[Event]) {
+    buf.extend_from_slice(b"{\"v\":1,\"batch\":[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            buf.push(b',');
+        }
+        buf.push(b'{');
+        push_tagged_event(buf, ev);
+        buf.push(b'}');
+    }
+    buf.extend_from_slice(b"]}");
+}
+
+/// Appends the canonical `{"v":1,"bin":N}` response frame.
+pub fn write_bin_response(buf: &mut Vec<u8>, bin: BinId) {
+    buf.extend_from_slice(b"{\"v\":1,\"bin\":");
+    push_i128(buf, bin.0 as i128);
+    buf.push(b'}');
+}
+
+/// Appends the canonical `{"v":1,"bins":[...]}` response frame.
+pub fn write_bins_response(buf: &mut Vec<u8>, bins: &[BinId]) {
+    buf.extend_from_slice(b"{\"v\":1,\"bins\":[");
+    for (i, bin) in bins.iter().enumerate() {
+        if i > 0 {
+            buf.push(b',');
+        }
+        push_i128(buf, bin.0 as i128);
+    }
+    buf.extend_from_slice(b"]}");
+}
+
+// `"arrive":{"id":N,"size":{"num":n,"den":d},"time":{...}}` — the
+// version-tag–less middle shared by single-event frames, batch
+// elements, and journal/stream lines.
+fn push_tagged_event(buf: &mut Vec<u8>, ev: &Event) {
+    match ev {
+        Event::Arrive { id, size, time } => {
+            buf.extend_from_slice(b"\"arrive\":{\"id\":");
+            push_i128(buf, id.0 as i128);
+            buf.extend_from_slice(b",\"size\":");
+            push_rational(buf, *size);
+            buf.extend_from_slice(b",\"time\":");
+            push_rational(buf, *time);
+            buf.push(b'}');
+        }
+        Event::Depart { id, time } => {
+            buf.extend_from_slice(b"\"depart\":{\"id\":");
+            push_i128(buf, id.0 as i128);
+            buf.extend_from_slice(b",\"time\":");
+            push_rational(buf, *time);
+            buf.push(b'}');
+        }
+    }
+}
+
+fn push_rational(buf: &mut Vec<u8>, r: Rational) {
+    buf.extend_from_slice(b"{\"num\":");
+    push_i128(buf, r.numer());
+    buf.extend_from_slice(b",\"den\":");
+    push_i128(buf, r.denom());
+    buf.push(b'}');
+}
+
+fn push_i128(buf: &mut Vec<u8>, n: i128) {
+    if n == 0 {
+        buf.push(b'0');
+        return;
+    }
+    let mut digits = [0u8; 40];
+    let mut i = digits.len();
+    let negative = n < 0;
+    // Magnitude in unsigned space so `i128::MIN` doesn't overflow.
+    let mut m = n.unsigned_abs();
+    while m > 0 {
+        i -= 1;
+        digits[i] = b'0' + (m % 10) as u8;
+        m /= 10;
+    }
+    if negative {
+        buf.push(b'-');
+    }
+    buf.extend_from_slice(&digits[i..]);
+}
+
+/// Parses a canonical placement request (`Event` or `Batch`); `None`
+/// means "not canonical hot-path bytes — use the generic parser".
+pub fn parse_request(payload: &[u8]) -> Option<Request> {
+    let mut c = Cursor::new(payload);
+    c.lit(b"{\"v\":1,")?;
+    if c.starts_with(b"\"batch\":[") {
+        c.lit(b"\"batch\":[")?;
+        let mut events = Vec::new();
+        if !c.eat(b']') {
+            loop {
+                c.lit(b"{")?;
+                events.push(parse_tagged_event(&mut c)?);
+                c.lit(b"}")?;
+                if c.eat(b']') {
+                    break;
+                }
+                c.lit(b",")?;
+            }
+        }
+        c.lit(b"}")?;
+        c.end()?;
+        Some(Request::Batch(events))
+    } else {
+        let ev = parse_tagged_event(&mut c)?;
+        c.lit(b"}")?;
+        c.end()?;
+        Some(Request::Event(ev))
+    }
+}
+
+/// Parses a canonical placement response (`Bin` or `Bins`); `None`
+/// means "fall back to the generic parser".
+pub fn parse_response(payload: &[u8]) -> Option<Response> {
+    let mut c = Cursor::new(payload);
+    c.lit(b"{\"v\":1,\"bin")?;
+    if c.eat(b'\"') {
+        c.lit(b":")?;
+        let bin = BinId(c.int_u32()?);
+        c.lit(b"}")?;
+        c.end()?;
+        Some(Response::Bin(bin))
+    } else {
+        c.lit(b"s\":[")?;
+        let mut bins = Vec::new();
+        if !c.eat(b']') {
+            loop {
+                bins.push(BinId(c.int_u32()?));
+                if c.eat(b']') {
+                    break;
+                }
+                c.lit(b",")?;
+            }
+        }
+        c.lit(b"}")?;
+        c.end()?;
+        Some(Response::Bins(bins))
+    }
+}
+
+fn parse_tagged_event(c: &mut Cursor<'_>) -> Option<Event> {
+    if c.starts_with(b"\"arrive\"") {
+        c.lit(b"\"arrive\":{\"id\":")?;
+        let id = ItemId(c.int_u32()?);
+        c.lit(b",\"size\":")?;
+        let size = parse_rational(c)?;
+        c.lit(b",\"time\":")?;
+        let time = parse_rational(c)?;
+        c.lit(b"}")?;
+        Some(Event::Arrive { id, size, time })
+    } else {
+        c.lit(b"\"depart\":{\"id\":")?;
+        let id = ItemId(c.int_u32()?);
+        c.lit(b",\"time\":")?;
+        let time = parse_rational(c)?;
+        c.lit(b"}")?;
+        Some(Event::Depart { id, time })
+    }
+}
+
+fn parse_rational(c: &mut Cursor<'_>) -> Option<Rational> {
+    c.lit(b"{\"num\":")?;
+    let num = c.int_i128()?;
+    c.lit(b",\"den\":")?;
+    let den = c.int_i128()?;
+    c.lit(b"}")?;
+    // Non-positive denominators never appear in canonical output; the
+    // generic path owns their (lenient) semantics.
+    if den <= 0 {
+        return None;
+    }
+    Some(Rational::new(num, den))
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Cursor<'a> {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn rest(&self) -> &'a [u8] {
+        &self.bytes[self.pos..]
+    }
+
+    fn starts_with(&self, s: &[u8]) -> bool {
+        self.rest().starts_with(s)
+    }
+
+    fn lit(&mut self, s: &[u8]) -> Option<()> {
+        if self.starts_with(s) {
+            self.pos += s.len();
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.rest().first() == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn end(&self) -> Option<()> {
+        (self.pos == self.bytes.len()).then_some(())
+    }
+
+    // Canonical decimal: optional `-`, no leading zeros, no overflow.
+    fn int_i128(&mut self) -> Option<i128> {
+        let negative = self.eat(b'-');
+        let digits = self.digits()?;
+        let mut n: i128 = 0;
+        for &d in digits {
+            n = n.checked_mul(10)?.checked_add((d - b'0') as i128)?;
+        }
+        Some(if negative { n.checked_neg()? } else { n })
+    }
+
+    fn int_u32(&mut self) -> Option<u32> {
+        let digits = self.digits()?;
+        let mut n: u32 = 0;
+        for &d in digits {
+            n = n.checked_mul(10)?.checked_add((d - b'0') as u32)?;
+        }
+        Some(n)
+    }
+
+    fn digits(&mut self) -> Option<&'a [u8]> {
+        let rest = self.rest();
+        let len = rest.iter().take_while(|b| b.is_ascii_digit()).count();
+        if len == 0 || (len > 1 && rest[0] == b'0') {
+            return None;
+        }
+        self.pos += len;
+        Some(&rest[..len])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_numeric::rat;
+    use serde::Serialize;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::Arrive {
+                id: ItemId(0),
+                size: rat(1, 2),
+                time: rat(0, 1),
+            },
+            Event::Arrive {
+                id: ItemId(u32::MAX),
+                size: rat(-7, 3),
+                time: rat(1_000_003, 9973),
+            },
+            Event::Depart {
+                id: ItemId(0),
+                time: rat(5, 1),
+            },
+        ]
+    }
+
+    fn generic(req: &Request) -> String {
+        serde_json::to_string(&req.to_value()).unwrap()
+    }
+
+    #[test]
+    fn event_writer_matches_generic_encoder() {
+        for ev in sample_events() {
+            let mut fast = Vec::new();
+            write_event_request(&mut fast, &ev);
+            assert_eq!(
+                String::from_utf8(fast).unwrap(),
+                generic(&Request::Event(ev))
+            );
+        }
+    }
+
+    #[test]
+    fn batch_writer_matches_generic_encoder() {
+        for events in [vec![], sample_events()] {
+            let mut fast = Vec::new();
+            write_batch_request(&mut fast, &events);
+            assert_eq!(
+                String::from_utf8(fast).unwrap(),
+                generic(&Request::Batch(events))
+            );
+        }
+    }
+
+    #[test]
+    fn response_writers_match_generic_encoder() {
+        let mut fast = Vec::new();
+        write_bin_response(&mut fast, BinId(41));
+        assert_eq!(
+            String::from_utf8(fast).unwrap(),
+            serde_json::to_string(&Response::Bin(BinId(41)).to_value()).unwrap()
+        );
+        for bins in [vec![], vec![BinId(0), BinId(7), BinId(u32::MAX)]] {
+            let mut fast = Vec::new();
+            write_bins_response(&mut fast, &bins);
+            assert_eq!(
+                String::from_utf8(fast).unwrap(),
+                serde_json::to_string(&Response::Bins(bins).to_value()).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn fast_parsers_invert_fast_writers() {
+        let events = sample_events();
+        let mut buf = Vec::new();
+        write_batch_request(&mut buf, &events);
+        assert_eq!(parse_request(&buf), Some(Request::Batch(events.clone())));
+        for ev in events {
+            buf.clear();
+            write_event_request(&mut buf, &ev);
+            assert_eq!(parse_request(&buf), Some(Request::Event(ev)));
+        }
+        buf.clear();
+        write_bin_response(&mut buf, BinId(3));
+        assert_eq!(parse_response(&buf), Some(Response::Bin(BinId(3))));
+        let bins = vec![BinId(2), BinId(0)];
+        buf.clear();
+        write_bins_response(&mut buf, &bins);
+        assert_eq!(parse_response(&buf), Some(Response::Bins(bins)));
+    }
+
+    #[test]
+    fn non_canonical_bytes_defer_to_the_generic_parser() {
+        for payload in [
+            // Whitespace, reordered keys, leading zeros, cold frames,
+            // unnormalized or non-positive denominators: all legal JSON
+            // that the strict matcher refuses.
+            r#"{"v":1, "finish":{}}"#,
+            r#"{"v":1,"hello":{"tenant":"t","algo":"firstfit"}}"#,
+            r#"{"v":1,"arrive":{"id":01,"size":{"num":1,"den":2},"time":{"num":0,"den":1}}}"#,
+            r#"{"v":1,"arrive":{"size":{"num":1,"den":2},"id":1,"time":{"num":0,"den":1}}}"#,
+            r#"{"v":1,"depart":{"id":1,"time":{"num":1,"den":0}}}"#,
+            r#"{"v":1,"depart":{"id":1,"time":{"num":1,"den":-2}}}"#,
+            r#"{"v":1,"bin":7} "#,
+            r#"{"v":2,"bin":7}"#,
+            "not json at all",
+        ] {
+            assert_eq!(parse_request(payload.as_bytes()), None, "{payload}");
+            assert_eq!(parse_response(payload.as_bytes()), None, "{payload}");
+        }
+    }
+
+    #[test]
+    fn extreme_integers_round_trip() {
+        let ev = Event::Arrive {
+            id: ItemId(u32::MAX),
+            size: Rational::new(i128::MIN + 1, 1),
+            time: rat(0, 1),
+        };
+        let mut buf = Vec::new();
+        write_event_request(&mut buf, &ev);
+        assert_eq!(
+            String::from_utf8(buf.clone()).unwrap(),
+            generic(&Request::Event(ev))
+        );
+        assert_eq!(parse_request(&buf), Some(Request::Event(ev)));
+    }
+}

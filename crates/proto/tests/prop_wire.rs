@@ -1,0 +1,266 @@
+//! Property-based round-trip tests of the wire schema.
+//!
+//! The contract: every frame and line serializes to JSON text and
+//! parses back **bit-identically** — including `Rational` timestamps
+//! with awkward numerators/denominators — because downstream
+//! bit-identity guarantees (wire-driven outcomes == in-process runs)
+//! rest on the wire never rounding anything.
+
+use dbp_core::ItemId;
+use dbp_numeric::rat;
+use dbp_proto::{
+    checkpoint_from_json, checkpoint_to_json, event_to_line, parse_event_line, Backend, Event,
+    Hello, Request, Response, SessionSnapshot, TickGrid,
+};
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+
+// The vendored proptest stand-in has no `any`/string/option
+// strategies; everything is built from ranges, `Just`, and maps.
+
+fn bool_strategy() -> impl Strategy<Value = bool> {
+    (0u8..=1).prop_map(|b| b == 1)
+}
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..36, 1..12).prop_map(|digits| {
+        digits
+            .into_iter()
+            .map(|d| {
+                if d < 26 {
+                    (b'a' + d) as char
+                } else {
+                    (b'0' + d - 26) as char
+                }
+            })
+            .collect()
+    })
+}
+
+fn token_strategy() -> impl Strategy<Value = Option<String>> {
+    prop_oneof![
+        Just(None),
+        name_strategy().prop_map(Some),
+        // Tokens with characters that need JSON escaping.
+        name_strategy().prop_map(|s| Some(format!("\"{s}\"\\\n\t"))),
+    ]
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    let rational = || (-1_000_000i128..=1_000_000, 1i128..=9973);
+    let arrive = (0u32..=u32::MAX, rational(), rational()).prop_map(|(id, (sn, sd), (tn, td))| {
+        Event::Arrive {
+            id: ItemId(id),
+            size: rat(sn.max(1), sd),
+            time: rat(tn, td),
+        }
+    });
+    let depart = (0u32..=u32::MAX, rational()).prop_map(|(id, (tn, td))| Event::Depart {
+        id: ItemId(id),
+        time: rat(tn, td),
+    });
+    prop_oneof![arrive, depart]
+}
+
+fn hello_strategy() -> impl Strategy<Value = Hello> {
+    (
+        (
+            name_strategy(),
+            token_strategy(),
+            prop_oneof![
+                Just("firstfit".to_string()),
+                Just("bestfit".to_string()),
+                Just("worstfit".to_string()),
+            ],
+            prop_oneof![
+                Just(Backend::Auto),
+                Just(Backend::Exact),
+                Just(Backend::Tick)
+            ],
+        ),
+        (
+            prop_oneof![
+                Just(None),
+                (1u32..=64, 1u32..=1024).prop_map(|(t, s)| Some(TickGrid::new(t, s))),
+            ],
+            1u32..=8,
+            bool_strategy(),
+            bool_strategy(),
+        ),
+    )
+        .prop_map(
+            |((tenant, token, algo, backend), (grid, shards, telemetry, journal))| Hello {
+                tenant,
+                token,
+                algo,
+                backend,
+                grid,
+                shards,
+                telemetry,
+                journal,
+            },
+        )
+}
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        hello_strategy().prop_map(Request::Hello),
+        event_strategy().prop_map(Request::Event),
+        prop::collection::vec(event_strategy(), 0..12).prop_map(Request::Batch),
+        Just(Request::Snapshot),
+        Just(Request::Metrics),
+        Just(Request::Finish),
+        token_strategy().prop_map(|token| Request::Shutdown { token }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Stream lines round-trip bit-identically, versioned and legacy.
+    #[test]
+    fn event_lines_round_trip(ev in event_strategy()) {
+        let line = event_to_line(&ev);
+        prop_assert_eq!(parse_event_line(&line).unwrap().unwrap(), ev);
+
+        // The same payload without the version tag (legacy traces).
+        let legacy = serde_json::to_string(&ev.to_value()).unwrap();
+        prop_assert_eq!(parse_event_line(&legacy).unwrap().unwrap(), ev);
+    }
+
+    /// Request frames survive serialize → text → parse unchanged.
+    #[test]
+    fn request_frames_round_trip(req in request_strategy()) {
+        let text = serde_json::to_string(&req.to_value()).unwrap();
+        let value = serde_json::parse(&text).unwrap();
+        prop_assert_eq!(Request::from_value(&value).unwrap(), req);
+    }
+
+    /// The canonical fast codec is byte-identical to the generic
+    /// encoder and parses its own output back exactly — so the hot
+    /// path is an optimization, never a dialect.
+    #[test]
+    fn fast_codec_agrees_with_generic(
+        ev in event_strategy(),
+        batch in prop::collection::vec(event_strategy(), 0..12),
+        bins in prop::collection::vec(0u32..=u32::MAX, 0..16),
+    ) {
+        use dbp_core::BinId;
+        use dbp_proto::fast;
+
+        let mut buf = Vec::new();
+        fast::write_event_request(&mut buf, &ev);
+        let generic = serde_json::to_string(&Request::Event(ev).to_value()).unwrap();
+        prop_assert_eq!(std::str::from_utf8(&buf).unwrap(), generic.as_str());
+        prop_assert_eq!(fast::parse_request(&buf), Some(Request::Event(ev)));
+
+        buf.clear();
+        fast::write_batch_request(&mut buf, &batch);
+        let generic =
+            serde_json::to_string(&Request::Batch(batch.clone()).to_value()).unwrap();
+        prop_assert_eq!(std::str::from_utf8(&buf).unwrap(), generic.as_str());
+        prop_assert_eq!(fast::parse_request(&buf), Some(Request::Batch(batch)));
+
+        let bins: Vec<BinId> = bins.into_iter().map(BinId).collect();
+        buf.clear();
+        fast::write_bins_response(&mut buf, &bins);
+        let generic =
+            serde_json::to_string(&Response::Bins(bins.clone()).to_value()).unwrap();
+        prop_assert_eq!(std::str::from_utf8(&buf).unwrap(), generic.as_str());
+        prop_assert_eq!(fast::parse_response(&buf), Some(Response::Bins(bins)));
+    }
+
+    /// Checkpoint envelopes round-trip a session snapshot built from
+    /// an arbitrary accepted event prefix, bit-identically.
+    #[test]
+    fn checkpoints_round_trip(hello in hello_strategy(), n in 0u32..30) {
+        use dbp_core::session::Session;
+        use dbp_core::FirstFit;
+
+        let mut session = Session::builder(FirstFit::new()).build().unwrap();
+        for i in 0..n {
+            session
+                .arrive(ItemId(i), rat(1 + (i as i128 % 7), 8), rat(i as i128, 4))
+                .unwrap();
+        }
+        let snapshot = session.snapshot().unwrap();
+        let doc = checkpoint_to_json(&snapshot);
+        prop_assert_eq!(checkpoint_from_json(&doc).unwrap(), snapshot);
+
+        // Hello frames are independent of the checkpoint but share the
+        // strategy run: exercise their round trip too.
+        let text = serde_json::to_string(&hello.to_value()).unwrap();
+        let value = serde_json::parse(&text).unwrap();
+        prop_assert_eq!(Hello::from_value(&value).unwrap(), hello);
+    }
+
+    /// Response frames carrying snapshots and outcomes round-trip.
+    #[test]
+    fn response_frames_round_trip(n in 0u32..20, bins in prop::collection::vec(0u32..=u32::MAX, 0..16)) {
+        use dbp_core::session::Session;
+        use dbp_core::{BinId, FirstFit};
+
+        let mut session = Session::builder(FirstFit::new()).build().unwrap();
+        for i in 0..n {
+            session
+                .arrive(ItemId(i), rat(1 + (i as i128 % 5), 8), rat(i as i128, 2))
+                .unwrap();
+        }
+        let snapshot = session.snapshot().unwrap();
+        let metrics = session.metrics();
+        let outcome = {
+            let mut s = Session::resume(&snapshot).unwrap();
+            for i in 0..n {
+                s.depart(ItemId(i), rat(100 + i as i128, 1)).unwrap();
+            }
+            s.finish().unwrap()
+        };
+
+        for resp in [
+            Response::Snapshot(snapshot),
+            Response::Metrics(Box::new(metrics)),
+            Response::Outcomes(vec![outcome]),
+            Response::Bins(bins.into_iter().map(BinId).collect()),
+        ] {
+            let text = serde_json::to_string(&resp.to_value()).unwrap();
+            let value = serde_json::parse(&text).unwrap();
+            prop_assert_eq!(Response::from_value(&value).unwrap(), resp);
+        }
+    }
+}
+
+/// A resumed session from a wire-round-tripped checkpoint finishes
+/// bit-identically to the original — the end-to-end guarantee the
+/// journal recovery path depends on.
+#[test]
+fn wire_checkpoint_resume_is_bit_identical() {
+    use dbp_core::session::Session;
+    use dbp_core::FirstFit;
+
+    let build = || Session::builder(FirstFit::new()).build().unwrap();
+    let feed = |s: &mut Session<'static>| {
+        s.arrive(ItemId(0), rat(1, 3), rat(0, 1)).unwrap();
+        s.arrive(ItemId(1), rat(2, 3), rat(1, 2)).unwrap();
+        s.depart(ItemId(0), rat(5, 4)).unwrap();
+    };
+    let tail = |s: &mut Session<'static>| {
+        s.arrive(ItemId(2), rat(1, 2), rat(2, 1)).unwrap();
+        s.depart(ItemId(1), rat(3, 1)).unwrap();
+        s.depart(ItemId(2), rat(7, 2)).unwrap();
+    };
+
+    let mut uninterrupted = build();
+    feed(&mut uninterrupted);
+    tail(&mut uninterrupted);
+    let expected = uninterrupted.finish().unwrap();
+
+    let mut first = build();
+    feed(&mut first);
+    let doc = checkpoint_to_json(&first.snapshot().unwrap());
+    drop(first); // "crash"
+
+    let snapshot: SessionSnapshot = checkpoint_from_json(&doc).unwrap();
+    let mut resumed = Session::resume(&snapshot).unwrap();
+    tail(&mut resumed);
+    assert_eq!(resumed.finish().unwrap(), expected);
+}

@@ -1,0 +1,225 @@
+//! Socket load generator for the allocation daemon.
+//!
+//! Drives `--threads` client threads × `--tenants` tenants of batched
+//! arrive/depart waves against a `dbp-server` (an in-process one on a
+//! loopback port by default, or `--addr` for an external daemon),
+//! recording aggregate placement events/sec and the p99 latency of
+//! individually-timed placement frames into a perf_check-compatible
+//! snapshot (`results/BENCH_server.json` by convention).
+//!
+//! The workload is the serving analogue of the bench suite's wave
+//! pattern: at each integer step, the items that arrived two steps ago
+//! depart, then a fresh batch arrives — departures before arrivals at
+//! every shared instant, sizes cycling on a 1/128 grid so the tick
+//! engine carries the whole stream.
+
+use dbp_numeric::rat;
+use dbp_proto::{Event, ItemId, TickGrid};
+use dbp_server::{Client, DbpServer, ServerConfig};
+use std::io::Write;
+use std::time::Instant;
+
+struct Args {
+    threads: usize,
+    tenants: usize,
+    events_per_tenant: u64,
+    batch: usize,
+    sample_every: usize,
+    addr: Option<String>,
+    out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        threads: 4,
+        tenants: 8,
+        events_per_tenant: 250_000,
+        batch: 1024,
+        sample_every: 64,
+        addr: None,
+        out: Some("results/BENCH_server.json".to_string()),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--threads" => args.threads = value("--threads").parse().expect("--threads"),
+            "--tenants" => args.tenants = value("--tenants").parse().expect("--tenants"),
+            "--events-per-tenant" => {
+                args.events_per_tenant = value("--events-per-tenant")
+                    .parse()
+                    .expect("--events-per-tenant")
+            }
+            "--batch" => args.batch = value("--batch").parse().expect("--batch"),
+            "--sample-every" => {
+                args.sample_every = value("--sample-every").parse().expect("--sample-every")
+            }
+            "--addr" => args.addr = Some(value("--addr")),
+            "--out" => args.out = Some(value("--out")),
+            "--no-out" => args.out = None,
+            other => panic!("unknown flag `{other}` (see loadgen source for usage)"),
+        }
+    }
+    assert!(args.threads >= 1 && args.tenants >= 1 && args.batch >= 1);
+    args
+}
+
+/// One tenant's deterministic wave stream, chunked into per-step
+/// batches: departures of the step-before-last wave, then the next
+/// wave of arrivals, all at integer times on the declared grid.
+fn wave_batches(events_total: u64, batch: usize) -> Vec<Vec<Event>> {
+    let wave = batch.max(2) / 2;
+    let mut batches = Vec::new();
+    let mut next_id: u32 = 0;
+    let mut arrived: std::collections::VecDeque<(i128, Vec<ItemId>)> =
+        std::collections::VecDeque::new();
+    let mut produced: u64 = 0;
+    let mut step: i128 = 0;
+    while produced < events_total {
+        let mut events = Vec::with_capacity(batch);
+        if let Some(&(t, _)) = arrived.front() {
+            if t <= step - 2 {
+                let (_, ids) = arrived.pop_front().unwrap();
+                for id in ids {
+                    events.push(Event::Depart {
+                        id,
+                        time: rat(step, 1),
+                    });
+                }
+            }
+        }
+        let mut ids = Vec::with_capacity(wave);
+        for k in 0..wave {
+            let id = ItemId(next_id);
+            next_id = next_id.wrapping_add(1);
+            ids.push(id);
+            events.push(Event::Arrive {
+                id,
+                size: rat(1 + ((k as i128 + step) % 64), 128),
+                time: rat(step, 1),
+            });
+        }
+        arrived.push_back((step, ids));
+        produced += events.len() as u64;
+        batches.push(events);
+        step += 1;
+    }
+    batches
+}
+
+fn main() {
+    let args = parse_args();
+
+    // In-process server unless an external address was given: open
+    // auth, no journal directory, no scrape endpoint — the socket and
+    // the placement path are what's under test.
+    let server = if args.addr.is_none() {
+        Some(DbpServer::start(ServerConfig::default()).expect("server starts"))
+    } else {
+        None
+    };
+    let addr = args
+        .addr
+        .clone()
+        .unwrap_or_else(|| server.as_ref().unwrap().local_addr().to_string());
+
+    eprintln!(
+        "loadgen: {} threads x {} tenants, {} events/tenant, batch {}, against {addr}",
+        args.threads, args.tenants, args.events_per_tenant, args.batch
+    );
+
+    let started = Instant::now();
+    let per_thread: Vec<(u64, Vec<f64>)> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for thread in 0..args.threads {
+            let addr = addr.clone();
+            let args = &args;
+            handles.push(scope.spawn(move || {
+                let mut events_done: u64 = 0;
+                let mut latencies_us: Vec<f64> = Vec::new();
+                for tenant in (thread..args.tenants).step_by(args.threads) {
+                    let mut client = Client::builder("firstfit")
+                        .tenant(format!("lg{tenant}"))
+                        .grid(TickGrid::new(1, 128))
+                        .without_journal()
+                        .connect(addr.as_str())
+                        .expect("connect");
+                    let batches = wave_batches(args.events_per_tenant, args.batch);
+                    for (i, events) in batches.iter().enumerate() {
+                        if i % args.sample_every == args.sample_every - 1 {
+                            // Individually-timed placement frames: one
+                            // round trip per event, the latency the
+                            // paper's serving story cares about.
+                            for event in events {
+                                let t0 = Instant::now();
+                                client.apply(event).expect("placement");
+                                latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
+                            }
+                        } else {
+                            client.ingest(events).expect("batch placement");
+                        }
+                        events_done += events.len() as u64;
+                    }
+                    // Leave tenants live (no finish): the benchmark
+                    // measures steady-state placement, not teardown.
+                }
+                (events_done, latencies_us)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = started.elapsed().as_secs_f64();
+
+    let total_events: u64 = per_thread.iter().map(|(n, _)| n).sum();
+    let mut latencies: Vec<f64> = per_thread.into_iter().flat_map(|(_, l)| l).collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() as f64 * p).ceil() as usize).min(latencies.len()) - 1;
+        latencies[idx]
+    };
+    let events_per_sec = total_events as f64 / wall;
+
+    eprintln!(
+        "loadgen: {total_events} events in {wall:.2}s -> {events_per_sec:.0} events/sec; \
+         placement latency p50 {:.1}us p99 {:.1}us ({} samples)",
+        pct(0.50),
+        pct(0.99),
+        latencies.len()
+    );
+
+    if let Some(out) = &args.out {
+        if let Some(dir) = std::path::Path::new(out).parent() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+        let json = format!(
+            "{{\n  \"experiment\": \"server\",\n  \"threads\": {},\n  \"tenants\": {},\n  \
+             \"events_per_tenant\": {},\n  \"batch\": {},\n  \"total_events\": {},\n  \
+             \"wall_seconds\": {:.3},\n  \"latency_samples\": {},\n  \"metrics\": {{\n    \
+             \"server_events_per_sec\": {:.0},\n    \"p50_placement_latency_us\": {:.2},\n    \
+             \"p99_placement_latency_us\": {:.2}\n  }}\n}}\n",
+            args.threads,
+            args.tenants,
+            args.events_per_tenant,
+            args.batch,
+            total_events,
+            wall,
+            latencies.len(),
+            events_per_sec,
+            pct(0.50),
+            pct(0.99),
+        );
+        let mut file = std::fs::File::create(out).expect("create output file");
+        file.write_all(json.as_bytes()).expect("write snapshot");
+        eprintln!("loadgen: wrote {out}");
+    }
+
+    if let Some(server) = server {
+        server.stop();
+    }
+}

@@ -1,0 +1,287 @@
+//! A typed wire client whose builder mirrors `Session::builder`.
+//!
+//! In-process and over-the-wire callers read identically:
+//!
+//! ```no_run
+//! use dbp_numeric::rat;
+//! use dbp_proto::ItemId;
+//! use dbp_server::Client;
+//!
+//! let mut client = Client::builder("firstfit")
+//!     .tenant("acme")
+//!     .token("s3cret")
+//!     .connect("127.0.0.1:9500")
+//!     .unwrap();
+//! let bin = client.arrive(ItemId(0), rat(1, 2), rat(0, 1)).unwrap();
+//! println!("placed in {bin:?}");
+//! ```
+//!
+//! Every call is one synchronous request/response exchange; server
+//! refusals come back as [`ClientError::Remote`] carrying the typed
+//! [`WireError`], so quota and auth failures are matchable, not
+//! string-parsed.
+
+use dbp_numeric::Rational;
+use dbp_proto::{
+    fast, parse_frame_payload, read_frame_raw, write_frame_bytes, Backend, BinId, Event, FrameRead,
+    Hello, ItemId, PackingOutcome, RawFrame, Request, Response, SessionMetrics, SessionSnapshot,
+    TickGrid, WireError,
+};
+use serde::Serialize;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport trouble (connect, read, write, framing damage).
+    Io(io::Error),
+    /// The server answered with a typed error frame.
+    Remote(WireError),
+    /// The server broke protocol (wrong frame type, early close).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Remote(e) => write!(f, "server: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// Builder mirroring `Session::builder`: configure the tenant session
+/// shape, then [`connect`](ClientBuilder::connect).
+#[derive(Debug, Clone)]
+pub struct ClientBuilder {
+    hello: Hello,
+}
+
+impl ClientBuilder {
+    fn new(algo: &str) -> ClientBuilder {
+        ClientBuilder {
+            hello: Hello::new("default", algo),
+        }
+    }
+
+    /// Tenant key to attach to (default `"default"`).
+    pub fn tenant(mut self, tenant: impl Into<String>) -> ClientBuilder {
+        self.hello.tenant = tenant.into();
+        self
+    }
+
+    /// Auth token for the server's token policy.
+    pub fn token(mut self, token: impl Into<String>) -> ClientBuilder {
+        self.hello.token = Some(token.into());
+        self
+    }
+
+    /// Engine backend (mirrors `SessionBuilder::backend`).
+    pub fn backend(mut self, backend: Backend) -> ClientBuilder {
+        self.hello.backend = backend;
+        self
+    }
+
+    /// Declared tick grid (mirrors `SessionBuilder::grid`).
+    pub fn grid(mut self, grid: TickGrid) -> ClientBuilder {
+        self.hello.grid = Some(grid);
+        self
+    }
+
+    /// Shard the tenant across `n` sessions routed by `id % n`.
+    pub fn shards(mut self, n: u32) -> ClientBuilder {
+        self.hello.shards = n;
+        self
+    }
+
+    /// Enable per-session telemetry (mirrors
+    /// `SessionBuilder::telemetry`).
+    pub fn telemetry(mut self) -> ClientBuilder {
+        self.hello.telemetry = true;
+        self
+    }
+
+    /// Disable server-side journaling for this tenant: memory stays
+    /// flat, `snapshot` becomes unavailable, and a server crash loses
+    /// the stream (mirrors `SessionBuilder::without_checkpoints`).
+    pub fn without_journal(mut self) -> ClientBuilder {
+        self.hello.journal = false;
+        self
+    }
+
+    /// Connects, performs the hello exchange, and returns an attached
+    /// client.
+    pub fn connect(self, addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::with_capacity(1 << 16, stream.try_clone()?);
+        let writer = BufWriter::with_capacity(1 << 16, stream);
+        let mut client = Client {
+            reader,
+            writer,
+            out: Vec::new(),
+            scratch: Vec::new(),
+            resumed_events: 0,
+        };
+        match client.exchange(&Request::Hello(self.hello))? {
+            Response::Hello { resumed_events, .. } => {
+                client.resumed_events = resumed_events;
+                Ok(client)
+            }
+            Response::Error(e) => Err(ClientError::Remote(e)),
+            other => Err(unexpected("hello", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    ClientError::Protocol(format!("expected a `{wanted}` response, got {got:?}"))
+}
+
+/// An attached wire client driving one tenant.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    out: Vec<u8>,
+    scratch: Vec<u8>,
+    resumed_events: u64,
+}
+
+impl Client {
+    /// Starts a builder for `algo` (CLI-style names: `firstfit`,
+    /// `bestfit`, ...), mirroring `Session::builder`.
+    pub fn builder(algo: &str) -> ClientBuilder {
+        ClientBuilder::new(algo)
+    }
+
+    /// How many journaled events the server replayed before this
+    /// connection attached (0 for a fresh tenant).
+    pub fn resumed_events(&self) -> u64 {
+        self.resumed_events
+    }
+
+    /// One request/response exchange. Error frames are *not* turned
+    /// into `Err` here — callers match on the expected variant.
+    fn exchange(&mut self, request: &Request) -> Result<Response, ClientError> {
+        // Placement frames take the canonical fast writer; everything
+        // else is cold and goes through the generic codec.
+        self.out.clear();
+        match request {
+            Request::Event(ev) => fast::write_event_request(&mut self.out, ev),
+            Request::Batch(events) => fast::write_batch_request(&mut self.out, events),
+            _ => {
+                let payload =
+                    serde_json::to_string(&request.to_value()).expect("requests always serialize");
+                self.out.extend_from_slice(payload.as_bytes());
+            }
+        }
+        write_frame_bytes(&mut self.writer, &self.out)?;
+        self.writer.flush()?;
+        match read_frame_raw(&mut self.reader, &mut self.scratch)? {
+            RawFrame::Eof => Err(ClientError::Protocol(
+                "server closed the connection mid-exchange".to_string(),
+            )),
+            RawFrame::Payload => {
+                if let Some(response) = fast::parse_response(&self.scratch) {
+                    return Ok(response);
+                }
+                match parse_frame_payload::<Response>(&self.scratch) {
+                    FrameRead::Frame(response) => Ok(response),
+                    FrameRead::Eof => unreachable!("payload already delimited"),
+                    FrameRead::Malformed(e) => Err(ClientError::Protocol(e)),
+                }
+            }
+        }
+    }
+
+    fn expect_bin(&mut self, request: &Request) -> Result<BinId, ClientError> {
+        match self.exchange(request)? {
+            Response::Bin(bin) => Ok(bin),
+            Response::Error(e) => Err(ClientError::Remote(e)),
+            other => Err(unexpected("bin", &other)),
+        }
+    }
+
+    /// An item arrives: returns its assigned bin (mirrors
+    /// `Session::arrive`).
+    pub fn arrive(
+        &mut self,
+        id: ItemId,
+        size: Rational,
+        time: Rational,
+    ) -> Result<BinId, ClientError> {
+        self.expect_bin(&Request::Event(Event::Arrive { id, size, time }))
+    }
+
+    /// An item departs: returns the bin it vacated (mirrors
+    /// `Session::depart`).
+    pub fn depart(&mut self, id: ItemId, time: Rational) -> Result<BinId, ClientError> {
+        self.expect_bin(&Request::Event(Event::Depart { id, time }))
+    }
+
+    /// Applies one event (mirrors `Session::apply`).
+    pub fn apply(&mut self, event: &Event) -> Result<BinId, ClientError> {
+        self.expect_bin(&Request::Event(*event))
+    }
+
+    /// Applies a batch in order, returning one placement per event
+    /// (mirrors `Session::ingest`, with placements).
+    pub fn ingest(&mut self, events: &[Event]) -> Result<Vec<BinId>, ClientError> {
+        match self.exchange(&Request::Batch(events.to_vec()))? {
+            Response::Bins(bins) => Ok(bins),
+            Response::Error(e) => Err(ClientError::Remote(e)),
+            other => Err(unexpected("bins", &other)),
+        }
+    }
+
+    /// Live tenant metrics, folded across shards (mirrors
+    /// `Session::metrics`).
+    pub fn metrics(&mut self) -> Result<SessionMetrics, ClientError> {
+        match self.exchange(&Request::Metrics)? {
+            Response::Metrics(metrics) => Ok(*metrics),
+            Response::Error(e) => Err(ClientError::Remote(e)),
+            other => Err(unexpected("metrics", &other)),
+        }
+    }
+
+    /// A resumable checkpoint of the tenant session (mirrors
+    /// `Session::snapshot`).
+    pub fn snapshot(&mut self) -> Result<SessionSnapshot, ClientError> {
+        match self.exchange(&Request::Snapshot)? {
+            Response::Snapshot(snapshot) => Ok(snapshot),
+            Response::Error(e) => Err(ClientError::Remote(e)),
+            other => Err(unexpected("snapshot", &other)),
+        }
+    }
+
+    /// Finishes the tenant and returns its packing outcomes, one per
+    /// shard (mirrors `Session::finish`).
+    pub fn finish(mut self) -> Result<Vec<PackingOutcome>, ClientError> {
+        match self.exchange(&Request::Finish)? {
+            Response::Outcomes(outcomes) => Ok(outcomes),
+            Response::Error(e) => Err(ClientError::Remote(e)),
+            other => Err(unexpected("outcomes", &other)),
+        }
+    }
+
+    /// Asks the server to stop (subject to its token policy).
+    pub fn shutdown_server(mut self, token: Option<&str>) -> Result<(), ClientError> {
+        match self.exchange(&Request::Shutdown {
+            token: token.map(str::to_string),
+        })? {
+            Response::Shutdown => Ok(()),
+            Response::Error(e) => Err(ClientError::Remote(e)),
+            other => Err(unexpected("shutdown", &other)),
+        }
+    }
+}

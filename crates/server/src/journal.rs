@@ -1,0 +1,266 @@
+//! Per-tenant durability: an append-only event journal.
+//!
+//! One file per tenant under the server's journal directory. The
+//! first line is a versioned header recording everything needed to
+//! rebuild the session shape (algorithm, backend, grid, shards,
+//! telemetry); every line after it is one accepted event in the shared
+//! [`dbp_proto`] line format — the same bytes a stream CLI trace uses.
+//!
+//! The durability contract: an event's journal line is written and
+//! flushed **before** the placement response is sent, so any event a
+//! client saw acknowledged survives a crash. Recovery replays the
+//! journal through the identical session machinery, which makes the
+//! resumed tenant bit-identical to one that never stopped — the
+//! property the crash-recovery integration test pins down.
+
+use dbp_proto::{event_to_line, parse_event_line, Backend, Event, TickGrid, WIRE_VERSION};
+use serde::{Deserialize, Serialize, Value};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// The session shape recorded in a journal header (everything a
+/// restart needs besides the events themselves).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// Tenant key.
+    pub tenant: String,
+    /// Canonical algorithm name (as `Session::algorithm` reports it).
+    pub algo: String,
+    /// Engine backend.
+    pub backend: Backend,
+    /// Declared tick grid, if any.
+    pub grid: Option<TickGrid>,
+    /// Shard count (1 = single session).
+    pub shards: u32,
+    /// Whether per-session telemetry was on.
+    pub telemetry: bool,
+}
+
+impl Serialize for JournalHeader {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("tenant".to_string(), Value::Str(self.tenant.clone())),
+            ("algo".to_string(), Value::Str(self.algo.clone())),
+            ("backend".to_string(), self.backend.to_value()),
+            ("shards".to_string(), Value::Int(self.shards as i128)),
+            ("telemetry".to_string(), Value::Bool(self.telemetry)),
+        ];
+        if let Some(grid) = &self.grid {
+            fields.push(("grid".to_string(), grid.to_value()));
+        }
+        Value::Object(vec![
+            ("v".to_string(), Value::Int(WIRE_VERSION)),
+            ("journal".to_string(), Value::Object(fields)),
+        ])
+    }
+}
+
+impl Deserialize for JournalHeader {
+    fn from_value(v: &Value) -> Result<JournalHeader, serde::Error> {
+        let body = v
+            .get("journal")
+            .ok_or_else(|| serde::Error::missing_field("journal", "journal header"))?;
+        let get = |name: &str| {
+            body.get(name)
+                .ok_or_else(|| serde::Error::missing_field(name, "journal header"))
+        };
+        Ok(JournalHeader {
+            tenant: String::from_value(get("tenant")?)?,
+            algo: String::from_value(get("algo")?)?,
+            backend: Backend::from_value(get("backend")?)?,
+            grid: match body.get("grid") {
+                Some(Value::Null) | None => None,
+                Some(g) => Some(TickGrid::from_value(g)?),
+            },
+            shards: u32::from_value(get("shards")?)?,
+            telemetry: bool::from_value(get("telemetry")?)?,
+        })
+    }
+}
+
+/// An open per-tenant journal, appending accepted events.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    writer: BufWriter<File>,
+}
+
+/// The journal file for `tenant` under `dir`. Tenant keys are
+/// sanitized to a filename-safe alphabet so a hostile tenant name
+/// can't traverse paths.
+pub fn journal_path(dir: &Path, tenant: &str) -> PathBuf {
+    let safe: String = tenant
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    dir.join(format!("{safe}.journal"))
+}
+
+impl Journal {
+    /// Creates a fresh journal for a new tenant, writing its header.
+    pub fn create(dir: &Path, header: &JournalHeader) -> io::Result<Journal> {
+        fs::create_dir_all(dir)?;
+        let path = journal_path(dir, &header.tenant);
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        let mut journal = Journal {
+            path,
+            writer: BufWriter::new(file),
+        };
+        let line =
+            serde_json::to_string(&header.to_value()).expect("journal headers always serialize");
+        journal.writer.write_all(line.as_bytes())?;
+        journal.writer.write_all(b"\n")?;
+        journal.writer.flush()?;
+        Ok(journal)
+    }
+
+    /// Reopens an existing journal for appending (after recovery).
+    pub fn reopen(dir: &Path, tenant: &str) -> io::Result<Journal> {
+        let path = journal_path(dir, tenant);
+        let file = OpenOptions::new().append(true).open(&path)?;
+        Ok(Journal {
+            path,
+            writer: BufWriter::new(file),
+        })
+    }
+
+    /// Appends accepted events and flushes — must complete before the
+    /// events are acknowledged on the wire.
+    pub fn append(&mut self, events: &[Event]) -> io::Result<()> {
+        for event in events {
+            self.writer.write_all(event_to_line(event).as_bytes())?;
+            self.writer.write_all(b"\n")?;
+        }
+        self.writer.flush()
+    }
+
+    /// Removes the journal file (after a successful finish — the
+    /// tenant's history is sealed in its outcome, nothing to recover).
+    pub fn remove(self) -> io::Result<()> {
+        let path = self.path.clone();
+        drop(self);
+        fs::remove_file(path)
+    }
+}
+
+/// A parsed journal: the header plus every event it recorded.
+#[derive(Debug)]
+pub struct RecoveredJournal {
+    /// Session shape to rebuild.
+    pub header: JournalHeader,
+    /// Events in acceptance order.
+    pub events: Vec<Event>,
+}
+
+/// Reads one journal file back.
+pub fn read_journal(path: &Path) -> io::Result<RecoveredJournal> {
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let mut lines = BufReader::new(File::open(path)?).lines();
+    let header_line = lines
+        .next()
+        .ok_or_else(|| bad(format!("{}: empty journal", path.display())))??;
+    let header_value = serde_json::parse(&header_line)
+        .map_err(|e| bad(format!("{}: bad journal header: {e}", path.display())))?;
+    let header = JournalHeader::from_value(&header_value)
+        .map_err(|e| bad(format!("{}: bad journal header: {e}", path.display())))?;
+    let mut events = Vec::new();
+    for line in lines {
+        let line = line?;
+        match parse_event_line(&line) {
+            Some(Ok(event)) => events.push(event),
+            Some(Err(e)) => return Err(bad(format!("{}: bad journal line: {e}", path.display()))),
+            None => {}
+        }
+    }
+    Ok(RecoveredJournal { header, events })
+}
+
+/// Every journal found under `dir`, in deterministic (path-sorted)
+/// order. Missing directory means no tenants to recover.
+pub fn scan_journals(dir: &Path) -> io::Result<Vec<RecoveredJournal>> {
+    let mut paths: Vec<PathBuf> = match fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "journal"))
+            .collect(),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    paths.sort();
+    paths.iter().map(|p| read_journal(p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_core::ItemId;
+    use dbp_numeric::rat;
+
+    fn header() -> JournalHeader {
+        JournalHeader {
+            tenant: "acme".into(),
+            algo: "FirstFit".into(),
+            backend: Backend::Auto,
+            grid: Some(TickGrid::new(1, 64)),
+            shards: 2,
+            telemetry: true,
+        }
+    }
+
+    #[test]
+    fn journal_round_trips_header_and_events() {
+        let dir = std::env::temp_dir().join(format!("dbp-journal-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let events = vec![
+            Event::Arrive {
+                id: ItemId(0),
+                size: rat(1, 2),
+                time: rat(0, 1),
+            },
+            Event::Depart {
+                id: ItemId(0),
+                time: rat(3, 1),
+            },
+        ];
+        let mut journal = Journal::create(&dir, &header()).unwrap();
+        journal.append(&events[..1]).unwrap();
+        // Reopen mid-life, as recovery does, and keep appending.
+        drop(journal);
+        let mut journal = Journal::reopen(&dir, "acme").unwrap();
+        journal.append(&events[1..]).unwrap();
+
+        let recovered = scan_journals(&dir).unwrap();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].header, header());
+        assert_eq!(recovered[0].events, events);
+
+        journal.remove().unwrap();
+        assert!(scan_journals(&dir).unwrap().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hostile_tenant_names_stay_in_the_directory() {
+        let dir = Path::new("/tmp/journals");
+        let path = journal_path(dir, "../../etc/passwd");
+        assert!(path.starts_with(dir));
+        assert_eq!(path.file_name().unwrap(), "______etc_passwd.journal");
+    }
+
+    #[test]
+    fn missing_directory_scans_empty() {
+        let dir = Path::new("/tmp/definitely-not-a-dbp-journal-dir-12345");
+        assert!(scan_journals(dir).unwrap().is_empty());
+    }
+}

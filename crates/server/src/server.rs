@@ -1,0 +1,586 @@
+//! The allocation daemon: accept loop, connection handling, tenant
+//! registry, and the merged exposition page.
+//!
+//! The accept loop follows the `MetricsServer` pattern — a
+//! non-blocking `TcpListener` polled against a stop flag — but every
+//! accepted connection gets its own thread speaking the
+//! length-prefixed [`dbp_proto`] protocol. Connections are stateless
+//! beyond "which tenant am I attached to": all tenant state lives in
+//! the shared registry, so many connections can drive one tenant and
+//! a restarted server rebuilds everything from journals.
+
+use crate::journal::scan_journals;
+use crate::quota::Quotas;
+use crate::tenant::Tenant;
+use crate::ServerError;
+use dbp_obs::{MetricsRegistry, MetricsServer};
+use dbp_proto::{
+    fast, parse_frame_payload, read_frame_raw, write_frame_bytes, ErrorKind, FrameRead, RawFrame,
+    Request, Response, WireError,
+};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Who may attach tenants (and stop the server).
+#[derive(Debug, Clone, Default)]
+pub enum TokenPolicy {
+    /// No authentication: any hello is accepted. For loopback
+    /// benchmarking and tests.
+    #[default]
+    Open,
+    /// One shared secret for every tenant.
+    Shared(String),
+    /// A token per tenant key; tenants without an entry are refused.
+    PerTenant(HashMap<String, String>),
+}
+
+impl TokenPolicy {
+    fn check(&self, tenant: &str, token: Option<&str>) -> Result<(), WireError> {
+        let expected = match self {
+            TokenPolicy::Open => return Ok(()),
+            TokenPolicy::Shared(secret) => Some(secret.as_str()),
+            TokenPolicy::PerTenant(map) => map.get(tenant).map(String::as_str),
+        };
+        match (expected, token) {
+            (Some(want), Some(got)) if want == got => Ok(()),
+            (None, _) => Err(WireError::new(
+                ErrorKind::Auth,
+                format!("tenant `{tenant}` is not provisioned"),
+            )),
+            _ => Err(WireError::new(
+                ErrorKind::Auth,
+                format!("bad or missing token for tenant `{tenant}`"),
+            )),
+        }
+    }
+
+    /// Shutdown uses the same policy: open servers stop on request,
+    /// shared-secret servers require the secret, per-tenant servers
+    /// accept any provisioned tenant's token.
+    fn check_shutdown(&self, token: Option<&str>) -> Result<(), WireError> {
+        match self {
+            TokenPolicy::Open => Ok(()),
+            TokenPolicy::Shared(secret) => match token {
+                Some(got) if got == secret => Ok(()),
+                _ => Err(WireError::new(
+                    ErrorKind::Auth,
+                    "bad or missing shutdown token",
+                )),
+            },
+            TokenPolicy::PerTenant(map) => match token {
+                Some(got) if map.values().any(|t| t == got) => Ok(()),
+                _ => Err(WireError::new(
+                    ErrorKind::Auth,
+                    "bad or missing shutdown token",
+                )),
+            },
+        }
+    }
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Wire-protocol listen address (port 0 picks a free port).
+    pub listen: String,
+    /// OpenMetrics scrape address; `None` disables the page.
+    pub metrics: Option<String>,
+    /// Authentication policy.
+    pub auth: TokenPolicy,
+    /// Quotas applied to every tenant.
+    pub quotas: Quotas,
+    /// Journal directory; `None` disables durability (snapshots and
+    /// recovery) server-wide.
+    pub journal_dir: Option<PathBuf>,
+    /// Rebuild the exposition page every this many accepted events
+    /// (hellos, finishes, and metrics requests always rebuild).
+    pub publish_every: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            listen: "127.0.0.1:0".to_string(),
+            metrics: None,
+            auth: TokenPolicy::Open,
+            quotas: Quotas::unlimited(),
+            journal_dir: None,
+            publish_every: 8192,
+        }
+    }
+}
+
+/// Shared server state: the tenant registry plus exposition counters.
+struct Shared {
+    config: ServerConfig,
+    tenants: Mutex<HashMap<String, Arc<Mutex<Option<Tenant>>>>>,
+    stop: AtomicBool,
+    /// Live client connections, so `stop` can unblock their reads.
+    conns: Mutex<Vec<TcpStream>>,
+    /// Exposition page (shared with the `MetricsServer` thread).
+    page: Option<Arc<Mutex<MetricsRegistry>>>,
+    // Server-wide counters for the page.
+    connections_total: AtomicU64,
+    frames_total: AtomicU64,
+    events_total: AtomicU64,
+    errors_total: AtomicU64,
+    since_publish: AtomicU64,
+}
+
+impl Shared {
+    /// Rebuilds the exposition page from scratch: server counters,
+    /// per-tenant prefixed registries, and the un-prefixed lawful
+    /// merge of every tenant's registry.
+    fn publish(&self) {
+        let Some(page) = &self.page else { return };
+        let mut fresh = MetricsRegistry::new();
+        // The renderer suffixes counter samples with `_total` itself.
+        fresh.inc_by(
+            "server_connections",
+            self.connections_total.load(Ordering::Relaxed),
+        );
+        fresh.inc_by("server_frames", self.frames_total.load(Ordering::Relaxed));
+        fresh.inc_by("server_events", self.events_total.load(Ordering::Relaxed));
+        fresh.inc_by("server_errors", self.errors_total.load(Ordering::Relaxed));
+        let tenants = self.tenants.lock().unwrap();
+        fresh.set_gauge("server_tenants", tenants.len() as f64);
+        for (name, slot) in tenants.iter() {
+            let guard = slot.lock().unwrap();
+            let Some(tenant) = guard.as_ref() else {
+                continue;
+            };
+            let registry = tenant.registry();
+            fresh.merge_prefixed(&tenant_prefix(name), &registry);
+            fresh.merge(&registry);
+        }
+        drop(tenants);
+        *page.lock().unwrap() = fresh;
+    }
+
+    fn count_events(&self, n: u64) {
+        self.events_total.fetch_add(n, Ordering::Relaxed);
+        let since = self.since_publish.fetch_add(n, Ordering::Relaxed) + n;
+        if since >= self.config.publish_every {
+            self.since_publish.store(0, Ordering::Relaxed);
+            self.publish();
+        }
+    }
+}
+
+/// `tenant_<sanitized>_` — the per-tenant namespace on the page.
+fn tenant_prefix(name: &str) -> String {
+    let safe: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    format!("tenant_{safe}_")
+}
+
+/// A running allocation daemon.
+pub struct DbpServer {
+    shared: Arc<Shared>,
+    addr: std::net::SocketAddr,
+    metrics_addr: Option<std::net::SocketAddr>,
+    accept_handle: Option<JoinHandle<()>>,
+    metrics_server: Option<MetricsServer>,
+}
+
+impl DbpServer {
+    /// Binds the wire and scrape listeners, recovers every journaled
+    /// tenant from `config.journal_dir`, and starts serving.
+    pub fn start(config: ServerConfig) -> Result<DbpServer, ServerError> {
+        let listener = TcpListener::bind(&config.listen).map_err(ServerError::Io)?;
+        listener.set_nonblocking(true).map_err(ServerError::Io)?;
+        let addr = listener.local_addr().map_err(ServerError::Io)?;
+
+        let metrics_server = match &config.metrics {
+            Some(addr) => Some(MetricsServer::start(addr.as_str()).map_err(ServerError::Io)?),
+            None => None,
+        };
+        let metrics_addr = metrics_server.as_ref().map(MetricsServer::local_addr);
+        let page = metrics_server.as_ref().map(|s| Arc::clone(s.registry()));
+
+        // Crash recovery: rebuild every journaled tenant before the
+        // first connection can attach.
+        let mut tenants: HashMap<String, Arc<Mutex<Option<Tenant>>>> = HashMap::new();
+        if let Some(dir) = &config.journal_dir {
+            for recovered in scan_journals(dir).map_err(ServerError::Io)? {
+                let tenant = Tenant::recover(recovered, config.quotas, dir)?;
+                tenants.insert(
+                    tenant.name().to_string(),
+                    Arc::new(Mutex::new(Some(tenant))),
+                );
+            }
+        }
+
+        let shared = Arc::new(Shared {
+            config,
+            tenants: Mutex::new(tenants),
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            page,
+            connections_total: AtomicU64::new(0),
+            frames_total: AtomicU64::new(0),
+            events_total: AtomicU64::new(0),
+            errors_total: AtomicU64::new(0),
+            since_publish: AtomicU64::new(0),
+        });
+        shared.publish();
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::Builder::new()
+            .name("dbp-server-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .map_err(ServerError::Io)?;
+
+        Ok(DbpServer {
+            shared,
+            addr,
+            metrics_addr,
+            accept_handle: Some(accept_handle),
+            metrics_server,
+        })
+    }
+
+    /// The bound wire address (useful with port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The bound scrape address, when metrics are enabled.
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.metrics_addr
+    }
+
+    /// Stops the daemon: closes the listener, severs every client
+    /// connection, and joins the accept thread. Tenant journals stay
+    /// on disk — from a client's perspective this *is* a crash, and a
+    /// restarted server resumes every journaled tenant verbatim.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    /// Blocks until the daemon stops on its own — a wire `shutdown`
+    /// frame — then runs the same cleanup as [`DbpServer::stop`].
+    /// This is how `mindbp serve` parks its main thread.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        for conn in self.shared.conns.lock().unwrap().drain(..) {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        if let Some(server) = self.metrics_server.take() {
+            server.stop();
+        }
+    }
+}
+
+impl Drop for DbpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.connections_total.fetch_add(1, Ordering::Relaxed);
+                if let Ok(clone) = stream.try_clone() {
+                    shared.conns.lock().unwrap().push(clone);
+                }
+                let conn_shared = Arc::clone(&shared);
+                if let Ok(handle) = std::thread::Builder::new()
+                    .name("dbp-server-conn".into())
+                    .spawn(move || {
+                        let _ = serve_connection(stream, conn_shared);
+                    })
+                {
+                    workers.push(handle);
+                }
+                workers.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+    // Sever live connections so workers blocked in a read unblock
+    // (wire-initiated shutdowns reach here with clients still parked).
+    for conn in shared.conns.lock().unwrap().drain(..) {
+        let _ = conn.shutdown(std::net::Shutdown::Both);
+    }
+    for handle in workers {
+        let _ = handle.join();
+    }
+}
+
+// Placement answers take the canonical fast writer; cold frames go
+// through the generic codec. `out` is reused across frames.
+fn send(w: &mut impl Write, out: &mut Vec<u8>, response: &Response) -> io::Result<()> {
+    out.clear();
+    match response {
+        Response::Bin(bin) => fast::write_bin_response(out, *bin),
+        Response::Bins(bins) => fast::write_bins_response(out, bins),
+        _ => {
+            let payload =
+                serde_json::to_string(&response.to_value()).expect("responses always serialize");
+            out.extend_from_slice(payload.as_bytes());
+        }
+    }
+    write_frame_bytes(w, out)?;
+    w.flush()
+}
+
+// One request frame: canonical placement frames parse on the fast
+// path, everything else falls back to the generic codec.
+fn read_request(r: &mut impl io::BufRead, scratch: &mut Vec<u8>) -> io::Result<FrameRead<Request>> {
+    match read_frame_raw(r, scratch)? {
+        RawFrame::Eof => Ok(FrameRead::Eof),
+        RawFrame::Payload => Ok(match fast::parse_request(scratch) {
+            Some(request) => FrameRead::Frame(request),
+            None => parse_frame_payload(scratch),
+        }),
+    }
+}
+
+/// One connection's lifecycle: hello, then a request/response loop
+/// against the attached tenant.
+fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::with_capacity(1 << 16, stream.try_clone()?);
+    let mut writer = BufWriter::with_capacity(1 << 16, stream);
+    let mut scratch: Vec<u8> = Vec::new();
+    let mut out: Vec<u8> = Vec::new();
+
+    // Hello first. Protocol violations before attach get one typed
+    // error and the connection closes.
+    let hello = match read_request(&mut reader, &mut scratch)? {
+        FrameRead::Eof => return Ok(()),
+        FrameRead::Malformed(e) => {
+            shared.errors_total.fetch_add(1, Ordering::Relaxed);
+            send(
+                &mut writer,
+                &mut out,
+                &Response::Error(WireError::new(ErrorKind::Protocol, e)),
+            )?;
+            return Ok(());
+        }
+        FrameRead::Frame(Request::Hello(hello)) => hello,
+        FrameRead::Frame(Request::Shutdown { token }) => {
+            return handle_shutdown(&mut writer, &mut out, &shared, token.as_deref());
+        }
+        FrameRead::Frame(_) => {
+            shared.errors_total.fetch_add(1, Ordering::Relaxed);
+            send(
+                &mut writer,
+                &mut out,
+                &Response::Error(WireError::new(
+                    ErrorKind::Protocol,
+                    "first frame must be `hello`",
+                )),
+            )?;
+            return Ok(());
+        }
+    };
+    shared.frames_total.fetch_add(1, Ordering::Relaxed);
+
+    if let Err(e) = shared
+        .config
+        .auth
+        .check(&hello.tenant, hello.token.as_deref())
+    {
+        shared.errors_total.fetch_add(1, Ordering::Relaxed);
+        send(&mut writer, &mut out, &Response::Error(e))?;
+        return Ok(());
+    }
+
+    // Attach: reuse the live tenant or create one. The per-tenant slot
+    // is created under the registry lock; the (possibly slow) session
+    // build happens under the slot lock only.
+    let slot = {
+        let mut tenants = shared.tenants.lock().unwrap();
+        Arc::clone(
+            tenants
+                .entry(hello.tenant.clone())
+                .or_insert_with(|| Arc::new(Mutex::new(None))),
+        )
+    };
+    {
+        let mut guard = slot.lock().unwrap();
+        if guard.is_none() {
+            match Tenant::create(
+                &hello,
+                shared.config.quotas,
+                shared.config.journal_dir.as_deref(),
+            ) {
+                Ok(tenant) => *guard = Some(tenant),
+                Err(e) => {
+                    // The empty slot stays in the map: it publishes
+                    // nothing and a corrected hello reuses it.
+                    drop(guard);
+                    shared.errors_total.fetch_add(1, Ordering::Relaxed);
+                    send(&mut writer, &mut out, &Response::Error(e.into_wire()))?;
+                    return Ok(());
+                }
+            }
+        }
+        let resumed = guard.as_ref().map(Tenant::accepted).unwrap_or(0);
+        send(
+            &mut writer,
+            &mut out,
+            &Response::Hello {
+                tenant: hello.tenant.clone(),
+                resumed_events: resumed,
+            },
+        )?;
+    }
+    shared.publish();
+
+    // Steady state.
+    loop {
+        let request = match read_request(&mut reader, &mut scratch) {
+            Ok(FrameRead::Eof) => return Ok(()),
+            Ok(FrameRead::Frame(req)) => req,
+            Ok(FrameRead::Malformed(e)) => {
+                shared.errors_total.fetch_add(1, Ordering::Relaxed);
+                send(
+                    &mut writer,
+                    &mut out,
+                    &Response::Error(WireError::new(ErrorKind::Protocol, e)),
+                )?;
+                continue;
+            }
+            Err(e) => {
+                // Transport damage or severed socket: nothing more to
+                // say on this connection.
+                return Err(e);
+            }
+        };
+        shared.frames_total.fetch_add(1, Ordering::Relaxed);
+
+        let response = match request {
+            Request::Hello(_) => Response::Error(WireError::new(
+                ErrorKind::Protocol,
+                "connection is already attached to a tenant",
+            )),
+            Request::Event(event) => {
+                let mut guard = slot.lock().unwrap();
+                match guard.as_mut() {
+                    Some(tenant) => match tenant.apply(&event) {
+                        Ok(bin) => {
+                            drop(guard);
+                            shared.count_events(1);
+                            Response::Bin(bin)
+                        }
+                        Err(e) => Response::Error(e.into_wire()),
+                    },
+                    None => Response::Error(gone(&hello.tenant)),
+                }
+            }
+            Request::Batch(events) => {
+                let mut guard = slot.lock().unwrap();
+                match guard.as_mut() {
+                    Some(tenant) => match tenant.batch(&events) {
+                        Ok(bins) => {
+                            drop(guard);
+                            shared.count_events(events.len() as u64);
+                            Response::Bins(bins)
+                        }
+                        Err(e) => Response::Error(e.into_wire()),
+                    },
+                    None => Response::Error(gone(&hello.tenant)),
+                }
+            }
+            Request::Snapshot => {
+                let guard = slot.lock().unwrap();
+                match guard.as_ref() {
+                    Some(tenant) => match tenant.snapshot() {
+                        Ok(snapshot) => Response::Snapshot(snapshot),
+                        Err(e) => Response::Error(e),
+                    },
+                    None => Response::Error(gone(&hello.tenant)),
+                }
+            }
+            Request::Metrics => {
+                let guard = slot.lock().unwrap();
+                let response = match guard.as_ref() {
+                    Some(tenant) => Response::Metrics(Box::new(tenant.metrics())),
+                    None => Response::Error(gone(&hello.tenant)),
+                };
+                drop(guard);
+                shared.publish();
+                response
+            }
+            Request::Finish => {
+                let mut guard = slot.lock().unwrap();
+                match guard.take() {
+                    Some(tenant) => match tenant.finish() {
+                        Ok(outcomes) => {
+                            drop(guard);
+                            shared.tenants.lock().unwrap().remove(&hello.tenant);
+                            shared.publish();
+                            Response::Outcomes(outcomes)
+                        }
+                        Err((tenant, e)) => {
+                            *guard = Some(*tenant);
+                            Response::Error(e)
+                        }
+                    },
+                    None => Response::Error(gone(&hello.tenant)),
+                }
+            }
+            Request::Shutdown { token } => {
+                return handle_shutdown(&mut writer, &mut out, &shared, token.as_deref());
+            }
+        };
+        if matches!(response, Response::Error(_)) {
+            shared.errors_total.fetch_add(1, Ordering::Relaxed);
+        }
+        send(&mut writer, &mut out, &response)?;
+    }
+}
+
+fn gone(tenant: &str) -> WireError {
+    WireError::new(
+        ErrorKind::Unavailable,
+        format!("tenant `{tenant}` has finished; say hello again to restart it"),
+    )
+}
+
+fn handle_shutdown(
+    writer: &mut impl Write,
+    out: &mut Vec<u8>,
+    shared: &Arc<Shared>,
+    token: Option<&str>,
+) -> io::Result<()> {
+    match shared.config.auth.check_shutdown(token) {
+        Ok(()) => {
+            send(writer, out, &Response::Shutdown)?;
+            shared.stop.store(true, Ordering::Relaxed);
+            Ok(())
+        }
+        Err(e) => {
+            shared.errors_total.fetch_add(1, Ordering::Relaxed);
+            send(writer, out, &Response::Error(e))
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Property test: wire-served placements are bit-identical to
+//! in-process `Session` batch runs, across random workload shapes,
+//! algorithms, batch splits, and shard counts.
+
+use dbp_core::algo::by_name;
+use dbp_core::session::Session;
+use dbp_core::{ItemId, PackingOutcome};
+use dbp_numeric::rat;
+use dbp_proto::{Event, TickGrid};
+use dbp_server::tenant::canonical_algo;
+use dbp_server::{Client, DbpServer, ServerConfig};
+use proptest::prelude::*;
+
+/// Deterministic wave stream: `waves`×`width` items, each departing
+/// two steps after arrival, sizes on a 1/32 grid seeded by `salt`.
+fn wave_stream(waves: u32, width: u32, salt: u32) -> Vec<Event> {
+    let mut events = Vec::new();
+    for step in 0..waves + 2 {
+        if step >= 2 {
+            for k in 0..width {
+                let id = (step - 2) * width + k;
+                if id < waves * width {
+                    events.push(Event::Depart {
+                        id: ItemId(id),
+                        time: rat(step as i128, 1),
+                    });
+                }
+            }
+        }
+        if step < waves {
+            for k in 0..width {
+                events.push(Event::Arrive {
+                    id: ItemId(step * width + k),
+                    size: rat(1 + ((salt + step * 7 + k) as i128 % 16), 32),
+                    time: rat(step as i128, 1),
+                });
+            }
+        }
+    }
+    events
+}
+
+fn shard_outcomes(algo: &str, events: &[Event], shards: u32) -> Vec<PackingOutcome> {
+    (0..shards)
+        .map(|shard| {
+            let mut session = Session::builder(by_name(canonical_algo(algo).unwrap()).unwrap())
+                .grid(TickGrid::new(1, 32))
+                .build()
+                .unwrap();
+            for ev in events.iter().filter(|e| e.id().0 % shards == shard) {
+                session.apply(ev).unwrap();
+            }
+            session.finish().unwrap()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn served_outcomes_match_in_process_runs(
+        waves in 1u32..8,
+        width in 1u32..8,
+        salt in 0u32..1000,
+        algo_pick in 0usize..3,
+        shards in 1u32..4,
+        split in 0usize..5,
+    ) {
+        let algo = ["firstfit", "bestfit", "nextfit"][algo_pick];
+        let events = wave_stream(waves, width, salt);
+
+        let server = DbpServer::start(ServerConfig::default()).unwrap();
+        let mut client = Client::builder(algo)
+            .tenant("prop")
+            .grid(TickGrid::new(1, 32))
+            .shards(shards)
+            .without_journal()
+            .connect(server.local_addr())
+            .unwrap();
+
+        // Random split between single-event frames and one batch: the
+        // submission framing must never affect placements.
+        let cut = events.len() * split / 4;
+        let (head, tail) = events.split_at(cut.min(events.len()));
+        for ev in head {
+            client.apply(ev).unwrap();
+        }
+        if !tail.is_empty() {
+            client.ingest(tail).unwrap();
+        }
+
+        let outcomes = client.finish().unwrap();
+        prop_assert_eq!(outcomes, shard_outcomes(algo, &events, shards));
+        server.stop();
+    }
+}

@@ -1,0 +1,380 @@
+//! End-to-end tests of the allocation daemon over real sockets.
+//!
+//! The contracts under test are the ones the tentpole promises:
+//! placements served over the wire are **bit-identical** to in-process
+//! `Session` runs (including for sharded tenants vs a `Fleet`), a
+//! crashed server restarted from its journals resumes every tenant
+//! verbatim, and refusals (quota, auth, protocol) come back as typed
+//! errors without perturbing session state.
+
+use dbp_core::algo::by_name;
+use dbp_core::session::Session;
+use dbp_core::{ItemId, PackingOutcome};
+use dbp_numeric::rat;
+use dbp_proto::{ErrorKind, Event, TickGrid};
+use dbp_server::{Client, ClientError, DbpServer, Quotas, ServerConfig, TokenPolicy};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dbp-server-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A small deterministic arrive/depart stream: `waves` waves of
+/// `width` items, each wave departing two steps later, departures
+/// before arrivals at every shared instant.
+fn wave_stream(waves: u32, width: u32) -> Vec<Event> {
+    let mut events = Vec::new();
+    for step in 0..waves + 2 {
+        if step >= 2 {
+            for k in 0..width {
+                let id = (step - 2) * width + k;
+                if id < waves * width {
+                    events.push(Event::Depart {
+                        id: ItemId(id),
+                        time: rat(step as i128, 1),
+                    });
+                }
+            }
+        }
+        if step < waves {
+            for k in 0..width {
+                events.push(Event::Arrive {
+                    id: ItemId(step * width + k),
+                    size: rat(1 + ((step + k) as i128 % 16), 32),
+                    time: rat(step as i128, 1),
+                });
+            }
+        }
+    }
+    events
+}
+
+// `algo` is the CLI-style name the wire speaks; the in-process twin
+// rebuilds it through the same canonicalization the server uses.
+fn session_outcome(algo: &str, events: &[Event]) -> PackingOutcome {
+    let canonical = dbp_server::tenant::canonical_algo(algo).unwrap();
+    let mut session = Session::builder(by_name(canonical).unwrap())
+        .grid(TickGrid::new(1, 32))
+        .build()
+        .unwrap();
+    for ev in events {
+        session.apply(ev).unwrap();
+    }
+    session.finish().unwrap()
+}
+
+#[test]
+fn socket_outcomes_match_in_process_sessions() {
+    let server = DbpServer::start(ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let events = wave_stream(6, 5);
+
+    // Several tenants, several algorithms, one server — each must
+    // finish exactly like its in-process twin.
+    for algo in ["firstfit", "bestfit", "nextfit"] {
+        let mut client = Client::builder(algo)
+            .tenant(format!("twin-{algo}"))
+            .grid(TickGrid::new(1, 32))
+            .without_journal()
+            .connect(addr)
+            .unwrap();
+        // Mix single-event and batched submission: same stream, same
+        // placements either way.
+        let (head, tail) = events.split_at(events.len() / 3);
+        for ev in head {
+            client.apply(ev).unwrap();
+        }
+        client.ingest(tail).unwrap();
+        let outcomes = client.finish().unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0], session_outcome(algo, &events), "algo {algo}");
+    }
+}
+
+#[test]
+fn sharded_tenant_matches_a_fleet_of_sessions() {
+    let server = DbpServer::start(ServerConfig::default()).unwrap();
+    let events = wave_stream(5, 6);
+    let shards = 3u32;
+
+    let mut client = Client::builder("firstfit")
+        .tenant("sharded")
+        .grid(TickGrid::new(1, 32))
+        .shards(shards)
+        .without_journal()
+        .connect(server.local_addr())
+        .unwrap();
+    let bins = client.ingest(&events).unwrap();
+    let outcomes = client.finish().unwrap();
+    assert_eq!(outcomes.len(), shards as usize);
+
+    // In-process twin: one session per shard, routed by `id % shards`,
+    // same per-shard event order.
+    for shard in 0..shards {
+        let shard_events: Vec<Event> = events
+            .iter()
+            .filter(|e| e.id().0 % shards == shard)
+            .copied()
+            .collect();
+        assert_eq!(
+            outcomes[shard as usize],
+            session_outcome("firstfit", &shard_events),
+            "shard {shard}"
+        );
+    }
+    assert_eq!(bins.len(), events.len());
+}
+
+#[test]
+fn crash_recovery_resumes_bit_identically() {
+    let dir = test_dir("recovery");
+    let config = || ServerConfig {
+        journal_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+    let events = wave_stream(6, 4);
+    let (head, tail) = events.split_at(events.len() / 2);
+
+    // Stream the head into a journaled tenant, then "crash": stop
+    // severs every connection but leaves journals on disk.
+    let server = DbpServer::start(config()).unwrap();
+    let mut client = Client::builder("firstfit")
+        .tenant("acme")
+        .grid(TickGrid::new(1, 32))
+        .connect(server.local_addr())
+        .unwrap();
+    assert_eq!(client.resumed_events(), 0);
+    for ev in head {
+        client.apply(ev).unwrap();
+    }
+    server.stop();
+    assert!(matches!(
+        client.apply(&tail[0]),
+        Err(ClientError::Io(_) | ClientError::Protocol(_))
+    ));
+    drop(client);
+
+    // Restart from the same journal directory: the tenant resumes with
+    // every acked event replayed, and the finished outcome is
+    // bit-identical to an uninterrupted in-process run.
+    let server = DbpServer::start(config()).unwrap();
+    let mut client = Client::builder("firstfit")
+        .tenant("acme")
+        .grid(TickGrid::new(1, 32))
+        .connect(server.local_addr())
+        .unwrap();
+    assert_eq!(client.resumed_events(), head.len() as u64);
+    client.ingest(tail).unwrap();
+    let outcomes = client.finish().unwrap();
+    assert_eq!(outcomes, vec![session_outcome("firstfit", &events)]);
+
+    // Finish removed the journal: a third attach starts fresh.
+    let client = Client::builder("firstfit")
+        .tenant("acme")
+        .grid(TickGrid::new(1, 32))
+        .connect(server.local_addr())
+        .unwrap();
+    assert_eq!(client.resumed_events(), 0);
+    drop(client);
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn quota_refusals_are_typed_and_leave_state_untouched() {
+    let server = DbpServer::start(ServerConfig {
+        quotas: Quotas {
+            max_active_items: Some(3),
+            ..Quotas::unlimited()
+        },
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::builder("firstfit")
+        .tenant("capped")
+        .without_journal()
+        .connect(server.local_addr())
+        .unwrap();
+
+    for i in 0..3u32 {
+        client
+            .arrive(ItemId(i), rat(1, 8), rat(i as i128, 1))
+            .unwrap();
+    }
+    let refused = client.arrive(ItemId(9), rat(1, 8), rat(3, 1));
+    match refused {
+        Err(ClientError::Remote(e)) => assert_eq!(e.kind, ErrorKind::Quota, "{e}"),
+        other => panic!("expected a quota error, got {other:?}"),
+    }
+
+    // The refused arrival never touched the session: after a depart
+    // frees a slot, the same arrival is admitted and the stream
+    // continues at the same instant.
+    client.depart(ItemId(0), rat(3, 1)).unwrap();
+    client.arrive(ItemId(9), rat(1, 8), rat(3, 1)).unwrap();
+    let metrics = client.metrics().unwrap();
+    assert_eq!(metrics.active_items, 3);
+}
+
+#[test]
+fn batch_quota_refusals_report_the_failing_index() {
+    let server = DbpServer::start(ServerConfig {
+        quotas: Quotas {
+            max_active_items: Some(2),
+            ..Quotas::unlimited()
+        },
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::builder("firstfit")
+        .tenant("capped")
+        .without_journal()
+        .connect(server.local_addr())
+        .unwrap();
+
+    // Admission is all-or-nothing per request: a batch that would
+    // exceed the cap is refused outright, index 0.
+    let batch: Vec<Event> = (0..3u32)
+        .map(|i| Event::Arrive {
+            id: ItemId(i),
+            size: rat(1, 8),
+            time: rat(0, 1),
+        })
+        .collect();
+    match client.ingest(&batch) {
+        Err(ClientError::Remote(e)) => {
+            assert_eq!(e.kind, ErrorKind::Quota);
+            assert_eq!(e.index, Some(0));
+        }
+        other => panic!("expected a quota error, got {other:?}"),
+    }
+    assert_eq!(client.metrics().unwrap().events, 0);
+}
+
+#[test]
+fn bad_tokens_are_typed_auth_errors() {
+    let server = DbpServer::start(ServerConfig {
+        auth: TokenPolicy::PerTenant(HashMap::from([("acme".to_string(), "s3cret".to_string())])),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+
+    let auth_err = |result: Result<Client, ClientError>| match result {
+        Err(ClientError::Remote(e)) => assert_eq!(e.kind, ErrorKind::Auth, "{e}"),
+        other => panic!(
+            "expected an auth error, got {:?}",
+            other.map(|_| "a connected client")
+        ),
+    };
+    auth_err(Client::builder("firstfit").tenant("acme").connect(addr));
+    auth_err(
+        Client::builder("firstfit")
+            .tenant("acme")
+            .token("wrong")
+            .connect(addr),
+    );
+    auth_err(
+        Client::builder("firstfit")
+            .tenant("unprovisioned")
+            .token("s3cret")
+            .connect(addr),
+    );
+
+    let mut client = Client::builder("firstfit")
+        .tenant("acme")
+        .token("s3cret")
+        .connect(addr)
+        .unwrap();
+    client.arrive(ItemId(0), rat(1, 2), rat(0, 1)).unwrap();
+
+    // Shutdown obeys the same policy.
+    let wrong = Client::builder("firstfit")
+        .tenant("acme")
+        .token("s3cret")
+        .connect(addr)
+        .unwrap();
+    match wrong.shutdown_server(Some("nope")) {
+        Err(ClientError::Remote(e)) => assert_eq!(e.kind, ErrorKind::Auth),
+        other => panic!("expected an auth error, got {other:?}"),
+    }
+}
+
+#[test]
+fn snapshot_without_journal_is_typed_unavailable() {
+    let server = DbpServer::start(ServerConfig::default()).unwrap();
+    let mut client = Client::builder("firstfit")
+        .tenant("flat")
+        .without_journal()
+        .connect(server.local_addr())
+        .unwrap();
+    client.arrive(ItemId(0), rat(1, 2), rat(0, 1)).unwrap();
+    match client.snapshot() {
+        Err(ClientError::Remote(e)) => assert_eq!(e.kind, ErrorKind::Unavailable, "{e}"),
+        other => panic!("expected unavailable, got {other:?}"),
+    }
+}
+
+#[test]
+fn metrics_page_carries_server_and_prefixed_tenant_series() {
+    let server = DbpServer::start(ServerConfig {
+        metrics: Some("127.0.0.1:0".to_string()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let scrape_addr = server.metrics_addr().unwrap();
+
+    let mut client = Client::builder("firstfit")
+        .tenant("acme")
+        .telemetry()
+        .without_journal()
+        .connect(server.local_addr())
+        .unwrap();
+    client.arrive(ItemId(0), rat(1, 2), rat(0, 1)).unwrap();
+    client.arrive(ItemId(1), rat(1, 4), rat(1, 1)).unwrap();
+    // A metrics request republishes the page synchronously.
+    client.metrics().unwrap();
+
+    let mut stream = std::net::TcpStream::connect(scrape_addr).unwrap();
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut page = String::new();
+    stream.read_to_string(&mut page).unwrap();
+
+    assert!(page.contains("dbp_server_events_total 2"), "{page}");
+    assert!(page.contains("dbp_server_tenants 1"), "{page}");
+    // The tenant's telemetry appears both under its prefix and in the
+    // lawful un-prefixed merge.
+    assert!(page.contains("tenant_acme_"), "{page}");
+}
+
+#[test]
+fn wire_shutdown_stops_the_server() {
+    let server = DbpServer::start(ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let client = Client::builder("firstfit")
+        .tenant("any")
+        .without_journal()
+        .connect(addr)
+        .unwrap();
+    client.shutdown_server(None).unwrap();
+    // The accept loop notices the flag and severs everything; new
+    // connections are refused once it exits.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        match Client::builder("firstfit").tenant("late").connect(addr) {
+            Err(_) => break,
+            Ok(_) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(std::time::Duration::from_millis(10))
+            }
+            Ok(_) => panic!("server still accepting after wire shutdown"),
+        }
+    }
+    server.stop();
+}
