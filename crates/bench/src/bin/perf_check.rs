@@ -37,7 +37,13 @@
 //! * `server` — `server_events_per_sec` (aggregate wire-protocol
 //!   placement throughput across the loadgen's client threads and
 //!   tenants; the recorded p50/p99 placement latencies ride along
-//!   uncompared — latency floors are machine noise on shared CI);
+//!   uncompared — latency floors are machine noise on shared CI),
+//!   plus an **absolute** same-run floor: the fresh snapshot's
+//!   `traced_vs_untraced_ratio` (loadgen's traced pass — per-frame
+//!   request ids, echo verification, request-span recording — against
+//!   its untraced pass, back to back in the same run) must reach
+//!   0.90: request tracing may cost at most 10% of serving
+//!   throughput;
 //! * `opt_solver` — `intervals_per_sec` (the incremental
 //!   branch-and-bound adversary's interval-solve rate) against the
 //!   baseline, plus an **absolute** same-run floor: the fresh
@@ -95,6 +101,12 @@ const SCAN_CHUNKED_FLOOR: f64 = 1.0;
 /// pipeline re-measured in the same run.
 const OPT_SOLVER_SPEEDUP_FLOOR: f64 = 10.0;
 
+/// Fixed same-run floor for `traced_vs_untraced_ratio`: loadgen's
+/// traced pass (per-frame request ids, echo verification, span
+/// recording on every placement) may cost at most 10% of the untraced
+/// pass's throughput, measured back to back in the same run.
+const SERVER_TRACED_FLOOR: f64 = 0.90;
+
 /// Baseline-relative throughput metrics gated per experiment.
 fn gated_metrics(experiment: &str) -> &'static [&'static str] {
     match experiment {
@@ -121,6 +133,7 @@ fn same_run_floors(experiment: &str) -> &'static [(&'static str, f64)] {
         ],
         "fit_scaling" => &[("chunked_vs_scalar_scan_ratio", SCAN_CHUNKED_FLOOR)],
         "opt_solver" => &[("speedup_vs_seed", OPT_SOLVER_SPEEDUP_FLOOR)],
+        "server" => &[("traced_vs_untraced_ratio", SERVER_TRACED_FLOOR)],
         _ => &[],
     }
 }

@@ -188,6 +188,11 @@ COMMANDS:
             [--token SECRET]     require one shared auth token
             [--max-bins N] [--max-items N] [--max-eps N]
                                  per-tenant quotas (default unlimited)
+            [--slow-ms N]        record placements slower than N ms in
+                                 the slow-request ring (0 = all)
+            [--trace-out FILE]   dump the slow-request ring on shutdown
+                                 as JSONL at FILE plus a Chrome trace
+                                 sibling (.chrome.json; implies the ring)
             stops on a wire `shutdown` frame
   render    ASCII timeline of a packing
             --trace FILE [--algo NAME] [--width W]
@@ -1230,9 +1235,15 @@ fn cmd_serve(opts: &Opts, progress: &mut dyn std::io::Write) -> Result<String, C
             }
         },
         journal_dir: opts.get("journal-dir").map(std::path::PathBuf::from),
+        slow_ms: opts
+            .get("slow-ms")
+            .map(|_| opts.u64_or("slow-ms", 0))
+            .transpose()?,
+        trace_out: opts.get("trace-out").map(std::path::PathBuf::from),
         ..ServerConfig::default()
     };
     let durable = config.journal_dir.is_some();
+    let trace_out = config.trace_out.clone();
 
     let server = DbpServer::start(config).map_err(|e| err(format!("cannot start daemon: {e}")))?;
     let _ = writeln!(progress, "serving on {}", server.local_addr());
@@ -1243,6 +1254,14 @@ fn cmd_serve(opts: &Opts, progress: &mut dyn std::io::Write) -> Result<String, C
         let _ = writeln!(
             progress,
             "journaling tenants; restart resumes them verbatim"
+        );
+    }
+    if let Some(path) = &trace_out {
+        let _ = writeln!(
+            progress,
+            "tracing slow requests; shutdown dumps {} and {}",
+            path.display(),
+            path.with_extension("chrome.json").display()
         );
     }
     server.wait();

@@ -119,6 +119,27 @@ impl Histogram {
         self.buckets.iter().map(|(b, n)| (2f64.powi(*b as i32), *n))
     }
 
+    /// Bucketed quantile estimate (`None` when empty): the upper bound
+    /// of the log₂ bucket covering rank `⌈q·count⌉`, clamped to the
+    /// observed max. The estimate therefore never exceeds the true
+    /// quantile by more than one power of two — the same fidelity a
+    /// scraper gets from the rendered `_bucket` series, so client- and
+    /// server-side p50/p99 are comparable by construction.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (bound, n) in self.buckets() {
+            seen += n;
+            if seen >= rank {
+                return Some(bound.min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
     /// Merges `other` into `self`: counts, sums, and per-bucket tallies
     /// add; extremes combine. The merged histogram is exactly what
     /// observing both sample streams into one histogram would have
@@ -705,6 +726,76 @@ mod tests {
         page.merge_prefixed("tenant_acme_", &tenant);
         assert_eq!(page.counter("tenant_acme_dbp_events_total"), 11);
         assert_eq!(page.gauge("tenant_acme_dbp_open_bins"), Some(3.0));
+    }
+
+    #[test]
+    fn merge_prefixed_collisions_and_empties_fold_lawfully() {
+        // Two tenant names that sanitize to the same prefix (the page
+        // builder maps any non-alphanumeric to `_`, so `a.b` and `a_b`
+        // both become `tenant_a_b_`): their series alias, and the fold
+        // laws make the collision additive rather than lossy — the
+        // shared counter is the sum, the histogram is the union.
+        let mut one = MetricsRegistry::new();
+        one.inc_by("events", 3);
+        one.observe("latency", 2.0);
+        let mut two = MetricsRegistry::new();
+        two.inc_by("events", 4);
+        two.observe("latency", 900.0);
+        let mut page = MetricsRegistry::new();
+        page.merge_prefixed("tenant_a_b_", &one);
+        page.merge_prefixed("tenant_a_b_", &two);
+        assert_eq!(page.counter("tenant_a_b_events"), 7);
+        assert_eq!(page.histogram("tenant_a_b_latency").unwrap().count(), 2);
+
+        // An empty source registry is the identity, and merging into
+        // an empty page is a pure (prefixed) copy.
+        let before = page.snapshot();
+        page.merge_prefixed("tenant_a_b_", &MetricsRegistry::new());
+        assert_eq!(page.snapshot(), before);
+        let mut fresh = MetricsRegistry::new();
+        fresh.merge_prefixed("t_", &one);
+        assert_eq!(fresh.counter("t_events"), 3);
+        assert_eq!(fresh.histogram("t_latency").unwrap().count(), 1);
+
+        // A prefixed histogram landing on a name some counter already
+        // uses: sections are independent maps, so both series survive
+        // under the same name — no cross-section clobbering.
+        let mut clash = MetricsRegistry::new();
+        clash.inc_by("t_latency", 5);
+        clash.merge_prefixed("t_", &one);
+        assert_eq!(clash.counter("t_latency"), 5);
+        assert_eq!(clash.histogram("t_latency").unwrap().count(), 1);
+        // And the reverse: a prefixed counter next to a histogram.
+        let mut reverse = MetricsRegistry::new();
+        reverse.observe("t_events", 1.0);
+        reverse.merge_prefixed("t_", &one);
+        assert_eq!(reverse.counter("t_events"), 3);
+        assert_eq!(reverse.histogram("t_events").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bucket_bounds_clamped_to_extremes() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), None);
+
+        let mut h = Histogram::default();
+        for v in [0.5, 3.0, 3.5, 100.0] {
+            h.observe(v);
+        }
+        // Rank 2 of 4 lands in the (2, 4] bucket.
+        assert_eq!(h.quantile(0.5), Some(4.0));
+        // The top quantile clamps to the observed max, not the 128.0
+        // bucket bound.
+        assert_eq!(h.quantile(0.99), Some(100.0));
+        assert_eq!(h.quantile(1.0), Some(100.0));
+        // The bottom rank answers with its bucket's upper bound.
+        assert_eq!(h.quantile(0.0), Some(1.0));
+
+        // A single sample answers every quantile with itself.
+        let mut one = Histogram::default();
+        one.observe(7.0);
+        assert_eq!(one.quantile(0.5), Some(7.0));
+        assert_eq!(one.quantile(0.99), Some(7.0));
     }
 
     #[test]

@@ -30,7 +30,7 @@ use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The HTTP `Content-Type` of an OpenMetrics text page.
 pub const OPENMETRICS_CONTENT_TYPE: &str =
@@ -112,8 +112,10 @@ impl MetricsRegistry {
 /// [`MetricsRegistry`] as an OpenMetrics page on every HTTP request.
 ///
 /// Built on a non-blocking `std::net::TcpListener` polled by one
-/// background thread. `GET /metrics` serves the page, `HEAD /metrics`
-/// its headers alone, and every other path is `404 Not Found` — so a
+/// background thread. `GET /metrics` serves the page, `GET /healthz`
+/// a liveness probe (`ok` plus uptime and tenant count, read from the
+/// registry's `server_tenants` gauge), `HEAD` either path's headers
+/// alone, and every other path is `404 Not Found` — so a
 /// misconfigured scrape job fails loudly instead of silently
 /// ingesting the page under the wrong path. Update the registry
 /// through [`registry`](Self::registry); stop and join with
@@ -152,12 +154,13 @@ impl MetricsServer {
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let started = Instant::now();
         let handle = {
             let registry = Arc::clone(&registry);
             let stop = Arc::clone(&stop);
             std::thread::Builder::new()
                 .name("dbp-metrics".into())
-                .spawn(move || serve(listener, registry, stop))?
+                .spawn(move || serve(listener, registry, stop, started))?
         };
         Ok(MetricsServer {
             registry,
@@ -198,13 +201,18 @@ impl Drop for MetricsServer {
 
 /// Accept loop: poll the non-blocking listener, answer each request
 /// with the current metrics page, exit when `stop` flips.
-fn serve(listener: TcpListener, registry: Arc<Mutex<MetricsRegistry>>, stop: Arc<AtomicBool>) {
+fn serve(
+    listener: TcpListener,
+    registry: Arc<Mutex<MetricsRegistry>>,
+    stop: Arc<AtomicBool>,
+    started: Instant,
+) {
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {
                 // Per-request errors (closed sockets, torn writes)
                 // only lose that one scrape.
-                let _ = answer(stream, &registry);
+                let _ = answer(stream, &registry, started);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(10));
@@ -216,11 +224,13 @@ fn serve(listener: TcpListener, registry: Arc<Mutex<MetricsRegistry>>, stop: Arc
 
 /// Reads one HTTP request (just far enough to consume the header
 /// block), routes on the request line, and writes an HTTP/1.1
-/// response: the metrics page for `GET /metrics`, headers only for
-/// `HEAD /metrics`, `404 Not Found` for every other path.
+/// response: the metrics page for `GET /metrics`, a liveness probe
+/// for `GET /healthz`, headers only for `HEAD`, `404 Not Found` for
+/// every other path.
 fn answer(
     mut stream: std::net::TcpStream,
     registry: &Arc<Mutex<MetricsRegistry>>,
+    started: Instant,
 ) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     stream.set_write_timeout(Some(Duration::from_millis(500)))?;
@@ -250,6 +260,29 @@ fn answer(
             .unwrap_or_else(|e| e.into_inner().to_openmetrics());
         let mut r = format!(
             "HTTP/1.1 200 OK\r\nContent-Type: {OPENMETRICS_CONTENT_TYPE}\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        );
+        if !head_only {
+            r.push_str(&body);
+        }
+        r
+    } else if path == "/healthz" {
+        // Liveness probe: `ok`, process uptime, and how many tenants
+        // the served registry currently reports (0 when the registry
+        // carries no `server_tenants` gauge — e.g. a stream-CLI
+        // exporter, which has no tenant concept).
+        let tenants = registry
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .gauge("server_tenants")
+            .unwrap_or(0.0) as u64;
+        let body = format!(
+            "ok\nuptime_seconds {:.3}\ntenants {tenants}\n",
+            started.elapsed().as_secs_f64()
+        );
+        let mut r = format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; charset=utf-8\r\n\
              Content-Length: {}\r\nConnection: close\r\n\r\n",
             body.len()
         );
@@ -380,6 +413,39 @@ mod tests {
         let with_query = request(addr, "GET /metrics?format=openmetrics HTTP/1.1");
         assert!(with_query.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(with_query.contains("dbp_events_total 42"));
+        server.stop();
+    }
+
+    #[test]
+    fn healthz_reports_uptime_and_tenant_count() {
+        let server = MetricsServer::start("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+
+        // No `server_tenants` gauge yet: healthy, zero tenants.
+        let health = request(addr, "GET /healthz HTTP/1.1");
+        assert!(health.starts_with("HTTP/1.1 200 OK\r\n"), "{health}");
+        let body = health.split("\r\n\r\n").nth(1).unwrap();
+        assert!(body.starts_with("ok\n"), "{body}");
+        assert!(body.contains("uptime_seconds "), "{body}");
+        assert!(body.contains("tenants 0\n"), "{body}");
+
+        // The gauge the daemon publishes flows straight through.
+        server
+            .registry()
+            .lock()
+            .unwrap()
+            .set_gauge("server_tenants", 3.0);
+        let health = request(addr, "GET /healthz HTTP/1.1");
+        assert!(health.contains("tenants 3\n"), "{health}");
+
+        // HEAD answers with headers only, like `/metrics`.
+        let head = request(addr, "HEAD /healthz HTTP/1.1");
+        assert!(head.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(head.split("\r\n\r\n").nth(1).unwrap_or("").is_empty());
+
+        // Near-miss paths keep failing loudly.
+        let near = request(addr, "GET /health HTTP/1.1");
+        assert!(near.starts_with("HTTP/1.1 404 Not Found\r\n"));
         server.stop();
     }
 }

@@ -25,7 +25,14 @@ use dbp_numeric::Rational;
 /// `{"v":1,"depart":{...}}` single-event request frame — byte-identical
 /// to `serde_json::to_string(&Request::Event(ev).to_value())`.
 pub fn write_event_request(buf: &mut Vec<u8>, ev: &Event) {
+    write_event_request_traced(buf, ev, None);
+}
+
+/// [`write_event_request`] with an optional `trace` request id after
+/// `v` — byte-identical to the generic `to_traced_value` encoding.
+pub fn write_event_request_traced(buf: &mut Vec<u8>, ev: &Event, trace: Option<u64>) {
     buf.extend_from_slice(b"{\"v\":1,");
+    push_trace(buf, trace);
     push_tagged_event(buf, ev);
     buf.push(b'}');
 }
@@ -33,7 +40,14 @@ pub fn write_event_request(buf: &mut Vec<u8>, ev: &Event) {
 /// Appends the canonical `{"v":1,"batch":[...]}` request frame —
 /// byte-identical to the generic encoding of `Request::Batch`.
 pub fn write_batch_request(buf: &mut Vec<u8>, events: &[Event]) {
-    buf.extend_from_slice(b"{\"v\":1,\"batch\":[");
+    write_batch_request_traced(buf, events, None);
+}
+
+/// [`write_batch_request`] with an optional `trace` request id.
+pub fn write_batch_request_traced(buf: &mut Vec<u8>, events: &[Event], trace: Option<u64>) {
+    buf.extend_from_slice(b"{\"v\":1,");
+    push_trace(buf, trace);
+    buf.extend_from_slice(b"\"batch\":[");
     for (i, ev) in events.iter().enumerate() {
         if i > 0 {
             buf.push(b',');
@@ -47,14 +61,28 @@ pub fn write_batch_request(buf: &mut Vec<u8>, events: &[Event]) {
 
 /// Appends the canonical `{"v":1,"bin":N}` response frame.
 pub fn write_bin_response(buf: &mut Vec<u8>, bin: BinId) {
-    buf.extend_from_slice(b"{\"v\":1,\"bin\":");
+    write_bin_response_traced(buf, bin, None);
+}
+
+/// [`write_bin_response`] echoing the request's `trace` id.
+pub fn write_bin_response_traced(buf: &mut Vec<u8>, bin: BinId, trace: Option<u64>) {
+    buf.extend_from_slice(b"{\"v\":1,");
+    push_trace(buf, trace);
+    buf.extend_from_slice(b"\"bin\":");
     push_i128(buf, bin.0 as i128);
     buf.push(b'}');
 }
 
 /// Appends the canonical `{"v":1,"bins":[...]}` response frame.
 pub fn write_bins_response(buf: &mut Vec<u8>, bins: &[BinId]) {
-    buf.extend_from_slice(b"{\"v\":1,\"bins\":[");
+    write_bins_response_traced(buf, bins, None);
+}
+
+/// [`write_bins_response`] echoing the request's `trace` id.
+pub fn write_bins_response_traced(buf: &mut Vec<u8>, bins: &[BinId], trace: Option<u64>) {
+    buf.extend_from_slice(b"{\"v\":1,");
+    push_trace(buf, trace);
+    buf.extend_from_slice(b"\"bins\":[");
     for (i, bin) in bins.iter().enumerate() {
         if i > 0 {
             buf.push(b',');
@@ -62,6 +90,16 @@ pub fn write_bins_response(buf: &mut Vec<u8>, bins: &[BinId]) {
         push_i128(buf, bin.0 as i128);
     }
     buf.extend_from_slice(b"]}");
+}
+
+// `"trace":N,` directly after the version tag; nothing when untraced,
+// so the untraced writers stay byte-for-byte what they always were.
+fn push_trace(buf: &mut Vec<u8>, trace: Option<u64>) {
+    if let Some(id) = trace {
+        buf.extend_from_slice(b"\"trace\":");
+        push_i128(buf, id as i128);
+        buf.push(b',');
+    }
 }
 
 // `"arrive":{"id":N,"size":{"num":n,"den":d},"time":{...}}` — the
@@ -120,8 +158,14 @@ fn push_i128(buf: &mut Vec<u8>, n: i128) {
 /// Parses a canonical placement request (`Event` or `Batch`); `None`
 /// means "not canonical hot-path bytes — use the generic parser".
 pub fn parse_request(payload: &[u8]) -> Option<Request> {
+    parse_request_traced(payload).map(|(request, _)| request)
+}
+
+/// [`parse_request`] also returning the frame's optional `trace` id.
+pub fn parse_request_traced(payload: &[u8]) -> Option<(Request, Option<u64>)> {
     let mut c = Cursor::new(payload);
     c.lit(b"{\"v\":1,")?;
+    let trace = parse_trace(&mut c)?;
     if c.starts_with(b"\"batch\":[") {
         c.lit(b"\"batch\":[")?;
         let mut events = Vec::new();
@@ -138,26 +182,33 @@ pub fn parse_request(payload: &[u8]) -> Option<Request> {
         }
         c.lit(b"}")?;
         c.end()?;
-        Some(Request::Batch(events))
+        Some((Request::Batch(events), trace))
     } else {
         let ev = parse_tagged_event(&mut c)?;
         c.lit(b"}")?;
         c.end()?;
-        Some(Request::Event(ev))
+        Some((Request::Event(ev), trace))
     }
 }
 
 /// Parses a canonical placement response (`Bin` or `Bins`); `None`
 /// means "fall back to the generic parser".
 pub fn parse_response(payload: &[u8]) -> Option<Response> {
+    parse_response_traced(payload).map(|(response, _)| response)
+}
+
+/// [`parse_response`] also returning the echoed `trace` id.
+pub fn parse_response_traced(payload: &[u8]) -> Option<(Response, Option<u64>)> {
     let mut c = Cursor::new(payload);
-    c.lit(b"{\"v\":1,\"bin")?;
+    c.lit(b"{\"v\":1,")?;
+    let trace = parse_trace(&mut c)?;
+    c.lit(b"\"bin")?;
     if c.eat(b'\"') {
         c.lit(b":")?;
         let bin = BinId(c.int_u32()?);
         c.lit(b"}")?;
         c.end()?;
-        Some(Response::Bin(bin))
+        Some((Response::Bin(bin), trace))
     } else {
         c.lit(b"s\":[")?;
         let mut bins = Vec::new();
@@ -172,8 +223,22 @@ pub fn parse_response(payload: &[u8]) -> Option<Response> {
         }
         c.lit(b"}")?;
         c.end()?;
-        Some(Response::Bins(bins))
+        Some((Response::Bins(bins), trace))
     }
+}
+
+// Canonical traced frames put `"trace":N,` right after `"v":1,`; any
+// other placement is non-canonical and defers to the generic parser.
+// Outer `None` = malformed trace prefix, inner `None` = untraced.
+#[allow(clippy::option_option)]
+fn parse_trace(c: &mut Cursor<'_>) -> Option<Option<u64>> {
+    if !c.starts_with(b"\"trace\":") {
+        return Some(None);
+    }
+    c.lit(b"\"trace\":")?;
+    let id = c.int_u64()?;
+    c.lit(b",")?;
+    Some(Some(id))
 }
 
 fn parse_tagged_event(c: &mut Cursor<'_>) -> Option<Event> {
@@ -266,6 +331,15 @@ impl<'a> Cursor<'a> {
         let mut n: u32 = 0;
         for &d in digits {
             n = n.checked_mul(10)?.checked_add((d - b'0') as u32)?;
+        }
+        Some(n)
+    }
+
+    fn int_u64(&mut self) -> Option<u64> {
+        let digits = self.digits()?;
+        let mut n: u64 = 0;
+        for &d in digits {
+            n = n.checked_mul(10)?.checked_add((d - b'0') as u64)?;
         }
         Some(n)
     }
@@ -390,6 +464,73 @@ mod tests {
         ] {
             assert_eq!(parse_request(payload.as_bytes()), None, "{payload}");
             assert_eq!(parse_response(payload.as_bytes()), None, "{payload}");
+        }
+    }
+
+    #[test]
+    fn traced_writers_match_generic_encoder_and_invert() {
+        let ev = sample_events().remove(1);
+        let trace = Some(184_467_440_737_095u64);
+        let mut buf = Vec::new();
+        write_event_request_traced(&mut buf, &ev, trace);
+        assert_eq!(
+            String::from_utf8(buf.clone()).unwrap(),
+            serde_json::to_string(&Request::Event(ev).to_traced_value(trace)).unwrap()
+        );
+        assert_eq!(
+            parse_request_traced(&buf),
+            Some((Request::Event(ev), trace))
+        );
+
+        let events = sample_events();
+        buf.clear();
+        write_batch_request_traced(&mut buf, &events, Some(0));
+        assert_eq!(
+            String::from_utf8(buf.clone()).unwrap(),
+            serde_json::to_string(&Request::Batch(events.clone()).to_traced_value(Some(0)))
+                .unwrap()
+        );
+        assert_eq!(
+            parse_request_traced(&buf),
+            Some((Request::Batch(events), Some(0)))
+        );
+
+        buf.clear();
+        write_bin_response_traced(&mut buf, BinId(3), Some(7));
+        assert_eq!(
+            String::from_utf8(buf.clone()).unwrap(),
+            r#"{"v":1,"trace":7,"bin":3}"#
+        );
+        assert_eq!(
+            parse_response_traced(&buf),
+            Some((Response::Bin(BinId(3)), Some(7)))
+        );
+
+        let bins = vec![BinId(2), BinId(0)];
+        buf.clear();
+        write_bins_response_traced(&mut buf, &bins, Some(9));
+        assert_eq!(
+            String::from_utf8(buf.clone()).unwrap(),
+            serde_json::to_string(&Response::Bins(bins.clone()).to_traced_value(Some(9))).unwrap()
+        );
+        assert_eq!(
+            parse_response_traced(&buf),
+            Some((Response::Bins(bins), Some(9)))
+        );
+    }
+
+    #[test]
+    fn non_canonical_trace_placement_defers_to_the_generic_parser() {
+        for payload in [
+            // Trace after the tag, leading zeros, negative, stringy —
+            // legal only for the generic parser (or not at all).
+            r#"{"v":1,"bin":7,"trace":9}"#,
+            r#"{"v":1,"trace":07,"bin":7}"#,
+            r#"{"v":1,"trace":-1,"bin":7}"#,
+            r#"{"v":1,"trace":"9","bin":7}"#,
+        ] {
+            assert_eq!(parse_request_traced(payload.as_bytes()), None, "{payload}");
+            assert_eq!(parse_response_traced(payload.as_bytes()), None, "{payload}");
         }
     }
 

@@ -6,6 +6,19 @@
 //! single-event request is *exactly* the stream-CLI line format
 //! (`{"v":1,"arrive":{...}}`), so a captured JSONL trace replays
 //! against a live server without translation.
+//!
+//! # Request tracing
+//!
+//! Any v1 frame may carry an optional `trace` entry next to `v` — a
+//! client-supplied request id (`{"v":1,"trace":7,"arrive":{...}}`).
+//! Tracing is per-frame, never negotiated: `hello` is unchanged, a
+//! server echoes the id on the matching response, and a frame without
+//! the entry encodes byte-identically to the pre-tracing format, so
+//! untraced clients and captured traces are unaffected. Servers MUST
+//! accept traced frames from clients that never announced tracing
+//! (accept-and-echo, not refuse) — the property
+//! `trace_is_optional_and_never_breaks_untraced_frames` pins this
+//! down.
 
 use crate::line::{strip_version, tag_version};
 use crate::{Backend, BinId, Event, PackingOutcome, SessionMetrics, SessionSnapshot, TickGrid};
@@ -123,6 +136,46 @@ impl Deserialize for Hello {
     }
 }
 
+/// Inserts a `trace` request id directly after the `v` entry, keeping
+/// the canonical field order `v`, `trace`, `<tag>`. `None` returns the
+/// frame untouched, so untraced encodings stay byte-identical.
+fn attach_trace(frame: Value, trace: Option<u64>) -> Value {
+    let Some(id) = trace else { return frame };
+    let Value::Object(entries) = frame else {
+        return frame;
+    };
+    let mut out = Vec::with_capacity(entries.len() + 1);
+    for (k, v) in entries {
+        let was_version = k == "v";
+        out.push((k, v));
+        if was_version {
+            out.push(("trace".to_string(), Value::Int(id as i128)));
+        }
+    }
+    Value::Object(out)
+}
+
+/// Removes a `trace` entry (if any) from a version-stripped payload,
+/// returning the remaining payload and the request id. A present
+/// `trace` must be a non-negative integer.
+fn split_trace(payload: Value, context: &str) -> Result<(Value, Option<u64>), Error> {
+    let Value::Object(entries) = payload else {
+        return Ok((payload, None));
+    };
+    let mut trace = None;
+    let mut rest = Vec::with_capacity(entries.len());
+    for (k, v) in entries {
+        if k == "trace" {
+            trace = Some(u64::from_value(&v).map_err(|_| {
+                Error::custom(format!("{context}: `trace` must be a non-negative integer"))
+            })?);
+        } else {
+            rest.push((k, v));
+        }
+    }
+    Ok((Value::Object(rest), trace))
+}
+
 /// A client-to-server frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -176,19 +229,34 @@ impl Serialize for Request {
     }
 }
 
-impl Deserialize for Request {
-    fn from_value(v: &Value) -> Result<Request, Error> {
+impl Request {
+    /// The versioned frame with an optional request id attached:
+    /// `{"v":1,"trace":N,"arrive":{...}}`. `trace: None` is exactly
+    /// [`Serialize::to_value`].
+    pub fn to_traced_value(&self, trace: Option<u64>) -> Value {
+        attach_trace(self.to_value(), trace)
+    }
+
+    /// Parses a frame and its optional `trace` request id. Frames
+    /// without the entry parse with `None` — the two wire shapes share
+    /// one grammar.
+    pub fn from_traced_value(v: &Value) -> Result<(Request, Option<u64>), Error> {
         let payload = strip_version(v).map_err(Error::custom)?;
+        let (payload, trace) = split_trace(payload, "request")?;
+        Ok((Request::from_stripped(&payload)?, trace))
+    }
+
+    fn from_stripped(payload: &Value) -> Result<Request, Error> {
         let obj = payload
             .as_object()
-            .ok_or_else(|| Error::expected("object", v))?;
+            .ok_or_else(|| Error::expected("object", payload))?;
         let [(tag, body)] = obj else {
             return Err(Error::custom(
                 "request: expected exactly one frame tag next to `v`",
             ));
         };
         match tag.as_str() {
-            "arrive" | "depart" => Ok(Request::Event(Event::from_value(&payload)?)),
+            "arrive" | "depart" => Ok(Request::Event(Event::from_value(payload)?)),
             "hello" => Ok(Request::Hello(Hello::from_value(body)?)),
             "batch" => Ok(Request::Batch(Vec::from_value(body)?)),
             "snapshot" => Ok(Request::Snapshot),
@@ -204,6 +272,14 @@ impl Deserialize for Request {
                 "request: unknown frame tag `{other}`"
             ))),
         }
+    }
+}
+
+impl Deserialize for Request {
+    /// The compatibility rule for old servers and tools: a `trace`
+    /// entry is accepted and discarded, never refused.
+    fn from_value(v: &Value) -> Result<Request, Error> {
+        Request::from_traced_value(v).map(|(request, _)| request)
     }
 }
 
@@ -391,12 +467,25 @@ impl Serialize for Response {
     }
 }
 
-impl Deserialize for Response {
-    fn from_value(v: &Value) -> Result<Response, Error> {
+impl Response {
+    /// The versioned frame with the request's `trace` id echoed:
+    /// `{"v":1,"trace":N,"bin":5}`. `trace: None` is exactly
+    /// [`Serialize::to_value`].
+    pub fn to_traced_value(&self, trace: Option<u64>) -> Value {
+        attach_trace(self.to_value(), trace)
+    }
+
+    /// Parses a response frame and the echoed `trace` id, if any.
+    pub fn from_traced_value(v: &Value) -> Result<(Response, Option<u64>), Error> {
         let payload = strip_version(v).map_err(Error::custom)?;
+        let (payload, trace) = split_trace(payload, "response")?;
+        Ok((Response::from_stripped(&payload)?, trace))
+    }
+
+    fn from_stripped(payload: &Value) -> Result<Response, Error> {
         let obj = payload
             .as_object()
-            .ok_or_else(|| Error::expected("object", v))?;
+            .ok_or_else(|| Error::expected("object", payload))?;
         let [(tag, body)] = obj else {
             return Err(Error::custom(
                 "response: expected exactly one frame tag next to `v`",
@@ -427,6 +516,14 @@ impl Deserialize for Response {
                 "response: unknown frame tag `{other}`"
             ))),
         }
+    }
+}
+
+impl Deserialize for Response {
+    /// Like requests, an echoed `trace` entry is accepted and
+    /// discarded by the untraced entry point.
+    fn from_value(v: &Value) -> Result<Response, Error> {
+        Response::from_traced_value(v).map(|(response, _)| response)
     }
 }
 
@@ -512,6 +609,78 @@ mod tests {
         let minimal = serde_json::parse(r#"{"tenant":"t","algo":"firstfit"}"#).unwrap();
         let hello = Hello::from_value(&minimal).unwrap();
         assert_eq!(hello, Hello::new("t", "firstfit"));
+    }
+
+    #[test]
+    fn trace_is_optional_and_never_breaks_untraced_frames() {
+        let ev = Event::Arrive {
+            id: ItemId(3),
+            size: rat(1, 3),
+            time: rat(7, 2),
+        };
+        let req = Request::Event(ev);
+        // Untraced traced-encoding is byte-identical to the plain one.
+        assert_eq!(
+            serde_json::to_string(&req.to_traced_value(None)).unwrap(),
+            serde_json::to_string(&req.to_value()).unwrap(),
+        );
+        // Traced frames carry the id next to `v` and round-trip it.
+        let traced = serde_json::to_string(&req.to_traced_value(Some(7))).unwrap();
+        assert!(
+            traced.starts_with(r#"{"v":1,"trace":7,"arrive""#),
+            "{traced}"
+        );
+        let (back, trace) =
+            Request::from_traced_value(&serde_json::parse(&traced).unwrap()).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(trace, Some(7));
+        // The compatibility rule: the untraced entry point accepts a
+        // traced frame (old tooling never refuses new clients).
+        assert_eq!(
+            Request::from_value(&serde_json::parse(&traced).unwrap()).unwrap(),
+            req
+        );
+        // Responses echo the same shape.
+        let resp = Response::Bin(BinId(5));
+        let echoed = serde_json::to_string(&resp.to_traced_value(Some(7))).unwrap();
+        assert_eq!(echoed, r#"{"v":1,"trace":7,"bin":5}"#);
+        let (back, trace) =
+            Response::from_traced_value(&serde_json::parse(&echoed).unwrap()).unwrap();
+        assert_eq!(back, resp);
+        assert_eq!(trace, Some(7));
+        assert_eq!(
+            Response::from_value(&serde_json::parse(&echoed).unwrap()).unwrap(),
+            resp
+        );
+    }
+
+    #[test]
+    fn traced_frames_round_trip_every_request_kind() {
+        for req in [
+            Request::Hello(Hello::new("acme", "firstfit")),
+            Request::Batch(vec![Event::Depart {
+                id: ItemId(0),
+                time: rat(3, 1),
+            }]),
+            Request::Snapshot,
+            Request::Metrics,
+            Request::Finish,
+            Request::Shutdown { token: None },
+        ] {
+            let text = serde_json::to_string(&req.to_traced_value(Some(99))).unwrap();
+            let (back, trace) =
+                Request::from_traced_value(&serde_json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, req, "through {text}");
+            assert_eq!(trace, Some(99), "through {text}");
+        }
+    }
+
+    #[test]
+    fn bad_trace_values_are_typed_errors() {
+        let negative = serde_json::parse(r#"{"v":1,"trace":-1,"finish":{}}"#).unwrap();
+        assert!(Request::from_traced_value(&negative).is_err());
+        let stringy = serde_json::parse(r#"{"v":1,"trace":"x","finish":{}}"#).unwrap();
+        assert!(Request::from_traced_value(&stringy).is_err());
     }
 
     #[test]

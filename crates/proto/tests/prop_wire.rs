@@ -170,6 +170,86 @@ proptest! {
         prop_assert_eq!(fast::parse_response(&buf), Some(Response::Bins(bins)));
     }
 
+    /// The tracing contract, over the whole request space: an absent
+    /// `trace` keeps the canonical encoding byte-identical to the
+    /// untraced (pre-tracing) format, and a present id round-trips
+    /// through both the generic and (for hot frames) fast codecs.
+    #[test]
+    fn untraced_frames_are_byte_identical_and_traced_ids_round_trip(
+        req in request_strategy(),
+        trace in prop_oneof![Just(None), (0u64..=u64::MAX).prop_map(Some)],
+    ) {
+        use dbp_proto::fast;
+
+        // `trace: None` is not a different encoding — it IS the plain
+        // canonical frame, byte for byte.
+        let plain = serde_json::to_string(&req.to_value()).unwrap();
+        let untraced = serde_json::to_string(&req.to_traced_value(None)).unwrap();
+        prop_assert_eq!(untraced.as_str(), plain.as_str());
+
+        // Whatever the id, the traced frame parses back to the same
+        // request with the same id, and the untraced entry point
+        // accepts it too (the never-break-old-clients rule).
+        let text = serde_json::to_string(&req.to_traced_value(trace)).unwrap();
+        let value = serde_json::parse(&text).unwrap();
+        let (back, echoed) = Request::from_traced_value(&value).unwrap();
+        prop_assert_eq!(&back, &req);
+        prop_assert_eq!(echoed, trace);
+        prop_assert_eq!(Request::from_value(&value).unwrap(), req.clone());
+
+        // Hot frames: the traced fast writer stays byte-identical to
+        // the generic encoder and the fast parser inverts it.
+        let mut buf = Vec::new();
+        match &req {
+            Request::Event(ev) => {
+                fast::write_event_request_traced(&mut buf, ev, trace);
+                prop_assert_eq!(std::str::from_utf8(&buf).unwrap(), text.as_str());
+                prop_assert_eq!(fast::parse_request_traced(&buf), Some((req, trace)));
+            }
+            Request::Batch(events) => {
+                fast::write_batch_request_traced(&mut buf, events, trace);
+                prop_assert_eq!(std::str::from_utf8(&buf).unwrap(), text.as_str());
+                prop_assert_eq!(fast::parse_request_traced(&buf), Some((req, trace)));
+            }
+            _ => {}
+        }
+    }
+
+    /// Traced responses echo ids through both codecs the same way.
+    #[test]
+    fn traced_responses_round_trip(
+        bins in prop::collection::vec(0u32..=u32::MAX, 0..16),
+        trace in prop_oneof![Just(None), (0u64..=u64::MAX).prop_map(Some)],
+    ) {
+        use dbp_core::BinId;
+        use dbp_proto::fast;
+
+        let bins: Vec<BinId> = bins.into_iter().map(BinId).collect();
+        for resp in [
+            Response::Bin(bins.first().copied().unwrap_or(BinId(0))),
+            Response::Bins(bins),
+        ] {
+            let plain = serde_json::to_string(&resp.to_value()).unwrap();
+            let untraced = serde_json::to_string(&resp.to_traced_value(None)).unwrap();
+            prop_assert_eq!(untraced.as_str(), plain.as_str());
+
+            let text = serde_json::to_string(&resp.to_traced_value(trace)).unwrap();
+            let value = serde_json::parse(&text).unwrap();
+            let (back, echoed) = Response::from_traced_value(&value).unwrap();
+            prop_assert_eq!(&back, &resp);
+            prop_assert_eq!(echoed, trace);
+
+            let mut buf = Vec::new();
+            match &resp {
+                Response::Bin(bin) => fast::write_bin_response_traced(&mut buf, *bin, trace),
+                Response::Bins(bins) => fast::write_bins_response_traced(&mut buf, bins, trace),
+                _ => unreachable!(),
+            }
+            prop_assert_eq!(std::str::from_utf8(&buf).unwrap(), text.as_str());
+            prop_assert_eq!(fast::parse_response_traced(&buf), Some((resp, trace)));
+        }
+    }
+
     /// Checkpoint envelopes round-trip a session snapshot built from
     /// an arbitrary accepted event prefix, bit-identically.
     #[test]

@@ -2,10 +2,20 @@
 //!
 //! Drives `--threads` client threads × `--tenants` tenants of batched
 //! arrive/depart waves against a `dbp-server` (an in-process one on a
-//! loopback port by default, or `--addr` for an external daemon),
-//! recording aggregate placement events/sec and the p99 latency of
-//! individually-timed placement frames into a perf_check-compatible
-//! snapshot (`results/BENCH_server.json` by convention).
+//! loopback port by default, or `--addr` for an external daemon) in
+//! two same-run passes — untraced, then traced — recording into a
+//! perf_check-compatible snapshot (`results/BENCH_server.json` by
+//! convention):
+//!
+//! * aggregate placement events/sec for both passes, and their ratio
+//!   (`traced_vs_untraced_ratio`, the tracing-overhead gate);
+//! * client-side placement latency from individually-timed frames,
+//!   accumulated in the shared `dbp_obs` log₂ [`Histogram`] (same
+//!   buckets the server publishes, so the two sides are comparable);
+//! * server-side request latency and per-phase shares for the traced
+//!   pass, read straight off the in-process server's merged
+//!   exposition registry (`tenant_<name>_request_latency_us`,
+//!   `tenant_<name>_request_<phase>_ns`).
 //!
 //! The workload is the serving analogue of the bench suite's wave
 //! pattern: at each integer step, the items that arrived two steps ago
@@ -14,7 +24,9 @@
 //! engine carries the whole stream.
 
 use dbp_numeric::rat;
+use dbp_obs::Histogram;
 use dbp_proto::{Event, ItemId, TickGrid};
+use dbp_server::span::PHASE_NAMES;
 use dbp_server::{Client, DbpServer, ServerConfig};
 use std::io::Write;
 use std::time::Instant;
@@ -110,6 +122,64 @@ fn wave_batches(events_total: u64, batch: usize) -> Vec<Vec<Event>> {
     batches
 }
 
+/// One full workload pass. `prefix` namespaces the tenants (passes
+/// must not share sessions) and `traced` turns on per-frame request
+/// ids with echo verification. Returns total events, wall seconds,
+/// and the client-side latency histogram of the sampled frames.
+fn run_pass(args: &Args, addr: &str, prefix: &str, traced: bool) -> (u64, f64, Histogram) {
+    let started = Instant::now();
+    let per_thread: Vec<(u64, Histogram)> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for thread in 0..args.threads {
+            handles.push(scope.spawn(move || {
+                let mut events_done: u64 = 0;
+                let mut latencies_us = Histogram::default();
+                for tenant in (thread..args.tenants).step_by(args.threads) {
+                    let mut builder = Client::builder("firstfit")
+                        .tenant(format!("{prefix}{tenant}"))
+                        .grid(TickGrid::new(1, 128))
+                        .without_journal();
+                    if traced {
+                        builder = builder.traced();
+                    }
+                    let mut client = builder.connect(addr).expect("connect");
+                    let batches = wave_batches(args.events_per_tenant, args.batch);
+                    for (i, events) in batches.iter().enumerate() {
+                        if i % args.sample_every == args.sample_every - 1 {
+                            // Individually-timed placement frames: one
+                            // round trip per event, the latency the
+                            // paper's serving story cares about.
+                            for event in events {
+                                let t0 = Instant::now();
+                                client.apply(event).expect("placement");
+                                latencies_us.observe(t0.elapsed().as_secs_f64() * 1e6);
+                            }
+                        } else {
+                            client.ingest(events).expect("batch placement");
+                        }
+                        events_done += events.len() as u64;
+                    }
+                    // Leave tenants live (no finish): the benchmark
+                    // measures steady-state placement, not teardown.
+                }
+                (events_done, latencies_us)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = started.elapsed().as_secs_f64();
+    let total: u64 = per_thread.iter().map(|(n, _)| n).sum();
+    let mut latencies = Histogram::default();
+    for (_, h) in &per_thread {
+        latencies.merge(h);
+    }
+    (total, wall, latencies)
+}
+
+fn quantile_or_zero(h: &Histogram, q: f64) -> f64 {
+    h.quantile(q).unwrap_or(0.0)
+}
+
 fn main() {
     let args = parse_args();
 
@@ -131,88 +201,106 @@ fn main() {
         args.threads, args.tenants, args.events_per_tenant, args.batch
     );
 
-    let started = Instant::now();
-    let per_thread: Vec<(u64, Vec<f64>)> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for thread in 0..args.threads {
-            let addr = addr.clone();
-            let args = &args;
-            handles.push(scope.spawn(move || {
-                let mut events_done: u64 = 0;
-                let mut latencies_us: Vec<f64> = Vec::new();
-                for tenant in (thread..args.tenants).step_by(args.threads) {
-                    let mut client = Client::builder("firstfit")
-                        .tenant(format!("lg{tenant}"))
-                        .grid(TickGrid::new(1, 128))
-                        .without_journal()
-                        .connect(addr.as_str())
-                        .expect("connect");
-                    let batches = wave_batches(args.events_per_tenant, args.batch);
-                    for (i, events) in batches.iter().enumerate() {
-                        if i % args.sample_every == args.sample_every - 1 {
-                            // Individually-timed placement frames: one
-                            // round trip per event, the latency the
-                            // paper's serving story cares about.
-                            for event in events {
-                                let t0 = Instant::now();
-                                client.apply(event).expect("placement");
-                                latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
-                            }
-                        } else {
-                            client.ingest(events).expect("batch placement");
-                        }
-                        events_done += events.len() as u64;
-                    }
-                    // Leave tenants live (no finish): the benchmark
-                    // measures steady-state placement, not teardown.
-                }
-                (events_done, latencies_us)
-            }));
-        }
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
-    let wall = started.elapsed().as_secs_f64();
-
-    let total_events: u64 = per_thread.iter().map(|(n, _)| n).sum();
-    let mut latencies: Vec<f64> = per_thread.into_iter().flat_map(|(_, l)| l).collect();
-    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let pct = |p: f64| -> f64 {
-        if latencies.is_empty() {
-            return 0.0;
-        }
-        let idx = ((latencies.len() as f64 * p).ceil() as usize).min(latencies.len()) - 1;
-        latencies[idx]
-    };
+    // Pass 1 — untraced: the baseline-comparable throughput number.
+    let (total_events, wall, latencies) = run_pass(&args, &addr, "lg", false);
     let events_per_sec = total_events as f64 / wall;
-
     eprintln!(
-        "loadgen: {total_events} events in {wall:.2}s -> {events_per_sec:.0} events/sec; \
+        "loadgen: untraced {total_events} events in {wall:.2}s -> {events_per_sec:.0} events/sec; \
          placement latency p50 {:.1}us p99 {:.1}us ({} samples)",
-        pct(0.50),
-        pct(0.99),
-        latencies.len()
+        quantile_or_zero(&latencies, 0.50),
+        quantile_or_zero(&latencies, 0.99),
+        latencies.count()
     );
+
+    // Pass 2 — traced: same workload on fresh tenants, every frame
+    // carrying a request id the server echoes. The throughput ratio
+    // against pass 1 is the tracing-overhead gate.
+    let (traced_events, traced_wall, traced_latencies) = run_pass(&args, &addr, "lgt", true);
+    let traced_events_per_sec = traced_events as f64 / traced_wall;
+    let traced_ratio = traced_events_per_sec / events_per_sec;
+    eprintln!(
+        "loadgen: traced {traced_events} events in {traced_wall:.2}s -> {traced_events_per_sec:.0} \
+         events/sec (ratio {traced_ratio:.3}); client latency p50 {:.1}us p99 {:.1}us",
+        quantile_or_zero(&traced_latencies, 0.50),
+        quantile_or_zero(&traced_latencies, 0.99),
+    );
+
+    // Server-side view of the traced pass, read off the in-process
+    // server's merged exposition page: per-tenant request latency
+    // histograms and phase counters under the `tenant_lgt*_` prefix.
+    let mut server_latency = Histogram::default();
+    let mut phase_ns = [0u64; 5];
+    if let Some(server) = &server {
+        let registry = server.registry_snapshot();
+        for tenant in 0..args.tenants {
+            if let Some(h) = registry.histogram(&format!("tenant_lgt{tenant}_request_latency_us")) {
+                server_latency.merge(h);
+            }
+            for (acc, name) in phase_ns.iter_mut().zip(PHASE_NAMES) {
+                *acc += registry.counter(&format!("tenant_lgt{tenant}_request_{name}_ns"));
+            }
+        }
+        let spent: u64 = phase_ns.iter().sum();
+        let share = |ns: u64| {
+            if spent == 0 {
+                0.0
+            } else {
+                ns as f64 / spent as f64
+            }
+        };
+        eprintln!(
+            "loadgen: server-side p50 {:.1}us p99 {:.1}us over {} requests; phase shares \
+             decode {:.3} quota {:.3} apply {:.3} journal {:.3} encode {:.3}",
+            quantile_or_zero(&server_latency, 0.50),
+            quantile_or_zero(&server_latency, 0.99),
+            server_latency.count(),
+            share(phase_ns[0]),
+            share(phase_ns[1]),
+            share(phase_ns[2]),
+            share(phase_ns[3]),
+            share(phase_ns[4]),
+        );
+    } else {
+        eprintln!("loadgen: external server (--addr); skipping server-side registry readout");
+    }
 
     if let Some(out) = &args.out {
         if let Some(dir) = std::path::Path::new(out).parent() {
             std::fs::create_dir_all(dir).expect("create output directory");
         }
+        let spent: u64 = phase_ns.iter().sum::<u64>().max(1);
         let json = format!(
             "{{\n  \"experiment\": \"server\",\n  \"threads\": {},\n  \"tenants\": {},\n  \
              \"events_per_tenant\": {},\n  \"batch\": {},\n  \"total_events\": {},\n  \
              \"wall_seconds\": {:.3},\n  \"latency_samples\": {},\n  \"metrics\": {{\n    \
              \"server_events_per_sec\": {:.0},\n    \"p50_placement_latency_us\": {:.2},\n    \
-             \"p99_placement_latency_us\": {:.2}\n  }}\n}}\n",
+             \"p99_placement_latency_us\": {:.2},\n    \"traced_events_per_sec\": {:.0},\n    \
+             \"traced_vs_untraced_ratio\": {:.4},\n    \"p50_client_latency_us\": {:.2},\n    \
+             \"p99_client_latency_us\": {:.2},\n    \"p50_server_latency_us\": {:.2},\n    \
+             \"p99_server_latency_us\": {:.2},\n    \"phase_share_decode\": {:.4},\n    \
+             \"phase_share_quota\": {:.4},\n    \"phase_share_apply\": {:.4},\n    \
+             \"phase_share_journal\": {:.4},\n    \"phase_share_encode\": {:.4}\n  }}\n}}\n",
             args.threads,
             args.tenants,
             args.events_per_tenant,
             args.batch,
             total_events,
             wall,
-            latencies.len(),
+            latencies.count(),
             events_per_sec,
-            pct(0.50),
-            pct(0.99),
+            quantile_or_zero(&latencies, 0.50),
+            quantile_or_zero(&latencies, 0.99),
+            traced_events_per_sec,
+            traced_ratio,
+            quantile_or_zero(&traced_latencies, 0.50),
+            quantile_or_zero(&traced_latencies, 0.99),
+            quantile_or_zero(&server_latency, 0.50),
+            quantile_or_zero(&server_latency, 0.99),
+            phase_ns[0] as f64 / spent as f64,
+            phase_ns[1] as f64 / spent as f64,
+            phase_ns[2] as f64 / spent as f64,
+            phase_ns[3] as f64 / spent as f64,
+            phase_ns[4] as f64 / spent as f64,
         );
         let mut file = std::fs::File::create(out).expect("create output file");
         file.write_all(json.as_bytes()).expect("write snapshot");

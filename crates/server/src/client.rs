@@ -23,11 +23,9 @@
 
 use dbp_numeric::Rational;
 use dbp_proto::{
-    fast, parse_frame_payload, read_frame_raw, write_frame_bytes, Backend, BinId, Event, FrameRead,
-    Hello, ItemId, PackingOutcome, RawFrame, Request, Response, SessionMetrics, SessionSnapshot,
-    TickGrid, WireError,
+    fast, read_frame_raw, write_frame_bytes, Backend, BinId, Event, Hello, ItemId, PackingOutcome,
+    RawFrame, Request, Response, SessionMetrics, SessionSnapshot, TickGrid, WireError,
 };
-use serde::Serialize;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -65,12 +63,14 @@ impl From<io::Error> for ClientError {
 #[derive(Debug, Clone)]
 pub struct ClientBuilder {
     hello: Hello,
+    tracing: bool,
 }
 
 impl ClientBuilder {
     fn new(algo: &str) -> ClientBuilder {
         ClientBuilder {
             hello: Hello::new("default", algo),
+            tracing: false,
         }
     }
 
@@ -119,6 +119,18 @@ impl ClientBuilder {
         self
     }
 
+    /// Attach a fresh `trace` request id to every frame this client
+    /// sends (the hello included) and verify the server echoes it back
+    /// on the matching response. Tracing is per-frame and needs no
+    /// negotiation — a server accepts traced frames from any client —
+    /// so this only controls whether *this* client labels its
+    /// requests (and can then join its latency records against the
+    /// server's slow-request log).
+    pub fn traced(mut self) -> ClientBuilder {
+        self.tracing = true;
+        self
+    }
+
     /// Connects, performs the hello exchange, and returns an attached
     /// client.
     pub fn connect(self, addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
@@ -132,6 +144,9 @@ impl ClientBuilder {
             out: Vec::new(),
             scratch: Vec::new(),
             resumed_events: 0,
+            tracing: self.tracing,
+            next_trace: 1,
+            last_trace: None,
         };
         match client.exchange(&Request::Hello(self.hello))? {
             Response::Hello { resumed_events, .. } => {
@@ -155,6 +170,9 @@ pub struct Client {
     out: Vec<u8>,
     scratch: Vec<u8>,
     resumed_events: u64,
+    tracing: bool,
+    next_trace: u64,
+    last_trace: Option<u64>,
 }
 
 impl Client {
@@ -170,38 +188,64 @@ impl Client {
         self.resumed_events
     }
 
+    /// The `trace` id the server echoed on the most recent exchange
+    /// (`None` before any exchange, or when this client is untraced).
+    pub fn echoed_trace(&self) -> Option<u64> {
+        self.last_trace
+    }
+
     /// One request/response exchange. Error frames are *not* turned
-    /// into `Err` here — callers match on the expected variant.
+    /// into `Err` here — callers match on the expected variant. A
+    /// traced client stamps each request with a fresh id and checks
+    /// the echo, so a response can never be attributed to the wrong
+    /// request.
     fn exchange(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let trace = self.tracing.then(|| {
+            let id = self.next_trace;
+            self.next_trace += 1;
+            id
+        });
         // Placement frames take the canonical fast writer; everything
         // else is cold and goes through the generic codec.
         self.out.clear();
         match request {
-            Request::Event(ev) => fast::write_event_request(&mut self.out, ev),
-            Request::Batch(events) => fast::write_batch_request(&mut self.out, events),
+            Request::Event(ev) => fast::write_event_request_traced(&mut self.out, ev, trace),
+            Request::Batch(events) => {
+                fast::write_batch_request_traced(&mut self.out, events, trace)
+            }
             _ => {
-                let payload =
-                    serde_json::to_string(&request.to_value()).expect("requests always serialize");
+                let payload = serde_json::to_string(&request.to_traced_value(trace))
+                    .expect("requests always serialize");
                 self.out.extend_from_slice(payload.as_bytes());
             }
         }
         write_frame_bytes(&mut self.writer, &self.out)?;
         self.writer.flush()?;
-        match read_frame_raw(&mut self.reader, &mut self.scratch)? {
-            RawFrame::Eof => Err(ClientError::Protocol(
-                "server closed the connection mid-exchange".to_string(),
-            )),
-            RawFrame::Payload => {
-                if let Some(response) = fast::parse_response(&self.scratch) {
-                    return Ok(response);
-                }
-                match parse_frame_payload::<Response>(&self.scratch) {
-                    FrameRead::Frame(response) => Ok(response),
-                    FrameRead::Eof => unreachable!("payload already delimited"),
-                    FrameRead::Malformed(e) => Err(ClientError::Protocol(e)),
-                }
+        let (response, echoed) = match read_frame_raw(&mut self.reader, &mut self.scratch)? {
+            RawFrame::Eof => {
+                return Err(ClientError::Protocol(
+                    "server closed the connection mid-exchange".to_string(),
+                ))
             }
+            RawFrame::Payload => match fast::parse_response_traced(&self.scratch) {
+                Some(traced) => traced,
+                None => {
+                    let text = std::str::from_utf8(&self.scratch)
+                        .map_err(|e| ClientError::Protocol(format!("frame is not UTF-8: {e}")))?;
+                    let value = serde_json::parse(text)
+                        .map_err(|e| ClientError::Protocol(format!("frame is not JSON: {e}")))?;
+                    Response::from_traced_value(&value)
+                        .map_err(|e| ClientError::Protocol(e.to_string()))?
+                }
+            },
+        };
+        if trace.is_some() && echoed != trace {
+            return Err(ClientError::Protocol(format!(
+                "trace id mismatch: sent {trace:?}, server echoed {echoed:?}"
+            )));
         }
+        self.last_trace = echoed;
+        Ok(response)
     }
 
     fn expect_bin(&mut self, request: &Request) -> Result<BinId, ClientError> {

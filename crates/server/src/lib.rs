@@ -17,6 +17,11 @@
 //! * one lawful OpenMetrics page — per-tenant prefixed registries and
 //!   the server-wide merge, served by the existing
 //!   `dbp_obs::MetricsServer` handler;
+//! * request spans — every placement is timed through five phases
+//!   (decode / quota / apply / journal / encode) into per-tenant
+//!   latency histograms, and requests over `--slow-ms` land in a
+//!   bounded slow ring dumped as JSONL + Chrome trace on shutdown
+//!   ([`span`]);
 //! * sharding — a tenant with `shards = n` runs a `dbp_par::Fleet`
 //!   routed by `id % n`, trading the single-session total order for
 //!   parallel throughput.
@@ -29,11 +34,13 @@ pub mod client;
 pub mod journal;
 pub mod quota;
 pub mod server;
+pub mod span;
 pub mod tenant;
 
 pub use client::{Client, ClientBuilder, ClientError};
 pub use quota::Quotas;
 pub use server::{DbpServer, ServerConfig, TokenPolicy};
+pub use span::{Phase, RequestSpan, SlowRequest, SlowRing, WireStats};
 
 use dbp_proto::{ErrorKind, WireError};
 

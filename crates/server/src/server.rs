@@ -11,14 +11,13 @@
 
 use crate::journal::scan_journals;
 use crate::quota::Quotas;
+use crate::span::{Phase, RequestSpan, SlowRequest, SlowRing};
 use crate::tenant::Tenant;
 use crate::ServerError;
 use dbp_obs::{MetricsRegistry, MetricsServer};
 use dbp_proto::{
-    fast, parse_frame_payload, read_frame_raw, write_frame_bytes, ErrorKind, FrameRead, RawFrame,
-    Request, Response, WireError,
+    fast, read_frame_raw, write_frame_bytes, ErrorKind, RawFrame, Request, Response, WireError,
 };
-use serde::Serialize;
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
@@ -26,7 +25,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Who may attach tenants (and stop the server).
 #[derive(Debug, Clone, Default)]
@@ -102,6 +101,14 @@ pub struct ServerConfig {
     /// Rebuild the exposition page every this many accepted events
     /// (hellos, finishes, and metrics requests always rebuild).
     pub publish_every: u64,
+    /// Record placement requests slower than this many milliseconds in
+    /// the slow-request ring (`0` records everything). `None` leaves
+    /// the ring off unless `trace_out` turns it on.
+    pub slow_ms: Option<u64>,
+    /// Where to dump the slow-request ring on shutdown: JSONL at this
+    /// path, plus a Chrome trace next to it (`.chrome.json`). Setting
+    /// this enables the ring even without `slow_ms`.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -113,6 +120,8 @@ impl Default for ServerConfig {
             quotas: Quotas::unlimited(),
             journal_dir: None,
             publish_every: 8192,
+            slow_ms: None,
+            trace_out: None,
         }
     }
 }
@@ -126,6 +135,11 @@ struct Shared {
     conns: Mutex<Vec<TcpStream>>,
     /// Exposition page (shared with the `MetricsServer` thread).
     page: Option<Arc<Mutex<MetricsRegistry>>>,
+    /// When the server started — the zero point of the slow-request
+    /// (and Chrome) timeline.
+    origin: Instant,
+    /// The slow-request ring, when `slow_ms` / `trace_out` enabled it.
+    slow: Option<Mutex<SlowRing>>,
     // Server-wide counters for the page.
     connections_total: AtomicU64,
     frames_total: AtomicU64,
@@ -135,11 +149,10 @@ struct Shared {
 }
 
 impl Shared {
-    /// Rebuilds the exposition page from scratch: server counters,
+    /// Builds the exposition page from scratch: server counters,
     /// per-tenant prefixed registries, and the un-prefixed lawful
     /// merge of every tenant's registry.
-    fn publish(&self) {
-        let Some(page) = &self.page else { return };
+    fn build_page(&self) -> MetricsRegistry {
         let mut fresh = MetricsRegistry::new();
         // The renderer suffixes counter samples with `_total` itself.
         fresh.inc_by(
@@ -161,6 +174,13 @@ impl Shared {
             fresh.merge(&registry);
         }
         drop(tenants);
+        fresh
+    }
+
+    /// Rebuilds the shared page the scrape listener serves.
+    fn publish(&self) {
+        let Some(page) = &self.page else { return };
+        let fresh = self.build_page();
         *page.lock().unwrap() = fresh;
     }
 
@@ -190,6 +210,7 @@ pub struct DbpServer {
     metrics_addr: Option<std::net::SocketAddr>,
     accept_handle: Option<JoinHandle<()>>,
     metrics_server: Option<MetricsServer>,
+    trace_dumped: bool,
 }
 
 impl DbpServer {
@@ -220,12 +241,22 @@ impl DbpServer {
             }
         }
 
+        // The slow ring runs whenever a threshold or a dump path asks
+        // for it; `--slow-ms 0` (or a bare `--trace-out`) records every
+        // placement, bounded by the ring capacity.
+        let slow = (config.slow_ms.is_some() || config.trace_out.is_some()).then(|| {
+            Mutex::new(SlowRing::new(Duration::from_millis(
+                config.slow_ms.unwrap_or(0),
+            )))
+        });
         let shared = Arc::new(Shared {
             config,
             tenants: Mutex::new(tenants),
             stop: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
             page,
+            origin: Instant::now(),
+            slow,
             connections_total: AtomicU64::new(0),
             frames_total: AtomicU64::new(0),
             events_total: AtomicU64::new(0),
@@ -246,6 +277,7 @@ impl DbpServer {
             metrics_addr,
             accept_handle: Some(accept_handle),
             metrics_server,
+            trace_dumped: false,
         })
     }
 
@@ -257,6 +289,14 @@ impl DbpServer {
     /// The bound scrape address, when metrics are enabled.
     pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
         self.metrics_addr
+    }
+
+    /// A fresh copy of the merged exposition page, rebuilt now —
+    /// available whether or not a scrape listener is running, so
+    /// in-process harnesses (loadgen, tests) can read
+    /// `tenant_<name>_request_latency_us` and friends without HTTP.
+    pub fn registry_snapshot(&self) -> MetricsRegistry {
+        self.shared.build_page()
     }
 
     /// Stops the daemon: closes the listener, severs every client
@@ -288,6 +328,28 @@ impl DbpServer {
         if let Some(server) = self.metrics_server.take() {
             server.stop();
         }
+        self.dump_slow_ring();
+    }
+
+    /// Writes the slow-request ring to `trace_out` (JSONL) and its
+    /// `.chrome.json` sibling (chrome://tracing / Perfetto). Runs once,
+    /// after every connection thread has joined; best-effort on I/O.
+    fn dump_slow_ring(&mut self) {
+        if self.trace_dumped {
+            return;
+        }
+        self.trace_dumped = true;
+        let Some(path) = &self.shared.config.trace_out else {
+            return;
+        };
+        let Some(ring) = &self.shared.slow else {
+            return;
+        };
+        let ring = ring.lock().unwrap();
+        let chrome =
+            serde_json::to_string(&ring.chrome_trace()).expect("slow-ring chrome traces serialize");
+        let _ = std::fs::write(path, ring.to_jsonl());
+        let _ = std::fs::write(path.with_extension("chrome.json"), chrome);
     }
 }
 
@@ -302,7 +364,9 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     while !shared.stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {
-                shared.connections_total.fetch_add(1, Ordering::Relaxed);
+                // The connection ordinal doubles as the Chrome track id
+                // for this connection's slow-request spans.
+                let conn = shared.connections_total.fetch_add(1, Ordering::Relaxed) + 1;
                 if let Ok(clone) = stream.try_clone() {
                     shared.conns.lock().unwrap().push(clone);
                 }
@@ -310,7 +374,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                 if let Ok(handle) = std::thread::Builder::new()
                     .name("dbp-server-conn".into())
                     .spawn(move || {
-                        let _ = serve_connection(stream, conn_shared);
+                        let _ = serve_connection(stream, conn_shared, conn);
                     })
                 {
                     workers.push(handle);
@@ -333,38 +397,117 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
 }
 
-// Placement answers take the canonical fast writer; cold frames go
-// through the generic codec. `out` is reused across frames.
-fn send(w: &mut impl Write, out: &mut Vec<u8>, response: &Response) -> io::Result<()> {
+// Serializes `response` into `out`, echoing the request's `trace` id
+// when there is one. Placement answers take the canonical fast
+// writer; cold frames go through the generic codec.
+fn encode_response(out: &mut Vec<u8>, response: &Response, trace: Option<u64>) {
     out.clear();
     match response {
-        Response::Bin(bin) => fast::write_bin_response(out, *bin),
-        Response::Bins(bins) => fast::write_bins_response(out, bins),
+        Response::Bin(bin) => fast::write_bin_response_traced(out, *bin, trace),
+        Response::Bins(bins) => fast::write_bins_response_traced(out, bins, trace),
         _ => {
-            let payload =
-                serde_json::to_string(&response.to_value()).expect("responses always serialize");
+            let payload = serde_json::to_string(&response.to_traced_value(trace))
+                .expect("responses always serialize");
             out.extend_from_slice(payload.as_bytes());
         }
     }
+}
+
+// Encode + frame + flush, for responses outside the timed placement
+// path. `out` is reused across frames.
+fn send(
+    w: &mut impl Write,
+    out: &mut Vec<u8>,
+    response: &Response,
+    trace: Option<u64>,
+) -> io::Result<()> {
+    encode_response(out, response, trace);
     write_frame_bytes(w, out)?;
     w.flush()
 }
 
+/// One decoded request frame, with its optional `trace` id and how
+/// long the payload took to parse (the span's Decode phase — socket
+/// wait excluded, which is the client's time, not ours).
+struct TracedRequest {
+    request: Request,
+    trace: Option<u64>,
+    decode_ns: u64,
+}
+
+enum ReadOutcome {
+    Eof,
+    Malformed(String),
+    Frame(TracedRequest),
+}
+
 // One request frame: canonical placement frames parse on the fast
-// path, everything else falls back to the generic codec.
-fn read_request(r: &mut impl io::BufRead, scratch: &mut Vec<u8>) -> io::Result<FrameRead<Request>> {
+// path, everything else falls back to the generic codec. Both paths
+// surface the frame's `trace` id — tracing is per-frame and needs no
+// negotiation, so a client may start (or stop) sending ids anytime.
+fn read_request(r: &mut impl io::BufRead, scratch: &mut Vec<u8>) -> io::Result<ReadOutcome> {
     match read_frame_raw(r, scratch)? {
-        RawFrame::Eof => Ok(FrameRead::Eof),
-        RawFrame::Payload => Ok(match fast::parse_request(scratch) {
-            Some(request) => FrameRead::Frame(request),
-            None => parse_frame_payload(scratch),
-        }),
+        RawFrame::Eof => Ok(ReadOutcome::Eof),
+        RawFrame::Payload => {
+            let t = Instant::now();
+            let parsed = match fast::parse_request_traced(scratch) {
+                Some(traced) => Ok(traced),
+                None => match std::str::from_utf8(scratch) {
+                    Ok(text) => match serde_json::parse(text) {
+                        Ok(value) => Request::from_traced_value(&value).map_err(|e| e.to_string()),
+                        Err(e) => Err(format!("frame is not JSON: {e}")),
+                    },
+                    Err(e) => Err(format!("frame is not UTF-8: {e}")),
+                },
+            };
+            let decode_ns = t.elapsed().as_nanos() as u64;
+            Ok(match parsed {
+                Ok((request, trace)) => ReadOutcome::Frame(TracedRequest {
+                    request,
+                    trace,
+                    decode_ns,
+                }),
+                Err(e) => ReadOutcome::Malformed(e),
+            })
+        }
     }
 }
 
+// Closes a placement span: encodes the response under the Encode
+// phase, folds the span into the tenant's wire stats, and offers it
+// to the slow ring. Returns whether the response is an error frame.
+fn finish_placement(
+    shared: &Shared,
+    tenant_name: &str,
+    conn: u64,
+    guard: &mut Option<Tenant>,
+    mut span: RequestSpan,
+    response: &Response,
+    out: &mut Vec<u8>,
+) -> bool {
+    let trace = span.trace;
+    span.time(Phase::Encode, || encode_response(out, response, trace));
+    let total = span.finish();
+    let slow = match &shared.slow {
+        Some(ring) => total >= ring.lock().unwrap().threshold_ns(),
+        None => false,
+    };
+    if let Some(tenant) = guard.as_mut() {
+        tenant.record_request(&span, total, slow);
+    }
+    if slow {
+        if let Some(ring) = &shared.slow {
+            let entry = SlowRequest::from_span(&span, tenant_name, conn, shared.origin);
+            ring.lock().unwrap().offer(entry);
+        }
+    }
+    matches!(response, Response::Error(_))
+}
+
 /// One connection's lifecycle: hello, then a request/response loop
-/// against the attached tenant.
-fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
+/// against the attached tenant. `conn` is the connection ordinal
+/// (slow-request Chrome track id).
+fn serve_connection(stream: TcpStream, shared: Arc<Shared>, conn: u64) -> io::Result<()> {
     stream.set_nodelay(true)?;
     let mut reader = BufReader::with_capacity(1 << 16, stream.try_clone()?);
     let mut writer = BufWriter::with_capacity(1 << 16, stream);
@@ -372,23 +515,33 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
     let mut out: Vec<u8> = Vec::new();
 
     // Hello first. Protocol violations before attach get one typed
-    // error and the connection closes.
-    let hello = match read_request(&mut reader, &mut scratch)? {
-        FrameRead::Eof => return Ok(()),
-        FrameRead::Malformed(e) => {
+    // error and the connection closes. A traced hello gets its id
+    // echoed like any other frame.
+    let (hello, hello_trace) = match read_request(&mut reader, &mut scratch)? {
+        ReadOutcome::Eof => return Ok(()),
+        ReadOutcome::Malformed(e) => {
             shared.errors_total.fetch_add(1, Ordering::Relaxed);
             send(
                 &mut writer,
                 &mut out,
                 &Response::Error(WireError::new(ErrorKind::Protocol, e)),
+                None,
             )?;
             return Ok(());
         }
-        FrameRead::Frame(Request::Hello(hello)) => hello,
-        FrameRead::Frame(Request::Shutdown { token }) => {
-            return handle_shutdown(&mut writer, &mut out, &shared, token.as_deref());
+        ReadOutcome::Frame(TracedRequest {
+            request: Request::Hello(hello),
+            trace,
+            ..
+        }) => (hello, trace),
+        ReadOutcome::Frame(TracedRequest {
+            request: Request::Shutdown { token },
+            trace,
+            ..
+        }) => {
+            return handle_shutdown(&mut writer, &mut out, &shared, token.as_deref(), trace);
         }
-        FrameRead::Frame(_) => {
+        ReadOutcome::Frame(TracedRequest { trace, .. }) => {
             shared.errors_total.fetch_add(1, Ordering::Relaxed);
             send(
                 &mut writer,
@@ -397,6 +550,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
                     ErrorKind::Protocol,
                     "first frame must be `hello`",
                 )),
+                trace,
             )?;
             return Ok(());
         }
@@ -409,7 +563,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
         .check(&hello.tenant, hello.token.as_deref())
     {
         shared.errors_total.fetch_add(1, Ordering::Relaxed);
-        send(&mut writer, &mut out, &Response::Error(e))?;
+        send(&mut writer, &mut out, &Response::Error(e), hello_trace)?;
         return Ok(());
     }
 
@@ -438,7 +592,12 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
                     // nothing and a corrected hello reuses it.
                     drop(guard);
                     shared.errors_total.fetch_add(1, Ordering::Relaxed);
-                    send(&mut writer, &mut out, &Response::Error(e.into_wire()))?;
+                    send(
+                        &mut writer,
+                        &mut out,
+                        &Response::Error(e.into_wire()),
+                        hello_trace,
+                    )?;
                     return Ok(());
                 }
             }
@@ -451,21 +610,27 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
                 tenant: hello.tenant.clone(),
                 resumed_events: resumed,
             },
+            hello_trace,
         )?;
     }
     shared.publish();
 
     // Steady state.
     loop {
-        let request = match read_request(&mut reader, &mut scratch) {
-            Ok(FrameRead::Eof) => return Ok(()),
-            Ok(FrameRead::Frame(req)) => req,
-            Ok(FrameRead::Malformed(e)) => {
+        let TracedRequest {
+            request,
+            trace,
+            decode_ns,
+        } = match read_request(&mut reader, &mut scratch) {
+            Ok(ReadOutcome::Eof) => return Ok(()),
+            Ok(ReadOutcome::Frame(traced)) => traced,
+            Ok(ReadOutcome::Malformed(e)) => {
                 shared.errors_total.fetch_add(1, Ordering::Relaxed);
                 send(
                     &mut writer,
                     &mut out,
                     &Response::Error(WireError::new(ErrorKind::Protocol, e)),
+                    None,
                 )?;
                 continue;
             }
@@ -482,33 +647,67 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
                 ErrorKind::Protocol,
                 "connection is already attached to a tenant",
             )),
+            // Placement requests are timed end to end: the tenant
+            // charges Quota/Apply/Journal to the span, encoding runs
+            // under the guard so the span covers it, and only the
+            // socket write falls outside the measured window.
             Request::Event(event) => {
+                let mut span = RequestSpan::new("event", 1, trace, decode_ns);
                 let mut guard = slot.lock().unwrap();
-                match guard.as_mut() {
-                    Some(tenant) => match tenant.apply(&event) {
-                        Ok(bin) => {
-                            drop(guard);
-                            shared.count_events(1);
-                            Response::Bin(bin)
-                        }
+                let response = match guard.as_mut() {
+                    Some(tenant) => match tenant.apply(&event, &mut span) {
+                        Ok(bin) => Response::Bin(bin),
                         Err(e) => Response::Error(e.into_wire()),
                     },
                     None => Response::Error(gone(&hello.tenant)),
+                };
+                let failed = finish_placement(
+                    &shared,
+                    &hello.tenant,
+                    conn,
+                    &mut guard,
+                    span,
+                    &response,
+                    &mut out,
+                );
+                drop(guard);
+                if failed {
+                    shared.errors_total.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    shared.count_events(1);
                 }
+                write_frame_bytes(&mut writer, &out)?;
+                writer.flush()?;
+                continue;
             }
             Request::Batch(events) => {
+                let mut span = RequestSpan::new("batch", events.len() as u64, trace, decode_ns);
                 let mut guard = slot.lock().unwrap();
-                match guard.as_mut() {
-                    Some(tenant) => match tenant.batch(&events) {
-                        Ok(bins) => {
-                            drop(guard);
-                            shared.count_events(events.len() as u64);
-                            Response::Bins(bins)
-                        }
+                let response = match guard.as_mut() {
+                    Some(tenant) => match tenant.batch(&events, &mut span) {
+                        Ok(bins) => Response::Bins(bins),
                         Err(e) => Response::Error(e.into_wire()),
                     },
                     None => Response::Error(gone(&hello.tenant)),
+                };
+                let failed = finish_placement(
+                    &shared,
+                    &hello.tenant,
+                    conn,
+                    &mut guard,
+                    span,
+                    &response,
+                    &mut out,
+                );
+                drop(guard);
+                if failed {
+                    shared.errors_total.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    shared.count_events(events.len() as u64);
                 }
+                write_frame_bytes(&mut writer, &out)?;
+                writer.flush()?;
+                continue;
             }
             Request::Snapshot => {
                 let guard = slot.lock().unwrap();
@@ -549,13 +748,13 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
                 }
             }
             Request::Shutdown { token } => {
-                return handle_shutdown(&mut writer, &mut out, &shared, token.as_deref());
+                return handle_shutdown(&mut writer, &mut out, &shared, token.as_deref(), trace);
             }
         };
         if matches!(response, Response::Error(_)) {
             shared.errors_total.fetch_add(1, Ordering::Relaxed);
         }
-        send(&mut writer, &mut out, &response)?;
+        send(&mut writer, &mut out, &response, trace)?;
     }
 }
 
@@ -571,16 +770,17 @@ fn handle_shutdown(
     out: &mut Vec<u8>,
     shared: &Arc<Shared>,
     token: Option<&str>,
+    trace: Option<u64>,
 ) -> io::Result<()> {
     match shared.config.auth.check_shutdown(token) {
         Ok(()) => {
-            send(writer, out, &Response::Shutdown)?;
+            send(writer, out, &Response::Shutdown, trace)?;
             shared.stop.store(true, Ordering::Relaxed);
             Ok(())
         }
         Err(e) => {
             shared.errors_total.fetch_add(1, Ordering::Relaxed);
-            send(writer, out, &Response::Error(e))
+            send(writer, out, &Response::Error(e), trace)
         }
     }
 }

@@ -9,6 +9,7 @@
 
 use crate::journal::{Journal, JournalHeader, RecoveredJournal};
 use crate::quota::{Quotas, RateLimiter};
+use crate::span::{Phase, RequestSpan, WireStats};
 use crate::ServerError;
 use dbp_core::algo::by_name;
 use dbp_core::session::{Session, SessionError};
@@ -17,6 +18,7 @@ use dbp_obs::{telemetry_registry, MetricsRegistry};
 use dbp_par::Fleet;
 use dbp_proto::{BinId, ErrorKind, Event, Hello, SessionMetrics, SessionSnapshot, WireError};
 use std::path::Path;
+use std::time::Instant;
 
 /// Maps a wire algorithm name (CLI-style lowercase or canonical) to
 /// its canonical name, restricted to algorithms that
@@ -60,6 +62,9 @@ pub struct Tenant {
     rate: Option<RateLimiter>,
     /// Events accepted over this tenant's lifetime (journaled or not).
     accepted: u64,
+    /// Wire-level SLO accumulators (request latency, phase shares,
+    /// refusals, fsyncs) — folded into [`Tenant::registry`].
+    wire: WireStats,
 }
 
 fn session_error(e: SessionError) -> WireError {
@@ -137,6 +142,7 @@ impl Tenant {
             quotas,
             rate: quotas.max_events_per_sec.map(RateLimiter::new),
             accepted: 0,
+            wire: WireStats::default(),
         })
     }
 
@@ -255,18 +261,17 @@ impl Tenant {
 
     /// Applies one event: quota admission, session placement, journal
     /// append + flush — only then is the placement returned for the
-    /// wire ack.
-    pub fn apply(&mut self, event: &Event) -> Result<BinId, ServerError> {
-        self.admit(std::slice::from_ref(event))
-            .map_err(ServerError::Wire)?;
-        let bin = self
-            .apply_unchecked(event)
-            .map_err(|e| ServerError::Wire(session_error(e)))?;
-        if let Some(journal) = &mut self.journal {
-            journal
-                .append(std::slice::from_ref(event))
-                .map_err(ServerError::Io)?;
+    /// wire ack. Each stage charges its time to the request `span`
+    /// (Quota / Apply / Journal), refusals and flushes included.
+    pub fn apply(&mut self, event: &Event, span: &mut RequestSpan) -> Result<BinId, ServerError> {
+        if let Err(e) = span.time(Phase::Quota, || self.admit(std::slice::from_ref(event))) {
+            span.quota_refused = true;
+            return Err(ServerError::Wire(e));
         }
+        let bin = span
+            .time(Phase::Apply, || self.apply_unchecked(event))
+            .map_err(|e| ServerError::Wire(session_error(e)))?;
+        self.journal_applied(std::slice::from_ref(event), span)?;
         Ok(bin)
     }
 
@@ -276,41 +281,54 @@ impl Tenant {
     /// session, events before the reported index were applied; for a
     /// fleet, each shard applied its events before the first failing
     /// one. Whatever was applied is journaled, so recovery and the
-    /// live session never diverge.
-    pub fn batch(&mut self, events: &[Event]) -> Result<Vec<BinId>, ServerError> {
+    /// live session never diverge. Stage timing charges the request
+    /// `span` exactly as [`Tenant::apply`] does.
+    pub fn batch(
+        &mut self,
+        events: &[Event],
+        span: &mut RequestSpan,
+    ) -> Result<Vec<BinId>, ServerError> {
         // Admission is all-or-nothing: a refused batch applied nothing,
         // which index 0 tells the client.
-        self.admit(events)
-            .map_err(|e| ServerError::Wire(e.at_index(0)))?;
+        if let Err(e) = span.time(Phase::Quota, || self.admit(events)) {
+            span.quota_refused = true;
+            return Err(ServerError::Wire(e.at_index(0)));
+        }
         match &mut self.state {
             TenantState::Single(session) => {
                 let mut bins = Vec::with_capacity(events.len());
+                let t = Instant::now();
                 for (index, event) in events.iter().enumerate() {
                     match session.apply(event) {
                         Ok(bin) => bins.push(bin),
                         Err(error) => {
+                            span.record(Phase::Apply, t.elapsed());
                             self.accepted += index as u64;
-                            self.journal_applied(&events[..index])?;
+                            self.journal_applied(&events[..index], span)?;
                             return Err(ServerError::Wire(
                                 session_error(error).at_index(index as u64),
                             ));
                         }
                     }
                 }
+                span.record(Phase::Apply, t.elapsed());
                 self.accepted += events.len() as u64;
-                self.journal_applied(events)?;
+                self.journal_applied(events, span)?;
                 Ok(bins)
             }
             TenantState::Sharded(fleet) => {
                 let shards = self.shards;
+                let t = Instant::now();
                 let routed: Vec<(usize, Event)> = events
                     .iter()
                     .map(|e| ((e.id().0 % shards) as usize, *e))
                     .collect();
-                match fleet.dispatch_with_bins(&routed) {
+                let dispatched = fleet.dispatch_with_bins(&routed);
+                span.record(Phase::Apply, t.elapsed());
+                match dispatched {
                     Ok(bins) => {
                         self.accepted += events.len() as u64;
-                        self.journal_applied(events)?;
+                        self.journal_applied(events, span)?;
                         Ok(bins)
                     }
                     Err(errors) => {
@@ -328,7 +346,7 @@ impl Tenant {
                             .map(|(_, e)| *e)
                             .collect();
                         self.accepted += applied.len() as u64;
-                        self.journal_applied(&applied)?;
+                        self.journal_applied(&applied, span)?;
                         let first = errors
                             .iter()
                             .min_by_key(|e| e.index)
@@ -342,14 +360,29 @@ impl Tenant {
         }
     }
 
-    fn journal_applied(&mut self, events: &[Event]) -> Result<(), ServerError> {
+    fn journal_applied(
+        &mut self,
+        events: &[Event],
+        span: &mut RequestSpan,
+    ) -> Result<(), ServerError> {
         if events.is_empty() {
             return Ok(());
         }
         if let Some(journal) = &mut self.journal {
-            journal.append(events).map_err(ServerError::Io)?;
+            span.time(Phase::Journal, || journal.append(events))
+                .map_err(ServerError::Io)?;
+            // `Journal::append` flushes once per call — the durability
+            // "fsync" the span and the per-tenant counter both count.
+            span.fsyncs += 1;
         }
         Ok(())
+    }
+
+    /// Folds a finished request span into this tenant's wire-level
+    /// accumulators (latency histogram, phase shares, refusal / fsync
+    /// / slow counters).
+    pub fn record_request(&mut self, span: &RequestSpan, total_ns: u64, slow: bool) {
+        self.wire.record(span, total_ns, slow);
     }
 
     /// Live stream metrics, folded across shards.
@@ -360,13 +393,17 @@ impl Tenant {
         }
     }
 
-    /// The tenant's deterministic telemetry registry (what the
-    /// exposition page merges, per tenant and server-wide).
+    /// The tenant's telemetry registry (what the exposition page
+    /// merges, per tenant and server-wide): deterministic stream
+    /// telemetry plus the wire-level SLO series (`request_latency_us`
+    /// histogram, per-phase nanosecond counters, refusals, fsyncs).
     pub fn registry(&self) -> MetricsRegistry {
-        match &self.state {
+        let mut registry = match &self.state {
             TenantState::Single(session) => telemetry_registry(&session.metrics()),
             TenantState::Sharded(fleet) => fleet.merged_metrics(),
-        }
+        };
+        self.wire.fold_into(&mut registry);
+        registry
     }
 
     /// A resumable checkpoint. Sharded and journal-less tenants

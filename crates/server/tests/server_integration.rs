@@ -355,6 +355,184 @@ fn metrics_page_carries_server_and_prefixed_tenant_series() {
 }
 
 #[test]
+fn traced_placements_are_bit_identical_and_echo_ids() {
+    let server = DbpServer::start(ServerConfig::default()).unwrap();
+    let events = wave_stream(6, 5);
+
+    // Same stream as the in-process twin, but every frame carries a
+    // trace id the server must echo. Tracing must not perturb
+    // placement: the outcome stays bit-identical.
+    let mut client = Client::builder("firstfit")
+        .tenant("traced-twin")
+        .grid(TickGrid::new(1, 32))
+        .without_journal()
+        .traced()
+        .connect(server.local_addr())
+        .unwrap();
+    let (head, tail) = events.split_at(events.len() / 3);
+    for ev in head {
+        client.apply(ev).unwrap();
+    }
+    client.ingest(tail).unwrap();
+    // Ids are sequential from 1 (the hello), one per exchange; the
+    // client verified each echo on the way.
+    assert_eq!(client.echoed_trace(), Some(1 + head.len() as u64 + 1));
+    let outcomes = client.finish().unwrap();
+    assert_eq!(outcomes[0], session_outcome("firstfit", &events));
+}
+
+#[test]
+fn traced_frames_need_no_negotiation() {
+    use dbp_proto::{fast, read_frame_raw, write_frame_bytes, RawFrame, Request};
+    use serde::Serialize;
+
+    let server = DbpServer::start(ServerConfig::default()).unwrap();
+
+    // A raw connection whose hello never mentioned tracing: the
+    // compatibility rule says any later frame may still carry a
+    // `trace` id, and the server accepts it and echoes it back.
+    let stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut scratch = Vec::new();
+
+    let hello = dbp_proto::Hello::new("raw", "firstfit");
+    let payload = serde_json::to_string(&Request::Hello(hello).to_value()).unwrap();
+    write_frame_bytes(&mut writer, payload.as_bytes()).unwrap();
+    writer.flush().unwrap();
+    assert!(matches!(
+        read_frame_raw(&mut reader, &mut scratch).unwrap(),
+        RawFrame::Payload
+    ));
+    // Untraced hello, untraced answer — byte-identical to the pre-trace
+    // protocol.
+    assert!(!String::from_utf8_lossy(&scratch).contains("trace"));
+
+    let mut frame = Vec::new();
+    fast::write_event_request_traced(
+        &mut frame,
+        &Event::Arrive {
+            id: ItemId(0),
+            size: rat(1, 2),
+            time: rat(0, 1),
+        },
+        Some(7),
+    );
+    write_frame_bytes(&mut writer, &frame).unwrap();
+    writer.flush().unwrap();
+    assert!(matches!(
+        read_frame_raw(&mut reader, &mut scratch).unwrap(),
+        RawFrame::Payload
+    ));
+    assert_eq!(scratch, br#"{"v":1,"trace":7,"bin":0}"#);
+}
+
+#[test]
+fn slow_ring_dumps_jsonl_and_chrome_trace_on_shutdown() {
+    let dir = test_dir("slowring");
+    let out = dir.join("slow.jsonl");
+    // `slow_ms: 0` records every placement; `trace_out` dumps the ring
+    // when the server stops.
+    let server = DbpServer::start(ServerConfig {
+        slow_ms: Some(0),
+        trace_out: Some(out.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+
+    let mut client = Client::builder("firstfit")
+        .tenant("ring")
+        .grid(TickGrid::new(1, 32))
+        .without_journal()
+        .traced()
+        .connect(server.local_addr())
+        .unwrap();
+    let events = wave_stream(3, 3);
+    for ev in &events {
+        client.apply(ev).unwrap();
+    }
+    drop(client);
+    server.stop();
+
+    let jsonl = std::fs::read_to_string(&out).unwrap();
+    assert_eq!(
+        jsonl.lines().count(),
+        events.len(),
+        "one line per placement"
+    );
+    let first = serde_json::parse(jsonl.lines().next().unwrap()).unwrap();
+    assert_eq!(
+        first.get("tenant").and_then(serde::Value::as_str),
+        Some("ring")
+    );
+    // The client traced every frame (hello = 1), so the first
+    // placement carries id 2, joinable against client-side records.
+    assert_eq!(first.get("trace").and_then(serde::Value::as_int), Some(2));
+    assert!(first.get("total_us").is_some(), "{jsonl}");
+    assert!(first.get("apply_us").is_some(), "{jsonl}");
+
+    let chrome = std::fs::read_to_string(out.with_extension("chrome.json")).unwrap();
+    assert!(chrome.contains("\"traceEvents\""), "{chrome}");
+    assert!(chrome.contains("\"pid\":3"), "server spans live on pid 3");
+    assert!(chrome.contains("trace=2"), "{chrome}");
+}
+
+#[test]
+fn request_latency_series_reach_the_metrics_page() {
+    let server = DbpServer::start(ServerConfig {
+        metrics: Some("127.0.0.1:0".to_string()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let scrape_addr = server.metrics_addr().unwrap();
+
+    let mut client = Client::builder("firstfit")
+        .tenant("globex")
+        .without_journal()
+        .traced()
+        .connect(server.local_addr())
+        .unwrap();
+    client.arrive(ItemId(0), rat(1, 2), rat(0, 1)).unwrap();
+    client.arrive(ItemId(1), rat(1, 4), rat(1, 1)).unwrap();
+    client.metrics().unwrap();
+
+    let mut stream = std::net::TcpStream::connect(scrape_addr).unwrap();
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut page = String::new();
+    stream.read_to_string(&mut page).unwrap();
+
+    // Wire-level SLO series appear under the tenant prefix and in the
+    // lawful un-prefixed merge.
+    assert!(
+        page.contains("dbp_tenant_globex_request_latency_us"),
+        "{page}"
+    );
+    assert!(
+        page.contains("dbp_tenant_globex_requests_total 2"),
+        "{page}"
+    );
+    assert!(
+        page.contains("dbp_tenant_globex_traced_requests_total 2"),
+        "{page}"
+    );
+    assert!(
+        page.contains("dbp_tenant_globex_quota_refusals_total 0"),
+        "{page}"
+    );
+    assert!(page.contains("dbp_request_latency_us"), "{page}");
+
+    // The in-process snapshot sees the same page without HTTP.
+    let registry = server.registry_snapshot();
+    let h = registry
+        .histogram("tenant_globex_request_latency_us")
+        .expect("latency histogram on the snapshot");
+    assert_eq!(h.count(), 2);
+    assert!(h.quantile(0.99).is_some());
+}
+
+#[test]
 fn wire_shutdown_stops_the_server() {
     let server = DbpServer::start(ServerConfig::default()).unwrap();
     let addr = server.local_addr();
